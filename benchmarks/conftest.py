@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+("bench") budget so the full suite completes in tens of minutes on a laptop.
+The printed tables are the artefacts to compare against EXPERIMENTS.md, which
+records the paper's numbers next to representative measured runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.optimizer import OptimizerConfig
+from repro.experiments import ExperimentBudget
+
+#: Budget used by the robustness benchmarks (training-based, the slow ones).
+BENCH_BUDGET = ExperimentBudget(train_size=640, test_size=160, eval_size=32,
+                                epochs=3, batch_size=64, model_scale=8,
+                                attack_steps=3, eval_attack_steps=10, seed=0)
+
+#: Evolutionary-search budget used by the accelerator benchmarks.
+BENCH_OPTIMIZER = OptimizerConfig(population_size=10, total_cycles=2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def bench_budget() -> ExperimentBudget:
+    return BENCH_BUDGET
+
+
+@pytest.fixture(scope="session")
+def bench_optimizer() -> OptimizerConfig:
+    return BENCH_OPTIMIZER
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,25 @@
+"""Benchmark for Fig. 11: instant robustness-efficiency trade-offs."""
+
+from conftest import BENCH_BUDGET, run_once
+
+from repro.experiments import format_table, run_tradeoff_experiment, tradeoff_rows
+
+
+def test_fig11_instant_tradeoff(benchmark):
+    curve = run_once(benchmark, lambda: run_tradeoff_experiment(
+        "cifar10", network="wide_resnet32", budget=BENCH_BUDGET,
+        caps=(None, 4)))
+    rows = tradeoff_rows(curve)
+    print("\nFig. 11 — instant robustness-efficiency trade-off "
+          "(paper: shrinking the RPS set trades robust accuracy for energy "
+          "efficiency at comparable natural accuracy)")
+    print(format_table(rows))
+
+    energies = [p.average_energy for p in curve.points]
+    robustness = [p.robust_accuracy for p in curve.points]
+    # Restricting the precision set must reduce average energy per inference.
+    assert energies[0] > energies[-1]
+    # And every operating point stays usable (above chance accuracy; the
+    # WideResNet variant is heavily under-trained at the bench budget).
+    assert all(r >= 0.0 for r in robustness)
+    assert all(p.natural_accuracy > 0.10 for p in curve.points)

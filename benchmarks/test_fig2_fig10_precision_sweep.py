@@ -1,0 +1,38 @@
+"""Benchmarks for Fig. 2 and Fig. 10: throughput vs execution precision."""
+
+from conftest import BENCH_OPTIMIZER, run_once
+
+from repro.experiments import format_table, throughput_vs_precision
+
+PRECISIONS = (1, 2, 3, 4, 6, 8, 12, 16)
+
+
+def test_fig2_throughput_vs_precision(benchmark):
+    """Fig. 2: Bit Fusion vs Stripes on ResNet-50/ImageNet across precisions."""
+    rows = run_once(benchmark, lambda: throughput_vs_precision(
+        network="resnet50", dataset="imagenet", precisions=PRECISIONS,
+        designs=("BitFusion", "Stripes"), optimizer_config=BENCH_OPTIMIZER))
+    print("\nFig. 2 — throughput (FPS) vs precision, ResNet-50/ImageNet")
+    print(format_table(rows, float_format="{:.2f}"))
+    by_precision = {row["precision"]: row for row in rows}
+    # Paper: Bit Fusion wins below 8-bit, loses above 8-bit.
+    assert by_precision[4]["BitFusion"] > by_precision[4]["Stripes"]
+    assert by_precision[16]["Stripes"] > by_precision[16]["BitFusion"]
+    # Stripes scales smoothly with precision.
+    assert by_precision[4]["Stripes"] > by_precision[8]["Stripes"] > by_precision[16]["Stripes"]
+
+
+def test_fig10_precision_sweep_with_ours(benchmark):
+    """Fig. 10: the same sweep including the 2-in-1 design, on WRN-32/CIFAR-10."""
+    rows = run_once(benchmark, lambda: throughput_vs_precision(
+        network="wide_resnet32", dataset="cifar10", precisions=PRECISIONS,
+        designs=("BitFusion", "Stripes", "2-in-1"),
+        optimizer_config=BENCH_OPTIMIZER))
+    print("\nFig. 10 — throughput (FPS) vs precision, WideResNet-32/CIFAR-10")
+    print(format_table(rows, float_format="{:.2f}"))
+    for row in rows:
+        assert row["2-in-1"] > row["Stripes"]
+        if row["precision"] >= 3:
+            # At 1-2 bit the calibrated model puts ours and Bit Fusion near
+            # parity (see EXPERIMENTS.md); from 3-bit up ours must win.
+            assert row["2-in-1"] > row["BitFusion"]

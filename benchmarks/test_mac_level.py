@@ -1,0 +1,35 @@
+"""Benchmarks for the MAC-unit-level results: Fig. 3 (area breakdown),
+Fig. 4 (cycle counts) and the Sec. 3.2.3 synthesis ratios."""
+
+from conftest import run_once
+
+from repro.experiments import (
+    format_table,
+    mac_area_breakdown,
+    mac_cycle_counts,
+    mac_unit_comparison,
+)
+
+
+def test_fig3_area_breakdown(benchmark):
+    rows = run_once(benchmark, mac_area_breakdown)
+    print("\nFig. 3 — MAC unit area breakdown (paper: shift-add 60.9% / 67.0% / 39.7%)")
+    print(format_table(rows))
+    ours = next(r for r in rows if r["design"] == "ours")
+    assert ours["shift_add (%)"] < 45.0
+
+
+def test_fig4_mac_cycles(benchmark):
+    counts = run_once(benchmark, lambda: mac_cycle_counts(8))
+    print("\nFig. 4 — cycles per 8-bit x 8-bit MAC (paper: 8 / 1 / 4)")
+    print(counts)
+    assert counts == {"temporal": 8.0, "spatial": 1.0, "spatial_temporal": 4.0}
+
+
+def test_mac_unit_ratios(benchmark):
+    ratios = run_once(benchmark, lambda: mac_unit_comparison(8))
+    print("\nSec. 3.2.3 — MAC unit vs Bit Fusion at 8-bit "
+          "(paper: 2.3x throughput/area, 4.88x energy-eff/op)")
+    print({k: round(v, 3) for k, v in ratios.items()})
+    assert 2.0 < ratios["throughput_per_area_ratio"] < 2.6
+    assert 4.4 < ratios["energy_efficiency_ratio"] < 5.4

@@ -1,0 +1,54 @@
+"""Benchmarks for Tab. 5 (stronger attacks), Tab. 6 (adaptive E-PGD attack)
+and Fig. 1 (transferability of attacks between precisions)."""
+
+from conftest import BENCH_BUDGET, run_once
+
+from repro.experiments import (
+    evaluate_adaptive_attack,
+    evaluate_strong_attacks,
+    format_table,
+    run_transferability_study,
+)
+
+
+def test_tab5_strong_attacks(benchmark):
+    rows = run_once(benchmark, lambda: evaluate_strong_attacks(
+        "cifar10", network="preact_resnet18", method="pgd",
+        budget=BENCH_BUDGET, epsilons=(16.0,)))
+    print("\nTab. 5 — stronger attacks on CIFAR-10 "
+          "(paper: RPS gains 6.9-9.1pp AutoAttack, 10.0-18.9pp CW-Inf, "
+          "5.0-24.5pp Bandits)")
+    print(format_table(rows))
+    # RPS should not collapse under any strong attack at the bench budget; the
+    # paper-scale gains are recorded in EXPERIMENTS.md.
+    gains = [row["improvement (pp)"] for row in rows]
+    assert len(gains) == 3
+    assert all(gain > -25.0 for gain in gains)
+
+
+def test_tab6_adaptive_epgd(benchmark):
+    rows = run_once(benchmark, lambda: evaluate_adaptive_attack(
+        "cifar10", network="preact_resnet18", budget=BENCH_BUDGET,
+        attack_steps=(10,)))
+    print("\nTab. 6 — adaptive E-PGD attack on CIFAR-10 "
+          "(paper: RPS keeps a >8.9pp advantage over PGD-7 training)")
+    print(format_table(rows))
+    assert rows[0]["PGD-7+RPS (%)"] > 0.0
+
+
+def test_fig1_transferability(benchmark):
+    panels = run_once(benchmark, lambda: run_transferability_study(
+        "cifar10", network="preact_resnet18", budget=BENCH_BUDGET,
+        panels=({"label": "(c)", "training": "pgd", "attack": "pgd",
+                 "rps": False},
+                {"label": "(d)", "training": "pgd", "attack": "pgd",
+                 "rps": True})))
+    print("\nFig. 1 — attack transferability between precisions "
+          "(paper: transferred attacks leave higher robust accuracy than "
+          "matched-precision attacks; RPS training widens the gap)")
+    print(format_table([p.as_dict() for p in panels]))
+    for panel in panels:
+        print(f"panel {panel.label} matrix (attack precision x inference precision):")
+        print(panel.result.matrix.round(3))
+    rps_panel = next(p for p in panels if p.rps_trained)
+    assert rps_panel.result.transfer_gap() > 0.0

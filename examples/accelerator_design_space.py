@@ -1,0 +1,79 @@
+"""Explore the accelerator side: MAC units, dataflow search and baselines.
+
+This example exercises the hardware half of the reproduction without any
+model training:
+
+1. compares the three MAC-unit designs at the unit level (Fig. 3 / Fig. 4);
+2. sweeps execution precision for Bit Fusion, Stripes and the 2-in-1 design
+   on a ResNet-50 workload (Figs. 2 / 10);
+3. runs the evolutionary dataflow optimizer (Alg. 2) on a single layer and
+   shows the mapping it found; and
+4. runs the micro-architecture search mode under an area budget.
+
+Run:  python examples/accelerator_design_space.py
+"""
+
+from repro.accelerator import (
+    COMPUTE_AREA_BUDGET,
+    SpatialTemporalMAC,
+    TwoInOneAccelerator,
+    network_layers,
+)
+from repro.accelerator.optimizer import (
+    EvolutionaryDataflowOptimizer,
+    MicroArchitectureSearch,
+    OptimizerConfig,
+)
+from repro.experiments import (
+    format_table,
+    mac_area_breakdown,
+    mac_cycle_counts,
+    mac_unit_comparison,
+    throughput_vs_precision,
+)
+
+
+def main() -> None:
+    print("== MAC-unit level (Figs. 3 and 4) ==")
+    print(format_table(mac_area_breakdown()))
+    print("cycles per 8-bit MAC:", mac_cycle_counts(8))
+    print("vs Bit Fusion at 8-bit:",
+          {k: round(v, 2) for k, v in mac_unit_comparison(8).items()})
+
+    print("\n== Throughput vs precision, ResNet-50/ImageNet (Figs. 2 / 10) ==")
+    rows = throughput_vs_precision(
+        network="resnet50", dataset="imagenet",
+        precisions=(2, 4, 6, 8, 12, 16),
+        optimizer_config=OptimizerConfig(population_size=10, total_cycles=2))
+    print(format_table(rows))
+
+    print("\n== Evolutionary dataflow search on one ResNet-50 layer (Alg. 2) ==")
+    accelerator = TwoInOneAccelerator(optimize_dataflow=False)
+    layer = network_layers("resnet50", "imagenet")[5]
+    optimizer = EvolutionaryDataflowOptimizer(
+        accelerator.model, OptimizerConfig(population_size=16, total_cycles=4))
+    dataflow, perf = optimizer.optimize_layer(layer, precision=4)
+    print(f"layer {layer.name}: {layer.macs / 1e6:.1f} MMACs")
+    print("best dataflow:", dataflow.describe())
+    print(f"cycles {perf.total_cycles:.3e}  energy {perf.total_energy:.3e}  "
+          f"memory bound: {perf.is_memory_bound}")
+
+    print("\n== Micro-architecture search under the shared area budget ==")
+    search = MicroArchitectureSearch(
+        mac_unit_factory=SpatialTemporalMAC,
+        area_budget=COMPUTE_AREA_BUDGET,
+        unit_counts=(512, 1024, 2048),
+        buffer_scales=(0.5, 1.0),
+        optimizer_config=OptimizerConfig(population_size=8, total_cycles=2))
+    candidates = search.search(network_layers("resnet18", "cifar10")[:4],
+                               precisions=(4, 8))
+    print(format_table([{
+        "num_units": c.num_units,
+        "buffer_scale": c.buffer_scale,
+        "compute_area": c.compute_area,
+        "avg_score (cycles*energy)": c.average_score,
+    } for c in candidates], float_format="{:.3e}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Reproduce Fig. 11: instant robustness-efficiency trade-offs at run time.
+
+Trains one RPS model, then sweeps its run-time operating points — the full
+precision set, restricted (lower-precision) sets, and a static lowest
+precision — and reports robust accuracy together with the average energy and
+throughput of serving each configuration on the 2-in-1 Accelerator.  No
+retraining happens between operating points; that is the point of the paper's
+Sec. 2.5.
+
+Run:  python examples/instant_tradeoff.py
+"""
+
+from repro.experiments import (
+    ExperimentBudget,
+    format_table,
+    run_tradeoff_experiment,
+    tradeoff_rows,
+)
+
+
+def main() -> None:
+    print("== Fig. 11: instant robustness-efficiency trade-off ==")
+    budget = ExperimentBudget.standard()
+    curve = run_tradeoff_experiment("cifar10", network="wide_resnet32",
+                                    budget=budget, caps=(None, 4))
+    print(format_table(tradeoff_rows(curve)))
+    print("\nmonotone robustness-for-efficiency trade:",
+          curve.is_monotone_tradeoff())
+    print("Each row is the SAME trained model — only the inference precision "
+          "set changes at run time.")
+
+
+if __name__ == "__main__":
+    main()

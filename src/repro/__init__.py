@@ -1,0 +1,31 @@
+"""Reproduction of "2-in-1 Accelerator: Enabling Random Precision Switch for
+Winning Both Adversarial Robustness and Efficiency" (MICRO 2021).
+
+Package layout
+--------------
+* :mod:`repro.nn`            — numpy autograd neural-network substrate
+* :mod:`repro.quantization`  — linear quantizer, precisions, quantised layers
+* :mod:`repro.models`        — the six evaluated network architectures
+* :mod:`repro.data`          — synthetic dataset substitutes (see DESIGN.md)
+* :mod:`repro.attacks`       — FGSM / PGD / CW / AutoAttack / Bandits / E-PGD
+* :mod:`repro.defense`       — natural + adversarial training baselines
+* :mod:`repro.core`          — the RPS algorithm, evaluation, trade-off, co-design
+* :mod:`repro.accelerator`   — MAC units, dataflows, optimizer, accelerators
+* :mod:`repro.experiments`   — harnesses regenerating every table and figure
+"""
+
+__version__ = "1.0.0"
+
+from . import accelerator, attacks, core, data, defense, models, nn, quantization
+
+__all__ = [
+    "__version__",
+    "nn",
+    "quantization",
+    "models",
+    "data",
+    "attacks",
+    "defense",
+    "core",
+    "accelerator",
+]

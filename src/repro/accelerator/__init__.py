@@ -1,0 +1,83 @@
+"""Precision-scalable accelerator modelling stack (Sec. 3 of the paper).
+
+Layering, from the bottom up:
+
+* :mod:`repro.accelerator.mac` — MAC-unit cost models (temporal, spatial,
+  the proposed spatial-temporal unit, and a fixed-point unit),
+* :mod:`repro.accelerator.memory` — the shared DRAM / global-buffer /
+  register-file hierarchy,
+* :mod:`repro.accelerator.workload` — layer shapes of the six evaluated
+  networks,
+* :mod:`repro.accelerator.dataflow` — tiling + loop-order dataflow
+  descriptions,
+* :mod:`repro.accelerator.performance_model` — the analytical
+  latency/energy predictor,
+* :mod:`repro.accelerator.optimizer` — the evolutionary dataflow /
+  micro-architecture search (Alg. 2),
+* :mod:`repro.accelerator.accelerators` — complete designs: Stripes,
+  Bit Fusion, DNNGuard and the 2-in-1 Accelerator.
+"""
+
+from .accelerators import (
+    Accelerator,
+    BitFusionAccelerator,
+    COMPUTE_AREA_BUDGET,
+    DNNGuardAccelerator,
+    StripesAccelerator,
+    TwoInOneAccelerator,
+)
+from .dataflow import DIMS, Dataflow, default_dataflow
+from .mac import (
+    AreaBreakdown,
+    FixedPointMAC,
+    MACUnitModel,
+    SpatialBitFusionMAC,
+    SpatialTemporalMAC,
+    TemporalBitSerialMAC,
+)
+from .memory import MemoryHierarchy, MemoryLevel, default_hierarchy
+from .optimizer import (
+    EvolutionaryDataflowOptimizer,
+    MicroArchitectureSearch,
+    OptimizerConfig,
+)
+from .performance_model import (
+    ArrayConfig,
+    InvalidMappingError,
+    LayerPerformance,
+    NetworkPerformance,
+    PerformanceModel,
+)
+from .workload import LayerShape, available_workloads, network_layers
+
+__all__ = [
+    "MACUnitModel",
+    "AreaBreakdown",
+    "TemporalBitSerialMAC",
+    "SpatialBitFusionMAC",
+    "SpatialTemporalMAC",
+    "FixedPointMAC",
+    "MemoryLevel",
+    "MemoryHierarchy",
+    "default_hierarchy",
+    "LayerShape",
+    "network_layers",
+    "available_workloads",
+    "DIMS",
+    "Dataflow",
+    "default_dataflow",
+    "ArrayConfig",
+    "PerformanceModel",
+    "LayerPerformance",
+    "NetworkPerformance",
+    "InvalidMappingError",
+    "OptimizerConfig",
+    "EvolutionaryDataflowOptimizer",
+    "MicroArchitectureSearch",
+    "Accelerator",
+    "COMPUTE_AREA_BUDGET",
+    "BitFusionAccelerator",
+    "StripesAccelerator",
+    "TwoInOneAccelerator",
+    "DNNGuardAccelerator",
+]

@@ -1,0 +1,16 @@
+"""Accelerator front-ends: the proposed design and the paper's baselines."""
+
+from .base import COMPUTE_AREA_BUDGET, Accelerator
+from .bitfusion import BitFusionAccelerator
+from .dnnguard import DNNGuardAccelerator
+from .stripes import StripesAccelerator
+from .two_in_one import TwoInOneAccelerator
+
+__all__ = [
+    "Accelerator",
+    "COMPUTE_AREA_BUDGET",
+    "BitFusionAccelerator",
+    "StripesAccelerator",
+    "TwoInOneAccelerator",
+    "DNNGuardAccelerator",
+]

@@ -1,0 +1,158 @@
+"""Accelerator front-ends: MAC array + memory hierarchy + dataflow policy.
+
+All compared designs share the same compute-area and memory budget
+(Sec. 4.1.2: "we adopt the same memory area and MAC array area with Bit
+Fusion"), so a design's MAC-unit area determines how many units its array
+holds.  Each accelerator evaluates a network either with an untuned default
+dataflow or with the evolutionary optimizer (the 2-in-1 Accelerator always
+uses the optimizer — it is part of the proposed co-design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ...quantization.precision import Precision
+from ..dataflow import Dataflow, default_dataflow
+from ..mac.base import MACUnitModel, resolve_precision
+from ..memory import MemoryHierarchy, default_hierarchy
+from ..optimizer.evolutionary import EvolutionaryDataflowOptimizer, OptimizerConfig
+from ..performance_model import (
+    ArrayConfig,
+    InvalidMappingError,
+    LayerPerformance,
+    NetworkPerformance,
+    PerformanceModel,
+)
+from ..workload import LayerShape
+
+__all__ = ["COMPUTE_AREA_BUDGET", "Accelerator"]
+
+#: Shared MAC-array silicon budget (arbitrary area units).  Chosen so the
+#: Bit Fusion baseline instantiates a 256-unit fusion array, matching the
+#: scale of its published configuration; every other design fits as many of
+#: its own units as the same budget allows.
+COMPUTE_AREA_BUDGET = 256 * 920.0
+
+
+class Accelerator:
+    """A complete accelerator: MAC array, memory hierarchy, dataflow policy."""
+
+    name = "accelerator"
+
+    def __init__(self, mac_unit: MACUnitModel,
+                 memory: Optional[MemoryHierarchy] = None,
+                 area_budget: float = COMPUTE_AREA_BUDGET,
+                 frequency_hz: float = 500e6,
+                 optimize_dataflow: bool = False,
+                 optimizer_config: Optional[OptimizerConfig] = None,
+                 compute_derating: float = 1.0,
+                 usable_area_fraction: float = 1.0) -> None:
+        self.mac_unit = mac_unit
+        self.memory = memory or default_hierarchy()
+        self.area_budget = area_budget
+        usable_area = area_budget * usable_area_fraction
+        self.num_units = max(1, int(usable_area // mac_unit.area))
+        self.array = ArrayConfig(mac_unit=mac_unit, num_units=self.num_units,
+                                 frequency_hz=frequency_hz)
+        self.model = PerformanceModel(self.array, self.memory)
+        self.optimize_dataflow = optimize_dataflow
+        self.optimizer_config = optimizer_config or OptimizerConfig(
+            population_size=16, total_cycles=4)
+        #: Multiplier (> 1 slows the design) capturing orchestration overheads
+        #: of designs that co-schedule extra engines (e.g. DNNGuard).
+        self.compute_derating = compute_derating
+        self._dataflow_cache: Dict[Tuple, Dataflow] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def compute_area(self) -> float:
+        return self.area_budget
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "mac_unit": self.mac_unit.name,
+            "num_units": self.num_units,
+            "compute_area": self.compute_area,
+            "optimize_dataflow": self.optimize_dataflow,
+        }
+
+    # ------------------------------------------------------------------
+    # Dataflow selection
+    # ------------------------------------------------------------------
+    def _layer_key(self, layer: LayerShape, precision: Precision) -> Tuple:
+        return (layer.name, layer.macs, precision.key)
+
+    def dataflow_for(self, layer: LayerShape,
+                     precision: Union[int, Precision]) -> Dataflow:
+        """Pick (and cache) the dataflow used for a layer at a precision."""
+        precision = resolve_precision(precision)
+        key = self._layer_key(layer, precision)
+        if key in self._dataflow_cache:
+            return self._dataflow_cache[key]
+        if self.optimize_dataflow:
+            optimizer = EvolutionaryDataflowOptimizer(self.model,
+                                                      self.optimizer_config)
+            dataflow, _ = optimizer.optimize_layer(layer, precision)
+        else:
+            dataflow = default_dataflow(layer, self.num_units)
+            if not self.model.is_valid(layer, dataflow, precision):
+                # Fall back to a conservative mapping searched with a tiny budget.
+                optimizer = EvolutionaryDataflowOptimizer(
+                    self.model, OptimizerConfig(population_size=8, total_cycles=2))
+                dataflow, _ = optimizer.optimize_layer(layer, precision)
+        self._dataflow_cache[key] = dataflow
+        return dataflow
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def extra_layers(self, layers: Sequence[LayerShape]) -> List[LayerShape]:
+        """Additional work the design must execute (e.g. a detection network)."""
+        return []
+
+    def evaluate_layer(self, layer: LayerShape,
+                       precision: Union[int, Precision]) -> LayerPerformance:
+        precision = resolve_precision(precision)
+        dataflow = self.dataflow_for(layer, precision)
+        perf = self.model.evaluate(layer, dataflow, precision)
+        if self.compute_derating != 1.0:
+            perf.compute_cycles *= self.compute_derating
+            perf.memory_cycles = {k: v * self.compute_derating
+                                  for k, v in perf.memory_cycles.items()}
+        return perf
+
+    def evaluate_network(self, layers: Sequence[LayerShape],
+                         precision: Union[int, Precision]) -> NetworkPerformance:
+        all_layers = list(layers) + self.extra_layers(layers)
+        results = [self.evaluate_layer(layer, precision) for layer in all_layers]
+        return NetworkPerformance(layers=results,
+                                  frequency_hz=self.array.frequency_hz)
+
+    # ------------------------------------------------------------------
+    # Headline metrics
+    # ------------------------------------------------------------------
+    def throughput_fps(self, layers: Sequence[LayerShape],
+                       precision: Union[int, Precision]) -> float:
+        return self.evaluate_network(layers, precision).throughput_fps
+
+    def energy_per_inference(self, layers: Sequence[LayerShape],
+                             precision: Union[int, Precision]) -> float:
+        return self.evaluate_network(layers, precision).total_energy
+
+    def energy_efficiency(self, layers: Sequence[LayerShape],
+                          precision: Union[int, Precision]) -> float:
+        return self.evaluate_network(layers, precision).energy_efficiency
+
+    def throughput_per_area(self, layers: Sequence[LayerShape],
+                            precision: Union[int, Precision]) -> float:
+        return self.throughput_fps(layers, precision) / self.compute_area
+
+    def average_throughput_fps(self, layers: Sequence[LayerShape],
+                               precisions: Sequence[Union[int, Precision]]) -> float:
+        """Average FPS across an RPS precision set (used for Fig. 11 and the
+        DNNGuard comparison, which quote 4~8-bit / 4~16-bit averages)."""
+        values = [self.throughput_fps(layers, precision) for precision in precisions]
+        return float(sum(values) / len(values)) if values else 0.0

@@ -1,0 +1,30 @@
+"""Bit Fusion baseline: spatial bit-brick accelerator (Sharma et al., ISCA 2018)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mac.spatial import SpatialBitFusionMAC
+from ..memory import MemoryHierarchy
+from .base import COMPUTE_AREA_BUDGET, Accelerator
+
+__all__ = ["BitFusionAccelerator"]
+
+
+class BitFusionAccelerator(Accelerator):
+    """Spatial design composed of fusion units (16 bit-bricks each).
+
+    Bit Fusion's published tooling only optimizes the loop order of the global
+    buffer (Sec. 3.1.3), which the paper points out as a limitation; this
+    model therefore evaluates it with the fixed default dataflow rather than
+    the full evolutionary search.
+    """
+
+    name = "BitFusion"
+
+    def __init__(self, memory: Optional[MemoryHierarchy] = None,
+                 area_budget: float = COMPUTE_AREA_BUDGET,
+                 optimize_dataflow: bool = False) -> None:
+        super().__init__(SpatialBitFusionMAC(), memory=memory,
+                         area_budget=area_budget,
+                         optimize_dataflow=optimize_dataflow)

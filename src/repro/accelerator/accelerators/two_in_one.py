@@ -1,0 +1,53 @@
+"""The proposed 2-in-1 Accelerator (Sec. 3.2): spatial-temporal MAC array plus
+the systematically optimized dataflow found by the evolutionary optimizer."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ...quantization.precision import Precision, PrecisionSet
+from ..mac.spatial_temporal import SpatialTemporalMAC
+from ..memory import MemoryHierarchy
+from ..optimizer.evolutionary import OptimizerConfig
+from ..workload import LayerShape
+from .base import COMPUTE_AREA_BUDGET, Accelerator
+
+__all__ = ["TwoInOneAccelerator"]
+
+
+class TwoInOneAccelerator(Accelerator):
+    """Spatial-temporal MAC array + evolutionary dataflow optimization."""
+
+    name = "2-in-1"
+
+    def __init__(self, memory: Optional[MemoryHierarchy] = None,
+                 area_budget: float = COMPUTE_AREA_BUDGET,
+                 optimize_dataflow: bool = True,
+                 optimizer_config: Optional[OptimizerConfig] = None) -> None:
+        super().__init__(SpatialTemporalMAC(), memory=memory,
+                         area_budget=area_budget,
+                         optimize_dataflow=optimize_dataflow,
+                         optimizer_config=optimizer_config)
+
+    # ------------------------------------------------------------------
+    def rps_average_metrics(self, layers: Sequence[LayerShape],
+                            precision_set: PrecisionSet) -> dict:
+        """Average throughput / energy over an RPS inference precision set.
+
+        This is the quantity the instant robustness-efficiency trade-off of
+        Sec. 2.5 / Fig. 11 reports: under uniform random precision switching,
+        the expected per-inference cost is the mean over the candidate set.
+        """
+        fps = []
+        energy = []
+        for precision in precision_set:
+            perf = self.evaluate_network(layers, precision)
+            fps.append(perf.throughput_fps)
+            energy.append(perf.total_energy)
+        count = len(fps)
+        return {
+            "average_fps": sum(fps) / count,
+            "average_energy": sum(energy) / count,
+            "average_energy_efficiency": count / sum(energy),
+            "precisions": [p.key for p in precision_set],
+        }

@@ -1,0 +1,207 @@
+"""Dataflow representation: per-level loop orders and tiling factors.
+
+Following the Eyeriss taxonomy the paper builds on (Sec. 3.1.3), a dataflow
+is described by how each of the seven convolution dimensions
+
+    N (batch), K (output channels), C (input channels),
+    Y, X (output feature map), R, S (kernel)
+
+is tiled across the storage hierarchy and in which order the temporal loops
+at each level iterate.  Four levels are modelled:
+
+* ``DRAM``          — outer temporal loops (tiles streamed from off-chip),
+* ``GlobalBuffer``  — temporal loops over tiles held in the on-chip SRAM,
+* ``Spatial``       — dimensions unrolled across the MAC array (the NoC level
+  of Eyeriss; these factors consume MAC units, not cycles),
+* ``RegisterFile``  — innermost temporal loops over data held next to a unit.
+
+The product of a dimension's factors across all levels must cover the layer
+dimension (rounding up models padding / under-utilisation).  Loop order
+matters at the two temporal buffer levels (DRAM, GlobalBuffer) where it
+determines which tensor stays resident while others stream (see
+:mod:`repro.accelerator.performance_model`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .workload import LayerShape
+
+__all__ = ["DIMS", "LEVELS", "TEMPORAL_LEVELS", "Dataflow", "default_dataflow"]
+
+DIMS: Sequence[str] = ("N", "K", "C", "Y", "X", "R", "S")
+LEVELS: Sequence[str] = ("DRAM", "GlobalBuffer", "Spatial", "RegisterFile")
+TEMPORAL_LEVELS: Sequence[str] = ("DRAM", "GlobalBuffer")
+
+#: Which dimensions index each operand tensor (used for reuse analysis).
+TENSOR_DIMS: Dict[str, frozenset] = {
+    "weights": frozenset({"K", "C", "R", "S"}),
+    "inputs": frozenset({"N", "C", "Y", "X", "R", "S"}),
+    "outputs": frozenset({"N", "K", "Y", "X"}),
+}
+
+
+@dataclass
+class Dataflow:
+    """Tiling factors per level plus loop orders for the temporal levels."""
+
+    tiling: Dict[str, Dict[str, int]]
+    loop_order: Dict[str, List[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for level in LEVELS:
+            self.tiling.setdefault(level, {})
+            for dim in DIMS:
+                factor = int(self.tiling[level].get(dim, 1))
+                if factor < 1:
+                    raise ValueError(f"tiling factor for {dim} at {level} must be >= 1")
+                self.tiling[level][dim] = factor
+        for level in TEMPORAL_LEVELS:
+            order = self.loop_order.get(level) or list(DIMS)
+            if sorted(order) != sorted(DIMS):
+                raise ValueError(f"loop order at {level} must be a permutation of {DIMS}")
+            self.loop_order[level] = list(order)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def factor(self, level: str, dim: str) -> int:
+        return self.tiling[level][dim]
+
+    def total_factor(self, dim: str) -> int:
+        product = 1
+        for level in LEVELS:
+            product *= self.tiling[level][dim]
+        return product
+
+    def inner_tile(self, dim: str, level: str) -> int:
+        """Product of factors at ``level`` and all levels inner to it."""
+        index = LEVELS.index(level)
+        product = 1
+        for inner_level in LEVELS[index:]:
+            product *= self.tiling[inner_level][dim]
+        return product
+
+    def spatial_units(self) -> int:
+        """Number of MAC units consumed by the spatial unrolling."""
+        product = 1
+        for dim in DIMS:
+            product *= self.tiling["Spatial"][dim]
+        return product
+
+    # ------------------------------------------------------------------
+    # Validation against a layer
+    # ------------------------------------------------------------------
+    def covers(self, layer: LayerShape) -> bool:
+        dims = layer.dims()
+        return all(self.total_factor(dim) >= dims[dim] for dim in DIMS)
+
+    def padded_dims(self, layer: LayerShape) -> Dict[str, int]:
+        """Layer dimensions rounded up to the mapped iteration space."""
+        dims = layer.dims()
+        return {dim: max(self.total_factor(dim), dims[dim]) for dim in DIMS}
+
+    def utilization_loss(self, layer: LayerShape) -> float:
+        """Fraction of mapped iterations that are padding (wasted work)."""
+        dims = layer.dims()
+        real = 1
+        padded = 1
+        for dim in DIMS:
+            real *= dims[dim]
+            padded *= max(self.total_factor(dim), dims[dim])
+        return 1.0 - real / padded
+
+    # ------------------------------------------------------------------
+    # Tile footprints (bits) for capacity checks and traffic accounting
+    # ------------------------------------------------------------------
+    def tile_elements(self, tensor: str, level: str) -> int:
+        """Elements of ``tensor`` covered by one tile at ``level`` (inclusive)."""
+        relevant = TENSOR_DIMS[tensor]
+        product = 1
+        for dim in DIMS:
+            if dim in relevant:
+                product *= self.inner_tile(dim, level)
+        return product
+
+    def footprint_bits(self, level: str, weight_bits: int, act_bits: int,
+                       partial_sum_bits: int = 32) -> float:
+        """Storage needed at ``level`` for one tile of every operand."""
+        return (self.tile_elements("weights", level) * weight_bits
+                + self.tile_elements("inputs", level) * act_bits
+                + self.tile_elements("outputs", level) * partial_sum_bits)
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "Dataflow":
+        return Dataflow(tiling={lvl: dict(factors) for lvl, factors in self.tiling.items()},
+                        loop_order={lvl: list(order) for lvl, order in self.loop_order.items()})
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (used by the optimizer logs)."""
+        parts = []
+        for level in LEVELS:
+            factors = {d: f for d, f in self.tiling[level].items() if f > 1}
+            parts.append(f"{level}:{factors if factors else '{}'}")
+        return " | ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Default (untuned) dataflow
+# ---------------------------------------------------------------------------
+
+def _split_factor(total: int, inner_budget: int) -> int:
+    """Largest factor <= inner_budget used at the inner level for ``total``."""
+    return max(1, min(total, inner_budget))
+
+
+def default_dataflow(layer: LayerShape, num_units: int,
+                     rf_tile: int = 4, spatial_cap: int = 1024) -> Dataflow:
+    """A reasonable output-stationary default mapping.
+
+    Spatially unrolls output channels (K) and input channels (C) across the
+    MAC array (up to ``spatial_cap`` units — a fixed NoC mapping of the kind
+    the paper attributes to prior precision-scalable accelerators), keeps
+    kernel loops plus a small output-row tile in the register file, and
+    streams the remaining iterations from the global buffer / DRAM with an
+    output-stationary loop order.  This is the baseline that the evolutionary
+    optimizer improves on.
+    """
+    dims = layer.dims()
+
+    budget = min(num_units, spatial_cap)
+    spatial_k = _split_factor(dims["K"], min(32, budget))
+    spatial_c = _split_factor(dims["C"], max(1, budget // spatial_k))
+
+    rf = {"R": dims["R"], "S": dims["S"], "X": _split_factor(dims["X"], rf_tile)}
+
+    def remaining(dim: str, *used: int) -> int:
+        product = 1
+        for factor in used:
+            product *= factor
+        return math.ceil(dims[dim] / product)
+
+    gb = {
+        "K": remaining("K", spatial_k),
+        "C": remaining("C", spatial_c),
+        "Y": _split_factor(dims["Y"], 8),
+        "X": remaining("X", rf["X"]),
+        "N": dims["N"],
+    }
+    dram = {
+        "Y": remaining("Y", gb["Y"]),
+    }
+
+    tiling = {
+        "DRAM": dram,
+        "GlobalBuffer": gb,
+        "Spatial": {"K": spatial_k, "C": spatial_c},
+        "RegisterFile": rf,
+    }
+    loop_order = {
+        # Output-stationary-ish: channels stream while outputs stay resident.
+        "DRAM": ["N", "K", "Y", "X", "C", "R", "S"],
+        "GlobalBuffer": ["N", "Y", "X", "K", "C", "R", "S"],
+    }
+    return Dataflow(tiling=tiling, loop_order=loop_order)

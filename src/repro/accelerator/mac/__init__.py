@@ -1,0 +1,17 @@
+"""MAC-unit cost models for temporal, spatial and spatial-temporal designs."""
+
+from .base import AreaBreakdown, MACUnitModel, resolve_precision
+from .fixed import FixedPointMAC
+from .spatial import SpatialBitFusionMAC
+from .spatial_temporal import SpatialTemporalMAC
+from .temporal import TemporalBitSerialMAC
+
+__all__ = [
+    "MACUnitModel",
+    "AreaBreakdown",
+    "resolve_precision",
+    "TemporalBitSerialMAC",
+    "SpatialBitFusionMAC",
+    "SpatialTemporalMAC",
+    "FixedPointMAC",
+]

@@ -1,0 +1,104 @@
+"""Abstract interface shared by all precision-scalable MAC-unit models.
+
+A *MAC unit* here is the composable block the paper compares in Sec. 3.1/3.2:
+Stripes' 16-bit bit-serial unit (temporal), Bit Fusion's fusion unit of 16
+bit-bricks (spatial), and the proposed spatial-temporal unit built from four
+4-bit bit-serial units sharing a group shift-add.  Each model exposes
+
+* ``macs_per_cycle(precision)`` — steady-state multiply-accumulates the unit
+  completes per cycle at the given execution precision,
+* ``area`` and ``area_breakdown`` — silicon cost split into multiplier,
+  shift-add and register portions (Fig. 3), and
+* ``energy_per_mac(precision)`` — energy of one multiply-accumulate.
+
+Absolute numbers are in calibrated arbitrary units (the paper's numbers come
+from a commercial 28 nm synthesis flow we cannot run); all evaluation figures
+use ratios, which are the quantities the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from ...quantization.precision import Precision
+
+__all__ = ["MACUnitModel", "resolve_precision"]
+
+
+def resolve_precision(precision: Union[int, Precision]) -> Precision:
+    """Accept either a bare bit-width or a :class:`Precision`."""
+    if isinstance(precision, Precision):
+        if precision.is_full_precision:
+            raise ValueError("accelerator models require a fixed-point precision")
+        return precision
+    return Precision(int(precision))
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Area split of a MAC unit (arbitrary units)."""
+
+    multiplier: float
+    shift_add: float
+    register: float
+
+    @property
+    def total(self) -> float:
+        return self.multiplier + self.shift_add + self.register
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total
+        return {
+            "multiplier": self.multiplier / total,
+            "shift_add": self.shift_add / total,
+            "register": self.register / total,
+        }
+
+
+class MACUnitModel:
+    """Base class; concrete designs override the scheduling methods."""
+
+    name = "mac-unit"
+    #: Highest weight/activation precision the unit natively supports before
+    #: falling back to temporal re-execution of the whole unit.
+    max_native_bits = 8
+
+    def __init__(self, breakdown: AreaBreakdown) -> None:
+        self._breakdown = breakdown
+
+    # ------------------------------------------------------------------
+    @property
+    def area(self) -> float:
+        """Total unit area (arbitrary units, calibrated across designs)."""
+        return self._breakdown.total
+
+    @property
+    def area_breakdown(self) -> AreaBreakdown:
+        return self._breakdown
+
+    # ------------------------------------------------------------------
+    def cycles_per_mac(self, precision: Union[int, Precision]) -> float:
+        """Average cycles the unit needs to complete ONE multiply-accumulate."""
+        return 1.0 / self.macs_per_cycle(precision)
+
+    def macs_per_cycle(self, precision: Union[int, Precision]) -> float:
+        raise NotImplementedError
+
+    def energy_per_mac(self, precision: Union[int, Precision]) -> float:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def throughput_per_area(self, precision: Union[int, Precision]) -> float:
+        """MACs per cycle per unit area — the paper's headline MAC metric."""
+        return self.macs_per_cycle(precision) / self.area
+
+    def energy_efficiency_per_op(self, precision: Union[int, Precision]) -> float:
+        """Operations per unit energy (higher is better)."""
+        return 1.0 / self.energy_per_mac(precision)
+
+    def supported_precisions(self) -> range:
+        return range(1, 17)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{self.__class__.__name__}(area={self.area:.1f})"

@@ -1,0 +1,38 @@
+"""Conventional fixed-point MAC unit (no precision scalability).
+
+Used to model the compute fabric of DNNGuard-style robustness-aware
+accelerators: a standard 16-bit multiply-accumulate datapath that completes
+one MAC per cycle at any precision and therefore gains nothing from executing
+quantised networks at lower bit-widths.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ...quantization.precision import Precision
+from .base import AreaBreakdown, MACUnitModel, resolve_precision
+
+__all__ = ["FixedPointMAC"]
+
+#: A 16-bit parallel multiplier plus accumulator; no composition network.
+_FIXED_AREA = AreaBreakdown(multiplier=200.0, shift_add=20.0, register=30.0)
+_ENERGY_PER_MAC = 260.0     # full 16x16 multiply + 32-bit accumulate
+
+
+class FixedPointMAC(MACUnitModel):
+    """Standard (precision-oblivious) 16-bit MAC unit."""
+
+    name = "fixed-point-16"
+    max_native_bits = 16
+
+    def __init__(self) -> None:
+        super().__init__(_FIXED_AREA)
+
+    def macs_per_cycle(self, precision: Union[int, Precision]) -> float:
+        resolve_precision(precision)   # validation only
+        return 1.0
+
+    def energy_per_mac(self, precision: Union[int, Precision]) -> float:
+        resolve_precision(precision)
+        return _ENERGY_PER_MAC

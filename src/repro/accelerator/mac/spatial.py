@@ -1,0 +1,74 @@
+"""Spatial MAC unit — the Bit Fusion fusion-unit model (Sec. 3.1.1).
+
+A fusion unit contains sixteen 2-bit x 2-bit multipliers ("bit bricks") plus
+the combinational shift-add network that composes them into wider products.
+At 2-bit it completes 16 independent MACs per cycle; at 4-bit, 4; at 8-bit, 1;
+above 8-bit it must re-execute the whole unit four times (Sec. 3.1.1's
+explanation for Bit Fusion's poor 16-bit throughput).  Precisions that are not
+powers of two are rounded up to the next supported one (2/4/8/16), modelling
+the under-utilisation the paper points out for unsupported precisions.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ...quantization.precision import Precision
+from .base import AreaBreakdown, MACUnitModel, resolve_precision
+
+__all__ = ["SpatialBitFusionMAC"]
+
+#: Area calibrated to Fig. 3 (26.5 / 67.0 / 6.5 percent) and to the MAC-level
+#: throughput/area ratio of 2.3x reported for the proposed unit at 8-bit.
+_SPATIAL_AREA = AreaBreakdown(multiplier=243.8, shift_add=616.4, register=59.8)
+
+_NUM_BRICKS = 16
+_ENERGY_PER_BIT_OP = 1.28          # parallel multiplier bit-op energy
+_FUSION_NETWORK_ENERGY = 308.0     # shift-add network, ~79% of unit power
+
+
+def _supported_bits(bits: int) -> int:
+    """Round an arbitrary precision up to Bit Fusion's supported set."""
+    for candidate in (2, 4, 8, 16):
+        if bits <= candidate:
+            return candidate
+    return 16
+
+
+class SpatialBitFusionMAC(MACUnitModel):
+    """Bit Fusion style fusion unit (16 bit-bricks + fusion network)."""
+
+    name = "spatial-bit-fusion"
+    max_native_bits = 8
+
+    def __init__(self) -> None:
+        super().__init__(_SPATIAL_AREA)
+
+    # ------------------------------------------------------------------
+    def _parallel_products(self, bits: int) -> float:
+        """MACs completed per cycle for a supported precision <= 8."""
+        bricks_per_product = (max(bits, 2) // 2) ** 2
+        return _NUM_BRICKS / bricks_per_product
+
+    def macs_per_cycle(self, precision: Union[int, Precision]) -> float:
+        precision = resolve_precision(precision)
+        bits = _supported_bits(max(int(precision.weight_bits),
+                                   int(precision.act_bits)))
+        if bits <= 8:
+            return self._parallel_products(bits)
+        # >8-bit: the unit is executed four times per product.
+        return 1.0 / 4.0
+
+    def energy_per_mac(self, precision: Union[int, Precision]) -> float:
+        precision = resolve_precision(precision)
+        bits = _supported_bits(max(int(precision.weight_bits),
+                                   int(precision.act_bits)))
+        if bits <= 8:
+            products_per_cycle = self._parallel_products(bits)
+            bricks_per_product = _NUM_BRICKS / products_per_cycle
+            bit_ops = bricks_per_product * 4              # each brick: 2x2 bits
+            return (bit_ops * _ENERGY_PER_BIT_OP
+                    + _FUSION_NETWORK_ENERGY / products_per_cycle)
+        # 16-bit: four full-unit passes plus wide accumulation.
+        eight_bit = (self.energy_per_mac(Precision(8)))
+        return 4.0 * eight_bit + 0.1 * _FUSION_NETWORK_ENERGY

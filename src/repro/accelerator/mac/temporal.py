@@ -1,0 +1,53 @@
+"""Temporal (bit-serial) MAC unit — the Stripes-style design (Sec. 3.1.1).
+
+A temporal unit multiplies a full-width weight by the activation one bit per
+cycle and accumulates shifted partial products, so an ``a``-bit activation
+costs ``a`` cycles regardless of the weight width.  Its shifter and
+accumulator must be sized for the *highest* supported precision (16-bit
+here), which is why the shift-add logic dominates its area (Fig. 3, left) and
+why its efficiency per area lags spatial designs at low precision.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ...quantization.precision import Precision
+from .base import AreaBreakdown, MACUnitModel, resolve_precision
+
+__all__ = ["TemporalBitSerialMAC"]
+
+#: Area calibrated against the paper's Fig. 3 percentages (9.4 / 60.9 / 29.7)
+#: and the relative throughput/area of the proposed design (Sec. 4.3.1).
+_TEMPORAL_AREA = AreaBreakdown(multiplier=11.3, shift_add=73.1, register=35.6)
+
+#: Energy constants (arbitrary units): a bit-serial cycle always activates the
+#: full 16-bit wide datapath plus the wide shift-accumulator.
+_ENERGY_PER_BIT_OP = 1.0
+_DATAPATH_WIDTH_BITS = 16
+_SHIFT_ACCUMULATE_PER_CYCLE = 12.0
+
+
+class TemporalBitSerialMAC(MACUnitModel):
+    """Bit-serial MAC unit supporting 1-16 bit operands."""
+
+    name = "temporal-bit-serial"
+    max_native_bits = 16
+
+    def __init__(self) -> None:
+        super().__init__(_TEMPORAL_AREA)
+
+    def macs_per_cycle(self, precision: Union[int, Precision]) -> float:
+        precision = resolve_precision(precision)
+        cycles = max(int(precision.act_bits), 1)
+        return 1.0 / cycles
+
+    def energy_per_mac(self, precision: Union[int, Precision]) -> float:
+        precision = resolve_precision(precision)
+        cycles = max(int(precision.act_bits), 1)
+        # The weight-side datapath is built for 16-bit operands and toggles at
+        # that width every cycle, independent of the executed precision: this
+        # is the temporal design's low-precision inefficiency.
+        per_cycle = (_DATAPATH_WIDTH_BITS * _ENERGY_PER_BIT_OP
+                     + _SHIFT_ACCUMULATE_PER_CYCLE)
+        return cycles * per_cycle

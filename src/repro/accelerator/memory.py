@@ -1,0 +1,102 @@
+"""Memory hierarchy model: DRAM, global buffer, and register files.
+
+The paper's accelerators share the same memory hierarchy and memory/MAC-array
+area so that the comparison isolates the MAC unit and dataflow (Sec. 4.1.2).
+The energy-per-access constants follow the well-known relative costs used by
+Eyeriss-style analyses: a DRAM access is roughly two orders of magnitude more
+expensive than a register-file access, with the on-chip SRAM in between.
+Capacities and bandwidths are configurable so the micro-architecture search
+mode of the optimizer can explore them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["MemoryLevel", "MemoryHierarchy", "default_hierarchy"]
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the storage hierarchy."""
+
+    name: str
+    capacity_bits: float          # storage capacity (inf for DRAM)
+    bandwidth_bits_per_cycle: float
+    energy_per_bit: float         # pJ-scale arbitrary units, relative across levels
+
+    def access_energy(self, bits: float) -> float:
+        return bits * self.energy_per_bit
+
+    def transfer_cycles(self, bits: float) -> float:
+        if self.bandwidth_bits_per_cycle <= 0:
+            raise ValueError(f"level {self.name} has non-positive bandwidth")
+        return bits / self.bandwidth_bits_per_cycle
+
+
+@dataclass
+class MemoryHierarchy:
+    """Ordered storage levels, outermost (DRAM) first, innermost (RF) last."""
+
+    levels: List[MemoryLevel] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.levels) < 2:
+            raise ValueError("a memory hierarchy needs at least DRAM and one buffer")
+
+    # ------------------------------------------------------------------
+    @property
+    def dram(self) -> MemoryLevel:
+        return self.levels[0]
+
+    @property
+    def global_buffer(self) -> MemoryLevel:
+        return self.levels[1]
+
+    @property
+    def register_file(self) -> MemoryLevel:
+        return self.levels[-1]
+
+    def level_names(self) -> List[str]:
+        return [level.name for level in self.levels]
+
+    def by_name(self, name: str) -> MemoryLevel:
+        for level in self.levels:
+            if level.name == name:
+                return level
+        raise KeyError(f"no memory level named {name!r}")
+
+    def scaled(self, buffer_scale: float = 1.0,
+               bandwidth_scale: float = 1.0) -> "MemoryHierarchy":
+        """Return a copy with on-chip capacities/bandwidths scaled.
+
+        Used by the micro-architecture search mode of the optimizer to explore
+        different buffer sizings under an area budget.
+        """
+        scaled_levels = [self.levels[0]]
+        for level in self.levels[1:]:
+            scaled_levels.append(MemoryLevel(
+                name=level.name,
+                capacity_bits=level.capacity_bits * buffer_scale,
+                bandwidth_bits_per_cycle=level.bandwidth_bits_per_cycle * bandwidth_scale,
+                energy_per_bit=level.energy_per_bit,
+            ))
+        return MemoryHierarchy(scaled_levels)
+
+
+def default_hierarchy() -> MemoryHierarchy:
+    """The shared baseline hierarchy (matched across all compared designs).
+
+    Sizes follow the Bit Fusion configuration the paper adopts for all
+    designs: a DRAM interface, a multi-banked global SRAM buffer, and
+    per-unit register files.
+    """
+    return MemoryHierarchy([
+        MemoryLevel("DRAM", capacity_bits=float("inf"),
+                    bandwidth_bits_per_cycle=256.0, energy_per_bit=64.0),
+        MemoryLevel("GlobalBuffer", capacity_bits=16e6,     # ~2 MB
+                    bandwidth_bits_per_cycle=2048.0, energy_per_bit=2.0),
+        MemoryLevel("RegisterFile", capacity_bits=64e3,
+                    bandwidth_bits_per_cycle=16384.0, energy_per_bit=0.15),
+    ])

@@ -1,0 +1,25 @@
+"""Automated accelerator optimizer (Sec. 3.3): dataflow and micro-architecture search."""
+
+from .evolutionary import (
+    EvolutionaryDataflowOptimizer,
+    MicroArchCandidate,
+    MicroArchitectureSearch,
+    OptimizerConfig,
+)
+from .search_space import (
+    crossover_dataflows,
+    mutate_dataflow,
+    normalize_coverage,
+    random_dataflow,
+)
+
+__all__ = [
+    "OptimizerConfig",
+    "EvolutionaryDataflowOptimizer",
+    "MicroArchitectureSearch",
+    "MicroArchCandidate",
+    "random_dataflow",
+    "mutate_dataflow",
+    "crossover_dataflows",
+    "normalize_coverage",
+]

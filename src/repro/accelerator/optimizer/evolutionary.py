@@ -1,0 +1,204 @@
+"""Evolutionary dataflow / micro-architecture optimizer (Alg. 2).
+
+Mode 1 (``EvolutionaryDataflowOptimizer``) searches loop orders and tiling
+factors for a fixed micro-architecture, exactly as Alg. 2 describes: a random
+initial population, per-cycle selection of the top 30 % by predicted
+efficiency, then crossover and mutation until the population is refilled.
+
+Mode 2 (``MicroArchitectureSearch``) wraps mode 1: it explores a predefined
+design space of MAC-array sizes and buffer scalings under an area budget and
+scores each candidate by its average (dataflow-optimized) efficiency across
+the precisions of interest, mirroring Sec. 3.3's second search mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ...quantization.precision import Precision
+from ..dataflow import Dataflow, default_dataflow
+from ..memory import MemoryHierarchy, default_hierarchy
+from ..performance_model import (
+    ArrayConfig,
+    InvalidMappingError,
+    LayerPerformance,
+    PerformanceModel,
+)
+from ..workload import LayerShape
+from .search_space import crossover_dataflows, mutate_dataflow, random_dataflow
+
+__all__ = ["OptimizerConfig", "EvolutionaryDataflowOptimizer",
+           "MicroArchitectureSearch", "MicroArchCandidate"]
+
+
+@dataclass
+class OptimizerConfig:
+    """Hyper-parameters of the evolutionary search (Alg. 2 inputs)."""
+
+    population_size: int = 24
+    total_cycles: int = 8
+    survivor_fraction: float = 0.3
+    objective: str = "edp"         # "edp", "latency" or "energy"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("edp", "latency", "energy"):
+            raise ValueError(f"unknown objective {self.objective!r}")
+        if not 0.0 < self.survivor_fraction <= 1.0:
+            raise ValueError("survivor_fraction must be in (0, 1]")
+
+
+def _score(perf: LayerPerformance, objective: str) -> float:
+    """Lower is better."""
+    if objective == "latency":
+        return perf.total_cycles
+    if objective == "energy":
+        return perf.total_energy
+    return perf.total_cycles * perf.total_energy
+
+
+class EvolutionaryDataflowOptimizer:
+    """Alg. 2: evolutionary search over dataflows for one layer."""
+
+    def __init__(self, model: PerformanceModel,
+                 config: Optional[OptimizerConfig] = None) -> None:
+        self.model = model
+        self.config = config or OptimizerConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, layer: LayerShape, dataflow: Dataflow,
+                  precision: Union[int, Precision]) -> Optional[Tuple[float, LayerPerformance]]:
+        try:
+            perf = self.model.evaluate(layer, dataflow, precision)
+        except InvalidMappingError:
+            return None
+        return _score(perf, self.config.objective), perf
+
+    def _seed_population(self, layer: LayerShape,
+                         precision: Union[int, Precision]
+                         ) -> List[Tuple[float, Dataflow, LayerPerformance]]:
+        population: List[Tuple[float, Dataflow, LayerPerformance]] = []
+        # Always include the untuned default mapping so the search can only improve.
+        baseline = default_dataflow(layer, self.model.array.num_units)
+        scored = self._evaluate(layer, baseline, precision)
+        if scored is not None:
+            population.append((scored[0], baseline, scored[1]))
+        attempts = 0
+        while (len(population) < self.config.population_size
+               and attempts < 20 * self.config.population_size):
+            attempts += 1
+            candidate = random_dataflow(layer, self.model.array.num_units, self.rng)
+            scored = self._evaluate(layer, candidate, precision)
+            if scored is not None:
+                population.append((scored[0], candidate, scored[1]))
+        if not population:
+            raise InvalidMappingError(
+                "could not find any valid dataflow for the layer")
+        return population
+
+    # ------------------------------------------------------------------
+    def optimize_layer(self, layer: LayerShape,
+                       precision: Union[int, Precision]
+                       ) -> Tuple[Dataflow, LayerPerformance]:
+        """Return the best (dataflow, performance) found by the search."""
+        cfg = self.config
+        population = self._seed_population(layer, precision)
+
+        for _ in range(cfg.total_cycles):
+            population.sort(key=lambda item: item[0])
+            survivors = population[:max(1, int(len(population)
+                                               * cfg.survivor_fraction))]
+            population = list(survivors)
+            attempts = 0
+            while (len(population) < cfg.population_size
+                   and attempts < 20 * cfg.population_size):
+                attempts += 1
+                if len(survivors) >= 2 and self.rng.random() < 0.5:
+                    a, b = self.rng.choice(len(survivors), size=2, replace=False)
+                    child = crossover_dataflows(survivors[int(a)][1],
+                                                survivors[int(b)][1],
+                                                layer, self.rng)
+                else:
+                    pick = survivors[int(self.rng.integers(0, len(survivors)))][1]
+                    child = mutate_dataflow(pick, layer,
+                                            self.model.array.num_units, self.rng)
+                scored = self._evaluate(layer, child, precision)
+                if scored is not None:
+                    population.append((scored[0], child, scored[1]))
+
+        population.sort(key=lambda item: item[0])
+        _, best_dataflow, best_perf = population[0]
+        return best_dataflow, best_perf
+
+    def optimize_network(self, layers: Sequence[LayerShape],
+                         precision: Union[int, Precision]
+                         ) -> List[Tuple[Dataflow, LayerPerformance]]:
+        """Optimize every layer independently (the per-workload mode of Sec. 3.3)."""
+        return [self.optimize_layer(layer, precision) for layer in layers]
+
+
+# ---------------------------------------------------------------------------
+# Mode 2: micro-architecture + dataflow search under an area budget
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MicroArchCandidate:
+    """One point of the micro-architecture design space with its score."""
+
+    num_units: int
+    buffer_scale: float
+    compute_area: float
+    average_score: float
+    per_precision: Dict[int, float] = field(default_factory=dict)
+
+
+class MicroArchitectureSearch:
+    """Search MAC-array size and buffer scale under a compute-area budget."""
+
+    def __init__(self, mac_unit_factory: Callable[[], object],
+                 area_budget: float,
+                 unit_counts: Sequence[int] = (64, 128, 256, 512),
+                 buffer_scales: Sequence[float] = (0.5, 1.0, 2.0),
+                 optimizer_config: Optional[OptimizerConfig] = None,
+                 memory: Optional[MemoryHierarchy] = None) -> None:
+        self.mac_unit_factory = mac_unit_factory
+        self.area_budget = area_budget
+        self.unit_counts = list(unit_counts)
+        self.buffer_scales = list(buffer_scales)
+        self.optimizer_config = optimizer_config or OptimizerConfig(
+            population_size=12, total_cycles=3)
+        self.memory = memory or default_hierarchy()
+
+    def search(self, layers: Sequence[LayerShape],
+               precisions: Sequence[int]) -> List[MicroArchCandidate]:
+        """Score every feasible design point; best (lowest score) first."""
+        candidates: List[MicroArchCandidate] = []
+        for num_units in self.unit_counts:
+            mac_unit = self.mac_unit_factory()
+            compute_area = mac_unit.area * num_units
+            if compute_area > self.area_budget:
+                continue
+            for buffer_scale in self.buffer_scales:
+                memory = self.memory.scaled(buffer_scale=buffer_scale)
+                array = ArrayConfig(mac_unit=mac_unit, num_units=num_units)
+                model = PerformanceModel(array, memory)
+                optimizer = EvolutionaryDataflowOptimizer(model,
+                                                          self.optimizer_config)
+                per_precision: Dict[int, float] = {}
+                for precision in precisions:
+                    scores = []
+                    for layer in layers:
+                        _, perf = optimizer.optimize_layer(layer, precision)
+                        scores.append(_score(perf, self.optimizer_config.objective))
+                    per_precision[int(precision)] = float(np.sum(scores))
+                average = float(np.mean(list(per_precision.values())))
+                candidates.append(MicroArchCandidate(
+                    num_units=num_units, buffer_scale=buffer_scale,
+                    compute_area=compute_area, average_score=average,
+                    per_precision=per_precision))
+        candidates.sort(key=lambda c: c.average_score)
+        return candidates

@@ -1,0 +1,122 @@
+"""Search-space primitives for the dataflow optimizer: random generation,
+mutation and crossover of dataflows (the operators of Alg. 2)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..dataflow import DIMS, Dataflow, TEMPORAL_LEVELS
+from ..workload import LayerShape
+
+__all__ = ["random_dataflow", "mutate_dataflow", "crossover_dataflows",
+           "normalize_coverage"]
+
+#: Dimensions allowed to be unrolled spatially across the MAC array.  The
+#: proposed MAC unit already tiles R/S/C internally (Sec. 3.2.2), so the NoC
+#: level typically unrolls output channels, input channels and output rows.
+SPATIAL_CANDIDATE_DIMS = ("K", "C", "Y", "X")
+
+
+def _random_split(value: int, rng: np.random.Generator, cap: int) -> int:
+    """Sample a factor in [1, min(value, cap)] biased towards divisors."""
+    cap = max(1, min(value, cap))
+    if cap == 1:
+        return 1
+    candidate = int(rng.integers(1, cap + 1))
+    # Prefer factors that divide the dimension to avoid padding waste.
+    divisors = [d for d in range(1, cap + 1) if value % d == 0]
+    if divisors and rng.random() < 0.7:
+        return int(divisors[int(rng.integers(0, len(divisors)))])
+    return candidate
+
+
+def normalize_coverage(dataflow: Dataflow, layer: LayerShape) -> Dataflow:
+    """Adjust DRAM-level factors so every dimension is fully covered."""
+    dims = layer.dims()
+    for dim in DIMS:
+        inner = 1
+        for level in ("GlobalBuffer", "Spatial", "RegisterFile"):
+            inner *= dataflow.tiling[level][dim]
+        dataflow.tiling["DRAM"][dim] = max(1, math.ceil(dims[dim] / inner))
+    return dataflow
+
+
+def random_dataflow(layer: LayerShape, num_units: int,
+                    rng: np.random.Generator,
+                    rf_cap: int = 16, gb_cap: int = 64) -> Dataflow:
+    """Sample a random dataflow covering ``layer`` on an array of ``num_units``."""
+    dims = layer.dims()
+    tiling: Dict[str, Dict[str, int]] = {level: {} for level in
+                                         ("DRAM", "GlobalBuffer", "Spatial",
+                                          "RegisterFile")}
+
+    # Spatial unrolling: greedily assign factors to candidate dims while the
+    # product stays within the array size.
+    remaining_units = num_units
+    for dim in rng.permutation(SPATIAL_CANDIDATE_DIMS):
+        if remaining_units <= 1:
+            tiling["Spatial"][dim] = 1
+            continue
+        factor = _random_split(dims[dim], rng, remaining_units)
+        tiling["Spatial"][dim] = factor
+        remaining_units //= max(factor, 1)
+
+    for dim in DIMS:
+        tiling["Spatial"].setdefault(dim, 1)
+        spatial = tiling["Spatial"][dim]
+        left = math.ceil(dims[dim] / spatial)
+        rf = _random_split(left, rng, rf_cap)
+        left = math.ceil(left / rf)
+        gb = _random_split(left, rng, gb_cap)
+        tiling["RegisterFile"][dim] = rf
+        tiling["GlobalBuffer"][dim] = gb
+        tiling["DRAM"][dim] = 1      # fixed up by normalize_coverage
+
+    loop_order = {level: list(rng.permutation(DIMS)) for level in TEMPORAL_LEVELS}
+    dataflow = Dataflow(tiling=tiling, loop_order=loop_order)
+    return normalize_coverage(dataflow, layer)
+
+
+def mutate_dataflow(dataflow: Dataflow, layer: LayerShape, num_units: int,
+                    rng: np.random.Generator) -> Dataflow:
+    """Alg. 2's mutation: re-draw one dimension's tiling or one loop order."""
+    mutant = dataflow.copy()
+    if rng.random() < 0.5:
+        # Permute the loop order of one temporal level.
+        level = TEMPORAL_LEVELS[int(rng.integers(0, len(TEMPORAL_LEVELS)))]
+        mutant.loop_order[level] = list(rng.permutation(DIMS))
+    else:
+        # Re-split the tiling of one dimension.
+        dim = DIMS[int(rng.integers(0, len(DIMS)))]
+        dims = layer.dims()
+        if dim in SPATIAL_CANDIDATE_DIMS:
+            other_spatial = 1
+            for d in DIMS:
+                if d != dim:
+                    other_spatial *= mutant.tiling["Spatial"][d]
+            cap = max(1, num_units // max(other_spatial, 1))
+            mutant.tiling["Spatial"][dim] = _random_split(dims[dim], rng, cap)
+        left = math.ceil(dims[dim] / mutant.tiling["Spatial"][dim])
+        mutant.tiling["RegisterFile"][dim] = _random_split(left, rng, 16)
+        left = math.ceil(left / mutant.tiling["RegisterFile"][dim])
+        mutant.tiling["GlobalBuffer"][dim] = _random_split(left, rng, 64)
+    return normalize_coverage(mutant, layer)
+
+
+def crossover_dataflows(parent_a: Dataflow, parent_b: Dataflow,
+                        layer: LayerShape,
+                        rng: np.random.Generator) -> Dataflow:
+    """Alg. 2's crossover: insert one parent's loop order or per-dimension
+    tiling factors into the other parent."""
+    child = parent_a.copy()
+    if rng.random() < 0.5:
+        level = TEMPORAL_LEVELS[int(rng.integers(0, len(TEMPORAL_LEVELS)))]
+        child.loop_order[level] = list(parent_b.loop_order[level])
+    else:
+        dim = DIMS[int(rng.integers(0, len(DIMS)))]
+        for level in ("GlobalBuffer", "Spatial", "RegisterFile"):
+            child.tiling[level][dim] = parent_b.tiling[level][dim]
+    return normalize_coverage(child, layer)

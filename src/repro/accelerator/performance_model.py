@@ -1,0 +1,304 @@
+"""Analytical latency/energy model for a (layer, dataflow, precision) triple.
+
+This plays the role of the DNN-Chip-Predictor-style performance predictor the
+paper plugs into its accelerator optimizer (Sec. 3.3): given a layer shape,
+a dataflow (tiling + loop orders) and an execution precision it estimates
+
+* compute cycles — padded MAC count divided by the array's effective
+  MACs/cycle at that precision (from the MAC-unit model),
+* memory traffic and stall cycles at the DRAM and global-buffer boundaries,
+  using a loop-order-aware reuse analysis (a tensor's tile is *not* refetched
+  across iterations of irrelevant loops that sit inside all of its relevant
+  loops — the classic weight/output/input-stationary distinction), and
+* energy — MAC energy plus per-level traffic energy.
+
+The model intentionally assumes perfect double buffering (total cycles are
+the max of compute and per-boundary transfer cycles), which is the same
+idealisation the paper's cycle-accurate simulator approaches with its
+optimized dataflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..quantization.precision import Precision
+from .dataflow import DIMS, Dataflow, TENSOR_DIMS
+from .mac.base import MACUnitModel, resolve_precision
+from .memory import MemoryHierarchy, default_hierarchy
+from .workload import LayerShape
+
+__all__ = ["ArrayConfig", "LayerPerformance", "NetworkPerformance",
+           "InvalidMappingError", "PerformanceModel"]
+
+#: Partial sums are kept at this width in on-chip storage.
+PARTIAL_SUM_BITS = 32
+
+
+class InvalidMappingError(ValueError):
+    """Raised when a dataflow cannot be mapped onto the micro-architecture."""
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """MAC array micro-architecture: unit model, unit count, clock."""
+
+    mac_unit: MACUnitModel
+    num_units: int
+    frequency_hz: float = 500e6
+
+    @property
+    def compute_area(self) -> float:
+        return self.mac_unit.area * self.num_units
+
+
+@dataclass
+class LayerPerformance:
+    """Per-layer results produced by :class:`PerformanceModel.evaluate`."""
+
+    layer: LayerShape
+    precision: Precision
+    compute_cycles: float
+    memory_cycles: Dict[str, float]
+    traffic_bits: Dict[str, Dict[str, float]]      # boundary -> tensor -> bits
+    energy_breakdown: Dict[str, float]             # component -> energy
+    spatial_utilization: float
+    mapping_efficiency: float                      # 1 - padding waste
+
+    @property
+    def total_cycles(self) -> float:
+        return max(self.compute_cycles, *self.memory_cycles.values()) \
+            if self.memory_cycles else self.compute_cycles
+
+    @property
+    def total_energy(self) -> float:
+        return float(sum(self.energy_breakdown.values()))
+
+    def latency_seconds(self, frequency_hz: float) -> float:
+        return self.total_cycles / frequency_hz
+
+    @property
+    def is_memory_bound(self) -> bool:
+        return self.total_cycles > self.compute_cycles
+
+
+@dataclass
+class NetworkPerformance:
+    """Aggregate over the layers of a network."""
+
+    layers: List[LayerPerformance]
+    frequency_hz: float
+
+    @property
+    def total_cycles(self) -> float:
+        return float(sum(p.total_cycles for p in self.layers))
+
+    @property
+    def total_energy(self) -> float:
+        return float(sum(p.total_energy for p in self.layers))
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.total_cycles / self.frequency_hz
+
+    @property
+    def throughput_fps(self) -> float:
+        return 1.0 / self.latency_seconds if self.latency_seconds > 0 else 0.0
+
+    def energy_breakdown(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for perf in self.layers:
+            for component, value in perf.energy_breakdown.items():
+                totals[component] = totals.get(component, 0.0) + value
+        return totals
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Inferences per unit energy (higher is better)."""
+        return 1.0 / self.total_energy if self.total_energy > 0 else 0.0
+
+
+class PerformanceModel:
+    """Evaluate dataflows on a fixed micro-architecture."""
+
+    def __init__(self, array: ArrayConfig,
+                 memory: Optional[MemoryHierarchy] = None) -> None:
+        self.array = array
+        self.memory = memory or default_hierarchy()
+
+    # ------------------------------------------------------------------
+    # Validity
+    # ------------------------------------------------------------------
+    def check_mapping(self, layer: LayerShape, dataflow: Dataflow,
+                      precision: Union[int, Precision]) -> None:
+        """Raise :class:`InvalidMappingError` if the mapping is infeasible."""
+        precision = resolve_precision(precision)
+        if not dataflow.covers(layer):
+            raise InvalidMappingError("tiling factors do not cover the layer")
+        if dataflow.spatial_units() > self.array.num_units:
+            raise InvalidMappingError(
+                f"spatial unrolling needs {dataflow.spatial_units()} units, "
+                f"array has {self.array.num_units}")
+        weight_bits = int(precision.weight_bits)
+        act_bits = int(precision.act_bits)
+        gb_footprint = dataflow.footprint_bits("GlobalBuffer", weight_bits,
+                                               act_bits, PARTIAL_SUM_BITS)
+        if gb_footprint > self.memory.global_buffer.capacity_bits:
+            raise InvalidMappingError("global-buffer tile exceeds its capacity")
+        rf_footprint = dataflow.footprint_bits("RegisterFile", weight_bits,
+                                               act_bits, PARTIAL_SUM_BITS)
+        if rf_footprint > self.memory.register_file.capacity_bits:
+            raise InvalidMappingError("register-file tile exceeds its capacity")
+
+    def is_valid(self, layer: LayerShape, dataflow: Dataflow,
+                 precision: Union[int, Precision]) -> bool:
+        try:
+            self.check_mapping(layer, dataflow, precision)
+        except InvalidMappingError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Reuse analysis
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _refetch_factor(dataflow: Dataflow, level: str, tensor: str) -> float:
+        """Times a tensor tile is re-read across one full loop nest at ``level``.
+
+        Relevant loops always multiply (each distinct tile is read once).
+        An irrelevant loop multiplies only if it is *outer* to at least one
+        relevant loop with a factor > 1 — if all relevant loops are outside
+        it, the tile stays resident below while the irrelevant loop spins.
+        """
+        relevant = TENSOR_DIMS[tensor]
+        order = dataflow.loop_order[level]
+        factors = dataflow.tiling[level]
+        refetch = 1.0
+        for position, dim in enumerate(order):
+            factor = factors[dim]
+            if factor <= 1:
+                continue
+            if dim in relevant:
+                refetch *= factor
+                continue
+            inner_relevant = any(
+                factors[inner_dim] > 1 and inner_dim in relevant
+                for inner_dim in order[position + 1:])
+            if inner_relevant:
+                refetch *= factor
+        return refetch
+
+    @staticmethod
+    def _reduction_refetch(dataflow: Dataflow, level: str) -> float:
+        """Extra factor for partial-sum spill/refill of outputs at ``level``."""
+        reduction_dims = ("C", "R", "S")
+        order = dataflow.loop_order[level]
+        factors = dataflow.tiling[level]
+        refetch = 1.0
+        output_dims = TENSOR_DIMS["outputs"]
+        for position, dim in enumerate(order):
+            factor = factors[dim]
+            if factor <= 1 or dim not in reduction_dims:
+                continue
+            inner_relevant = any(
+                factors[inner_dim] > 1 and inner_dim in output_dims
+                for inner_dim in order[position + 1:])
+            if inner_relevant:
+                refetch *= factor
+        return refetch
+
+    def _boundary_traffic(self, dataflow: Dataflow, precision: Precision,
+                          boundary: str) -> Dict[str, float]:
+        """Bits moved across ``boundary`` ("DRAM" or "GlobalBuffer")."""
+        weight_bits = int(precision.weight_bits)
+        act_bits = int(precision.act_bits)
+        bits_per_element = {"weights": weight_bits, "inputs": act_bits}
+
+        if boundary == "DRAM":
+            inner_level = "GlobalBuffer"
+            outer_iterations = 1.0
+            bits_per_element["outputs"] = act_bits
+        else:
+            inner_level = "Spatial"
+            outer_iterations = 1.0
+            for dim in DIMS:
+                outer_iterations *= dataflow.tiling["DRAM"][dim]
+            bits_per_element["outputs"] = PARTIAL_SUM_BITS
+
+        traffic: Dict[str, float] = {}
+        for tensor in ("weights", "inputs", "outputs"):
+            tile = dataflow.tile_elements(tensor, inner_level)
+            refetch = self._refetch_factor(dataflow, boundary, tensor)
+            bits = tile * refetch * outer_iterations * bits_per_element[tensor]
+            if tensor == "outputs":
+                # Read-modify-write when the reduction is split above the tile.
+                reduction = self._reduction_refetch(dataflow, boundary)
+                if reduction > 1:
+                    bits *= 2.0
+            traffic[tensor] = bits
+        return traffic
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, layer: LayerShape, dataflow: Dataflow,
+                 precision: Union[int, Precision]) -> LayerPerformance:
+        precision = resolve_precision(precision)
+        self.check_mapping(layer, dataflow, precision)
+
+        padded = dataflow.padded_dims(layer)
+        padded_macs = 1.0
+        for dim in DIMS:
+            padded_macs *= padded[dim]
+        mapping_efficiency = layer.macs / padded_macs
+
+        spatial_units = dataflow.spatial_units()
+        spatial_utilization = spatial_units / self.array.num_units
+        macs_per_cycle = self.array.mac_unit.macs_per_cycle(precision)
+        compute_cycles = padded_macs / (spatial_units * macs_per_cycle)
+
+        dram_traffic = self._boundary_traffic(dataflow, precision, "DRAM")
+        gb_traffic = self._boundary_traffic(dataflow, precision, "GlobalBuffer")
+
+        dram = self.memory.dram
+        gb = self.memory.global_buffer
+        rf = self.memory.register_file
+
+        memory_cycles = {
+            "DRAM": dram.transfer_cycles(sum(dram_traffic.values())),
+            "GlobalBuffer": gb.transfer_cycles(sum(gb_traffic.values())),
+        }
+
+        weight_bits = int(precision.weight_bits)
+        act_bits = int(precision.act_bits)
+        rf_bits_per_mac = weight_bits + act_bits + 2 * PARTIAL_SUM_BITS
+
+        energy = {
+            "MAC": padded_macs * self.array.mac_unit.energy_per_mac(precision),
+            "DRAM": dram.access_energy(sum(dram_traffic.values())),
+            "GlobalBuffer": gb.access_energy(sum(gb_traffic.values())
+                                             + sum(dram_traffic.values())),
+            "RegisterFile": rf.access_energy(padded_macs * rf_bits_per_mac),
+        }
+
+        return LayerPerformance(
+            layer=layer,
+            precision=precision,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            traffic_bits={"DRAM": dram_traffic, "GlobalBuffer": gb_traffic},
+            energy_breakdown=energy,
+            spatial_utilization=spatial_utilization,
+            mapping_efficiency=mapping_efficiency,
+        )
+
+    def evaluate_network(self, layers: Sequence[LayerShape],
+                         dataflows: Sequence[Dataflow],
+                         precision: Union[int, Precision]) -> NetworkPerformance:
+        if len(layers) != len(dataflows):
+            raise ValueError("need exactly one dataflow per layer")
+        results = [self.evaluate(layer, dataflow, precision)
+                   for layer, dataflow in zip(layers, dataflows)]
+        return NetworkPerformance(layers=results,
+                                  frequency_hz=self.array.frequency_hz)

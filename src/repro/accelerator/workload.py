@@ -1,0 +1,216 @@
+"""Accelerator workloads: layer shapes of the six evaluated networks.
+
+The accelerator evaluation (Figs. 2, 7-10) runs on the *canonical* layer
+dimensions of WideResNet-32 / ResNet-18 on CIFAR (32x32 inputs) and
+AlexNet / VGG-16 / ResNet-18 / ResNet-50 on ImageNet (224x224 inputs).  Those
+dimensions are architecture facts, independent of the scaled-down numpy
+models used on the algorithm side, so they are generated here directly from
+each network's structural description.
+
+A convolution layer is described in the output-centric Eyeriss notation:
+``N`` batch, ``K`` output channels, ``C`` input channels, ``Y x X`` output
+feature map, ``R x S`` kernel, plus the stride.  Fully connected layers are
+represented as 1x1 convolutions on a 1x1 feature map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["LayerShape", "network_layers", "available_workloads",
+           "WORKLOAD_BUILDERS"]
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """Dimensions of one convolutional (or FC) layer."""
+
+    name: str
+    n: int          # batch
+    k: int          # output channels
+    c: int          # input channels
+    y: int          # output height
+    x: int          # output width
+    r: int          # kernel height
+    s: int          # kernel width
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in ("n", "k", "c", "y", "x", "r", "s", "stride"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1 in layer {self.name!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulates of the layer."""
+        return self.n * self.k * self.c * self.y * self.x * self.r * self.s
+
+    @property
+    def input_height(self) -> int:
+        return (self.y - 1) * self.stride + self.r
+
+    @property
+    def input_width(self) -> int:
+        return (self.x - 1) * self.stride + self.s
+
+    def tensor_sizes(self) -> Dict[str, int]:
+        """Element counts of weights, inputs and outputs."""
+        return {
+            "weights": self.k * self.c * self.r * self.s,
+            "inputs": self.n * self.c * self.input_height * self.input_width,
+            "outputs": self.n * self.k * self.y * self.x,
+        }
+
+    def dims(self) -> Dict[str, int]:
+        return {"N": self.n, "K": self.k, "C": self.c, "Y": self.y,
+                "X": self.x, "R": self.r, "S": self.s}
+
+    def with_batch(self, n: int) -> "LayerShape":
+        return replace(self, n=n)
+
+
+# ---------------------------------------------------------------------------
+# Network builders
+# ---------------------------------------------------------------------------
+
+def _conv(name: str, k: int, c: int, out: int, r: int, stride: int = 1,
+          n: int = 1) -> LayerShape:
+    return LayerShape(name=name, n=n, k=k, c=c, y=out, x=out, r=r, s=r,
+                      stride=stride)
+
+
+def _fc(name: str, k: int, c: int, n: int = 1) -> LayerShape:
+    return LayerShape(name=name, n=n, k=k, c=c, y=1, x=1, r=1, s=1)
+
+
+def _resnet_basic_stage(prefix: str, blocks: int, c_in: int, c_out: int,
+                        feature: int, first_stride: int) -> List[LayerShape]:
+    layers: List[LayerShape] = []
+    current = c_in
+    out = feature
+    for block in range(blocks):
+        stride = first_stride if block == 0 else 1
+        layers.append(_conv(f"{prefix}.{block}.conv1", c_out, current, out, 3,
+                            stride=stride))
+        layers.append(_conv(f"{prefix}.{block}.conv2", c_out, c_out, out, 3))
+        if stride != 1 or current != c_out:
+            layers.append(_conv(f"{prefix}.{block}.downsample", c_out, current,
+                                out, 1, stride=stride))
+        current = c_out
+    return layers
+
+
+def _resnet_bottleneck_stage(prefix: str, blocks: int, c_in: int, width: int,
+                             feature: int, first_stride: int) -> List[LayerShape]:
+    layers: List[LayerShape] = []
+    current = c_in
+    expansion = 4
+    out = feature
+    for block in range(blocks):
+        stride = first_stride if block == 0 else 1
+        layers.append(_conv(f"{prefix}.{block}.conv1", width, current, out, 1))
+        layers.append(_conv(f"{prefix}.{block}.conv2", width, width, out, 3,
+                            stride=stride))
+        layers.append(_conv(f"{prefix}.{block}.conv3", width * expansion, width,
+                            out, 1))
+        if stride != 1 or current != width * expansion:
+            layers.append(_conv(f"{prefix}.{block}.downsample", width * expansion,
+                                current, out, 1, stride=stride))
+        current = width * expansion
+    return layers
+
+
+def _resnet18_cifar() -> List[LayerShape]:
+    layers = [_conv("stem", 64, 3, 32, 3)]
+    layers += _resnet_basic_stage("layer1", 2, 64, 64, 32, 1)
+    layers += _resnet_basic_stage("layer2", 2, 64, 128, 16, 2)
+    layers += _resnet_basic_stage("layer3", 2, 128, 256, 8, 2)
+    layers += _resnet_basic_stage("layer4", 2, 256, 512, 4, 2)
+    layers.append(_fc("fc", 10, 512))
+    return layers
+
+
+def _wide_resnet32_cifar() -> List[LayerShape]:
+    widen = 10
+    n = 4                         # (32 - 4) // 6 blocks per group
+    layers = [_conv("stem", 16, 3, 32, 3)]
+    layers += _resnet_basic_stage("group1", n, 16, 16 * widen, 32, 1)
+    layers += _resnet_basic_stage("group2", n, 16 * widen, 32 * widen, 16, 2)
+    layers += _resnet_basic_stage("group3", n, 32 * widen, 64 * widen, 8, 2)
+    layers.append(_fc("fc", 10, 64 * widen))
+    return layers
+
+
+def _resnet18_imagenet() -> List[LayerShape]:
+    layers = [LayerShape("stem", 1, 64, 3, 112, 112, 7, 7, stride=2)]
+    layers += _resnet_basic_stage("layer1", 2, 64, 64, 56, 1)
+    layers += _resnet_basic_stage("layer2", 2, 64, 128, 28, 2)
+    layers += _resnet_basic_stage("layer3", 2, 128, 256, 14, 2)
+    layers += _resnet_basic_stage("layer4", 2, 256, 512, 7, 2)
+    layers.append(_fc("fc", 1000, 512))
+    return layers
+
+
+def _resnet50_imagenet() -> List[LayerShape]:
+    layers = [LayerShape("stem", 1, 64, 3, 112, 112, 7, 7, stride=2)]
+    layers += _resnet_bottleneck_stage("layer1", 3, 64, 64, 56, 1)
+    layers += _resnet_bottleneck_stage("layer2", 4, 256, 128, 28, 2)
+    layers += _resnet_bottleneck_stage("layer3", 6, 512, 256, 14, 2)
+    layers += _resnet_bottleneck_stage("layer4", 3, 1024, 512, 7, 2)
+    layers.append(_fc("fc", 1000, 2048))
+    return layers
+
+
+def _alexnet_imagenet() -> List[LayerShape]:
+    return [
+        LayerShape("conv1", 1, 64, 3, 55, 55, 11, 11, stride=4),
+        LayerShape("conv2", 1, 192, 64, 27, 27, 5, 5),
+        _conv("conv3", 384, 192, 13, 3),
+        _conv("conv4", 256, 384, 13, 3),
+        _conv("conv5", 256, 256, 13, 3),
+        _fc("fc6", 4096, 256 * 6 * 6),
+        _fc("fc7", 4096, 4096),
+        _fc("fc8", 1000, 4096),
+    ]
+
+
+def _vgg16_imagenet() -> List[LayerShape]:
+    plan: List[Tuple[int, int, int]] = [
+        (64, 3, 224), (64, 64, 224),
+        (128, 64, 112), (128, 128, 112),
+        (256, 128, 56), (256, 256, 56), (256, 256, 56),
+        (512, 256, 28), (512, 512, 28), (512, 512, 28),
+        (512, 512, 14), (512, 512, 14), (512, 512, 14),
+    ]
+    layers = [_conv(f"conv{i + 1}", k, c, out, 3)
+              for i, (k, c, out) in enumerate(plan)]
+    layers += [_fc("fc1", 4096, 512 * 7 * 7), _fc("fc2", 4096, 4096),
+               _fc("fc3", 1000, 4096)]
+    return layers
+
+
+WORKLOAD_BUILDERS = {
+    ("resnet18", "cifar10"): _resnet18_cifar,
+    ("wide_resnet32", "cifar10"): _wide_resnet32_cifar,
+    ("resnet18", "imagenet"): _resnet18_imagenet,
+    ("resnet50", "imagenet"): _resnet50_imagenet,
+    ("alexnet", "imagenet"): _alexnet_imagenet,
+    ("vgg16", "imagenet"): _vgg16_imagenet,
+}
+
+
+def available_workloads() -> List[Tuple[str, str]]:
+    return sorted(WORKLOAD_BUILDERS)
+
+
+def network_layers(network: str, dataset: str, batch: int = 1) -> List[LayerShape]:
+    """Return the layer list of one of the paper's six accelerator workloads."""
+    key = (network, dataset)
+    if key not in WORKLOAD_BUILDERS:
+        raise KeyError(f"unknown workload {key}; available: {available_workloads()}")
+    layers = WORKLOAD_BUILDERS[key]()
+    if batch != 1:
+        layers = [layer.with_batch(batch) for layer in layers]
+    return layers

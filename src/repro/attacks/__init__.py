@@ -1,0 +1,25 @@
+"""Adversarial attacks used in the paper's evaluation (Sec. 4.1, 4.2)."""
+
+from .autoattack import APGD, AutoAttack
+from .bandits import BanditsAttack
+from .base import Attack, AttackResult, eps_from_255, input_gradient, predict_labels
+from .cw import CWInf
+from .epgd import EnsemblePGD
+from .fgsm import FGSM, FGSMRS
+from .pgd import PGD
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "eps_from_255",
+    "input_gradient",
+    "predict_labels",
+    "FGSM",
+    "FGSMRS",
+    "PGD",
+    "CWInf",
+    "APGD",
+    "AutoAttack",
+    "BanditsAttack",
+    "EnsemblePGD",
+]

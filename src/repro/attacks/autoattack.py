@@ -1,0 +1,132 @@
+"""AutoAttack-style ensemble (Croce & Hein, 2020), reduced to its core pieces.
+
+The full AutoAttack is an ensemble of APGD-CE, APGD-DLR (targeted), FAB and
+Square.  For this reproduction we implement the two APGD members — which on
+ℓ∞ budgets account for nearly all of the ensemble's strength on
+adversarially-trained models — and take, per example, the first member that
+succeeds.  APGD is PGD with momentum and an adaptive step size that halves
+whenever progress stalls, exactly as in the original paper's checkpoint rule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.module import Module
+from ..nn.tensor import Tensor, no_grad
+from .base import Attack, input_gradient, predict_labels
+
+__all__ = ["APGD", "AutoAttack"]
+
+
+def _loss_values(model: Module, x: np.ndarray, y: np.ndarray, loss: str) -> np.ndarray:
+    """Per-example attack-loss values (higher = better for the attacker)."""
+    with no_grad():
+        logits = model(Tensor(x)).data
+    n = len(y)
+    if loss == "ce":
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        return -log_probs[np.arange(n), y]
+    # DLR loss values
+    order = np.sort(logits, axis=1)
+    z_y = logits[np.arange(n), y]
+    z_max = logits.max(axis=1)
+    is_correct_top = z_max == z_y
+    top_other = np.where(is_correct_top, order[:, -2], z_max)
+    denom = order[:, -1] - order[:, -3] + 1e-12
+    return (top_other - z_y) / denom
+
+
+class APGD(Attack):
+    """Auto-PGD with momentum and adaptive step-size halving."""
+
+    name = "APGD"
+
+    def __init__(self, epsilon: float, steps: int = 20, loss: str = "ce",
+                 rho: float = 0.75, **kwargs) -> None:
+        super().__init__(epsilon, **kwargs)
+        self.steps = steps
+        self.loss = loss
+        self.rho = rho
+        self.name = f"APGD-{loss.upper()}"
+
+    def _checkpoints(self) -> List[int]:
+        """Checkpoint iterations of the original APGD schedule."""
+        points = [0, max(1, int(0.22 * self.steps))]
+        while points[-1] < self.steps:
+            step = max(int(points[-1] - points[-2]) - 1, 3)
+            points.append(points[-1] + step)
+        return [p for p in points if p <= self.steps]
+
+    def perturb(self, model: Module, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y)
+        step_size = np.full(len(x), 2.0 * self.epsilon, dtype=np.float32)
+        x_adv = self.random_start(x)
+        x_prev = x_adv.copy()
+        best = x_adv.copy()
+        best_loss = _loss_values(model, x_adv, y, self.loss)
+        checkpoints = set(self._checkpoints())
+        gains_since_checkpoint = np.zeros(len(x), dtype=np.int64)
+        last_checkpoint = 0
+
+        for step in range(1, self.steps + 1):
+            grad = input_gradient(model, x_adv, y, loss=self.loss)
+            step_shaped = step_size.reshape(-1, *([1] * (x.ndim - 1)))
+            z = self.project(x, x_adv + step_shaped * np.sign(grad))
+            # Momentum combination of the new point and the previous direction.
+            alpha = 0.75 if step > 1 else 1.0
+            x_new = self.project(x, x_adv + alpha * (z - x_adv)
+                                 + (1 - alpha) * (x_adv - x_prev))
+            x_prev = x_adv
+            x_adv = x_new
+
+            loss_now = _loss_values(model, x_adv, y, self.loss)
+            improved = loss_now > best_loss
+            best[improved] = x_adv[improved]
+            best_loss = np.maximum(best_loss, loss_now)
+            gains_since_checkpoint += improved.astype(np.int64)
+
+            if step in checkpoints and step > 0:
+                window = max(step - last_checkpoint, 1)
+                stalled = gains_since_checkpoint < self.rho * window
+                step_size[stalled] *= 0.5
+                # Restart stalled examples from their best point so far.
+                x_adv[stalled] = best[stalled]
+                gains_since_checkpoint[:] = 0
+                last_checkpoint = step
+
+        return best
+
+
+class AutoAttack(Attack):
+    """Ensemble of APGD-CE and APGD-DLR; per-example first-success selection."""
+
+    name = "AutoAttack"
+
+    def __init__(self, epsilon: float, steps: int = 20, **kwargs) -> None:
+        super().__init__(epsilon, **kwargs)
+        self.steps = steps
+        self._members = [
+            APGD(epsilon, steps=steps, loss="ce", **kwargs),
+            APGD(epsilon, steps=steps, loss="dlr", **kwargs),
+        ]
+
+    def perturb(self, model: Module, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y)
+        x_adv = x.copy().astype(np.float32)
+        remaining = np.ones(len(x), dtype=bool)
+        for member in self._members:
+            if not remaining.any():
+                break
+            candidate = member.perturb(model, x[remaining], y[remaining])
+            candidate = self.project(x[remaining], candidate)
+            preds = predict_labels(model, candidate)
+            fooled = preds != y[remaining]
+            indices = np.flatnonzero(remaining)
+            x_adv[indices] = candidate
+            remaining[indices[fooled]] = False
+        return x_adv

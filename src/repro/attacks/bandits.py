@@ -1,0 +1,78 @@
+"""Bandits attack: gradient-free black-box attack with a gradient prior.
+
+Ilyas, Engstrom & Madry ("Prior convictions", 2018) estimate the input
+gradient with antithetic finite differences of the loss and maintain a
+low-pass "prior" over the gradient that is updated with an exponentiated
+gradient step.  Only forward passes (queries) of the model are used, so the
+attack is immune to gradient masking — the paper uses it (Tab. 5) to show RPS
+does not rely on obfuscated gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.tensor import Tensor, no_grad
+from .base import Attack
+
+__all__ = ["BanditsAttack"]
+
+
+def _ce_loss_values(model: Module, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Per-example cross-entropy values, computed without autograd."""
+    with no_grad():
+        logits = model(Tensor(x)).data
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    return -log_probs[np.arange(len(y)), y]
+
+
+class BanditsAttack(Attack):
+    """ℓ∞ bandits attack with a time-correlated gradient prior."""
+
+    name = "Bandits"
+
+    def __init__(self, epsilon: float, steps: int = 100,
+                 fd_eta: float = 0.01, prior_lr: float = 0.1,
+                 prior_exploration: float = 0.01,
+                 image_lr: float = 0.01, **kwargs) -> None:
+        super().__init__(epsilon, **kwargs)
+        self.steps = steps
+        self.fd_eta = fd_eta
+        self.prior_lr = prior_lr
+        self.prior_exploration = prior_exploration
+        self.image_lr = image_lr
+        self.queries_used = 0
+
+    def perturb(self, model: Module, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y)
+        x_adv = x.copy().astype(np.float32)
+        prior = np.zeros_like(x_adv)
+        self.queries_used = 0
+
+        for _ in range(self.steps):
+            # Antithetic exploration directions around the prior.
+            exploration = self.rng.normal(size=x_adv.shape).astype(np.float32)
+            exploration /= np.sqrt(
+                (exploration ** 2).sum(axis=(1, 2, 3), keepdims=True) + 1e-12)
+            q1 = prior + self.prior_exploration * exploration
+            q2 = prior - self.prior_exploration * exploration
+
+            l1 = _ce_loss_values(model, np.clip(x_adv + self.fd_eta * q1,
+                                                self.clip_min, self.clip_max), y)
+            l2 = _ce_loss_values(model, np.clip(x_adv + self.fd_eta * q2,
+                                                self.clip_min, self.clip_max), y)
+            self.queries_used += 2 * len(x_adv)
+
+            # Finite-difference estimate of the directional derivative along
+            # the exploration direction; update the prior towards it.
+            delta_l = (l1 - l2) / (self.fd_eta * self.prior_exploration + 1e-12)
+            gradient_estimate = delta_l.reshape(-1, 1, 1, 1) * exploration
+            prior = prior + self.prior_lr * gradient_estimate
+
+            # Take a signed step along the prior (the loss is being maximised).
+            x_adv = x_adv + self.image_lr * np.sign(prior)
+            x_adv = self.project(x, x_adv)
+
+        return x_adv

@@ -1,0 +1,163 @@
+"""Shared infrastructure for adversarial attacks.
+
+All attacks operate on image batches in the [0, 1] box under an ℓ∞ budget
+``epsilon`` and return the *adversarial examples* (not the perturbations), so
+they can be chained with any evaluation routine.  Attacks never modify the
+model; whoever calls them is responsible for selecting the model's execution
+precision first (``set_model_precision``), which is exactly how the paper's
+transferability study (Fig. 1) crosses attack precision with inference
+precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+__all__ = ["Attack", "AttackResult", "eps_from_255", "input_gradient",
+           "predict_labels", "margin_loss_grad"]
+
+
+def eps_from_255(eps: float) -> float:
+    """Convert a pixel-scale budget (e.g. 8) into [0, 1]-scale (8/255)."""
+    return float(eps) / 255.0
+
+
+def input_gradient(model: Module, x: np.ndarray, y: np.ndarray,
+                   loss: str = "ce") -> np.ndarray:
+    """Gradient of the attack loss w.r.t. the input batch.
+
+    ``loss`` selects the objective: ``"ce"`` is cross-entropy (used by FGSM /
+    PGD), ``"cw"`` the Carlini-Wagner margin loss (used by the CW-ℓ∞ attack),
+    and ``"dlr"`` the difference-of-logits-ratio loss used by APGD-DLR.
+    """
+    x_t = Tensor(x, requires_grad=True)
+    logits = model(x_t)
+    if loss == "ce":
+        objective = F.cross_entropy(logits, y)
+    elif loss == "cw":
+        objective = _cw_margin_loss(logits, y)
+    elif loss == "dlr":
+        objective = _dlr_loss(logits, y)
+    else:
+        raise ValueError(f"unknown attack loss {loss!r}")
+    objective.backward()
+    return x_t.grad
+
+
+def _cw_margin_loss(logits: Tensor, y: np.ndarray) -> Tensor:
+    """Carlini-Wagner margin: maximise (max_{j != y} z_j) - z_y."""
+    n, num_classes = logits.shape
+    y = np.asarray(y, dtype=np.int64)
+    onehot = np.zeros((n, num_classes), dtype=np.float32)
+    onehot[np.arange(n), y] = 1.0
+    correct = (logits * Tensor(onehot)).sum(axis=1)
+    # Mask the true class with a large negative constant before taking the max.
+    other = (logits + Tensor(onehot * -1e4)).max(axis=1)
+    return (other - correct).mean()
+
+
+def _dlr_loss(logits: Tensor, y: np.ndarray) -> Tensor:
+    """Difference-of-logits-ratio loss (Croce & Hein, AutoAttack)."""
+    n, num_classes = logits.shape
+    y = np.asarray(y, dtype=np.int64)
+    z = logits.data
+    order = np.argsort(z, axis=1)
+    top1 = order[:, -1]
+    top2 = order[:, -2]
+    top3 = order[:, -3] if num_classes >= 3 else order[:, 0]
+    # z_pi1 - z_pi3 as the (detached) normaliser; keeps the loss scale-invariant.
+    denom = z[np.arange(n), top1] - z[np.arange(n), top3] + 1e-12
+
+    onehot_y = np.zeros((n, num_classes), dtype=np.float32)
+    onehot_y[np.arange(n), y] = 1.0
+    z_y = (logits * Tensor(onehot_y)).sum(axis=1)
+
+    alt = np.where(top1 == y, top2, top1)
+    onehot_alt = np.zeros((n, num_classes), dtype=np.float32)
+    onehot_alt[np.arange(n), alt] = 1.0
+    z_alt = (logits * Tensor(onehot_alt)).sum(axis=1)
+
+    return ((z_alt - z_y) * Tensor(1.0 / denom.astype(np.float32))).mean()
+
+
+def margin_loss_grad(model: Module, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Convenience wrapper: gradient of the CW margin loss w.r.t. the input."""
+    return input_gradient(model, x, y, loss="cw")
+
+
+def predict_labels(model: Module, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    """Model predictions without building an autograd graph."""
+    from ..nn.tensor import no_grad
+
+    outputs = []
+    with no_grad():
+        for start in range(0, len(x), batch_size):
+            logits = model(Tensor(x[start:start + batch_size]))
+            outputs.append(logits.data.argmax(axis=1))
+    return np.concatenate(outputs) if outputs else np.empty((0,), dtype=np.int64)
+
+
+@dataclass
+class AttackResult:
+    """Adversarial examples plus bookkeeping returned by ``Attack.run``."""
+
+    x_adv: np.ndarray
+    success_mask: np.ndarray
+    queries: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        if self.success_mask.size == 0:
+            return 0.0
+        return float(self.success_mask.mean())
+
+
+class Attack:
+    """Base class: perturb ``x`` within an ℓ∞ ball of radius ``epsilon``."""
+
+    name = "attack"
+
+    def __init__(self, epsilon: float, clip_min: float = 0.0,
+                 clip_max: float = 1.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.epsilon = float(epsilon)
+        self.clip_min = clip_min
+        self.clip_max = clip_max
+        self.rng = rng or np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    def perturb(self, model: Module, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Return adversarial examples for the batch ``(x, y)``."""
+        raise NotImplementedError
+
+    def run(self, model: Module, x: np.ndarray, y: np.ndarray) -> AttackResult:
+        """Perturb and report which examples changed the model's decision."""
+        was_training = model.training
+        model.eval()
+        try:
+            x_adv = self.perturb(model, x, y)
+        finally:
+            model.train(was_training)
+        x_adv = self.project(x, x_adv)
+        preds = predict_labels(model, x_adv)
+        return AttackResult(x_adv=x_adv, success_mask=preds != np.asarray(y))
+
+    # ------------------------------------------------------------------
+    def project(self, x: np.ndarray, x_adv: np.ndarray) -> np.ndarray:
+        """Project ``x_adv`` back into the ℓ∞ ball around ``x`` and the pixel box."""
+        x_adv = np.clip(x_adv, x - self.epsilon, x + self.epsilon)
+        return np.clip(x_adv, self.clip_min, self.clip_max).astype(np.float32)
+
+    def random_start(self, x: np.ndarray) -> np.ndarray:
+        """Uniform random point inside the ℓ∞ ball (used by PGD / FGSM-RS)."""
+        noise = self.rng.uniform(-self.epsilon, self.epsilon, size=x.shape)
+        return self.project(x, x + noise.astype(np.float32))

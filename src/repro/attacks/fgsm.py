@@ -1,0 +1,45 @@
+"""Fast Gradient Sign Method attacks (Goodfellow et al.; Wong et al. FGSM-RS)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from .base import Attack, input_gradient
+
+__all__ = ["FGSM", "FGSMRS"]
+
+
+class FGSM(Attack):
+    """Single-step ℓ∞ attack: ``x + eps * sign(grad_x loss)``."""
+
+    name = "FGSM"
+
+    def perturb(self, model: Module, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        grad = input_gradient(model, x, y, loss="ce")
+        x_adv = x + self.epsilon * np.sign(grad)
+        return self.project(x, x_adv)
+
+
+class FGSMRS(Attack):
+    """FGSM with a random start (Wong, Rice & Kolter, "Fast is better than free").
+
+    The perturbation is initialised uniformly in the ℓ∞ ball, then a single
+    gradient-sign step of size ``alpha`` (default 1.25 * eps) is taken and the
+    result is projected back onto the ball.
+    """
+
+    name = "FGSM-RS"
+
+    def __init__(self, epsilon: float, alpha: Optional[float] = None,
+                 **kwargs) -> None:
+        super().__init__(epsilon, **kwargs)
+        self.alpha = alpha if alpha is not None else 1.25 * epsilon
+
+    def perturb(self, model: Module, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x_adv = self.random_start(x)
+        grad = input_gradient(model, x_adv, y, loss="ce")
+        x_adv = x_adv + self.alpha * np.sign(grad)
+        return self.project(x, x_adv)

@@ -1,0 +1,30 @@
+"""Core of the reproduction: the RPS algorithm, evaluation protocols, the
+instant robustness-efficiency trade-off, and the algorithm/hardware co-design
+façade."""
+
+from .codesign import CoDesignReport, TwoInOneSystem
+from .evaluation import (
+    TransferabilityResult,
+    natural_accuracy,
+    robust_accuracy,
+    rps_robust_accuracy,
+    transferability_matrix,
+)
+from .rps import RPSConfig, RPSInference, RPSTrainer
+from .tradeoff import OperatingPoint, TradeoffController, TradeoffCurve
+
+__all__ = [
+    "RPSConfig",
+    "RPSTrainer",
+    "RPSInference",
+    "natural_accuracy",
+    "robust_accuracy",
+    "rps_robust_accuracy",
+    "transferability_matrix",
+    "TransferabilityResult",
+    "OperatingPoint",
+    "TradeoffCurve",
+    "TradeoffController",
+    "CoDesignReport",
+    "TwoInOneSystem",
+]

@@ -1,0 +1,102 @@
+"""End-to-end algorithm/accelerator co-design façade.
+
+``TwoInOneSystem`` wires together the two halves of the paper: an RPS-trained
+model (algorithm side) and the 2-in-1 Accelerator model (hardware side).  It
+is the object the quickstart example builds — train, evaluate robustness,
+and obtain the hardware efficiency of deploying the same precision set on the
+proposed accelerator, all behind one API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..accelerator.accelerators.two_in_one import TwoInOneAccelerator
+from ..accelerator.workload import LayerShape, network_layers
+from ..attacks.base import Attack
+from ..data.datasets import SyntheticImageDataset
+from ..nn.module import Module
+from ..quantization import PrecisionSet
+from .evaluation import rps_robust_accuracy
+from .rps import RPSConfig, RPSInference, RPSTrainer
+from .tradeoff import TradeoffController, TradeoffCurve
+
+__all__ = ["CoDesignReport", "TwoInOneSystem"]
+
+
+@dataclass
+class CoDesignReport:
+    """Joint algorithm + hardware summary for one deployment configuration."""
+
+    natural_accuracy: float
+    robust_accuracy: Optional[float]
+    average_fps: float
+    average_energy: float
+    precision_keys: List[object] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "natural_accuracy": self.natural_accuracy,
+            "robust_accuracy": self.robust_accuracy,
+            "average_fps": self.average_fps,
+            "average_energy": self.average_energy,
+            "precisions": self.precision_keys,
+        }
+
+
+class TwoInOneSystem:
+    """The complete 2-in-1 co-design: RPS model + precision-scalable accelerator."""
+
+    def __init__(self, model: Module, precision_set: PrecisionSet,
+                 accelerator: Optional[TwoInOneAccelerator] = None,
+                 workload: str = "resnet18", workload_dataset: str = "cifar10",
+                 seed: int = 0) -> None:
+        self.model = model
+        self.precision_set = precision_set
+        self.accelerator = accelerator or TwoInOneAccelerator()
+        self.workload_layers: List[LayerShape] = network_layers(workload,
+                                                                workload_dataset)
+        self.seed = seed
+        self.inference = RPSInference(model, precision_set, seed=seed)
+
+    # ------------------------------------------------------------------
+    def train(self, dataset: SyntheticImageDataset,
+              config: Optional[RPSConfig] = None) -> RPSTrainer:
+        """RPS-train the system's model on a dataset and return the trainer."""
+        config = config or RPSConfig(precision_set=self.precision_set)
+        if config.precision_set != self.precision_set:
+            raise ValueError("trainer precision set must match the system's")
+        trainer = RPSTrainer(self.model, config)
+        trainer.fit(dataset.x_train, dataset.y_train)
+        return trainer
+
+    # ------------------------------------------------------------------
+    def report(self, x: np.ndarray, y: np.ndarray,
+               attack: Optional[Attack] = None) -> CoDesignReport:
+        """Evaluate accuracy (and robustness) plus hardware efficiency."""
+        natural = self.inference.accuracy(x, y)
+        robust = None
+        if attack is not None:
+            robust = rps_robust_accuracy(self.model, attack, x, y,
+                                         self.precision_set, seed=self.seed)
+        hardware = self.accelerator.rps_average_metrics(self.workload_layers,
+                                                        self.precision_set)
+        return CoDesignReport(
+            natural_accuracy=natural,
+            robust_accuracy=robust,
+            average_fps=hardware["average_fps"],
+            average_energy=hardware["average_energy"],
+            precision_keys=list(self.precision_set.keys),
+        )
+
+    def tradeoff_curve(self, x: np.ndarray, y: np.ndarray, attack: Attack,
+                       caps: Sequence[Optional[int]] = (None, 12, 8)
+                       ) -> TradeoffCurve:
+        """Regenerate the Fig. 11-style robustness/efficiency curve."""
+        controller = TradeoffController(self.model, self.precision_set,
+                                        attack=attack, seed=self.seed)
+        return controller.build_curve(x, y, accelerator=self.accelerator,
+                                      layers=self.workload_layers, caps=caps)

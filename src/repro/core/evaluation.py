@@ -1,0 +1,130 @@
+"""Robustness evaluation protocols used throughout the paper's Section 4.
+
+Three protocols are provided:
+
+* :func:`natural_accuracy` — clean accuracy at a fixed precision.
+* :func:`robust_accuracy` — accuracy on adversarial examples when the attack
+  is generated at one precision and the model is evaluated at another
+  (the transferability protocol behind Fig. 1).
+* :func:`rps_robust_accuracy` — the deployment protocol of Tabs. 1-6: the
+  adversary samples a random attack precision from the same candidate set
+  (the paper's default threat model, Sec. 4.1) and the defender samples a
+  random inference precision per input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..attacks.base import Attack
+from ..defense.trainer import evaluate_accuracy
+from ..nn.module import Module
+from ..quantization import FULL_PRECISION, Precision, PrecisionSet, set_model_precision
+from .rps import RPSInference
+
+__all__ = [
+    "natural_accuracy",
+    "robust_accuracy",
+    "rps_robust_accuracy",
+    "transferability_matrix",
+    "TransferabilityResult",
+]
+
+
+def _as_precision(value: Union[int, Precision, None]) -> Precision:
+    if value is None:
+        return FULL_PRECISION
+    if isinstance(value, Precision):
+        return value
+    return Precision(int(value))
+
+
+def natural_accuracy(model: Module, x: np.ndarray, y: np.ndarray,
+                     precision: Union[int, Precision, None] = None) -> float:
+    """Clean accuracy with the model quantised to ``precision``."""
+    set_model_precision(model, _as_precision(precision))
+    return evaluate_accuracy(model, x, y)
+
+
+def robust_accuracy(model: Module, attack: Attack, x: np.ndarray, y: np.ndarray,
+                    attack_precision: Union[int, Precision, None] = None,
+                    inference_precision: Union[int, Precision, None] = None,
+                    ) -> float:
+    """Accuracy under attack with independent attack/inference precisions.
+
+    The attack is generated against the model quantised to
+    ``attack_precision``; the resulting adversarial examples are then
+    evaluated with the model quantised to ``inference_precision``.  Equal
+    precisions give the white-box diagonal of Fig. 1; unequal precisions give
+    the transfer entries.
+    """
+    set_model_precision(model, _as_precision(attack_precision))
+    result = attack.run(model, x, y)
+    set_model_precision(model, _as_precision(inference_precision))
+    return evaluate_accuracy(model, result.x_adv, y)
+
+
+def rps_robust_accuracy(model: Module, attack: Attack, x: np.ndarray,
+                        y: np.ndarray, precision_set: PrecisionSet,
+                        seed: int = 0, attack_batch: int = 64) -> float:
+    """Robust accuracy under the paper's RPS threat model.
+
+    The adversary draws a random attack precision per batch from the same
+    candidate set as the defender (Sec. 4.1's simplifying assumption); the
+    defender draws a random inference precision per input via
+    :class:`RPSInference`.
+    """
+    rng = np.random.default_rng(seed)
+    inference = RPSInference(model, precision_set, seed=seed + 1)
+    correct = 0
+    for start in range(0, len(x), attack_batch):
+        x_batch = x[start:start + attack_batch]
+        y_batch = y[start:start + attack_batch]
+        attack_precision = precision_set.sample(rng)
+        set_model_precision(model, attack_precision)
+        result = attack.run(model, x_batch, y_batch)
+        predictions = inference.predict(result.x_adv, per_sample=True)
+        correct += int((predictions == y_batch).sum())
+    return correct / len(x) if len(x) else 0.0
+
+
+@dataclass
+class TransferabilityResult:
+    """Robust-accuracy matrix across (attack precision, inference precision)."""
+
+    precisions: List[int]
+    matrix: np.ndarray            # matrix[i, j]: attack at i, inference at j
+
+    def diagonal_mean(self) -> float:
+        return float(np.mean(np.diag(self.matrix)))
+
+    def off_diagonal_mean(self) -> float:
+        mask = ~np.eye(len(self.precisions), dtype=bool)
+        return float(self.matrix[mask].mean())
+
+    def transfer_gap(self) -> float:
+        """How much harder transferred attacks are than matched-precision ones."""
+        return self.off_diagonal_mean() - self.diagonal_mean()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"precisions": list(self.precisions),
+                "matrix": self.matrix.tolist()}
+
+
+def transferability_matrix(model: Module, attack: Attack, x: np.ndarray,
+                           y: np.ndarray,
+                           precisions: PrecisionSet) -> TransferabilityResult:
+    """Reproduce the Fig. 1 protocol: cross every attack precision with every
+    inference precision and record the robust accuracy."""
+    bits = precisions.bit_widths
+    matrix = np.zeros((len(bits), len(bits)), dtype=np.float64)
+    for i, attack_bits in enumerate(bits):
+        set_model_precision(model, Precision(attack_bits))
+        result = attack.run(model, x, y)
+        for j, infer_bits in enumerate(bits):
+            set_model_precision(model, Precision(infer_bits))
+            matrix[i, j] = evaluate_accuracy(model, result.x_adv, y)
+    return TransferabilityResult(precisions=bits, matrix=matrix)

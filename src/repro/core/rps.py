@@ -1,0 +1,175 @@
+"""Random Precision Switch (RPS): the paper's core algorithm (Alg. 1).
+
+RPS has two halves:
+
+* **RPS training** — adversarial training in which every iteration (i) draws a
+  precision ``q`` uniformly from the candidate set, (ii) quantises the model
+  to ``q`` bits (weights and activations), (iii) generates the adversarial
+  examples *at that precision*, and (iv) updates the weights through the
+  quantised forward/backward pass.  Switchable batch normalisation keeps one
+  set of BN statistics per precision so the per-precision activation
+  statistics stay separated.
+
+* **RPS inference** — for every incoming input, a precision is drawn at
+  random from the inference set and the model is quantised to it before
+  prediction.  Because adversarial examples transfer poorly between
+  precisions (Sec. 2.3 / Fig. 1), the random switch breaks most attacks that
+  were generated at any single precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..defense.adversarial import AdversarialConfig, AdversarialTrainer
+from ..defense.trainer import TrainingHistory
+from ..data.loaders import DataLoader
+from ..nn.module import Module
+from ..nn.tensor import Tensor, no_grad
+from ..quantization import (
+    DEFAULT_RPS_SET,
+    FULL_PRECISION,
+    Precision,
+    PrecisionSet,
+    set_model_precision,
+)
+
+__all__ = ["RPSConfig", "RPSTrainer", "RPSInference"]
+
+
+@dataclass
+class RPSConfig(AdversarialConfig):
+    """Adversarial-training hyper-parameters plus the RPS candidate set."""
+
+    precision_set: PrecisionSet = field(default_factory=lambda: DEFAULT_RPS_SET)
+    #: Also run a fraction of iterations at full precision, which stabilises
+    #: early training of very small models; 0.0 reproduces Alg. 1 exactly.
+    full_precision_fraction: float = 0.0
+
+
+class RPSTrainer(AdversarialTrainer):
+    """Adversarial training with an in-situ random precision switch.
+
+    The model must have been built with switchable batch norm branches for
+    every precision in ``config.precision_set`` (pass the set to the model
+    constructor); otherwise the trainer raises at construction time.
+    """
+
+    def __init__(self, model: Module, config: Optional[RPSConfig] = None) -> None:
+        config = config or RPSConfig()
+        super().__init__(model, config)
+        self.config: RPSConfig = config
+        self._validate_sbn(model, config.precision_set)
+        self.precision_history: List[Precision] = []
+
+    @staticmethod
+    def _validate_sbn(model: Module, precision_set: PrecisionSet) -> None:
+        from ..nn.layers import SwitchableBatchNorm2d
+
+        sbn_layers = [m for m in model.modules()
+                      if isinstance(m, SwitchableBatchNorm2d)]
+        if not sbn_layers:
+            raise ValueError(
+                "RPS training requires switchable batch normalisation; build the "
+                "model with the same precision set (models accept `precisions=`)")
+        missing = [key for key in precision_set.keys
+                   if key not in sbn_layers[0].available_keys()]
+        if missing:
+            raise ValueError(f"model SBN branches missing precisions {missing}")
+
+    # ------------------------------------------------------------------
+    def sample_training_precision(self) -> Precision:
+        """Line 5 of Alg. 1: draw the iteration's precision."""
+        if (self.config.full_precision_fraction > 0.0
+                and self.rng.random() < self.config.full_precision_fraction):
+            return FULL_PRECISION
+        return self.config.precision_set.sample(self.rng)
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> Dict[str, float]:
+        precision = self.sample_training_precision()
+        self.precision_history.append(precision)
+        set_model_precision(self.model, precision)
+        return super().train_batch(x, y)
+
+
+class RPSInference:
+    """RPS inference: per-input random precision selection (Alg. 1, lines 14-19)."""
+
+    def __init__(self, model: Module,
+                 precision_set: Optional[PrecisionSet] = None,
+                 seed: int = 0) -> None:
+        self.model = model
+        self.precision_set = precision_set or DEFAULT_RPS_SET
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def restrict(self, max_bits: int) -> "RPSInference":
+        """Return a new engine whose inference set is capped at ``max_bits``.
+
+        This is the instant robustness-efficiency trade-off knob of Sec. 2.5:
+        no retraining is involved, only the sampled set changes.
+        """
+        return RPSInference(self.model, self.precision_set.restrict(max_bits),
+                            seed=int(self.rng.integers(0, 2 ** 31)))
+
+    def sample_precision(self) -> Precision:
+        return self.precision_set.sample(self.rng)
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray, per_sample: bool = True,
+                batch_size: int = 256) -> np.ndarray:
+        """Predict labels, drawing a fresh precision per sample (or per batch).
+
+        Per-sample switching is the strongest (and default) configuration;
+        per-batch switching models a deployment that amortises the switch
+        over a batch.
+        """
+        was_training = self.model.training
+        self.model.eval()
+        predictions = np.empty(len(x), dtype=np.int64)
+        try:
+            if per_sample:
+                assignments = np.array([
+                    self.rng.integers(0, len(self.precision_set))
+                    for _ in range(len(x))])
+                for index, precision in enumerate(self.precision_set):
+                    selected = np.flatnonzero(assignments == index)
+                    if selected.size == 0:
+                        continue
+                    set_model_precision(self.model, precision)
+                    with no_grad():
+                        for start in range(0, selected.size, batch_size):
+                            chunk = selected[start:start + batch_size]
+                            logits = self.model(Tensor(x[chunk]))
+                            predictions[chunk] = logits.data.argmax(axis=1)
+            else:
+                for start in range(0, len(x), batch_size):
+                    precision = self.sample_precision()
+                    set_model_precision(self.model, precision)
+                    with no_grad():
+                        logits = self.model(Tensor(x[start:start + batch_size]))
+                    predictions[start:start + batch_size] = logits.data.argmax(axis=1)
+        finally:
+            self.model.train(was_training)
+        return predictions
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray,
+                 per_sample: bool = True) -> float:
+        if len(x) == 0:
+            return 0.0
+        predictions = self.predict(x, per_sample=per_sample)
+        return float((predictions == np.asarray(y)).mean())
+
+    # ------------------------------------------------------------------
+    def expected_bit_operations(self) -> float:
+        """Average bit-serial work per MAC under uniform precision sampling.
+
+        Used by the trade-off controller to convert an inference precision set
+        into a relative efficiency figure without invoking the accelerator
+        model (which provides the calibrated numbers for Fig. 11).
+        """
+        ops = [p.bit_operations_per_mac() for p in self.precision_set]
+        return float(np.mean(ops))

@@ -1,0 +1,154 @@
+"""Instant robustness-efficiency trade-off controller (Sec. 2.5 / Fig. 11).
+
+A trained RPS model can trade robustness for efficiency at run time, with no
+retraining, by shrinking the inference precision set (lower precisions =
+cheaper but less of the randomisation benefit at the high end) or collapsing
+to a single static low precision (cheapest, least robust).  The controller
+below enumerates those operating points and, given an accelerator model,
+attaches the average energy/throughput of each point so the Fig. 11 curve can
+be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..attacks.base import Attack
+from ..nn.module import Module
+from ..quantization import Precision, PrecisionSet, set_model_precision
+from .evaluation import natural_accuracy, robust_accuracy, rps_robust_accuracy
+from .rps import RPSInference
+
+__all__ = ["OperatingPoint", "TradeoffCurve", "TradeoffController"]
+
+
+@dataclass
+class OperatingPoint:
+    """One run-time configuration of the RPS system."""
+
+    label: str
+    precision_set: Optional[PrecisionSet]       # None = static precision
+    static_precision: Optional[Precision] = None
+    robust_accuracy: Optional[float] = None
+    natural_accuracy: Optional[float] = None
+    average_energy: Optional[float] = None
+    average_fps: Optional[float] = None
+
+    @property
+    def is_static(self) -> bool:
+        return self.precision_set is None
+
+    def energy_efficiency(self) -> Optional[float]:
+        if self.average_energy in (None, 0.0):
+            return None
+        return 1.0 / self.average_energy
+
+
+@dataclass
+class TradeoffCurve:
+    """The ordered list of operating points (most robust first)."""
+
+    points: List[OperatingPoint] = field(default_factory=list)
+
+    def labels(self) -> List[str]:
+        return [p.label for p in self.points]
+
+    def is_monotone_tradeoff(self) -> bool:
+        """True when robustness falls while efficiency rises along the curve."""
+        robustness = [p.robust_accuracy for p in self.points
+                      if p.robust_accuracy is not None]
+        energy = [p.average_energy for p in self.points
+                  if p.average_energy is not None]
+        robust_ok = all(a >= b - 1e-9 for a, b in zip(robustness, robustness[1:]))
+        energy_ok = all(a >= b - 1e-9 for a, b in zip(energy, energy[1:]))
+        return robust_ok and energy_ok
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        return [{
+            "configuration": p.label,
+            "robust_accuracy": p.robust_accuracy,
+            "natural_accuracy": p.natural_accuracy,
+            "average_energy": p.average_energy,
+            "average_fps": p.average_fps,
+        } for p in self.points]
+
+
+class TradeoffController:
+    """Enumerate and score the run-time operating points of an RPS system."""
+
+    def __init__(self, model: Module, full_set: PrecisionSet,
+                 attack: Optional[Attack] = None, seed: int = 0) -> None:
+        self.model = model
+        self.full_set = full_set
+        self.attack = attack
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def operating_points(self, caps: Sequence[Optional[int]] = (None, 12, 8),
+                         include_static_lowest: bool = True) -> List[OperatingPoint]:
+        """Build the paper's Fig. 11 configurations.
+
+        ``caps`` lists maximum bit-widths for the restricted RPS sets
+        (``None`` keeps the full set); a final static-lowest-precision point
+        is appended when ``include_static_lowest`` is set.
+        """
+        points: List[OperatingPoint] = []
+        for cap in caps:
+            subset = self.full_set if cap is None else self.full_set.restrict(cap)
+            low = subset.lowest().symmetric_bits
+            high = subset.highest().symmetric_bits
+            points.append(OperatingPoint(
+                label=f"RPS {low}~{high}-bit", precision_set=subset))
+        if include_static_lowest:
+            lowest = self.full_set.lowest()
+            points.append(OperatingPoint(
+                label=f"static {lowest.symmetric_bits}-bit",
+                precision_set=None, static_precision=lowest))
+        return points
+
+    # ------------------------------------------------------------------
+    def score_robustness(self, points: Sequence[OperatingPoint],
+                         x: np.ndarray, y: np.ndarray) -> None:
+        """Fill in natural / robust accuracy for every operating point."""
+        if self.attack is None:
+            raise ValueError("an attack must be provided to score robustness")
+        for point in points:
+            if point.is_static:
+                precision = point.static_precision
+                point.natural_accuracy = natural_accuracy(self.model, x, y, precision)
+                point.robust_accuracy = robust_accuracy(
+                    self.model, self.attack, x, y,
+                    attack_precision=precision, inference_precision=precision)
+            else:
+                inference = RPSInference(self.model, point.precision_set,
+                                         seed=self.seed)
+                point.natural_accuracy = inference.accuracy(x, y)
+                point.robust_accuracy = rps_robust_accuracy(
+                    self.model, self.attack, x, y, point.precision_set,
+                    seed=self.seed)
+
+    def score_efficiency(self, points: Sequence[OperatingPoint], accelerator,
+                         layers) -> None:
+        """Fill in average energy / FPS using an accelerator model."""
+        for point in points:
+            if point.is_static:
+                perf = accelerator.evaluate_network(layers, point.static_precision)
+                point.average_energy = perf.total_energy
+                point.average_fps = perf.throughput_fps
+            else:
+                metrics = accelerator.rps_average_metrics(layers, point.precision_set)
+                point.average_energy = metrics["average_energy"]
+                point.average_fps = metrics["average_fps"]
+
+    # ------------------------------------------------------------------
+    def build_curve(self, x: np.ndarray, y: np.ndarray, accelerator=None,
+                    layers=None,
+                    caps: Sequence[Optional[int]] = (None, 12, 8)) -> TradeoffCurve:
+        points = self.operating_points(caps=caps)
+        self.score_robustness(points, x, y)
+        if accelerator is not None and layers is not None:
+            self.score_efficiency(points, accelerator, layers)
+        return TradeoffCurve(points=points)

@@ -1,0 +1,12 @@
+"""Synthetic dataset substrate replacing CIFAR / SVHN / ImageNet (see DESIGN.md)."""
+
+from .datasets import DATASET_PRESETS, DatasetConfig, SyntheticImageDataset, make_dataset
+from .loaders import DataLoader
+
+__all__ = [
+    "DatasetConfig",
+    "SyntheticImageDataset",
+    "make_dataset",
+    "DATASET_PRESETS",
+    "DataLoader",
+]

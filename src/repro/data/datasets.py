@@ -1,0 +1,148 @@
+"""Synthetic image-classification datasets.
+
+The paper evaluates on CIFAR-10, CIFAR-100, SVHN and ImageNet.  None of those
+are available offline, so this module provides procedurally generated
+substitutes (see DESIGN.md, substitution table): every class owns a smooth
+low-frequency "prototype" image; a sample is the prototype plus a smooth
+instance deformation plus pixel noise, clipped to [0, 1].
+
+The generator is tuned so that
+* a small convolutional network reaches high natural accuracy within a few
+  hundred gradient steps (so robustness experiments finish in seconds), and
+* the class margin is a small multiple of the standard attack budget
+  (ε = 8/255), so ℓ∞ attacks genuinely reduce accuracy and adversarial
+  training / RPS visibly recover it — preserving the qualitative shape of the
+  paper's robustness tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["DatasetConfig", "SyntheticImageDataset", "make_dataset",
+           "DATASET_PRESETS"]
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Parameters of a synthetic dataset."""
+
+    name: str
+    num_classes: int
+    image_shape: Tuple[int, int, int]      # (C, H, W)
+    train_size: int
+    test_size: int
+    prototype_contrast: float = 0.22       # peak-to-peak scale of class prototypes
+    instance_noise: float = 0.08           # smooth per-sample deformation
+    pixel_noise: float = 0.02              # iid pixel noise
+    smoothness: float = 2.0                # Gaussian blur sigma for prototypes
+    seed: int = 0
+
+
+#: Presets mirroring the paper's four datasets at laptop scale.  The contrast
+#: and noise levels are calibrated (see DESIGN.md) so that, at ε = 8/255,
+#: naturally trained models lose almost all accuracy under PGD while
+#: adversarially trained models retain roughly half of it — the regime in
+#: which the paper's robustness comparisons are made.
+DATASET_PRESETS: Dict[str, DatasetConfig] = {
+    "cifar10": DatasetConfig(name="cifar10", num_classes=10,
+                             image_shape=(3, 16, 16), train_size=2000,
+                             test_size=512, prototype_contrast=0.10,
+                             instance_noise=0.09),
+    "cifar100": DatasetConfig(name="cifar100", num_classes=20,
+                              image_shape=(3, 16, 16), train_size=2500,
+                              test_size=512, prototype_contrast=0.09,
+                              instance_noise=0.09),
+    "svhn": DatasetConfig(name="svhn", num_classes=10,
+                          image_shape=(3, 16, 16), train_size=2000,
+                          test_size=512, instance_noise=0.08,
+                          prototype_contrast=0.12),
+    "imagenet": DatasetConfig(name="imagenet", num_classes=20,
+                              image_shape=(3, 32, 32), train_size=2500,
+                              test_size=384, prototype_contrast=0.10,
+                              instance_noise=0.09, smoothness=3.0),
+}
+
+
+class SyntheticImageDataset:
+    """A fixed train/test split of synthetic images with integer labels."""
+
+    def __init__(self, config: DatasetConfig) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self._prototypes = self._make_prototypes(rng)
+        self.x_train, self.y_train = self._sample(rng, config.train_size)
+        self.x_test, self.y_test = self._sample(rng, config.test_size)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_classes(self) -> int:
+        return self.config.num_classes
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return self.config.image_shape
+
+    def prototypes(self) -> np.ndarray:
+        """The underlying class prototypes, shape (num_classes, C, H, W)."""
+        return self._prototypes.copy()
+
+    # ------------------------------------------------------------------
+    def _make_prototypes(self, rng: np.random.Generator) -> np.ndarray:
+        cfg = self.config
+        c, h, w = cfg.image_shape
+        protos = rng.normal(size=(cfg.num_classes, c, h, w))
+        for i in range(cfg.num_classes):
+            for ch in range(c):
+                protos[i, ch] = ndimage.gaussian_filter(protos[i, ch],
+                                                        sigma=cfg.smoothness)
+        # Normalise each prototype to zero mean / unit std, then centre in the
+        # pixel box with the configured contrast.
+        protos -= protos.mean(axis=(1, 2, 3), keepdims=True)
+        protos /= protos.std(axis=(1, 2, 3), keepdims=True) + 1e-9
+        return (0.5 + cfg.prototype_contrast * protos).astype(np.float32)
+
+    def _sample(self, rng: np.random.Generator,
+                count: int) -> Tuple[np.ndarray, np.ndarray]:
+        cfg = self.config
+        c, h, w = cfg.image_shape
+        labels = rng.integers(0, cfg.num_classes, size=count)
+        images = np.empty((count, c, h, w), dtype=np.float32)
+        for i, label in enumerate(labels):
+            deform = rng.normal(size=(c, h, w))
+            for ch in range(c):
+                deform[ch] = ndimage.gaussian_filter(deform[ch], sigma=1.0)
+            sample = (self._prototypes[label]
+                      + cfg.instance_noise * deform
+                      + cfg.pixel_noise * rng.normal(size=(c, h, w)))
+            images[i] = np.clip(sample, 0.0, 1.0)
+        return images, labels.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def subset(self, train: int, test: int) -> "SyntheticImageDataset":
+        """Return a shallow copy restricted to the first ``train``/``test`` samples."""
+        clone = object.__new__(SyntheticImageDataset)
+        clone.config = self.config
+        clone._prototypes = self._prototypes
+        clone.x_train = self.x_train[:train]
+        clone.y_train = self.y_train[:train]
+        clone.x_test = self.x_test[:test]
+        clone.y_test = self.y_test[:test]
+        return clone
+
+
+def make_dataset(name: str, **overrides) -> SyntheticImageDataset:
+    """Build a dataset from a preset name, optionally overriding config fields.
+
+    >>> ds = make_dataset("cifar10", train_size=256, test_size=64)
+    """
+    if name not in DATASET_PRESETS:
+        raise KeyError(f"unknown dataset {name!r}; presets: {sorted(DATASET_PRESETS)}")
+    base = DATASET_PRESETS[name]
+    if overrides:
+        base = DatasetConfig(**{**base.__dict__, **overrides})
+    return SyntheticImageDataset(base)

@@ -1,0 +1,50 @@
+"""Mini-batch iteration over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate over (x, y) arrays in shuffled mini-batches.
+
+    Unlike a framework data loader there is no worker pool — datasets here are
+    small in-memory numpy arrays — but the interface (len = number of batches,
+    iteration yields ``(x_batch, y_batch)``) matches what the training loops
+    expect.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, batch_size: int,
+                 shuffle: bool = True,
+                 rng: Optional[np.random.Generator] = None,
+                 drop_last: bool = False) -> None:
+        if len(x) != len(y):
+            raise ValueError("x and y must have the same length")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.x = x
+        self.y = y
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng or np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        if self.drop_last:
+            return len(self.x) // self.batch_size
+        return int(np.ceil(len(self.x) / self.batch_size))
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.x))
+        if self.shuffle:
+            self.rng.shuffle(indices)
+        limit = len(self) * self.batch_size if self.drop_last else len(self.x)
+        for start in range(0, limit, self.batch_size):
+            batch = indices[start:start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                break
+            yield self.x[batch], self.y[batch]

@@ -1,0 +1,14 @@
+"""Training loops: natural training and the paper's adversarial-training baselines."""
+
+from .adversarial import ADVERSARIAL_METHODS, AdversarialConfig, AdversarialTrainer
+from .trainer import Trainer, TrainingConfig, TrainingHistory, evaluate_accuracy
+
+__all__ = [
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "evaluate_accuracy",
+    "AdversarialConfig",
+    "AdversarialTrainer",
+    "ADVERSARIAL_METHODS",
+]

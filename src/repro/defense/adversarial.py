@@ -1,0 +1,183 @@
+"""Adversarial training methods used as baselines in the paper (Sec. 4.1).
+
+Four methods are implemented, matching the paper's baseline set:
+
+* **FGSM** adversarial training (Goodfellow et al.) — single-step examples.
+* **FGSM-RS** (Wong et al., "Fast is better than free") — random start plus a
+  single 1.25·ε step.
+* **PGD-7** (Madry et al.) — 7-step PGD inner maximisation.
+* **Free** (Shafahi et al.) — replays each mini-batch ``m`` times, reusing and
+  updating a persistent perturbation while also updating the weights.
+
+Each method is exposed through :class:`AdversarialTrainer`, which the RPS
+trainer in :mod:`repro.core.rps` wraps with its per-iteration random precision
+switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..attacks.base import input_gradient
+from ..data.loaders import DataLoader
+from ..nn import functional as F
+from ..nn.module import Module
+from ..nn.optim import SGD, MultiStepLR
+from ..nn.tensor import Tensor
+from .trainer import TrainingConfig, TrainingHistory
+
+__all__ = ["AdversarialConfig", "AdversarialTrainer", "ADVERSARIAL_METHODS"]
+
+ADVERSARIAL_METHODS = ("natural", "fgsm", "fgsm_rs", "pgd", "free")
+
+
+@dataclass
+class AdversarialConfig(TrainingConfig):
+    """Training hyper-parameters plus inner-maximisation settings."""
+
+    method: str = "pgd"
+    epsilon: float = 8.0 / 255.0
+    attack_steps: int = 7          # PGD inner steps (the paper's PGD-7)
+    attack_alpha: Optional[float] = None
+    free_replays: int = 4          # m in Free adversarial training
+
+    def __post_init__(self) -> None:
+        if self.method not in ADVERSARIAL_METHODS:
+            raise ValueError(f"unknown adversarial training method {self.method!r}; "
+                             f"choose from {ADVERSARIAL_METHODS}")
+
+    @property
+    def alpha(self) -> float:
+        if self.attack_alpha is not None:
+            return self.attack_alpha
+        if self.method == "fgsm_rs":
+            return 1.25 * self.epsilon
+        if self.method == "pgd":
+            return max(self.epsilon / 4.0, 2.0 / 255.0)
+        return self.epsilon
+
+
+class AdversarialTrainer:
+    """Adversarial training with a pluggable inner maximisation."""
+
+    def __init__(self, model: Module, config: Optional[AdversarialConfig] = None) -> None:
+        self.model = model
+        self.config = config or AdversarialConfig()
+        self.optimizer = SGD(model.parameters(), lr=self.config.lr,
+                             momentum=self.config.momentum,
+                             weight_decay=self.config.weight_decay)
+        self.scheduler = (MultiStepLR(self.optimizer, self.config.lr_milestones,
+                                      self.config.lr_gamma)
+                          if self.config.lr_milestones else None)
+        self.rng = np.random.default_rng(self.config.seed)
+        self.history = TrainingHistory()
+        # Persistent perturbation for Free adversarial training.
+        self._free_delta: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Inner maximisation
+    # ------------------------------------------------------------------
+    def generate_adversarial(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Craft training-time adversarial examples with the configured method."""
+        cfg = self.config
+        if cfg.method == "natural":
+            return x
+        if cfg.method == "fgsm":
+            grad = input_gradient(self.model, x, y)
+            return self._project(x, x + cfg.epsilon * np.sign(grad), cfg.epsilon)
+        if cfg.method == "fgsm_rs":
+            delta = self.rng.uniform(-cfg.epsilon, cfg.epsilon,
+                                     size=x.shape).astype(np.float32)
+            x_adv = self._project(x, x + delta, cfg.epsilon)
+            grad = input_gradient(self.model, x_adv, y)
+            return self._project(x, x_adv + cfg.alpha * np.sign(grad), cfg.epsilon)
+        if cfg.method == "pgd":
+            delta = self.rng.uniform(-cfg.epsilon, cfg.epsilon,
+                                     size=x.shape).astype(np.float32)
+            x_adv = self._project(x, x + delta, cfg.epsilon)
+            for _ in range(cfg.attack_steps):
+                grad = input_gradient(self.model, x_adv, y)
+                x_adv = self._project(x, x_adv + cfg.alpha * np.sign(grad), cfg.epsilon)
+            return x_adv
+        if cfg.method == "free":
+            # Handled inside train_batch (needs weight updates per replay).
+            raise RuntimeError("Free adversarial training generates examples "
+                               "inside train_batch")
+        raise ValueError(f"unknown method {cfg.method!r}")
+
+    @staticmethod
+    def _project_delta(delta: np.ndarray, epsilon: float) -> np.ndarray:
+        return np.clip(delta, -epsilon, epsilon)
+
+    @staticmethod
+    def _project(x: np.ndarray, x_adv: np.ndarray,
+                 epsilon: Optional[float] = None) -> np.ndarray:
+        if epsilon is not None:
+            x_adv = np.clip(x_adv, x - epsilon, x + epsilon)
+        return np.clip(x_adv, 0.0, 1.0).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # Optimisation steps
+    # ------------------------------------------------------------------
+    def _weight_step(self, x: np.ndarray, y: np.ndarray) -> Dict[str, float]:
+        self.optimizer.zero_grad()
+        logits = self.model(Tensor(x))
+        loss = F.cross_entropy(logits, y)
+        loss.backward()
+        self.optimizer.step()
+        accuracy = float((logits.data.argmax(axis=1) == y).mean())
+        return {"loss": loss.item(), "accuracy": accuracy}
+
+    def _train_batch_free(self, x: np.ndarray, y: np.ndarray) -> Dict[str, float]:
+        cfg = self.config
+        if self._free_delta is None or self._free_delta.shape != x.shape:
+            self._free_delta = np.zeros_like(x)
+        metrics: Dict[str, float] = {"loss": 0.0, "accuracy": 0.0}
+        for _ in range(cfg.free_replays):
+            x_adv = self._project(x, x + self._free_delta)
+            # Simultaneously obtain weight and input gradients.
+            self.optimizer.zero_grad()
+            x_t = Tensor(x_adv, requires_grad=True)
+            logits = self.model(x_t)
+            loss = F.cross_entropy(logits, y)
+            loss.backward()
+            self.optimizer.step()
+            # Ascend the perturbation with the input gradient of the same pass.
+            self._free_delta = self._project_delta(
+                self._free_delta + cfg.epsilon * np.sign(x_t.grad), cfg.epsilon)
+            metrics["loss"] += loss.item() / cfg.free_replays
+            metrics["accuracy"] += float(
+                (logits.data.argmax(axis=1) == y).mean()) / cfg.free_replays
+        return metrics
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> Dict[str, float]:
+        self.model.train()
+        if self.config.method == "free":
+            return self._train_batch_free(x, y)
+        x_adv = self.generate_adversarial(x, y)
+        return self._weight_step(x_adv, y)
+
+    def train_epoch(self, loader: DataLoader) -> Dict[str, float]:
+        losses, accuracies = [], []
+        for x, y in loader:
+            metrics = self.train_batch(x, y)
+            losses.append(metrics["loss"])
+            accuracies.append(metrics["accuracy"])
+        epoch_loss = float(np.mean(losses)) if losses else 0.0
+        epoch_accuracy = float(np.mean(accuracies)) if accuracies else 0.0
+        self.history.record(epoch_loss, epoch_accuracy)
+        if self.scheduler is not None:
+            self.scheduler.step()
+        return {"loss": epoch_loss, "accuracy": epoch_accuracy}
+
+    def fit(self, x: np.ndarray, y: np.ndarray,
+            epochs: Optional[int] = None) -> TrainingHistory:
+        epochs = epochs if epochs is not None else self.config.epochs
+        loader = DataLoader(x, y, batch_size=self.config.batch_size,
+                            shuffle=True, rng=self.rng)
+        for _ in range(epochs):
+            self.train_epoch(loader)
+        return self.history

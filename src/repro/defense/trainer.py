@@ -1,0 +1,111 @@
+"""Plain (natural) training loop and accuracy evaluation utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.module import Module
+from ..nn.optim import SGD, MultiStepLR
+from ..nn.tensor import Tensor, no_grad
+from ..data.loaders import DataLoader
+
+__all__ = ["TrainingConfig", "TrainingHistory", "Trainer", "evaluate_accuracy"]
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters shared by natural and adversarial training."""
+
+    epochs: int = 5
+    batch_size: int = 64
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    lr_milestones: tuple = ()
+    lr_gamma: float = 0.1
+    seed: int = 0
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metrics recorded by the trainers."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    epochs_completed: int = 0
+
+    def record(self, loss: float, accuracy: float) -> None:
+        self.train_loss.append(loss)
+        self.train_accuracy.append(accuracy)
+        self.epochs_completed += 1
+
+
+def evaluate_accuracy(model: Module, x: np.ndarray, y: np.ndarray,
+                      batch_size: int = 256) -> float:
+    """Top-1 accuracy of ``model`` on ``(x, y)`` without building a graph."""
+    if len(x) == 0:
+        return 0.0
+    was_training = model.training
+    model.eval()
+    correct = 0
+    with no_grad():
+        for start in range(0, len(x), batch_size):
+            logits = model(Tensor(x[start:start + batch_size]))
+            correct += int((logits.data.argmax(axis=1)
+                            == y[start:start + batch_size]).sum())
+    model.train(was_training)
+    return correct / len(x)
+
+
+class Trainer:
+    """Standard (non-adversarial) SGD training of a classifier."""
+
+    def __init__(self, model: Module, config: Optional[TrainingConfig] = None) -> None:
+        self.model = model
+        self.config = config or TrainingConfig()
+        self.optimizer = SGD(model.parameters(), lr=self.config.lr,
+                             momentum=self.config.momentum,
+                             weight_decay=self.config.weight_decay)
+        self.scheduler = (MultiStepLR(self.optimizer, self.config.lr_milestones,
+                                      self.config.lr_gamma)
+                          if self.config.lr_milestones else None)
+        self.rng = np.random.default_rng(self.config.seed)
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> Dict[str, float]:
+        """One optimisation step on a raw mini-batch."""
+        self.model.train()
+        self.optimizer.zero_grad()
+        logits = self.model(Tensor(x))
+        loss = F.cross_entropy(logits, y)
+        loss.backward()
+        self.optimizer.step()
+        accuracy = float((logits.data.argmax(axis=1) == y).mean())
+        return {"loss": loss.item(), "accuracy": accuracy}
+
+    def train_epoch(self, loader: DataLoader) -> Dict[str, float]:
+        losses, accuracies = [], []
+        for x, y in loader:
+            metrics = self.train_batch(x, y)
+            losses.append(metrics["loss"])
+            accuracies.append(metrics["accuracy"])
+        epoch_loss = float(np.mean(losses)) if losses else 0.0
+        epoch_accuracy = float(np.mean(accuracies)) if accuracies else 0.0
+        self.history.record(epoch_loss, epoch_accuracy)
+        if self.scheduler is not None:
+            self.scheduler.step()
+        return {"loss": epoch_loss, "accuracy": epoch_accuracy}
+
+    def fit(self, x: np.ndarray, y: np.ndarray,
+            epochs: Optional[int] = None) -> TrainingHistory:
+        epochs = epochs if epochs is not None else self.config.epochs
+        loader = DataLoader(x, y, batch_size=self.config.batch_size,
+                            shuffle=True, rng=self.rng)
+        for _ in range(epochs):
+            self.train_epoch(loader)
+        return self.history

@@ -1,0 +1,61 @@
+"""Experiment harnesses regenerating every table and figure of the paper."""
+
+from .accelerator_figures import (
+    FIG7_WORKLOADS,
+    dataflow_optimizer_ablation,
+    dnnguard_comparison,
+    energy_breakdown_comparison,
+    mac_area_breakdown,
+    mac_cycle_counts,
+    mac_unit_comparison,
+    normalized_energy_table,
+    normalized_throughput_table,
+    throughput_vs_precision,
+)
+from .common import (
+    DEFAULT_EPSILON,
+    ExperimentBudget,
+    build_experiment_model,
+    format_table,
+    load_experiment_dataset,
+)
+from .robustness_tables import (
+    DEFAULT_PRECISION_SET,
+    RobustnessRow,
+    evaluate_adaptive_attack,
+    evaluate_robustness_table,
+    evaluate_strong_attacks,
+    train_baseline,
+    train_rps,
+)
+from .tradeoff import run_tradeoff_experiment, tradeoff_rows
+from .transferability import TransferabilityPanel, run_transferability_study
+
+__all__ = [
+    "ExperimentBudget",
+    "DEFAULT_EPSILON",
+    "DEFAULT_PRECISION_SET",
+    "build_experiment_model",
+    "load_experiment_dataset",
+    "format_table",
+    "RobustnessRow",
+    "train_baseline",
+    "train_rps",
+    "evaluate_robustness_table",
+    "evaluate_strong_attacks",
+    "evaluate_adaptive_attack",
+    "TransferabilityPanel",
+    "run_transferability_study",
+    "FIG7_WORKLOADS",
+    "mac_cycle_counts",
+    "mac_area_breakdown",
+    "mac_unit_comparison",
+    "throughput_vs_precision",
+    "normalized_throughput_table",
+    "normalized_energy_table",
+    "energy_breakdown_comparison",
+    "dnnguard_comparison",
+    "dataflow_optimizer_ablation",
+    "run_tradeoff_experiment",
+    "tradeoff_rows",
+]

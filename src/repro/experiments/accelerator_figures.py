@@ -1,0 +1,265 @@
+"""Harnesses for the accelerator evaluation figures (Figs. 2, 3, 7-10 and the
+MAC-unit / DNNGuard comparisons of Sec. 4.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..accelerator import (
+    BitFusionAccelerator,
+    DNNGuardAccelerator,
+    SpatialBitFusionMAC,
+    SpatialTemporalMAC,
+    StripesAccelerator,
+    TemporalBitSerialMAC,
+    TwoInOneAccelerator,
+    network_layers,
+)
+from ..accelerator.optimizer import EvolutionaryDataflowOptimizer, OptimizerConfig
+from ..accelerator.dataflow import default_dataflow
+from ..accelerator.performance_model import PerformanceModel
+
+__all__ = [
+    "FIG7_WORKLOADS",
+    "mac_unit_comparison",
+    "mac_area_breakdown",
+    "mac_cycle_counts",
+    "throughput_vs_precision",
+    "normalized_throughput_table",
+    "normalized_energy_table",
+    "energy_breakdown_comparison",
+    "dnnguard_comparison",
+    "dataflow_optimizer_ablation",
+]
+
+#: The six (network, dataset) workloads of Figs. 7-9, in the paper's order.
+FIG7_WORKLOADS: Sequence[Tuple[str, str]] = (
+    ("resnet18", "cifar10"),
+    ("wide_resnet32", "cifar10"),
+    ("resnet18", "imagenet"),
+    ("resnet50", "imagenet"),
+    ("vgg16", "imagenet"),
+    ("alexnet", "imagenet"),
+)
+
+
+def _build_accelerators(optimizer_config: Optional[OptimizerConfig] = None):
+    config = optimizer_config or OptimizerConfig(population_size=12, total_cycles=3)
+    return {
+        "BitFusion": BitFusionAccelerator(),
+        "Stripes": StripesAccelerator(optimizer_config=config),
+        "2-in-1": TwoInOneAccelerator(optimizer_config=config),
+    }
+
+
+# ---------------------------------------------------------------------------
+# MAC-unit level comparisons (Fig. 3, Fig. 4 / Sec. 3.2.3 synthesis ratios)
+# ---------------------------------------------------------------------------
+
+def mac_cycle_counts(bits: int = 8) -> Dict[str, float]:
+    """Fig. 4: cycles to complete one MAC at ``bits``-bit x ``bits``-bit."""
+    return {
+        "temporal": TemporalBitSerialMAC().cycles_per_mac(bits),
+        "spatial": SpatialBitFusionMAC().cycles_per_mac(bits),
+        "spatial_temporal": SpatialTemporalMAC().cycles_per_mac(bits),
+    }
+
+
+def mac_area_breakdown() -> List[Dict[str, object]]:
+    """Fig. 3: multiplier / shift-add / register area fractions per design."""
+    rows = []
+    for label, unit in (("temporal", TemporalBitSerialMAC()),
+                        ("spatial", SpatialBitFusionMAC()),
+                        ("ours", SpatialTemporalMAC())):
+        fractions = unit.area_breakdown.fractions()
+        rows.append({"design": label,
+                     "multiplier (%)": 100.0 * fractions["multiplier"],
+                     "shift_add (%)": 100.0 * fractions["shift_add"],
+                     "register (%)": 100.0 * fractions["register"],
+                     "total_area": unit.area})
+    return rows
+
+
+def mac_unit_comparison(bits: int = 8) -> Dict[str, float]:
+    """Sec. 3.2.3 synthesis claim: throughput/area and energy-eff/op vs Bit Fusion."""
+    ours = SpatialTemporalMAC()
+    bitfusion = SpatialBitFusionMAC()
+    return {
+        "throughput_per_area_ratio": (ours.throughput_per_area(bits)
+                                      / bitfusion.throughput_per_area(bits)),
+        "energy_efficiency_ratio": (bitfusion.energy_per_mac(bits)
+                                    / ours.energy_per_mac(bits)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figs. 2 and 10: throughput vs precision curves
+# ---------------------------------------------------------------------------
+
+def throughput_vs_precision(network: str = "resnet50", dataset: str = "imagenet",
+                            precisions: Sequence[int] = tuple(range(1, 17)),
+                            designs: Sequence[str] = ("BitFusion", "Stripes",
+                                                      "2-in-1"),
+                            optimizer_config: Optional[OptimizerConfig] = None
+                            ) -> List[Dict[str, object]]:
+    """Throughput (FPS) of each design across execution precisions.
+
+    Fig. 2 uses only Bit Fusion and Stripes on ResNet-50/ImageNet; Fig. 10
+    adds the 2-in-1 design and the WideResNet-32/CIFAR-10 workload.
+    """
+    layers = network_layers(network, dataset)
+    accelerators = _build_accelerators(optimizer_config)
+    rows: List[Dict[str, object]] = []
+    for precision in precisions:
+        row: Dict[str, object] = {"precision": precision}
+        for name in designs:
+            row[name] = accelerators[name].throughput_fps(layers, precision)
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figs. 7 and 8: normalized throughput / energy efficiency tables
+# ---------------------------------------------------------------------------
+
+def normalized_throughput_table(precisions: Sequence[int] = (2, 4, 8, 16),
+                                workloads: Sequence[Tuple[str, str]] = FIG7_WORKLOADS,
+                                optimizer_config: Optional[OptimizerConfig] = None
+                                ) -> List[Dict[str, object]]:
+    """Fig. 7: throughput of Stripes and 2-in-1 normalized to Bit Fusion."""
+    accelerators = _build_accelerators(optimizer_config)
+    rows: List[Dict[str, object]] = []
+    for precision in precisions:
+        for network, dataset in workloads:
+            layers = network_layers(network, dataset)
+            base = accelerators["BitFusion"].throughput_fps(layers, precision)
+            rows.append({
+                "precision": precision,
+                "workload": f"{network}/{dataset}",
+                "BitFusion": 1.0,
+                "Stripes": accelerators["Stripes"].throughput_fps(layers, precision) / base,
+                "2-in-1": accelerators["2-in-1"].throughput_fps(layers, precision) / base,
+            })
+    return rows
+
+
+def normalized_energy_table(precisions: Sequence[int] = (2, 4, 8, 16),
+                            workloads: Sequence[Tuple[str, str]] = FIG7_WORKLOADS,
+                            optimizer_config: Optional[OptimizerConfig] = None
+                            ) -> List[Dict[str, object]]:
+    """Fig. 8: energy efficiency normalized to Bit Fusion."""
+    accelerators = _build_accelerators(optimizer_config)
+    rows: List[Dict[str, object]] = []
+    for precision in precisions:
+        for network, dataset in workloads:
+            layers = network_layers(network, dataset)
+            base = accelerators["BitFusion"].energy_per_inference(layers, precision)
+            rows.append({
+                "precision": precision,
+                "workload": f"{network}/{dataset}",
+                "BitFusion": 1.0,
+                "Stripes": base / accelerators["Stripes"].energy_per_inference(layers, precision),
+                "2-in-1": base / accelerators["2-in-1"].energy_per_inference(layers, precision),
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9: energy breakdown (DRAM / SRAM / MAC) of ours vs Bit Fusion at 4-bit
+# ---------------------------------------------------------------------------
+
+def energy_breakdown_comparison(precision: int = 4,
+                                workloads: Sequence[Tuple[str, str]] = FIG7_WORKLOADS,
+                                optimizer_config: Optional[OptimizerConfig] = None
+                                ) -> List[Dict[str, object]]:
+    """Fig. 9: per-component energy of the 2-in-1 design and Bit Fusion."""
+    accelerators = _build_accelerators(optimizer_config)
+    rows: List[Dict[str, object]] = []
+    for network, dataset in workloads:
+        layers = network_layers(network, dataset)
+        for name in ("BitFusion", "2-in-1"):
+            perf = accelerators[name].evaluate_network(layers, precision)
+            breakdown = perf.energy_breakdown()
+            total = sum(breakdown.values())
+            rows.append({
+                "workload": f"{network}/{dataset}",
+                "design": name,
+                "total_energy": total,
+                "DRAM (%)": 100.0 * breakdown.get("DRAM", 0.0) / total,
+                "SRAM (%)": 100.0 * breakdown.get("GlobalBuffer", 0.0) / total,
+                "MAC (%)": 100.0 * breakdown.get("MAC", 0.0) / total,
+                "RF (%)": 100.0 * breakdown.get("RegisterFile", 0.0) / total,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Sec. 4.3.2: throughput/area comparison with DNNGuard
+# ---------------------------------------------------------------------------
+
+def dnnguard_comparison(networks: Sequence[Tuple[str, str]] = (
+                            ("alexnet", "imagenet"),
+                            ("vgg16", "imagenet"),
+                            ("resnet50", "imagenet")),
+                        precision_ranges: Dict[str, Sequence[int]] = None,
+                        optimizer_config: Optional[OptimizerConfig] = None
+                        ) -> List[Dict[str, object]]:
+    """Throughput/area of the 2-in-1 Accelerator relative to DNNGuard."""
+    precision_ranges = precision_ranges or {"4~8-bit": (4, 5, 6, 7, 8),
+                                            "4~16-bit": tuple(range(4, 17))}
+    ours = TwoInOneAccelerator(optimizer_config=optimizer_config
+                               or OptimizerConfig(population_size=12, total_cycles=3))
+    guard = DNNGuardAccelerator()
+    rows: List[Dict[str, object]] = []
+    for network, dataset in networks:
+        layers = network_layers(network, dataset)
+        # DNNGuard executes everything at its fixed 16-bit precision.
+        guard_fps = guard.throughput_fps(layers, 16)
+        guard_tpa = guard_fps / guard.compute_area
+        row: Dict[str, object] = {"workload": f"{network}/{dataset}"}
+        for label, precisions in precision_ranges.items():
+            ours_fps = ours.average_throughput_fps(layers, precisions)
+            ours_tpa = ours_fps / ours.compute_area
+            row[f"speedup {label}"] = ours_tpa / guard_tpa
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Dataflow optimizer ablation (Sec. 4.3.1's 1.28x example)
+# ---------------------------------------------------------------------------
+
+def dataflow_optimizer_ablation(network: str = "resnet50", dataset: str = "imagenet",
+                                precision: int = 4,
+                                max_layers: Optional[int] = None,
+                                optimizer_config: Optional[OptimizerConfig] = None
+                                ) -> Dict[str, float]:
+    """Quantify the gain of the evolutionary dataflow search over the default
+    mapping on the proposed micro-architecture."""
+    layers = network_layers(network, dataset)
+    if max_layers is not None:
+        layers = layers[:max_layers]
+    accelerator = TwoInOneAccelerator(optimize_dataflow=False)
+    model = accelerator.model
+    optimizer = EvolutionaryDataflowOptimizer(
+        model, optimizer_config or OptimizerConfig(population_size=16,
+                                                   total_cycles=4))
+    default_cycles = 0.0
+    optimized_cycles = 0.0
+    for layer in layers:
+        baseline_flow = default_dataflow(layer, accelerator.num_units)
+        if model.is_valid(layer, baseline_flow, precision):
+            default_perf = model.evaluate(layer, baseline_flow, precision)
+        else:
+            _, default_perf = optimizer.optimize_layer(layer, precision)
+        _, best_perf = optimizer.optimize_layer(layer, precision)
+        default_cycles += default_perf.total_cycles
+        optimized_cycles += best_perf.total_cycles
+    return {
+        "default_cycles": default_cycles,
+        "optimized_cycles": optimized_cycles,
+        "speedup": default_cycles / optimized_cycles if optimized_cycles else 0.0,
+    }

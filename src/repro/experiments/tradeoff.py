@@ -1,0 +1,68 @@
+"""Fig. 11 harness: instant robustness-efficiency trade-offs at run time."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..accelerator import TwoInOneAccelerator, network_layers
+from ..accelerator.optimizer import OptimizerConfig
+from ..attacks import PGD
+from ..core import TradeoffController, TradeoffCurve
+from ..quantization import PrecisionSet
+from .common import DEFAULT_EPSILON, ExperimentBudget, load_experiment_dataset
+from .robustness_tables import DEFAULT_PRECISION_SET, train_rps
+
+__all__ = ["run_tradeoff_experiment", "tradeoff_rows"]
+
+
+def run_tradeoff_experiment(dataset_name: str = "cifar10",
+                            network: str = "wide_resnet32",
+                            budget: Optional[ExperimentBudget] = None,
+                            precision_set: PrecisionSet = DEFAULT_PRECISION_SET,
+                            caps: Sequence[Optional[int]] = (None, 6, 5),
+                            workload: str = "wide_resnet32",
+                            workload_dataset: str = "cifar10") -> TradeoffCurve:
+    """Train one RPS model and sweep its run-time operating points.
+
+    The paper's Fig. 11 sweeps RPS 4~16 / 4~12 / 4~8-bit and static 4-bit on
+    WideResNet-32 + CIFAR-10; with the laptop-scale candidate set (4~8-bit)
+    the equivalent sweep caps the set at 8/6/5 bits before collapsing to the
+    static lowest precision.
+    """
+    budget = budget or ExperimentBudget.quick()
+    dataset = load_experiment_dataset(dataset_name, budget)
+    model = train_rps(network, dataset, "pgd", budget, precision_set)
+
+    attack = PGD(DEFAULT_EPSILON, steps=budget.eval_attack_steps)
+    controller = TradeoffController(model, precision_set, attack=attack,
+                                    seed=budget.seed)
+    accelerator = TwoInOneAccelerator(
+        optimizer_config=OptimizerConfig(population_size=10, total_cycles=2))
+    layers = network_layers(workload, workload_dataset)
+    x_eval = dataset.x_test[:budget.eval_size]
+    y_eval = dataset.y_test[:budget.eval_size]
+    return controller.build_curve(x_eval, y_eval, accelerator=accelerator,
+                                  layers=layers, caps=caps)
+
+
+def tradeoff_rows(curve: TradeoffCurve) -> List[Dict[str, object]]:
+    """Format a trade-off curve as printable rows (robustness %, relative energy)."""
+    rows = curve.as_rows()
+    energies = [row["average_energy"] for row in rows
+                if row["average_energy"] is not None]
+    max_energy = max(energies) if energies else None
+    formatted: List[Dict[str, object]] = []
+    for row in rows:
+        entry = {
+            "configuration": row["configuration"],
+            "natural_accuracy (%)": (100.0 * row["natural_accuracy"]
+                                     if row["natural_accuracy"] is not None else None),
+            "robust_accuracy (%)": (100.0 * row["robust_accuracy"]
+                                    if row["robust_accuracy"] is not None else None),
+        }
+        if max_energy:
+            entry["normalized_energy_efficiency"] = (
+                max_energy / row["average_energy"]
+                if row["average_energy"] else None)
+        formatted.append(entry)
+    return formatted

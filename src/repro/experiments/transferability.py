@@ -1,0 +1,102 @@
+"""Fig. 1 harness: transferability of adversarial attacks between precisions.
+
+The paper's Fig. 1 shows four robust-accuracy heatmaps indexed by (attack
+precision, inference precision): panels (a)-(c) for adversarially trained
+models under different training/attack combinations, panel (d) for the same
+model trained with RPS.  The key qualitative findings this harness checks:
+
+* off-diagonal (transferred) attacks leave higher robust accuracy than
+  diagonal (matched-precision) attacks, and
+* RPS training enlarges that gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..attacks import CWInf, PGD
+from ..core import TransferabilityResult, transferability_matrix
+from ..quantization import PrecisionSet
+from .common import DEFAULT_EPSILON, ExperimentBudget, load_experiment_dataset
+from .robustness_tables import DEFAULT_PRECISION_SET, train_baseline, train_rps
+
+__all__ = ["TransferabilityPanel", "run_transferability_study"]
+
+
+@dataclass
+class TransferabilityPanel:
+    """One panel of Fig. 1."""
+
+    label: str
+    training: str
+    attack: str
+    rps_trained: bool
+    result: TransferabilityResult
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "panel": self.label,
+            "training": self.training,
+            "attack": self.attack,
+            "rps_trained": self.rps_trained,
+            "diagonal_mean (%)": 100.0 * self.result.diagonal_mean(),
+            "off_diagonal_mean (%)": 100.0 * self.result.off_diagonal_mean(),
+            "transfer_gap (pp)": 100.0 * self.result.transfer_gap(),
+        }
+
+
+def _make_attack(name: str, steps: int):
+    if name == "pgd":
+        return PGD(DEFAULT_EPSILON, steps=steps)
+    if name == "cw":
+        return CWInf(DEFAULT_EPSILON, steps=steps)
+    raise ValueError(f"unknown attack {name!r}")
+
+
+def run_transferability_study(dataset_name: str = "cifar10",
+                              network: str = "preact_resnet18",
+                              budget: Optional[ExperimentBudget] = None,
+                              precisions: Optional[PrecisionSet] = None,
+                              panels: Sequence[Dict[str, object]] = (
+                                  {"label": "(a)", "training": "fgsm_rs",
+                                   "attack": "pgd", "rps": False},
+                                  {"label": "(c)", "training": "pgd",
+                                   "attack": "pgd", "rps": False},
+                                  {"label": "(d)", "training": "pgd",
+                                   "attack": "pgd", "rps": True},
+                              )) -> List[TransferabilityPanel]:
+    """Regenerate the requested Fig. 1 panels.
+
+    The default panel list covers the FGSM-RS panel, the PGD-7 panel and the
+    PGD-7+RPS panel (panel (b) swaps the attack for CW-Inf and can be added
+    by passing ``{"training": "pgd", "attack": "cw", "rps": False}``).
+    """
+    budget = budget or ExperimentBudget.quick()
+    precisions = precisions or PrecisionSet(DEFAULT_PRECISION_SET.bit_widths[:3])
+    dataset = load_experiment_dataset(dataset_name, budget)
+    x_eval = dataset.x_test[:budget.eval_size]
+    y_eval = dataset.y_test[:budget.eval_size]
+
+    results: List[TransferabilityPanel] = []
+    trained_cache: Dict[tuple, object] = {}
+    for spec in panels:
+        training = str(spec["training"])
+        rps = bool(spec.get("rps", False))
+        key = (training, rps)
+        if key not in trained_cache:
+            if rps:
+                trained_cache[key] = train_rps(network, dataset, training,
+                                               budget, DEFAULT_PRECISION_SET)
+            else:
+                trained_cache[key] = train_baseline(network, dataset, training,
+                                                    budget)
+        model = trained_cache[key]
+        attack = _make_attack(str(spec["attack"]), budget.eval_attack_steps)
+        matrix = transferability_matrix(model, attack, x_eval, y_eval, precisions)
+        results.append(TransferabilityPanel(
+            label=str(spec["label"]), training=training,
+            attack=str(spec["attack"]), rps_trained=rps, result=matrix))
+    return results

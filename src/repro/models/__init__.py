@@ -1,0 +1,31 @@
+"""Quantisation-aware model zoo covering the paper's six evaluated networks."""
+
+from .alexnet import AlexNet, alexnet
+from .preact_resnet import PreActBlock, PreActResNet, preact_resnet18
+from .registry import MODEL_BUILDERS, available_models, build_model
+from .resnet import BasicBlock, Bottleneck, ResNet, resnet18, resnet50
+from .vgg import VGG, VGG_CONFIGS, vgg11, vgg16
+from .wide_resnet import WideBasicBlock, WideResNet, wide_resnet32
+
+__all__ = [
+    "PreActBlock",
+    "PreActResNet",
+    "preact_resnet18",
+    "WideBasicBlock",
+    "WideResNet",
+    "wide_resnet32",
+    "BasicBlock",
+    "Bottleneck",
+    "ResNet",
+    "resnet18",
+    "resnet50",
+    "AlexNet",
+    "alexnet",
+    "VGG",
+    "VGG_CONFIGS",
+    "vgg11",
+    "vgg16",
+    "MODEL_BUILDERS",
+    "build_model",
+    "available_models",
+]

@@ -1,0 +1,66 @@
+"""AlexNet-style network (accelerator workload and small-scale classifier)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.layers import AdaptiveAvgPool2d, Dropout, MaxPool2d, ReLU
+from ..nn.module import Module, Sequential
+from ..nn.tensor import Tensor
+from ..quantization import PrecisionSet, QuantConv2d, QuantLinear
+from .common import make_norm_factory
+
+__all__ = ["AlexNet", "alexnet"]
+
+
+class AlexNet(Module):
+    """A batch-norm AlexNet variant scaled by ``width``.
+
+    The canonical AlexNet (width=64) is used as an accelerator workload via
+    :mod:`repro.models.layer_specs`; the runnable numpy model defaults to a
+    narrow configuration suitable for the synthetic datasets.
+    """
+
+    def __init__(self, num_classes: int = 10, width: int = 16,
+                 in_channels: int = 3,
+                 precisions: Optional[PrecisionSet] = None,
+                 dropout: float = 0.0, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        norm = make_norm_factory(precisions)
+        w = width
+        self.features = Sequential(
+            QuantConv2d(in_channels, w, kernel_size=3, stride=1, padding=1,
+                        bias=False, rng=rng),
+            norm(w), ReLU(), MaxPool2d(2),
+            QuantConv2d(w, 2 * w, kernel_size=3, stride=1, padding=1,
+                        bias=False, rng=rng),
+            norm(2 * w), ReLU(), MaxPool2d(2),
+            QuantConv2d(2 * w, 4 * w, kernel_size=3, stride=1, padding=1,
+                        bias=False, rng=rng),
+            norm(4 * w), ReLU(),
+            QuantConv2d(4 * w, 4 * w, kernel_size=3, stride=1, padding=1,
+                        bias=False, rng=rng),
+            norm(4 * w), ReLU(),
+        )
+        self.pool = AdaptiveAvgPool2d(1)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.fc1 = QuantLinear(4 * w, 8 * w, rng=rng)
+        self.relu = ReLU()
+        self.fc2 = QuantLinear(8 * w, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.features(x)
+        out = self.pool(out).flatten(1)
+        out = self.relu(self.fc1(self.dropout(out)))
+        return self.fc2(out)
+
+
+def alexnet(num_classes: int = 10, width: int = 16,
+            precisions: Optional[PrecisionSet] = None,
+            in_channels: int = 3, seed: int = 0) -> AlexNet:
+    return AlexNet(num_classes=num_classes, width=width, in_channels=in_channels,
+                   precisions=precisions, seed=seed)

@@ -1,0 +1,43 @@
+"""Shared building blocks for the model zoo.
+
+Every model in :mod:`repro.models` is *quantisation-aware* (convolutions and
+fully-connected layers are :class:`QuantConv2d` / :class:`QuantLinear`) and
+optionally *switchable-BN-equipped*: when a candidate precision set is passed
+at construction time, every normalisation layer becomes a
+:class:`SwitchableBatchNorm2d` with one branch per precision — the model
+structure required by RPS training (Alg. 1, line 2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..nn.layers import BatchNorm2d, SwitchableBatchNorm2d
+from ..nn.module import Module
+from ..quantization import PrecisionSet, QuantConv2d, QuantLinear
+
+__all__ = ["NormFactory", "make_norm_factory", "conv3x3", "conv1x1"]
+
+NormFactory = Callable[[int], Module]
+
+
+def make_norm_factory(precisions: Optional[PrecisionSet]) -> NormFactory:
+    """Return a factory producing BN (no precisions) or SBN (with precisions)."""
+    if precisions is None:
+        return lambda channels: BatchNorm2d(channels)
+    keys = list(precisions.keys)
+    return lambda channels: SwitchableBatchNorm2d(channels, precisions=keys)
+
+
+def conv3x3(in_channels: int, out_channels: int, stride: int = 1,
+            rng: Optional[np.random.Generator] = None) -> QuantConv2d:
+    return QuantConv2d(in_channels, out_channels, kernel_size=3, stride=stride,
+                       padding=1, bias=False, rng=rng)
+
+
+def conv1x1(in_channels: int, out_channels: int, stride: int = 1,
+            rng: Optional[np.random.Generator] = None) -> QuantConv2d:
+    return QuantConv2d(in_channels, out_channels, kernel_size=1, stride=stride,
+                       padding=0, bias=False, rng=rng)

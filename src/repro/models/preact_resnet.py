@@ -1,0 +1,95 @@
+"""Pre-activation ResNet (He et al., 2016) — the paper's CIFAR backbone.
+
+The paper follows Wong et al. and uses PreActResNet-18 for CIFAR-10/100 and
+SVHN.  The constructor exposes ``width`` and ``blocks_per_stage`` so the same
+architecture can be instantiated at laptop scale for the reproduction's
+synthetic datasets while keeping the canonical configuration available.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import AdaptiveAvgPool2d, ReLU
+from ..nn.module import Module, ModuleList
+from ..nn.tensor import Tensor
+from ..quantization import PrecisionSet, QuantConv2d, QuantLinear
+from .common import conv1x1, conv3x3, make_norm_factory
+
+__all__ = ["PreActBlock", "PreActResNet", "preact_resnet18"]
+
+
+class PreActBlock(Module):
+    """Pre-activation residual block: BN -> ReLU -> conv, twice."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int,
+                 norm_factory, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.bn1 = norm_factory(in_channels)
+        self.conv1 = conv3x3(in_channels, out_channels, stride=stride, rng=rng)
+        self.bn2 = norm_factory(out_channels)
+        self.conv2 = conv3x3(out_channels, out_channels, stride=1, rng=rng)
+        self.relu = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: Optional[QuantConv2d] = conv1x1(
+                in_channels, out_channels, stride=stride, rng=rng)
+        else:
+            self.shortcut = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        pre = self.relu(self.bn1(x))
+        shortcut = self.shortcut(pre) if self.shortcut is not None else x
+        out = self.conv1(pre)
+        out = self.conv2(self.relu(self.bn2(out)))
+        return out + shortcut
+
+
+class PreActResNet(Module):
+    """Pre-activation ResNet for small (CIFAR-sized) inputs."""
+
+    def __init__(self, blocks_per_stage: Sequence[int] = (2, 2, 2, 2),
+                 width: int = 64, num_classes: int = 10,
+                 in_channels: int = 3,
+                 precisions: Optional[PrecisionSet] = None,
+                 seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        norm_factory = make_norm_factory(precisions)
+        widths = [width * (2 ** i) for i in range(len(blocks_per_stage))]
+
+        self.stem = conv3x3(in_channels, widths[0], stride=1, rng=rng)
+        blocks: List[Module] = []
+        current = widths[0]
+        for stage, (num_blocks, stage_width) in enumerate(zip(blocks_per_stage, widths)):
+            for block_index in range(num_blocks):
+                stride = 2 if (stage > 0 and block_index == 0) else 1
+                blocks.append(PreActBlock(current, stage_width, stride,
+                                          norm_factory, rng=rng))
+                current = stage_width
+        self.blocks = ModuleList(blocks)
+        self.final_bn = norm_factory(current)
+        self.relu = ReLU()
+        self.pool = AdaptiveAvgPool2d(1)
+        self.fc = QuantLinear(current, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        for block in self.blocks:
+            out = block(out)
+        out = self.relu(self.final_bn(out))
+        out = self.pool(out)
+        return self.fc(out.flatten(1))
+
+
+def preact_resnet18(num_classes: int = 10, width: int = 64,
+                    precisions: Optional[PrecisionSet] = None,
+                    blocks_per_stage: Sequence[int] = (2, 2, 2, 2),
+                    in_channels: int = 3, seed: int = 0) -> PreActResNet:
+    """The paper's PreActResNet-18 (use a small ``width`` for quick runs)."""
+    return PreActResNet(blocks_per_stage=blocks_per_stage, width=width,
+                        num_classes=num_classes, in_channels=in_channels,
+                        precisions=precisions, seed=seed)

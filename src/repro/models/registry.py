@@ -1,0 +1,78 @@
+"""Model registry: build any evaluated network by name.
+
+The registry maps the six network names used in the paper's evaluation onto
+their constructors.  ``build_model`` accepts a ``scale`` argument mapping to
+each family's width parameter so tests and benchmarks can use fast, narrow
+instances while examples can request larger ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..nn.module import Module
+from ..quantization import PrecisionSet
+from .alexnet import alexnet
+from .preact_resnet import preact_resnet18
+from .resnet import resnet18, resnet50
+from .vgg import vgg16
+from .wide_resnet import wide_resnet32
+
+__all__ = ["MODEL_BUILDERS", "build_model", "available_models"]
+
+
+def _build_preact_resnet18(num_classes, precisions, scale, seed):
+    return preact_resnet18(num_classes=num_classes, width=scale,
+                           precisions=precisions, seed=seed)
+
+
+def _build_wide_resnet32(num_classes, precisions, scale, seed):
+    return wide_resnet32(num_classes=num_classes, base_width=max(scale // 2, 4),
+                         widen_factor=2, precisions=precisions, seed=seed)
+
+
+def _build_resnet18(num_classes, precisions, scale, seed):
+    return resnet18(num_classes=num_classes, width=scale, precisions=precisions,
+                    seed=seed)
+
+
+def _build_resnet50(num_classes, precisions, scale, seed):
+    return resnet50(num_classes=num_classes, width=scale, precisions=precisions,
+                    imagenet_stem=False, seed=seed)
+
+
+def _build_alexnet(num_classes, precisions, scale, seed):
+    return alexnet(num_classes=num_classes, width=scale, precisions=precisions,
+                   seed=seed)
+
+
+def _build_vgg16(num_classes, precisions, scale, seed):
+    return vgg16(num_classes=num_classes, width=scale, precisions=precisions,
+                 seed=seed)
+
+
+MODEL_BUILDERS: Dict[str, Callable[..., Module]] = {
+    "preact_resnet18": _build_preact_resnet18,
+    "wide_resnet32": _build_wide_resnet32,
+    "resnet18": _build_resnet18,
+    "resnet50": _build_resnet50,
+    "alexnet": _build_alexnet,
+    "vgg16": _build_vgg16,
+}
+
+
+def available_models() -> list:
+    return sorted(MODEL_BUILDERS)
+
+
+def build_model(name: str, num_classes: int = 10,
+                precisions: Optional[PrecisionSet] = None, scale: int = 16,
+                seed: int = 0) -> Module:
+    """Build a registered model.
+
+    ``scale`` sets the base channel width (the canonical networks use 64);
+    ``precisions`` equips the model with switchable batch norm for RPS.
+    """
+    if name not in MODEL_BUILDERS:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return MODEL_BUILDERS[name](num_classes, precisions, scale, seed)

@@ -1,0 +1,144 @@
+"""Post-activation ResNets (ResNet-18 / ResNet-50) — the ImageNet backbones."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.layers import AdaptiveAvgPool2d, MaxPool2d, ReLU
+from ..nn.module import Module, ModuleList
+from ..nn.tensor import Tensor
+from ..quantization import PrecisionSet, QuantConv2d, QuantLinear
+from .common import conv1x1, conv3x3, make_norm_factory
+
+__all__ = ["BasicBlock", "Bottleneck", "ResNet", "resnet18", "resnet50"]
+
+
+class BasicBlock(Module):
+    """Standard two-conv residual block (expansion 1)."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, channels: int, stride: int,
+                 norm_factory, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        out_channels = channels * self.expansion
+        self.conv1 = conv3x3(in_channels, channels, stride=stride, rng=rng)
+        self.bn1 = norm_factory(channels)
+        self.conv2 = conv3x3(channels, out_channels, stride=1, rng=rng)
+        self.bn2 = norm_factory(out_channels)
+        self.relu = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.down_conv: Optional[QuantConv2d] = conv1x1(
+                in_channels, out_channels, stride=stride, rng=rng)
+            self.down_bn = norm_factory(out_channels)
+        else:
+            self.down_conv = None
+            self.down_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        if self.down_conv is not None:
+            identity = self.down_bn(self.down_conv(x))
+        return self.relu(out + identity)
+
+
+class Bottleneck(Module):
+    """1x1 -> 3x3 -> 1x1 residual block (expansion 4), used by ResNet-50."""
+
+    expansion = 4
+
+    def __init__(self, in_channels: int, channels: int, stride: int,
+                 norm_factory, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        out_channels = channels * self.expansion
+        self.conv1 = conv1x1(in_channels, channels, stride=1, rng=rng)
+        self.bn1 = norm_factory(channels)
+        self.conv2 = conv3x3(channels, channels, stride=stride, rng=rng)
+        self.bn2 = norm_factory(channels)
+        self.conv3 = conv1x1(channels, out_channels, stride=1, rng=rng)
+        self.bn3 = norm_factory(out_channels)
+        self.relu = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.down_conv: Optional[QuantConv2d] = conv1x1(
+                in_channels, out_channels, stride=stride, rng=rng)
+            self.down_bn = norm_factory(out_channels)
+        else:
+            self.down_conv = None
+            self.down_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        if self.down_conv is not None:
+            identity = self.down_bn(self.down_conv(x))
+        return self.relu(out + identity)
+
+
+class ResNet(Module):
+    """Configurable ResNet supporting both CIFAR-style and ImageNet-style stems."""
+
+    def __init__(self, block_type: type, blocks_per_stage: Sequence[int],
+                 width: int = 64, num_classes: int = 10, in_channels: int = 3,
+                 imagenet_stem: bool = False,
+                 precisions: Optional[PrecisionSet] = None,
+                 seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        norm_factory = make_norm_factory(precisions)
+
+        if imagenet_stem:
+            self.stem = QuantConv2d(in_channels, width, kernel_size=7, stride=2,
+                                    padding=3, bias=False, rng=rng)
+            self.stem_pool: Optional[MaxPool2d] = MaxPool2d(2, 2)
+        else:
+            self.stem = conv3x3(in_channels, width, stride=1, rng=rng)
+            self.stem_pool = None
+        self.stem_bn = norm_factory(width)
+        self.relu = ReLU()
+
+        blocks: List[Module] = []
+        current = width
+        for stage, num_blocks in enumerate(blocks_per_stage):
+            channels = width * (2 ** stage)
+            for block_index in range(num_blocks):
+                stride = 2 if (stage > 0 and block_index == 0) else 1
+                blocks.append(block_type(current, channels, stride,
+                                         norm_factory, rng=rng))
+                current = channels * block_type.expansion
+        self.blocks = ModuleList(blocks)
+        self.pool = AdaptiveAvgPool2d(1)
+        self.fc = QuantLinear(current, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.stem_bn(self.stem(x)))
+        if self.stem_pool is not None:
+            out = self.stem_pool(out)
+        for block in self.blocks:
+            out = block(out)
+        out = self.pool(out)
+        return self.fc(out.flatten(1))
+
+
+def resnet18(num_classes: int = 10, width: int = 64,
+             precisions: Optional[PrecisionSet] = None,
+             imagenet_stem: bool = False, in_channels: int = 3,
+             seed: int = 0) -> ResNet:
+    return ResNet(BasicBlock, (2, 2, 2, 2), width=width, num_classes=num_classes,
+                  in_channels=in_channels, imagenet_stem=imagenet_stem,
+                  precisions=precisions, seed=seed)
+
+
+def resnet50(num_classes: int = 20, width: int = 64,
+             precisions: Optional[PrecisionSet] = None,
+             imagenet_stem: bool = True, in_channels: int = 3,
+             seed: int = 0) -> ResNet:
+    return ResNet(Bottleneck, (3, 4, 6, 3), width=width, num_classes=num_classes,
+                  in_channels=in_channels, imagenet_stem=imagenet_stem,
+                  precisions=precisions, seed=seed)

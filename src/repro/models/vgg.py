@@ -1,0 +1,76 @@
+"""VGG-style networks (accelerator workload and small-scale classifier)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..nn.layers import AdaptiveAvgPool2d, MaxPool2d, ReLU
+from ..nn.module import Module, Sequential
+from ..nn.tensor import Tensor
+from ..quantization import PrecisionSet, QuantConv2d, QuantLinear
+from .common import make_norm_factory
+
+__all__ = ["VGG", "vgg11", "vgg16", "VGG_CONFIGS"]
+
+#: Layer plans: integers are conv output channels (relative to width/64), "M" is max-pool.
+VGG_CONFIGS = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+              512, 512, 512, "M", 512, 512, 512, "M"],
+}
+
+
+class VGG(Module):
+    """VGG with batch norm; channel counts scale with ``width`` (64 = canonical)."""
+
+    def __init__(self, plan: Sequence[Union[int, str]], num_classes: int = 10,
+                 width: int = 64, in_channels: int = 3,
+                 precisions: Optional[PrecisionSet] = None,
+                 max_pools: Optional[int] = None, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        norm = make_norm_factory(precisions)
+        scale = width / 64.0
+        layers: List[Module] = []
+        current = in_channels
+        pools_used = 0
+        for item in plan:
+            if item == "M":
+                if max_pools is not None and pools_used >= max_pools:
+                    continue
+                layers.append(MaxPool2d(2))
+                pools_used += 1
+                continue
+            channels = max(int(round(int(item) * scale)), 4)
+            layers.append(QuantConv2d(current, channels, kernel_size=3, stride=1,
+                                      padding=1, bias=False, rng=rng))
+            layers.append(norm(channels))
+            layers.append(ReLU())
+            current = channels
+        self.features = Sequential(*layers)
+        self.pool = AdaptiveAvgPool2d(1)
+        self.fc = QuantLinear(current, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.features(x)
+        out = self.pool(out).flatten(1)
+        return self.fc(out)
+
+
+def vgg11(num_classes: int = 10, width: int = 16,
+          precisions: Optional[PrecisionSet] = None, in_channels: int = 3,
+          max_pools: Optional[int] = 3, seed: int = 0) -> VGG:
+    return VGG(VGG_CONFIGS["vgg11"], num_classes=num_classes, width=width,
+               in_channels=in_channels, precisions=precisions,
+               max_pools=max_pools, seed=seed)
+
+
+def vgg16(num_classes: int = 10, width: int = 16,
+          precisions: Optional[PrecisionSet] = None, in_channels: int = 3,
+          max_pools: Optional[int] = 3, seed: int = 0) -> VGG:
+    return VGG(VGG_CONFIGS["vgg16"], num_classes=num_classes, width=width,
+               in_channels=in_channels, precisions=precisions,
+               max_pools=max_pools, seed=seed)

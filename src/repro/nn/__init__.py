@@ -1,0 +1,72 @@
+"""``repro.nn`` — a small numpy autograd neural-network framework.
+
+This package is the training/inference substrate that replaces PyTorch in
+this reproduction (see DESIGN.md, substitution table).  The public surface
+mirrors the familiar torch layout: :class:`Tensor`, ``nn.functional``-style
+ops in :mod:`repro.nn.functional`, a :class:`Module` system, layers,
+optimizers and losses.
+"""
+
+from . import functional
+from . import init
+from .layers import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    SwitchableBatchNorm2d,
+)
+from .loss import CrossEntropyLoss, MSELoss
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import (
+    Adam,
+    CosineAnnealingLR,
+    CyclicLR,
+    LRScheduler,
+    MultiStepLR,
+    Optimizer,
+    SGD,
+    StepLR,
+)
+from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "concatenate",
+    "stack",
+    "functional",
+    "init",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "SwitchableBatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "Flatten",
+    "Identity",
+    "Dropout",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "MultiStepLR",
+    "CosineAnnealingLR",
+    "CyclicLR",
+]

@@ -1,0 +1,354 @@
+"""Neural-network primitives (forward + backward) on top of :class:`Tensor`.
+
+These functions implement the heavier operations needed by convolutional
+networks — im2col-based 2-D convolution, pooling, batch normalisation,
+softmax / cross-entropy — each with an explicit, vectorised backward pass
+registered through :meth:`repro.nn.tensor.Tensor.make_from_op`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "linear",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "adaptive_avg_pool2d",
+    "batch_norm",
+    "relu",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "dropout",
+    "pad2d",
+    "im2col",
+    "col2im",
+]
+
+
+# ---------------------------------------------------------------------------
+# im2col / col2im helpers
+# ---------------------------------------------------------------------------
+
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel_size: Tuple[int, int], stride: int,
+           padding: int) -> np.ndarray:
+    """Unfold ``x`` of shape (N, C, H, W) into columns.
+
+    Returns an array of shape (N, C * kh * kw, out_h * out_w).
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel_size
+    out_h = _conv_output_size(h, kh, stride, padding)
+    out_w = _conv_output_size(w, kw, stride, padding)
+
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+                   mode="constant")
+
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+    return cols.reshape(n, c * kh * kw, out_h * out_w)
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int],
+           kernel_size: Tuple[int, int], stride: int, padding: int) -> np.ndarray:
+    """Fold columns back into an image, accumulating overlapping patches."""
+    n, c, h, w = x_shape
+    kh, kw = kernel_size
+    out_h = _conv_output_size(h, kh, stride, padding)
+    out_w = _conv_output_size(w, kw, stride, padding)
+
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    h_pad, w_pad = h + 2 * padding, w + 2 * padding
+    x = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            x[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+    if padding > 0:
+        return x[:, :, padding:-padding, padding:-padding]
+    return x
+
+
+# ---------------------------------------------------------------------------
+# Linear and convolution
+# ---------------------------------------------------------------------------
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias`` with weight shape (out, in)."""
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution (cross-correlation) via im2col.
+
+    ``x``: (N, C_in, H, W); ``weight``: (C_out, C_in, kh, kw);
+    ``bias``: (C_out,) or None.
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input has {c_in}, weight expects {c_in_w}")
+    out_h = _conv_output_size(h, kh, stride, padding)
+    out_w = _conv_output_size(w, kw, stride, padding)
+
+    cols = im2col(x.data, (kh, kw), stride, padding)          # (N, C*kh*kw, L)
+    w_mat = weight.data.reshape(c_out, -1)                    # (C_out, C*kh*kw)
+    out_data = np.einsum("ok,nkl->nol", w_mat, cols)          # (N, C_out, L)
+    out_data = out_data.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad_out: np.ndarray) -> None:
+        grad_flat = grad_out.reshape(n, c_out, -1)            # (N, C_out, L)
+        if weight.requires_grad:
+            grad_w = np.einsum("nol,nkl->ok", grad_flat, cols)
+            weight.accumulate_grad(grad_w.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias.accumulate_grad(grad_out.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            grad_cols = np.einsum("ok,nol->nkl", w_mat, grad_flat)
+            grad_x = col2im(grad_cols, (n, c_in, h, w), (kh, kw), stride, padding)
+            x.accumulate_grad(grad_x)
+
+    return Tensor.make_from_op(out_data, parents, backward)
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling with square window."""
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    out_h = _conv_output_size(h, kernel_size, stride, 0)
+    out_w = _conv_output_size(w, kernel_size, stride, 0)
+
+    cols = im2col(x.data.reshape(n * c, 1, h, w), (kernel_size, kernel_size),
+                  stride, 0)                                   # (N*C, k*k, L)
+    argmax = cols.argmax(axis=1)                               # (N*C, L)
+    out_data = np.take_along_axis(cols, argmax[:, None, :], axis=1)[:, 0, :]
+    out_data = out_data.reshape(n, c, out_h, out_w)
+
+    def backward(grad_out: np.ndarray) -> None:
+        grad_cols = np.zeros_like(cols)
+        flat = grad_out.reshape(n * c, -1)
+        np.put_along_axis(grad_cols, argmax[:, None, :], flat[:, None, :], axis=1)
+        grad_x = col2im(grad_cols, (n * c, 1, h, w),
+                        (kernel_size, kernel_size), stride, 0)
+        x.accumulate_grad(grad_x.reshape(n, c, h, w))
+
+    return Tensor.make_from_op(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling with square window."""
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    out_h = _conv_output_size(h, kernel_size, stride, 0)
+    out_w = _conv_output_size(w, kernel_size, stride, 0)
+
+    cols = im2col(x.data.reshape(n * c, 1, h, w), (kernel_size, kernel_size),
+                  stride, 0)
+    out_data = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+    window = kernel_size * kernel_size
+
+    def backward(grad_out: np.ndarray) -> None:
+        flat = grad_out.reshape(n * c, 1, -1) / window
+        grad_cols = np.broadcast_to(flat, cols.shape).copy()
+        grad_x = col2im(grad_cols, (n * c, 1, h, w),
+                        (kernel_size, kernel_size), stride, 0)
+        x.accumulate_grad(grad_x.reshape(n, c, h, w))
+
+    return Tensor.make_from_op(out_data, (x,), backward)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Adaptive average pooling; only whole-divisor output sizes are supported."""
+    _, _, h, w = x.shape
+    if h % output_size or w % output_size:
+        raise ValueError("input spatial size must be divisible by output_size")
+    kernel = h // output_size
+    return avg_pool2d(x, kernel_size=kernel, stride=kernel)
+
+
+# ---------------------------------------------------------------------------
+# Normalisation and activations
+# ---------------------------------------------------------------------------
+
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalisation over (N, C, H, W) or (N, C) inputs.
+
+    During training the batch statistics are used and ``running_mean`` /
+    ``running_var`` are updated in place (exponential moving average).
+    """
+    is_conv = x.ndim == 4
+    axes = (0, 2, 3) if is_conv else (0,)
+    shape = (1, -1, 1, 1) if is_conv else (1, -1)
+
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        count = x.data.size / x.data.shape[1]
+        unbiased = var * count / max(count - 1, 1)
+        running_mean *= (1 - momentum)
+        running_mean += momentum * mean
+        running_var *= (1 - momentum)
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
+    out_data = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
+
+    def backward(grad_out: np.ndarray) -> None:
+        if gamma.requires_grad:
+            gamma.accumulate_grad((grad_out * x_hat).sum(axis=axes))
+        if beta.requires_grad:
+            beta.accumulate_grad(grad_out.sum(axis=axes))
+        if x.requires_grad:
+            g = gamma.data.reshape(shape)
+            if training:
+                m = x.data.size / x.data.shape[1]
+                dxhat = grad_out * g
+                term1 = dxhat
+                term2 = dxhat.mean(axis=axes, keepdims=True)
+                term3 = x_hat * (dxhat * x_hat).mean(axis=axes, keepdims=True)
+                grad_x = (term1 - term2 - term3) * inv_std.reshape(shape)
+                del m
+            else:
+                grad_x = grad_out * g * inv_std.reshape(shape)
+            x.accumulate_grad(grad_x)
+
+    return Tensor.make_from_op(out_data, (x, gamma, beta), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad_out: np.ndarray) -> None:
+        dot = (grad_out * out_data).sum(axis=axis, keepdims=True)
+        x.accumulate_grad(out_data * (grad_out - dot))
+
+    return Tensor.make_from_op(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_sum
+    probs = np.exp(out_data)
+
+    def backward(grad_out: np.ndarray) -> None:
+        x.accumulate_grad(grad_out - probs * grad_out.sum(axis=axis, keepdims=True))
+
+    return Tensor.make_from_op(out_data, (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood over integer class targets."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = log_probs.data[np.arange(n), targets]
+    if reduction == "mean":
+        out_data = -picked.mean()
+        scale = 1.0 / n
+    elif reduction == "sum":
+        out_data = -picked.sum()
+        scale = 1.0
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    def backward(grad_out: np.ndarray) -> None:
+        grad = np.zeros_like(log_probs.data)
+        grad[np.arange(n), targets] = -scale
+        log_probs.accumulate_grad(grad * grad_out)
+
+    return Tensor.make_from_op(np.asarray(out_data, dtype=np.float32),
+                               (log_probs,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy over integer class targets."""
+    return nll_loss(log_softmax(logits, axis=-1), targets, reduction=reduction)
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    diff = pred - (target if isinstance(target, Tensor) else Tensor(target))
+    return (diff * diff).mean()
+
+
+# ---------------------------------------------------------------------------
+# Misc
+# ---------------------------------------------------------------------------
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: identity at inference time."""
+    if not training or p <= 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
+
+    def backward(grad_out: np.ndarray) -> None:
+        x.accumulate_grad(grad_out * mask)
+
+    return Tensor.make_from_op(x.data * mask, (x,), backward)
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero padding of the two trailing spatial dimensions."""
+    if padding == 0:
+        return x
+    out_data = np.pad(x.data, ((0, 0), (0, 0), (padding, padding),
+                               (padding, padding)), mode="constant")
+
+    def backward(grad_out: np.ndarray) -> None:
+        x.accumulate_grad(grad_out[:, :, padding:-padding, padding:-padding])
+
+    return Tensor.make_from_op(out_data, (x,), backward)

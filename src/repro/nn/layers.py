@@ -1,0 +1,199 @@
+"""Standard neural-network layers, including switchable batch normalisation.
+
+Switchable batch normalisation (SBN) is the key algorithmic component that
+the paper's RPS training (Alg. 1, line 2) relies on: the model keeps an
+independent set of batch-norm statistics (and affine parameters) for every
+candidate precision so that the feature-statistics shift introduced by
+quantisation noise at one precision does not contaminate the others.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "SwitchableBatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "Flatten",
+    "Identity",
+    "Dropout",
+]
+
+# Key used by SwitchableBatchNorm2d for the full-precision branch.
+FULL_PRECISION_KEY: Hashable = "fp"
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class Conv2d(Module):
+    """2-D convolution layer with square kernels."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size), rng))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride,
+                        padding=self.padding)
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the channel dimension of (N, C, H, W) inputs."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", init.zeros((num_features,)))
+        self.register_buffer("running_var", init.ones((num_features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm(x, self.weight, self.bias, self.running_mean,
+                            self.running_var, training=self.training,
+                            momentum=self.momentum, eps=self.eps)
+
+
+class SwitchableBatchNorm2d(Module):
+    """Batch normalisation with one independent branch per candidate precision.
+
+    The active branch is selected with :meth:`switch_to`.  A dedicated
+    full-precision branch (key ``"fp"``) is always available so the same model
+    can be evaluated unquantised.  At inference time the affine transform of
+    the active branch can be fused into the quantiser scale factors and the
+    layer bias (see Sec. 2.4 of the paper), so SBN adds no inference modules.
+    """
+
+    def __init__(self, num_features: int, precisions: Sequence[Hashable],
+                 momentum: float = 0.3, eps: float = 1e-5) -> None:
+        # Each branch only sees roughly 1/len(precisions) of the training
+        # batches, so its running statistics are updated with a larger
+        # momentum than a plain BatchNorm2d to converge in the same number of
+        # epochs.
+        super().__init__()
+        self.num_features = num_features
+        self.precisions: List[Hashable] = list(precisions)
+        keys = [FULL_PRECISION_KEY] + [p for p in self.precisions
+                                       if p != FULL_PRECISION_KEY]
+        self._branches: Dict[Hashable, BatchNorm2d] = {}
+        for key in keys:
+            branch = BatchNorm2d(num_features, momentum=momentum, eps=eps)
+            setattr(self, f"bn_{key}", branch)
+            self._branches[key] = branch
+        self.active_key: Hashable = keys[0]
+
+    # ------------------------------------------------------------------
+    def available_keys(self) -> List[Hashable]:
+        return list(self._branches.keys())
+
+    def switch_to(self, key: Hashable) -> None:
+        """Select the BN branch for precision ``key`` (``"fp"`` = unquantised)."""
+        if key not in self._branches:
+            raise KeyError(f"no SBN branch for precision {key!r}; "
+                           f"available: {self.available_keys()}")
+        self.active_key = key
+
+    @property
+    def active_branch(self) -> BatchNorm2d:
+        return self._branches[self.active_key]
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.active_branch(x)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class AdaptiveAvgPool2d(Module):
+    def __init__(self, output_size: int = 1) -> None:
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.adaptive_avg_pool2d(x, self.output_size)
+
+
+class Flatten(Module):
+    def __init__(self, start_dim: int = 1) -> None:
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(self.start_dim)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.p = p
+        self._rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)

@@ -1,0 +1,185 @@
+"""Module system: parameter containers with train/eval modes and state dicts."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module."""
+
+    def __init__(self, data, requires_grad: bool = True) -> None:
+        super().__init__(data, requires_grad=requires_grad)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses assign :class:`Parameter`, :class:`Module` and numpy buffers as
+    attributes; those are discovered automatically for ``parameters()``,
+    ``state_dict()`` and recursive ``train()`` / ``eval()`` switching.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training: bool = True
+
+    # ------------------------------------------------------------------
+    # Attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, array: np.ndarray) -> None:
+        """Register a non-trainable persistent array (e.g. BN running stats)."""
+        self._buffers[name] = array
+        object.__setattr__(self, name, array)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield prefix + name, buf
+        for mod_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{mod_name}.")
+
+    # ------------------------------------------------------------------
+    # Train / eval and gradient bookkeeping
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[f"buffer:{name}"] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        buffers = dict(self.named_buffers())
+        for key, value in state.items():
+            if key.startswith("buffer:"):
+                name = key[len("buffer:"):]
+                if name in buffers:
+                    buffers[name][...] = value
+            elif key in params:
+                params[key].data[...] = value
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain modules, feeding the output of each into the next."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for i, module in enumerate(modules):
+            setattr(self, f"layer{i}", module)
+            self._layers.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        index = len(self._layers)
+        setattr(self, f"layer{index}", module)
+        self._layers.append(module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+
+class ModuleList(Module):
+    """A list of sub-modules that is properly registered for introspection."""
+
+    def __init__(self, modules: Optional[List[Module]] = None) -> None:
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        index = len(self._items)
+        setattr(self, f"item{index}", module)
+        self._items.append(module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers only
+        raise RuntimeError("ModuleList is a container and cannot be called")

@@ -1,0 +1,165 @@
+"""Optimizers and learning-rate schedules used for (adversarial) training."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "LRScheduler", "StepLR", "MultiStepLR",
+           "CosineAnnealingLR", "CyclicLR"]
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float,
+                 momentum: float = 0.0, weight_decay: float = 0.0,
+                 nesterov: bool = False) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                vel = self._velocity.get(id(param))
+                if vel is None:
+                    vel = np.zeros_like(param.data)
+                vel = self.momentum * vel + grad
+                self._velocity[id(param)] = vel
+                grad = grad + self.momentum * vel if self.nesterov else vel
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (used for the Bandits attack prior updates and ablations)."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.betas
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m = self._m.get(id(param), np.zeros_like(param.data))
+            v = self._v.get(id(param), np.zeros_like(param.data))
+            m = b1 * m + (1 - b1) * grad
+            v = b2 * v + (1 - b2) * grad ** 2
+            self._m[id(param)] = m
+            self._v[id(param)] = v
+            m_hat = m / (1 - b1 ** self._t)
+            v_hat = v / (1 - b2 ** self._t)
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class LRScheduler:
+    """Base learning-rate schedule attached to an optimizer."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class MultiStepLR(LRScheduler):
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int],
+                 gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        passed = sum(1 for m in self.milestones if self.epoch >= m)
+        return self.base_lr * self.gamma ** passed
+
+
+class CosineAnnealingLR(LRScheduler):
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        self.total_epochs = max(total_epochs, 1)
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        progress = min(self.epoch / self.total_epochs, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1 + math.cos(math.pi * progress))
+
+
+class CyclicLR(LRScheduler):
+    """Triangular cyclic schedule (used by FGSM-RS fast adversarial training)."""
+
+    def __init__(self, optimizer: Optimizer, max_lr: float, total_steps: int,
+                 pct_start: float = 0.5) -> None:
+        super().__init__(optimizer)
+        self.max_lr = max_lr
+        self.total_steps = max(total_steps, 1)
+        self.pct_start = pct_start
+
+    def get_lr(self) -> float:
+        progress = min(self.epoch / self.total_steps, 1.0)
+        if progress < self.pct_start:
+            return self.base_lr + (self.max_lr - self.base_lr) * (
+                progress / self.pct_start)
+        remaining = (progress - self.pct_start) / max(1e-9, 1 - self.pct_start)
+        return self.max_lr - (self.max_lr - self.base_lr) * remaining

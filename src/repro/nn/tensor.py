@@ -1,0 +1,507 @@
+"""Define-by-run autograd tensor over numpy arrays.
+
+This is the lowest layer of the ``repro`` stack.  It provides a ``Tensor``
+class that records a backward graph as operations are applied and replays it
+in reverse topological order when :meth:`Tensor.backward` is called.  The
+design mirrors the small tape-based autograd engines used in teaching
+material (micrograd, tinygrad) but is vectorised over numpy arrays and
+supports broadcasting, which is required for convolutional networks,
+batch normalisation and the quantizers built on top of it.
+
+Only the operations needed by the rest of the library are implemented; the
+heavier neural-network primitives (convolution, pooling, batch norm,
+softmax/cross-entropy) live in :mod:`repro.nn.functional` and are written in
+terms of explicit forward/backward pairs registered through
+:meth:`Tensor.make_from_op`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+# ---------------------------------------------------------------------------
+# Global gradient-enabled switch (mirrors torch.no_grad()).
+# ---------------------------------------------------------------------------
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables gradient graph construction.
+
+    Use it around inference-only code (e.g. evaluating robust accuracy on a
+    large adversarial test set) to avoid building the backward tape.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return True when new operations should record gradient information."""
+    return _GRAD_ENABLED
+
+
+def _as_array(value: ArrayLike, dtype=np.float32) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype != dtype:
+            return value.astype(dtype)
+        return value
+    return np.asarray(value, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode automatic differentiation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: str = "",
+    ) -> None:
+        self.data: np.ndarray = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._prev: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(shape: Tuple[int, ...], requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape: Tuple[int, ...], requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape: int, scale: float = 1.0, rng: Optional[np.random.Generator] = None,
+              requires_grad: bool = False) -> "Tensor":
+        rng = rng or np.random.default_rng()
+        return Tensor(rng.normal(0.0, scale, size=shape).astype(np.float32),
+                      requires_grad=requires_grad)
+
+    @staticmethod
+    def make_from_op(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a tensor produced by an op with a custom backward closure.
+
+        ``backward(grad_out)`` must accumulate gradients directly into the
+        parents' ``.grad`` attributes (using :meth:`Tensor.accumulate_grad`).
+        """
+        parents = tuple(parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._backward = backward
+            out._prev = tuple(p for p in parents if p.requires_grad)
+        return out
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Accumulate ``grad`` into ``self.grad`` (creating it if needed)."""
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float32), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones (i.e. this tensor must be scalar-valued for
+        the common loss.backward() usage, but a seed gradient of any matching
+        shape may be supplied).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        self.accumulate_grad(grad)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(other)
+
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(grad_out)
+            other.accumulate_grad(grad_out)
+
+        return Tensor.make_from_op(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(-grad_out)
+
+        return Tensor.make_from_op(out_data, (self,), backward)
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data - other.data
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(grad_out)
+            other.accumulate_grad(-grad_out)
+
+        return Tensor.make_from_op(out_data, (self, other), backward)
+
+    def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(grad_out * other.data)
+            other.accumulate_grad(grad_out * self.data)
+
+        return Tensor.make_from_op(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(grad_out / other.data)
+            other.accumulate_grad(-grad_out * self.data / (other.data ** 2))
+
+        return Tensor.make_from_op(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(grad_out * exponent * self.data ** (exponent - 1))
+
+        return Tensor.make_from_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Unary math
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(grad_out * out_data)
+
+        return Tensor.make_from_op(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(grad_out / self.data)
+
+        return Tensor.make_from_op(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(grad_out * 0.5 / np.maximum(out_data, 1e-12))
+
+        return Tensor.make_from_op(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(grad_out * np.sign(self.data))
+
+        return Tensor.make_from_op(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(grad_out * (1.0 - out_data ** 2))
+
+        return Tensor.make_from_op(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(grad_out * out_data * (1.0 - out_data))
+
+        return Tensor.make_from_op(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(grad_out * mask)
+
+        return Tensor.make_from_op(self.data * mask, (self,), backward)
+
+    def clip(self, minimum: float, maximum: float) -> "Tensor":
+        """Clamp values; gradient flows only where no clipping occurred."""
+        out_data = np.clip(self.data, minimum, maximum)
+        mask = (self.data >= minimum) & (self.data <= maximum)
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(grad_out * mask)
+
+        return Tensor.make_from_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+            keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad_out: np.ndarray) -> None:
+            grad = np.asarray(grad_out)
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                grad = np.expand_dims(grad, axis=tuple(a % self.data.ndim for a in axes))
+            self.accumulate_grad(np.broadcast_to(grad, self.data.shape))
+
+        return Tensor.make_from_op(out_data, (self,), backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+             keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad_out: np.ndarray) -> None:
+            grad = np.asarray(grad_out)
+            if axis is None:
+                mask = (self.data == out_data)
+                self.accumulate_grad(grad * mask / np.maximum(mask.sum(), 1))
+                return
+            expanded = out_data if keepdims else np.expand_dims(out_data, axis=axis)
+            grad_e = grad if keepdims else np.expand_dims(grad, axis=axis)
+            mask = (self.data == expanded)
+            counts = np.maximum(mask.sum(axis=axis, keepdims=True), 1)
+            self.accumulate_grad(grad_e * mask / counts)
+
+        return Tensor.make_from_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation and linear algebra
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(grad_out.reshape(original))
+
+        return Tensor.make_from_op(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        inverse = np.argsort(axes)
+        out_data = self.data.transpose(axes)
+
+        def backward(grad_out: np.ndarray) -> None:
+            self.accumulate_grad(grad_out.transpose(inverse))
+
+        return Tensor.make_from_op(out_data, (self,), backward)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(grad_out: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(grad_out @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                other.accumulate_grad(np.swapaxes(self.data, -1, -2) @ grad_out)
+
+        return Tensor.make_from_op(out_data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad_out: np.ndarray) -> None:
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, grad_out)
+            self.accumulate_grad(grad)
+
+        return Tensor.make_from_op(out_data, (self,), backward)
+
+    def flatten(self, start_dim: int = 1) -> "Tensor":
+        shape = self.data.shape
+        new_shape = shape[:start_dim] + (-1,)
+        return self.reshape(*new_shape)
+
+    # ------------------------------------------------------------------
+    # Comparisons (no gradient; return numpy arrays for convenience)
+    # ------------------------------------------------------------------
+    def argmax(self, axis: Optional[int] = None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+    def __eq__(self, other) -> np.ndarray:  # type: ignore[override]
+        other_data = other.data if isinstance(other, Tensor) else other
+        return self.data == other_data
+
+    def __hash__(self) -> int:  # tensors are identity-hashed (needed for sets)
+        return id(self)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    datas = [t.data for t in tensors]
+    out_data = np.concatenate(datas, axis=axis)
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad_out: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad_out.ndim
+            slicer[axis] = slice(start, stop)
+            tensor.accumulate_grad(grad_out[tuple(slicer)])
+
+    return Tensor.make_from_op(out_data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad_out: np.ndarray) -> None:
+        moved = np.moveaxis(grad_out, axis, 0)
+        for tensor, grad in zip(tensors, moved):
+            tensor.accumulate_grad(grad)
+
+    return Tensor.make_from_op(out_data, tensors, backward)

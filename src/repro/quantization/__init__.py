@@ -1,0 +1,32 @@
+"""Linear quantisation substrate: precisions, quantizers, quantised layers."""
+
+from .linear_quantizer import (
+    LinearQuantizer,
+    QuantizerConfig,
+    fake_quantize,
+    quantize_array,
+)
+from .precision import DEFAULT_RPS_SET, FULL_PRECISION, Precision, PrecisionSet
+from .quantized_modules import (
+    QuantConv2d,
+    QuantLinear,
+    get_model_precision,
+    quantized_layers,
+    set_model_precision,
+)
+
+__all__ = [
+    "Precision",
+    "PrecisionSet",
+    "FULL_PRECISION",
+    "DEFAULT_RPS_SET",
+    "QuantizerConfig",
+    "LinearQuantizer",
+    "fake_quantize",
+    "quantize_array",
+    "QuantConv2d",
+    "QuantLinear",
+    "set_model_precision",
+    "get_model_precision",
+    "quantized_layers",
+]

@@ -1,0 +1,162 @@
+"""Linear (uniform affine) quantizer with a straight-through estimator.
+
+Follows the quantizer of Jacob et al. (CVPR 2018), the reference the paper
+cites for its 8-bit linear quantizer: a tensor ``x`` is mapped to the integer
+grid ``round(x / scale)`` clamped to the representable range, then de-quantised
+back to ``q * scale``.  During training the rounding is non-differentiable, so
+the backward pass uses the straight-through estimator (STE): gradients flow
+unchanged through the rounding but are masked where the value saturated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+__all__ = ["QuantizerConfig", "quantize_array", "fake_quantize", "LinearQuantizer"]
+
+
+@dataclass
+class QuantizerConfig:
+    """Configuration of a linear quantizer.
+
+    ``symmetric`` quantisation maps to the signed range [-(2^(b-1)-1),
+    2^(b-1)-1] (used for weights); asymmetric maps to [0, 2^b - 1] with a zero
+    point (used for activations after ReLU).  ``per_channel`` enables one
+    scale per output channel for weights.
+    """
+
+    bits: int
+    symmetric: bool = True
+    per_channel: bool = False
+    channel_axis: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 32:
+            raise ValueError(f"bits must be in [1, 32], got {self.bits}")
+
+    @property
+    def qmin(self) -> int:
+        if self.symmetric:
+            return -(2 ** (self.bits - 1) - 1)
+        return 0
+
+    @property
+    def qmax(self) -> int:
+        if self.symmetric:
+            return 2 ** (self.bits - 1) - 1
+        return 2 ** self.bits - 1
+
+
+def _compute_scale(x: np.ndarray, config: QuantizerConfig) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (scale, zero_point) arrays broadcastable against ``x``."""
+    if config.per_channel:
+        axes = tuple(i for i in range(x.ndim) if i != config.channel_axis)
+        x_min = x.min(axis=axes, keepdims=True)
+        x_max = x.max(axis=axes, keepdims=True)
+    else:
+        x_min = np.asarray(x.min())
+        x_max = np.asarray(x.max())
+
+    if config.symmetric:
+        max_abs = np.maximum(np.abs(x_min), np.abs(x_max))
+        scale = max_abs / max(config.qmax, 1)
+        zero_point = np.zeros_like(scale)
+    else:
+        span = x_max - x_min
+        scale = span / max(config.qmax - config.qmin, 1)
+        zero_point = x_min
+
+    scale = np.where(scale <= 1e-12, 1e-12, scale)
+    return scale.astype(np.float32), zero_point.astype(np.float32)
+
+
+def quantize_array(x: np.ndarray, config: QuantizerConfig,
+                   scale: Optional[np.ndarray] = None,
+                   zero_point: Optional[np.ndarray] = None) -> np.ndarray:
+    """Quantise ``x`` to the integer grid and de-quantise back (numpy only)."""
+    if scale is None or zero_point is None:
+        scale, zero_point = _compute_scale(x, config)
+    q = np.round((x - zero_point) / scale)
+    q = np.clip(q, config.qmin, config.qmax)
+    return (q * scale + zero_point).astype(np.float32)
+
+
+def fake_quantize(x: Tensor, config: QuantizerConfig) -> Tensor:
+    """Differentiable fake quantisation of a tensor using the STE.
+
+    Forward: quantise-dequantise.  Backward: pass gradients straight through
+    where the value fell inside the representable range, zero where it
+    saturated (the standard clipped STE).
+    """
+    scale, zero_point = _compute_scale(x.data, config)
+    q = np.round((x.data - zero_point) / scale)
+    saturated_low = q < config.qmin
+    saturated_high = q > config.qmax
+    q = np.clip(q, config.qmin, config.qmax)
+    out_data = (q * scale + zero_point).astype(np.float32)
+    pass_mask = ~(saturated_low | saturated_high)
+
+    def backward(grad_out: np.ndarray) -> None:
+        x.accumulate_grad(grad_out * pass_mask)
+
+    return Tensor.make_from_op(out_data, (x,), backward)
+
+
+class LinearQuantizer:
+    """Stateful linear quantizer with optional running-range calibration.
+
+    For activations, using the instantaneous min/max of every batch makes the
+    quantisation grid jitter between batches; a short exponential moving
+    average (``ema_momentum``) stabilises it, matching common practice for the
+    Jacob et al. quantizer.  For weights the range is recomputed every call
+    (weights change slowly and per-call ranges are exact).
+    """
+
+    def __init__(self, config: QuantizerConfig, ema_momentum: Optional[float] = None) -> None:
+        self.config = config
+        self.ema_momentum = ema_momentum
+        self._running_min: Optional[np.ndarray] = None
+        self._running_max: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        self._running_min = None
+        self._running_max = None
+
+    def _updated_range(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        x_min, x_max = np.asarray(x.min()), np.asarray(x.max())
+        if self.ema_momentum is None:
+            return x_min, x_max
+        if self._running_min is None:
+            self._running_min, self._running_max = x_min, x_max
+        else:
+            m = self.ema_momentum
+            self._running_min = (1 - m) * self._running_min + m * x_min
+            self._running_max = (1 - m) * self._running_max + m * x_max
+        return self._running_min, self._running_max
+
+    def __call__(self, x: Tensor) -> Tensor:
+        cfg = self.config
+        x_min, x_max = self._updated_range(x.data)
+        if cfg.symmetric:
+            max_abs = max(abs(float(x_min)), abs(float(x_max)))
+            scale = np.float32(max(max_abs / max(cfg.qmax, 1), 1e-12))
+            zero_point = np.float32(0.0)
+        else:
+            scale = np.float32(max((float(x_max) - float(x_min)) / max(cfg.qmax - cfg.qmin, 1), 1e-12))
+            zero_point = np.float32(x_min)
+
+        q = np.round((x.data - zero_point) / scale)
+        saturate = (q < cfg.qmin) | (q > cfg.qmax)
+        q = np.clip(q, cfg.qmin, cfg.qmax)
+        out_data = (q * scale + zero_point).astype(np.float32)
+        mask = ~saturate
+
+        def backward(grad_out: np.ndarray) -> None:
+            x.accumulate_grad(grad_out * mask)
+
+        return Tensor.make_from_op(out_data, (x,), backward)

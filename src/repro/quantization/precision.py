@@ -1,0 +1,160 @@
+"""Precision descriptors and candidate precision sets.
+
+The paper treats a "precision" as the common bit-width applied to both
+weights and activations of every layer (Sec. 4.1: "a linear quantizer for
+quantizing weights/activations to the same precision"), and RPS draws one
+precision per iteration (training) or per input (inference) from a candidate
+set such as 4–16 bit.  This module centralises the representation of those
+choices so the algorithm side (quantized modules, RPS controllers) and the
+accelerator side (per-precision latency/energy) speak the same vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["Precision", "PrecisionSet", "FULL_PRECISION", "DEFAULT_RPS_SET"]
+
+
+@dataclass(frozen=True, order=True)
+class Precision:
+    """Bit-widths for one execution precision.
+
+    ``weight_bits`` and ``act_bits`` are usually equal (the paper's setting),
+    but asymmetric precisions (e.g. 4-bit × 2-bit, Sec. 3.2.1) are supported
+    because the accelerator schedule handles them.
+    ``None`` bits denote full precision (no quantisation).
+    """
+
+    weight_bits: Optional[int]
+    act_bits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.act_bits is None and self.weight_bits is not None:
+            object.__setattr__(self, "act_bits", self.weight_bits)
+        for bits in (self.weight_bits, self.act_bits):
+            if bits is not None and not (1 <= bits <= 32):
+                raise ValueError(f"bit-width must be in [1, 32], got {bits}")
+
+    @property
+    def is_full_precision(self) -> bool:
+        return self.weight_bits is None
+
+    @property
+    def key(self) -> Union[str, int]:
+        """Hashable key used for SBN branches and result tables."""
+        if self.is_full_precision:
+            return "fp"
+        if self.weight_bits == self.act_bits:
+            return int(self.weight_bits)
+        return f"{self.weight_bits}w{self.act_bits}a"
+
+    @property
+    def symmetric_bits(self) -> int:
+        """The single bit-width when weights and activations match."""
+        if self.is_full_precision:
+            raise ValueError("full precision has no fixed bit-width")
+        if self.weight_bits != self.act_bits:
+            raise ValueError("precision is asymmetric")
+        return int(self.weight_bits)
+
+    def bit_operations_per_mac(self) -> int:
+        """Number of 1-bit x 1-bit operations in one MAC at this precision."""
+        if self.is_full_precision:
+            return 32 * 32
+        return int(self.weight_bits) * int(self.act_bits)
+
+    def __str__(self) -> str:
+        if self.is_full_precision:
+            return "FP32"
+        return f"{self.weight_bits}bx{self.act_bits}b"
+
+
+FULL_PRECISION = Precision(None)
+
+
+class PrecisionSet:
+    """An ordered set of candidate precisions for RPS training/inference."""
+
+    def __init__(self, precisions: Iterable[Union[int, Precision]]) -> None:
+        resolved: List[Precision] = []
+        for p in precisions:
+            resolved.append(p if isinstance(p, Precision) else Precision(int(p)))
+        if not resolved:
+            raise ValueError("precision set must not be empty")
+        seen = set()
+        unique: List[Precision] = []
+        for p in resolved:
+            if p.key not in seen:
+                seen.add(p.key)
+                unique.append(p)
+        self._precisions: List[Precision] = unique
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_range(cls, low: int, high: int, step: int = 1) -> "PrecisionSet":
+        """Construct e.g. 4–16 bit (the paper's default RPS set)."""
+        if low > high:
+            raise ValueError("low must not exceed high")
+        return cls(range(low, high + 1, step))
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Precision]:
+        return iter(self._precisions)
+
+    def __len__(self) -> int:
+        return len(self._precisions)
+
+    def __contains__(self, item: Union[int, Precision]) -> bool:
+        precision = item if isinstance(item, Precision) else Precision(int(item))
+        return any(p.key == precision.key for p in self._precisions)
+
+    def __getitem__(self, index: int) -> Precision:
+        return self._precisions[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrecisionSet):
+            return NotImplemented
+        return [p.key for p in self] == [p.key for p in other]
+
+    def __repr__(self) -> str:
+        return f"PrecisionSet({[str(p) for p in self._precisions]})"
+
+    # ------------------------------------------------------------------
+    @property
+    def keys(self) -> List[Union[str, int]]:
+        return [p.key for p in self._precisions]
+
+    @property
+    def bit_widths(self) -> List[int]:
+        return [p.symmetric_bits for p in self._precisions]
+
+    def sample(self, rng: np.random.Generator) -> Precision:
+        """Draw one precision uniformly at random (the RPS switch)."""
+        index = int(rng.integers(0, len(self._precisions)))
+        return self._precisions[index]
+
+    def lowest(self) -> Precision:
+        return min(self._precisions, key=lambda p: p.bit_operations_per_mac())
+
+    def highest(self) -> Precision:
+        return max(self._precisions, key=lambda p: p.bit_operations_per_mac())
+
+    def restrict(self, max_bits: int) -> "PrecisionSet":
+        """Return the subset with symmetric bit-width <= ``max_bits``.
+
+        Used by the instant robustness-efficiency trade-off (Sec. 2.5 /
+        Fig. 11): shrinking the inference set to lower precisions trades
+        robustness for average efficiency without retraining.
+        """
+        subset = [p for p in self._precisions if p.symmetric_bits <= max_bits]
+        if not subset:
+            raise ValueError(f"no precision in the set is <= {max_bits} bits")
+        return PrecisionSet(subset)
+
+
+#: The paper's default RPS candidate set (Sec. 4.2: "4~16-bit by default").
+DEFAULT_RPS_SET = PrecisionSet.from_range(4, 16)

@@ -1,0 +1,121 @@
+"""Quantisation-aware layers and model-level precision switching.
+
+``QuantConv2d`` / ``QuantLinear`` behave exactly like their ``repro.nn``
+counterparts at full precision; when an execution :class:`Precision` is
+assigned they fake-quantise both their weights and their input activations
+with the linear quantizer before computing the layer, which is the
+quantisation model used throughout the paper (same bit-width for weights and
+activations, per Sec. 4.1).
+
+``set_model_precision`` is the single entry point used by RPS training,
+RPS inference and the attack implementations: it walks a model, assigns the
+execution precision to every quantisation-aware layer and flips every
+:class:`SwitchableBatchNorm2d` to the matching branch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import Conv2d, Linear, SwitchableBatchNorm2d
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .linear_quantizer import QuantizerConfig, fake_quantize
+from .precision import FULL_PRECISION, Precision
+
+__all__ = [
+    "QuantConv2d",
+    "QuantLinear",
+    "set_model_precision",
+    "get_model_precision",
+    "quantized_layers",
+]
+
+
+class _QuantMixin:
+    """Shared precision bookkeeping for quantisation-aware layers."""
+
+    def _init_quant(self) -> None:
+        self.precision: Precision = FULL_PRECISION
+
+    def set_precision(self, precision: Precision) -> None:
+        self.precision = precision
+
+    def _quantize_pair(self, x: Tensor, weight: Tensor) -> tuple:
+        precision = self.precision
+        if precision.is_full_precision:
+            return x, weight
+        w_cfg = QuantizerConfig(bits=int(precision.weight_bits), symmetric=True)
+        a_cfg = QuantizerConfig(bits=int(precision.act_bits), symmetric=True)
+        return fake_quantize(x, a_cfg), fake_quantize(weight, w_cfg)
+
+
+class QuantConv2d(Conv2d, _QuantMixin):
+    """Conv2d whose weights and input activations are fake-quantised."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(in_channels, out_channels, kernel_size, stride=stride,
+                         padding=padding, bias=bias, rng=rng)
+        self._init_quant()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x_q, w_q = self._quantize_pair(x, self.weight)
+        return F.conv2d(x_q, w_q, self.bias, stride=self.stride,
+                        padding=self.padding)
+
+
+class QuantLinear(Linear, _QuantMixin):
+    """Linear layer whose weights and input activations are fake-quantised."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(in_features, out_features, bias=bias, rng=rng)
+        self._init_quant()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x_q, w_q = self._quantize_pair(x, self.weight)
+        return F.linear(x_q, w_q, self.bias)
+
+
+def quantized_layers(model: Module) -> List[Module]:
+    """Return every quantisation-aware layer in ``model`` (depth-first)."""
+    return [m for m in model.modules() if isinstance(m, (QuantConv2d, QuantLinear))]
+
+
+def set_model_precision(model: Module, precision: Precision) -> None:
+    """Switch the whole model to ``precision``.
+
+    Assigns the precision to every quantisation-aware layer and selects the
+    matching switchable-batch-norm branch (falling back to the full-precision
+    branch when the model has no branch for that bit-width, which keeps plain
+    BN models usable).
+    """
+    for module in model.modules():
+        if isinstance(module, (QuantConv2d, QuantLinear)):
+            module.set_precision(precision)
+        elif isinstance(module, SwitchableBatchNorm2d):
+            key = precision.key
+            if key in module.available_keys():
+                module.switch_to(key)
+            else:
+                module.switch_to("fp")
+
+
+def get_model_precision(model: Module) -> Optional[Precision]:
+    """Return the common precision of the model's quantised layers.
+
+    Returns ``None`` for a model without quantisation-aware layers, and raises
+    if layers disagree (which would indicate a partially-switched model).
+    """
+    layers = quantized_layers(model)
+    if not layers:
+        return None
+    precisions = {layer.precision.key for layer in layers}
+    if len(precisions) > 1:
+        raise RuntimeError(f"model layers hold mixed precisions: {sorted(map(str, precisions))}")
+    return layers[0].precision

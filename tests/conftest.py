@@ -1,0 +1,56 @@
+"""Shared fixtures: tiny datasets and models sized for fast unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset
+from repro.models import preact_resnet18
+from repro.quantization import PrecisionSet
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A very small synthetic CIFAR-10-like dataset (fast to train on)."""
+    return make_dataset("cifar10", train_size=640, test_size=96)
+
+
+@pytest.fixture(scope="session")
+def precision_set():
+    return PrecisionSet([3, 4, 6])
+
+
+@pytest.fixture()
+def tiny_model(tiny_dataset):
+    """A narrow PreActResNet without switchable BN."""
+    return preact_resnet18(num_classes=tiny_dataset.num_classes, width=8,
+                           blocks_per_stage=(1, 1), seed=0)
+
+
+@pytest.fixture()
+def tiny_rps_model(tiny_dataset, precision_set):
+    """A narrow PreActResNet with switchable BN for the precision set."""
+    return preact_resnet18(num_classes=tiny_dataset.num_classes, width=8,
+                           blocks_per_stage=(1, 1), precisions=precision_set,
+                           seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained_rps_model(tiny_dataset, precision_set):
+    """An RPS-trained tiny model shared by the slower evaluation tests."""
+    from repro.core import RPSConfig, RPSTrainer
+
+    model = preact_resnet18(num_classes=tiny_dataset.num_classes, width=8,
+                            blocks_per_stage=(1, 1), precisions=precision_set,
+                            seed=0)
+    config = RPSConfig(epochs=3, batch_size=48, lr=0.1, method="fgsm_rs",
+                       epsilon=16 / 255, precision_set=precision_set, seed=0)
+    trainer = RPSTrainer(model, config)
+    trainer.fit(tiny_dataset.x_train, tiny_dataset.y_train)
+    return model

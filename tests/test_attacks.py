@@ -1,0 +1,211 @@
+"""Tests for the adversarial attacks (constraints, effectiveness, protocols)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import (
+    APGD,
+    AutoAttack,
+    BanditsAttack,
+    CWInf,
+    EnsemblePGD,
+    FGSM,
+    FGSMRS,
+    PGD,
+    eps_from_255,
+    input_gradient,
+    predict_labels,
+)
+from repro.attacks.base import Attack
+from repro.defense import Trainer, TrainingConfig, evaluate_accuracy
+from repro.quantization import PrecisionSet
+
+EPS = eps_from_255(16)
+
+
+@pytest.fixture(scope="module")
+def trained_setup(tiny_dataset):
+    """A naturally trained tiny model (vulnerable to attacks) plus eval data."""
+    from repro.models import preact_resnet18
+
+    model = preact_resnet18(num_classes=tiny_dataset.num_classes, width=8,
+                            blocks_per_stage=(1, 1), seed=0)
+    trainer = Trainer(model, TrainingConfig(epochs=4, batch_size=48, lr=0.1))
+    trainer.fit(tiny_dataset.x_train, tiny_dataset.y_train)
+    x = tiny_dataset.x_test[:48]
+    y = tiny_dataset.y_test[:48]
+    return model, x, y
+
+
+ALL_ATTACKS = [
+    ("fgsm", lambda: FGSM(EPS)),
+    ("fgsm_rs", lambda: FGSMRS(EPS)),
+    ("pgd", lambda: PGD(EPS, steps=5)),
+    ("cw", lambda: CWInf(EPS, steps=5)),
+    ("apgd", lambda: APGD(EPS, steps=5)),
+    ("autoattack", lambda: AutoAttack(EPS, steps=5)),
+    ("bandits", lambda: BanditsAttack(EPS, steps=10)),
+]
+
+
+class TestAttackConstraints:
+    @pytest.mark.parametrize("name,factory", ALL_ATTACKS)
+    def test_within_epsilon_ball_and_pixel_box(self, name, factory, trained_setup):
+        model, x, y = trained_setup
+        result = factory().run(model, x, y)
+        assert result.x_adv.shape == x.shape
+        assert result.x_adv.dtype == np.float32
+        assert np.max(np.abs(result.x_adv - x)) <= EPS + 1e-5
+        assert result.x_adv.min() >= -1e-6
+        assert result.x_adv.max() <= 1.0 + 1e-6
+
+    def test_epsilon_zero_leaves_input_unchanged(self, trained_setup):
+        model, x, y = trained_setup
+        result = PGD(0.0, steps=3).run(model, x, y)
+        assert np.allclose(result.x_adv, x, atol=1e-6)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            PGD(-0.1)
+
+    def test_project_is_idempotent(self):
+        attack = PGD(EPS, steps=1)
+        rng = np.random.default_rng(0)
+        x = rng.random((4, 3, 8, 8)).astype(np.float32)
+        x_adv = x + rng.normal(scale=0.5, size=x.shape).astype(np.float32)
+        once = attack.project(x, x_adv)
+        twice = attack.project(x, once)
+        assert np.allclose(once, twice)
+
+    @given(st.floats(1.0, 32.0))
+    @settings(max_examples=20, deadline=None)
+    def test_eps_from_255(self, eps):
+        assert eps_from_255(eps) == pytest.approx(eps / 255.0)
+
+
+class TestAttackEffectiveness:
+    def test_pgd_reduces_accuracy_of_natural_model(self, trained_setup):
+        model, x, y = trained_setup
+        clean = evaluate_accuracy(model, x, y)
+        result = PGD(EPS, steps=10).run(model, x, y)
+        adv = evaluate_accuracy(model, result.x_adv, y)
+        assert clean > 0.6
+        assert adv < clean - 0.2
+
+    def test_more_pgd_steps_is_at_least_as_strong(self, trained_setup):
+        model, x, y = trained_setup
+        weak = evaluate_accuracy(model, PGD(EPS, steps=1, random_init=False)
+                                 .run(model, x, y).x_adv, y)
+        strong = evaluate_accuracy(model, PGD(EPS, steps=10, random_init=False)
+                                   .run(model, x, y).x_adv, y)
+        assert strong <= weak + 0.05
+
+    def test_larger_epsilon_is_at_least_as_strong(self, trained_setup):
+        model, x, y = trained_setup
+        small = evaluate_accuracy(model, PGD(EPS / 4, steps=5).run(model, x, y).x_adv, y)
+        large = evaluate_accuracy(model, PGD(EPS, steps=5).run(model, x, y).x_adv, y)
+        assert large <= small + 0.05
+
+    def test_fgsm_reduces_accuracy(self, trained_setup):
+        model, x, y = trained_setup
+        clean = evaluate_accuracy(model, x, y)
+        adv = evaluate_accuracy(model, FGSM(EPS).run(model, x, y).x_adv, y)
+        assert adv < clean
+
+    def test_success_mask_matches_predictions(self, trained_setup):
+        model, x, y = trained_setup
+        result = PGD(EPS, steps=5).run(model, x, y)
+        preds = predict_labels(model, result.x_adv)
+        assert np.array_equal(result.success_mask, preds != y)
+        assert result.success_rate == pytest.approx(result.success_mask.mean())
+
+    def test_restarts_keep_best_per_example(self, trained_setup):
+        model, x, y = trained_setup
+        single = PGD(EPS, steps=5, restarts=1, rng=np.random.default_rng(0))
+        multi = PGD(EPS, steps=5, restarts=3, rng=np.random.default_rng(0))
+        acc_single = evaluate_accuracy(model, single.run(model, x, y).x_adv, y)
+        acc_multi = evaluate_accuracy(model, multi.run(model, x, y).x_adv, y)
+        assert acc_multi <= acc_single + 0.05
+
+    def test_bandits_is_gradient_free_but_effective(self, trained_setup):
+        model, x, y = trained_setup
+        clean = evaluate_accuracy(model, x, y)
+        attack = BanditsAttack(EPS, steps=30)
+        result = attack.run(model, x[:24], y[:24])
+        assert attack.queries_used > 0
+        adv = evaluate_accuracy(model, result.x_adv, y[:24])
+        assert adv <= clean
+
+    def test_attack_restores_model_training_mode(self, trained_setup):
+        model, x, y = trained_setup
+        model.train()
+        PGD(EPS, steps=1).run(model, x[:8], y[:8])
+        assert model.training
+        model.eval()
+        PGD(EPS, steps=1).run(model, x[:8], y[:8])
+        assert not model.training
+
+
+class TestGradientHelpers:
+    def test_input_gradient_shape_and_nonzero(self, trained_setup):
+        model, x, y = trained_setup
+        for loss in ("ce", "cw", "dlr"):
+            grad = input_gradient(model, x[:8], y[:8], loss=loss)
+            assert grad.shape == x[:8].shape
+            assert np.abs(grad).sum() > 0
+
+    def test_unknown_loss_rejected(self, trained_setup):
+        model, x, y = trained_setup
+        with pytest.raises(ValueError):
+            input_gradient(model, x[:2], y[:2], loss="hinge")
+
+    def test_predict_labels_batches(self, trained_setup):
+        model, x, y = trained_setup
+        assert np.array_equal(predict_labels(model, x, batch_size=7),
+                              predict_labels(model, x, batch_size=64))
+
+
+class TestAutoAttack:
+    def test_apgd_checkpoints_are_increasing(self):
+        apgd = APGD(EPS, steps=25)
+        checkpoints = apgd._checkpoints()
+        assert checkpoints == sorted(checkpoints)
+        assert checkpoints[-1] <= 25
+
+    def test_autoattack_at_least_as_strong_as_single_apgd(self, trained_setup):
+        model, x, y = trained_setup
+        apgd_acc = evaluate_accuracy(
+            model, APGD(EPS, steps=5).run(model, x, y).x_adv, y)
+        auto_acc = evaluate_accuracy(
+            model, AutoAttack(EPS, steps=5).run(model, x, y).x_adv, y)
+        assert auto_acc <= apgd_acc + 0.05
+
+
+class TestEnsemblePGD:
+    def test_runs_on_rps_model_and_respects_constraints(self, trained_rps_model,
+                                                        tiny_dataset,
+                                                        precision_set):
+        x = tiny_dataset.x_test[:24]
+        y = tiny_dataset.y_test[:24]
+        attack = EnsemblePGD(EPS, precision_set, steps=3)
+        result = attack.run(trained_rps_model, x, y)
+        assert np.max(np.abs(result.x_adv - x)) <= EPS + 1e-5
+        assert result.x_adv.min() >= -1e-6 and result.x_adv.max() <= 1 + 1e-6
+
+    def test_name_reflects_steps(self, precision_set):
+        assert EnsemblePGD(EPS, precision_set, steps=20).name == "E-PGD-20"
+
+
+class TestBaseAttack:
+    def test_perturb_is_abstract(self):
+        attack = Attack(EPS)
+        with pytest.raises(NotImplementedError):
+            attack.perturb(None, np.zeros((1, 3, 4, 4), np.float32), np.zeros(1))
+
+    def test_random_start_stays_in_ball(self):
+        attack = Attack(EPS, rng=np.random.default_rng(0))
+        x = np.full((8, 3, 4, 4), 0.5, dtype=np.float32)
+        started = attack.random_start(x)
+        assert np.max(np.abs(started - x)) <= EPS + 1e-6

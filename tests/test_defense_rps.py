@@ -1,0 +1,246 @@
+"""Tests for the training loops (natural / adversarial) and the RPS algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RPSConfig,
+    RPSInference,
+    RPSTrainer,
+    TransferabilityResult,
+    natural_accuracy,
+    robust_accuracy,
+    rps_robust_accuracy,
+    transferability_matrix,
+)
+from repro.core.tradeoff import TradeoffController
+from repro.attacks import FGSM, PGD, eps_from_255
+from repro.defense import (
+    ADVERSARIAL_METHODS,
+    AdversarialConfig,
+    AdversarialTrainer,
+    Trainer,
+    TrainingConfig,
+    evaluate_accuracy,
+)
+from repro.models import preact_resnet18
+from repro.quantization import Precision, PrecisionSet
+
+EPS = eps_from_255(16)
+
+
+def small_model(dataset, precisions=None, seed=0):
+    return preact_resnet18(num_classes=dataset.num_classes, width=8,
+                           blocks_per_stage=(1, 1), precisions=precisions,
+                           seed=seed)
+
+
+class TestNaturalTrainer:
+    def test_loss_decreases_and_accuracy_increases(self, tiny_dataset):
+        model = small_model(tiny_dataset)
+        trainer = Trainer(model, TrainingConfig(epochs=3, batch_size=48, lr=0.05))
+        history = trainer.fit(tiny_dataset.x_train, tiny_dataset.y_train)
+        assert history.epochs_completed == 3
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert history.train_accuracy[-1] > history.train_accuracy[0]
+
+    def test_trained_model_beats_chance(self, tiny_dataset):
+        model = small_model(tiny_dataset)
+        Trainer(model, TrainingConfig(epochs=3, batch_size=48, lr=0.05)).fit(
+            tiny_dataset.x_train, tiny_dataset.y_train)
+        acc = evaluate_accuracy(model, tiny_dataset.x_test, tiny_dataset.y_test)
+        assert acc > 2.0 / tiny_dataset.num_classes
+
+    def test_evaluate_accuracy_empty_input(self, tiny_dataset):
+        model = small_model(tiny_dataset)
+        assert evaluate_accuracy(model, tiny_dataset.x_test[:0],
+                                 tiny_dataset.y_test[:0]) == 0.0
+
+    def test_scheduler_applied_when_milestones_given(self, tiny_dataset):
+        model = small_model(tiny_dataset)
+        trainer = Trainer(model, TrainingConfig(epochs=2, batch_size=48, lr=0.1,
+                                                lr_milestones=(1,), lr_gamma=0.1))
+        trainer.fit(tiny_dataset.x_train[:96], tiny_dataset.y_train[:96])
+        assert trainer.optimizer.lr == pytest.approx(0.01)
+
+
+class TestAdversarialTrainer:
+    def test_method_validation(self):
+        with pytest.raises(ValueError):
+            AdversarialConfig(method="trades")
+
+    def test_all_methods_run_one_epoch(self, tiny_dataset):
+        for method in ADVERSARIAL_METHODS:
+            model = small_model(tiny_dataset)
+            config = AdversarialConfig(epochs=1, batch_size=48, lr=0.05,
+                                       method=method, epsilon=EPS,
+                                       attack_steps=2, free_replays=2)
+            trainer = AdversarialTrainer(model, config)
+            history = trainer.fit(tiny_dataset.x_train[:96], tiny_dataset.y_train[:96])
+            assert history.epochs_completed == 1
+            assert np.isfinite(history.train_loss[0])
+
+    def test_generated_examples_stay_in_ball(self, tiny_dataset):
+        model = small_model(tiny_dataset)
+        config = AdversarialConfig(epochs=1, method="pgd", epsilon=EPS,
+                                   attack_steps=3)
+        trainer = AdversarialTrainer(model, config)
+        x = tiny_dataset.x_train[:16]
+        y = tiny_dataset.y_train[:16]
+        x_adv = trainer.generate_adversarial(x, y)
+        assert np.max(np.abs(x_adv - x)) <= EPS + 1e-5
+        assert x_adv.min() >= 0 and x_adv.max() <= 1
+
+    def test_alpha_defaults_depend_on_method(self):
+        assert AdversarialConfig(method="fgsm_rs", epsilon=EPS).alpha == pytest.approx(1.25 * EPS)
+        assert AdversarialConfig(method="pgd", epsilon=EPS).alpha > 0
+
+    def test_adversarial_training_improves_robustness(self, tiny_dataset):
+        attack = PGD(EPS, steps=5)
+        x_eval = tiny_dataset.x_test[:48]
+        y_eval = tiny_dataset.y_test[:48]
+
+        natural = small_model(tiny_dataset)
+        Trainer(natural, TrainingConfig(epochs=2, batch_size=48, lr=0.05)).fit(
+            tiny_dataset.x_train, tiny_dataset.y_train)
+        robust_nat = robust_accuracy(natural, attack, x_eval, y_eval)
+
+        adversarial = small_model(tiny_dataset)
+        AdversarialTrainer(adversarial, AdversarialConfig(
+            epochs=2, batch_size=48, lr=0.05, method="pgd", epsilon=EPS,
+            attack_steps=3)).fit(tiny_dataset.x_train, tiny_dataset.y_train)
+        robust_adv = robust_accuracy(adversarial, attack, x_eval, y_eval)
+        assert robust_adv > robust_nat
+
+
+class TestRPSTrainer:
+    def test_requires_switchable_bn(self, tiny_dataset, precision_set):
+        model = small_model(tiny_dataset, precisions=None)
+        with pytest.raises(ValueError):
+            RPSTrainer(model, RPSConfig(precision_set=precision_set))
+
+    def test_requires_matching_branches(self, tiny_dataset):
+        model = small_model(tiny_dataset, precisions=PrecisionSet([4]))
+        with pytest.raises(ValueError):
+            RPSTrainer(model, RPSConfig(precision_set=PrecisionSet([4, 8])))
+
+    def test_precision_history_spans_the_set(self, tiny_dataset, precision_set):
+        model = small_model(tiny_dataset, precisions=precision_set)
+        config = RPSConfig(epochs=2, batch_size=48, lr=0.05, method="fgsm",
+                           epsilon=EPS, precision_set=precision_set, seed=0)
+        trainer = RPSTrainer(model, config)
+        trainer.fit(tiny_dataset.x_train[:144], tiny_dataset.y_train[:144])
+        used = {p.key for p in trainer.precision_history}
+        assert used == set(precision_set.keys)
+
+    def test_full_precision_fraction(self, tiny_dataset, precision_set):
+        model = small_model(tiny_dataset, precisions=precision_set)
+        config = RPSConfig(epochs=1, batch_size=48, lr=0.05, method="fgsm",
+                           epsilon=EPS, precision_set=precision_set,
+                           full_precision_fraction=1.0)
+        trainer = RPSTrainer(model, config)
+        trainer.fit(tiny_dataset.x_train[:96], tiny_dataset.y_train[:96])
+        assert all(p.is_full_precision for p in trainer.precision_history)
+
+    def test_trained_model_beats_chance_at_every_precision(self, trained_rps_model,
+                                                           tiny_dataset,
+                                                           precision_set):
+        chance = 1.0 / tiny_dataset.num_classes
+        for precision in precision_set:
+            acc = natural_accuracy(trained_rps_model, tiny_dataset.x_test,
+                                   tiny_dataset.y_test, precision)
+            assert acc > 1.5 * chance
+
+
+class TestRPSInference:
+    def test_predictions_shape_and_range(self, trained_rps_model, tiny_dataset,
+                                         precision_set):
+        inference = RPSInference(trained_rps_model, precision_set, seed=0)
+        preds = inference.predict(tiny_dataset.x_test[:32])
+        assert preds.shape == (32,)
+        assert preds.max() < tiny_dataset.num_classes
+
+    def test_per_batch_mode(self, trained_rps_model, tiny_dataset, precision_set):
+        inference = RPSInference(trained_rps_model, precision_set, seed=0)
+        preds = inference.predict(tiny_dataset.x_test[:32], per_sample=False)
+        assert preds.shape == (32,)
+
+    def test_accuracy_above_chance(self, trained_rps_model, tiny_dataset,
+                                   precision_set):
+        inference = RPSInference(trained_rps_model, precision_set, seed=0)
+        acc = inference.accuracy(tiny_dataset.x_test, tiny_dataset.y_test)
+        assert acc > 1.5 / tiny_dataset.num_classes
+
+    def test_restrict_reduces_expected_bitops(self, trained_rps_model, precision_set):
+        inference = RPSInference(trained_rps_model, precision_set, seed=0)
+        restricted = inference.restrict(4)
+        assert restricted.expected_bit_operations() < inference.expected_bit_operations()
+        assert set(restricted.precision_set.bit_widths) == {3, 4}
+
+    def test_empty_input(self, trained_rps_model, precision_set):
+        inference = RPSInference(trained_rps_model, precision_set)
+        assert inference.accuracy(np.empty((0, 3, 8, 8), np.float32),
+                                  np.empty(0, np.int64)) == 0.0
+
+
+class TestEvaluationProtocols:
+    def test_robust_accuracy_cross_precision(self, trained_rps_model, tiny_dataset):
+        attack = FGSM(EPS)
+        x = tiny_dataset.x_test[:32]
+        y = tiny_dataset.y_test[:32]
+        acc = robust_accuracy(trained_rps_model, attack, x, y,
+                              attack_precision=3, inference_precision=6)
+        assert 0.0 <= acc <= 1.0
+
+    def test_transferability_matrix_shape_and_bounds(self, trained_rps_model,
+                                                     tiny_dataset, precision_set):
+        attack = FGSM(EPS)
+        result = transferability_matrix(trained_rps_model, attack,
+                                        tiny_dataset.x_test[:32],
+                                        tiny_dataset.y_test[:32], precision_set)
+        assert isinstance(result, TransferabilityResult)
+        assert result.matrix.shape == (3, 3)
+        assert np.all((result.matrix >= 0) & (result.matrix <= 1))
+        as_dict = result.as_dict()
+        assert as_dict["precisions"] == [3, 4, 6]
+
+    def test_rps_robust_accuracy_bounds(self, trained_rps_model, tiny_dataset,
+                                        precision_set):
+        attack = FGSM(EPS)
+        acc = rps_robust_accuracy(trained_rps_model, attack,
+                                  tiny_dataset.x_test[:32],
+                                  tiny_dataset.y_test[:32], precision_set)
+        assert 0.0 <= acc <= 1.0
+
+
+class TestTradeoffController:
+    def test_operating_points_structure(self, trained_rps_model, precision_set):
+        controller = TradeoffController(trained_rps_model, precision_set,
+                                        attack=FGSM(EPS))
+        points = controller.operating_points(caps=(None, 4))
+        assert len(points) == 3                      # two RPS sets + static
+        assert points[-1].is_static
+        assert points[0].precision_set.bit_widths == [3, 4, 6]
+        assert points[1].precision_set.bit_widths == [3, 4]
+
+    def test_build_curve_scores_robustness(self, trained_rps_model, tiny_dataset,
+                                           precision_set):
+        controller = TradeoffController(trained_rps_model, precision_set,
+                                        attack=FGSM(EPS))
+        curve = controller.build_curve(tiny_dataset.x_test[:32],
+                                       tiny_dataset.y_test[:32],
+                                       caps=(None, 4))
+        assert len(curve.points) == 3
+        for point in curve.points:
+            assert 0.0 <= point.robust_accuracy <= 1.0
+            assert 0.0 <= point.natural_accuracy <= 1.0
+        rows = curve.as_rows()
+        assert len(rows) == 3 and "configuration" in rows[0]
+
+    def test_requires_attack_for_robustness(self, trained_rps_model, precision_set,
+                                            tiny_dataset):
+        controller = TradeoffController(trained_rps_model, precision_set)
+        points = controller.operating_points()
+        with pytest.raises(ValueError):
+            controller.score_robustness(points, tiny_dataset.x_test[:8],
+                                        tiny_dataset.y_test[:8])

@@ -1,0 +1,145 @@
+"""Integration tests: experiment harnesses and the end-to-end co-design facade.
+
+These use deliberately tiny budgets — they check that every harness runs end
+to end and produces structurally correct, bounded results, not that it reaches
+paper-level fidelity (the benchmarks under benchmarks/ do the latter).
+"""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.optimizer import OptimizerConfig
+from repro.attacks import FGSM, eps_from_255
+from repro.core import TwoInOneSystem
+from repro.experiments import (
+    ExperimentBudget,
+    dataflow_optimizer_ablation,
+    dnnguard_comparison,
+    energy_breakdown_comparison,
+    format_table,
+    mac_area_breakdown,
+    mac_cycle_counts,
+    mac_unit_comparison,
+    normalized_energy_table,
+    normalized_throughput_table,
+    throughput_vs_precision,
+)
+from repro.quantization import PrecisionSet
+
+TINY = ExperimentBudget(train_size=160, test_size=64, eval_size=32, epochs=1,
+                        batch_size=48, model_scale=4, attack_steps=1,
+                        eval_attack_steps=3, seed=0)
+FAST_OPT = OptimizerConfig(population_size=6, total_cycles=1, seed=0)
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1.0, "b": "x"}, {"a": 2.5, "b": "longer"}]
+        text = format_table(rows)
+        assert "a" in text and "longer" in text
+        assert len(text.splitlines()) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+
+class TestExperimentBudget:
+    def test_presets_ordered_by_size(self):
+        quick = ExperimentBudget.quick()
+        full = ExperimentBudget.full()
+        assert quick.train_size < full.train_size
+        assert quick.epochs < full.epochs
+
+
+class TestMACExperiments:
+    def test_cycle_counts_match_fig4(self):
+        counts = mac_cycle_counts(8)
+        assert counts == {"temporal": 8.0, "spatial": 1.0, "spatial_temporal": 4.0}
+
+    def test_area_breakdown_rows(self):
+        rows = mac_area_breakdown()
+        assert {row["design"] for row in rows} == {"temporal", "spatial", "ours"}
+        for row in rows:
+            total = row["multiplier (%)"] + row["shift_add (%)"] + row["register (%)"]
+            assert total == pytest.approx(100.0, abs=0.1)
+
+    def test_mac_unit_comparison_matches_paper(self):
+        ratios = mac_unit_comparison(8)
+        assert ratios["throughput_per_area_ratio"] == pytest.approx(2.3, rel=0.05)
+        assert ratios["energy_efficiency_ratio"] == pytest.approx(4.88, rel=0.05)
+
+
+class TestAcceleratorExperiments:
+    def test_throughput_vs_precision_is_monotone_for_ours(self):
+        rows = throughput_vs_precision(network="resnet18", dataset="cifar10",
+                                       precisions=(4, 8, 16),
+                                       optimizer_config=FAST_OPT)
+        ours = [row["2-in-1"] for row in rows]
+        assert ours[0] > ours[1] > ours[2]
+
+    def test_normalized_throughput_table_shape(self):
+        rows = normalized_throughput_table(precisions=(4, 16),
+                                           workloads=[("resnet18", "cifar10")],
+                                           optimizer_config=FAST_OPT)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["BitFusion"] == 1.0
+            assert row["2-in-1"] > 1.0
+        low = next(r for r in rows if r["precision"] == 4)
+        high = next(r for r in rows if r["precision"] == 16)
+        assert low["Stripes"] < 1.0 < high["Stripes"]
+
+    def test_normalized_energy_table_ours_wins(self):
+        rows = normalized_energy_table(precisions=(4,),
+                                       workloads=[("resnet18", "cifar10")],
+                                       optimizer_config=FAST_OPT)
+        assert rows[0]["2-in-1"] > 1.0
+
+    def test_energy_breakdown_sums_to_100(self):
+        rows = energy_breakdown_comparison(precision=4,
+                                           workloads=[("resnet18", "cifar10")],
+                                           optimizer_config=FAST_OPT)
+        assert {row["design"] for row in rows} == {"BitFusion", "2-in-1"}
+        for row in rows:
+            total = (row["DRAM (%)"] + row["SRAM (%)"] + row["MAC (%)"]
+                     + row["RF (%)"])
+            assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_dnnguard_comparison_order_of_magnitude(self):
+        rows = dnnguard_comparison(networks=[("alexnet", "imagenet")],
+                                   optimizer_config=FAST_OPT)
+        row = rows[0]
+        assert row["speedup 4~8-bit"] > 3.0
+        assert row["speedup 4~8-bit"] > row["speedup 4~16-bit"]
+
+    def test_dataflow_ablation_speedup_above_one(self):
+        result = dataflow_optimizer_ablation(network="alexnet", dataset="imagenet",
+                                             precision=4, max_layers=3,
+                                             optimizer_config=FAST_OPT)
+        assert result["speedup"] >= 1.0
+
+
+class TestCoDesignSystem:
+    def test_report_combines_algorithm_and_hardware(self, trained_rps_model,
+                                                    tiny_dataset, precision_set):
+        from repro.accelerator import TwoInOneAccelerator
+        system = TwoInOneSystem(
+            trained_rps_model, precision_set,
+            accelerator=TwoInOneAccelerator(optimizer_config=FAST_OPT),
+            workload="resnet18", workload_dataset="cifar10")
+        report = system.report(tiny_dataset.x_test[:32], tiny_dataset.y_test[:32],
+                               attack=FGSM(eps_from_255(16)))
+        assert 0 <= report.natural_accuracy <= 1
+        assert 0 <= report.robust_accuracy <= 1
+        assert report.average_fps > 0
+        assert report.average_energy > 0
+        as_dict = report.as_dict()
+        assert as_dict["precisions"] == list(precision_set.keys)
+
+    def test_trainer_precision_set_must_match(self, trained_rps_model,
+                                              precision_set, tiny_dataset):
+        from repro.core import RPSConfig
+        system = TwoInOneSystem(trained_rps_model, precision_set,
+                                workload="resnet18", workload_dataset="cifar10")
+        with pytest.raises(ValueError):
+            system.train(tiny_dataset, RPSConfig(precision_set=PrecisionSet([4, 8])))

@@ -1,0 +1,252 @@
+"""Unit tests for the neural-network primitives in repro.nn.functional."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn import Tensor
+
+
+def reference_conv2d(x, w, b, stride, padding):
+    """Naive direct convolution used as a correctness oracle."""
+    n, c_in, h, wdt = x.shape
+    c_out, _, kh, kw = w.shape
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (wdt + 2 * padding - kw) // stride + 1
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.zeros((n, c_out, out_h, out_w), dtype=np.float32)
+    for ni in range(n):
+        for ko in range(c_out):
+            for yo in range(out_h):
+                for xo in range(out_w):
+                    patch = xp[ni, :, yo * stride:yo * stride + kh,
+                               xo * stride:xo * stride + kw]
+                    out[ni, ko, yo, xo] = (patch * w[ko]).sum()
+            if b is not None:
+                out[ni, ko] += b[ko]
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_reference(self, stride, padding):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 7, 7)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        b = rng.normal(size=(4,)).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride,
+                       padding=padding)
+        expected = reference_conv2d(x, w, b, stride, padding)
+        assert out.shape == expected.shape
+        assert np.allclose(out.data, expected, atol=1e-4)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 3, 8, 8))),
+                     Tensor(np.zeros((4, 2, 3, 3))))
+
+    def test_gradients_flow_to_all_parents(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)).astype(np.float32), requires_grad=True)
+        w = nn.Parameter(rng.normal(size=(4, 3, 3, 3)).astype(np.float32))
+        b = nn.Parameter(np.zeros(4, dtype=np.float32))
+        out = F.conv2d(x, w, b, stride=1, padding=1)
+        (out * out).sum().backward()
+        assert x.grad is not None and x.grad.shape == x.shape
+        assert w.grad is not None and w.grad.shape == w.shape
+        assert b.grad is not None and b.grad.shape == b.shape
+
+    def test_input_gradient_numeric(self):
+        rng = np.random.default_rng(2)
+        x_data = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        w_data = rng.normal(size=(3, 2, 3, 3)).astype(np.float32) * 0.2
+        x = Tensor(x_data, requires_grad=True)
+        out = F.conv2d(x, Tensor(w_data), None, stride=1, padding=1)
+        (out * out).sum().backward()
+
+        index = (0, 1, 2, 2)
+        eps = 1e-2
+
+        def loss(arr):
+            o = reference_conv2d(arr, w_data, None, 1, 1)
+            return float((o * o).sum())
+
+        perturbed = x_data.copy()
+        perturbed[index] += eps
+        plus = loss(perturbed)
+        perturbed[index] -= 2 * eps
+        minus = loss(perturbed)
+        numeric = (plus - minus) / (2 * eps)
+        assert x.grad[index] == pytest.approx(numeric, rel=0.05, abs=1e-2)
+
+    def test_im2col_col2im_adjoint(self):
+        """col2im is the adjoint of im2col: <im2col(x), c> == <x, col2im(c)>."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        cols = F.im2col(x, (3, 3), stride=1, padding=1)
+        c = rng.normal(size=cols.shape).astype(np.float32)
+        lhs = float((cols * c).sum())
+        rhs = float((x * F.col2im(c, x.shape, (3, 3), 1, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+
+class TestPooling:
+    def test_max_pool_forward(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        assert np.allclose(out.data, [[[[5, 7], [13, 15]]]])
+
+    def test_max_pool_gradient_routes_to_max(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4),
+                   requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        assert x.grad.sum() == pytest.approx(4)
+        assert x.grad[0, 0, 1, 1] == pytest.approx(1)
+        assert x.grad[0, 0, 0, 0] == pytest.approx(0)
+
+    def test_avg_pool_forward_and_gradient(self):
+        x = Tensor(np.ones((1, 2, 4, 4), dtype=np.float32), requires_grad=True)
+        out = F.avg_pool2d(x, 2)
+        assert np.allclose(out.data, 1.0)
+        out.sum().backward()
+        assert np.allclose(x.grad, 0.25)
+
+    def test_adaptive_avg_pool_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            F.adaptive_avg_pool2d(Tensor(np.zeros((1, 1, 5, 5))), 2)
+
+    def test_adaptive_avg_pool_global(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = F.adaptive_avg_pool2d(x, 1)
+        assert out.shape == (1, 1, 1, 1)
+        assert out.data.item() == pytest.approx(7.5)
+
+
+class TestBatchNorm:
+    def test_training_normalises_batch(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(3.0, 2.0, size=(8, 4, 5, 5)).astype(np.float32))
+        gamma = nn.Parameter(np.ones(4)); beta = nn.Parameter(np.zeros(4))
+        rm, rv = np.zeros(4, np.float32), np.ones(4, np.float32)
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=True)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0, atol=1e-3)
+        assert np.allclose(out.data.std(axis=(0, 2, 3)), 1, atol=1e-2)
+
+    def test_running_stats_updated_in_training_only(self):
+        x = Tensor(np.random.default_rng(0).normal(2.0, 1.0, (16, 3, 4, 4)).astype(np.float32))
+        gamma = nn.Parameter(np.ones(3)); beta = nn.Parameter(np.zeros(3))
+        rm, rv = np.zeros(3, np.float32), np.ones(3, np.float32)
+        F.batch_norm(x, gamma, beta, rm, rv, training=True, momentum=0.5)
+        assert not np.allclose(rm, 0)
+        rm_copy = rm.copy()
+        F.batch_norm(x, gamma, beta, rm, rv, training=False)
+        assert np.allclose(rm, rm_copy)
+
+    def test_eval_uses_running_stats(self):
+        x = Tensor(np.full((4, 2, 3, 3), 10.0, dtype=np.float32))
+        gamma = nn.Parameter(np.ones(2)); beta = nn.Parameter(np.zeros(2))
+        rm = np.full(2, 10.0, dtype=np.float32)
+        rv = np.ones(2, dtype=np.float32)
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=False)
+        assert np.allclose(out.data, 0, atol=1e-3)
+
+    def test_2d_input_supported(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(10, 6)).astype(np.float32))
+        gamma = nn.Parameter(np.ones(6)); beta = nn.Parameter(np.zeros(6))
+        rm, rv = np.zeros(6, np.float32), np.ones(6, np.float32)
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=True)
+        assert out.shape == (10, 6)
+
+
+class TestSoftmaxAndLosses:
+    def test_softmax_sums_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 7)).astype(np.float32))
+        probs = F.softmax(x).data
+        assert np.allclose(probs.sum(axis=1), 1, atol=1e-5)
+        assert np.all(probs >= 0)
+
+    def test_log_softmax_matches_softmax_log(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 6)).astype(np.float32))
+        assert np.allclose(F.log_softmax(x).data, np.log(F.softmax(x).data),
+                           atol=1e-5)
+
+    def test_softmax_is_shift_invariant(self):
+        x = np.random.default_rng(2).normal(size=(3, 5)).astype(np.float32)
+        assert np.allclose(F.softmax(Tensor(x)).data,
+                           F.softmax(Tensor(x + 100.0)).data, atol=1e-5)
+
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]], dtype=np.float32))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-3
+
+    def test_cross_entropy_uniform_equals_log_classes(self):
+        logits = Tensor(np.zeros((4, 10), dtype=np.float32))
+        loss = F.cross_entropy(logits, np.zeros(4, dtype=np.int64))
+        assert loss.item() == pytest.approx(np.log(10), rel=1e-4)
+
+    def test_cross_entropy_gradient_is_probs_minus_onehot(self):
+        logits = Tensor(np.zeros((2, 3), dtype=np.float32), requires_grad=True)
+        F.cross_entropy(logits, np.array([0, 2])).backward()
+        expected = np.full((2, 3), 1 / 3, dtype=np.float32)
+        expected[0, 0] -= 1
+        expected[1, 2] -= 1
+        assert np.allclose(logits.grad, expected / 2, atol=1e-5)
+
+    def test_nll_sum_reduction(self):
+        log_probs = F.log_softmax(Tensor(np.zeros((3, 4), dtype=np.float32)))
+        loss_sum = F.nll_loss(log_probs, np.array([0, 1, 2]), reduction="sum")
+        assert loss_sum.item() == pytest.approx(3 * np.log(4), rel=1e-4)
+
+    def test_nll_unknown_reduction(self):
+        log_probs = F.log_softmax(Tensor(np.zeros((1, 2), dtype=np.float32)))
+        with pytest.raises(ValueError):
+            F.nll_loss(log_probs, np.array([0]), reduction="bogus")
+
+    def test_mse_loss(self):
+        pred = Tensor(np.array([1.0, 2.0], dtype=np.float32), requires_grad=True)
+        loss = F.mse_loss(pred, np.array([0.0, 0.0], dtype=np.float32))
+        assert loss.item() == pytest.approx(2.5)
+
+
+class TestDropoutAndPad:
+    def test_dropout_identity_at_eval(self):
+        x = Tensor(np.ones((4, 4), dtype=np.float32))
+        assert np.allclose(F.dropout(x, 0.5, training=False).data, 1.0)
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((2000,), dtype=np.float32))
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_pad2d_shape_and_gradient(self):
+        x = Tensor(np.ones((1, 1, 3, 3), dtype=np.float32), requires_grad=True)
+        out = F.pad2d(x, 2)
+        assert out.shape == (1, 1, 7, 7)
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_pad2d_zero_is_identity(self):
+        x = Tensor(np.ones((1, 1, 3, 3), dtype=np.float32))
+        assert F.pad2d(x, 0) is x
+
+
+class TestLinear:
+    def test_linear_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(5, 8)).astype(np.float32)
+        w = rng.normal(size=(3, 8)).astype(np.float32)
+        b = rng.normal(size=(3,)).astype(np.float32)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        assert np.allclose(out.data, x @ w.T + b, atol=1e-5)
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_linear_shape_property(self, batch, in_features, out_features):
+        x = Tensor(np.zeros((batch, in_features), dtype=np.float32))
+        w = Tensor(np.zeros((out_features, in_features), dtype=np.float32))
+        assert F.linear(x, w).shape == (batch, out_features)

@@ -1,0 +1,161 @@
+"""Tests for the MAC-unit cost models, calibrated against the paper's claims."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.mac import (
+    AreaBreakdown,
+    FixedPointMAC,
+    SpatialBitFusionMAC,
+    SpatialTemporalMAC,
+    TemporalBitSerialMAC,
+)
+from repro.quantization import FULL_PRECISION, Precision
+
+ALL_UNITS = [TemporalBitSerialMAC(), SpatialBitFusionMAC(), SpatialTemporalMAC(),
+             FixedPointMAC()]
+
+
+class TestFig4CycleCounts:
+    """Fig. 4: an 8-bit x 8-bit MAC takes 8 / 1 / 4 cycles."""
+
+    def test_temporal_eight_cycles(self):
+        assert TemporalBitSerialMAC().cycles_per_mac(8) == pytest.approx(8)
+
+    def test_spatial_one_cycle(self):
+        assert SpatialBitFusionMAC().cycles_per_mac(8) == pytest.approx(1)
+
+    def test_spatial_temporal_four_cycles(self):
+        assert SpatialTemporalMAC().cycles_per_mac(8) == pytest.approx(4)
+
+
+class TestFig3AreaBreakdown:
+    """Fig. 3: shift-add dominates temporal/spatial designs, not ours."""
+
+    def test_temporal_fractions(self):
+        f = TemporalBitSerialMAC().area_breakdown.fractions()
+        assert f["shift_add"] == pytest.approx(0.609, abs=0.02)
+        assert f["multiplier"] == pytest.approx(0.094, abs=0.02)
+
+    def test_spatial_fractions(self):
+        f = SpatialBitFusionMAC().area_breakdown.fractions()
+        assert f["shift_add"] == pytest.approx(0.67, abs=0.02)
+        assert f["register"] == pytest.approx(0.065, abs=0.02)
+
+    def test_ours_fractions(self):
+        f = SpatialTemporalMAC().area_breakdown.fractions()
+        assert f["shift_add"] == pytest.approx(0.397, abs=0.02)
+        assert f["multiplier"] == pytest.approx(0.43, abs=0.02)
+
+    def test_ours_shift_add_share_is_smallest(self):
+        shares = {unit.name: unit.area_breakdown.fractions()["shift_add"]
+                  for unit in (TemporalBitSerialMAC(), SpatialBitFusionMAC(),
+                               SpatialTemporalMAC())}
+        assert shares["spatial-temporal"] < shares["temporal-bit-serial"]
+        assert shares["spatial-temporal"] < shares["spatial-bit-fusion"]
+
+    def test_breakdown_totals(self):
+        breakdown = AreaBreakdown(multiplier=1, shift_add=2, register=1)
+        assert breakdown.total == 4
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+
+class TestSec323SynthesisRatios:
+    """Sec. 3.2.3: 2.3x throughput/area and 4.88x energy-eff/op over Bit Fusion."""
+
+    def test_throughput_per_area_ratio(self):
+        ours = SpatialTemporalMAC()
+        bitfusion = SpatialBitFusionMAC()
+        ratio = ours.throughput_per_area(8) / bitfusion.throughput_per_area(8)
+        assert ratio == pytest.approx(2.3, rel=0.05)
+
+    def test_energy_efficiency_ratio(self):
+        ours = SpatialTemporalMAC()
+        bitfusion = SpatialBitFusionMAC()
+        ratio = bitfusion.energy_per_mac(8) / ours.energy_per_mac(8)
+        assert ratio == pytest.approx(4.88, rel=0.05)
+
+
+class TestPrecisionScalingShape:
+    """Sec. 3.1.1 / Fig. 2: who wins where along the precision axis."""
+
+    @pytest.mark.parametrize("bits", [2, 4])
+    def test_bitfusion_beats_stripes_below_8bit(self, bits):
+        assert (SpatialBitFusionMAC().throughput_per_area(bits)
+                > TemporalBitSerialMAC().throughput_per_area(bits))
+
+    def test_stripes_beats_bitfusion_at_16bit(self):
+        assert (TemporalBitSerialMAC().throughput_per_area(16)
+                > SpatialBitFusionMAC().throughput_per_area(16))
+
+    @pytest.mark.parametrize("bits", [2, 3, 4, 5, 6, 7, 8, 12, 16])
+    def test_ours_beats_both_baselines_everywhere(self, bits):
+        ours = SpatialTemporalMAC().throughput_per_area(bits)
+        assert ours > SpatialBitFusionMAC().throughput_per_area(bits)
+        assert ours > TemporalBitSerialMAC().throughput_per_area(bits)
+
+    def test_stripes_throughput_scales_inversely_with_bits(self):
+        unit = TemporalBitSerialMAC()
+        assert unit.macs_per_cycle(4) == pytest.approx(2 * unit.macs_per_cycle(8))
+
+    def test_bitfusion_unsupported_precisions_round_up(self):
+        unit = SpatialBitFusionMAC()
+        assert unit.macs_per_cycle(5) == unit.macs_per_cycle(8)
+        assert unit.macs_per_cycle(3) == unit.macs_per_cycle(4)
+
+    def test_ours_supports_intermediate_precisions_natively(self):
+        unit = SpatialTemporalMAC()
+        assert unit.macs_per_cycle(6) > unit.macs_per_cycle(8)
+        assert unit.macs_per_cycle(3) > unit.macs_per_cycle(4)
+
+    def test_ours_above_8bit_uses_temporal_reexecution(self):
+        unit = SpatialTemporalMAC()
+        assert unit.cycles_per_mac(12) == pytest.approx(4 * unit.cycles_for_bits(6))
+        assert unit.cycles_per_mac(16) == pytest.approx(16)
+
+
+class TestMonotonicityProperties:
+    @given(st.integers(1, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_throughput_never_increases_with_precision(self, bits):
+        for unit in (TemporalBitSerialMAC(), SpatialBitFusionMAC(),
+                     SpatialTemporalMAC()):
+            assert (unit.macs_per_cycle(bits)
+                    >= unit.macs_per_cycle(bits + 1) - 1e-12)
+
+    @given(st.integers(1, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_energy_never_decreases_with_precision(self, bits):
+        for unit in (TemporalBitSerialMAC(), SpatialBitFusionMAC(),
+                     SpatialTemporalMAC()):
+            assert unit.energy_per_mac(bits + 1) >= unit.energy_per_mac(bits) - 1e-9
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_costs_are_positive(self, bits):
+        for unit in ALL_UNITS:
+            assert unit.macs_per_cycle(bits) > 0
+            assert unit.energy_per_mac(bits) > 0
+            assert unit.area > 0
+
+
+class TestFixedPointMAC:
+    def test_precision_oblivious(self):
+        unit = FixedPointMAC()
+        assert unit.macs_per_cycle(4) == unit.macs_per_cycle(16) == 1.0
+        assert unit.energy_per_mac(4) == unit.energy_per_mac(16)
+
+
+class TestPrecisionHandling:
+    def test_accepts_precision_objects(self):
+        unit = SpatialTemporalMAC()
+        assert unit.macs_per_cycle(Precision(8)) == unit.macs_per_cycle(8)
+
+    def test_rejects_full_precision(self):
+        with pytest.raises(ValueError):
+            SpatialTemporalMAC().macs_per_cycle(FULL_PRECISION)
+
+    def test_asymmetric_precision_uses_max(self):
+        unit = SpatialTemporalMAC()
+        assert unit.macs_per_cycle(Precision(8, 4)) == unit.macs_per_cycle(8)

@@ -1,0 +1,191 @@
+"""Tests for the model zoo and the synthetic dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, DATASET_PRESETS, make_dataset
+from repro.models import (
+    available_models,
+    build_model,
+    preact_resnet18,
+    resnet18,
+    resnet50,
+    vgg16,
+    wide_resnet32,
+    alexnet,
+)
+from repro.nn import Tensor
+from repro.nn.layers import BatchNorm2d, SwitchableBatchNorm2d
+from repro.quantization import Precision, PrecisionSet, set_model_precision
+
+
+class TestModelZoo:
+    @pytest.mark.parametrize("name", ["preact_resnet18", "wide_resnet32",
+                                      "resnet18", "resnet50", "alexnet", "vgg16"])
+    def test_forward_shape(self, name):
+        model = build_model(name, num_classes=7, scale=8)
+        out = model(Tensor(np.zeros((2, 3, 16, 16), dtype=np.float32)))
+        assert out.shape == (2, 7)
+
+    def test_registry_lists_six_networks(self):
+        assert len(available_models()) == 6
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("lenet")
+
+    def test_backward_through_every_model(self):
+        from repro.nn import functional as F
+        for name in available_models():
+            model = build_model(name, num_classes=4, scale=4)
+            x = Tensor(np.random.default_rng(0).random((2, 3, 16, 16)).astype(np.float32),
+                       requires_grad=True)
+            loss = F.cross_entropy(model(x), np.array([0, 1]))
+            loss.backward()
+            assert x.grad is not None
+            grads = [p.grad for p in model.parameters() if p.grad is not None]
+            assert len(grads) > 0
+
+    def test_precision_set_creates_switchable_bn(self):
+        ps = PrecisionSet([4, 8])
+        model = build_model("preact_resnet18", precisions=ps, scale=4)
+        sbn = [m for m in model.modules() if isinstance(m, SwitchableBatchNorm2d)]
+        plain = [m for m in model.modules()
+                 if type(m) is BatchNorm2d]
+        assert sbn
+        # Plain BN only appears inside SBN branches, never standalone.
+        standalone = [m for m in plain
+                      if not any(m is b for s in sbn for b in s._branches.values())]
+        assert not standalone
+
+    def test_no_precisions_creates_plain_bn(self):
+        model = build_model("resnet18", scale=4)
+        assert not any(isinstance(m, SwitchableBatchNorm2d) for m in model.modules())
+        assert any(isinstance(m, BatchNorm2d) for m in model.modules())
+
+    def test_wider_model_has_more_parameters(self):
+        small = build_model("resnet18", scale=4)
+        large = build_model("resnet18", scale=8)
+        assert large.num_parameters() > small.num_parameters()
+
+    def test_deterministic_construction(self):
+        a = build_model("alexnet", scale=8, seed=3)
+        b = build_model("alexnet", scale=8, seed=3)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.allclose(pa.data, pb.data)
+
+    def test_precision_switch_changes_logits(self):
+        ps = PrecisionSet([3, 8])
+        model = build_model("vgg16", precisions=ps, scale=4)
+        x = Tensor(np.random.default_rng(0).random((2, 3, 16, 16)).astype(np.float32))
+        set_model_precision(model, Precision(8))
+        high = model(x).data.copy()
+        set_model_precision(model, Precision(3))
+        low = model(x).data
+        assert not np.allclose(high, low)
+
+    def test_imagenet_stem_downscales(self):
+        model = resnet50(num_classes=10, width=8, imagenet_stem=True)
+        out = model(Tensor(np.zeros((1, 3, 64, 64), dtype=np.float32)))
+        assert out.shape == (1, 10)
+
+    def test_wide_resnet_depth_validation(self):
+        with pytest.raises(ValueError):
+            wide_resnet32(depth=8)
+
+    def test_direct_constructors(self):
+        for ctor in (preact_resnet18, resnet18, vgg16, alexnet):
+            model = ctor(num_classes=3, width=4) if ctor is not vgg16 else ctor(num_classes=3, width=4)
+            out = model(Tensor(np.zeros((1, 3, 16, 16), dtype=np.float32)))
+            assert out.shape == (1, 3)
+
+
+class TestSyntheticDatasets:
+    def test_presets_cover_paper_datasets(self):
+        assert set(DATASET_PRESETS) == {"cifar10", "cifar100", "svhn", "imagenet"}
+
+    def test_shapes_and_ranges(self, tiny_dataset):
+        c, h, w = tiny_dataset.image_shape
+        assert tiny_dataset.x_train.shape[1:] == (c, h, w)
+        assert tiny_dataset.x_train.dtype == np.float32
+        assert tiny_dataset.x_train.min() >= 0.0
+        assert tiny_dataset.x_train.max() <= 1.0
+        assert tiny_dataset.y_train.max() < tiny_dataset.num_classes
+
+    def test_deterministic_given_seed(self):
+        a = make_dataset("cifar10", train_size=32, test_size=16)
+        b = make_dataset("cifar10", train_size=32, test_size=16)
+        assert np.allclose(a.x_train, b.x_train)
+        assert np.array_equal(a.y_train, b.y_train)
+
+    def test_different_seed_differs(self):
+        a = make_dataset("cifar10", train_size=32, test_size=16, seed=0)
+        b = make_dataset("cifar10", train_size=32, test_size=16, seed=1)
+        assert not np.allclose(a.x_train, b.x_train)
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            make_dataset("mnist")
+
+    def test_all_classes_present(self):
+        ds = make_dataset("cifar10", train_size=400, test_size=100)
+        assert len(np.unique(ds.y_train)) == ds.num_classes
+
+    def test_classes_are_separable_by_prototype_distance(self):
+        """A nearest-prototype classifier should beat chance by a wide margin,
+        confirming the class structure a CNN is supposed to learn."""
+        ds = make_dataset("cifar10", train_size=64, test_size=128)
+        protos = ds.prototypes().reshape(ds.num_classes, -1)
+        flat = ds.x_test.reshape(len(ds.x_test), -1)
+        distances = ((flat[:, None, :] - protos[None, :, :]) ** 2).sum(axis=2)
+        accuracy = (distances.argmin(axis=1) == ds.y_test).mean()
+        assert accuracy > 0.8
+
+    def test_subset_restricts_sizes(self, tiny_dataset):
+        subset = tiny_dataset.subset(train=10, test=5)
+        assert len(subset.x_train) == 10 and len(subset.x_test) == 5
+        assert subset.num_classes == tiny_dataset.num_classes
+
+    def test_imagenet_preset_is_larger_images(self):
+        cfg = DATASET_PRESETS["imagenet"]
+        assert cfg.image_shape[1] > DATASET_PRESETS["cifar10"].image_shape[1]
+
+
+class TestDataLoader:
+    def test_batch_count_and_shapes(self):
+        x = np.zeros((50, 3, 4, 4), dtype=np.float32)
+        y = np.zeros(50, dtype=np.int64)
+        loader = DataLoader(x, y, batch_size=16)
+        batches = list(loader)
+        assert len(loader) == 4 and len(batches) == 4
+        assert batches[0][0].shape == (16, 3, 4, 4)
+        assert batches[-1][0].shape == (2, 3, 4, 4)
+
+    def test_drop_last(self):
+        loader = DataLoader(np.zeros((50, 2)), np.zeros(50), batch_size=16,
+                            drop_last=True)
+        assert len(loader) == 3
+        assert all(len(xb) == 16 for xb, _ in loader)
+
+    def test_shuffle_covers_all_samples(self):
+        x = np.arange(40, dtype=np.float32).reshape(40, 1)
+        y = np.arange(40)
+        loader = DataLoader(x, y, batch_size=7, shuffle=True,
+                            rng=np.random.default_rng(0))
+        seen = np.concatenate([yb for _, yb in loader])
+        assert sorted(seen.tolist()) == list(range(40))
+
+    def test_no_shuffle_preserves_order(self):
+        x = np.arange(10, dtype=np.float32).reshape(10, 1)
+        y = np.arange(10)
+        loader = DataLoader(x, y, batch_size=4, shuffle=False)
+        first_batch = next(iter(loader))
+        assert np.array_equal(first_batch[1], [0, 1, 2, 3])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((5, 2)), np.zeros(4), batch_size=2)
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((5, 2)), np.zeros(5), batch_size=0)

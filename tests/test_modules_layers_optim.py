@@ -1,0 +1,231 @@
+"""Tests for the module system, layers (incl. switchable BN), optimizers and losses."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.layers import FULL_PRECISION_KEY
+
+
+class TestModuleSystem:
+    def test_parameters_discovered_recursively(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == 4                     # two weights + two biases
+        assert all("." in name for name in names)
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.BatchNorm2d(2))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        layer = nn.Linear(3, 2)
+        out = layer(Tensor(np.ones((1, 3), dtype=np.float32)))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a = nn.Linear(4, 4, rng=np.random.default_rng(1))
+        b = nn.Linear(4, 4, rng=np.random.default_rng(2))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_includes_buffers(self):
+        bn = nn.BatchNorm2d(3)
+        bn.running_mean[...] = 5.0
+        state = bn.state_dict()
+        assert any(key.startswith("buffer:") for key in state)
+        bn2 = nn.BatchNorm2d(3)
+        bn2.load_state_dict(state)
+        assert np.allclose(bn2.running_mean, 5.0)
+
+    def test_num_parameters(self):
+        layer = nn.Linear(10, 5)
+        assert layer.num_parameters() == 10 * 5 + 5
+
+    def test_sequential_indexing_and_iteration(self):
+        seq = nn.Sequential(nn.ReLU(), nn.Flatten())
+        assert len(seq) == 2
+        assert isinstance(seq[0], nn.ReLU)
+        assert len(list(iter(seq))) == 2
+
+    def test_module_list_registration(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(ml) == 2
+        assert len(list(ml[0].parameters())) == 2
+        parent = nn.Module()
+        parent.items = ml
+        assert len(parent.parameters()) == 4
+
+    def test_module_list_is_not_callable(self):
+        with pytest.raises(RuntimeError):
+            nn.ModuleList([])(Tensor(np.zeros(1)))
+
+
+class TestLayers:
+    def test_conv_layer_output_shape(self):
+        conv = nn.Conv2d(3, 8, kernel_size=3, stride=2, padding=1)
+        out = conv(Tensor(np.zeros((2, 3, 16, 16), dtype=np.float32)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_linear_layer_output_shape(self):
+        assert nn.Linear(7, 3)(Tensor(np.zeros((4, 7), dtype=np.float32))).shape == (4, 3)
+
+    def test_batchnorm_layer_trains_stats(self):
+        bn = nn.BatchNorm2d(4)
+        x = Tensor(np.random.default_rng(0).normal(2, 1, (8, 4, 3, 3)).astype(np.float32))
+        bn.train()
+        bn(x)
+        assert not np.allclose(bn.running_mean, 0)
+
+    def test_pooling_and_flatten_layers(self):
+        x = Tensor(np.zeros((1, 2, 8, 8), dtype=np.float32))
+        assert nn.MaxPool2d(2)(x).shape == (1, 2, 4, 4)
+        assert nn.AvgPool2d(2)(x).shape == (1, 2, 4, 4)
+        assert nn.AdaptiveAvgPool2d(1)(x).shape == (1, 2, 1, 1)
+        assert nn.Flatten()(x).shape == (1, 128)
+        assert nn.Identity()(x) is x
+
+    def test_dropout_layer_respects_mode(self):
+        drop = nn.Dropout(0.9, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100,), dtype=np.float32))
+        drop.eval()
+        assert np.allclose(drop(x).data, 1.0)
+        drop.train()
+        assert not np.allclose(drop(x).data, 1.0)
+
+
+class TestSwitchableBatchNorm:
+    def test_branch_per_precision_plus_full_precision(self):
+        sbn = nn.SwitchableBatchNorm2d(4, precisions=[4, 8])
+        assert set(sbn.available_keys()) == {FULL_PRECISION_KEY, 4, 8}
+
+    def test_switch_to_unknown_key_raises(self):
+        sbn = nn.SwitchableBatchNorm2d(4, precisions=[4, 8])
+        with pytest.raises(KeyError):
+            sbn.switch_to(16)
+
+    def test_branches_keep_independent_statistics(self):
+        sbn = nn.SwitchableBatchNorm2d(2, precisions=[4, 8])
+        rng = np.random.default_rng(0)
+        sbn.train()
+        sbn.switch_to(4)
+        sbn(Tensor(rng.normal(5.0, 1.0, (16, 2, 4, 4)).astype(np.float32)))
+        sbn.switch_to(8)
+        sbn(Tensor(rng.normal(-5.0, 1.0, (16, 2, 4, 4)).astype(np.float32)))
+        mean4 = sbn._branches[4].running_mean.copy()
+        mean8 = sbn._branches[8].running_mean.copy()
+        assert mean4.mean() > 0 > mean8.mean()
+
+    def test_forward_uses_active_branch(self):
+        sbn = nn.SwitchableBatchNorm2d(2, precisions=[4])
+        sbn.eval()
+        sbn._branches[4].running_mean[...] = 10.0
+        x = Tensor(np.full((1, 2, 2, 2), 10.0, dtype=np.float32))
+        sbn.switch_to(4)
+        assert np.allclose(sbn(x).data, 0.0, atol=1e-3)
+        sbn.switch_to(FULL_PRECISION_KEY)
+        assert not np.allclose(sbn(x).data, 0.0, atol=1e-3)
+
+    def test_all_branch_parameters_registered(self):
+        sbn = nn.SwitchableBatchNorm2d(3, precisions=[4, 8])
+        # 3 branches (fp, 4, 8) x (weight + bias)
+        assert len(sbn.parameters()) == 6
+
+
+class TestOptimizers:
+    def _quadratic_step(self, optimizer_cls, **kwargs):
+        param = nn.Parameter(np.array([4.0], dtype=np.float32))
+        opt = optimizer_cls([param], **kwargs)
+        for _ in range(50):
+            opt.zero_grad()
+            loss = (Tensor(param.data, requires_grad=False) * 0)  # placeholder
+            # minimise f(w) = w^2 manually: grad = 2w
+            param.grad = 2 * param.data
+            opt.step()
+        return float(param.data[0])
+
+    def test_sgd_minimises_quadratic(self):
+        assert abs(self._quadratic_step(nn.SGD, lr=0.1)) < 1e-3
+
+    def test_sgd_momentum_minimises_quadratic(self):
+        # Heavy-ball momentum oscillates on a quadratic; it should still have
+        # contracted the iterate well inside the starting point after 50 steps.
+        assert abs(self._quadratic_step(nn.SGD, lr=0.05, momentum=0.9)) < 0.5
+
+    def test_adam_minimises_quadratic(self):
+        assert abs(self._quadratic_step(nn.Adam, lr=0.2)) < 0.2
+
+    def test_sgd_weight_decay_shrinks_weights(self):
+        param = nn.Parameter(np.array([1.0], dtype=np.float32))
+        opt = nn.SGD([param], lr=0.1, weight_decay=1.0)
+        param.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert param.data[0] < 1.0
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_step_skips_parameters_without_grad(self):
+        param = nn.Parameter(np.array([1.0], dtype=np.float32))
+        opt = nn.SGD([param], lr=0.1)
+        opt.step()                     # no grad -> no change, no crash
+        assert param.data[0] == pytest.approx(1.0)
+
+
+class TestSchedulers:
+    def _opt(self):
+        return nn.SGD([nn.Parameter(np.zeros(1, dtype=np.float32))], lr=1.0)
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[1] == pytest.approx(0.1)
+        assert lrs[3] == pytest.approx(0.01)
+
+    def test_multistep_lr(self):
+        opt = self._opt()
+        sched = nn.MultiStepLR(opt, milestones=[2, 4], gamma=0.5)
+        lrs = [sched.step() for _ in range(5)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[1] == pytest.approx(0.5)
+        assert lrs[4] == pytest.approx(0.25)
+
+    def test_cosine_lr_monotone_decrease(self):
+        opt = self._opt()
+        sched = nn.CosineAnnealingLR(opt, total_epochs=10)
+        lrs = [sched.step() for _ in range(10)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_cyclic_lr_rises_then_falls(self):
+        opt = self._opt()
+        opt.lr = 0.0
+        sched = nn.CyclicLR(opt, max_lr=1.0, total_steps=10, pct_start=0.5)
+        sched.base_lr = 0.0
+        lrs = [sched.step() for _ in range(10)]
+        assert max(lrs) == pytest.approx(1.0, abs=1e-6)
+        assert lrs[-1] < max(lrs)
+
+
+class TestLossWrappers:
+    def test_cross_entropy_loss_callable(self):
+        loss_fn = nn.CrossEntropyLoss()
+        logits = Tensor(np.zeros((2, 4), dtype=np.float32), requires_grad=True)
+        loss = loss_fn(logits, np.array([1, 3]))
+        assert loss.item() == pytest.approx(np.log(4), rel=1e-4)
+
+    def test_mse_loss_callable(self):
+        loss_fn = nn.MSELoss()
+        pred = Tensor(np.array([1.0, 3.0], dtype=np.float32))
+        assert loss_fn(pred, np.array([1.0, 1.0], dtype=np.float32)).item() == pytest.approx(2.0)

@@ -1,0 +1,259 @@
+"""Tests for the analytical performance model, the evolutionary optimizer and
+the complete accelerator front-ends."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    ArrayConfig,
+    BitFusionAccelerator,
+    COMPUTE_AREA_BUDGET,
+    DNNGuardAccelerator,
+    Dataflow,
+    InvalidMappingError,
+    PerformanceModel,
+    SpatialTemporalMAC,
+    StripesAccelerator,
+    TwoInOneAccelerator,
+    default_dataflow,
+    default_hierarchy,
+    network_layers,
+)
+from repro.accelerator.optimizer import (
+    EvolutionaryDataflowOptimizer,
+    MicroArchitectureSearch,
+    OptimizerConfig,
+)
+from repro.accelerator.workload import LayerShape
+
+
+@pytest.fixture(scope="module")
+def small_layer():
+    return LayerShape("conv", n=1, k=64, c=32, y=16, x=16, r=3, s=3)
+
+
+@pytest.fixture(scope="module")
+def model():
+    array = ArrayConfig(mac_unit=SpatialTemporalMAC(), num_units=256)
+    return PerformanceModel(array, default_hierarchy())
+
+
+class TestPerformanceModel:
+    def test_evaluate_basic_quantities(self, model, small_layer):
+        flow = default_dataflow(small_layer, model.array.num_units)
+        perf = model.evaluate(small_layer, flow, 8)
+        assert perf.compute_cycles > 0
+        assert perf.total_energy > 0
+        assert 0 < perf.spatial_utilization <= 1
+        assert 0 < perf.mapping_efficiency <= 1
+        assert set(perf.energy_breakdown) == {"MAC", "DRAM", "GlobalBuffer",
+                                              "RegisterFile"}
+
+    def test_total_cycles_is_max_of_compute_and_memory(self, model, small_layer):
+        flow = default_dataflow(small_layer, model.array.num_units)
+        perf = model.evaluate(small_layer, flow, 8)
+        assert perf.total_cycles == pytest.approx(
+            max(perf.compute_cycles, *perf.memory_cycles.values()))
+        assert perf.is_memory_bound == (perf.total_cycles > perf.compute_cycles)
+
+    def test_lower_precision_is_faster_and_cheaper(self, model, small_layer):
+        flow = default_dataflow(small_layer, model.array.num_units)
+        perf4 = model.evaluate(small_layer, flow, 4)
+        perf8 = model.evaluate(small_layer, flow, 8)
+        assert perf4.compute_cycles < perf8.compute_cycles
+        assert perf4.total_energy < perf8.total_energy
+
+    def test_dram_traffic_at_least_tensor_sizes(self, model, small_layer):
+        """Every weight/input element must cross the DRAM boundary at least once."""
+        flow = default_dataflow(small_layer, model.array.num_units)
+        perf = model.evaluate(small_layer, flow, 8)
+        sizes = small_layer.tensor_sizes()
+        assert perf.traffic_bits["DRAM"]["weights"] >= sizes["weights"] * 8
+        assert perf.traffic_bits["DRAM"]["outputs"] >= sizes["outputs"] * 8
+
+    def test_spatial_overflow_rejected(self, model, small_layer):
+        flow = Dataflow(tiling={"Spatial": {"K": 64, "C": 32}})
+        with pytest.raises(InvalidMappingError):
+            model.check_mapping(small_layer, flow, 8)
+
+    def test_uncovered_layer_rejected(self, model, small_layer):
+        flow = Dataflow(tiling={"Spatial": {"K": 2}})
+        with pytest.raises(InvalidMappingError):
+            model.check_mapping(small_layer, flow, 8)
+
+    def test_capacity_overflow_rejected(self, small_layer):
+        tiny_memory = default_hierarchy().scaled(buffer_scale=1e-5)
+        array = ArrayConfig(mac_unit=SpatialTemporalMAC(), num_units=256)
+        constrained = PerformanceModel(array, tiny_memory)
+        flow = default_dataflow(small_layer, 256)
+        assert not constrained.is_valid(small_layer, flow, 8)
+
+    def test_loop_order_changes_traffic(self, model, small_layer):
+        """Weight-stationary vs output-stationary DRAM orders move different bits."""
+        base = default_dataflow(small_layer, model.array.num_units)
+        weight_stationary = base.copy()
+        weight_stationary.loop_order["DRAM"] = ["K", "C", "R", "S", "N", "Y", "X"]
+        output_stationary = base.copy()
+        output_stationary.loop_order["DRAM"] = ["N", "Y", "X", "K", "C", "R", "S"]
+        # Force several DRAM-level iterations so the order matters (the extra
+        # factors over-cover the layer, which the model treats as padding).
+        for flow in (weight_stationary, output_stationary):
+            flow.tiling["DRAM"]["Y"] = 4
+            flow.tiling["DRAM"]["K"] = 4
+        tw = model.evaluate(small_layer, weight_stationary, 8).traffic_bits["DRAM"]
+        to = model.evaluate(small_layer, output_stationary, 8).traffic_bits["DRAM"]
+        assert tw != to
+
+    def test_network_evaluation_aggregates(self, model):
+        layers = network_layers("alexnet", "imagenet")[:3]
+        flows = [default_dataflow(l, model.array.num_units) for l in layers]
+        perf = model.evaluate_network(layers, flows, 8)
+        assert perf.total_cycles == pytest.approx(
+            sum(p.total_cycles for p in perf.layers))
+        assert perf.throughput_fps > 0
+        assert perf.energy_breakdown()["MAC"] > 0
+
+    def test_network_evaluation_length_mismatch(self, model):
+        layers = network_layers("alexnet", "imagenet")[:2]
+        with pytest.raises(ValueError):
+            model.evaluate_network(layers, [], 8)
+
+
+class TestEvolutionaryOptimizer:
+    def test_optimizer_never_worse_than_default(self, model, small_layer):
+        config = OptimizerConfig(population_size=10, total_cycles=3, seed=1)
+        optimizer = EvolutionaryDataflowOptimizer(model, config)
+        _, best = optimizer.optimize_layer(small_layer, 8)
+        baseline = model.evaluate(small_layer,
+                                  default_dataflow(small_layer,
+                                                   model.array.num_units), 8)
+        best_score = best.total_cycles * best.total_energy
+        base_score = baseline.total_cycles * baseline.total_energy
+        assert best_score <= base_score * 1.001
+
+    def test_objective_validation(self):
+        with pytest.raises(ValueError):
+            OptimizerConfig(objective="throughput^2")
+        with pytest.raises(ValueError):
+            OptimizerConfig(survivor_fraction=0.0)
+
+    def test_latency_objective_optimizes_cycles(self, model, small_layer):
+        optimizer = EvolutionaryDataflowOptimizer(
+            model, OptimizerConfig(population_size=8, total_cycles=2,
+                                   objective="latency", seed=0))
+        flow, perf = optimizer.optimize_layer(small_layer, 4)
+        assert model.is_valid(small_layer, flow, 4)
+        assert perf.total_cycles > 0
+
+    def test_optimize_network_returns_one_mapping_per_layer(self, model):
+        layers = network_layers("alexnet", "imagenet")[:2]
+        optimizer = EvolutionaryDataflowOptimizer(
+            model, OptimizerConfig(population_size=6, total_cycles=1))
+        results = optimizer.optimize_network(layers, 8)
+        assert len(results) == 2
+
+    def test_microarchitecture_search_ranks_candidates(self):
+        layers = [LayerShape("conv", n=1, k=32, c=16, y=8, x=8, r=3, s=3)]
+        search = MicroArchitectureSearch(
+            mac_unit_factory=SpatialTemporalMAC,
+            area_budget=COMPUTE_AREA_BUDGET,
+            unit_counts=(64, 128),
+            buffer_scales=(1.0,),
+            optimizer_config=OptimizerConfig(population_size=6, total_cycles=1))
+        candidates = search.search(layers, precisions=(4, 8))
+        assert len(candidates) == 2
+        scores = [c.average_score for c in candidates]
+        assert scores == sorted(scores)
+        assert all(c.compute_area <= COMPUTE_AREA_BUDGET for c in candidates)
+
+
+@pytest.fixture(scope="module")
+def fast_optimizer_config():
+    return OptimizerConfig(population_size=8, total_cycles=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def accelerators(fast_optimizer_config):
+    return {
+        "ours": TwoInOneAccelerator(optimizer_config=fast_optimizer_config),
+        "bitfusion": BitFusionAccelerator(),
+        "stripes": StripesAccelerator(optimizer_config=fast_optimizer_config),
+        "dnnguard": DNNGuardAccelerator(),
+    }
+
+
+@pytest.fixture(scope="module")
+def cifar_layers():
+    return network_layers("resnet18", "cifar10")
+
+
+class TestAccelerators:
+    def test_equal_area_budget(self, accelerators):
+        areas = {name: acc.compute_area for name, acc in accelerators.items()}
+        assert len(set(areas.values())) == 1
+
+    def test_unit_counts_follow_unit_area(self, accelerators):
+        assert accelerators["ours"].num_units > accelerators["bitfusion"].num_units
+        assert accelerators["stripes"].num_units > accelerators["bitfusion"].num_units
+
+    def test_describe(self, accelerators):
+        info = accelerators["ours"].describe()
+        assert info["name"] == "2-in-1"
+        assert info["num_units"] == accelerators["ours"].num_units
+
+    @pytest.mark.parametrize("precision", [4, 8])
+    def test_ours_beats_baselines_in_throughput(self, accelerators, cifar_layers,
+                                                precision):
+        ours = accelerators["ours"].throughput_fps(cifar_layers, precision)
+        assert ours > accelerators["bitfusion"].throughput_fps(cifar_layers, precision)
+        assert ours > accelerators["stripes"].throughput_fps(cifar_layers, precision)
+
+    @pytest.mark.parametrize("precision", [4, 8])
+    def test_ours_beats_baselines_in_energy(self, accelerators, cifar_layers,
+                                            precision):
+        ours = accelerators["ours"].energy_per_inference(cifar_layers, precision)
+        assert ours < accelerators["bitfusion"].energy_per_inference(cifar_layers, precision)
+        assert ours < accelerators["stripes"].energy_per_inference(cifar_layers, precision)
+
+    def test_bitfusion_beats_stripes_at_low_precision_only(self, accelerators,
+                                                           cifar_layers):
+        bf4 = accelerators["bitfusion"].throughput_fps(cifar_layers, 4)
+        st4 = accelerators["stripes"].throughput_fps(cifar_layers, 4)
+        bf16 = accelerators["bitfusion"].throughput_fps(cifar_layers, 16)
+        st16 = accelerators["stripes"].throughput_fps(cifar_layers, 16)
+        assert bf4 > st4
+        assert st16 > bf16
+
+    def test_throughput_decreases_with_precision(self, accelerators, cifar_layers):
+        ours = accelerators["ours"]
+        fps = [ours.throughput_fps(cifar_layers, p) for p in (4, 8, 16)]
+        assert fps[0] > fps[1] > fps[2]
+
+    def test_dataflow_cache_reused(self, accelerators, cifar_layers):
+        ours = accelerators["ours"]
+        ours.throughput_fps(cifar_layers[:1], 4)
+        cached = len(ours._dataflow_cache)
+        ours.throughput_fps(cifar_layers[:1], 4)
+        assert len(ours._dataflow_cache) == cached
+
+    def test_dnnguard_adds_detection_layer(self, accelerators, cifar_layers):
+        extra = accelerators["dnnguard"].extra_layers(cifar_layers)
+        assert len(extra) == 1
+        assert extra[0].name == "detection-network"
+
+    def test_ours_much_better_than_dnnguard_throughput_per_area(self, accelerators,
+                                                                cifar_layers):
+        ours = accelerators["ours"]
+        guard = accelerators["dnnguard"]
+        ours_tpa = ours.average_throughput_fps(cifar_layers, (4, 6, 8)) / ours.compute_area
+        guard_tpa = guard.throughput_fps(cifar_layers, 16) / guard.compute_area
+        assert ours_tpa / guard_tpa > 3.0
+
+    def test_rps_average_metrics(self, accelerators, cifar_layers):
+        from repro.quantization import PrecisionSet
+        metrics = accelerators["ours"].rps_average_metrics(
+            cifar_layers, PrecisionSet([4, 8]))
+        fps4 = accelerators["ours"].throughput_fps(cifar_layers, 4)
+        fps8 = accelerators["ours"].throughput_fps(cifar_layers, 8)
+        assert metrics["average_fps"] == pytest.approx((fps4 + fps8) / 2, rel=1e-6)
+        assert metrics["average_energy"] > 0

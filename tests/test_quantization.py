@@ -1,0 +1,261 @@
+"""Tests for precisions, the linear quantizer and quantisation-aware layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import Tensor
+from repro.quantization import (
+    DEFAULT_RPS_SET,
+    FULL_PRECISION,
+    Precision,
+    PrecisionSet,
+    QuantConv2d,
+    QuantLinear,
+    QuantizerConfig,
+    LinearQuantizer,
+    fake_quantize,
+    get_model_precision,
+    quantize_array,
+    quantized_layers,
+    set_model_precision,
+)
+
+
+class TestPrecision:
+    def test_symmetric_default(self):
+        p = Precision(8)
+        assert p.weight_bits == 8 and p.act_bits == 8
+        assert p.key == 8
+        assert str(p) == "8bx8b"
+
+    def test_asymmetric_key(self):
+        p = Precision(4, 2)
+        assert p.key == "4w2a"
+        assert p.bit_operations_per_mac() == 8
+
+    def test_full_precision(self):
+        assert FULL_PRECISION.is_full_precision
+        assert FULL_PRECISION.key == "fp"
+        with pytest.raises(ValueError):
+            _ = FULL_PRECISION.symmetric_bits
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Precision(0)
+        with pytest.raises(ValueError):
+            Precision(33)
+
+    def test_ordering_and_hashing(self):
+        assert Precision(4) < Precision(8)
+        assert len({Precision(4), Precision(4)}) == 1
+
+
+class TestPrecisionSet:
+    def test_from_range_matches_paper_default(self):
+        assert DEFAULT_RPS_SET.bit_widths == list(range(4, 17))
+
+    def test_deduplication_preserves_order(self):
+        ps = PrecisionSet([8, 4, 8, 4])
+        assert ps.bit_widths == [8, 4]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PrecisionSet([])
+
+    def test_contains_and_getitem(self):
+        ps = PrecisionSet([4, 8])
+        assert 4 in ps and Precision(8) in ps and 16 not in ps
+        assert ps[0].key == 4
+
+    def test_sample_stays_in_set(self):
+        ps = PrecisionSet([4, 6, 8])
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert ps.sample(rng).key in ps.keys
+
+    def test_sample_covers_all_members(self):
+        ps = PrecisionSet([4, 6, 8])
+        rng = np.random.default_rng(0)
+        seen = {ps.sample(rng).key for _ in range(200)}
+        assert seen == {4, 6, 8}
+
+    def test_lowest_highest(self):
+        ps = PrecisionSet([6, 4, 8])
+        assert ps.lowest().key == 4
+        assert ps.highest().key == 8
+
+    def test_restrict(self):
+        ps = PrecisionSet.from_range(4, 16)
+        assert ps.restrict(8).bit_widths == [4, 5, 6, 7, 8]
+        with pytest.raises(ValueError):
+            ps.restrict(2)
+
+    def test_equality(self):
+        assert PrecisionSet([4, 8]) == PrecisionSet([4, 8])
+        assert PrecisionSet([4, 8]) != PrecisionSet([4, 6])
+
+
+class TestQuantizerConfig:
+    def test_symmetric_range(self):
+        cfg = QuantizerConfig(bits=8, symmetric=True)
+        assert cfg.qmin == -127 and cfg.qmax == 127
+
+    def test_asymmetric_range(self):
+        cfg = QuantizerConfig(bits=8, symmetric=False)
+        assert cfg.qmin == 0 and cfg.qmax == 255
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantizerConfig(bits=0)
+
+
+class TestQuantizeArray:
+    @given(st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_quantization_error_bounded_by_step(self, bits):
+        rng = np.random.default_rng(bits)
+        x = rng.uniform(-1, 1, size=256).astype(np.float32)
+        cfg = QuantizerConfig(bits=bits, symmetric=True)
+        q = quantize_array(x, cfg)
+        step = np.abs(x).max() / (2 ** (bits - 1) - 1)
+        assert np.max(np.abs(q - x)) <= step * 0.5 + 1e-6
+
+    @given(st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_idempotent(self, bits):
+        rng = np.random.default_rng(bits + 100)
+        x = rng.uniform(-1, 1, size=128).astype(np.float32)
+        cfg = QuantizerConfig(bits=bits, symmetric=True)
+        q1 = quantize_array(x, cfg)
+        q2 = quantize_array(q1, cfg)
+        assert np.allclose(q1, q2, atol=1e-5)
+
+    def test_number_of_distinct_levels(self):
+        x = np.linspace(-1, 1, 1000).astype(np.float32)
+        cfg = QuantizerConfig(bits=3, symmetric=True)
+        q = quantize_array(x, cfg)
+        assert len(np.unique(q)) <= 2 ** 3 - 1
+
+    def test_higher_precision_is_more_accurate(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=512).astype(np.float32)
+        err4 = np.abs(quantize_array(x, QuantizerConfig(4)) - x).mean()
+        err8 = np.abs(quantize_array(x, QuantizerConfig(8)) - x).mean()
+        assert err8 < err4
+
+    def test_per_channel_scales(self):
+        x = np.stack([np.full((4, 3, 3), 0.1), np.full((4, 3, 3), 10.0)]).astype(np.float32)
+        cfg = QuantizerConfig(bits=4, symmetric=True, per_channel=True)
+        q = quantize_array(x, cfg)
+        # Per-channel scaling keeps the small channel from collapsing to zero.
+        assert np.abs(q[0]).max() > 0
+
+    def test_zero_input_handled(self):
+        q = quantize_array(np.zeros(8, dtype=np.float32), QuantizerConfig(4))
+        assert np.allclose(q, 0)
+
+
+class TestFakeQuantizeSTE:
+    def test_forward_matches_quantize_array(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(4, 4)).astype(np.float32)
+        cfg = QuantizerConfig(bits=4)
+        out = fake_quantize(Tensor(x), cfg)
+        assert np.allclose(out.data, quantize_array(x, cfg), atol=1e-6)
+
+    def test_gradient_passes_through(self):
+        x = Tensor(np.linspace(-0.5, 0.5, 16).astype(np.float32), requires_grad=True)
+        fake_quantize(x, QuantizerConfig(bits=4)).sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_linear_quantizer_ema_smooths_range(self):
+        quantizer = LinearQuantizer(QuantizerConfig(bits=8), ema_momentum=0.1)
+        x1 = Tensor(np.array([1.0], dtype=np.float32))
+        x2 = Tensor(np.array([100.0], dtype=np.float32))
+        quantizer(x1)
+        quantizer(x2)
+        assert quantizer._running_max < 100.0
+        quantizer.reset()
+        assert quantizer._running_max is None
+
+
+class TestQuantizedModules:
+    def test_full_precision_matches_parent(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        qconv = QuantConv2d(3, 4, 3, padding=1, rng=np.random.default_rng(1))
+        conv = nn.Conv2d(3, 4, 3, padding=1, rng=np.random.default_rng(1))
+        conv.weight.data[...] = qconv.weight.data
+        conv.bias.data[...] = qconv.bias.data
+        assert np.allclose(qconv(x).data, conv(x).data, atol=1e-5)
+
+    def test_low_precision_changes_output(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        qconv = QuantConv2d(3, 4, 3, padding=1, rng=np.random.default_rng(1))
+        full = qconv(x).data.copy()
+        qconv.set_precision(Precision(3))
+        low = qconv(x).data
+        assert not np.allclose(full, low, atol=1e-5)
+
+    def test_lower_precision_larger_deviation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(4, 16)).astype(np.float32))
+        qlin = QuantLinear(16, 8, rng=np.random.default_rng(2))
+        full = qlin(x).data.copy()
+        deviations = {}
+        for bits in (2, 4, 8):
+            qlin.set_precision(Precision(bits))
+            deviations[bits] = np.abs(qlin(x).data - full).mean()
+        assert deviations[2] > deviations[4] > deviations[8]
+
+    def test_gradients_still_flow_when_quantized(self):
+        qlin = QuantLinear(8, 4)
+        qlin.set_precision(Precision(4))
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 8)).astype(np.float32),
+                   requires_grad=True)
+        qlin(x).sum().backward()
+        assert x.grad is not None
+        assert qlin.weight.grad is not None
+
+
+class TestModelPrecisionSwitch:
+    def test_set_and_get_model_precision(self, tiny_rps_model):
+        set_model_precision(tiny_rps_model, Precision(4))
+        assert get_model_precision(tiny_rps_model).key == 4
+        set_model_precision(tiny_rps_model, FULL_PRECISION)
+        assert get_model_precision(tiny_rps_model).is_full_precision
+
+    def test_switch_updates_sbn_branches(self, tiny_rps_model):
+        from repro.nn.layers import SwitchableBatchNorm2d
+        set_model_precision(tiny_rps_model, Precision(6))
+        sbn = [m for m in tiny_rps_model.modules()
+               if isinstance(m, SwitchableBatchNorm2d)]
+        assert sbn and all(layer.active_key == 6 for layer in sbn)
+
+    def test_unknown_precision_falls_back_to_fp_branch(self, tiny_rps_model):
+        from repro.nn.layers import SwitchableBatchNorm2d
+        set_model_precision(tiny_rps_model, Precision(12))
+        sbn = next(m for m in tiny_rps_model.modules()
+                   if isinstance(m, SwitchableBatchNorm2d))
+        assert sbn.active_key == "fp"
+
+    def test_quantized_layers_enumeration(self, tiny_rps_model):
+        layers = quantized_layers(tiny_rps_model)
+        assert len(layers) > 3
+        assert all(isinstance(l, (QuantConv2d, QuantLinear)) for l in layers)
+
+    def test_get_precision_none_for_plain_model(self):
+        plain = nn.Sequential(nn.Linear(4, 2))
+        assert get_model_precision(plain) is None
+
+    def test_precision_changes_model_output(self, tiny_rps_model, tiny_dataset):
+        x = Tensor(tiny_dataset.x_test[:4])
+        set_model_precision(tiny_rps_model, FULL_PRECISION)
+        full = tiny_rps_model(x).data.copy()
+        set_model_precision(tiny_rps_model, Precision(3))
+        low = tiny_rps_model(x).data
+        assert not np.allclose(full, low, atol=1e-6)

@@ -1,0 +1,248 @@
+"""Unit tests for the autograd tensor engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, concatenate, no_grad, stack
+from repro.nn.tensor import _unbroadcast
+
+
+def numeric_gradient(fn, array, index, eps=1e-3):
+    old = array[index]
+    array[index] = old + eps
+    plus = fn()
+    array[index] = old - eps
+    minus = fn()
+    array[index] = old
+    return (plus - minus) / (2 * eps)
+
+
+class TestTensorBasics:
+    def test_construction_defaults_to_float32(self):
+        t = Tensor([[1, 2], [3, 4]])
+        assert t.dtype == np.float32
+        assert t.shape == (2, 2)
+        assert not t.requires_grad
+
+    def test_detach_shares_data_but_no_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert np.shares_memory(d.data, t.data)
+
+    def test_item_and_len(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_zeros_ones_randn(self):
+        assert np.all(Tensor.zeros((2, 3)).data == 0)
+        assert np.all(Tensor.ones((2, 3)).data == 1)
+        r = Tensor.randn(5, 5, rng=np.random.default_rng(0))
+        assert r.shape == (5, 5)
+
+    def test_backward_requires_grad(self):
+        t = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_backward_non_scalar_needs_seed(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        out = t * 2
+        with pytest.raises(RuntimeError):
+            out.backward()
+
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with no_grad():
+            y = x * 3
+        assert not y.requires_grad
+        assert y._backward is None
+
+
+class TestArithmeticGradients:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1, 1])
+        assert np.allclose(b.grad, [1, 1])
+
+    def test_mul_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [3, 4])
+        assert np.allclose(b.grad, [1, 2])
+
+    def test_sub_and_neg(self):
+        a = Tensor([5.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a - b).backward()
+        assert np.allclose(a.grad, [1])
+        assert np.allclose(b.grad, [-1])
+        c = Tensor([2.0], requires_grad=True)
+        (-c).backward()
+        assert np.allclose(c.grad, [-1])
+
+    def test_div_backward(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).backward()
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [-1.5])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_rsub_rdiv_radd_rmul(self):
+        a = Tensor([2.0], requires_grad=True)
+        assert np.allclose((5 - a).data, [3.0])
+        assert np.allclose((8 / a).data, [4.0])
+        assert np.allclose((5 + a).data, [7.0])
+        assert np.allclose((5 * a).data, [10.0])
+
+    def test_broadcast_add_unbroadcasts_grad(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_grad_accumulates_over_multiple_uses(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a).backward()          # d/da a^2 = 2a = 4
+        assert np.allclose(a.grad, [4.0])
+
+
+class TestUnaryOps:
+    @pytest.mark.parametrize("op,reference", [
+        ("exp", np.exp), ("log", np.log), ("sqrt", np.sqrt),
+        ("tanh", np.tanh), ("abs", np.abs),
+    ])
+    def test_forward_matches_numpy(self, op, reference):
+        x = Tensor([0.5, 1.5, 2.5])
+        assert np.allclose(getattr(x, op)().data, reference(x.data), atol=1e-6)
+
+    def test_sigmoid_range(self):
+        x = Tensor(np.linspace(-5, 5, 11))
+        y = x.sigmoid().data
+        assert np.all((y > 0) & (y < 1))
+
+    def test_relu_gradient_masks_negatives(self):
+        x = Tensor([-1.0, 2.0], requires_grad=True)
+        x.relu().sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0])
+
+    def test_clip_gradient_masks_saturated(self):
+        x = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        x.clip(-1, 1).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+    @given(st.lists(st.floats(-3, 3), min_size=1, max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_exp_gradient_property(self, values):
+        x = Tensor(np.array(values, dtype=np.float32), requires_grad=True)
+        x.exp().sum().backward()
+        assert np.allclose(x.grad, np.exp(np.array(values, dtype=np.float32)),
+                           rtol=1e-4, atol=1e-5)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4), requires_grad=True)
+        out = x.sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        out.sum().backward()
+        assert np.allclose(x.grad, np.ones((3, 4)))
+
+    def test_mean_gradient(self):
+        x = Tensor(np.ones((2, 5)), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, 0.1)
+
+    def test_max_gradient_goes_to_argmax(self):
+        x = Tensor([[1.0, 5.0, 2.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0, 1, 0]])
+
+    def test_reshape_roundtrip_gradient(self):
+        x = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        assert x.grad.shape == (6,)
+
+    def test_transpose_gradient(self):
+        x = Tensor(np.random.rand(2, 3, 4).astype(np.float32), requires_grad=True)
+        x.transpose(2, 0, 1).sum().backward()
+        assert x.grad.shape == (2, 3, 4)
+
+    def test_flatten(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert x.flatten(1).shape == (2, 12)
+
+    def test_getitem_gradient(self):
+        x = Tensor(np.arange(10, dtype=np.float32), requires_grad=True)
+        x[2:5].sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1
+        assert np.allclose(x.grad, expected)
+
+    def test_matmul_forward_and_gradient(self):
+        a = Tensor(np.random.rand(3, 4).astype(np.float32), requires_grad=True)
+        b = Tensor(np.random.rand(4, 2).astype(np.float32), requires_grad=True)
+        out = a @ b
+        assert np.allclose(out.data, a.data @ b.data, atol=1e-5)
+        out.sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4, 2)
+
+    def test_matmul_numeric_gradient(self):
+        rng = np.random.default_rng(1)
+        a_data = rng.normal(size=(2, 3)).astype(np.float32)
+        b_data = rng.normal(size=(3, 2)).astype(np.float32)
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        ((a @ b) ** 2).sum().backward()
+
+        def loss():
+            return float(((a_data @ b_data) ** 2).sum())
+
+        num = numeric_gradient(loss, a_data, (0, 1))
+        assert a.grad[0, 1] == pytest.approx(num, rel=0.05)
+
+
+class TestConcatenateStack:
+    def test_concatenate_forward_and_grad(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(2 * np.ones((3, 3)), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (5, 3)
+        out.sum().backward()
+        assert np.allclose(a.grad, 1)
+        assert np.allclose(b.grad, 1)
+
+    def test_stack_forward_and_grad(self):
+        tensors = [Tensor(np.full((2,), float(i)), requires_grad=True)
+                   for i in range(3)]
+        out = stack(tensors, axis=0)
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        for t in tensors:
+            assert np.allclose(t.grad, 1)
+
+
+class TestUnbroadcast:
+    @given(st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_unbroadcast_restores_shape(self, rows, cols):
+        grad = np.ones((rows, cols), dtype=np.float32)
+        assert _unbroadcast(grad, (1, cols)).shape == (1, cols)
+        assert _unbroadcast(grad, (cols,)).shape == (cols,)
+
+    def test_unbroadcast_sums_contributions(self):
+        grad = np.ones((3, 4), dtype=np.float32)
+        assert np.allclose(_unbroadcast(grad, (4,)), 3.0)

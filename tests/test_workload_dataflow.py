@@ -1,0 +1,205 @@
+"""Tests for workload shapes, the dataflow representation and the memory model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.dataflow import DIMS, Dataflow, default_dataflow
+from repro.accelerator.memory import MemoryHierarchy, MemoryLevel, default_hierarchy
+from repro.accelerator.optimizer.search_space import (
+    crossover_dataflows,
+    mutate_dataflow,
+    random_dataflow,
+)
+from repro.accelerator.workload import (
+    LayerShape,
+    available_workloads,
+    network_layers,
+)
+
+
+class TestLayerShape:
+    def test_mac_count(self):
+        layer = LayerShape("l", n=2, k=8, c=4, y=10, x=10, r=3, s=3)
+        assert layer.macs == 2 * 8 * 4 * 10 * 10 * 9
+
+    def test_input_dims_follow_stride(self):
+        layer = LayerShape("l", n=1, k=1, c=1, y=16, x=16, r=3, s=3, stride=2)
+        assert layer.input_height == 33
+
+    def test_tensor_sizes(self):
+        layer = LayerShape("fc", n=1, k=10, c=512, y=1, x=1, r=1, s=1)
+        sizes = layer.tensor_sizes()
+        assert sizes["weights"] == 5120
+        assert sizes["outputs"] == 10
+        assert sizes["inputs"] == 512
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            LayerShape("bad", n=0, k=1, c=1, y=1, x=1, r=1, s=1)
+
+    def test_with_batch(self):
+        layer = LayerShape("l", n=1, k=2, c=2, y=4, x=4, r=3, s=3)
+        assert layer.with_batch(8).macs == 8 * layer.macs
+
+
+class TestNetworkWorkloads:
+    def test_six_workloads_available(self):
+        assert len(available_workloads()) == 6
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            network_layers("lenet", "mnist")
+
+    def test_resnet50_total_macs_close_to_published(self):
+        """ResNet-50 at 224x224 is ~4.1 GMACs; the builder should be within 10%."""
+        layers = network_layers("resnet50", "imagenet")
+        total = sum(l.macs for l in layers)
+        assert total == pytest.approx(4.1e9, rel=0.12)
+
+    def test_vgg16_total_macs_close_to_published(self):
+        """VGG-16 at 224x224 is ~15.5 GMACs."""
+        total = sum(l.macs for l in network_layers("vgg16", "imagenet"))
+        assert total == pytest.approx(15.5e9, rel=0.1)
+
+    def test_alexnet_total_macs_close_to_published(self):
+        """AlexNet is ~0.7 GMACs."""
+        total = sum(l.macs for l in network_layers("alexnet", "imagenet"))
+        assert total == pytest.approx(0.72e9, rel=0.15)
+
+    def test_resnet18_imagenet_macs(self):
+        total = sum(l.macs for l in network_layers("resnet18", "imagenet"))
+        assert total == pytest.approx(1.8e9, rel=0.15)
+
+    def test_cifar_networks_are_smaller(self):
+        cifar = sum(l.macs for l in network_layers("resnet18", "cifar10"))
+        imagenet = sum(l.macs for l in network_layers("resnet18", "imagenet"))
+        assert cifar < imagenet
+
+    def test_batch_scaling(self):
+        single = sum(l.macs for l in network_layers("alexnet", "imagenet"))
+        batched = sum(l.macs for l in network_layers("alexnet", "imagenet", batch=4))
+        assert batched == 4 * single
+
+    def test_layer_names_unique(self):
+        for network, dataset in available_workloads():
+            names = [l.name for l in network_layers(network, dataset)]
+            assert len(names) == len(set(names))
+
+
+class TestDataflow:
+    def layer(self):
+        return LayerShape("l", n=1, k=32, c=16, y=8, x=8, r=3, s=3)
+
+    def test_default_dataflow_covers_layer(self):
+        layer = self.layer()
+        flow = default_dataflow(layer, num_units=256)
+        assert flow.covers(layer)
+        assert flow.spatial_units() <= 256
+
+    def test_tiling_factor_validation(self):
+        with pytest.raises(ValueError):
+            Dataflow(tiling={"DRAM": {"K": 0}})
+
+    def test_loop_order_validation(self):
+        with pytest.raises(ValueError):
+            Dataflow(tiling={}, loop_order={"DRAM": ["K", "C"]})
+
+    def test_total_factor_product(self):
+        flow = Dataflow(tiling={"DRAM": {"K": 2}, "GlobalBuffer": {"K": 4},
+                                "Spatial": {"K": 2}, "RegisterFile": {"K": 1}})
+        assert flow.total_factor("K") == 16
+        assert flow.inner_tile("K", "GlobalBuffer") == 8
+
+    def test_padded_dims_and_utilization(self):
+        layer = LayerShape("l", n=1, k=10, c=1, y=1, x=1, r=1, s=1)
+        flow = Dataflow(tiling={"Spatial": {"K": 4}, "DRAM": {"K": 3}})
+        padded = flow.padded_dims(layer)
+        assert padded["K"] == 12
+        assert flow.utilization_loss(layer) == pytest.approx(1 - 10 / 12)
+
+    def test_tile_elements_respects_tensor_dims(self):
+        flow = Dataflow(tiling={"RegisterFile": {"K": 4, "C": 2, "R": 3, "S": 3}})
+        assert flow.tile_elements("weights", "RegisterFile") == 4 * 2 * 9
+        assert flow.tile_elements("outputs", "RegisterFile") == 4
+
+    def test_footprint_scales_with_precision(self):
+        flow = default_dataflow(self.layer(), num_units=64)
+        assert (flow.footprint_bits("GlobalBuffer", 8, 8)
+                > flow.footprint_bits("GlobalBuffer", 4, 4))
+
+    def test_copy_is_independent(self):
+        flow = default_dataflow(self.layer(), num_units=64)
+        clone = flow.copy()
+        clone.tiling["DRAM"]["K"] = 99
+        assert flow.tiling["DRAM"]["K"] != 99
+
+    def test_describe_mentions_levels(self):
+        text = default_dataflow(self.layer(), num_units=64).describe()
+        assert "DRAM" in text and "Spatial" in text
+
+
+class TestRandomDataflowOperators:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_dataflow_always_valid_coverage(self, seed):
+        rng = np.random.default_rng(seed)
+        layer = LayerShape("l", n=1, k=24, c=12, y=6, x=6, r=3, s=3)
+        flow = random_dataflow(layer, num_units=128, rng=rng)
+        assert flow.covers(layer)
+        assert flow.spatial_units() <= 128
+        for dim in DIMS:
+            assert all(flow.tiling[level][dim] >= 1
+                       for level in flow.tiling)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_mutation_preserves_coverage(self, seed):
+        rng = np.random.default_rng(seed)
+        layer = LayerShape("l", n=1, k=24, c=12, y=6, x=6, r=3, s=3)
+        flow = random_dataflow(layer, num_units=128, rng=rng)
+        mutant = mutate_dataflow(flow, layer, 128, rng)
+        assert mutant.covers(layer)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_crossover_preserves_coverage(self, seed):
+        rng = np.random.default_rng(seed)
+        layer = LayerShape("l", n=1, k=24, c=12, y=6, x=6, r=3, s=3)
+        a = random_dataflow(layer, num_units=128, rng=rng)
+        b = random_dataflow(layer, num_units=128, rng=rng)
+        child = crossover_dataflows(a, b, layer, rng)
+        assert child.covers(layer)
+
+
+class TestMemoryHierarchy:
+    def test_default_hierarchy_ordering(self):
+        hierarchy = default_hierarchy()
+        assert hierarchy.level_names() == ["DRAM", "GlobalBuffer", "RegisterFile"]
+        assert hierarchy.dram.energy_per_bit > hierarchy.global_buffer.energy_per_bit
+        assert (hierarchy.global_buffer.energy_per_bit
+                > hierarchy.register_file.energy_per_bit)
+
+    def test_access_energy_and_transfer_cycles(self):
+        level = MemoryLevel("L", capacity_bits=1e6, bandwidth_bits_per_cycle=128,
+                            energy_per_bit=2.0)
+        assert level.access_energy(100) == pytest.approx(200)
+        assert level.transfer_cycles(256) == pytest.approx(2.0)
+
+    def test_by_name_and_missing(self):
+        hierarchy = default_hierarchy()
+        assert hierarchy.by_name("DRAM").name == "DRAM"
+        with pytest.raises(KeyError):
+            hierarchy.by_name("L4")
+
+    def test_needs_two_levels(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([MemoryLevel("only", 1, 1, 1)])
+
+    def test_scaled_changes_buffers_not_dram(self):
+        hierarchy = default_hierarchy()
+        scaled = hierarchy.scaled(buffer_scale=2.0)
+        assert scaled.global_buffer.capacity_bits == pytest.approx(
+            2 * hierarchy.global_buffer.capacity_bits)
+        assert scaled.dram.capacity_bits == hierarchy.dram.capacity_bits
