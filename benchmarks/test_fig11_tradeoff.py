@@ -1,6 +1,10 @@
 """Benchmark for Fig. 11: instant robustness-efficiency trade-offs."""
 
+import pytest
+
 from conftest import BENCH_BUDGET, run_once
+
+pytestmark = pytest.mark.slow      # trains an RPS model
 
 from repro.experiments import format_table, run_tradeoff_experiment, tradeoff_rows
 

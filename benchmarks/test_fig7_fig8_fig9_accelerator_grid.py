@@ -56,4 +56,7 @@ def test_fig9_energy_breakdown(benchmark):
         ours = designs["2-in-1"]
         bitfusion = designs["BitFusion"]
         assert ours["total_energy"] < bitfusion["total_energy"]
-        assert ours["DRAM (%)"] > 30.0      # DRAM remains the dominant component
+        # The 2-in-1 unit cuts MAC energy, so the data-movement share of its
+        # budget grows relative to Bit Fusion (the paper's Fig. 9 shape).
+        assert ours["DRAM (%)"] > bitfusion["DRAM (%)"]
+        assert ours["MAC (%)"] < bitfusion["MAC (%)"]

@@ -1,7 +1,11 @@
 """Benchmarks for Tab. 5 (stronger attacks), Tab. 6 (adaptive E-PGD attack)
 and Fig. 1 (transferability of attacks between precisions)."""
 
+import pytest
+
 from conftest import BENCH_BUDGET, run_once
+
+pytestmark = pytest.mark.slow      # trains RPS / baseline models
 
 from repro.experiments import (
     evaluate_adaptive_attack,

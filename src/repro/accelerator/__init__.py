@@ -26,7 +26,14 @@ from .accelerators import (
     StripesAccelerator,
     TwoInOneAccelerator,
 )
-from .dataflow import DIMS, Dataflow, default_dataflow
+from .dataflow import (
+    DIMS,
+    Dataflow,
+    default_dataflow,
+    greedy_spatial_candidates,
+    greedy_spatial_dataflow,
+)
+from .engine import CacheStats, EvaluationEngine, GridResult, layer_shape_key
 from .mac import (
     AreaBreakdown,
     FixedPointMAC,
@@ -45,6 +52,7 @@ from .performance_model import (
     ArrayConfig,
     InvalidMappingError,
     LayerPerformance,
+    MappingSummary,
     NetworkPerformance,
     PerformanceModel,
 )
@@ -66,10 +74,17 @@ __all__ = [
     "DIMS",
     "Dataflow",
     "default_dataflow",
+    "greedy_spatial_dataflow",
+    "greedy_spatial_candidates",
+    "CacheStats",
+    "EvaluationEngine",
+    "GridResult",
+    "layer_shape_key",
     "ArrayConfig",
     "PerformanceModel",
     "LayerPerformance",
     "NetworkPerformance",
+    "MappingSummary",
     "InvalidMappingError",
     "OptimizerConfig",
     "EvolutionaryDataflowOptimizer",

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ...quantization.precision import Precision
 from ..dataflow import Dataflow, default_dataflow
+from ..engine import EvaluationEngine, layer_shape_key
 from ..mac.base import MACUnitModel, resolve_precision
 from ..memory import MemoryHierarchy, default_hierarchy
 from ..optimizer.evolutionary import EvolutionaryDataflowOptimizer, OptimizerConfig
@@ -64,6 +65,10 @@ class Accelerator:
         #: of designs that co-schedule extra engines (e.g. DNNGuard).
         self.compute_derating = compute_derating
         self._dataflow_cache: Dict[Tuple, Dataflow] = {}
+        #: Vectorized, memoised evaluation front-end; every public metric
+        #: below routes through it.  The scalar path survives as
+        #: :meth:`evaluate_layer_reference` for parity testing.
+        self.engine = EvaluationEngine(self)
 
     # ------------------------------------------------------------------
     @property
@@ -83,7 +88,9 @@ class Accelerator:
     # Dataflow selection
     # ------------------------------------------------------------------
     def _layer_key(self, layer: LayerShape, precision: Precision) -> Tuple:
-        return (layer.name, layer.macs, precision.key)
+        # Keyed on shape (not name): same-shaped layers — which deep networks
+        # repeat many times — share one optimized dataflow.
+        return (layer_shape_key(layer), precision.key)
 
     def dataflow_for(self, layer: LayerShape,
                      precision: Union[int, Precision]) -> Dataflow:
@@ -113,8 +120,14 @@ class Accelerator:
         """Additional work the design must execute (e.g. a detection network)."""
         return []
 
-    def evaluate_layer(self, layer: LayerShape,
-                       precision: Union[int, Precision]) -> LayerPerformance:
+    def evaluate_layer_reference(self, layer: LayerShape,
+                                 precision: Union[int, Precision]
+                                 ) -> LayerPerformance:
+        """Scalar reference evaluation (no engine batching or caching).
+
+        Kept as the ground truth the vectorized engine is parity-tested
+        against.
+        """
         precision = resolve_precision(precision)
         dataflow = self.dataflow_for(layer, precision)
         perf = self.model.evaluate(layer, dataflow, precision)
@@ -124,12 +137,21 @@ class Accelerator:
                                   for k, v in perf.memory_cycles.items()}
         return perf
 
+    def evaluate_layer(self, layer: LayerShape,
+                       precision: Union[int, Precision]) -> LayerPerformance:
+        return self.engine.evaluate_layer(layer, precision)
+
     def evaluate_network(self, layers: Sequence[LayerShape],
                          precision: Union[int, Precision]) -> NetworkPerformance:
         all_layers = list(layers) + self.extra_layers(layers)
-        results = [self.evaluate_layer(layer, precision) for layer in all_layers]
-        return NetworkPerformance(layers=results,
-                                  frequency_hz=self.array.frequency_hz)
+        return self.engine.evaluate_network(all_layers, precision)
+
+    def evaluate_grid(self, layers: Sequence[LayerShape],
+                      precisions: Sequence[Union[int, Precision]]):
+        """Batched evaluation of every (layer, precision) cell; see
+        :meth:`repro.accelerator.engine.EvaluationEngine.evaluate_grid`."""
+        all_layers = list(layers) + self.extra_layers(layers)
+        return self.engine.evaluate_grid(all_layers, precisions)
 
     # ------------------------------------------------------------------
     # Headline metrics
@@ -154,5 +176,24 @@ class Accelerator:
                                precisions: Sequence[Union[int, Precision]]) -> float:
         """Average FPS across an RPS precision set (used for Fig. 11 and the
         DNNGuard comparison, which quote 4~8-bit / 4~16-bit averages)."""
-        values = [self.throughput_fps(layers, precision) for precision in precisions]
-        return float(sum(values) / len(values)) if values else 0.0
+        if not precisions:
+            return 0.0
+        return self.evaluate_grid(layers, precisions).average_fps()
+
+    def rps_average_metrics(self, layers: Sequence[LayerShape],
+                            precision_set) -> Dict[str, object]:
+        """Average throughput / energy over an RPS inference precision set.
+
+        Under uniform random precision switching the expected per-inference
+        cost is the mean over the candidate set; one batched engine pass
+        covers the whole set (including any :meth:`extra_layers` work the
+        design must co-execute).
+        """
+        grid = self.evaluate_grid(layers, list(precision_set))
+        energies = grid.network_energy()
+        return {
+            "average_fps": grid.average_fps(),
+            "average_energy": grid.average_energy(),
+            "average_energy_efficiency": float(len(energies) / energies.sum()),
+            "precisions": [p.key for p in grid.precisions],
+        }

@@ -1,15 +1,19 @@
 """The proposed 2-in-1 Accelerator (Sec. 3.2): spatial-temporal MAC array plus
-the systematically optimized dataflow found by the evolutionary optimizer."""
+the systematically optimized dataflow found by the evolutionary optimizer.
+
+The RPS serving metric of Sec. 2.5 / Fig. 11 — average throughput/energy over
+an inference precision set — is inherited from
+:meth:`repro.accelerator.accelerators.base.Accelerator.rps_average_metrics`,
+which scores the whole set in one batched engine pass.
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Optional
 
-from ...quantization.precision import Precision, PrecisionSet
 from ..mac.spatial_temporal import SpatialTemporalMAC
 from ..memory import MemoryHierarchy
 from ..optimizer.evolutionary import OptimizerConfig
-from ..workload import LayerShape
 from .base import COMPUTE_AREA_BUDGET, Accelerator
 
 __all__ = ["TwoInOneAccelerator"]
@@ -28,26 +32,3 @@ class TwoInOneAccelerator(Accelerator):
                          area_budget=area_budget,
                          optimize_dataflow=optimize_dataflow,
                          optimizer_config=optimizer_config)
-
-    # ------------------------------------------------------------------
-    def rps_average_metrics(self, layers: Sequence[LayerShape],
-                            precision_set: PrecisionSet) -> dict:
-        """Average throughput / energy over an RPS inference precision set.
-
-        This is the quantity the instant robustness-efficiency trade-off of
-        Sec. 2.5 / Fig. 11 reports: under uniform random precision switching,
-        the expected per-inference cost is the mean over the candidate set.
-        """
-        fps = []
-        energy = []
-        for precision in precision_set:
-            perf = self.evaluate_network(layers, precision)
-            fps.append(perf.throughput_fps)
-            energy.append(perf.total_energy)
-        count = len(fps)
-        return {
-            "average_fps": sum(fps) / count,
-            "average_energy": sum(energy) / count,
-            "average_energy_efficiency": count / sum(energy),
-            "precisions": [p.key for p in precision_set],
-        }

@@ -30,7 +30,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from .workload import LayerShape
 
-__all__ = ["DIMS", "LEVELS", "TEMPORAL_LEVELS", "Dataflow", "default_dataflow"]
+__all__ = ["DIMS", "LEVELS", "TEMPORAL_LEVELS", "Dataflow", "default_dataflow",
+           "greedy_spatial_dataflow", "greedy_spatial_candidates"]
 
 DIMS: Sequence[str] = ("N", "K", "C", "Y", "X", "R", "S")
 LEVELS: Sequence[str] = ("DRAM", "GlobalBuffer", "Spatial", "RegisterFile")
@@ -205,3 +206,145 @@ def default_dataflow(layer: LayerShape, num_units: int,
         "GlobalBuffer": ["N", "Y", "X", "K", "C", "R", "S"],
     }
     return Dataflow(tiling=tiling, loop_order=loop_order)
+
+
+def _divisors(value: int, cap: int) -> List[int]:
+    """Divisors of ``value`` that are <= ``cap``, ascending."""
+    cap = min(value, cap)
+    return [d for d in range(1, cap + 1) if value % d == 0]
+
+
+def _split_candidates(value: int, cap: int) -> List[int]:
+    """Low-padding spatial factors for a dimension of size ``value``.
+
+    Divisors cover the dimension exactly; the ``ceil(value / m)`` factors
+    cover it in ``m`` chunks with minimal padding, which matters on arrays
+    whose unit count is not a clean multiple of the layer dimensions (e.g. a
+    1962-unit array cannot be filled by power-of-two splits alone).
+    """
+    factors = set(_divisors(value, cap))
+    for chunks in range(1, min(value, 64) + 1):
+        factor = math.ceil(value / chunks)
+        if factor <= cap:
+            factors.add(factor)
+    return sorted(factors)
+
+
+#: Global-buffer loop orders for the classic stationarity patterns: the
+#: output-stationary order streams weights per output tile, the
+#: weight-stationary order keeps weight tiles resident while outputs spin.
+_GB_LOOP_ORDERS: Dict[str, List[str]] = {
+    "output": ["N", "Y", "X", "K", "C", "R", "S"],
+    "weight": ["N", "K", "C", "R", "S", "Y", "X"],
+}
+
+
+def greedy_spatial_dataflow(layer: LayerShape, num_units: int,
+                            rf_tile: int = 4,
+                            stationarity: str = "output") -> Dataflow:
+    """A throughput-oriented mapping that fills the whole MAC array.
+
+    ``default_dataflow`` models the fixed NoC of prior precision-scalable
+    accelerators and caps its spatial unrolling at 1024 units, which leaves
+    large arrays (the 2-in-1 array holds over 2000 spatial-temporal units
+    under the shared area budget) half idle on layers whose K x C product
+    does not decompose along the default split.  This mapping instead
+    enumerates divisor pairs of (K, C) — optionally extended along Y — and
+    picks the combination using the most MAC units, so the evolutionary
+    optimizer can seed its population with a mapping that is compute-optimal
+    even before any search.  ``stationarity`` selects the global-buffer loop
+    order ("output" or "weight"); seeding both lets the search start from
+    whichever reuse pattern suits the layer.
+    """
+    if stationarity not in _GB_LOOP_ORDERS:
+        raise ValueError(f"unknown stationarity {stationarity!r}; "
+                         f"choose from {sorted(_GB_LOOP_ORDERS)}")
+    spatial_k, spatial_c, spatial_y = _best_spatial_splits(layer, num_units)[0]
+    return _build_greedy_dataflow(layer, spatial_k, spatial_c, spatial_y,
+                                  rf_tile, stationarity)
+
+
+def _best_spatial_splits(layer: LayerShape, num_units: int,
+                         limit: int = 4) -> List[tuple]:
+    """Top (K, C, Y) spatial splits by *effective* MAC rate.
+
+    The effective rate of a split is the units it occupies discounted by the
+    padding its non-exact factors introduce — maximising raw unit count alone
+    would prefer a full array doing 2x padded work over a 90%-full array
+    doing exact work.  Ties break towards small Y unrolling (less input-halo
+    traffic) and balanced K/C factors.
+    """
+    dims = layer.dims()
+
+    def padding(dim: str, factor: int) -> float:
+        return math.ceil(dims[dim] / factor) * factor / dims[dim]
+
+    combos = []
+    cand_c = _split_candidates(dims["C"], num_units)
+    for k in _split_candidates(dims["K"], num_units):
+        pad_k = padding("K", k)
+        for c in cand_c:
+            if k * c > num_units:
+                break
+            y = _split_candidates(dims["Y"], max(1, num_units // (k * c)))[-1]
+            rate = (k * c * y) / (pad_k * padding("C", c) * padding("Y", y))
+            combos.append((rate, (k, c, y)))
+    combos.sort(key=lambda item: (-item[0], item[1][2],
+                                  abs(item[1][0] - item[1][1])))
+    return [kcy for _, kcy in combos[:limit]] if combos else [(1, 1, 1)]
+
+
+def _build_greedy_dataflow(layer: LayerShape, spatial_k: int, spatial_c: int,
+                           spatial_y: int, rf_tile: int,
+                           stationarity: str) -> Dataflow:
+    dims = layer.dims()
+    rf = {"R": dims["R"], "S": dims["S"],
+          "X": _split_factor(dims["X"], rf_tile)}
+
+    def remaining(dim: str, *used: int) -> int:
+        product = 1
+        for factor in used:
+            product *= factor
+        return math.ceil(dims[dim] / product)
+
+    gb_y = _split_factor(remaining("Y", spatial_y), 8)
+    gb = {
+        "K": remaining("K", spatial_k),
+        "C": remaining("C", spatial_c),
+        "Y": gb_y,
+        "X": remaining("X", rf["X"]),
+        "N": dims["N"],
+    }
+    dram = {"Y": remaining("Y", spatial_y, gb_y)}
+
+    tiling = {
+        "DRAM": dram,
+        "GlobalBuffer": gb,
+        "Spatial": {"K": spatial_k, "C": spatial_c, "Y": spatial_y},
+        "RegisterFile": rf,
+    }
+    loop_order = {
+        "DRAM": ["N", "K", "Y", "X", "C", "R", "S"],
+        "GlobalBuffer": list(_GB_LOOP_ORDERS[stationarity]),
+    }
+    return Dataflow(tiling=tiling, loop_order=loop_order)
+
+
+def greedy_spatial_candidates(layer: LayerShape, num_units: int,
+                              rf_tile: int = 4,
+                              limit: int = 4) -> List[Dataflow]:
+    """Deterministic seed mappings for the evolutionary optimizer.
+
+    The top ``limit`` divisor splits by array utilisation, each with both the
+    output- and weight-stationary global-buffer orders.  Evaluating this
+    small set and keeping the best makes the optimizer robust at tiny search
+    budgets: the seeds already contain a compute-full mapping whose memory
+    behaviour suits the layer, instead of betting on the random population to
+    find one.
+    """
+    candidates = []
+    for k, c, y in _best_spatial_splits(layer, num_units, limit=limit):
+        for stationarity in _GB_LOOP_ORDERS:
+            candidates.append(_build_greedy_dataflow(layer, k, c, y, rf_tile,
+                                                     stationarity))
+    return candidates

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Union
 
+import numpy as np
+
 from ...quantization.precision import Precision
 
 __all__ = ["MACUnitModel", "resolve_precision"]
@@ -87,6 +89,28 @@ class MACUnitModel:
 
     def energy_per_mac(self, precision: Union[int, Precision]) -> float:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Vectorized interface (one call covers a whole array of precisions).
+    # The base implementations loop the scalar methods and therefore agree
+    # with them by construction; concrete units override them with
+    # closed-form NumPy expressions that the evaluation engine batches over.
+    # ------------------------------------------------------------------
+    def _map_scalar(self, fn, weight_bits, act_bits) -> np.ndarray:
+        wb = np.asarray(weight_bits, dtype=np.int64)
+        ab = np.asarray(act_bits, dtype=np.int64)
+        wb, ab = np.broadcast_arrays(wb, ab)
+        values = [fn(Precision(int(w), int(a)))
+                  for w, a in zip(wb.ravel(), ab.ravel())]
+        return np.asarray(values, dtype=np.float64).reshape(wb.shape)
+
+    def macs_per_cycle_array(self, weight_bits, act_bits) -> np.ndarray:
+        """Vectorized :meth:`macs_per_cycle` over integer bit-width arrays."""
+        return self._map_scalar(self.macs_per_cycle, weight_bits, act_bits)
+
+    def energy_per_mac_array(self, weight_bits, act_bits) -> np.ndarray:
+        """Vectorized :meth:`energy_per_mac` over integer bit-width arrays."""
+        return self._map_scalar(self.energy_per_mac, weight_bits, act_bits)
 
     # ------------------------------------------------------------------
     def throughput_per_area(self, precision: Union[int, Precision]) -> float:

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Union
 
+import numpy as np
+
 from ...quantization.precision import Precision
 from .base import AreaBreakdown, MACUnitModel, resolve_precision
 
@@ -36,3 +38,14 @@ class FixedPointMAC(MACUnitModel):
     def energy_per_mac(self, precision: Union[int, Precision]) -> float:
         resolve_precision(precision)
         return _ENERGY_PER_MAC
+
+    # ------------------------------------------------------------------
+    # Vectorized interface.
+    # ------------------------------------------------------------------
+    def macs_per_cycle_array(self, weight_bits, act_bits) -> np.ndarray:
+        return np.ones(np.broadcast(np.asarray(weight_bits),
+                                    np.asarray(act_bits)).shape)
+
+    def energy_per_mac_array(self, weight_bits, act_bits) -> np.ndarray:
+        return np.full(np.broadcast(np.asarray(weight_bits),
+                                    np.asarray(act_bits)).shape, _ENERGY_PER_MAC)

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Union
 
+import numpy as np
+
 from ...quantization.precision import Precision
 from .base import AreaBreakdown, MACUnitModel, resolve_precision
 
@@ -72,3 +74,31 @@ class SpatialBitFusionMAC(MACUnitModel):
         # 16-bit: four full-unit passes plus wide accumulation.
         eight_bit = (self.energy_per_mac(Precision(8)))
         return 4.0 * eight_bit + 0.1 * _FUSION_NETWORK_ENERGY
+
+    # ------------------------------------------------------------------
+    # Vectorized interface.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _supported_bits_array(bits: np.ndarray) -> np.ndarray:
+        b = np.asarray(bits, dtype=np.int64)
+        return np.select([b <= 2, b <= 4, b <= 8], [2, 4, 8], default=16)
+
+    def macs_per_cycle_array(self, weight_bits, act_bits) -> np.ndarray:
+        bits = self._supported_bits_array(
+            np.maximum(np.asarray(weight_bits, dtype=np.int64),
+                       np.asarray(act_bits, dtype=np.int64)))
+        parallel = _NUM_BRICKS / ((bits // 2) ** 2)
+        return np.where(bits <= 8, parallel, 0.25)
+
+    def energy_per_mac_array(self, weight_bits, act_bits) -> np.ndarray:
+        bits = self._supported_bits_array(
+            np.maximum(np.asarray(weight_bits, dtype=np.int64),
+                       np.asarray(act_bits, dtype=np.int64)))
+        bricks = (bits // 2) ** 2
+        products = _NUM_BRICKS / bricks
+        low = (bricks * 4 * _ENERGY_PER_BIT_OP
+               + _FUSION_NETWORK_ENERGY / products)
+        eight_bit = (_NUM_BRICKS * 4 * _ENERGY_PER_BIT_OP
+                     + _FUSION_NETWORK_ENERGY)
+        return np.where(bits <= 8, low,
+                        4.0 * eight_bit + 0.1 * _FUSION_NETWORK_ENERGY)

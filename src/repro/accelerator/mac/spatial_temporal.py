@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Union
 
+import numpy as np
+
 from ...quantization.precision import Precision
 from .base import AreaBreakdown, MACUnitModel, resolve_precision
 
@@ -87,3 +89,45 @@ class SpatialTemporalMAC(MACUnitModel):
             return bit_ops * _ENERGY_PER_BIT_OP + _GROUP_SHIFT_ADD_ENERGY
         half = self._half_bits(bits)
         return 4.0 * self._energy_for_bits(half) + 0.5 * _GROUP_SHIFT_ADD_ENERGY
+
+    # ------------------------------------------------------------------
+    # Vectorized interface (closed forms of the recurrences above).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cycles_for_bits_array(bits: np.ndarray) -> np.ndarray:
+        b = np.asarray(bits, dtype=np.int64)
+        half = (b + 1) // 2
+        quarter = (half + 1) // 2
+        eighth = (quarter + 1) // 2
+        return np.where(b <= 4, b / _NUM_SERIAL_UNITS,
+               np.where(b <= 8, half.astype(np.float64),
+               np.where(b <= 16, 4.0 * quarter, 16.0 * eighth)))
+
+    @staticmethod
+    def _energy_for_bits_array(bits: np.ndarray) -> np.ndarray:
+        b = np.asarray(bits, dtype=np.int64)
+        half = (b + 1) // 2
+        quarter = (half + 1) // 2
+        eighth = (quarter + 1) // 2
+        low = b * b * _ENERGY_PER_BIT_OP + _LOW_PRECISION_ACCUMULATE
+        mid = (_NUM_SERIAL_UNITS * half * half * _ENERGY_PER_BIT_OP
+               + _GROUP_SHIFT_ADD_ENERGY)
+        high = 4.0 * (_NUM_SERIAL_UNITS * quarter * quarter * _ENERGY_PER_BIT_OP
+                      + _GROUP_SHIFT_ADD_ENERGY) + 0.5 * _GROUP_SHIFT_ADD_ENERGY
+        extreme = (4.0 * (4.0 * (_NUM_SERIAL_UNITS * eighth * eighth
+                                 * _ENERGY_PER_BIT_OP + _GROUP_SHIFT_ADD_ENERGY)
+                          + 0.5 * _GROUP_SHIFT_ADD_ENERGY)
+                   + 0.5 * _GROUP_SHIFT_ADD_ENERGY)
+        return np.where(b <= 4, low,
+               np.where(b <= 8, mid,
+               np.where(b <= 16, high, extreme)))
+
+    def macs_per_cycle_array(self, weight_bits, act_bits) -> np.ndarray:
+        bits = np.maximum(np.asarray(weight_bits, dtype=np.int64),
+                          np.asarray(act_bits, dtype=np.int64))
+        return 1.0 / self._cycles_for_bits_array(bits)
+
+    def energy_per_mac_array(self, weight_bits, act_bits) -> np.ndarray:
+        bits = np.maximum(np.asarray(weight_bits, dtype=np.int64),
+                          np.asarray(act_bits, dtype=np.int64))
+        return self._energy_for_bits_array(bits)

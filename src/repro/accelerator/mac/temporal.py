@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Union
 
+import numpy as np
+
 from ...quantization.precision import Precision
 from .base import AreaBreakdown, MACUnitModel, resolve_precision
 
@@ -48,6 +50,19 @@ class TemporalBitSerialMAC(MACUnitModel):
         # The weight-side datapath is built for 16-bit operands and toggles at
         # that width every cycle, independent of the executed precision: this
         # is the temporal design's low-precision inefficiency.
+        per_cycle = (_DATAPATH_WIDTH_BITS * _ENERGY_PER_BIT_OP
+                     + _SHIFT_ACCUMULATE_PER_CYCLE)
+        return cycles * per_cycle
+
+    # ------------------------------------------------------------------
+    # Vectorized interface.
+    # ------------------------------------------------------------------
+    def macs_per_cycle_array(self, weight_bits, act_bits) -> np.ndarray:
+        cycles = np.maximum(np.asarray(act_bits, dtype=np.int64), 1)
+        return 1.0 / cycles
+
+    def energy_per_mac_array(self, weight_bits, act_bits) -> np.ndarray:
+        cycles = np.maximum(np.asarray(act_bits, dtype=np.int64), 1)
         per_cycle = (_DATAPATH_WIDTH_BITS * _ENERGY_PER_BIT_OP
                      + _SHIFT_ACCUMULATE_PER_CYCLE)
         return cycles * per_cycle

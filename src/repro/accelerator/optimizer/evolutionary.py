@@ -19,7 +19,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ...quantization.precision import Precision
-from ..dataflow import Dataflow, default_dataflow
+from ..mac.base import resolve_precision
+from ..dataflow import (
+    Dataflow,
+    LEVELS,
+    TEMPORAL_LEVELS,
+    default_dataflow,
+    greedy_spatial_candidates,
+)
 from ..memory import MemoryHierarchy, default_hierarchy
 from ..performance_model import (
     ArrayConfig,
@@ -60,6 +67,14 @@ def _score(perf: LayerPerformance, objective: str) -> float:
     return perf.total_cycles * perf.total_energy
 
 
+def _dataflow_key(dataflow: Dataflow) -> Tuple:
+    """Hashable fingerprint of a dataflow (for fitness memoisation)."""
+    return (tuple(tuple(sorted(dataflow.tiling[level].items()))
+                  for level in LEVELS),
+            tuple(tuple(dataflow.loop_order[level])
+                  for level in TEMPORAL_LEVELS))
+
+
 class EvolutionaryDataflowOptimizer:
     """Alg. 2: evolutionary search over dataflows for one layer."""
 
@@ -68,25 +83,45 @@ class EvolutionaryDataflowOptimizer:
         self.model = model
         self.config = config or OptimizerConfig()
         self.rng = np.random.default_rng(self.config.seed)
+        # Fitness memo: the divisor-biased operators frequently resample the
+        # same dataflow; re-simulating it would be pure waste.
+        self._fitness_memo: Dict[Tuple, Optional[Tuple[float, LayerPerformance]]] = {}
+        self._memo_layer_key: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
     def _evaluate(self, layer: LayerShape, dataflow: Dataflow,
                   precision: Union[int, Precision]) -> Optional[Tuple[float, LayerPerformance]]:
+        precision = resolve_precision(precision)
+        layer_key = (tuple(sorted(layer.dims().items())), precision.key)
+        if layer_key != self._memo_layer_key:
+            self._memo_layer_key = layer_key
+            self._fitness_memo = {}
+        key = _dataflow_key(dataflow)
+        if key in self._fitness_memo:
+            return self._fitness_memo[key]
         try:
             perf = self.model.evaluate(layer, dataflow, precision)
         except InvalidMappingError:
+            self._fitness_memo[key] = None
             return None
-        return _score(perf, self.config.objective), perf
+        scored = (_score(perf, self.config.objective), perf)
+        self._fitness_memo[key] = scored
+        return scored
 
     def _seed_population(self, layer: LayerShape,
                          precision: Union[int, Precision]
                          ) -> List[Tuple[float, Dataflow, LayerPerformance]]:
         population: List[Tuple[float, Dataflow, LayerPerformance]] = []
-        # Always include the untuned default mapping so the search can only improve.
-        baseline = default_dataflow(layer, self.model.array.num_units)
-        scored = self._evaluate(layer, baseline, precision)
-        if scored is not None:
-            population.append((scored[0], baseline, scored[1]))
+        # Always include the untuned default mapping so the search can only
+        # improve, plus the greedy full-array mapping so large arrays never
+        # regress to the default's 1024-unit spatial cap when the random
+        # search budget is too small to discover a high-unrolling mapping.
+        seeds = [default_dataflow(layer, self.model.array.num_units)]
+        seeds += greedy_spatial_candidates(layer, self.model.array.num_units)
+        for baseline in seeds:
+            scored = self._evaluate(layer, baseline, precision)
+            if scored is not None:
+                population.append((scored[0], baseline, scored[1]))
         attempts = 0
         while (len(population) < self.config.population_size
                and attempts < 20 * self.config.population_size):

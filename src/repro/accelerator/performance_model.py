@@ -30,7 +30,7 @@ from .memory import MemoryHierarchy, default_hierarchy
 from .workload import LayerShape
 
 __all__ = ["ArrayConfig", "LayerPerformance", "NetworkPerformance",
-           "InvalidMappingError", "PerformanceModel"]
+           "InvalidMappingError", "MappingSummary", "PerformanceModel"]
 
 #: Partial sums are kept at this width in on-chip storage.
 PARTIAL_SUM_BITS = 32
@@ -117,6 +117,29 @@ class NetworkPerformance:
     def energy_efficiency(self) -> float:
         """Inferences per unit energy (higher is better)."""
         return 1.0 / self.total_energy if self.total_energy > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class MappingSummary:
+    """Precision-independent facts of one (layer, dataflow) mapping.
+
+    Everything the performance model needs that does *not* depend on the
+    execution precision is collected here once, so the evaluation engine can
+    evaluate the same mapping at every precision of a set with pure NumPy
+    arithmetic (bits-per-element scaling, MAC-rate division, energy sums)
+    instead of re-running the reuse analysis per precision.
+    """
+
+    padded_macs: float
+    spatial_units: int
+    mapping_efficiency: float
+    #: boundary -> tensor -> elements moved (tile x refetch x outer loops).
+    moved_elements: Dict[str, Dict[str, float]]
+    #: boundary -> whether output traffic is doubled by a split reduction.
+    reduction_doubled: Dict[str, bool]
+    #: level -> (weight, activation, partial-sum) tile element counts used by
+    #: the capacity checks.
+    footprint_elements: Dict[str, tuple]
 
 
 class PerformanceModel:
@@ -238,6 +261,54 @@ class PerformanceModel:
                     bits *= 2.0
             traffic[tensor] = bits
         return traffic
+
+    # ------------------------------------------------------------------
+    # Precision-independent mapping summary (consumed by the engine)
+    # ------------------------------------------------------------------
+    def summarize(self, layer: LayerShape, dataflow: Dataflow) -> MappingSummary:
+        """Collect every precision-independent quantity of a mapping.
+
+        The summary plus a (weight_bits, act_bits) pair reproduces exactly
+        what :meth:`evaluate` computes; see
+        :mod:`repro.accelerator.engine` for the batched arithmetic.
+        """
+        padded = dataflow.padded_dims(layer)
+        padded_macs = 1.0
+        for dim in DIMS:
+            padded_macs *= padded[dim]
+
+        outer_iterations = 1.0
+        for dim in DIMS:
+            outer_iterations *= dataflow.tiling["DRAM"][dim]
+
+        moved: Dict[str, Dict[str, float]] = {}
+        doubled: Dict[str, bool] = {}
+        for boundary, inner_level, outer in (("DRAM", "GlobalBuffer", 1.0),
+                                             ("GlobalBuffer", "Spatial",
+                                              outer_iterations)):
+            moved[boundary] = {
+                tensor: (dataflow.tile_elements(tensor, inner_level)
+                         * self._refetch_factor(dataflow, boundary, tensor)
+                         * outer)
+                for tensor in ("weights", "inputs", "outputs")
+            }
+            doubled[boundary] = self._reduction_refetch(dataflow, boundary) > 1
+
+        footprints = {
+            level: (dataflow.tile_elements("weights", level),
+                    dataflow.tile_elements("inputs", level),
+                    dataflow.tile_elements("outputs", level))
+            for level in ("GlobalBuffer", "RegisterFile")
+        }
+
+        return MappingSummary(
+            padded_macs=padded_macs,
+            spatial_units=dataflow.spatial_units(),
+            mapping_efficiency=layer.macs / padded_macs,
+            moved_elements=moved,
+            reduction_doubled=doubled,
+            footprint_elements=footprints,
+        )
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -36,18 +36,30 @@ def input_gradient(model: Module, x: np.ndarray, y: np.ndarray,
     ``loss`` selects the objective: ``"ce"`` is cross-entropy (used by FGSM /
     PGD), ``"cw"`` the Carlini-Wagner margin loss (used by the CW-ℓ∞ attack),
     and ``"dlr"`` the difference-of-logits-ratio loss used by APGD-DLR.
+
+    The model's parameters are frozen for the duration of the pass: an attack
+    only consumes the input gradient, and every caller discards (or zeroes)
+    parameter gradients before the next weight update, so skipping the
+    weight-gradient computation changes no observable result.
     """
-    x_t = Tensor(x, requires_grad=True)
-    logits = model(x_t)
-    if loss == "ce":
-        objective = F.cross_entropy(logits, y)
-    elif loss == "cw":
-        objective = _cw_margin_loss(logits, y)
-    elif loss == "dlr":
-        objective = _dlr_loss(logits, y)
-    else:
-        raise ValueError(f"unknown attack loss {loss!r}")
-    objective.backward()
+    frozen = [p for p in model.parameters() if p.requires_grad]
+    for p in frozen:
+        p.requires_grad = False
+    try:
+        x_t = Tensor(x, requires_grad=True)
+        logits = model(x_t)
+        if loss == "ce":
+            objective = F.cross_entropy(logits, y)
+        elif loss == "cw":
+            objective = _cw_margin_loss(logits, y)
+        elif loss == "dlr":
+            objective = _dlr_loss(logits, y)
+        else:
+            raise ValueError(f"unknown attack loss {loss!r}")
+        objective.backward()
+    finally:
+        for p in frozen:
+            p.requires_grad = True
     return x_t.grad
 
 

@@ -132,14 +132,21 @@ class TradeoffController:
 
     def score_efficiency(self, points: Sequence[OperatingPoint], accelerator,
                          layers) -> None:
-        """Fill in average energy / FPS using an accelerator model."""
+        """Fill in average energy / FPS using an accelerator model.
+
+        Every :class:`~repro.accelerator.accelerators.base.Accelerator`
+        scores an RPS point in one batched engine pass
+        (``rps_average_metrics``), so overlapping precision sets across
+        operating points become cache hits.
+        """
         for point in points:
             if point.is_static:
                 perf = accelerator.evaluate_network(layers, point.static_precision)
                 point.average_energy = perf.total_energy
                 point.average_fps = perf.throughput_fps
             else:
-                metrics = accelerator.rps_average_metrics(layers, point.precision_set)
+                metrics = accelerator.rps_average_metrics(layers,
+                                                          point.precision_set)
                 point.average_energy = metrics["average_energy"]
                 point.average_fps = metrics["average_fps"]
 

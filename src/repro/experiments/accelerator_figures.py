@@ -112,11 +112,14 @@ def throughput_vs_precision(network: str = "resnet50", dataset: str = "imagenet"
     """
     layers = network_layers(network, dataset)
     accelerators = _build_accelerators(optimizer_config)
+    # One batched grid pass per design covers the whole precision sweep.
+    fps = {name: accelerators[name].evaluate_grid(layers, precisions)
+           .throughput_fps() for name in designs}
     rows: List[Dict[str, object]] = []
-    for precision in precisions:
+    for index, precision in enumerate(precisions):
         row: Dict[str, object] = {"precision": precision}
         for name in designs:
-            row[name] = accelerators[name].throughput_fps(layers, precision)
+            row[name] = float(fps[name][index])
         rows.append(row)
     return rows
 
@@ -132,17 +135,20 @@ def normalized_throughput_table(precisions: Sequence[int] = (2, 4, 8, 16),
     """Fig. 7: throughput of Stripes and 2-in-1 normalized to Bit Fusion."""
     accelerators = _build_accelerators(optimizer_config)
     rows: List[Dict[str, object]] = []
-    for precision in precisions:
-        for network, dataset in workloads:
-            layers = network_layers(network, dataset)
-            base = accelerators["BitFusion"].throughput_fps(layers, precision)
+    for network, dataset in workloads:
+        layers = network_layers(network, dataset)
+        fps = {name: acc.evaluate_grid(layers, precisions).throughput_fps()
+               for name, acc in accelerators.items()}
+        for index, precision in enumerate(precisions):
+            base = fps["BitFusion"][index]
             rows.append({
                 "precision": precision,
                 "workload": f"{network}/{dataset}",
                 "BitFusion": 1.0,
-                "Stripes": accelerators["Stripes"].throughput_fps(layers, precision) / base,
-                "2-in-1": accelerators["2-in-1"].throughput_fps(layers, precision) / base,
+                "Stripes": float(fps["Stripes"][index] / base),
+                "2-in-1": float(fps["2-in-1"][index] / base),
             })
+    rows.sort(key=lambda row: precisions.index(row["precision"]))
     return rows
 
 
@@ -153,17 +159,20 @@ def normalized_energy_table(precisions: Sequence[int] = (2, 4, 8, 16),
     """Fig. 8: energy efficiency normalized to Bit Fusion."""
     accelerators = _build_accelerators(optimizer_config)
     rows: List[Dict[str, object]] = []
-    for precision in precisions:
-        for network, dataset in workloads:
-            layers = network_layers(network, dataset)
-            base = accelerators["BitFusion"].energy_per_inference(layers, precision)
+    for network, dataset in workloads:
+        layers = network_layers(network, dataset)
+        energy = {name: acc.evaluate_grid(layers, precisions).network_energy()
+                  for name, acc in accelerators.items()}
+        for index, precision in enumerate(precisions):
+            base = energy["BitFusion"][index]
             rows.append({
                 "precision": precision,
                 "workload": f"{network}/{dataset}",
                 "BitFusion": 1.0,
-                "Stripes": base / accelerators["Stripes"].energy_per_inference(layers, precision),
-                "2-in-1": base / accelerators["2-in-1"].energy_per_inference(layers, precision),
+                "Stripes": float(base / energy["Stripes"][index]),
+                "2-in-1": float(base / energy["2-in-1"][index]),
             })
+    rows.sort(key=lambda row: precisions.index(row["precision"]))
     return rows
 
 

@@ -53,17 +53,42 @@ def im2col(x: np.ndarray, kernel_size: Tuple[int, int], stride: int,
     out_h = _conv_output_size(h, kh, stride, padding)
     out_w = _conv_output_size(w, kw, stride, padding)
 
-    if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-                   mode="constant")
+    if kh == 1 and kw == 1 and padding == 0:
+        # 1x1 kernels need no patch extraction; a (strided) view suffices.
+        return x[:, :, ::stride, ::stride].reshape(n, c, out_h * out_w)
 
-    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    # Padding is fused into the slice bounds (the zero border is written
+    # directly into `cols`) so the padded copy of `x` is never materialised.
+    cols = (np.zeros((n, c, kh, kw, out_h, out_w), dtype=x.dtype) if padding
+            else np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype))
     for i in range(kh):
-        i_max = i + stride * out_h
         for j in range(kw):
-            j_max = j + stride * out_w
-            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+            src, dst = _clipped_window((h, w), (out_h, out_w),
+                                       (i - padding, j - padding), stride)
+            if src is None:
+                continue
+            cols[(slice(None), slice(None), i, j) + dst] = \
+                x[(slice(None), slice(None)) + src]
     return cols.reshape(n, c * kh * kw, out_h * out_w)
+
+
+def _clipped_window(in_size, out_size, offset, stride):
+    """Slices mapping output positions to in-bounds input positions.
+
+    For kernel offset ``o``, output index ``t`` reads input ``o + stride*t``;
+    returns ``(src, dst)`` slice tuples restricted to ``0 <= o + stride*t <
+    in_size`` per axis, or ``(None, None)`` when no position is in bounds.
+    """
+    src = []
+    dst = []
+    for size, out, o in zip(in_size, out_size, offset):
+        t_lo = (-o + stride - 1) // stride if o < 0 else 0  # ceil(-o/stride)
+        t_hi = min(out - 1, (size - 1 - o) // stride)
+        if t_hi < t_lo:
+            return None, None
+        src.append(slice(o + stride * t_lo, o + stride * t_hi + 1, stride))
+        dst.append(slice(t_lo, t_hi + 1))
+    return tuple(src), tuple(dst)
 
 
 def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int],
@@ -74,16 +99,23 @@ def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int],
     out_h = _conv_output_size(h, kh, stride, padding)
     out_w = _conv_output_size(w, kw, stride, padding)
 
+    if kh == 1 and kw == 1 and padding == 0:
+        x = np.zeros((n, c, h, w), dtype=cols.dtype)
+        x[:, :, ::stride, ::stride] = cols.reshape(n, c, out_h, out_w)
+        return x
+
     cols = cols.reshape(n, c, kh, kw, out_h, out_w)
-    h_pad, w_pad = h + 2 * padding, w + 2 * padding
-    x = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
+    x = np.zeros((n, c, h, w), dtype=cols.dtype)
     for i in range(kh):
-        i_max = i + stride * out_h
         for j in range(kw):
-            j_max = j + stride * out_w
-            x[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
-    if padding > 0:
-        return x[:, :, padding:-padding, padding:-padding]
+            # Contributions that landed in the padding border are dropped, so
+            # only in-bounds windows are accumulated (no padded temporary).
+            src, dst = _clipped_window((h, w), (out_h, out_w),
+                                       (i - padding, j - padding), stride)
+            if src is None:
+                continue
+            x[(slice(None), slice(None)) + src] += \
+                cols[(slice(None), slice(None), i, j) + dst]
     return x
 
 
@@ -115,7 +147,7 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
 
     cols = im2col(x.data, (kh, kw), stride, padding)          # (N, C*kh*kw, L)
     w_mat = weight.data.reshape(c_out, -1)                    # (C_out, C*kh*kw)
-    out_data = np.einsum("ok,nkl->nol", w_mat, cols)          # (N, C_out, L)
+    out_data = np.matmul(w_mat, cols)                         # (N, C_out, L)
     out_data = out_data.reshape(n, c_out, out_h, out_w)
     if bias is not None:
         out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
@@ -125,12 +157,12 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     def backward(grad_out: np.ndarray) -> None:
         grad_flat = grad_out.reshape(n, c_out, -1)            # (N, C_out, L)
         if weight.requires_grad:
-            grad_w = np.einsum("nol,nkl->ok", grad_flat, cols)
+            grad_w = np.matmul(grad_flat, cols.transpose(0, 2, 1)).sum(axis=0)
             weight.accumulate_grad(grad_w.reshape(weight.shape))
         if bias is not None and bias.requires_grad:
             bias.accumulate_grad(grad_out.sum(axis=(0, 2, 3)))
         if x.requires_grad:
-            grad_cols = np.einsum("ok,nol->nkl", w_mat, grad_flat)
+            grad_cols = np.matmul(w_mat.T, grad_flat)
             grad_x = col2im(grad_cols, (n, c_in, h, w), (kh, kw), stride, padding)
             x.accumulate_grad(grad_x)
 

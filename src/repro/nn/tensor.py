@@ -352,12 +352,13 @@ class Tensor:
         return Tensor.make_from_op(out_data, (self,), backward)
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
+        out_data = np.maximum(self.data, 0)
 
         def backward(grad_out: np.ndarray) -> None:
-            self.accumulate_grad(grad_out * mask)
+            # out > 0 exactly where the input was positive.
+            self.accumulate_grad(grad_out * (out_data > 0))
 
-        return Tensor.make_from_op(self.data * mask, (self,), backward)
+        return Tensor.make_from_op(out_data, (self,), backward)
 
     def clip(self, minimum: float, maximum: float) -> "Tensor":
         """Clamp values; gradient flows only where no clipping occurred."""

@@ -93,13 +93,26 @@ def fake_quantize(x: Tensor, config: QuantizerConfig) -> Tensor:
     where the value fell inside the representable range, zero where it
     saturated (the standard clipped STE).
     """
+    from ..nn.tensor import is_grad_enabled
+
     scale, zero_point = _compute_scale(x.data, config)
-    q = np.round((x.data - zero_point) / scale)
-    saturated_low = q < config.qmin
-    saturated_high = q > config.qmax
-    q = np.clip(q, config.qmin, config.qmax)
-    out_data = (q * scale + zero_point).astype(np.float32)
-    pass_mask = ~(saturated_low | saturated_high)
+    symmetric_scalar = config.symmetric and not config.per_channel
+    if symmetric_scalar:
+        # zero_point is identically 0 here; skipping it avoids two full-array
+        # temporaries on the hot activation-quantisation path.
+        q = np.round(x.data / scale)
+    else:
+        q = np.round((x.data - zero_point) / scale)
+    clipped = np.clip(q, config.qmin, config.qmax)
+    if symmetric_scalar:
+        out_data = (clipped * scale).astype(np.float32)
+    else:
+        out_data = (clipped * scale + zero_point).astype(np.float32)
+
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor.make_from_op(out_data, (x,), lambda grad_out: None)
+
+    pass_mask = q == clipped        # inside the representable range
 
     def backward(grad_out: np.ndarray) -> None:
         x.accumulate_grad(grad_out * pass_mask)

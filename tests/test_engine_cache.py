@@ -1,0 +1,182 @@
+"""Cache-correctness tests for the evaluation engine's memo layer:
+hits on repeated queries, invalidation when the accelerator configuration
+changes, and trade-off curves scored through the engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    BitFusionAccelerator,
+    DNNGuardAccelerator,
+    TwoInOneAccelerator,
+    network_layers,
+)
+from repro.accelerator.optimizer import OptimizerConfig
+from repro.core.tradeoff import OperatingPoint, TradeoffController, TradeoffCurve
+from repro.quantization import Precision, PrecisionSet
+
+FAST = OptimizerConfig(population_size=6, total_cycles=1, seed=0)
+
+
+@pytest.fixture()
+def accelerator():
+    accelerator = TwoInOneAccelerator(optimizer_config=FAST)
+    # Engines share memo stores across instances with identical configs;
+    # start each test from a cold cache so the counters are deterministic.
+    accelerator.engine.invalidate()
+    accelerator.engine.stats = type(accelerator.engine.stats)()
+    return accelerator
+
+
+@pytest.fixture()
+def layers():
+    return network_layers("resnet18", "cifar10")
+
+
+class TestCacheHits:
+    def test_identical_queries_hit(self, accelerator, layers):
+        accelerator.evaluate_network(layers, 4)
+        before = accelerator.engine.cache_info()
+        assert before["misses"] > 0
+        result_a = accelerator.evaluate_network(layers, 4)
+        after = accelerator.engine.cache_info()
+        assert after["misses"] == before["misses"]          # no re-simulation
+        assert after["hits"] >= before["hits"] + len(layers)
+        result_b = accelerator.evaluate_network(layers, 4)
+        assert result_b.total_cycles == result_a.total_cycles
+        assert result_b.total_energy == result_a.total_energy
+
+    def test_shape_keyed_sharing(self, accelerator, layers):
+        """Repeated layer shapes cost one simulation, not one per layer."""
+        accelerator.evaluate_network(layers, 8)
+        entries = accelerator.engine.cache_info()["entries"]
+        unique_shapes = {(l.n, l.k, l.c, l.y, l.x, l.r, l.s, l.stride)
+                         for l in layers}
+        assert entries == len(unique_shapes)
+
+    def test_grid_primes_scalar_queries(self, accelerator, layers):
+        accelerator.evaluate_grid(layers, [4, 6, 8])
+        before = accelerator.engine.cache_info()["misses"]
+        accelerator.evaluate_layer(layers[0], 6)
+        accelerator.rps_average_metrics(layers, PrecisionSet([4, 8]))
+        assert accelerator.engine.cache_info()["misses"] == before
+
+    def test_rps_average_matches_manual_mean(self, accelerator, layers):
+        metrics = accelerator.rps_average_metrics(layers, PrecisionSet([4, 8]))
+        fps = [accelerator.throughput_fps(layers, p) for p in (4, 8)]
+        energy = [accelerator.energy_per_inference(layers, p) for p in (4, 8)]
+        assert metrics["average_fps"] == pytest.approx(np.mean(fps), rel=1e-9)
+        assert metrics["average_energy"] == pytest.approx(np.mean(energy),
+                                                          rel=1e-9)
+
+
+class TestInvalidation:
+    def test_config_change_invalidates(self, accelerator, layers):
+        layer = layers[0]
+        baseline = accelerator.evaluate_layer(layer, 4)
+        # Doubling the array must be observed by the next query.
+        accelerator.num_units *= 2
+        accelerator.array = type(accelerator.array)(
+            mac_unit=accelerator.mac_unit, num_units=accelerator.num_units,
+            frequency_hz=accelerator.array.frequency_hz)
+        accelerator.model.array = accelerator.array
+        invalidations = accelerator.engine.stats.invalidations
+        misses = accelerator.engine.stats.misses
+        changed = accelerator.evaluate_layer(layer, 4)
+        assert accelerator.engine.stats.invalidations == invalidations + 1
+        assert accelerator.engine.stats.misses == misses + 1  # re-simulated
+        # A bigger array can only tie or improve the compute bound.
+        assert changed.compute_cycles <= baseline.compute_cycles
+        assert changed.spatial_utilization <= baseline.spatial_utilization
+
+    def test_derating_change_invalidates(self, accelerator, layers):
+        layer = layers[0]
+        baseline = accelerator.evaluate_layer(layer, 4)
+        accelerator.compute_derating = 2.0
+        derated = accelerator.evaluate_layer(layer, 4)
+        assert derated.compute_cycles == pytest.approx(
+            2.0 * baseline.compute_cycles, rel=1e-9)
+
+    def test_manual_invalidate_clears(self, accelerator, layers):
+        accelerator.evaluate_network(layers, 4)
+        assert accelerator.engine.cache_info()["entries"] > 0
+        accelerator.engine.invalidate()
+        assert accelerator.engine.cache_info()["entries"] == 0
+
+    def test_lru_eviction_bounds_entries(self, layers):
+        accelerator = BitFusionAccelerator()
+        accelerator.engine.invalidate()
+        accelerator.engine.max_entries = 4
+        accelerator.evaluate_network(layers, 4)
+        accelerator.evaluate_network(layers, 8)
+        info = accelerator.engine.cache_info()
+        assert info["entries"] <= 4
+        assert info["evictions"] > 0
+
+    def test_grid_larger_than_cache_still_completes(self, layers):
+        """A single grid whose cell count exceeds max_entries must not rely
+        on the LRU retaining every cell it just computed."""
+        accelerator = BitFusionAccelerator()
+        accelerator.engine.invalidate()
+        accelerator.engine.max_entries = 4
+        grid = accelerator.evaluate_grid(layers, [4, 8])
+        assert np.all(grid.total_cycles > 0)
+        assert accelerator.engine.cache_info()["entries"] <= 4
+        # And the values agree with an uncached engine.
+        fresh = BitFusionAccelerator()
+        fresh.engine.invalidate()
+        reference = fresh.evaluate_grid(layers, [4, 8])
+        assert np.allclose(grid.total_cycles, reference.total_cycles)
+        assert np.allclose(grid.total_energy, reference.total_energy)
+
+
+class TestEngineScoredCurves:
+    def _scored_curve(self, accelerator, layers, caps=(8, 5, 4)):
+        """Operating points with synthetic (descending) robustness, energy
+        scored entirely through the engine."""
+        full_set = PrecisionSet([3, 4, 5, 6, 7, 8])
+        controller = TradeoffController(model=None, full_set=full_set)
+        points = controller.operating_points(caps=list(caps))
+        for rank, point in enumerate(points):
+            point.robust_accuracy = 0.5 - 0.1 * rank
+            point.natural_accuracy = 0.8
+        controller.score_efficiency(points, accelerator, layers)
+        return TradeoffCurve(points=points)
+
+    def test_monotone_tradeoff_on_engine_scores(self, accelerator, layers):
+        curve = self._scored_curve(accelerator, layers)
+        for point in curve.points:
+            assert point.average_energy is not None
+            assert point.average_fps is not None
+        # Shrinking the precision set towards cheap precisions must reduce
+        # the engine-scored average energy monotonically.
+        assert curve.is_monotone_tradeoff()
+
+    def test_non_monotone_detected(self, accelerator, layers):
+        curve = self._scored_curve(accelerator, layers)
+        curve.points[0].average_energy, curve.points[-1].average_energy = (
+            curve.points[-1].average_energy, curve.points[0].average_energy)
+        assert not curve.is_monotone_tradeoff()
+
+    def test_rps_points_include_extra_layers(self, layers):
+        """Designs with mandatory extra work (DNNGuard's detection network)
+        must account for it in RPS points exactly as in static points."""
+        guard = DNNGuardAccelerator()
+        metrics = guard.rps_average_metrics(layers, PrecisionSet([4, 8]))
+        manual = np.mean([guard.evaluate_network(layers, p).total_energy
+                          for p in (4, 8)])
+        assert metrics["average_energy"] == pytest.approx(manual, rel=1e-9)
+
+    def test_static_point_matches_network_evaluation(self, accelerator, layers):
+        point = OperatingPoint(label="static 4-bit", precision_set=None,
+                               static_precision=Precision(4))
+        full_set = PrecisionSet([4, 8])
+        controller = TradeoffController(model=None, full_set=full_set)
+        controller.score_efficiency([point], accelerator, layers)
+        network = accelerator.evaluate_network(layers, 4)
+        assert point.average_energy == pytest.approx(network.total_energy,
+                                                     rel=1e-9)
+        assert point.average_fps == pytest.approx(network.throughput_fps,
+                                                  rel=1e-9)

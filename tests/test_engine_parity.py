@@ -1,0 +1,140 @@
+"""Parity tests: the vectorized evaluation engine must agree bit-for-bit
+(within 1e-9 relative) with the scalar reference path across randomized
+layer shapes, precisions, and all four accelerator designs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    BitFusionAccelerator,
+    DNNGuardAccelerator,
+    StripesAccelerator,
+    TwoInOneAccelerator,
+    LayerShape,
+    network_layers,
+)
+from repro.accelerator.mac import (
+    FixedPointMAC,
+    SpatialBitFusionMAC,
+    SpatialTemporalMAC,
+    TemporalBitSerialMAC,
+)
+from repro.accelerator.optimizer import OptimizerConfig
+from repro.quantization import Precision
+
+RTOL = 1e-9
+FAST = OptimizerConfig(population_size=6, total_cycles=1, seed=0)
+
+
+def random_layers(count: int = 8, seed: int = 7):
+    """Randomized conv/FC shapes in the range the paper's workloads span."""
+    rng = np.random.default_rng(seed)
+    layers = []
+    for index in range(count):
+        if rng.random() < 0.25:     # FC layer
+            layers.append(LayerShape(name=f"fc{index}", n=1,
+                                     k=int(rng.integers(10, 1200)),
+                                     c=int(rng.integers(16, 2048)),
+                                     y=1, x=1, r=1, s=1))
+        else:
+            feature = int(rng.choice([4, 7, 8, 14, 16, 28, 32]))
+            kernel = int(rng.choice([1, 3, 5]))
+            layers.append(LayerShape(name=f"conv{index}", n=1,
+                                     k=int(rng.integers(8, 512)),
+                                     c=int(rng.integers(3, 512)),
+                                     y=feature, x=feature,
+                                     r=kernel, s=kernel,
+                                     stride=int(rng.choice([1, 2]))))
+    return layers
+
+
+def accelerator_factories():
+    return [
+        ("2-in-1", lambda: TwoInOneAccelerator(optimizer_config=FAST)),
+        ("BitFusion", lambda: BitFusionAccelerator()),
+        ("Stripes", lambda: StripesAccelerator(optimizer_config=FAST)),
+        ("DNNGuard", lambda: DNNGuardAccelerator()),
+    ]
+
+
+def assert_performance_equal(reference, engine_result):
+    assert engine_result.compute_cycles == pytest.approx(
+        reference.compute_cycles, rel=RTOL)
+    assert engine_result.total_cycles == pytest.approx(
+        reference.total_cycles, rel=RTOL)
+    assert engine_result.total_energy == pytest.approx(
+        reference.total_energy, rel=RTOL)
+    assert engine_result.spatial_utilization == pytest.approx(
+        reference.spatial_utilization, rel=RTOL)
+    assert engine_result.mapping_efficiency == pytest.approx(
+        reference.mapping_efficiency, rel=RTOL)
+    for boundary, cycles in reference.memory_cycles.items():
+        assert engine_result.memory_cycles[boundary] == pytest.approx(
+            cycles, rel=RTOL)
+    for boundary, tensors in reference.traffic_bits.items():
+        for tensor, bits in tensors.items():
+            assert engine_result.traffic_bits[boundary][tensor] == pytest.approx(
+                bits, rel=RTOL)
+    for component, value in reference.energy_breakdown.items():
+        assert engine_result.energy_breakdown[component] == pytest.approx(
+            value, rel=RTOL)
+
+
+@pytest.mark.parametrize("name,factory", accelerator_factories())
+def test_engine_matches_scalar_reference(name, factory):
+    accelerator = factory()
+    precisions = [1, 2, 3, 4, 5, 6, 7, 8, 11, 12, 16]
+    for layer in random_layers():
+        for precision in precisions:
+            reference = accelerator.evaluate_layer_reference(layer, precision)
+            engine = accelerator.evaluate_layer(layer, precision)
+            assert_performance_equal(reference, engine)
+
+
+@pytest.mark.parametrize("name,factory", accelerator_factories())
+def test_grid_matches_network_aggregates(name, factory):
+    accelerator = factory()
+    layers = network_layers("resnet18", "cifar10")
+    precisions = [2, 4, 8, 16]
+    grid = accelerator.evaluate_grid(layers, precisions)
+    for j, precision in enumerate(precisions):
+        network = accelerator.evaluate_network(layers, precision)
+        assert grid.network_cycles()[j] == pytest.approx(
+            network.total_cycles, rel=RTOL)
+        assert grid.network_energy()[j] == pytest.approx(
+            network.total_energy, rel=RTOL)
+        assert grid.throughput_fps()[j] == pytest.approx(
+            network.throughput_fps, rel=RTOL)
+
+
+@pytest.mark.parametrize("unit_cls", [SpatialTemporalMAC, SpatialBitFusionMAC,
+                                      TemporalBitSerialMAC, FixedPointMAC])
+def test_vectorized_mac_models_match_scalar(unit_cls):
+    """The closed-form array cost models equal the scalar recurrences."""
+    unit = unit_cls()
+    rng = np.random.default_rng(3)
+    wb = rng.integers(1, 33, size=64)
+    ab = rng.integers(1, 33, size=64)
+    macs = unit.macs_per_cycle_array(wb, ab)
+    energy = unit.energy_per_mac_array(wb, ab)
+    for i in range(len(wb)):
+        precision = Precision(int(wb[i]), int(ab[i]))
+        assert macs[i] == pytest.approx(unit.macs_per_cycle(precision),
+                                        rel=RTOL)
+        assert energy[i] == pytest.approx(unit.energy_per_mac(precision),
+                                          rel=RTOL)
+
+
+def test_grid_deduplicates_repeated_shapes():
+    """Same-shaped layers must produce identical rows from one evaluation."""
+    accelerator = BitFusionAccelerator()
+    accelerator.engine.invalidate()
+    layer = LayerShape(name="a", n=1, k=64, c=32, y=16, x=16, r=3, s=3)
+    clone = LayerShape(name="b", n=1, k=64, c=32, y=16, x=16, r=3, s=3)
+    grid = accelerator.evaluate_grid([layer, clone], [4, 8])
+    assert np.array_equal(grid.total_cycles[0], grid.total_cycles[1])
+    assert np.array_equal(grid.total_energy[0], grid.total_energy[1])
+    # Only one shape was actually simulated.
+    assert accelerator.engine.cache_info()["entries"] == 2
