@@ -1,0 +1,55 @@
+"""Warm-cache acceptance benchmark for the persistent engine store.
+
+Runs the Fig. 7 normalized-throughput grid in two *separate* Python
+processes sharing one on-disk memo store: the first pays the full
+dataflow-search + simulation cost and fills the store; the second starts
+cold in memory but warm on disk.  The contract (ISSUE 2): the warm rerun is
+at least 3x faster than the first fill and produces identical rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+#: Same reduced grid as benchmarks/test_fig7_fig8_fig9_accelerator_grid.py.
+_SNIPPET = """
+import json, time
+from repro.experiments import normalized_throughput_table
+from repro.accelerator.optimizer import OptimizerConfig
+
+start = time.perf_counter()
+rows = normalized_throughput_table(
+    precisions=(2, 4, 8, 16),
+    workloads=(("resnet18", "cifar10"), ("wide_resnet32", "cifar10"),
+               ("resnet50", "imagenet"), ("alexnet", "imagenet")),
+    optimizer_config=OptimizerConfig(population_size=10, total_cycles=2,
+                                     seed=0),
+    persist=True)
+print(json.dumps({"seconds": time.perf_counter() - start, "rows": rows}))
+"""
+
+
+def _run_fig7_process(cache_dir: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (os.pathsep + env["PYTHONPATH"]
+                                 if env.get("PYTHONPATH") else "")
+    env["REPRO_ENGINE_CACHE_DIR"] = cache_dir
+    result = subprocess.run(
+        [sys.executable, "-c", _SNIPPET], env=env, capture_output=True,
+        text=True, timeout=600,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+def test_warm_disk_rerun_at_least_3x_faster(tmp_path):
+    cold = _run_fig7_process(str(tmp_path))
+    warm = _run_fig7_process(str(tmp_path))
+    speedup = cold["seconds"] / max(warm["seconds"], 1e-9)
+    print(f"\nFig. 7 grid: first fill {cold['seconds']:.2f}s, "
+          f"disk-warm rerun {warm['seconds']:.2f}s ({speedup:.1f}x)")
+    assert warm["rows"] == cold["rows"]     # warmth must not change results
+    assert speedup >= 3.0

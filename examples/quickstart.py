@@ -94,6 +94,33 @@ def main() -> None:
     for precision, fps in zip(grid.precisions, grid.throughput_fps()):
         print(f"    engine grid: {precision} -> {fps:.1f} FPS")
     print(f"    engine cache: {accelerator.engine.cache_info()}")
+
+    # ------------------------------------------------------------------
+    # Warm cache: persist the memo to disk so the *next* run starts hot.
+    # ------------------------------------------------------------------
+    # `persist=True` (or exporting REPRO_ENGINE_PERSIST=1) backs the memo
+    # with an on-disk store keyed by (cache-schema version, model-constants
+    # digest, accelerator fingerprint, layer shape, precision).  A second
+    # process evaluating the same grid then loads every cell instead of
+    # re-running the dataflow search — CI keeps this store in its cache so
+    # the figure benchmarks run warm.  `workers=N` additionally shards any
+    # cold cells across worker processes; both knobs are bit-identical to
+    # the plain path.  The default store lives under ~/.cache/repro/engine
+    # (override with REPRO_ENGINE_CACHE_DIR).
+    import tempfile
+
+    from repro.accelerator import EvaluationEngine
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        accelerator.evaluate_grid(layers, [3, 4, 6], persist=True,
+                                  cache_dir=cache_dir)        # writes store
+        EvaluationEngine.reset_shared_stores()  # simulate a cold process
+        rerun = TwoInOneAccelerator()
+        rerun.evaluate_grid(layers, [3, 4, 6], persist=True,
+                            cache_dir=cache_dir)              # reads store
+        info = rerun.engine.cache_info()
+        print(f"    warm-cache rerun: {info['disk_cells_loaded']} cells "
+              f"loaded from disk, {info['misses']} re-simulated")
     print("\nDone.  See benchmarks/ for the per-table/figure reproductions.")
 
 

@@ -33,7 +33,15 @@ from .dataflow import (
     greedy_spatial_candidates,
     greedy_spatial_dataflow,
 )
-from .engine import CacheStats, EvaluationEngine, GridResult, layer_shape_key
+from .engine import (
+    CacheStats,
+    EvaluationEngine,
+    GridResult,
+    ParallelGridEvaluator,
+    batched_summary_metrics,
+    layer_shape_key,
+)
+from .engine_store import CACHE_SCHEMA_VERSION, EngineStore, model_constants_digest
 from .mac import (
     AreaBreakdown,
     FixedPointMAC,
@@ -79,7 +87,12 @@ __all__ = [
     "CacheStats",
     "EvaluationEngine",
     "GridResult",
+    "ParallelGridEvaluator",
+    "batched_summary_metrics",
     "layer_shape_key",
+    "CACHE_SCHEMA_VERSION",
+    "EngineStore",
+    "model_constants_digest",
     "ArrayConfig",
     "PerformanceModel",
     "LayerPerformance",

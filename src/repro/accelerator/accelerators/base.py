@@ -147,11 +147,22 @@ class Accelerator:
         return self.engine.evaluate_network(all_layers, precision)
 
     def evaluate_grid(self, layers: Sequence[LayerShape],
-                      precisions: Sequence[Union[int, Precision]]):
+                      precisions: Sequence[Union[int, Precision]],
+                      workers: Optional[int] = None,
+                      persist: Optional[bool] = None,
+                      cache_dir=None):
         """Batched evaluation of every (layer, precision) cell; see
-        :meth:`repro.accelerator.engine.EvaluationEngine.evaluate_grid`."""
+        :meth:`repro.accelerator.engine.EvaluationEngine.evaluate_grid`.
+
+        ``workers`` shards the missing cells across worker processes and
+        ``persist`` backs the memo with the on-disk store; both default to
+        the ``REPRO_ENGINE_WORKERS`` / ``REPRO_ENGINE_PERSIST`` environment
+        knobs and are bit-identical to the synchronous, in-memory path.
+        """
         all_layers = list(layers) + self.extra_layers(layers)
-        return self.engine.evaluate_grid(all_layers, precisions)
+        return self.engine.evaluate_grid(all_layers, precisions,
+                                         workers=workers, persist=persist,
+                                         cache_dir=cache_dir)
 
     # ------------------------------------------------------------------
     # Headline metrics

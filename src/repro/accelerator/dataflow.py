@@ -135,6 +135,19 @@ class Dataflow:
                 + self.tile_elements("outputs", level) * partial_sum_bits)
 
     # ------------------------------------------------------------------
+    def key(self) -> tuple:
+        """Canonical hashable fingerprint of this dataflow.
+
+        Two dataflows with equal keys describe the same mapping (identical
+        tiling at every level and identical temporal loop orders), so the
+        key is safe to memoise fitness scores and cached summaries on.
+        """
+        return (tuple(tuple(sorted(self.tiling[level].items()))
+                      for level in LEVELS),
+                tuple(tuple(self.loop_order[level])
+                      for level in TEMPORAL_LEVELS))
+
+    # ------------------------------------------------------------------
     def copy(self) -> "Dataflow":
         return Dataflow(tiling={lvl: dict(factors) for lvl, factors in self.tiling.items()},
                         loop_order={lvl: list(order) for lvl, order in self.loop_order.items()})
@@ -232,10 +245,14 @@ def _split_candidates(value: int, cap: int) -> List[int]:
 
 #: Global-buffer loop orders for the classic stationarity patterns: the
 #: output-stationary order streams weights per output tile, the
-#: weight-stationary order keeps weight tiles resident while outputs spin.
+#: weight-stationary order keeps weight tiles resident while outputs spin,
+#: and the input-stationary order iterates output channels innermost so the
+#: input tile stays resident — the winning reuse pattern for the
+#: memory-bound low-precision cells whose input traffic dominates.
 _GB_LOOP_ORDERS: Dict[str, List[str]] = {
     "output": ["N", "Y", "X", "K", "C", "R", "S"],
     "weight": ["N", "K", "C", "R", "S", "Y", "X"],
+    "input": ["N", "C", "Y", "X", "R", "S", "K"],
 }
 
 

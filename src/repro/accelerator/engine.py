@@ -5,19 +5,31 @@ evaluating the same (layer x precision x accelerator) grid, yet the scalar
 :class:`~repro.accelerator.performance_model.PerformanceModel` walks that
 grid one cell at a time through Python loops, re-running the loop-nest reuse
 analysis for every precision even though it is precision-independent.  This
-module batches and memoises that work:
+module batches, memoises, shards and persists that work:
 
 * :meth:`EvaluationEngine.evaluate_grid` computes per-layer performance for
   *all* requested precisions in one NumPy pass: each mapping is reduced once
   to a precision-independent :class:`MappingSummary`, after which cycles,
   traffic and energy for the whole grid are plain array arithmetic over the
   MAC units' vectorized cost models (``macs_per_cycle_array`` /
-  ``energy_per_mac_array``).
+  ``energy_per_mac_array``).  The shared arithmetic lives in
+  :func:`batched_summary_metrics`, which the evolutionary optimizer also
+  calls to score a whole population of candidate mappings at once.
 * An LRU memo keyed on (accelerator configuration, layer shape, precision)
   makes repeated sweeps — ``rps_average_metrics``, the trade-off controller,
   the figure generators — cache hits instead of re-simulations.  Layers are
   keyed by *shape*, so the many same-shaped layers of a deep network are
   evaluated once.
+* ``evaluate_grid(..., workers=N)`` shards the missing cells of a grid
+  across a :class:`concurrent.futures.ProcessPoolExecutor` via
+  :class:`ParallelGridEvaluator`; the per-(layer, precision) determinism of
+  the dataflow search makes the sharded results bit-identical to the
+  synchronous path.
+* ``evaluate_grid(..., persist=True)`` (or ``REPRO_ENGINE_PERSIST=1``)
+  backs the memo with the disk store of
+  :mod:`repro.accelerator.engine_store`, keyed on (cache-schema version,
+  model-constants digest, configuration fingerprint, layer shape,
+  precision), so repeated benchmark/CI runs start warm.
 * The cache is invalidated automatically when the accelerator's observable
   configuration (MAC unit, array size, memory hierarchy, optimizer settings,
   derating) changes.
@@ -28,13 +40,25 @@ parity tests assert bit-level agreement between the two.
 
 from __future__ import annotations
 
+import atexit
+import os
+import weakref
 from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..quantization.precision import Precision
+from .engine_store import (
+    EngineStore,
+    PERSIST_ENV,
+    WORKERS_ENV,
+    env_flag,
+    env_int,
+)
 from .mac.base import resolve_precision
 from .performance_model import (
     PARTIAL_SUM_BITS,
@@ -45,7 +69,9 @@ from .performance_model import (
 )
 from .workload import LayerShape
 
-__all__ = ["CacheStats", "GridResult", "EvaluationEngine", "layer_shape_key"]
+__all__ = ["CacheStats", "GridResult", "EvaluationEngine",
+           "ParallelGridEvaluator", "batched_summary_metrics",
+           "layer_shape_key"]
 
 
 def layer_shape_key(layer: LayerShape) -> Tuple:
@@ -62,6 +88,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    disk_cells_loaded: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -72,6 +99,7 @@ class CacheStats:
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "disk_cells_loaded": self.disk_cells_loaded,
                 "hit_rate": self.hit_rate}
 
 
@@ -122,6 +150,257 @@ class GridResult:
         return float(self.network_energy().mean())
 
 
+# ---------------------------------------------------------------------------
+# Vectorized cost arithmetic shared by the engine and the optimizer
+# ---------------------------------------------------------------------------
+
+def batched_summary_metrics(mac_unit, memory, num_units: int,
+                            summaries: Sequence[MappingSummary],
+                            weight_bits, act_bits,
+                            compute_derating: float = 1.0,
+                            strict: bool = True) -> Dict[str, object]:
+    """Evaluate many (mapping summary, precision) pairs in one NumPy pass.
+
+    This is the arithmetic core of the engine: given precision-independent
+    :class:`MappingSummary` structs plus per-entry weight/activation
+    bit-widths it produces every quantity of the scalar
+    :meth:`PerformanceModel.evaluate`, as dense arrays.  ``strict=True``
+    raises :class:`InvalidMappingError` on the first infeasible entry (the
+    engine's contract); ``strict=False`` instead reports feasibility in the
+    returned ``"valid"`` mask, which is what the evolutionary optimizer needs
+    to score a population containing invalid candidates.
+    """
+    count = len(summaries)
+    wb = np.asarray(weight_bits, dtype=np.int64)
+    ab = np.asarray(act_bits, dtype=np.int64)
+    if count == 0:
+        empty = np.zeros(0)
+        return {"valid": np.zeros(0, dtype=bool), "compute_cycles": empty,
+                "memory_cycles": {"DRAM": empty, "GlobalBuffer": empty},
+                "traffic": {}, "energy": {}, "total_cycles": empty,
+                "total_energy": empty, "spatial_utilization": empty,
+                "mapping_efficiency": empty}
+
+    padded = np.array([s.padded_macs for s in summaries])
+    spatial_units = np.array([s.spatial_units for s in summaries])
+    efficiency = np.array([s.mapping_efficiency for s in summaries])
+
+    valid = spatial_units <= num_units
+    if strict and not np.all(valid):
+        raise InvalidMappingError("spatial unrolling exceeds the array size")
+
+    # Capacity checks (vectorized mirror of check_mapping).
+    for level_name, level in (("GlobalBuffer", memory.global_buffer),
+                              ("RegisterFile", memory.register_file)):
+        weights_el, inputs_el, outputs_el = np.array(
+            [s.footprint_elements[level_name] for s in summaries]).T
+        footprint = (weights_el * wb + inputs_el * ab
+                     + outputs_el * PARTIAL_SUM_BITS)
+        fits = footprint <= level.capacity_bits
+        if strict and not np.all(fits):
+            raise InvalidMappingError(
+                f"{level_name} tile exceeds its capacity")
+        valid &= fits
+
+    moved = {boundary: {tensor: np.array(
+        [s.moved_elements[boundary][tensor] for s in summaries])
+        for tensor in ("weights", "inputs", "outputs")}
+        for boundary in ("DRAM", "GlobalBuffer")}
+    doubled = {boundary: np.array(
+        [s.reduction_doubled[boundary] for s in summaries])
+        for boundary in ("DRAM", "GlobalBuffer")}
+
+    # Traffic in bits; outputs cross DRAM at activation width and the
+    # global buffer at partial-sum width, doubling under a split
+    # reduction (read-modify-write) — same rules as the scalar path.
+    traffic = {}
+    for boundary, output_bits in (("DRAM", ab),
+                                  ("GlobalBuffer",
+                                   np.full(count, PARTIAL_SUM_BITS))):
+        output_factor = np.where(doubled[boundary], 2.0, 1.0)
+        traffic[boundary] = {
+            "weights": moved[boundary]["weights"] * wb,
+            "inputs": moved[boundary]["inputs"] * ab,
+            "outputs": (moved[boundary]["outputs"] * output_bits
+                        * output_factor),
+        }
+    dram_bits = sum(traffic["DRAM"].values())
+    gb_bits = sum(traffic["GlobalBuffer"].values())
+
+    macs_per_cycle = mac_unit.macs_per_cycle_array(wb, ab)
+    energy_per_mac = mac_unit.energy_per_mac_array(wb, ab)
+
+    compute_cycles = (padded / (spatial_units * macs_per_cycle)
+                      * compute_derating)
+    dram = memory.dram
+    gb = memory.global_buffer
+    rf = memory.register_file
+    memory_cycles = {
+        "DRAM": dram_bits / dram.bandwidth_bits_per_cycle * compute_derating,
+        "GlobalBuffer": (gb_bits / gb.bandwidth_bits_per_cycle
+                         * compute_derating),
+    }
+
+    rf_bits_per_mac = wb + ab + 2 * PARTIAL_SUM_BITS
+    energy = {
+        "MAC": padded * energy_per_mac,
+        "DRAM": dram_bits * dram.energy_per_bit,
+        "GlobalBuffer": (gb_bits + dram_bits) * gb.energy_per_bit,
+        "RegisterFile": padded * rf_bits_per_mac * rf.energy_per_bit,
+    }
+
+    total_cycles = np.maximum(compute_cycles,
+                              np.maximum(memory_cycles["DRAM"],
+                                         memory_cycles["GlobalBuffer"]))
+    total_energy = sum(energy.values())
+    return {
+        "valid": valid,
+        "compute_cycles": compute_cycles,
+        "memory_cycles": memory_cycles,
+        "traffic": traffic,
+        "energy": energy,
+        "total_cycles": total_cycles,
+        "total_energy": total_energy,
+        "spatial_utilization": spatial_units / num_units,
+        "mapping_efficiency": efficiency,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Process-sharded grid evaluation
+# ---------------------------------------------------------------------------
+
+def _compute_chunk(accelerator, chunk: List[Tuple]) -> Tuple[Dict, Dict, Dict]:
+    """Worker-side entry: compute one chunk of missing grid cells.
+
+    The accelerator arrives pickled with an empty memo (see
+    :meth:`EvaluationEngine.__getstate__`); its engine rebinds the worker
+    process's own store for the fingerprint, so every cell of the chunk is
+    computed exactly as the synchronous path would.  Determinism of the
+    dataflow search per (seed, layer shape, precision) makes the returned
+    cells bit-identical to a ``workers=1`` run.
+
+    Returns ``(cells, summaries, dataflows)``: the mapping summaries and the
+    dataflows chosen by the search ride back with the cells so the parent's
+    memo (and persistence layer) ends up exactly as a synchronous fill would
+    leave it — discarding them would silently re-pay the dataflow search on
+    the next LRU refill or scalar-path query.
+    """
+    engine = accelerator.engine
+    known_flows = set(accelerator._dataflow_cache)
+    known_summaries = set(engine._summaries)
+    cells = engine._compute_cells(chunk)
+    new_summaries = {key: summary
+                     for key, summary in engine._summaries.items()
+                     if key not in known_summaries}
+    new_flows = {key: flow
+                 for key, flow in accelerator._dataflow_cache.items()
+                 if key not in known_flows}
+    return cells, new_summaries, new_flows
+
+
+class ParallelGridEvaluator:
+    """Shard missing grid cells across a process pool.
+
+    Cells are grouped per engine — i.e. per configuration fingerprint — so a
+    worker binds exactly one memo store, then round-robined into ``workers``
+    chunks for load balance (neighbouring layer shapes tend to have similar
+    search cost).  ``workers=1``, a pool that cannot be spawned (sandboxed
+    environments), or a pool that dies mid-flight all fall back to the
+    synchronous in-process path, which computes identical results.
+    """
+
+    def __init__(self, engine: "EvaluationEngine", workers: int) -> None:
+        self.engine = engine
+        self.workers = max(1, int(workers))
+
+    def compute(self, missing: Sequence[Tuple]
+                ) -> Dict[Tuple, LayerPerformance]:
+        if self.workers == 1 or len(missing) <= 1:
+            return self.engine._compute_cells(missing)
+        chunks = [list(missing[index::self.workers])
+                  for index in range(self.workers)]
+        chunks = [chunk for chunk in chunks if chunk]
+        try:
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                futures = [pool.submit(_compute_chunk,
+                                       self.engine.accelerator, chunk)
+                           for chunk in chunks]
+                results = [future.result() for future in futures]
+        except (BrokenProcessPool, OSError):
+            # No usable process pool here — same results, one process.
+            return self.engine._compute_cells(missing)
+        computed: Dict[Tuple, LayerPerformance] = {}
+        for cells, summaries, dataflows in results:
+            computed.update(cells)
+            for key, summary in summaries.items():
+                self.engine._summaries.setdefault(key, summary)
+            for key, dataflow in dataflows.items():
+                self.engine.accelerator._dataflow_cache.setdefault(key,
+                                                                   dataflow)
+        for key, cell in computed.items():
+            self.engine._cache_put(key, cell)
+        return computed
+
+
+class _MemoStore:
+    """One shared (cells, summaries) memo bound to a config fingerprint.
+
+    A real object (not a bare tuple) so engines can hold weak references to
+    it: the shared-store LRU may evict a fingerprint while an engine still
+    uses it, and later same-fingerprint engines must find *that* store again
+    instead of silently diverging onto a fresh one.
+    """
+
+    __slots__ = ("cells", "summaries", "dirty", "loaded_dirs", "no_reload",
+                 "__weakref__")
+
+    def __init__(self) -> None:
+        self.cells: "OrderedDict[Tuple, LayerPerformance]" = OrderedDict()
+        self.summaries: Dict[Tuple, MappingSummary] = {}
+        #: Cells added since the last disk flush.
+        self.dirty = 0
+        #: Cache directories whose file was already merged into the memo;
+        #: loads from them are no-ops for the rest of the process.
+        self.loaded_dirs: set = set()
+        #: Set by a manual invalidate(): the disk layer must not refill the
+        #: memo with the very results the caller just dropped.
+        self.no_reload = False
+
+
+#: (fingerprint, cache dir) -> store with deferred dirty cells; flushed once
+#: at interpreter exit instead of on every scalar-path call (the per-grid
+#: flush stays inline — it amortises over a whole sweep).  References are
+#: strong on purpose: a store LRU-evicted from the shared registry and
+#: garbage-collected before exit would otherwise silently drop its flush,
+#: losing every result of a >16-configuration scalar-path sweep.
+_PENDING_FLUSHES: Dict[Tuple, Tuple["_MemoStore", Tuple, str]] = {}
+_ATEXIT_REGISTERED = False
+
+
+def _flush_pending_stores() -> None:
+    while _PENDING_FLUSHES:
+        _, (store, fingerprint, cache_dir) = _PENDING_FLUSHES.popitem()
+        if not store.dirty:
+            continue
+        try:
+            EngineStore(cache_dir).save(
+                fingerprint, dict(store.cells), dict(store.summaries))
+            store.dirty = 0
+        except OSError:        # pragma: no cover - exit-time best effort
+            pass
+
+
+def _defer_flush(fingerprint: Tuple, store: _MemoStore,
+                 cache_dir: str) -> None:
+    global _ATEXIT_REGISTERED
+    _PENDING_FLUSHES[(fingerprint, cache_dir)] = (store, fingerprint,
+                                                  cache_dir)
+    if not _ATEXIT_REGISTERED:
+        atexit.register(_flush_pending_stores)
+        _ATEXIT_REGISTERED = True
+
+
 class EvaluationEngine:
     """Batched + memoised evaluation front-end for one accelerator.
 
@@ -129,25 +408,69 @@ class EvaluationEngine:
     share one memo store: the figure harnesses rebuild identical
     accelerators per table, and re-simulating the same grid for each table
     is exactly the waste this engine exists to remove.  The shared registry
-    keeps the most recently used fingerprints (bounded), and a fingerprint
-    change rebinds the engine to a fresh store.
+    keeps the most recently used fingerprints (bounded); evicted stores stay
+    discoverable through weak references for as long as any engine holds
+    them, and a fingerprint change rebinds the engine to a fresh store.
     """
 
-    _SHARED_STORES: "OrderedDict[Tuple, Tuple[OrderedDict, Dict]]" = OrderedDict()
+    _SHARED_STORES: "OrderedDict[Tuple, _MemoStore]" = OrderedDict()
+    _LIVE_STORES: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
     _MAX_SHARED_STORES = 16
 
-    def __init__(self, accelerator, max_entries: int = 65536) -> None:
+    def __init__(self, accelerator, max_entries: int = 65536,
+                 persist: Optional[bool] = None,
+                 cache_dir: Optional[os.PathLike] = None) -> None:
         self.accelerator = accelerator
         self.max_entries = max_entries
         self.stats = CacheStats()
+        #: Tri-state persistence default: True/False are explicit; ``None``
+        #: defers to the ``REPRO_ENGINE_PERSIST`` environment flag at call
+        #: time (so CI can warm every engine without code changes).
+        self.persist = persist
+        self.cache_dir = cache_dir
         self._fingerprint = self.config_fingerprint()
-        self._cells, self._summaries = self._bind_store(self._fingerprint)
+        self._store = self._bind_store(self._fingerprint)
+
+    # -- pickling: workers receive a light engine and rebind locally ----
+    def __getstate__(self) -> Dict:
+        state = self.__dict__.copy()
+        state.pop("_store", None)
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        self._store = self._bind_store(self._fingerprint)
+
+    @property
+    def _cells(self) -> "OrderedDict[Tuple, LayerPerformance]":
+        return self._store.cells
+
+    @property
+    def _summaries(self) -> Dict[Tuple, MappingSummary]:
+        return self._store.summaries
 
     @classmethod
-    def _bind_store(cls, fingerprint: Tuple):
+    def reset_shared_stores(cls) -> None:
+        """Forget every shared memo store.
+
+        Engines already bound keep (and keep sharing) their stores; engines
+        created afterwards start cold.  This simulates a fresh process —
+        tests and examples use it to exercise the disk-warm path without
+        actually spawning one.
+        """
+        cls._SHARED_STORES.clear()
+        cls._LIVE_STORES.clear()
+
+    @classmethod
+    def _bind_store(cls, fingerprint: Tuple) -> _MemoStore:
         store = cls._SHARED_STORES.get(fingerprint)
         if store is None:
-            store = (OrderedDict(), {})
+            # An LRU-evicted store may still be alive, bound to an engine:
+            # rebind it so same-fingerprint engines can never diverge.
+            store = cls._LIVE_STORES.get(fingerprint)
+            if store is None:
+                store = _MemoStore()
+                cls._LIVE_STORES[fingerprint] = store
             cls._SHARED_STORES[fingerprint] = store
             while len(cls._SHARED_STORES) > cls._MAX_SHARED_STORES:
                 cls._SHARED_STORES.popitem(last=False)
@@ -159,13 +482,27 @@ class EvaluationEngine:
     # Configuration fingerprint / invalidation
     # ------------------------------------------------------------------
     def config_fingerprint(self) -> Tuple:
-        """Hashable snapshot of everything a cached result depends on."""
+        """Hashable snapshot of everything a cached result depends on.
+
+        Audited against the evaluation dataflow: the MAC unit's identity and
+        *all* of its area/scheduling surface (class, name, area breakdown,
+        native precision ceiling), the array geometry and clock, the
+        derating, the dataflow policy including every evolutionary-search
+        hyper-parameter, and each level of the memory hierarchy the model
+        actually reads (``model.memory``).  A field missed here silently
+        serves stale cached metrics — tests mutate every field and assert
+        the fingerprint moves.
+        """
         acc = self.accelerator
+        unit = acc.mac_unit
+        breakdown = unit.area_breakdown
         config = acc.optimizer_config
         memory = tuple((level.name, level.capacity_bits,
                         level.bandwidth_bits_per_cycle, level.energy_per_bit)
-                       for level in acc.memory.levels)
-        return (type(acc.mac_unit).__name__, acc.mac_unit.area,
+                       for level in acc.model.memory.levels)
+        return (type(unit).__name__, unit.name, unit.max_native_bits,
+                (breakdown.multiplier, breakdown.shift_add,
+                 breakdown.register),
                 acc.num_units, acc.array.frequency_hz, acc.compute_derating,
                 acc.optimize_dataflow,
                 (config.population_size, config.total_cycles,
@@ -179,13 +516,20 @@ class EvaluationEngine:
             # the accelerator's dataflow choices are stale either way.
             self.accelerator._dataflow_cache.clear()
             self._fingerprint = fingerprint
-            self._cells, self._summaries = self._bind_store(fingerprint)
+            self._store = self._bind_store(fingerprint)
             self.stats.invalidations += 1
 
     def invalidate(self) -> None:
         """Drop every memoised result (and the accelerator's dataflows)."""
         self._cells.clear()
         self._summaries.clear()
+        self._store.dirty = 0
+        # A manual invalidation asks for honest recomputation, so the disk
+        # layer must not refill the memo with the very results just dropped —
+        # and the emptied memo is no longer a superset of any store file, so
+        # later flushes must merge again instead of overwriting.
+        self._store.no_reload = True
+        self._store.loaded_dirs.clear()
         self.accelerator._dataflow_cache.clear()
         self.stats.invalidations += 1
 
@@ -193,6 +537,62 @@ class EvaluationEngine:
         info = self.stats.as_dict()
         info["entries"] = len(self._cells)
         return info
+
+    # ------------------------------------------------------------------
+    # Persistence plumbing
+    # ------------------------------------------------------------------
+    def _persist_enabled(self, override: Optional[bool]) -> bool:
+        if override is not None:
+            return bool(override)
+        if self.persist is not None:
+            return bool(self.persist)
+        return env_flag(PERSIST_ENV)
+
+    def _disk_store(self, cache_dir: Optional[os.PathLike]) -> EngineStore:
+        return EngineStore(cache_dir if cache_dir is not None
+                           else self.cache_dir)
+
+    def _load_disk(self, disk: EngineStore) -> None:
+        """Lazily merge the persisted cells for this fingerprint.
+
+        Each cache directory is merged at most once per store; distinct
+        directories (an explicit ``cache_dir`` differing from the default)
+        each get their load."""
+        memo = self._store
+        directory = str(disk.cache_dir)
+        if memo.no_reload or directory in memo.loaded_dirs:
+            return
+        memo.loaded_dirs.add(directory)
+        loaded = disk.load(self._fingerprint)
+        if loaded is None:
+            return
+        cells, summaries = loaded
+        fresh = 0
+        for key, cell in cells.items():
+            if key not in memo.cells:
+                memo.cells[key] = cell
+                fresh += 1
+        for key, summary in summaries.items():
+            memo.summaries.setdefault(key, summary)
+        self.stats.disk_cells_loaded += fresh
+
+    def flush(self, cache_dir: Optional[os.PathLike] = None) -> None:
+        """Write the memo back to disk (atomic rename; merges concurrents).
+
+        The on-disk file is always merge-read first: the memo can trail the
+        file (cells LRU-evicted locally, cells flushed by another process),
+        so an overwrite would silently shrink the store.
+        """
+        memo = self._store
+        if not memo.cells and not memo.summaries:
+            return
+        self._disk_store(cache_dir).save(self._fingerprint, dict(memo.cells),
+                                         dict(memo.summaries))
+        memo.dirty = 0
+
+    def _flush_if_dirty(self, cache_dir: Optional[os.PathLike]) -> None:
+        if self._store.dirty:
+            self.flush(cache_dir)
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -209,6 +609,7 @@ class EvaluationEngine:
     def _cache_put(self, key: Tuple, cell: LayerPerformance) -> None:
         self._cells[key] = cell
         self._cells.move_to_end(key)
+        self._store.dirty += 1
         while len(self._cells) > self.max_entries:
             self._cells.popitem(last=False)
             self.stats.evictions += 1
@@ -229,13 +630,26 @@ class EvaluationEngine:
     # Batched evaluation
     # ------------------------------------------------------------------
     def evaluate_grid(self, layers: Sequence[LayerShape],
-                      precisions: Sequence[Union[int, Precision]]) -> GridResult:
+                      precisions: Sequence[Union[int, Precision]],
+                      workers: Optional[int] = None,
+                      persist: Optional[bool] = None,
+                      cache_dir: Optional[os.PathLike] = None) -> GridResult:
         """Evaluate every (layer, precision) cell in one NumPy pass.
 
         Duplicate layer shapes are evaluated once; cached cells are reused
         and only the missing cells go through the batched arithmetic.
+        ``workers`` shards the missing cells across worker processes
+        (default: the ``REPRO_ENGINE_WORKERS`` environment variable, else
+        synchronous); ``persist`` backs the memo with the on-disk store
+        (default: the ``REPRO_ENGINE_PERSIST`` flag).  Both paths are
+        bit-identical to ``workers=1, persist=False``.
         """
         self._validate_cache()
+        if workers is None:
+            workers = env_int(WORKERS_ENV, 1)
+        persisting = self._persist_enabled(persist)
+        if persisting:
+            self._load_disk(self._disk_store(cache_dir))
         layers = list(layers)
         resolved = [resolve_precision(p) for p in precisions]
 
@@ -257,7 +671,9 @@ class EvaluationEngine:
                 else:
                     cells[(key, precision.key)] = cell
         if missing:
-            cells.update(self._compute_cells(missing))
+            cells.update(ParallelGridEvaluator(self, workers).compute(missing))
+        if persisting:
+            self._flush_if_dirty(cache_dir)
 
         # Assemble dense arrays from the collected cells.
         shape = (len(layers), len(resolved))
@@ -300,8 +716,6 @@ class EvaluationEngine:
 
         Returns the computed cells (also inserted into the LRU memo)."""
         acc = self.accelerator
-        model = acc.model
-        count = len(cells)
 
         summaries = [self._summary_for(key, layer, precision)
                      for key, layer, _, precision in cells]
@@ -309,71 +723,15 @@ class EvaluationEngine:
                       dtype=np.int64)
         ab = np.array([int(p.act_bits) for _, _, _, p in cells],
                       dtype=np.int64)
-        padded = np.array([s.padded_macs for s in summaries])
-        spatial_units = np.array([s.spatial_units for s in summaries])
-        efficiency = np.array([s.mapping_efficiency for s in summaries])
-
-        if np.any(spatial_units > acc.num_units):
-            raise InvalidMappingError(
-                "spatial unrolling exceeds the array size")
-
-        # Capacity checks (vectorized mirror of check_mapping).
-        for level_name, level in (("GlobalBuffer", model.memory.global_buffer),
-                                  ("RegisterFile", model.memory.register_file)):
-            weights_el, inputs_el, outputs_el = np.array(
-                [s.footprint_elements[level_name] for s in summaries]).T
-            footprint = (weights_el * wb + inputs_el * ab
-                         + outputs_el * PARTIAL_SUM_BITS)
-            if np.any(footprint > level.capacity_bits):
-                raise InvalidMappingError(
-                    f"{level_name} tile exceeds its capacity")
-
-        moved = {boundary: {tensor: np.array(
-            [s.moved_elements[boundary][tensor] for s in summaries])
-            for tensor in ("weights", "inputs", "outputs")}
-            for boundary in ("DRAM", "GlobalBuffer")}
-        doubled = {boundary: np.array(
-            [s.reduction_doubled[boundary] for s in summaries])
-            for boundary in ("DRAM", "GlobalBuffer")}
-
-        # Traffic in bits; outputs cross DRAM at activation width and the
-        # global buffer at partial-sum width, doubling under a split
-        # reduction (read-modify-write) — same rules as the scalar path.
-        traffic = {}
-        for boundary, output_bits in (("DRAM", ab),
-                                      ("GlobalBuffer",
-                                       np.full(count, PARTIAL_SUM_BITS))):
-            output_factor = np.where(doubled[boundary], 2.0, 1.0)
-            traffic[boundary] = {
-                "weights": moved[boundary]["weights"] * wb,
-                "inputs": moved[boundary]["inputs"] * ab,
-                "outputs": (moved[boundary]["outputs"] * output_bits
-                            * output_factor),
-            }
-        dram_bits = sum(traffic["DRAM"].values())
-        gb_bits = sum(traffic["GlobalBuffer"].values())
-
-        unit = acc.mac_unit
-        macs_per_cycle = unit.macs_per_cycle_array(wb, ab)
-        energy_per_mac = unit.energy_per_mac_array(wb, ab)
-
-        derating = acc.compute_derating
-        compute_cycles = padded / (spatial_units * macs_per_cycle) * derating
-        dram = model.memory.dram
-        gb = model.memory.global_buffer
-        rf = model.memory.register_file
-        memory_cycles = {
-            "DRAM": dram_bits / dram.bandwidth_bits_per_cycle * derating,
-            "GlobalBuffer": gb_bits / gb.bandwidth_bits_per_cycle * derating,
-        }
-
-        rf_bits_per_mac = wb + ab + 2 * PARTIAL_SUM_BITS
-        energy = {
-            "MAC": padded * energy_per_mac,
-            "DRAM": dram_bits * dram.energy_per_bit,
-            "GlobalBuffer": (gb_bits + dram_bits) * gb.energy_per_bit,
-            "RegisterFile": padded * rf_bits_per_mac * rf.energy_per_bit,
-        }
+        metrics = batched_summary_metrics(
+            acc.mac_unit, acc.model.memory, acc.num_units, summaries, wb, ab,
+            compute_derating=acc.compute_derating, strict=True)
+        traffic = metrics["traffic"]
+        memory_cycles = metrics["memory_cycles"]
+        energy = metrics["energy"]
+        compute_cycles = metrics["compute_cycles"]
+        spatial = metrics["spatial_utilization"]
+        efficiency = metrics["mapping_efficiency"]
 
         computed: Dict[Tuple, LayerPerformance] = {}
         for index, (key, layer, _, precision) in enumerate(cells):
@@ -388,8 +746,7 @@ class EvaluationEngine:
                               for b in traffic},
                 energy_breakdown={c: float(energy[c][index])
                                   for c in energy},
-                spatial_utilization=float(spatial_units[index]
-                                          / acc.num_units),
+                spatial_utilization=float(spatial[index]),
                 mapping_efficiency=float(efficiency[index]),
             )
             computed[(key, precision.key)] = cell
@@ -403,11 +760,18 @@ class EvaluationEngine:
                        precision: Union[int, Precision]) -> LayerPerformance:
         """Cached per-layer evaluation (engine-computed, shape-keyed)."""
         self._validate_cache()
+        if self._persist_enabled(None):
+            self._load_disk(self._disk_store(None))
         precision = resolve_precision(precision)
         key = (layer_shape_key(layer), precision.key)
         cell = self._cache_get(key)
         if cell is None:
             cell = self._compute_cells([(key[0], layer, 0, precision)])[key]
+            if self._persist_enabled(None):
+                # One cell per call is too fine-grained for an inline flush;
+                # register the store for the exit-time flush instead.
+                _defer_flush(self._fingerprint, self._store,
+                             str(self._disk_store(None).cache_dir))
         # Hand out a shallow copy bound to the caller's layer object so the
         # cached cell stays pristine.
         return replace(cell, layer=layer)
@@ -417,4 +781,3 @@ class EvaluationEngine:
         results = [self.evaluate_layer(layer, precision) for layer in layers]
         return NetworkPerformance(layers=results,
                                   frequency_hz=self.accelerator.array.frequency_hz)
-

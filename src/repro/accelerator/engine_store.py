@@ -1,0 +1,211 @@
+"""Disk-persisted memo store for the accelerator evaluation engine.
+
+The in-process memo of :class:`repro.accelerator.engine.EvaluationEngine`
+makes repeated sweeps cheap *within* one process, but every benchmark or CI
+run still pays the full dataflow-search + simulation cost on its first grid.
+This module adds the tinygrad-style layer below it: grid cells (and the
+precision-independent mapping summaries they were derived from) are
+serialized to disk keyed by
+
+* ``CACHE_SCHEMA_VERSION`` — bumped whenever the serialized layout changes,
+* the **model-constants digest** — a hash of the source of every module that
+  defines cost constants or evaluation arithmetic, so editing a calibrated
+  energy number or the reuse analysis silently invalidates every stale file,
+* the accelerator **configuration fingerprint** — the same hashable snapshot
+  the in-memory store is keyed on, and implicitly
+* layer shape and precision — the keys of the cells inside one file.
+
+Writes go to a temporary file in the destination directory followed by an
+atomic :func:`os.replace`, so concurrent writers (parallel CI legs, sharded
+workers) can never leave a torn file behind; the losing writer's cells are
+simply re-merged on its next flush.  Corrupt, truncated or stale files are
+treated as a cold start, never as an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import os
+import pickle
+import tempfile
+import warnings
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+__all__ = ["CACHE_SCHEMA_VERSION", "EngineStore", "default_cache_dir",
+           "env_flag", "env_int", "fingerprint_digest",
+           "model_constants_digest"]
+
+#: Bump when the on-disk payload layout (or the meaning of its keys) changes.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment knobs honoured by the engine's persistence layer.
+PERSIST_ENV = "REPRO_ENGINE_PERSIST"
+CACHE_DIR_ENV = "REPRO_ENGINE_CACHE_DIR"
+WORKERS_ENV = "REPRO_ENGINE_WORKERS"
+
+#: Every module whose source participates in producing a cached number.  A
+#: one-character edit to any of them changes the digest and therefore starts
+#: from a cold disk cache — the versioning-tied-to-model-constants scheme of
+#: ROADMAP.md.
+_DIGEST_MODULES: Tuple[str, ...] = (
+    "repro.accelerator.accelerators.base",
+    "repro.accelerator.dataflow",
+    "repro.accelerator.engine",
+    "repro.accelerator.mac.base",
+    "repro.accelerator.mac.fixed",
+    "repro.accelerator.mac.spatial",
+    "repro.accelerator.mac.spatial_temporal",
+    "repro.accelerator.mac.temporal",
+    "repro.accelerator.memory",
+    "repro.accelerator.optimizer.evolutionary",
+    "repro.accelerator.optimizer.search_space",
+    "repro.accelerator.performance_model",
+    "repro.accelerator.workload",
+    "repro.quantization.precision",
+)
+
+_constants_digest: Optional[str] = None
+
+
+def env_flag(name: str) -> bool:
+    """True when the environment variable holds a truthy value."""
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer environment knob; a malformed value warns and falls back
+    (naming the variable) instead of crashing every caller downstream."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        warnings.warn(f"ignoring non-integer {name}={raw!r}; "
+                      f"falling back to {default}", stacklevel=2)
+        return default
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_ENGINE_CACHE_DIR`` or ``~/.cache/repro/engine``."""
+    override = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro" / "engine"
+
+
+def model_constants_digest() -> str:
+    """Hash of every source file that defines evaluation cost arithmetic."""
+    global _constants_digest
+    if _constants_digest is None:
+        digest = hashlib.sha256()
+        for module_name in _DIGEST_MODULES:
+            module = importlib.import_module(module_name)
+            digest.update(module_name.encode())
+            with open(module.__file__, "rb") as handle:
+                digest.update(handle.read())
+        _constants_digest = digest.hexdigest()
+    return _constants_digest
+
+
+def fingerprint_digest(fingerprint: Tuple) -> str:
+    """Stable cross-process file-name digest of a configuration fingerprint."""
+    return hashlib.sha256(repr(fingerprint).encode()).hexdigest()[:20]
+
+
+class EngineStore:
+    """One cache directory of serialized evaluation-engine memo stores.
+
+    Each configuration fingerprint maps to one pickle file holding the memo
+    cells (``(layer shape key, precision key) -> LayerPerformance``) and the
+    mapping summaries they were derived from.  The file embeds the schema
+    version, constants digest and full fingerprint and is rejected wholesale
+    if any of them disagree — a cache can serve stale numbers in exactly zero
+    ways short of a hash collision.
+    """
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None,
+                 schema_version: int = CACHE_SCHEMA_VERSION,
+                 constants_digest: Optional[str] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None \
+            else default_cache_dir()
+        self.schema_version = schema_version
+        self.constants_digest = constants_digest or model_constants_digest()
+
+    # ------------------------------------------------------------------
+    def path_for(self, fingerprint: Tuple) -> Path:
+        return self.cache_dir / (
+            f"engine-v{self.schema_version}"
+            f"-{self.constants_digest[:12]}"
+            f"-{fingerprint_digest(fingerprint)}.pkl")
+
+    # ------------------------------------------------------------------
+    def load(self, fingerprint: Tuple
+             ) -> Optional[Tuple["OrderedDict", Dict]]:
+        """Deserialize the (cells, summaries) of a fingerprint, or ``None``.
+
+        Any failure — missing file, truncated pickle, schema or digest
+        mismatch, foreign fingerprint in the payload — degrades to a cold
+        start rather than an exception.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if (payload["schema"] != self.schema_version
+                    or payload["constants_digest"] != self.constants_digest
+                    or payload["fingerprint"] != fingerprint):
+                return None
+            cells = OrderedDict(payload["cells"])
+            summaries = dict(payload["summaries"])
+        except Exception:
+            return None
+        return cells, summaries
+
+    def save(self, fingerprint: Tuple, cells: Dict, summaries: Dict,
+             merge: bool = True) -> Path:
+        """Atomically persist a fingerprint's memo contents.
+
+        With ``merge`` (the default) the current on-disk cells are folded in
+        first so two processes flushing interleaved grids both survive; the
+        in-memory values win on key collisions (they are bit-identical anyway
+        — the engine is deterministic per fingerprint/shape/precision).
+        """
+        merged_cells: Dict = {}
+        merged_summaries: Dict = {}
+        if merge:
+            existing = self.load(fingerprint)
+            if existing is not None:
+                merged_cells.update(existing[0])
+                merged_summaries.update(existing[1])
+        merged_cells.update(cells)
+        merged_summaries.update(summaries)
+
+        payload = {
+            "schema": self.schema_version,
+            "constants_digest": self.constants_digest,
+            "fingerprint": fingerprint,
+            "cells": dict(merged_cells),
+            "summaries": dict(merged_summaries),
+        }
+        path = self.path_for(fingerprint)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=str(self.cache_dir), prefix=path.name + ".",
+            suffix=".tmp", delete=False)
+        try:
+            with handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path

@@ -4,6 +4,21 @@ Mode 1 (``EvolutionaryDataflowOptimizer``) searches loop orders and tiling
 factors for a fixed micro-architecture, exactly as Alg. 2 describes: a random
 initial population, per-cycle selection of the top 30 % by predicted
 efficiency, then crossover and mutation until the population is refilled.
+Two engineering properties matter beyond the algorithm itself:
+
+* **Determinism under sharding** — every ``optimize_layer`` call draws from
+  a private RNG seeded by (config seed, layer shape, precision), never from
+  a stream shared across layers, so the search result is a pure function of
+  its inputs.  Process-sharded grid evaluation
+  (:class:`repro.accelerator.engine.ParallelGridEvaluator`) relies on this
+  to be bit-identical to the synchronous path regardless of how cells are
+  chunked across workers.
+* **Batched fitness** — each generation is summarized into
+  :class:`~repro.accelerator.performance_model.MappingSummary` structs and
+  scored through one vectorized
+  :func:`~repro.accelerator.engine.batched_summary_metrics` call instead of
+  a per-candidate Python ``model.evaluate`` loop, which was the search
+  bottleneck once the engine removed every other repeated cost.
 
 Mode 2 (``MicroArchitectureSearch``) wraps mode 1: it explores a predefined
 design space of MAC-array sizes and buffer scalings under an area budget and
@@ -20,18 +35,14 @@ import numpy as np
 
 from ...quantization.precision import Precision
 from ..mac.base import resolve_precision
-from ..dataflow import (
-    Dataflow,
-    LEVELS,
-    TEMPORAL_LEVELS,
-    default_dataflow,
-    greedy_spatial_candidates,
-)
+from ..dataflow import Dataflow, default_dataflow, greedy_spatial_candidates
+from ..engine import batched_summary_metrics
 from ..memory import MemoryHierarchy, default_hierarchy
 from ..performance_model import (
     ArrayConfig,
     InvalidMappingError,
     LayerPerformance,
+    MappingSummary,
     PerformanceModel,
 )
 from ..workload import LayerShape
@@ -69,10 +80,7 @@ def _score(perf: LayerPerformance, objective: str) -> float:
 
 def _dataflow_key(dataflow: Dataflow) -> Tuple:
     """Hashable fingerprint of a dataflow (for fitness memoisation)."""
-    return (tuple(tuple(sorted(dataflow.tiling[level].items()))
-                  for level in LEVELS),
-            tuple(tuple(dataflow.loop_order[level])
-                  for level in TEMPORAL_LEVELS))
+    return dataflow.key()
 
 
 class EvolutionaryDataflowOptimizer:
@@ -82,54 +90,103 @@ class EvolutionaryDataflowOptimizer:
                  config: Optional[OptimizerConfig] = None) -> None:
         self.model = model
         self.config = config or OptimizerConfig()
-        self.rng = np.random.default_rng(self.config.seed)
         # Fitness memo: the divisor-biased operators frequently resample the
         # same dataflow; re-simulating it would be pure waste.
-        self._fitness_memo: Dict[Tuple, Optional[Tuple[float, LayerPerformance]]] = {}
+        self._fitness_memo: Dict[Tuple, Optional[float]] = {}
         self._memo_layer_key: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
-    def _evaluate(self, layer: LayerShape, dataflow: Dataflow,
-                  precision: Union[int, Precision]) -> Optional[Tuple[float, LayerPerformance]]:
-        precision = resolve_precision(precision)
+    def _layer_rng(self, layer: LayerShape,
+                   precision: Precision) -> np.random.Generator:
+        """Private RNG for one (layer, precision) search.
+
+        Seeding from (config seed, layer shape, precision) — never a stream
+        shared across calls — makes ``optimize_layer`` a pure function of
+        its arguments: workers of a process-sharded grid reproduce the
+        synchronous results exactly, whatever the cell-to-worker chunking.
+        """
+        dims = layer.dims()
+        entropy = [int(self.config.seed)]
+        entropy += [int(dims[dim]) for dim in
+                    ("N", "K", "C", "Y", "X", "R", "S")]
+        entropy += [int(layer.stride), int(precision.weight_bits),
+                    int(precision.act_bits)]
+        return np.random.default_rng(entropy)
+
+    def _evaluate_batch(self, layer: LayerShape,
+                        dataflows: Sequence[Dataflow],
+                        precision: Precision) -> List[Optional[float]]:
+        """Score a whole batch of candidates in one vectorized engine call.
+
+        Candidates are reduced to precision-independent summaries, scored
+        through :func:`batched_summary_metrics` (``strict=False`` maps
+        infeasible candidates to ``None`` instead of raising), and memoised
+        per dataflow so resampled candidates cost nothing.
+        """
         layer_key = (tuple(sorted(layer.dims().items())), precision.key)
         if layer_key != self._memo_layer_key:
             self._memo_layer_key = layer_key
             self._fitness_memo = {}
-        key = _dataflow_key(dataflow)
-        if key in self._fitness_memo:
-            return self._fitness_memo[key]
-        try:
-            perf = self.model.evaluate(layer, dataflow, precision)
-        except InvalidMappingError:
-            self._fitness_memo[key] = None
-            return None
-        scored = (_score(perf, self.config.objective), perf)
-        self._fitness_memo[key] = scored
-        return scored
 
-    def _seed_population(self, layer: LayerShape,
-                         precision: Union[int, Precision]
-                         ) -> List[Tuple[float, Dataflow, LayerPerformance]]:
-        population: List[Tuple[float, Dataflow, LayerPerformance]] = []
+        # Deduplicate by dataflow key before summarizing: the divisor-biased
+        # operators frequently resample the same dataflow, within a batch as
+        # much as across batches, and each copy must cost one memo lookup.
+        keys = [_dataflow_key(dataflow) for dataflow in dataflows]
+        pending: "Dict[Tuple, MappingSummary]" = {}
+        for key, dataflow in zip(keys, dataflows):
+            if key in self._fitness_memo or key in pending:
+                continue
+            if not dataflow.covers(layer):
+                self._fitness_memo[key] = None
+                continue
+            pending[key] = self.model.summarize(layer, dataflow)
+
+        if pending:
+            count = len(pending)
+            summaries = list(pending.values())
+            wb = np.full(count, int(precision.weight_bits), dtype=np.int64)
+            ab = np.full(count, int(precision.act_bits), dtype=np.int64)
+            metrics = batched_summary_metrics(
+                self.model.array.mac_unit, self.model.memory,
+                self.model.array.num_units, summaries, wb, ab, strict=False)
+            if self.config.objective == "latency":
+                batch_scores = metrics["total_cycles"]
+            elif self.config.objective == "energy":
+                batch_scores = metrics["total_energy"]
+            else:
+                batch_scores = (metrics["total_cycles"]
+                                * metrics["total_energy"])
+            for slot, key in enumerate(pending):
+                self._fitness_memo[key] = (float(batch_scores[slot])
+                                           if metrics["valid"][slot]
+                                           else None)
+        return [self._fitness_memo[key] for key in keys]
+
+    def _seed_population(self, layer: LayerShape, precision: Precision,
+                         rng: np.random.Generator
+                         ) -> List[Tuple[float, Dataflow]]:
         # Always include the untuned default mapping so the search can only
         # improve, plus the greedy full-array mapping so large arrays never
         # regress to the default's 1024-unit spatial cap when the random
         # search budget is too small to discover a high-unrolling mapping.
         seeds = [default_dataflow(layer, self.model.array.num_units)]
         seeds += greedy_spatial_candidates(layer, self.model.array.num_units)
-        for baseline in seeds:
-            scored = self._evaluate(layer, baseline, precision)
-            if scored is not None:
-                population.append((scored[0], baseline, scored[1]))
+        scores = self._evaluate_batch(layer, seeds, precision)
+        population = [(score, seed) for score, seed in zip(scores, seeds)
+                      if score is not None]
         attempts = 0
         while (len(population) < self.config.population_size
                and attempts < 20 * self.config.population_size):
-            attempts += 1
-            candidate = random_dataflow(layer, self.model.array.num_units, self.rng)
-            scored = self._evaluate(layer, candidate, precision)
-            if scored is not None:
-                population.append((scored[0], candidate, scored[1]))
+            batch = []
+            while (len(batch) + len(population) < self.config.population_size
+                   and attempts < 20 * self.config.population_size):
+                attempts += 1
+                batch.append(random_dataflow(layer,
+                                             self.model.array.num_units, rng))
+            scores = self._evaluate_batch(layer, batch, precision)
+            population += [(score, candidate)
+                           for score, candidate in zip(scores, batch)
+                           if score is not None]
         if not population:
             raise InvalidMappingError(
                 "could not find any valid dataflow for the layer")
@@ -141,7 +198,9 @@ class EvolutionaryDataflowOptimizer:
                        ) -> Tuple[Dataflow, LayerPerformance]:
         """Return the best (dataflow, performance) found by the search."""
         cfg = self.config
-        population = self._seed_population(layer, precision)
+        precision = resolve_precision(precision)
+        rng = self._layer_rng(layer, precision)
+        population = self._seed_population(layer, precision, rng)
 
         for _ in range(cfg.total_cycles):
             population.sort(key=lambda item: item[0])
@@ -151,22 +210,33 @@ class EvolutionaryDataflowOptimizer:
             attempts = 0
             while (len(population) < cfg.population_size
                    and attempts < 20 * cfg.population_size):
-                attempts += 1
-                if len(survivors) >= 2 and self.rng.random() < 0.5:
-                    a, b = self.rng.choice(len(survivors), size=2, replace=False)
-                    child = crossover_dataflows(survivors[int(a)][1],
-                                                survivors[int(b)][1],
-                                                layer, self.rng)
-                else:
-                    pick = survivors[int(self.rng.integers(0, len(survivors)))][1]
-                    child = mutate_dataflow(pick, layer,
-                                            self.model.array.num_units, self.rng)
-                scored = self._evaluate(layer, child, precision)
-                if scored is not None:
-                    population.append((scored[0], child, scored[1]))
+                batch = []
+                while (len(batch) + len(population) < cfg.population_size
+                       and attempts < 20 * cfg.population_size):
+                    attempts += 1
+                    if len(survivors) >= 2 and rng.random() < 0.5:
+                        a, b = rng.choice(len(survivors), size=2,
+                                          replace=False)
+                        child = crossover_dataflows(survivors[int(a)][1],
+                                                    survivors[int(b)][1],
+                                                    layer, rng)
+                    else:
+                        pick = survivors[int(rng.integers(0,
+                                                          len(survivors)))][1]
+                        child = mutate_dataflow(pick, layer,
+                                                self.model.array.num_units,
+                                                rng)
+                    batch.append(child)
+                scores = self._evaluate_batch(layer, batch, precision)
+                population += [(score, child)
+                               for score, child in zip(scores, batch)
+                               if score is not None]
 
         population.sort(key=lambda item: item[0])
-        _, best_dataflow, best_perf = population[0]
+        _, best_dataflow = population[0]
+        # One scalar evaluation materialises the winner's full performance
+        # record; its score is bit-identical to the batched one.
+        best_perf = self.model.evaluate(layer, best_dataflow, precision)
         return best_dataflow, best_perf
 
     def optimize_network(self, layers: Sequence[LayerShape],

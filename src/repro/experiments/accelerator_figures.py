@@ -103,17 +103,23 @@ def throughput_vs_precision(network: str = "resnet50", dataset: str = "imagenet"
                             precisions: Sequence[int] = tuple(range(1, 17)),
                             designs: Sequence[str] = ("BitFusion", "Stripes",
                                                       "2-in-1"),
-                            optimizer_config: Optional[OptimizerConfig] = None
+                            optimizer_config: Optional[OptimizerConfig] = None,
+                            workers: Optional[int] = None,
+                            persist: Optional[bool] = None
                             ) -> List[Dict[str, object]]:
     """Throughput (FPS) of each design across execution precisions.
 
     Fig. 2 uses only Bit Fusion and Stripes on ResNet-50/ImageNet; Fig. 10
     adds the 2-in-1 design and the WideResNet-32/CIFAR-10 workload.
+    ``workers`` / ``persist`` shard and disk-back the grid evaluation (both
+    bit-identical to the defaults; see ``EvaluationEngine.evaluate_grid``).
     """
     layers = network_layers(network, dataset)
     accelerators = _build_accelerators(optimizer_config)
     # One batched grid pass per design covers the whole precision sweep.
-    fps = {name: accelerators[name].evaluate_grid(layers, precisions)
+    fps = {name: accelerators[name].evaluate_grid(layers, precisions,
+                                                  workers=workers,
+                                                  persist=persist)
            .throughput_fps() for name in designs}
     rows: List[Dict[str, object]] = []
     for index, precision in enumerate(precisions):
@@ -130,14 +136,17 @@ def throughput_vs_precision(network: str = "resnet50", dataset: str = "imagenet"
 
 def normalized_throughput_table(precisions: Sequence[int] = (2, 4, 8, 16),
                                 workloads: Sequence[Tuple[str, str]] = FIG7_WORKLOADS,
-                                optimizer_config: Optional[OptimizerConfig] = None
+                                optimizer_config: Optional[OptimizerConfig] = None,
+                                workers: Optional[int] = None,
+                                persist: Optional[bool] = None
                                 ) -> List[Dict[str, object]]:
     """Fig. 7: throughput of Stripes and 2-in-1 normalized to Bit Fusion."""
     accelerators = _build_accelerators(optimizer_config)
     rows: List[Dict[str, object]] = []
     for network, dataset in workloads:
         layers = network_layers(network, dataset)
-        fps = {name: acc.evaluate_grid(layers, precisions).throughput_fps()
+        fps = {name: acc.evaluate_grid(layers, precisions, workers=workers,
+                                       persist=persist).throughput_fps()
                for name, acc in accelerators.items()}
         for index, precision in enumerate(precisions):
             base = fps["BitFusion"][index]
@@ -154,14 +163,17 @@ def normalized_throughput_table(precisions: Sequence[int] = (2, 4, 8, 16),
 
 def normalized_energy_table(precisions: Sequence[int] = (2, 4, 8, 16),
                             workloads: Sequence[Tuple[str, str]] = FIG7_WORKLOADS,
-                            optimizer_config: Optional[OptimizerConfig] = None
+                            optimizer_config: Optional[OptimizerConfig] = None,
+                            workers: Optional[int] = None,
+                            persist: Optional[bool] = None
                             ) -> List[Dict[str, object]]:
     """Fig. 8: energy efficiency normalized to Bit Fusion."""
     accelerators = _build_accelerators(optimizer_config)
     rows: List[Dict[str, object]] = []
     for network, dataset in workloads:
         layers = network_layers(network, dataset)
-        energy = {name: acc.evaluate_grid(layers, precisions).network_energy()
+        energy = {name: acc.evaluate_grid(layers, precisions, workers=workers,
+                                          persist=persist).network_energy()
                   for name, acc in accelerators.items()}
         for index, precision in enumerate(precisions):
             base = energy["BitFusion"][index]

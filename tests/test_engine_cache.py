@@ -4,16 +4,23 @@ changes, and trade-off curves scored through the engine."""
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
 from repro.accelerator import (
     BitFusionAccelerator,
     DNNGuardAccelerator,
+    EvaluationEngine,
+    MemoryHierarchy,
+    MemoryLevel,
     TwoInOneAccelerator,
     network_layers,
 )
+from repro.accelerator.mac.base import AreaBreakdown
 from repro.accelerator.optimizer import OptimizerConfig
+from repro.accelerator.performance_model import ArrayConfig
 from repro.core.tradeoff import OperatingPoint, TradeoffController, TradeoffCurve
 from repro.quantization import Precision, PrecisionSet
 
@@ -130,6 +137,124 @@ class TestInvalidation:
         reference = fresh.evaluate_grid(layers, [4, 8])
         assert np.allclose(grid.total_cycles, reference.total_cycles)
         assert np.allclose(grid.total_energy, reference.total_energy)
+
+
+def _mutate_memory_level(accelerator, level_index: int, **changes) -> None:
+    levels = list(accelerator.model.memory.levels)
+    levels[level_index] = replace(levels[level_index], **changes)
+    accelerator.model.memory = MemoryHierarchy(levels)
+
+
+class TestFingerprintAudit:
+    """Every field that affects a cached metric must move the fingerprint —
+    a missed field silently serves stale cached results."""
+
+    #: (label, mutator) pairs covering the whole cost-relevant config
+    #: surface: MAC unit identity + area breakdown + native precision
+    #: ceiling, array geometry and clock, derating, dataflow policy, every
+    #: evolutionary-search hyper-parameter, and each field of each memory
+    #: level the model reads.
+    MUTATIONS = [
+        ("mac_unit.type", lambda acc: setattr(
+            acc, "mac_unit", type("OtherMAC", (type(acc.mac_unit),), {})())),
+        ("mac_unit.name", lambda acc: setattr(acc.mac_unit, "name", "other")),
+        ("mac_unit.max_native_bits", lambda acc: setattr(
+            acc.mac_unit, "max_native_bits", 4)),
+        ("mac_unit.area_breakdown", lambda acc: setattr(
+            acc.mac_unit, "_breakdown",
+            AreaBreakdown(multiplier=1.0, shift_add=2.0, register=3.0))),
+        ("num_units", lambda acc: setattr(acc, "num_units",
+                                          acc.num_units + 1)),
+        ("array.frequency_hz", lambda acc: setattr(
+            acc, "array", ArrayConfig(mac_unit=acc.mac_unit,
+                                      num_units=acc.num_units,
+                                      frequency_hz=1e9))),
+        ("compute_derating", lambda acc: setattr(acc, "compute_derating",
+                                                 1.5)),
+        ("optimize_dataflow", lambda acc: setattr(
+            acc, "optimize_dataflow", not acc.optimize_dataflow)),
+        ("optimizer.population_size", lambda acc: setattr(
+            acc, "optimizer_config",
+            replace(acc.optimizer_config,
+                    population_size=acc.optimizer_config.population_size + 1))),
+        ("optimizer.total_cycles", lambda acc: setattr(
+            acc, "optimizer_config",
+            replace(acc.optimizer_config,
+                    total_cycles=acc.optimizer_config.total_cycles + 1))),
+        ("optimizer.survivor_fraction", lambda acc: setattr(
+            acc, "optimizer_config",
+            replace(acc.optimizer_config, survivor_fraction=0.77))),
+        ("optimizer.objective", lambda acc: setattr(
+            acc, "optimizer_config",
+            replace(acc.optimizer_config, objective="latency"))),
+        ("optimizer.seed", lambda acc: setattr(
+            acc, "optimizer_config",
+            replace(acc.optimizer_config,
+                    seed=acc.optimizer_config.seed + 1))),
+        ("memory.dram.bandwidth", lambda acc: _mutate_memory_level(
+            acc, 0, bandwidth_bits_per_cycle=999.0)),
+        ("memory.dram.energy", lambda acc: _mutate_memory_level(
+            acc, 0, energy_per_bit=99.0)),
+        ("memory.gb.capacity", lambda acc: _mutate_memory_level(
+            acc, 1, capacity_bits=8e6)),
+        ("memory.gb.bandwidth", lambda acc: _mutate_memory_level(
+            acc, 1, bandwidth_bits_per_cycle=999.0)),
+        ("memory.gb.energy", lambda acc: _mutate_memory_level(
+            acc, 1, energy_per_bit=9.0)),
+        ("memory.gb.name", lambda acc: _mutate_memory_level(
+            acc, 1, name="RenamedBuffer")),
+        ("memory.rf.capacity", lambda acc: _mutate_memory_level(
+            acc, 2, capacity_bits=32e3)),
+        ("memory.rf.energy", lambda acc: _mutate_memory_level(
+            acc, 2, energy_per_bit=0.9)),
+    ]
+
+    @pytest.mark.parametrize("label,mutate",
+                             MUTATIONS, ids=[m[0] for m in MUTATIONS])
+    def test_every_config_field_moves_the_fingerprint(self, label, mutate):
+        accelerator = TwoInOneAccelerator(optimizer_config=FAST)
+        baseline = accelerator.engine.config_fingerprint()
+        mutate(accelerator)
+        assert accelerator.engine.config_fingerprint() != baseline, \
+            f"mutating {label} did not change the fingerprint"
+
+    def test_fingerprint_is_stable_without_mutation(self):
+        accelerator = TwoInOneAccelerator(optimizer_config=FAST)
+        assert (accelerator.engine.config_fingerprint()
+                == accelerator.engine.config_fingerprint())
+        twin = TwoInOneAccelerator(optimizer_config=FAST)
+        assert (twin.engine.config_fingerprint()
+                == accelerator.engine.config_fingerprint())
+
+
+class TestSharedStoreEviction:
+    def test_evicted_store_rebinds_not_diverges(self, layers):
+        """LRU-evicting a fingerprint from the shared registry must not let
+        a *new* same-fingerprint engine diverge from a live engine that
+        still holds the evicted store."""
+        config = OptimizerConfig(population_size=6, total_cycles=1, seed=4242)
+        first = TwoInOneAccelerator(optimizer_config=config)
+        store = first.engine._store
+        first.evaluate_layer(layers[0], 4)
+        baseline_entries = first.engine.cache_info()["entries"]
+        assert baseline_entries > 0
+
+        # Flood the bounded registry with distinct fingerprints until the
+        # first engine's store is evicted from the strong LRU.
+        unit_area = BitFusionAccelerator().mac_unit.area
+        for index in range(EvaluationEngine._MAX_SHARED_STORES + 2):
+            BitFusionAccelerator(
+                area_budget=unit_area * (50 + index))  # distinct num_units
+        assert first.engine._fingerprint not in EvaluationEngine._SHARED_STORES
+
+        # A newcomer with the same configuration must find the *same* store
+        # (via the weak registry), not silently start a fresh one.
+        second = TwoInOneAccelerator(optimizer_config=config)
+        assert second.engine._store is store
+        hits_before = second.engine.stats.hits
+        second.evaluate_layer(layers[0], 4)
+        assert second.engine.stats.hits == hits_before + 1  # warm, no miss
+        assert second.engine.cache_info()["entries"] == baseline_entries
 
 
 class TestEngineScoredCurves:

@@ -1,0 +1,186 @@
+"""Process-sharded grid evaluation: bit-identical to the synchronous path
+for any worker count and chunking, deterministic dataflow search per
+(seed, layer shape, precision), and graceful fallback when no process pool
+can be spawned."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    EvaluationEngine,
+    StripesAccelerator,
+    TwoInOneAccelerator,
+    network_layers,
+)
+from repro.accelerator.optimizer import (
+    EvolutionaryDataflowOptimizer,
+    OptimizerConfig,
+)
+from repro.experiments import normalized_throughput_table
+
+FAST = OptimizerConfig(population_size=6, total_cycles=1, seed=0)
+
+
+@pytest.fixture()
+def layers():
+    return network_layers("resnet18", "cifar10")
+
+
+def _cold() -> None:
+    EvaluationEngine.reset_shared_stores()
+
+
+def _grids_equal(a, b) -> bool:
+    return (np.array_equal(a.compute_cycles, b.compute_cycles)
+            and np.array_equal(a.total_cycles, b.total_cycles)
+            and np.array_equal(a.total_energy, b.total_energy)
+            and all(np.array_equal(a.memory_cycles[k], b.memory_cycles[k])
+                    for k in a.memory_cycles)
+            and all(np.array_equal(a.energy[k], b.energy[k])
+                    for k in a.energy))
+
+
+class TestShardedIdentity:
+    def test_workers_bit_identical_to_synchronous(self, layers):
+        _cold()
+        sharded = TwoInOneAccelerator(optimizer_config=FAST).evaluate_grid(
+            layers, [2, 4, 8], workers=3)
+        _cold()
+        synchronous = TwoInOneAccelerator(optimizer_config=FAST).evaluate_grid(
+            layers, [2, 4, 8], workers=1)
+        assert _grids_equal(sharded, synchronous)
+
+    def test_parallel_persistent_matches_plain(self, tmp_path, layers):
+        """The acceptance contract: evaluate_grid(workers=N, persist=True)
+        equals workers=1, persist=False — and a warm reload equals both."""
+        _cold()
+        filler = TwoInOneAccelerator(optimizer_config=FAST)
+        fancy = filler.evaluate_grid(
+            layers, [2, 4, 8], workers=2, persist=True, cache_dir=tmp_path)
+        # The workers' mapping summaries and searched dataflows must ride
+        # back to the parent (and into the store) exactly as a synchronous
+        # fill would leave them — not be discarded with the worker process.
+        assert len(filler.engine._summaries) > 0
+        assert len(filler._dataflow_cache) > 0
+        from repro.accelerator import EngineStore
+        stored = EngineStore(tmp_path).load(filler.engine.config_fingerprint())
+        assert stored is not None and len(stored[1]) > 0
+        _cold()
+        plain = TwoInOneAccelerator(optimizer_config=FAST).evaluate_grid(
+            layers, [2, 4, 8], workers=1, persist=False)
+        assert _grids_equal(fancy, plain)
+        _cold()
+        warm_accelerator = TwoInOneAccelerator(optimizer_config=FAST)
+        warm = warm_accelerator.evaluate_grid(
+            layers, [2, 4, 8], workers=2, persist=True, cache_dir=tmp_path)
+        assert warm_accelerator.engine.cache_info()["misses"] == 0
+        assert _grids_equal(warm, plain)
+
+    def test_fig7_table_identical_for_1_and_4_workers(self):
+        """Fig. 7 rows — the paper's headline normalized-throughput grid —
+        must not depend on how the evaluation is sharded."""
+        workloads = (("resnet18", "cifar10"), ("wide_resnet32", "cifar10"))
+        _cold()
+        serial = normalized_throughput_table(
+            precisions=(2, 4, 8, 16), workloads=workloads,
+            optimizer_config=FAST, workers=1)
+        _cold()
+        sharded = normalized_throughput_table(
+            precisions=(2, 4, 8, 16), workloads=workloads,
+            optimizer_config=FAST, workers=4)
+        assert serial == sharded    # exact float equality, row for row
+
+    def test_worker_env_default(self, layers, monkeypatch):
+        _cold()
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "2")
+        via_env = StripesAccelerator(optimizer_config=FAST).evaluate_grid(
+            layers, [4, 8])
+        _cold()
+        monkeypatch.delenv("REPRO_ENGINE_WORKERS")
+        serial = StripesAccelerator(optimizer_config=FAST).evaluate_grid(
+            layers, [4, 8])
+        assert _grids_equal(via_env, serial)
+
+
+class TestSearchDeterminism:
+    def test_optimize_layer_is_order_independent(self, layers):
+        """Each (layer, precision) search draws from a private RNG, so the
+        call order — and therefore the worker chunking — cannot change the
+        chosen dataflow."""
+        subset = layers[:6]
+        model = TwoInOneAccelerator(optimizer_config=FAST).model
+        forward = EvolutionaryDataflowOptimizer(model, FAST)
+        backward = EvolutionaryDataflowOptimizer(model, FAST)
+        chosen_forward = {layer.name: forward.optimize_layer(layer, 4)[0].key()
+                          for layer in subset}
+        chosen_backward = {layer.name: backward.optimize_layer(layer, 4)[0].key()
+                           for layer in reversed(subset)}
+        assert chosen_forward == chosen_backward
+
+    def test_repeated_searches_are_identical(self, layers):
+        model = TwoInOneAccelerator(optimizer_config=FAST).model
+        layer = layers[0]
+        first_flow, first_perf = EvolutionaryDataflowOptimizer(
+            model, FAST).optimize_layer(layer, 4)
+        second_flow, second_perf = EvolutionaryDataflowOptimizer(
+            model, FAST).optimize_layer(layer, 4)
+        assert first_flow.key() == second_flow.key()
+        assert first_perf.total_cycles == second_perf.total_cycles
+        assert first_perf.total_energy == second_perf.total_energy
+
+    def test_seed_still_matters(self, layers):
+        """The per-(layer, precision) RNG derivation must still include the
+        config seed: distinct seeds yield distinct random streams (even if
+        the search then converges to the same greedy-seeded winner)."""
+        from repro.quantization import Precision
+
+        model = TwoInOneAccelerator(optimizer_config=FAST).model
+        layer = layers[-1]
+        draws = set()
+        for seed in range(4):
+            config = OptimizerConfig(population_size=6, total_cycles=1,
+                                     seed=seed)
+            rng = EvolutionaryDataflowOptimizer(
+                model, config)._layer_rng(layer, Precision(5))
+            draws.add(float(rng.random()))
+        assert len(draws) == 4
+
+
+class TestFallback:
+    def test_unspawnable_pool_falls_back_to_synchronous(self, layers,
+                                                        monkeypatch):
+        import repro.accelerator.engine as engine_module
+
+        def refuse(*args, **kwargs):
+            raise OSError("no process pool in this sandbox")
+
+        monkeypatch.setattr(engine_module, "ProcessPoolExecutor", refuse)
+        _cold()
+        fallback = TwoInOneAccelerator(optimizer_config=FAST).evaluate_grid(
+            layers, [4, 8], workers=4)
+        monkeypatch.undo()
+        _cold()
+        serial = TwoInOneAccelerator(optimizer_config=FAST).evaluate_grid(
+            layers, [4, 8], workers=1)
+        assert _grids_equal(fallback, serial)
+
+    def test_single_missing_cell_stays_synchronous(self, layers):
+        """A one-cell refill must not pay process-pool startup."""
+        _cold()
+        accelerator = TwoInOneAccelerator(optimizer_config=FAST)
+        accelerator.evaluate_grid(layers, [4], workers=1)
+        import repro.accelerator.engine as engine_module
+
+        class Exploder:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError("pool must not be created")
+
+        original = engine_module.ProcessPoolExecutor
+        engine_module.ProcessPoolExecutor = Exploder
+        try:
+            grid = accelerator.evaluate_grid(layers[:1], [4, 5], workers=4)
+        finally:
+            engine_module.ProcessPoolExecutor = original
+        assert np.all(grid.total_cycles > 0)

@@ -1,0 +1,209 @@
+"""Tests for the disk-persisted engine memo store: warm round trips,
+corrupt/partial/stale files degrading to a cold start, and atomic-rename
+behaviour under concurrent writers."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    CACHE_SCHEMA_VERSION,
+    EngineStore,
+    EvaluationEngine,
+    TwoInOneAccelerator,
+    model_constants_digest,
+    network_layers,
+)
+from repro.accelerator.optimizer import OptimizerConfig
+
+
+@pytest.fixture()
+def layers():
+    return network_layers("resnet18", "cifar10")
+
+
+def _accelerator(seed: int) -> TwoInOneAccelerator:
+    # A per-test optimizer seed gives each test its own fingerprint, so the
+    # process-wide shared memo registry cannot leak warmth between tests.
+    return TwoInOneAccelerator(optimizer_config=OptimizerConfig(
+        population_size=6, total_cycles=1, seed=seed))
+
+
+def _cold() -> None:
+    EvaluationEngine.reset_shared_stores()
+
+
+class TestWarmRoundTrip:
+    def test_second_cold_process_starts_warm(self, tmp_path, layers):
+        first = _accelerator(seed=101)
+        reference = first.evaluate_grid(layers, [2, 4, 8], persist=True,
+                                        cache_dir=tmp_path)
+        assert first.engine.cache_info()["misses"] > 0
+
+        _cold()
+        rerun = _accelerator(seed=101)
+        warm = rerun.evaluate_grid(layers, [2, 4, 8], persist=True,
+                                   cache_dir=tmp_path)
+        info = rerun.engine.cache_info()
+        assert info["misses"] == 0                      # nothing re-simulated
+        assert info["disk_cells_loaded"] > 0
+        assert np.array_equal(warm.total_cycles, reference.total_cycles)
+        assert np.array_equal(warm.total_energy, reference.total_energy)
+
+    def test_persisted_equals_unpersisted(self, tmp_path, layers):
+        persisted = _accelerator(seed=102).evaluate_grid(
+            layers, [4, 8], persist=True, cache_dir=tmp_path)
+        _cold()
+        plain = _accelerator(seed=102).evaluate_grid(
+            layers, [4, 8], persist=False)
+        assert np.array_equal(persisted.total_cycles, plain.total_cycles)
+        assert np.array_equal(persisted.total_energy, plain.total_energy)
+
+    def test_summaries_round_trip(self, tmp_path, layers):
+        """Persisted summaries let a warm process evaluate *new* precisions
+        of cached shapes without re-running the dataflow search."""
+        first = _accelerator(seed=103)
+        first.evaluate_grid(layers, [4], persist=True, cache_dir=tmp_path)
+        store = EngineStore(tmp_path)
+        loaded = store.load(first.engine.config_fingerprint())
+        assert loaded is not None
+        cells, summaries = loaded
+        assert len(cells) > 0
+        assert len(summaries) > 0
+
+
+class TestFlushMergeSafety:
+    def test_invalidate_then_flush_keeps_disk_cells(self, tmp_path, layers):
+        """A manual invalidate must not let a later (smaller) persisted
+        evaluation overwrite the store with only its own cells."""
+        accelerator = _accelerator(seed=109)
+        accelerator.evaluate_grid(layers, [2, 4, 8], persist=True,
+                                  cache_dir=tmp_path)
+        accelerator.engine.invalidate()
+        accelerator.evaluate_grid(layers[:1], [4], persist=True,
+                                  cache_dir=tmp_path)
+
+        _cold()
+        rerun = _accelerator(seed=109)
+        rerun.evaluate_grid(layers, [2, 4, 8], persist=True,
+                            cache_dir=tmp_path)
+        assert rerun.engine.cache_info()["misses"] == 0   # nothing was lost
+
+    def test_second_cache_dir_still_loads(self, tmp_path, layers):
+        """An explicit cache_dir must be honoured even after the store
+        already loaded a different directory."""
+        warm_dir = tmp_path / "warm"
+        empty_dir = tmp_path / "empty"
+        _accelerator(seed=110).evaluate_grid(layers, [4], persist=True,
+                                             cache_dir=warm_dir)
+        _cold()
+        rerun = _accelerator(seed=110)
+        rerun.evaluate_grid(layers[:1], [4], persist=True,
+                            cache_dir=empty_dir)          # marks empty_dir
+        rerun.evaluate_grid(layers, [4], persist=True, cache_dir=warm_dir)
+        info = rerun.engine.cache_info()
+        assert info["disk_cells_loaded"] > 0              # warm_dir was read
+        assert info["misses"] <= 1                        # only the pre-warm cell
+
+
+class TestColdStartDegradation:
+    def _warm_path(self, tmp_path, layers, seed):
+        accelerator = _accelerator(seed=seed)
+        accelerator.evaluate_grid(layers, [4], persist=True,
+                                  cache_dir=tmp_path)
+        fingerprint = accelerator.engine.config_fingerprint()
+        return EngineStore(tmp_path).path_for(fingerprint), fingerprint
+
+    def test_corrupt_file_is_cold_start(self, tmp_path, layers):
+        path, fingerprint = self._warm_path(tmp_path, layers, seed=104)
+        path.write_bytes(b"not a pickle at all")
+        assert EngineStore(tmp_path).load(fingerprint) is None
+
+        _cold()
+        rerun = _accelerator(seed=104)
+        grid = rerun.evaluate_grid(layers, [4], persist=True,
+                                   cache_dir=tmp_path)
+        info = rerun.engine.cache_info()
+        assert info["disk_cells_loaded"] == 0
+        assert info["misses"] > 0                       # recomputed honestly
+        assert np.all(grid.total_cycles > 0)
+        # ... and the recomputation repaired the file for the next run.
+        assert EngineStore(tmp_path).load(fingerprint) is not None
+
+    def test_truncated_file_is_cold_start(self, tmp_path, layers):
+        path, fingerprint = self._warm_path(tmp_path, layers, seed=105)
+        payload = path.read_bytes()
+        path.write_bytes(payload[:len(payload) // 2])
+        assert EngineStore(tmp_path).load(fingerprint) is None
+
+    def test_stale_schema_version_invalidates(self, tmp_path, layers):
+        path, fingerprint = self._warm_path(tmp_path, layers, seed=106)
+        payload = pickle.loads(path.read_bytes())
+        payload["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        assert EngineStore(tmp_path).load(fingerprint) is None
+
+    def test_changed_constants_digest_invalidates(self, tmp_path, layers):
+        path, fingerprint = self._warm_path(tmp_path, layers, seed=107)
+        payload = pickle.loads(path.read_bytes())
+        payload["constants_digest"] = "0" * 64
+        path.write_bytes(pickle.dumps(payload))
+        assert EngineStore(tmp_path).load(fingerprint) is None
+
+    def test_foreign_fingerprint_payload_rejected(self, tmp_path, layers):
+        path, fingerprint = self._warm_path(tmp_path, layers, seed=108)
+        payload = pickle.loads(path.read_bytes())
+        payload["fingerprint"] = ("some", "other", "config")
+        path.write_bytes(pickle.dumps(payload))
+        assert EngineStore(tmp_path).load(fingerprint) is None
+
+    def test_missing_file_is_cold_start(self, tmp_path):
+        assert EngineStore(tmp_path).load(("no", "such", "config")) is None
+
+    def test_digest_is_stable_within_process(self):
+        assert model_constants_digest() == model_constants_digest()
+        assert len(model_constants_digest()) == 64
+
+
+class TestConcurrentWriters:
+    FINGERPRINT = ("concurrency", "test", 1)
+
+    def test_interleaved_saves_merge(self, tmp_path):
+        store = EngineStore(tmp_path)
+        store.save(self.FINGERPRINT, {"a": 1}, {}, merge=True)
+        store.save(self.FINGERPRINT, {"b": 2}, {}, merge=True)
+        cells, _ = store.load(self.FINGERPRINT)
+        assert cells == {"a": 1, "b": 2}
+
+    def test_parallel_saves_never_clobber(self, tmp_path):
+        """Hammer one fingerprint from many threads: the atomic rename must
+        keep the file loadable at all times, whoever wins each race."""
+        store = EngineStore(tmp_path)
+        errors = []
+
+        def writer(worker: int) -> None:
+            try:
+                for round_index in range(5):
+                    store.save(self.FINGERPRINT,
+                               {(worker, round_index): worker}, {})
+                    loaded = store.load(self.FINGERPRINT)
+                    assert loaded is not None       # never torn, never stale-schema
+            except Exception as exc:               # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        cells, _ = store.load(self.FINGERPRINT)
+        # Every key ever written belongs to the union; merge-on-save means
+        # the final file holds at least the last writer's full round.
+        assert set(cells) <= {(w, r) for w in range(8) for r in range(5)}
+        assert len(cells) >= 5
