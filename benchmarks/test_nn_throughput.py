@@ -1,0 +1,70 @@
+"""Training-throughput benchmark: channels-last core vs reference kernels.
+
+Runs identical RPS adversarial-training steps under both compute backends
+and asserts the channels-last core is at least 1.5x faster.  The workload
+uses a production-width model (base width 32): that is the regime the
+channels-last GEMMs target — at the tiny bench-budget widths (channel counts
+of 4-8) both backends sit on the same memory-bandwidth floor and the kernel
+speedup compresses to ~1.2-1.4x (see ROADMAP, "NN compute core").
+
+The measured wall times are recorded into ``BENCH_nn.json`` alongside the
+figure/table benchmarks, so the perf trajectory of both backends is tracked
+run over run.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import record_wall_time
+
+from repro.core import RPSConfig, RPSTrainer
+from repro.models import build_model
+from repro.nn import functional as F
+from repro.quantization import PrecisionSet
+
+pytestmark = pytest.mark.slow      # trains (a few steps of) a wide model
+
+#: The throughput gate: fast backend must beat the reference kernels by
+#: at least this factor on the training workload below.
+MIN_SPEEDUP = 1.5
+
+PRECISIONS = PrecisionSet([3, 4, 6])
+SCALE = 32          # base channel width; bench tables use 8
+IMAGE = 16
+BATCH = 64
+STEPS = 2
+
+
+def _train_steps(backend: str) -> float:
+    """Seconds per RPS adversarial-training step under ``backend``."""
+    rng = np.random.default_rng(0)
+    x = rng.random((BATCH, 3, IMAGE, IMAGE), dtype=np.float32)
+    y = rng.integers(0, 10, BATCH)
+    with F.use_backend(backend):
+        model = build_model("preact_resnet18", num_classes=10,
+                            precisions=PRECISIONS, scale=SCALE, seed=0)
+        config = RPSConfig(epochs=1, batch_size=BATCH, method="pgd",
+                           attack_steps=3, precision_set=PRECISIONS, seed=0)
+        trainer = RPSTrainer(model, config)
+        trainer.train_batch(x, y)               # warm-up (caches, workspace)
+        start = time.perf_counter()
+        for _ in range(STEPS):
+            trainer.train_batch(x, y)
+        return (time.perf_counter() - start) / STEPS
+
+
+def test_training_throughput_vs_reference(benchmark):
+    reference = _train_steps("reference")
+    fast = benchmark.pedantic(lambda: _train_steps("fast"),
+                              rounds=1, iterations=1, warmup_rounds=0)
+    record_wall_time("nn_train_step_reference", reference)
+    record_wall_time("nn_train_step_fast", fast)
+    speedup = reference / fast
+    print(f"\nRPS training step (scale {SCALE}, batch {BATCH}): "
+          f"reference {reference * 1e3:.0f} ms, fast {fast * 1e3:.0f} ms "
+          f"-> {speedup:.2f}x")
+    assert speedup >= MIN_SPEEDUP, (
+        f"channels-last core regressed: only {speedup:.2f}x over the "
+        f"reference kernels (floor {MIN_SPEEDUP}x)")

@@ -121,6 +121,38 @@ def main() -> None:
         info = rerun.engine.cache_info()
         print(f"    warm-cache rerun: {info['disk_cells_loaded']} cells "
               f"loaded from disk, {info['misses']} re-simulated")
+    # ------------------------------------------------------------------
+    # Training throughput: the channels-last NN compute core.
+    # ------------------------------------------------------------------
+    # All of the training and attack math above ran on the channels-last
+    # (NHWC) compute core: convolutions take zero-copy as_strided window
+    # views and run as one large BLAS GEMM per layer, pooling reduces the
+    # same window views directly, conv input gradients are one transposed-
+    # convolution GEMM, and all large scratch comes from a reusable
+    # workspace arena so steady-state training does no large allocations.
+    # Quantised weights (and their GEMM repacks) are cached per
+    # (precision, weight version), so attack inner loops and eval sweeps
+    # re-quantise nothing, and multi-restart PGD/E-PGD folds its restarts
+    # into the batch dimension (one forward/backward per step).
+    #
+    # Knobs (environment variables):
+    #   REPRO_NN_BACKEND=fast|reference   compute backend ("reference" is
+    #                                     the original im2col/NCHW path,
+    #                                     kept as the parity oracle)
+    #   REPRO_NN_WORKSPACE_MB=256         workspace arena cap (0 disables)
+    #   REPRO_NN_QUANT_CACHE=1            quantised-weight cache (0 disables)
+    #   REPRO_NN_BATCHED_RESTARTS=1       batched attack restarts (0 =
+    #                                     sequential per-restart loop)
+    #
+    # benchmarks/test_nn_throughput.py gates the speedup (>= 1.5x over the
+    # reference backend at production width) and benchmarks append wall
+    # times to BENCH_nn.json, the perf trajectory artifact.
+    from repro.nn import functional as F
+    from repro.nn.workspace import default_workspace
+
+    ws = default_workspace()
+    print(f"\n    nn backend: {F.get_backend()}  workspace: "
+          f"{ws.hits} buffer reuses, {ws.misses} allocations")
     print("\nDone.  See benchmarks/ for the per-table/figure reproductions.")
 
 

@@ -17,11 +17,24 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..nn import functional as F
+from ..nn import workspace as nn_workspace
 from ..nn.module import Module
 from ..nn.tensor import Tensor
 
 __all__ = ["Attack", "AttackResult", "eps_from_255", "input_gradient",
-           "predict_labels", "margin_loss_grad"]
+           "predict_labels", "margin_loss_grad", "batched_restarts_enabled"]
+
+
+def batched_restarts_enabled() -> bool:
+    """Whether multi-restart attacks fold restarts into the batch dimension.
+
+    On by default; ``REPRO_NN_BATCHED_RESTARTS=0`` restores the sequential
+    per-restart loop (which early-exits once every example is fooled, at the
+    cost of one forward/backward *per restart* per step).
+    """
+    import os
+
+    return os.environ.get("REPRO_NN_BATCHED_RESTARTS", "1") != "0"
 
 
 def eps_from_255(eps: float) -> float:
@@ -60,6 +73,9 @@ def input_gradient(model: Module, x: np.ndarray, y: np.ndarray,
     finally:
         for p in frozen:
             p.requires_grad = True
+        # The forward/backward graph dies with this frame; let the workspace
+        # arena recycle its scratch for the next attack step.
+        nn_workspace.end_step()
     return x_t.grad
 
 
@@ -113,6 +129,8 @@ def predict_labels(model: Module, x: np.ndarray, batch_size: int = 256) -> np.nd
         for start in range(0, len(x), batch_size):
             logits = model(Tensor(x[start:start + batch_size]))
             outputs.append(logits.data.argmax(axis=1))
+            del logits
+            nn_workspace.end_step()
     return np.concatenate(outputs) if outputs else np.empty((0,), dtype=np.int64)
 
 
@@ -173,3 +191,88 @@ class Attack:
         """Uniform random point inside the ℓ∞ ball (used by PGD / FGSM-RS)."""
         noise = self.rng.uniform(-self.epsilon, self.epsilon, size=x.shape)
         return self.project(x, x + noise.astype(np.float32))
+
+    # ------------------------------------------------------------------
+    # Shared multi-restart sign-descent machinery.  Iterative attacks (PGD,
+    # E-PGD) define ``steps`` / ``alpha`` / ``restarts`` / ``random_init``
+    # and override :meth:`_gradient`; everything below is common.
+    # ------------------------------------------------------------------
+    def _gradient(self, model: Module, x: np.ndarray,
+                  y: np.ndarray) -> np.ndarray:
+        """Gradient of the attack objective w.r.t. ``x`` (subclass hook)."""
+        raise NotImplementedError
+
+    def _bounds(self, x: np.ndarray):
+        # clip-to-ball then clip-to-box equals one clamp to the interval
+        # intersection (x itself lies in both intervals).
+        lo = np.maximum(x - self.epsilon, self.clip_min).astype(np.float32)
+        hi = np.minimum(x + self.epsilon, self.clip_max).astype(np.float32)
+        return lo, hi
+
+    def _descend(self, model: Module, x_adv: np.ndarray, y: np.ndarray,
+                 lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Run ``steps`` in-place sign-gradient ascent steps on ``x_adv``.
+
+        ``lo``/``hi`` may cover a single restart of a restart-stacked
+        ``x_adv``; the clip then broadcasts over the restart dimension
+        instead of requiring tiled bound arrays.
+        """
+        if lo.shape != x_adv.shape:
+            clip_target = x_adv.reshape(-1, *lo.shape)
+        else:
+            clip_target = x_adv
+        for _ in range(self.steps):
+            grad = self._gradient(model, x_adv, y)
+            np.sign(grad, out=grad)
+            grad *= self.alpha
+            x_adv += grad
+            np.clip(clip_target, lo, hi, out=clip_target)
+        return x_adv
+
+    def _restart_start(self, x: np.ndarray) -> np.ndarray:
+        return self.random_start(x) if self.random_init else x.copy()
+
+    def _restart_perturb(self, model: Module, x: np.ndarray,
+                         y: np.ndarray) -> np.ndarray:
+        """Multi-restart perturbation keeping each example's first fooling
+        restart (or restart 0), batched over restarts by default."""
+        y = np.asarray(y)
+        if self.restarts == 1:
+            lo, hi = self._bounds(x)
+            return self._descend(model, self._restart_start(x), y, lo, hi)
+        if batched_restarts_enabled():
+            return self._perturb_batched(model, x, y)
+        return self._perturb_sequential(model, x, y)
+
+    def _perturb_batched(self, model: Module, x: np.ndarray,
+                         y: np.ndarray) -> np.ndarray:
+        n, restarts = len(x), self.restarts
+        # Draw the restart noises in the same order as the sequential loop so
+        # both paths consume identical random streams.
+        starts = [self._restart_start(x) for _ in range(restarts)]
+        big_x = np.concatenate(starts, axis=0)
+        big_y = np.tile(y, restarts)
+        lo, hi = self._bounds(x)
+        self._descend(model, big_x, big_y, lo, hi)
+
+        fooled = (predict_labels(model, big_x) != big_y).reshape(restarts, n)
+        candidates = big_x.reshape(restarts, *x.shape)
+        # Per example: the first fooling restart, or restart 0 if none fools
+        # (the sequential loop keeps run 0 and only replaces it on success).
+        pick = np.where(fooled.any(axis=0), fooled.argmax(axis=0), 0)
+        return candidates[pick, np.arange(n)]
+
+    def _perturb_sequential(self, model: Module, x: np.ndarray,
+                            y: np.ndarray) -> np.ndarray:
+        lo, hi = self._bounds(x)
+        best = self._descend(model, self._restart_start(x), y, lo, hi)
+        fooled = predict_labels(model, best) != y
+        for _ in range(self.restarts - 1):
+            if fooled.all():
+                break
+            candidate = self._descend(model, self._restart_start(x), y, lo, hi)
+            cand_fooled = predict_labels(model, candidate) != y
+            take = cand_fooled & ~fooled
+            best[take] = candidate[take]
+            fooled |= cand_fooled
+        return best

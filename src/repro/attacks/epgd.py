@@ -10,31 +10,39 @@ comparison.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
 from ..nn import functional as F
+from ..nn import workspace as nn_workspace
 from ..nn.module import Module
 from ..nn.tensor import Tensor
-from ..quantization import Precision, PrecisionSet, set_model_precision
+from ..quantization import PrecisionSet, set_model_precision
 from .base import Attack
 
 __all__ = ["EnsemblePGD"]
 
 
 class EnsemblePGD(Attack):
-    """PGD on the average of the per-precision softmax outputs."""
+    """PGD on the average of the per-precision softmax outputs.
+
+    Like :class:`~repro.attacks.pgd.PGD`, multiple restarts are stacked into
+    the batch dimension by default so every attack step stays one ensemble
+    forward/backward (one pass per candidate precision) regardless of the
+    restart count.
+    """
 
     name = "E-PGD"
 
     def __init__(self, epsilon: float, precision_set: PrecisionSet,
                  steps: int = 20, alpha: Optional[float] = None,
-                 random_init: bool = True, **kwargs) -> None:
+                 restarts: int = 1, random_init: bool = True, **kwargs) -> None:
         super().__init__(epsilon, **kwargs)
         self.precision_set = precision_set
         self.steps = steps
         self.alpha = alpha if alpha is not None else 2.5 * epsilon / steps
+        self.restarts = max(1, restarts)
         self.random_init = random_init
         self.name = f"E-PGD-{steps}"
 
@@ -68,12 +76,16 @@ class EnsemblePGD(Attack):
 
         if original is not None:
             set_model_precision(model, original)
-        return x_t.grad
+        grad = x_t.grad
+        # The multi-precision graph dies with this frame; recycle its scratch.
+        del x_t, probs, mean_probs, log_mean, loss, logits
+        nn_workspace.end_step()
+        return grad
+
+    # ------------------------------------------------------------------
+    def _gradient(self, model: Module, x: np.ndarray,
+                  y: np.ndarray) -> np.ndarray:
+        return self._ensemble_gradient(model, x, y)
 
     def perturb(self, model: Module, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        x_adv = self.random_start(x) if self.random_init else x.copy()
-        for _ in range(self.steps):
-            grad = self._ensemble_gradient(model, x_adv, y)
-            x_adv = x_adv + self.alpha * np.sign(grad)
-            x_adv = self.project(x, x_adv)
-        return x_adv
+        return self._restart_perturb(model, x, y)

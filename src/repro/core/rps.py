@@ -27,6 +27,7 @@ import numpy as np
 from ..defense.adversarial import AdversarialConfig, AdversarialTrainer
 from ..defense.trainer import TrainingHistory
 from ..data.loaders import DataLoader
+from ..nn import workspace as nn_workspace
 from ..nn.module import Module
 from ..nn.tensor import Tensor, no_grad
 from ..quantization import (
@@ -145,6 +146,8 @@ class RPSInference:
                             chunk = selected[start:start + batch_size]
                             logits = self.model(Tensor(x[chunk]))
                             predictions[chunk] = logits.data.argmax(axis=1)
+                            del logits
+                            nn_workspace.end_step()
             else:
                 for start in range(0, len(x), batch_size):
                     precision = self.sample_precision()
@@ -152,6 +155,8 @@ class RPSInference:
                     with no_grad():
                         logits = self.model(Tensor(x[start:start + batch_size]))
                     predictions[start:start + batch_size] = logits.data.argmax(axis=1)
+                    del logits
+                    nn_workspace.end_step()
         finally:
             self.model.train(was_training)
         return predictions

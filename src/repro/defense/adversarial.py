@@ -24,6 +24,7 @@ import numpy as np
 from ..attacks.base import input_gradient
 from ..data.loaders import DataLoader
 from ..nn import functional as F
+from ..nn import workspace as nn_workspace
 from ..nn.module import Module
 from ..nn.optim import SGD, MultiStepLR
 from ..nn.tensor import Tensor
@@ -95,12 +96,23 @@ class AdversarialTrainer:
             grad = input_gradient(self.model, x_adv, y)
             return self._project(x, x_adv + cfg.alpha * np.sign(grad), cfg.epsilon)
         if cfg.method == "pgd":
+            # Deliberately kept inline rather than delegating to
+            # attacks.base.Attack._descend: the trainer's inner maximisation
+            # draws its start noise from the trainer's own seeded rng stream
+            # (reproducibility of recorded training trajectories), which an
+            # Attack instance with its own rng would change.
             delta = self.rng.uniform(-cfg.epsilon, cfg.epsilon,
                                      size=x.shape).astype(np.float32)
-            x_adv = self._project(x, x + delta, cfg.epsilon)
+            # clamp-to-ball + clamp-to-box folds into one interval clamp.
+            lo = np.maximum(x - cfg.epsilon, 0.0).astype(np.float32)
+            hi = np.minimum(x + cfg.epsilon, 1.0).astype(np.float32)
+            x_adv = np.clip(x + delta, lo, hi)
             for _ in range(cfg.attack_steps):
                 grad = input_gradient(self.model, x_adv, y)
-                x_adv = self._project(x, x_adv + cfg.alpha * np.sign(grad), cfg.epsilon)
+                np.sign(grad, out=grad)
+                grad *= cfg.alpha
+                x_adv += grad
+                np.clip(x_adv, lo, hi, out=x_adv)
             return x_adv
         if cfg.method == "free":
             # Handled inside train_batch (needs weight updates per replay).
@@ -155,10 +167,15 @@ class AdversarialTrainer:
 
     def train_batch(self, x: np.ndarray, y: np.ndarray) -> Dict[str, float]:
         self.model.train()
-        if self.config.method == "free":
-            return self._train_batch_free(x, y)
-        x_adv = self.generate_adversarial(x, y)
-        return self._weight_step(x_adv, y)
+        try:
+            if self.config.method == "free":
+                return self._train_batch_free(x, y)
+            x_adv = self.generate_adversarial(x, y)
+            return self._weight_step(x_adv, y)
+        finally:
+            # Step boundary: the batch's forward/backward graphs are dead, so
+            # the workspace arena may recycle their scratch buffers.
+            nn_workspace.end_step()
 
     def train_epoch(self, loader: DataLoader) -> Dict[str, float]:
         losses, accuracies = [], []

@@ -8,6 +8,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..nn import functional as F
+from ..nn import workspace as nn_workspace
 from ..nn.module import Module
 from ..nn.optim import SGD, MultiStepLR
 from ..nn.tensor import Tensor, no_grad
@@ -57,6 +58,8 @@ def evaluate_accuracy(model: Module, x: np.ndarray, y: np.ndarray,
             logits = model(Tensor(x[start:start + batch_size]))
             correct += int((logits.data.argmax(axis=1)
                             == y[start:start + batch_size]).sum())
+            del logits
+            nn_workspace.end_step()
     model.train(was_training)
     return correct / len(x)
 
@@ -86,7 +89,10 @@ class Trainer:
         loss.backward()
         self.optimizer.step()
         accuracy = float((logits.data.argmax(axis=1) == y).mean())
-        return {"loss": loss.item(), "accuracy": accuracy}
+        metrics = {"loss": loss.item(), "accuracy": accuracy}
+        del logits, loss
+        nn_workspace.end_step()
+        return metrics
 
     def train_epoch(self, loader: DataLoader) -> Dict[str, float]:
         losses, accuracies = [], []

@@ -9,6 +9,7 @@ optimizers and losses.
 
 from . import functional
 from . import init
+from . import workspace
 from .layers import (
     AdaptiveAvgPool2d,
     AvgPool2d,
@@ -44,6 +45,7 @@ __all__ = [
     "stack",
     "functional",
     "init",
+    "workspace",
     "Module",
     "ModuleList",
     "Parameter",

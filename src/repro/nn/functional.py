@@ -1,26 +1,59 @@
 """Neural-network primitives (forward + backward) on top of :class:`Tensor`.
 
 These functions implement the heavier operations needed by convolutional
-networks — im2col-based 2-D convolution, pooling, batch normalisation,
-softmax / cross-entropy — each with an explicit, vectorised backward pass
-registered through :meth:`repro.nn.tensor.Tensor.make_from_op`.
+networks — 2-D convolution, pooling, batch normalisation, softmax /
+cross-entropy — each with an explicit, vectorised backward pass registered
+through :meth:`repro.nn.tensor.Tensor.make_from_op`.
+
+Two interchangeable compute backends are provided (``REPRO_NN_BACKEND`` or
+:func:`use_backend`):
+
+* ``"fast"`` (default) — the channels-last core.  Inputs are viewed as NHWC
+  (a zero-copy ``transpose``), sliding windows are taken with
+  ``numpy.lib.stride_tricks.as_strided`` over a padded staging buffer, and
+  convolution runs as one large 2-D BLAS GEMM ``(N·OH·OW, KH·KW·C) @
+  (KH·KW·C, C_OUT)`` instead of ``N`` small per-sample matmuls.  Pooling
+  routes through the same window-view helper (the forward of average pooling
+  reduces the strided view directly, with no column materialisation at all).
+  All large scratch — column buffers, GEMM outputs, normalised activations,
+  gradient accumulators — comes from the :mod:`repro.nn.workspace` arena, so
+  steady-state training performs no large allocations.  Outputs keep NCHW
+  *logical* shape with channels-last *memory* layout; numpy ufuncs preserve
+  that layout through ReLU / residual adds / quantizers, so whole networks
+  stay channels-last end to end with exactly one implicit layout conversion
+  at the stem.
+
+* ``"reference"`` — the original im2col/NCHW implementation, kept as the
+  parity oracle (see ``tests/test_nn_parity.py``).  Fast-path outputs match
+  it to ~1e-6: convolution GEMMs and batch-norm reductions accumulate in a
+  different order (one big GEMM vs. N small ones; NHWC vs. NCHW axis
+  order), which perturbs float32 results by a few ULPs.  Pooling forwards
+  are bitwise identical (they only move or compare values).
 """
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from typing import Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
 
 from .tensor import Tensor
+from .workspace import Workspace, acquire_like
 
 __all__ = [
     "linear",
     "conv2d",
+    "conv2d_reference",
     "max_pool2d",
+    "max_pool2d_reference",
     "avg_pool2d",
+    "avg_pool2d_reference",
     "adaptive_avg_pool2d",
     "batch_norm",
+    "batch_norm_reference",
     "relu",
     "softmax",
     "log_softmax",
@@ -31,11 +64,43 @@ __all__ = [
     "pad2d",
     "im2col",
     "col2im",
+    "pack_gemm_weights",
+    "get_backend",
+    "set_backend",
+    "use_backend",
 ]
+
+_BACKENDS = ("fast", "reference")
+_BACKEND = os.environ.get("REPRO_NN_BACKEND", "fast")
+if _BACKEND not in _BACKENDS:
+    _BACKEND = "fast"
+
+
+def get_backend() -> str:
+    """Name of the active compute backend (``"fast"`` or ``"reference"``)."""
+    return _BACKEND
+
+
+def set_backend(name: str) -> None:
+    global _BACKEND
+    if name not in _BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; choose from {_BACKENDS}")
+    _BACKEND = name
+
+
+@contextmanager
+def use_backend(name: str):
+    """Temporarily switch the compute backend (used by the parity suite)."""
+    previous = _BACKEND
+    set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
 
 
 # ---------------------------------------------------------------------------
-# im2col / col2im helpers
+# im2col / col2im helpers (reference backend; the window maths is shared)
 # ---------------------------------------------------------------------------
 
 def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -120,6 +185,98 @@ def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int],
 
 
 # ---------------------------------------------------------------------------
+# Channels-last core helpers
+# ---------------------------------------------------------------------------
+
+def _acquire(ws: Optional[Workspace], shape, dtype=np.float32) -> np.ndarray:
+    if ws is None:
+        return np.empty(shape, dtype=dtype)
+    return ws.acquire(shape, dtype)
+
+
+def _release(ws: Optional[Workspace], buf: np.ndarray) -> None:
+    if ws is not None:
+        ws.release(buf)
+
+
+def _window_view(xp: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Zero-copy sliding windows over an NHWC array.
+
+    Returns an ``as_strided`` view of shape (N, OH, OW, KH, KW, C): every
+    output position indexes its receptive field without materialising
+    patches.  The view is read-only (windows overlap).
+    """
+    n, h, w, c = xp.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    sn, sh, sw, sc = xp.strides
+    return as_strided(xp, shape=(n, oh, ow, kh, kw, c),
+                      strides=(sn, sh * stride, sw * stride, sh, sw, sc),
+                      writeable=False)
+
+
+def _pad_nhwc(x_cl: np.ndarray, padding: int,
+              ws: Optional[Workspace]) -> np.ndarray:
+    """Stage ``x_cl`` into a reusable zero-bordered NHWC buffer."""
+    n, h, w, c = x_cl.shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    xp = _acquire(ws, (n, hp, wp, c))
+    xp[:, :padding] = 0.0
+    xp[:, hp - padding:] = 0.0
+    xp[:, padding:hp - padding, :padding] = 0.0
+    xp[:, padding:hp - padding, wp - padding:] = 0.0
+    np.copyto(xp[:, padding:hp - padding, padding:wp - padding], x_cl)
+    return xp
+
+
+#: Cached all-ones row vectors used to express channel reductions as BLAS
+#: matmuls: summing (M, C) activations over rows as ``ones(1, M) @ x`` is
+#: several times faster than ``x.sum(axis=0)`` for the small channel counts
+#: typical of the bench models.
+_ONES_ROWS: dict = {}
+
+
+def _ones_row(m: int) -> np.ndarray:
+    row = _ONES_ROWS.get(m)
+    if row is None:
+        if len(_ONES_ROWS) > 256:
+            _ONES_ROWS.clear()
+        row = _ONES_ROWS[m] = np.ones((1, m), dtype=np.float32)
+    return row
+
+
+def _channel_sum(x2d: np.ndarray) -> np.ndarray:
+    """Sum a (M, C) array over rows via BLAS; returns shape (C,)."""
+    return (_ones_row(x2d.shape[0]) @ x2d).ravel()
+
+
+def _as_rows(arr_cl: np.ndarray, ws: Optional[Workspace]) -> np.ndarray:
+    """View (or stage) an NHWC array as (N*H*W, C) rows for BLAS reductions."""
+    n, h, w, c = arr_cl.shape
+    if arr_cl.flags["C_CONTIGUOUS"]:
+        return arr_cl.reshape(n * h * w, c)
+    staged = _acquire(ws, (n * h * w, c))
+    np.copyto(staged.reshape(n, h, w, c), arr_cl)
+    return staged
+
+
+def _grad_target_cl(x: Tensor, ws: Optional[Workspace]) -> np.ndarray:
+    """``x.grad`` as a zero-initialised NHWC view for in-place accumulation.
+
+    Creates the gradient channels-last when it does not exist yet, so the
+    whole backward pass stays in the same memory layout as the forward.
+    Accumulating in place composes correctly with ``accumulate_grad`` calls
+    from other children of ``x`` (both are ``+=`` into the same array).
+    """
+    n, c, h, w = x.data.shape
+    if x.grad is None:
+        buf = _acquire(ws, (n, h, w, c))
+        buf.fill(0.0)
+        x.grad = buf.transpose(0, 3, 1, 2)
+    return x.grad.transpose(0, 2, 3, 1)
+
+
+# ---------------------------------------------------------------------------
 # Linear and convolution
 # ---------------------------------------------------------------------------
 
@@ -131,13 +288,43 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     return out
 
 
+def pack_gemm_weights(weight: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """GEMM repacks of a (C_out, C_in, kh, kw) conv weight.
+
+    Returns ``(fwd, bwd)``: the (kh*kw*C_in, C_out) forward pack whose row
+    order matches the NHWC window gather, and the spatially-flipped
+    (kh*kw*C_out, C_in) pack used by the transposed-convolution input
+    gradient.  The single source of truth for the fast backend's column
+    layout — layers and the quantized-weight cache must use this helper.
+    """
+    c_out, c_in, kh, kw = weight.shape
+    fwd = weight.transpose(2, 3, 1, 0).reshape(kh * kw * c_in, c_out)
+    bwd = weight.transpose(2, 3, 0, 1)[::-1, ::-1].reshape(kh * kw * c_out, c_in)
+    return fwd, bwd
+
+
 def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
-           stride: int = 1, padding: int = 0) -> Tensor:
-    """2-D convolution (cross-correlation) via im2col.
+           stride: int = 1, padding: int = 0,
+           workspace: Optional[Workspace] = None,
+           gemm_weight: Optional[np.ndarray] = None,
+           gemm_weight_bwd: Optional[np.ndarray] = None) -> Tensor:
+    """2-D convolution (cross-correlation).
 
     ``x``: (N, C_in, H, W); ``weight``: (C_out, C_in, kh, kw);
-    ``bias``: (C_out,) or None.
+    ``bias``: (C_out,) or None.  ``workspace`` supplies reusable scratch;
+    ``gemm_weight`` / ``gemm_weight_bwd`` are cached forward / flipped
+    backward GEMM repacks of ``weight`` (fast-backend only; layers provide
+    them).
     """
+    if _BACKEND == "reference":
+        return conv2d_reference(x, weight, bias, stride=stride, padding=padding)
+    return _conv2d_fast(x, weight, bias, stride, padding, workspace,
+                        gemm_weight, gemm_weight_bwd)
+
+
+def conv2d_reference(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+                     stride: int = 1, padding: int = 0) -> Tensor:
+    """im2col/NCHW convolution — the bit-parity oracle for the fast path."""
     n, c_in, h, w = x.shape
     c_out, c_in_w, kh, kw = weight.shape
     if c_in != c_in_w:
@@ -169,12 +356,170 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     return Tensor.make_from_op(out_data, parents, backward)
 
 
+def _conv2d_fast(x: Tensor, weight: Tensor, bias: Optional[Tensor],
+                 stride: int, padding: int, ws: Optional[Workspace],
+                 gemm_weight: Optional[np.ndarray],
+                 gemm_weight_bwd: Optional[np.ndarray] = None) -> Tensor:
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input has {c_in}, weight expects {c_in_w}")
+    oh = _conv_output_size(h, kh, stride, padding)
+    ow = _conv_output_size(w, kw, stride, padding)
+    nl = n * oh * ow
+    k = kh * kw * c_in
+
+    x_cl = x.data.transpose(0, 2, 3, 1)                       # NHWC view
+    if kh == 1 and kw == 1 and padding == 0:
+        src = x_cl if stride == 1 else x_cl[:, ::stride, ::stride, :]
+        if src.flags["C_CONTIGUOUS"]:
+            cols2d = src.reshape(nl, k)                       # pure view
+        else:
+            cols2d = _acquire(ws, (nl, k))
+            np.copyto(cols2d.reshape(n, oh, ow, c_in), src)
+    else:
+        xp = _pad_nhwc(x_cl, padding, ws) if padding else x_cl
+        win = _window_view(xp, kh, kw, stride)
+        cols2d = _acquire(ws, (nl, k))
+        # One C-level strided gather materialises every receptive field into
+        # the (reused) column buffer; there is no per-batch Python loop.
+        np.copyto(cols2d.reshape(n, oh, ow, kh, kw, c_in), win)
+        if padding:
+            _release(ws, xp)
+            del xp
+
+    if gemm_weight is None:
+        gemm_weight = pack_gemm_weights(weight.data)[0]
+    out2d = _acquire(ws, (nl, c_out))
+    np.matmul(cols2d, gemm_weight, out=out2d)
+    if bias is not None:
+        out2d += bias.data
+    out_data = out2d.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+    w_gemm = gemm_weight
+
+    def backward(grad_out: np.ndarray) -> None:
+        g_cl = grad_out.transpose(0, 2, 3, 1)
+        if g_cl.flags["C_CONTIGUOUS"]:
+            g2d = g_cl.reshape(nl, c_out)
+        else:
+            g2d = _acquire(ws, (nl, c_out))
+            np.copyto(g2d.reshape(n, oh, ow, c_out), g_cl)
+        if weight.requires_grad:
+            grad_w = cols2d.T @ g2d                            # (K, C_out)
+            weight.accumulate_grad(
+                grad_w.reshape(kh, kw, c_in, c_out).transpose(3, 2, 0, 1))
+        if bias is not None and bias.requires_grad:
+            bias.accumulate_grad(g2d.sum(axis=0), owned=True)
+        if x.requires_grad:
+            if kh == 1 and kw == 1 and padding == 0:
+                if x.grad is None and stride == 1:
+                    # Fresh gradient: GEMM straight into the new buffer (no
+                    # zero fill, no accumulate pass).
+                    buf = _acquire(ws, (n, h, w, c_in))
+                    np.matmul(g2d, w_gemm.T, out=buf.reshape(nl, c_in))
+                    x.grad = buf.transpose(0, 3, 1, 2)
+                else:
+                    xg_cl = _grad_target_cl(x, ws)
+                    target = (xg_cl if stride == 1
+                              else xg_cl[:, ::stride, ::stride, :])
+                    target += (g2d @ w_gemm.T).reshape(n, oh, ow, c_in)
+            elif padding <= kh - 1 and padding <= kw - 1:
+                _conv2d_input_grad(g2d.reshape(n, oh, ow, c_out), weight.data,
+                                   x, stride, padding, ws, gemm_weight_bwd)
+            else:
+                xg_cl = _grad_target_cl(x, ws)
+                # Exotic padding (> kernel-1): fall back to the per-tap fold.
+                grad_cols = _acquire(ws, (nl, k))
+                np.matmul(g2d, w_gemm.T, out=grad_cols)
+                gc6 = grad_cols.reshape(n, oh, ow, kh, kw, c_in)
+                for i in range(kh):
+                    for j in range(kw):
+                        src, dst = _clipped_window((h, w), (oh, ow),
+                                                   (i - padding, j - padding),
+                                                   stride)
+                        if src is None:
+                            continue
+                        xg_cl[(slice(None),) + src + (slice(None),)] += \
+                            gc6[(slice(None),) + dst + (i, j, slice(None))]
+                _release(ws, grad_cols)
+
+    return Tensor.make_from_op(out_data, parents, backward)
+
+
+def _conv2d_input_grad(g_cl: np.ndarray, weight: np.ndarray, x: Tensor,
+                       stride: int, padding: int, ws: Optional[Workspace],
+                       w_flip: Optional[np.ndarray] = None) -> None:
+    """Accumulate the conv input gradient into ``x.grad`` (channels-last).
+
+    Computes the transposed convolution as a *full* convolution over the
+    stride-dilated output gradient with the spatially-flipped kernel — one
+    zero-scatter, one window gather and one GEMM, instead of a kh*kw-tap
+    strided scatter (which dominates backward wall time for small channel
+    counts).  When ``x.grad`` does not exist yet the GEMM writes straight
+    into the freshly-created buffer.
+    """
+    n, oh, ow, c_out = g_cl.shape
+    _, c_in, h, w = x.data.shape
+    kh, kw = weight.shape[2], weight.shape[3]
+    # Left/top padding of the dilated gradient is kh-1-p (position u=0 of x
+    # sees output taps starting at kernel offset p).  Input rows past hu
+    # (stride remainder) never reached an output window and stay zero; conv
+    # positions past h are padding whose gradient is discarded.
+    pbh, pbw = kh - 1 - padding, kw - 1 - padding
+    hu = min((oh - 1) * stride + kh - padding, h)
+    wu = min((ow - 1) * stride + kw - padding, w)
+    hd = hu + kh - 1
+    wd = wu + kw - 1
+
+    g_dil = _acquire(ws, (n, hd, wd, c_out))
+    if stride == 1:
+        # The scatter is a dense block copy; only the border needs zeroing.
+        hhi, whi = pbh + oh, pbw + ow
+        g_dil[:, :pbh] = 0.0
+        g_dil[:, hhi:] = 0.0
+        g_dil[:, pbh:hhi, :pbw] = 0.0
+        g_dil[:, pbh:hhi, whi:] = 0.0
+        g_dil[:, pbh:hhi, pbw:whi] = g_cl
+    else:
+        g_dil.fill(0.0)
+        g_dil[:, pbh:pbh + (oh - 1) * stride + 1:stride,
+              pbw:pbw + (ow - 1) * stride + 1:stride] = g_cl
+
+    win = _window_view(g_dil, kh, kw, 1)           # (n, hu, wu, kh, kw, c_out)
+    cols = _acquire(ws, (n * hu * wu, kh * kw * c_out))
+    np.copyto(cols.reshape(n, hu, wu, kh, kw, c_out), win)
+    _release(ws, g_dil)
+    if w_flip is None:
+        w_flip = pack_gemm_weights(weight)[1]
+    if x.grad is None and hu == h and wu == w:
+        buf = _acquire(ws, (n, h, w, c_in))
+        np.matmul(cols, w_flip, out=buf.reshape(n * h * w, c_in))
+        x.grad = buf.transpose(0, 3, 1, 2)
+    else:
+        grad = _acquire(ws, (n * hu * wu, c_in))
+        np.matmul(cols, w_flip, out=grad)
+        xg_cl = _grad_target_cl(x, ws)
+        xg_cl[:, :hu, :wu, :] += grad.reshape(n, hu, wu, c_in)
+        _release(ws, grad)
+    _release(ws, cols)
+
+
 # ---------------------------------------------------------------------------
 # Pooling
 # ---------------------------------------------------------------------------
 
-def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None,
+               workspace: Optional[Workspace] = None) -> Tensor:
     """Max pooling with square window."""
+    if _BACKEND == "reference":
+        return max_pool2d_reference(x, kernel_size, stride)
+    return _max_pool2d_fast(x, kernel_size, stride or kernel_size, workspace)
+
+
+def max_pool2d_reference(x: Tensor, kernel_size: int,
+                         stride: Optional[int] = None) -> Tensor:
     stride = stride or kernel_size
     n, c, h, w = x.shape
     out_h = _conv_output_size(h, kernel_size, stride, 0)
@@ -197,8 +542,51 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
     return Tensor.make_from_op(out_data, (x,), backward)
 
 
-def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+def _max_pool2d_fast(x: Tensor, k: int, stride: int,
+                     ws: Optional[Workspace]) -> Tensor:
+    n, c, h, w = x.shape
+    oh = _conv_output_size(h, k, stride, 0)
+    ow = _conv_output_size(w, k, stride, 0)
+
+    x_cl = x.data.transpose(0, 2, 3, 1)
+    win = _window_view(x_cl, k, k, stride)
+    cols = _acquire(ws, (n, oh, ow, k * k, c))
+    np.copyto(cols.reshape(n, oh, ow, k, k, c), win)
+    argmax = _acquire(ws, (n, oh, ow, c), np.intp)
+    np.argmax(cols, axis=3, out=argmax)
+    out_cl = _acquire(ws, (n, oh, ow, c))
+    np.max(cols, axis=3, out=out_cl)
+    _release(ws, cols)
+    del cols, win
+    out_data = out_cl.transpose(0, 3, 1, 2)
+
+    def backward(grad_out: np.ndarray) -> None:
+        g_cl = grad_out.transpose(0, 2, 3, 1)
+        grad_cols = _acquire(ws, (n, oh, ow, k * k, c))
+        grad_cols.fill(0.0)
+        np.put_along_axis(grad_cols, argmax[:, :, :, None, :],
+                          g_cl[:, :, :, None, :], axis=3)
+        xg_cl = _grad_target_cl(x, ws)
+        for i in range(k):
+            for j in range(k):
+                src, dst = _clipped_window((h, w), (oh, ow), (i, j), stride)
+                xg_cl[(slice(None),) + src + (slice(None),)] += \
+                    grad_cols[(slice(None),) + dst + (i * k + j, slice(None))]
+        _release(ws, grad_cols)
+
+    return Tensor.make_from_op(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None,
+               workspace: Optional[Workspace] = None) -> Tensor:
     """Average pooling with square window."""
+    if _BACKEND == "reference":
+        return avg_pool2d_reference(x, kernel_size, stride)
+    return _avg_pool2d_fast(x, kernel_size, stride or kernel_size, workspace)
+
+
+def avg_pool2d_reference(x: Tensor, kernel_size: int,
+                         stride: Optional[int] = None) -> Tensor:
     stride = stride or kernel_size
     n, c, h, w = x.shape
     out_h = _conv_output_size(h, kernel_size, stride, 0)
@@ -219,13 +607,44 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
     return Tensor.make_from_op(out_data, (x,), backward)
 
 
-def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+def _avg_pool2d_fast(x: Tensor, k: int, stride: int,
+                     ws: Optional[Workspace]) -> Tensor:
+    n, c, h, w = x.shape
+    oh = _conv_output_size(h, k, stride, 0)
+    ow = _conv_output_size(w, k, stride, 0)
+
+    x_cl = x.data.transpose(0, 2, 3, 1)
+    win = _window_view(x_cl, k, k, stride)
+    out_cl = _acquire(ws, (n, oh, ow, c))
+    # The mean reduces the strided window view directly — the forward never
+    # materialises pooling columns.
+    np.mean(win, axis=(3, 4), out=out_cl)
+    out_data = out_cl.transpose(0, 3, 1, 2)
+    window = k * k
+
+    def backward(grad_out: np.ndarray) -> None:
+        g_cl = grad_out.transpose(0, 2, 3, 1)
+        scaled = _acquire(ws, (n, oh, ow, c))
+        np.divide(g_cl, window, out=scaled)
+        xg_cl = _grad_target_cl(x, ws)
+        for i in range(k):
+            for j in range(k):
+                src, dst = _clipped_window((h, w), (oh, ow), (i, j), stride)
+                xg_cl[(slice(None),) + src + (slice(None),)] += \
+                    scaled[(slice(None),) + dst + (slice(None),)]
+        _release(ws, scaled)
+
+    return Tensor.make_from_op(out_data, (x,), backward)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1,
+                        workspace: Optional[Workspace] = None) -> Tensor:
     """Adaptive average pooling; only whole-divisor output sizes are supported."""
     _, _, h, w = x.shape
     if h % output_size or w % output_size:
         raise ValueError("input spatial size must be divisible by output_size")
     kernel = h // output_size
-    return avg_pool2d(x, kernel_size=kernel, stride=kernel)
+    return avg_pool2d(x, kernel_size=kernel, stride=kernel, workspace=workspace)
 
 
 # ---------------------------------------------------------------------------
@@ -241,12 +660,30 @@ def batch_norm(
     training: bool,
     momentum: float = 0.1,
     eps: float = 1e-5,
+    workspace: Optional[Workspace] = None,
 ) -> Tensor:
     """Batch normalisation over (N, C, H, W) or (N, C) inputs.
 
     During training the batch statistics are used and ``running_mean`` /
     ``running_var`` are updated in place (exponential moving average).
     """
+    if _BACKEND == "reference" or x.ndim != 4:
+        return batch_norm_reference(x, gamma, beta, running_mean, running_var,
+                                    training, momentum, eps)
+    return _batch_norm_fast(x, gamma, beta, running_mean, running_var,
+                            training, momentum, eps, workspace)
+
+
+def batch_norm_reference(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
     is_conv = x.ndim == 4
     axes = (0, 2, 3) if is_conv else (0,)
     shape = (1, -1, 1, 1) if is_conv else (1, -1)
@@ -276,13 +713,11 @@ def batch_norm(
         if x.requires_grad:
             g = gamma.data.reshape(shape)
             if training:
-                m = x.data.size / x.data.shape[1]
                 dxhat = grad_out * g
                 term1 = dxhat
                 term2 = dxhat.mean(axis=axes, keepdims=True)
                 term3 = x_hat * (dxhat * x_hat).mean(axis=axes, keepdims=True)
                 grad_x = (term1 - term2 - term3) * inv_std.reshape(shape)
-                del m
             else:
                 grad_x = grad_out * g * inv_std.reshape(shape)
             x.accumulate_grad(grad_x)
@@ -290,8 +725,114 @@ def batch_norm(
     return Tensor.make_from_op(out_data, (x, gamma, beta), backward)
 
 
-def relu(x: Tensor) -> Tensor:
-    return x.relu()
+def _batch_norm_fast(x: Tensor, gamma: Tensor, beta: Tensor,
+                     running_mean: np.ndarray, running_var: np.ndarray,
+                     training: bool, momentum: float, eps: float,
+                     ws: Optional[Workspace]) -> Tensor:
+    n, c, h, w = x.shape
+    m = n * h * w
+    x_cl = x.data.transpose(0, 2, 3, 1)
+    out_cl = _acquire(ws, (n, h, w, c))
+
+    if training:
+        # Channel statistics as BLAS row-sums (see _channel_sum): a two-pass
+        # mean/variance, so numerics match the reference backend up to
+        # reduction order (a few ULPs; documented module-level).  ``xc``
+        # (the centred input) is kept for backward instead of x_hat; every
+        # downstream use folds ``inv_std`` into per-channel scalars.
+        rows = _as_rows(x_cl, ws)
+        mean = _channel_sum(rows) / np.float32(m)
+        xc = _acquire(ws, (n, h, w, c))
+        np.subtract(x_cl, mean, out=xc)
+        xc_rows = xc.reshape(m, c)
+        np.multiply(xc_rows, xc_rows, out=out_cl.reshape(m, c))  # scratch use
+        var = _channel_sum(out_cl.reshape(m, c)) / np.float32(m)
+        count = x.data.size / c
+        unbiased = var * count / max(count - 1, 1)
+        running_mean *= (1 - momentum)
+        running_mean += momentum * mean
+        running_var *= (1 - momentum)
+        running_var += momentum * unbiased
+        inv_std = (1.0 / np.sqrt(var + eps)).astype(np.float32)
+        np.multiply(xc, gamma.data * inv_std, out=out_cl)
+        out_cl += beta.data
+    else:
+        mean = running_mean
+        var = running_var
+        xc = None
+        inv_std = (1.0 / np.sqrt(var + eps)).astype(np.float32)
+        scale_vec = gamma.data * inv_std
+        np.multiply(x_cl, scale_vec, out=out_cl)
+        out_cl += beta.data - mean * scale_vec
+    out_data = out_cl.transpose(0, 3, 1, 2)
+
+    def backward(grad_out: np.ndarray) -> None:
+        g_cl = grad_out.transpose(0, 2, 3, 1)
+        g_rows = _as_rows(g_cl, ws)
+        sum_g = _channel_sum(g_rows)
+        if beta.requires_grad:
+            beta.accumulate_grad(sum_g, owned=True)
+        if training:
+            tmp = _acquire(ws, (n, h, w, c))
+            np.multiply(g_rows.reshape(n, h, w, c), xc, out=tmp)
+            sum_gxc = _channel_sum(tmp.reshape(m, c))
+            if gamma.requires_grad:
+                gamma.accumulate_grad(inv_std * sum_gxc, owned=True)
+            if x.requires_grad:
+                # grad_x = (gamma*inv) * (g - mean(g) - xc*inv^2*mean(g*xc))
+                s3 = (inv_std * inv_std) * (sum_gxc / np.float32(m))
+                np.multiply(xc, s3, out=tmp)
+                dx = _acquire(ws, (n, h, w, c))
+                np.subtract(g_cl, sum_g / np.float32(m), out=dx)
+                dx -= tmp
+                dx *= gamma.data * inv_std
+                if x.grad is None:
+                    x.grad = dx.transpose(0, 3, 1, 2)
+                else:
+                    x.grad.transpose(0, 2, 3, 1)[...] += dx
+                    _release(ws, dx)
+            _release(ws, tmp)
+        else:
+            if gamma.requires_grad:
+                tmp = _acquire(ws, (n, h, w, c))
+                np.subtract(x_cl, mean, out=tmp)
+                np.multiply(tmp, g_cl, out=tmp)
+                gamma.accumulate_grad(
+                    inv_std * _channel_sum(tmp.reshape(m, c)), owned=True)
+                _release(ws, tmp)
+            if x.requires_grad:
+                scale_vec = gamma.data * inv_std
+                gbuf = _acquire(ws, (n, h, w, c))
+                np.multiply(g_cl, scale_vec, out=gbuf)
+                if x.grad is None:
+                    x.grad = gbuf.transpose(0, 3, 1, 2)
+                else:
+                    x.grad.transpose(0, 2, 3, 1)[...] += gbuf
+                    _release(ws, gbuf)
+
+    return Tensor.make_from_op(out_data, (x, gamma, beta), backward)
+
+
+def relu(x: Tensor, workspace: Optional[Workspace] = None) -> Tensor:
+    """ReLU; with a workspace, forward/backward run through reused buffers."""
+    if workspace is None or _BACKEND == "reference":
+        return x.relu()
+    out_data = acquire_like(workspace, x.data)
+    np.maximum(x.data, 0, out=out_data)
+
+    def backward(grad_out: np.ndarray) -> None:
+        mask = acquire_like(workspace, x.data, dtype=bool)
+        np.greater(out_data, 0, out=mask)
+        if x.grad is None:
+            g = acquire_like(workspace, x.data)
+            np.multiply(grad_out, mask, out=g)
+            x.grad = g
+        else:
+            # grad_out is dead after this backward; mask it in place.
+            np.multiply(grad_out, mask, out=grad_out)
+            x.grad += grad_out
+
+    return Tensor.make_from_op(out_data, (x,), backward)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -301,7 +842,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
     def backward(grad_out: np.ndarray) -> None:
         dot = (grad_out * out_data).sum(axis=axis, keepdims=True)
-        x.accumulate_grad(out_data * (grad_out - dot))
+        x.accumulate_grad(out_data * (grad_out - dot), owned=True)
 
     return Tensor.make_from_op(out_data, (x,), backward)
 
@@ -313,7 +854,8 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     probs = np.exp(out_data)
 
     def backward(grad_out: np.ndarray) -> None:
-        x.accumulate_grad(grad_out - probs * grad_out.sum(axis=axis, keepdims=True))
+        x.accumulate_grad(grad_out - probs * grad_out.sum(axis=axis, keepdims=True),
+                          owned=True)
 
     return Tensor.make_from_op(out_data, (x,), backward)
 
@@ -339,7 +881,7 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") ->
     def backward(grad_out: np.ndarray) -> None:
         grad = np.zeros_like(log_probs.data)
         grad[np.arange(n), targets] = -scale
-        log_probs.accumulate_grad(grad * grad_out)
+        log_probs.accumulate_grad(grad * grad_out, owned=True)
 
     return Tensor.make_from_op(np.asarray(out_data, dtype=np.float32),
                                (log_probs,), backward)
@@ -368,7 +910,7 @@ def dropout(x: Tensor, p: float, training: bool,
     mask = (rng.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
 
     def backward(grad_out: np.ndarray) -> None:
-        x.accumulate_grad(grad_out * mask)
+        x.accumulate_grad(grad_out * mask, owned=True)
 
     return Tensor.make_from_op(x.data * mask, (x,), backward)
 

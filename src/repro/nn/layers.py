@@ -17,6 +17,7 @@ from . import functional as F
 from . import init
 from .module import Module, Parameter
 from .tensor import Tensor
+from .workspace import default_workspace
 
 __all__ = [
     "Linear",
@@ -68,10 +69,33 @@ class Conv2d(Module):
         self.weight = Parameter(
             init.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size), rng))
         self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self._gemm_cache = None
+
+    def gemm_weights(self, weight: Optional[Tensor] = None) -> tuple:
+        """Cached forward/backward GEMM repacks of ``weight``.
+
+        Returns ``(fwd, bwd)``: the (kh*kw*C_in, C_out) forward pack and the
+        spatially-flipped (kh*kw*C_out, C_in) transposed-conv pack.  Keyed on
+        ``(id(data), version)`` so optimizer steps (which bump the parameter
+        version) invalidate them; attack loops and eval batches with frozen
+        weights reuse the packs across every forward/backward.
+        """
+        weight = weight if weight is not None else self.weight
+        key = (id(weight.data), weight.version)
+        cached = self._gemm_cache
+        if cached is not None and cached[0] == key:
+            return cached[1], cached[2]
+        fwd, bwd = F.pack_gemm_weights(weight.data)
+        self._gemm_cache = (key, fwd, bwd)
+        return fwd, bwd
 
     def forward(self, x: Tensor) -> Tensor:
+        gemm_fwd = gemm_bwd = None
+        if F.get_backend() == "fast":
+            gemm_fwd, gemm_bwd = self.gemm_weights()
         return F.conv2d(x, self.weight, self.bias, stride=self.stride,
-                        padding=self.padding)
+                        padding=self.padding, workspace=default_workspace(),
+                        gemm_weight=gemm_fwd, gemm_weight_bwd=gemm_bwd)
 
 
 class BatchNorm2d(Module):
@@ -90,7 +114,8 @@ class BatchNorm2d(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.batch_norm(x, self.weight, self.bias, self.running_mean,
                             self.running_var, training=self.training,
-                            momentum=self.momentum, eps=self.eps)
+                            momentum=self.momentum, eps=self.eps,
+                            workspace=default_workspace())
 
 
 class SwitchableBatchNorm2d(Module):
@@ -142,7 +167,7 @@ class SwitchableBatchNorm2d(Module):
 
 class ReLU(Module):
     def forward(self, x: Tensor) -> Tensor:
-        return F.relu(x)
+        return F.relu(x, workspace=default_workspace())
 
 
 class MaxPool2d(Module):
@@ -152,7 +177,8 @@ class MaxPool2d(Module):
         self.stride = stride or kernel_size
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.max_pool2d(x, self.kernel_size, self.stride)
+        return F.max_pool2d(x, self.kernel_size, self.stride,
+                            workspace=default_workspace())
 
 
 class AvgPool2d(Module):
@@ -162,7 +188,8 @@ class AvgPool2d(Module):
         self.stride = stride or kernel_size
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.avg_pool2d(x, self.kernel_size, self.stride)
+        return F.avg_pool2d(x, self.kernel_size, self.stride,
+                            workspace=default_workspace())
 
 
 class AdaptiveAvgPool2d(Module):
@@ -171,7 +198,8 @@ class AdaptiveAvgPool2d(Module):
         self.output_size = output_size
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.adaptive_avg_pool2d(x, self.output_size)
+        return F.adaptive_avg_pool2d(x, self.output_size,
+                                     workspace=default_workspace())
 
 
 class Flatten(Module):

@@ -115,6 +115,9 @@ class Module:
                     buffers[name][...] = value
             elif key in params:
                 params[key].data[...] = value
+                # Invalidate version-keyed caches (quantized weights, conv
+                # GEMM repacks) that were derived from the old values.
+                params[key].bump_version()
 
     # ------------------------------------------------------------------
     # Call protocol

@@ -31,7 +31,13 @@ class Optimizer:
 
 
 class SGD(Optimizer):
-    """Stochastic gradient descent with momentum and weight decay."""
+    """Stochastic gradient descent with momentum and weight decay.
+
+    The update runs fully in place through a persistent per-parameter
+    scratch buffer, so steady-state steps allocate nothing; the arithmetic
+    is associated exactly as the textbook ``v = m*v + (g + wd*w); w -= lr*v``
+    so results are bit-identical to the allocating formulation.
+    """
 
     def __init__(self, params: Sequence[Parameter], lr: float,
                  momentum: float = 0.0, weight_decay: float = 0.0,
@@ -41,22 +47,40 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self.nesterov = nesterov
         self._velocity: Dict[int, np.ndarray] = {}
+        self._scratch: Dict[int, np.ndarray] = {}
+
+    def _param_scratch(self, param: Parameter) -> np.ndarray:
+        scratch = self._scratch.get(id(param))
+        if scratch is None or scratch.shape != param.data.shape:
+            scratch = self._scratch[id(param)] = np.empty_like(param.data)
+        return scratch
 
     def step(self) -> None:
         for param in self.params:
             if param.grad is None:
                 continue
             grad = param.grad
+            scratch = self._param_scratch(param)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                np.multiply(param.data, self.weight_decay, out=scratch)
+                scratch += grad
+                grad = scratch
             if self.momentum:
                 vel = self._velocity.get(id(param))
                 if vel is None:
-                    vel = np.zeros_like(param.data)
-                vel = self.momentum * vel + grad
-                self._velocity[id(param)] = vel
-                grad = grad + self.momentum * vel if self.nesterov else vel
-            param.data -= self.lr * grad
+                    vel = self._velocity[id(param)] = np.zeros_like(param.data)
+                vel *= self.momentum
+                vel += grad
+                if self.nesterov:
+                    grad = grad + self.momentum * vel
+                else:
+                    grad = vel
+            if grad is not scratch:
+                np.multiply(grad, self.lr, out=scratch)
+            else:
+                scratch *= self.lr
+            param.data -= scratch
+            param.bump_version()
 
 
 class Adam(Optimizer):
@@ -82,15 +106,19 @@ class Adam(Optimizer):
             grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
-            m = self._m.get(id(param), np.zeros_like(param.data))
-            v = self._v.get(id(param), np.zeros_like(param.data))
-            m = b1 * m + (1 - b1) * grad
-            v = b2 * v + (1 - b2) * grad ** 2
-            self._m[id(param)] = m
-            self._v[id(param)] = v
+            m = self._m.get(id(param))
+            v = self._v.get(id(param))
+            if m is None:
+                m = self._m[id(param)] = np.zeros_like(param.data)
+                v = self._v[id(param)] = np.zeros_like(param.data)
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad ** 2
             m_hat = m / (1 - b1 ** self._t)
             v_hat = v / (1 - b2 ** self._t)
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.bump_version()
 
 
 class LRScheduler:

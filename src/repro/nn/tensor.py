@@ -81,7 +81,8 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy-backed tensor with reverse-mode automatic differentiation."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name",
+                 "_version")
 
     def __init__(
         self,
@@ -95,6 +96,7 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._prev: Tuple["Tensor", ...] = ()
         self.name = name
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -173,13 +175,37 @@ class Tensor:
     def copy(self) -> "Tensor":
         return Tensor(self.data.copy(), requires_grad=False)
 
-    def accumulate_grad(self, grad: np.ndarray) -> None:
-        """Accumulate ``grad`` into ``self.grad`` (creating it if needed)."""
+    @property
+    def version(self) -> int:
+        """Counter bumped by every tracked in-place mutation of ``data``.
+
+        Consumers (the quantized-weight cache, the conv GEMM-weight cache)
+        key derived arrays on ``(id(data), version)`` so an optimizer step or
+        ``load_state_dict`` invalidates them.
+        """
+        return self._version
+
+    def bump_version(self) -> None:
+        """Record an in-place mutation of ``data`` (see :attr:`version`)."""
+        self._version += 1
+
+    def accumulate_grad(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Accumulate ``grad`` into ``self.grad`` (creating it if needed).
+
+        ``owned=True`` asserts the caller freshly computed ``grad`` for this
+        tensor and holds no other reference, so the first accumulation can
+        adopt the array instead of copying it.  ``copy(order="K")`` on the
+        unowned path preserves a channels-last memory layout end to end.
+        """
         if not self.requires_grad:
             return
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float32), self.data.shape)
+        grad = np.asarray(grad, dtype=np.float32)
+        if grad.shape != self.data.shape:
+            # Broadcast reduction always produces a fresh array.
+            grad = _unbroadcast(grad, self.data.shape)
+            owned = True
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = grad if owned else grad.copy(order="K")
         else:
             self.grad += grad
 
@@ -237,7 +263,11 @@ class Tensor:
         out_data = self.data + other.data
 
         def backward(grad_out: np.ndarray) -> None:
-            self.accumulate_grad(grad_out)
+            # The first parent may adopt the incoming array: once this node's
+            # backward has run, nothing reads its grad again, so later ``+=``
+            # accumulations into the adopted array are safe.  The second
+            # parent still copies (two parents must not alias one buffer).
+            self.accumulate_grad(grad_out, owned=True)
             other.accumulate_grad(grad_out)
 
         return Tensor.make_from_op(out_data, (self, other), backward)
@@ -257,8 +287,8 @@ class Tensor:
         out_data = self.data - other.data
 
         def backward(grad_out: np.ndarray) -> None:
-            self.accumulate_grad(grad_out)
-            other.accumulate_grad(-grad_out)
+            self.accumulate_grad(grad_out, owned=True)   # see __add__
+            other.accumulate_grad(-grad_out, owned=True)
 
         return Tensor.make_from_op(out_data, (self, other), backward)
 
@@ -270,8 +300,8 @@ class Tensor:
         out_data = self.data * other.data
 
         def backward(grad_out: np.ndarray) -> None:
-            self.accumulate_grad(grad_out * other.data)
-            other.accumulate_grad(grad_out * self.data)
+            self.accumulate_grad(grad_out * other.data, owned=True)
+            other.accumulate_grad(grad_out * self.data, owned=True)
 
         return Tensor.make_from_op(out_data, (self, other), backward)
 
@@ -356,7 +386,7 @@ class Tensor:
 
         def backward(grad_out: np.ndarray) -> None:
             # out > 0 exactly where the input was positive.
-            self.accumulate_grad(grad_out * (out_data > 0))
+            self.accumulate_grad(grad_out * (out_data > 0), owned=True)
 
         return Tensor.make_from_op(out_data, (self,), backward)
 
@@ -443,9 +473,11 @@ class Tensor:
 
         def backward(grad_out: np.ndarray) -> None:
             if self.requires_grad:
-                self.accumulate_grad(grad_out @ np.swapaxes(other.data, -1, -2))
+                self.accumulate_grad(grad_out @ np.swapaxes(other.data, -1, -2),
+                                     owned=True)
             if other.requires_grad:
-                other.accumulate_grad(np.swapaxes(self.data, -1, -2) @ grad_out)
+                other.accumulate_grad(np.swapaxes(self.data, -1, -2) @ grad_out,
+                                      owned=True)
 
         return Tensor.make_from_op(out_data, (self, other), backward)
 

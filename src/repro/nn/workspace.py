@@ -1,0 +1,204 @@
+"""Reusable scratch-buffer arena for the channels-last NN compute core.
+
+Steady-state training re-creates the same large arrays every step: im2col
+column buffers, GEMM outputs, batch-norm normalised activations, quantizer
+scratch and gradient accumulators.  ``Workspace`` keeps those arrays alive
+across steps in per-(shape, dtype) free lists so the hot path allocates only
+on the first step (or after a shape change).
+
+Safety model — *leak, never corrupt*:
+
+* ``acquire`` hands out a buffer only when ``sys.getrefcount`` proves the
+  arena holds the sole reference.  A buffer that escaped (a caller kept
+  ``tensor.data``, a view, or a closure still references it) fails the check
+  and is dropped to the garbage collector instead of being recycled.
+* ``end_step()`` marks everything handed out since the previous step
+  boundary as reusable.  Trainers, attacks and the evaluation helpers call
+  it once per optimisation step / gradient computation / eval batch.  A
+  missing ``end_step`` cannot corrupt results — buffers merely stop being
+  reused once ``pending`` overflows and is flushed (the refcount check still
+  guards every reuse).
+
+``REPRO_NN_WORKSPACE_MB`` caps the arena (default 256 MiB, ``0`` disables
+pooling entirely so every acquire falls back to ``np.empty``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["Workspace", "default_workspace"]
+
+_Key = Tuple[Tuple[int, ...], str]
+
+#: Memo of dtype -> dtype.str for the acquire fast path.
+_DTYPE_STR: dict = {}
+
+
+def _env_cap_bytes() -> int:
+    try:
+        mb = float(os.environ.get("REPRO_NN_WORKSPACE_MB", "256"))
+    except ValueError:
+        mb = 256.0
+    return int(mb * (1 << 20))
+
+
+class Workspace:
+    """Keyed free-lists of numpy scratch buffers with refcount-guarded reuse."""
+
+    #: Flush ``pending`` automatically once it holds this many buffers, so a
+    #: caller that never reaches a step boundary still gets reuse (the
+    #: refcount guard keeps early flushes safe).
+    PENDING_FLUSH = 512
+
+    def __init__(self, max_bytes: int | None = None) -> None:
+        self.max_bytes = _env_cap_bytes() if max_bytes is None else int(max_bytes)
+        # (shape, dtype) -> stack of free buffers; OrderedDict gives LRU
+        # eviction order across keys when the byte cap is exceeded.
+        self._free: "OrderedDict[_Key, List[np.ndarray]]" = OrderedDict()
+        self._pending: List[np.ndarray] = []
+        # id(buf) -> number of early releases this step, so end_step() does
+        # not stash a released buffer a second time.
+        self._released: Dict[int, int] = {}
+        self._free_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_bytes > 0
+
+    # ------------------------------------------------------------------
+    def acquire(self, shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
+        """Return an uninitialised buffer of ``shape``/``dtype`` for this step."""
+        if not self.enabled:
+            return np.empty(shape, dtype=dtype)
+        dstr = _DTYPE_STR.get(dtype)
+        if dstr is None:
+            dstr = _DTYPE_STR[dtype] = np.dtype(dtype).str
+        key = (tuple(shape), dstr)
+        bucket = self._free.get(key)
+        while bucket:
+            buf = bucket.pop()
+            self._free_bytes -= buf.nbytes
+            # Sole-owner check: after the pop the only references are the
+            # local ``buf`` and getrefcount's argument — plus one ``pending``
+            # entry when the buffer was early-released this step.  Anything
+            # else (an escaped ``tensor.data``, a view, a live backward
+            # closure) raises the count and the buffer is abandoned to GC.
+            count = sys.getrefcount(buf)
+            if count == 2 or (count == 3 and id(buf) in self._released):
+                self.hits += 1
+                self._pending.append(buf)
+                return buf
+        self.misses += 1
+        buf = np.empty(shape, dtype=dtype)
+        self._pending.append(buf)
+        if len(self._pending) >= self.PENDING_FLUSH:
+            self.end_step()
+        return buf
+
+    def release(self, buf: np.ndarray) -> None:
+        """Return ``buf`` to the free list before the step boundary.
+
+        Only for purely intra-op scratch (e.g. the padded-input staging
+        buffer) acquired from this workspace during the current step; the
+        caller must drop its own reference right after.  O(1): the buffer
+        stays on ``pending`` and is skipped at the next ``end_step``.
+        """
+        if not self.enabled:
+            return
+        key = id(buf)
+        self._released[key] = self._released.get(key, 0) + 1
+        self._stash(buf)
+
+    def end_step(self) -> None:
+        """Mark every buffer handed out since the last boundary as reusable."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        released = self._released
+        for buf in pending:
+            if released:
+                count = released.get(id(buf))
+                if count:
+                    if count == 1:
+                        del released[id(buf)]
+                    else:
+                        released[id(buf)] = count - 1
+                    continue
+            self._stash(buf)
+        released.clear()
+
+    # ------------------------------------------------------------------
+    def _stash(self, buf: np.ndarray) -> None:
+        key = (buf.shape, buf.dtype.str)
+        bucket = self._free.get(key)
+        if bucket is None:
+            bucket = self._free[key] = []
+        bucket.append(buf)
+        self._free.move_to_end(key)
+        self._free_bytes += buf.nbytes
+        while self._free_bytes > self.max_bytes and self._free:
+            oldest_key, oldest = next(iter(self._free.items()))
+            if not oldest:
+                # Bucket emptied by acquire; discard and keep evicting.
+                self._free.pop(oldest_key)
+                continue
+            dropped = oldest.pop(0)
+            self._free_bytes -= dropped.nbytes
+            if not oldest:
+                self._free.pop(oldest_key)
+
+    def clear(self) -> None:
+        self._free.clear()
+        self._pending.clear()
+        # Stale release records must not survive: a recycled id() could
+        # otherwise satisfy the acquire guard's released-buffer exception.
+        self._released.clear()
+        self._free_bytes = 0
+
+
+def acquire_like(ws: "Workspace | None", arr: np.ndarray,
+                 dtype=np.float32) -> np.ndarray:
+    """Scratch buffer with ``arr``'s shape, preserving a channels-last layout.
+
+    For an NCHW-shaped array whose memory is channels-last, the returned
+    buffer is channels-last too, so ``out=`` ufuncs keep the network's
+    internal layout intact.
+    """
+    if arr.ndim == 4 and arr.transpose(0, 2, 3, 1).flags["C_CONTIGUOUS"]:
+        n, c, h, w = arr.shape
+        buf = (ws.acquire((n, h, w, c), dtype) if ws is not None
+               else np.empty((n, h, w, c), dtype=dtype))
+        return buf.transpose(0, 3, 1, 2)
+    if ws is not None:
+        return ws.acquire(arr.shape, dtype)
+    return np.empty(arr.shape, dtype=dtype)
+
+
+_DEFAULT: Workspace | None = None
+
+
+def default_workspace() -> Workspace:
+    """The process-wide arena shared by layers, attacks and trainers.
+
+    A single shared arena maximises reuse across models (shapes repeat), and
+    the acquire-time refcount guard keeps interleaved use of several models
+    safe: a buffer still referenced by anyone is never recycled.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Workspace()
+    return _DEFAULT
+
+
+def end_step() -> None:
+    """Convenience: mark a step boundary on the default arena."""
+    if _DEFAULT is not None:
+        _DEFAULT.end_step()

@@ -16,8 +16,10 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..nn.tensor import Tensor
+from ..nn.workspace import Workspace, acquire_like as _acquire_like
 
-__all__ = ["QuantizerConfig", "quantize_array", "fake_quantize", "LinearQuantizer"]
+__all__ = ["QuantizerConfig", "quantize_array", "quantize_with_mask",
+           "fake_quantize", "LinearQuantizer"]
 
 
 @dataclass
@@ -86,38 +88,76 @@ def quantize_array(x: np.ndarray, config: QuantizerConfig,
     return (q * scale + zero_point).astype(np.float32)
 
 
-def fake_quantize(x: Tensor, config: QuantizerConfig) -> Tensor:
+def quantize_with_mask(x: np.ndarray, config: QuantizerConfig
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantise-dequantise ``x`` and return ``(data, pass_mask)``.
+
+    ``pass_mask`` marks values inside the representable range (the clipped
+    STE mask).  Bitwise identical to :func:`fake_quantize`'s forward; used
+    by the quantized-weight cache so a cached entry can rebuild the STE
+    backward without recomputing the rounding.
+    """
+    scale, zero_point = _compute_scale(x, config)
+    if config.symmetric and not config.per_channel:
+        q = np.round(x / scale)
+        clipped = np.clip(q, config.qmin, config.qmax)
+        data = (clipped * scale).astype(np.float32)
+    else:
+        q = np.round((x - zero_point) / scale)
+        clipped = np.clip(q, config.qmin, config.qmax)
+        data = (clipped * scale + zero_point).astype(np.float32)
+    return data, q == clipped
+
+
+def fake_quantize(x: Tensor, config: QuantizerConfig,
+                  workspace: Optional[Workspace] = None) -> Tensor:
     """Differentiable fake quantisation of a tensor using the STE.
 
-    Forward: quantise-dequantise.  Backward: pass gradients straight through
-    where the value fell inside the representable range, zero where it
-    saturated (the standard clipped STE).
+    Forward: one-pass scale/round/clip quantise-dequantise written into
+    workspace scratch (layout-preserving, so channels-last activations stay
+    channels-last).  Backward: pass gradients straight through where the
+    value fell inside the representable range, zero where it saturated (the
+    standard clipped STE).
     """
     from ..nn.tensor import is_grad_enabled
 
     scale, zero_point = _compute_scale(x.data, config)
     symmetric_scalar = config.symmetric and not config.per_channel
+    need_grad = is_grad_enabled() and x.requires_grad
+
+    q = _acquire_like(workspace, x.data)
     if symmetric_scalar:
         # zero_point is identically 0 here; skipping it avoids two full-array
         # temporaries on the hot activation-quantisation path.
-        q = np.round(x.data / scale)
+        np.divide(x.data, scale, out=q)
     else:
-        q = np.round((x.data - zero_point) / scale)
-    clipped = np.clip(q, config.qmin, config.qmax)
-    if symmetric_scalar:
-        out_data = (clipped * scale).astype(np.float32)
+        np.subtract(x.data, zero_point, out=q)
+        np.divide(q, scale, out=q)
+    np.rint(q, out=q)
+
+    if need_grad:
+        out = _acquire_like(workspace, x.data)
+        np.clip(q, config.qmin, config.qmax, out=out)
+        pass_mask = _acquire_like(workspace, x.data, dtype=bool)
+        np.equal(q, out, out=pass_mask)
     else:
-        out_data = (clipped * scale + zero_point).astype(np.float32)
+        np.clip(q, config.qmin, config.qmax, out=q)
+        out = q
+    np.multiply(out, scale, out=out)
+    if not symmetric_scalar:
+        out += zero_point
 
-    if not (is_grad_enabled() and x.requires_grad):
-        return Tensor.make_from_op(out_data, (x,), lambda grad_out: None)
-
-    pass_mask = q == clipped        # inside the representable range
+    if not need_grad:
+        return Tensor.make_from_op(out, (x,), lambda grad_out: None)
 
     def backward(grad_out: np.ndarray) -> None:
-        x.accumulate_grad(grad_out * pass_mask)
+        # ``grad_out`` (this node's grad) is never read again after this
+        # backward, so the STE mask is applied in place and the array is
+        # adopted — no temporary.
+        np.multiply(grad_out, pass_mask, out=grad_out)
+        x.accumulate_grad(grad_out, owned=True)
 
-    return Tensor.make_from_op(out_data, (x,), backward)
+    return Tensor.make_from_op(out, (x,), backward)
 
 
 class LinearQuantizer:

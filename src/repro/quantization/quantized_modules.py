@@ -7,6 +7,14 @@ with the linear quantizer before computing the layer, which is the
 quantisation model used throughout the paper (same bit-width for weights and
 activations, per Sec. 4.1).
 
+Quantised *weights* are cached per ``(precision, weight version)``: weights
+only change when an optimizer steps (which bumps the parameter version), so
+attack inner loops, evaluation sweeps and random-precision switching reuse
+the rounded weights — and the conv layer's GEMM repack of them — instead of
+re-quantising every forward.  The straight-through-estimator backward is
+rebuilt per forward from the cached pass mask, so gradients are identical to
+an uncached run.  ``REPRO_NN_QUANT_CACHE=0`` disables the cache.
+
 ``set_model_precision`` is the single entry point used by RPS training,
 RPS inference and the attack implementations: it walks a model, assigns the
 execution precision to every quantisation-aware layer and flips every
@@ -15,6 +23,7 @@ execution precision to every quantisation-aware layer and flips every
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional
 
 import numpy as np
@@ -22,8 +31,9 @@ import numpy as np
 from ..nn import functional as F
 from ..nn.layers import Conv2d, Linear, SwitchableBatchNorm2d
 from ..nn.module import Module
-from ..nn.tensor import Tensor
-from .linear_quantizer import QuantizerConfig, fake_quantize
+from ..nn.tensor import Tensor, is_grad_enabled
+from ..nn.workspace import default_workspace
+from .linear_quantizer import QuantizerConfig, fake_quantize, quantize_with_mask
 from .precision import FULL_PRECISION, Precision
 
 __all__ = [
@@ -35,22 +45,50 @@ __all__ = [
 ]
 
 
+def _cache_enabled() -> bool:
+    return os.environ.get("REPRO_NN_QUANT_CACHE", "1") != "0"
+
+
 class _QuantMixin:
     """Shared precision bookkeeping for quantisation-aware layers."""
 
     def _init_quant(self) -> None:
         self.precision: Precision = FULL_PRECISION
+        # precision.key -> [(id(data), version), w_q data, pass mask, gemm repack]
+        self._wq_cache = {}
 
     def set_precision(self, precision: Precision) -> None:
         self.precision = precision
 
-    def _quantize_pair(self, x: Tensor, weight: Tensor) -> tuple:
-        precision = self.precision
-        if precision.is_full_precision:
-            return x, weight
-        w_cfg = QuantizerConfig(bits=int(precision.weight_bits), symmetric=True)
-        a_cfg = QuantizerConfig(bits=int(precision.act_bits), symmetric=True)
-        return fake_quantize(x, a_cfg), fake_quantize(weight, w_cfg)
+    # ------------------------------------------------------------------
+    def _quantized_weight_entry(self, precision: Precision) -> list:
+        weight = self.weight
+        tag = (id(weight.data), weight.version)
+        entry = self._wq_cache.get(precision.key)
+        if entry is None or entry[0] != tag or not _cache_enabled():
+            cfg = QuantizerConfig(bits=int(precision.weight_bits), symmetric=True)
+            data, mask = quantize_with_mask(weight.data, cfg)
+            entry = [tag, data, mask, None]
+            self._wq_cache[precision.key] = entry
+        return entry
+
+    def _quantized_weight(self, precision: Precision,
+                          entry: Optional[list] = None) -> Tensor:
+        """Quantised-weight tensor, with an STE node when gradients flow."""
+        weight = self.weight
+        if entry is None:
+            entry = self._quantized_weight_entry(precision)
+        data, mask = entry[1], entry[2]
+        if not (is_grad_enabled() and weight.requires_grad):
+            return Tensor(data)
+
+        def backward(grad_out: np.ndarray) -> None:
+            weight.accumulate_grad(grad_out * mask, owned=True)
+
+        return Tensor.make_from_op(data, (weight,), backward)
+
+    def _activation_config(self, precision: Precision) -> QuantizerConfig:
+        return QuantizerConfig(bits=int(precision.act_bits), symmetric=True)
 
 
 class QuantConv2d(Conv2d, _QuantMixin):
@@ -64,9 +102,21 @@ class QuantConv2d(Conv2d, _QuantMixin):
         self._init_quant()
 
     def forward(self, x: Tensor) -> Tensor:
-        x_q, w_q = self._quantize_pair(x, self.weight)
+        precision = self.precision
+        if precision.is_full_precision:
+            return super().forward(x)
+        ws = default_workspace()
+        x_q = fake_quantize(x, self._activation_config(precision), workspace=ws)
+        entry = self._quantized_weight_entry(precision)
+        w_q = self._quantized_weight(precision, entry)
+        gemm = gemm_bwd = None
+        if F.get_backend() == "fast":
+            if entry[3] is None:
+                entry[3] = F.pack_gemm_weights(w_q.data)
+            gemm, gemm_bwd = entry[3]
         return F.conv2d(x_q, w_q, self.bias, stride=self.stride,
-                        padding=self.padding)
+                        padding=self.padding, workspace=ws, gemm_weight=gemm,
+                        gemm_weight_bwd=gemm_bwd)
 
 
 class QuantLinear(Linear, _QuantMixin):
@@ -78,7 +128,12 @@ class QuantLinear(Linear, _QuantMixin):
         self._init_quant()
 
     def forward(self, x: Tensor) -> Tensor:
-        x_q, w_q = self._quantize_pair(x, self.weight)
+        precision = self.precision
+        if precision.is_full_precision:
+            return super().forward(x)
+        x_q = fake_quantize(x, self._activation_config(precision),
+                            workspace=default_workspace())
+        w_q = self._quantized_weight(precision)
         return F.linear(x_q, w_q, self.bias)
 
 

@@ -1,0 +1,505 @@
+"""Parity suite: channels-last fast backend vs the im2col reference backend.
+
+The fast backend reorders float32 reductions (one big GEMM vs. N small ones,
+NHWC vs. NCHW axis order, BLAS row-sums for channel statistics), so forward
+activations match the reference to ~1e-6 relative rather than bitwise —
+except pooling forwards, which only move or compare values and must match
+exactly.  Gradients accumulate longer chains and are compared at a slightly
+looser tolerance.
+
+Also covers the supporting machinery introduced with the fast backend: the
+workspace arena's leak-never-corrupt guarantees, the quantized-weight cache's
+version invalidation, and batched attack restarts.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn import Tensor
+from repro.nn.module import Parameter
+from repro.nn.workspace import Workspace, default_workspace
+
+FWD_TOL = dict(rtol=2e-5, atol=2e-6)
+GRAD_TOL = dict(rtol=2e-4, atol=5e-5)
+
+
+def both_backends(fn):
+    """Run ``fn`` under each backend and return {backend: result}."""
+    results = {}
+    for backend in ("reference", "fast"):
+        with F.use_backend(backend):
+            results[backend] = fn()
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Convolution
+# ---------------------------------------------------------------------------
+
+CONV_CASES = [
+    # (n, c_in, h, w, c_out, k, stride, padding, bias)
+    (2, 3, 7, 7, 4, 3, 1, 0, True),      # no padding
+    (2, 3, 7, 7, 4, 3, 1, 1, False),     # same padding
+    (2, 3, 7, 9, 4, 3, 2, 1, True),      # stride 2 + padding, non-square
+    (2, 5, 8, 6, 3, 3, 2, 0, False),     # stride 2, no padding, non-square
+    (2, 4, 9, 9, 6, 1, 1, 0, True),      # 1x1 kernel
+    (2, 4, 9, 9, 6, 1, 2, 0, False),     # strided 1x1
+    (3, 2, 11, 5, 4, 5, 2, 2, True),     # 5x5, stride 2, padding 2
+    (2, 3, 8, 8, 4, 2, 2, 0, False),     # even kernel
+    (1, 2, 6, 6, 2, 4, 3, 1, True),      # stride 3 (remainder rows)
+    (2, 8, 16, 12, 8, 3, 2, 1, False),   # wider channels
+]
+
+
+@pytest.mark.parametrize("case", CONV_CASES,
+                         ids=[f"c{i}" for i in range(len(CONV_CASES))])
+def test_conv2d_forward_and_grad_parity(case):
+    n, c_in, h, w, c_out, k, stride, padding, bias = case
+    rng = np.random.default_rng(hash(case) % 2 ** 32)
+    x = rng.normal(size=(n, c_in, h, w)).astype(np.float32)
+    wt = rng.normal(size=(c_out, c_in, k, k)).astype(np.float32)
+    b = rng.normal(size=(c_out,)).astype(np.float32) if bias else None
+    oh = (h + 2 * padding - k) // stride + 1
+    ow = (w + 2 * padding - k) // stride + 1
+    seed = rng.normal(size=(n, c_out, oh, ow)).astype(np.float32)
+
+    def run():
+        xt = Tensor(x, requires_grad=True)
+        wtt = Parameter(wt)
+        bt = Parameter(b) if bias else None
+        out = F.conv2d(xt, wtt, bt, stride=stride, padding=padding)
+        out.backward(seed)
+        grads = [xt.grad, wtt.grad] + ([bt.grad] if bias else [])
+        return [out.data] + grads
+
+    res = both_backends(run)
+    np.testing.assert_allclose(res["fast"][0], res["reference"][0], **FWD_TOL)
+    for fast_g, ref_g in zip(res["fast"][1:], res["reference"][1:]):
+        np.testing.assert_allclose(fast_g, ref_g, **GRAD_TOL)
+
+
+def test_conv2d_channels_last_input_matches_contiguous():
+    """The fast path must give identical results for any input memory layout."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2, 4, 6, 6)).astype(np.float32)
+    x_cl = np.ascontiguousarray(x.transpose(0, 2, 3, 1)).transpose(0, 3, 1, 2)
+    wt = Parameter(rng.normal(size=(3, 4, 3, 3)).astype(np.float32))
+    out_a = F.conv2d(Tensor(x), wt, None, stride=1, padding=1)
+    out_b = F.conv2d(Tensor(x_cl), wt, None, stride=1, padding=1)
+    np.testing.assert_allclose(out_a.data, out_b.data, rtol=1e-6, atol=1e-7)
+
+
+def test_conv2d_output_is_channels_last():
+    rng = np.random.default_rng(1)
+    x = Tensor(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+    wt = Parameter(rng.normal(size=(4, 3, 3, 3)).astype(np.float32))
+    out = F.conv2d(x, wt, None, stride=1, padding=1,
+                   workspace=default_workspace())
+    assert out.data.transpose(0, 2, 3, 1).flags["C_CONTIGUOUS"]
+
+
+# ---------------------------------------------------------------------------
+# Pooling — max pooling only moves values, so its forward is bitwise
+# identical; average pooling divides by the window size, whose summation
+# order differs between backends (1-ULP diffs for windows like 3x3).
+# ---------------------------------------------------------------------------
+
+POOL_CASES = [
+    (2, 3, 8, 8, 2, 2),
+    (2, 4, 9, 7, 3, 2),     # stride < kernel (overlapping), non-square
+    (1, 2, 6, 6, 2, 3),     # stride > kernel
+    (2, 8, 16, 16, 4, 4),
+]
+
+
+@pytest.mark.parametrize("pool", ["max", "avg"])
+@pytest.mark.parametrize("case", POOL_CASES,
+                         ids=[f"p{i}" for i in range(len(POOL_CASES))])
+def test_pool_parity(pool, case):
+    n, c, h, w, k, stride = case
+    rng = np.random.default_rng(hash(case) % 2 ** 32)
+    x = rng.normal(size=(n, c, h, w)).astype(np.float32)
+    op = F.max_pool2d if pool == "max" else F.avg_pool2d
+    oh = (h - k) // stride + 1
+    ow = (w - k) // stride + 1
+    seed = rng.normal(size=(n, c, oh, ow)).astype(np.float32)
+
+    def run():
+        xt = Tensor(x, requires_grad=True)
+        out = op(xt, k, stride)
+        out.backward(seed)
+        return out.data, xt.grad
+
+    res = both_backends(run)
+    if pool == "max":
+        assert np.array_equal(res["fast"][0], res["reference"][0])   # bitwise
+    else:
+        np.testing.assert_allclose(res["fast"][0], res["reference"][0], **FWD_TOL)
+    np.testing.assert_allclose(res["fast"][1], res["reference"][1], **GRAD_TOL)
+
+
+# ---------------------------------------------------------------------------
+# Batch norm
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("training", [True, False])
+@pytest.mark.parametrize("shape", [(8, 4, 5, 5), (4, 16, 8, 6), (6, 3, 7, 7)])
+def test_batch_norm_parity(training, shape):
+    n, c, h, w = shape
+    rng = np.random.default_rng(hash((training,) + shape) % 2 ** 32)
+    x = rng.normal(2.0, 3.0, size=shape).astype(np.float32)
+    seed = rng.normal(size=shape).astype(np.float32)
+
+    def run():
+        xt = Tensor(x, requires_grad=True)
+        gamma = Parameter(np.linspace(0.5, 2.0, c).astype(np.float32))
+        beta = Parameter(np.linspace(-1.0, 1.0, c).astype(np.float32))
+        rm = np.linspace(-0.5, 0.5, c).astype(np.float32)
+        rv = np.linspace(0.5, 1.5, c).astype(np.float32)
+        out = F.batch_norm(xt, gamma, beta, rm, rv, training=training)
+        out.backward(seed)
+        return out.data, xt.grad, gamma.grad, beta.grad, rm, rv
+
+    res = both_backends(run)
+    np.testing.assert_allclose(res["fast"][0], res["reference"][0], **FWD_TOL)
+    for fast_g, ref_g in zip(res["fast"][1:4], res["reference"][1:4]):
+        np.testing.assert_allclose(fast_g, ref_g, **GRAD_TOL)
+    # Running statistics (updated in place during training).
+    np.testing.assert_allclose(res["fast"][4], res["reference"][4], **FWD_TOL)
+    np.testing.assert_allclose(res["fast"][5], res["reference"][5], **FWD_TOL)
+
+
+# ---------------------------------------------------------------------------
+# All registered models
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["preact_resnet18", "wide_resnet32",
+                                  "resnet18", "alexnet", "vgg16"])
+def test_model_forward_and_grad_parity(name):
+    # 8-bit execution: quantisation active, BN chains well-conditioned.
+    from repro.models import build_model
+    from repro.quantization import Precision, PrecisionSet, set_model_precision
+
+    rng = np.random.default_rng(0)
+    size = 32 if name in ("alexnet", "vgg16") else 16
+    x = rng.random((4, 3, size, size), dtype=np.float32)
+    y = rng.integers(0, 10, 4)
+    ps = PrecisionSet([4, 8])
+
+    def run():
+        model = build_model(name, num_classes=10, precisions=ps, scale=8, seed=0)
+        set_model_precision(model, Precision(8))
+        model.train()
+        xt = Tensor(x, requires_grad=True)
+        logits = model(xt)
+        loss = F.cross_entropy(logits, y)
+        loss.backward()
+        params = model.parameters()
+        return (logits.data, loss.item(), xt.grad,
+                params[0].grad, params[-1].grad)
+
+    res = both_backends(run)
+    np.testing.assert_allclose(res["fast"][0], res["reference"][0],
+                               rtol=2e-4, atol=2e-5)
+    assert res["fast"][1] == pytest.approx(res["reference"][1], rel=1e-4)
+    for fast_g, ref_g in zip(res["fast"][2:], res["reference"][2:]):
+        assert fast_g is not None and ref_g is not None
+        np.testing.assert_allclose(fast_g, ref_g, rtol=1e-3, atol=1e-4)
+
+
+def test_resnet50_full_precision_parity():
+    """ResNet-50 at bench width is 50 layers deep and, when quantised,
+    chaotic at the ULP-accumulation scale: the *reference backend by
+    itself* flips decisions and decorrelates input gradients (cosine ~0.1)
+    under a 1e-5 input perturbation at 8-bit, because one flipped rounding
+    decision shifts an activation by a whole quantisation step.  Cross-
+    backend parity is therefore only meaningful at full precision, at the
+    model's own conditioning floor (~1e-4 logit movement under 2e-7 input
+    noise)."""
+    from repro.models import build_model
+
+    rng = np.random.default_rng(0)
+    x = rng.random((4, 3, 16, 16), dtype=np.float32)
+    y = rng.integers(0, 10, 4)
+
+    def run():
+        model = build_model("resnet50", num_classes=10, scale=8, seed=0)
+        model.train()
+        xt = Tensor(x, requires_grad=True)
+        logits = model(xt)
+        F.cross_entropy(logits, y).backward()
+        return logits.data, xt.grad
+
+    res = both_backends(run)
+    np.testing.assert_allclose(res["fast"][0], res["reference"][0],
+                               rtol=1e-2, atol=2e-3)
+    g_f, g_r = res["fast"][1].ravel(), res["reference"][1].ravel()
+    cosine = float(g_f @ g_r / (np.linalg.norm(g_f) * np.linalg.norm(g_r)))
+    assert cosine > 0.98
+
+
+def test_model_low_bit_gradient_direction_parity():
+    """At very low bit-widths the tiny per-op reduction-order differences are
+    amplified by ill-conditioned BN chains (quantised activations have small
+    variance, so the backward gain ``gamma/std`` is large); elementwise
+    tolerances are meaningless there, but the gradient *direction* — what the
+    attacks and the optimizer consume — must still agree.  The fast backward
+    itself is exactly deterministic (see TestWorkspace)."""
+    from repro.models import build_model
+    from repro.quantization import Precision, PrecisionSet, set_model_precision
+
+    rng = np.random.default_rng(0)
+    x = rng.random((4, 3, 16, 16), dtype=np.float32)
+    y = rng.integers(0, 10, 4)
+    ps = PrecisionSet([4, 8])
+
+    def run():
+        model = build_model("preact_resnet18", num_classes=10, precisions=ps,
+                            scale=8, seed=0)
+        set_model_precision(model, Precision(4))
+        model.train()
+        xt = Tensor(x, requires_grad=True)
+        logits = model(xt)
+        F.cross_entropy(logits, y).backward()
+        return logits.data, xt.grad
+
+    res = both_backends(run)
+    np.testing.assert_allclose(res["fast"][0], res["reference"][0],
+                               rtol=2e-4, atol=2e-5)
+    g_f, g_r = res["fast"][1].ravel(), res["reference"][1].ravel()
+    cosine = float(g_f @ g_r / (np.linalg.norm(g_f) * np.linalg.norm(g_r)))
+    assert cosine > 0.995
+    # The attack consumes sign(grad): signs must agree almost everywhere.
+    sign_agreement = float((np.sign(g_f) == np.sign(g_r)).mean())
+    assert sign_agreement > 0.97
+
+
+# ---------------------------------------------------------------------------
+# Workspace arena safety
+# ---------------------------------------------------------------------------
+
+class TestWorkspace:
+    def test_reuses_buffers_across_steps(self):
+        ws = Workspace(max_bytes=1 << 20)
+        a = ws.acquire((64, 64))
+        ident = id(a)
+        del a
+        ws.end_step()
+        b = ws.acquire((64, 64))
+        assert id(b) == ident
+
+    def test_escaped_buffer_is_never_recycled(self):
+        ws = Workspace(max_bytes=1 << 20)
+        a = ws.acquire((32, 32))
+        ws.end_step()                    # a is marked reusable but still held
+        b = ws.acquire((32, 32))
+        assert b is not a                # refcount guard rejected the reuse
+
+    def test_view_of_buffer_blocks_recycling(self):
+        ws = Workspace(max_bytes=1 << 20)
+        a = ws.acquire((32, 32))
+        view = a[:4]
+        del a
+        ws.end_step()
+        b = ws.acquire((32, 32))
+        assert b is not view.base
+
+    def test_release_returns_buffer_within_step(self):
+        ws = Workspace(max_bytes=1 << 20)
+        a = ws.acquire((16, 16))
+        ident = id(a)
+        ws.release(a)
+        del a
+        b = ws.acquire((16, 16))
+        assert id(b) == ident
+        # end_step must not double-stash the released buffer.
+        del b
+        ws.end_step()
+        c = ws.acquire((16, 16))
+        d = ws.acquire((16, 16))
+        assert c is not d
+
+    def test_byte_cap_evicts(self):
+        ws = Workspace(max_bytes=10 * 1024)
+        for i in range(8):
+            buf = ws.acquire((1024,))    # 4 KiB each
+            del buf
+            ws.end_step()
+            ws.acquire((512 + i,))       # distinct keys keep pressure up
+            ws.end_step()
+        total = sum(b.nbytes for bucket in ws._free.values() for b in bucket)
+        assert total <= 10 * 1024
+
+    def test_disabled_workspace_allocates(self):
+        ws = Workspace(max_bytes=0)
+        a = ws.acquire((8, 8))
+        del a
+        ws.end_step()
+        b = ws.acquire((8, 8))
+        assert b.shape == (8, 8)
+
+    def test_training_is_workspace_stable(self):
+        """Two identical training runs give identical results (no buffer
+        cross-talk through the arena)."""
+        from repro.models import build_model
+        from repro.defense.trainer import Trainer, TrainingConfig
+
+        rng = np.random.default_rng(0)
+        x = rng.random((32, 3, 8, 8), dtype=np.float32)
+        y = rng.integers(0, 10, 32)
+
+        def run():
+            model = build_model("preact_resnet18", num_classes=10, scale=4, seed=0)
+            trainer = Trainer(model, TrainingConfig(epochs=1, batch_size=16, seed=0))
+            trainer.fit(x, y, epochs=1)
+            return model(Tensor(x[:8])).data.copy()
+
+        np.testing.assert_array_equal(run(), run())
+
+
+# ---------------------------------------------------------------------------
+# Quantized-weight cache
+# ---------------------------------------------------------------------------
+
+class TestQuantWeightCache:
+    def _layer(self):
+        from repro.quantization import Precision, QuantConv2d
+        layer = QuantConv2d(3, 4, 3, padding=1, rng=np.random.default_rng(0))
+        layer.set_precision(Precision(4))
+        return layer
+
+    def test_cache_hit_when_unchanged(self):
+        layer = self._layer()
+        x = Tensor(np.random.default_rng(1).random((2, 3, 6, 6), dtype=np.float32))
+        layer(x)
+        entry = layer._wq_cache[4]
+        layer(x)
+        assert layer._wq_cache[4] is entry          # same entry reused
+
+    def test_optimizer_step_invalidates(self):
+        layer = self._layer()
+        x = Tensor(np.random.default_rng(1).random((2, 3, 6, 6), dtype=np.float32))
+        out = layer(x)
+        out.sum().backward()
+        before = layer._wq_cache[4][1].copy()
+        nn.SGD(layer.parameters(), lr=0.5).step()
+        out2 = layer(x)
+        after = layer._wq_cache[4][1]
+        assert not np.array_equal(before, after)    # re-quantised new weights
+
+    def test_load_state_dict_invalidates(self):
+        layer = self._layer()
+        x = Tensor(np.random.default_rng(1).random((2, 3, 6, 6), dtype=np.float32))
+        layer(x)
+        state = layer.state_dict()
+        state["weight"] = state["weight"] + 1.0
+        layer.load_state_dict(state)
+        out = layer(x)
+        fresh = self._layer()
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(out.data, fresh(x).data)
+
+    def test_cached_gradients_match_uncached(self):
+        x_data = np.random.default_rng(2).random((2, 3, 6, 6), dtype=np.float32)
+
+        def grads(disable_cache):
+            if disable_cache:
+                os.environ["REPRO_NN_QUANT_CACHE"] = "0"
+            try:
+                layer = self._layer()
+                out = layer(Tensor(x_data))          # warm the cache
+                layer.zero_grad()
+                out = layer(Tensor(x_data))
+                out.sum().backward()
+                return layer.weight.grad.copy()
+            finally:
+                os.environ.pop("REPRO_NN_QUANT_CACHE", None)
+
+        np.testing.assert_allclose(grads(False), grads(True), rtol=1e-6, atol=1e-7)
+
+
+# ---------------------------------------------------------------------------
+# Batched attack restarts
+# ---------------------------------------------------------------------------
+
+class TestBatchedRestarts:
+    def _setup(self):
+        from repro.models import build_model
+        model = build_model("preact_resnet18", num_classes=10, scale=4, seed=0)
+        model.eval()
+        rng = np.random.default_rng(3)
+        x = rng.random((8, 3, 8, 8), dtype=np.float32)
+        y = rng.integers(0, 10, 8)
+        return model, x, y
+
+    def test_pgd_batched_equals_sequential(self):
+        from repro.attacks import PGD
+        model, x, y = self._setup()
+
+        def run(batched):
+            os.environ["REPRO_NN_BATCHED_RESTARTS"] = "1" if batched else "0"
+            try:
+                attack = PGD(8 / 255, steps=4, restarts=3,
+                             rng=np.random.default_rng(7))
+                return attack.perturb(model, x, y)
+            finally:
+                os.environ.pop("REPRO_NN_BATCHED_RESTARTS", None)
+
+        adv_seq = run(False)
+        adv_bat = run(True)
+        # Same restart noises (identical rng draws) and per-example
+        # independent gradients: the iterates coincide numerically.
+        np.testing.assert_allclose(adv_bat, adv_seq, rtol=1e-5, atol=1e-6)
+
+    def test_pgd_batched_stays_in_ball(self):
+        from repro.attacks import PGD
+        model, x, y = self._setup()
+        eps = 8 / 255
+        attack = PGD(eps, steps=3, restarts=4, rng=np.random.default_rng(9))
+        adv = attack.perturb(model, x, y)
+        assert adv.shape == x.shape
+        assert np.all(np.abs(adv - x) <= eps + 1e-6)
+        assert np.all((adv >= 0.0) & (adv <= 1.0))
+
+    def test_epgd_batched_matches_sequential_strength(self):
+        """E-PGD always runs quantised, and activation quantisation ranges
+        are batch-global, so stacking restarts shifts the quantisation grid
+        slightly — iterates are not bitwise equal (unlike full-precision
+        PGD, test above).  The batched attack must still respect the same
+        constraints and reach equivalent strength."""
+        from repro.attacks import EnsemblePGD
+        from repro.models import build_model
+        from repro.quantization import PrecisionSet
+        ps = PrecisionSet([3, 5])
+        model = build_model("preact_resnet18", num_classes=10, precisions=ps,
+                            scale=4, seed=0)
+        model.eval()
+        rng = np.random.default_rng(4)
+        x = rng.random((16, 3, 8, 8), dtype=np.float32)
+        y = rng.integers(0, 10, 16)
+        eps = 8 / 255
+
+        def success_rate(batched):
+            os.environ["REPRO_NN_BATCHED_RESTARTS"] = "1" if batched else "0"
+            try:
+                attack = EnsemblePGD(eps, ps, steps=3, restarts=2,
+                                     rng=np.random.default_rng(11))
+                result = attack.run(model, x, y)
+                assert np.all(np.abs(result.x_adv - x) <= eps + 1e-6)
+                assert np.all((result.x_adv >= 0) & (result.x_adv <= 1))
+                return result.success_rate
+            finally:
+                os.environ.pop("REPRO_NN_BATCHED_RESTARTS", None)
+
+        assert abs(success_rate(True) - success_rate(False)) <= 3 / 16
+
+    def test_single_restart_unchanged(self):
+        from repro.attacks import PGD
+        model, x, y = self._setup()
+        a1 = PGD(8 / 255, steps=3, rng=np.random.default_rng(5)).perturb(model, x, y)
+        a2 = PGD(8 / 255, steps=3, rng=np.random.default_rng(5)).perturb(model, x, y)
+        np.testing.assert_array_equal(a1, a2)
