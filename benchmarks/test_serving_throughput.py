@@ -1,0 +1,215 @@
+"""Serving throughput benchmark: compiled sessions vs the pre-refactor path.
+
+Workload: a stream of mixed-precision inference requests against the deep
+bottleneck model (ResNet-50 at bench width), the regime the paper's RPS
+deployment targets.  Three measurements:
+
+* **pre-refactor stream** — the deployment the repo could build before this
+  refactor: each arriving request batch is served by the historical
+  ``RPSInference.predict`` loop (``set_model_precision`` per precision
+  group, eval forward through the live training modules).
+* **compiled session stream** — the same request stream and the *same
+  per-request precision draws*, served through
+  ``InferenceSession.predict_assigned`` with micro-batch windows coalesced
+  across request batches (BN folding + pre-quantised, GEMM-repacked
+  weights + ReLU fusion + per-precision batch coalescing).
+* **async server burst** — steady-state throughput and p50/p99 latency of
+  the actual ``repro.serving.RPSServer`` under a synthetic traffic burst.
+
+The ``MIN_SPEEDUP`` gate asserts the compiled stream beats the pre-refactor
+stream by >= 1.5x (measured ~2x on the 1-core dev box; the kernel-only
+share — identical grouping, no coalescing — is recorded separately as
+``serving_kernel_only_speedup``, ~1.4-1.55x).
+
+All measurements append to ``BENCH_serving.json`` (same schema and
+append-and-trim scheme as ``BENCH_nn.json``; ``REPRO_BENCH_JSON=0``
+disables, and like the conftest recorder it only writes on slow-tier runs
+so fast/tier-1 invocations never dirty the committed trajectory).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from repro.inference import InferenceSession
+from repro.models import build_model
+from repro.nn import workspace as nn_workspace
+from repro.nn.tensor import Tensor, no_grad
+from repro.quantization import PrecisionSet, set_model_precision
+from repro.serving import RPSServer, ServingConfig
+
+pytestmark = pytest.mark.slow      # repeated full-model inference rounds
+
+MIN_SPEEDUP = 1.5
+
+MODEL = "resnet50"
+SCALE = 8
+IMAGE = 16
+PRECISIONS = PrecisionSet([3, 4, 6])
+STREAM = 256            # requests per measured round
+REQUEST_BATCH = 32      # pre-refactor deployments serve per-request batches
+WINDOW = 128            # the session stream coalesces across request batches
+ROUNDS = 6
+
+BENCH_HISTORY_LIMIT = 50
+_RESULTS: Dict[str, float] = {}
+
+
+def _record(name: str, value: float) -> None:
+    _RESULTS[name] = round(float(value), 4)
+
+
+def _bench_path(config) -> Path | None:
+    configured = os.environ.get("REPRO_BENCH_JSON", "")
+    if configured == "0":
+        return None
+    if configured:
+        # Shared override: keep the serving trajectory next to it.
+        return Path(configured).with_name("BENCH_serving.json")
+    if config.option.markexpr != "slow":
+        return None
+    return Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _flush_results(request):
+    yield
+    path = _bench_path(request.config)
+    if path is None or not _RESULTS:
+        return
+    payload = {"schema": 1, "history": []}
+    try:
+        existing = json.loads(path.read_text())
+        if isinstance(existing, dict) and existing.get("schema") == 1:
+            payload = existing
+    except (OSError, ValueError):
+        pass
+    payload.setdefault("history", []).append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "model": f"{MODEL}@scale{SCALE}",
+        "results": dict(sorted(_RESULTS.items())),
+    })
+    payload["history"] = payload["history"][-BENCH_HISTORY_LIMIT:]
+    try:
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+    except OSError:
+        pass
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    model = build_model(MODEL, num_classes=10, precisions=PRECISIONS,
+                        scale=SCALE, seed=0)
+    model.eval()
+    x = rng.random((STREAM, 3, IMAGE, IMAGE)).astype(np.float32)
+    draws = rng.integers(0, len(PRECISIONS), STREAM)
+    return model, x, draws
+
+
+def _legacy_stream_round(model, x, draws) -> np.ndarray:
+    """The pre-refactor deployment: per-request batches, live-module eval."""
+    out = np.empty(len(x), dtype=np.int64)
+    for start in range(0, len(x), REQUEST_BATCH):
+        indices = np.arange(start, min(start + REQUEST_BATCH, len(x)))
+        batch_draws = draws[indices]
+        for key, precision in enumerate(PRECISIONS):
+            selected = indices[batch_draws == key]
+            if selected.size == 0:
+                continue
+            set_model_precision(model, precision)
+            with no_grad():
+                logits = model(Tensor(x[selected]))
+            out[selected] = logits.data.argmax(axis=1)
+            del logits
+            nn_workspace.end_step()
+    return out
+
+
+def _session_stream_round(session, x, assignments,
+                          window: int = WINDOW) -> np.ndarray:
+    """The compiled path: coalesced windows through per-precision plans."""
+    out = np.empty(len(x), dtype=np.int64)
+    for start in range(0, len(x), window):
+        stop = min(start + window, len(x))
+        out[start:stop] = session.predict_assigned(x[start:stop],
+                                                   assignments[start:stop])
+    return out
+
+
+def _time_rounds(fn, rounds=ROUNDS) -> float:
+    start = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    return (time.perf_counter() - start) / rounds
+
+
+def test_mixed_precision_stream_speedup(workload):
+    model, x, draws = workload
+    assignments = [PRECISIONS[i] for i in draws]
+    session = InferenceSession(model, fold_bn=True)
+
+    _legacy_stream_round(model, x, draws)            # warm quant caches
+    _session_stream_round(session, x, assignments)   # warm compiled plans
+
+    legacy = _time_rounds(lambda: _legacy_stream_round(model, x, draws))
+    compiled = _time_rounds(
+        lambda: _session_stream_round(session, x, assignments))
+
+    # Kernel-only share: identical request-batch grouping, no coalescing —
+    # isolates BN folding + precompiled weights from the batching win.
+    kernel_only = _time_rounds(lambda: _session_stream_round(
+        session, x, assignments, window=REQUEST_BATCH))
+
+    speedup = legacy / compiled
+    _record("serving_stream_legacy_s", legacy)
+    _record("serving_stream_session_s", compiled)
+    _record("serving_stream_speedup", speedup)
+    _record("serving_kernel_only_speedup", legacy / kernel_only)
+    _record("serving_stream_throughput_rps", STREAM / compiled)
+    print(f"\nmixed-precision stream ({MODEL}@scale{SCALE}, {STREAM} reqs): "
+          f"legacy {legacy * 1e3:.0f} ms, session {compiled * 1e3:.0f} ms "
+          f"-> {speedup:.2f}x (kernel-only {legacy / kernel_only:.2f}x)")
+    assert speedup >= MIN_SPEEDUP, (
+        f"compiled serving path regressed: only {speedup:.2f}x over the "
+        f"pre-refactor stream (floor {MIN_SPEEDUP}x)")
+
+
+def test_async_server_traffic_burst(workload):
+    model, x, _ = workload
+    session = InferenceSession(model, fold_bn=True)
+    requests = [x[i] for i in range(STREAM)]
+
+    async def burst():
+        server = RPSServer(model, PRECISIONS,
+                           ServingConfig(max_batch=WINDOW, max_delay_ms=2.0,
+                                         seed=0),
+                           session=session)
+        async with server:
+            await server.submit_many(requests)     # warm plans
+            await server.submit_many(requests)
+        return server.stats()
+
+    stats = asyncio.run(burst())
+    assert stats["completed"] == 2 * STREAM
+    assert stats["mean_batch_size"] > 1.0
+    assert stats["latency_p99_ms"] is not None
+    _record("serving_async_throughput_rps", stats["throughput_rps"])
+    _record("serving_async_p50_ms", stats["latency_p50_ms"])
+    _record("serving_async_p99_ms", stats["latency_p99_ms"])
+    _record("serving_async_mean_batch", stats["mean_batch_size"])
+    print(f"\nasync server burst: {stats['throughput_rps']:.0f} req/s, "
+          f"p50 {stats['latency_p50_ms']:.1f} ms, "
+          f"p99 {stats['latency_p99_ms']:.1f} ms, "
+          f"mean batch {stats['mean_batch_size']:.1f}")

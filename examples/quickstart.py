@@ -6,12 +6,18 @@ This walks the complete co-design loop of the paper in a few minutes on a CPU:
    switchable batch normalisation for a candidate precision set;
 2. run RPS training (Alg. 1) on top of PGD adversarial training;
 3. evaluate natural accuracy and robust accuracy under PGD, comparing against
-   a full-precision adversarially trained baseline; and
+   a full-precision adversarially trained baseline;
 4. report the hardware efficiency of serving the same precision set on the
-   proposed spatial-temporal accelerator.
+   proposed spatial-temporal accelerator; and
+5. deploy the trained model behind the compiled-session + async
+   micro-batching serving stack on a synthetic traffic burst.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py            # full walk-through
+      python examples/quickstart.py --quick    # CI-sized smoke run
 """
+
+import argparse
+import asyncio
 
 from repro.attacks import PGD, eps_from_255
 from repro.core import (
@@ -32,18 +38,25 @@ PRECISIONS = PrecisionSet([3, 4, 6])    # laptop-scale stand-in for 4~16-bit
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized budgets (smaller dataset, fewer epochs)")
+    args = parser.parse_args()
+    epochs = 1 if args.quick else 4
+    train_size = 256 if args.quick else 1024
+
     print("== 2-in-1 Accelerator quickstart ==")
-    dataset = make_dataset("cifar10", train_size=1024, test_size=256)
+    dataset = make_dataset("cifar10", train_size=train_size, test_size=256)
     x_eval, y_eval = dataset.x_test[:128], dataset.y_test[:128]
     attack = PGD(EPSILON, steps=10)
 
     # ------------------------------------------------------------------
     # Baseline: PGD adversarial training at full precision.
     # ------------------------------------------------------------------
-    print("\n[1/3] training the full-precision PGD baseline ...")
+    print("\n[1/4] training the full-precision PGD baseline ...")
     baseline = preact_resnet18(num_classes=dataset.num_classes, width=8)
     AdversarialTrainer(baseline, AdversarialConfig(
-        epochs=4, batch_size=64, lr=0.05, method="pgd", epsilon=EPSILON,
+        epochs=epochs, batch_size=64, lr=0.05, method="pgd", epsilon=EPSILON,
         attack_steps=3)).fit(dataset.x_train, dataset.y_train)
     base_natural = evaluate_accuracy(baseline, dataset.x_test, dataset.y_test)
     base_robust = robust_accuracy(baseline, attack, x_eval, y_eval)
@@ -53,11 +66,11 @@ def main() -> None:
     # ------------------------------------------------------------------
     # RPS: the same adversarial training with a random precision switch.
     # ------------------------------------------------------------------
-    print("\n[2/3] RPS training (random precision switch + switchable BN) ...")
+    print("\n[2/4] RPS training (random precision switch + switchable BN) ...")
     model = preact_resnet18(num_classes=dataset.num_classes, width=8,
                             precisions=PRECISIONS)
     RPSTrainer(model, RPSConfig(
-        epochs=4, batch_size=64, lr=0.05, method="pgd", epsilon=EPSILON,
+        epochs=epochs, batch_size=64, lr=0.05, method="pgd", epsilon=EPSILON,
         attack_steps=3, precision_set=PRECISIONS)).fit(dataset.x_train,
                                                        dataset.y_train)
     inference = RPSInference(model, PRECISIONS)
@@ -71,7 +84,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     # Hardware: deploy the same precision set on the 2-in-1 Accelerator.
     # ------------------------------------------------------------------
-    print("\n[3/3] evaluating the accelerator side (ResNet-18 workload) ...")
+    print("\n[3/4] evaluating the accelerator side (ResNet-18 workload) ...")
     system = TwoInOneSystem(model, PRECISIONS, workload="resnet18",
                             workload_dataset="cifar10")
     report = system.report(x_eval, y_eval)
@@ -153,6 +166,53 @@ def main() -> None:
     ws = default_workspace()
     print(f"\n    nn backend: {F.get_backend()}  workspace: "
           f"{ws.hits} buffer reuses, {ws.misses} allocations")
+
+    # ------------------------------------------------------------------
+    # Serving: compiled inference sessions + the async micro-batching server.
+    # ------------------------------------------------------------------
+    # Deployment-side inference never touches the training modules: an
+    # InferenceSession compiles one plan per precision (eval-mode batch norm
+    # folded into the conv weights, weights pre-quantised and GEMM-repacked,
+    # ReLU fused into the producing kernel) and RPSServer coalesces incoming
+    # single-image requests into per-precision micro-batches executed
+    # through those plans.  The precision set can be hot-swapped under live
+    # traffic from the accelerator's cached rps_average_metrics — the
+    # instant robustness-efficiency trade-off of Sec. 2.5, driven by
+    # measured hardware numbers.
+    #
+    # Knobs: REPRO_INFER_FOLD_BN (plan BN folding), REPRO_SERVING_MAX_BATCH
+    # and REPRO_SERVING_MAX_DELAY_MS (dispatcher window); see repro.config.
+    print("\n[4/4] serving the RPS model (async micro-batching) ...")
+    from repro.serving import RPSServer, ServingConfig
+
+    traffic = [dataset.x_test[i] for i in range(128)]
+
+    async def serve_burst() -> dict:
+        server = RPSServer(model, PRECISIONS,
+                           ServingConfig(max_batch=32, max_delay_ms=2.0,
+                                         seed=0))
+        async with server:
+            await server.submit_many(traffic)          # warm + serve burst
+            # Re-schedule the serving precision set from accelerator
+            # metrics (cache hits via the evaluation engine), then keep
+            # serving under the swapped set.
+            chosen, _ = server.apply_precision_schedule(
+                accelerator, layers, caps=(None, 4), objective="energy")
+            print(f"    scheduler picked cap={chosen.cap} "
+                  f"-> precisions {chosen.precision_set.keys} "
+                  f"({chosen.average_fps:.0f} FPS, "
+                  f"energy {chosen.average_energy:.2e})")
+            await server.submit_many(traffic[:32])
+        return server.stats()
+
+    stats = asyncio.run(serve_burst())
+    print(f"    served {stats['completed']} requests at "
+          f"{stats['throughput_rps']:.0f} req/s  "
+          f"(p50 {stats['latency_p50_ms']:.1f} ms, "
+          f"p99 {stats['latency_p99_ms']:.1f} ms, "
+          f"mean micro-batch {stats['mean_batch_size']:.1f})")
+    print(f"    precision mix: {stats['precision_counts']}")
+
     print("\nDone.  See benchmarks/ for the per-table/figure reproductions.")
 
 

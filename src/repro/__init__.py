@@ -10,13 +10,17 @@ Package layout
 * :mod:`repro.attacks`       — FGSM / PGD / CW / AutoAttack / Bandits / E-PGD
 * :mod:`repro.defense`       — natural + adversarial training baselines
 * :mod:`repro.core`          — the RPS algorithm, evaluation, trade-off, co-design
+* :mod:`repro.inference`     — compiled precision plans + inference sessions
+* :mod:`repro.serving`       — asyncio micro-batching RPS server + scheduling
 * :mod:`repro.accelerator`   — MAC units, dataflows, optimizer, accelerators
 * :mod:`repro.experiments`   — harnesses regenerating every table and figure
+* :mod:`repro.config`        — every ``REPRO_*`` environment knob, documented
 """
 
 __version__ = "1.0.0"
 
-from . import accelerator, attacks, core, data, defense, models, nn, quantization
+from . import (accelerator, attacks, config, core, data, defense, inference,
+               models, nn, quantization, serving)
 
 __all__ = [
     "__version__",
@@ -27,5 +31,8 @@ __all__ = [
     "attacks",
     "defense",
     "core",
+    "inference",
+    "serving",
     "accelerator",
+    "config",
 ]

@@ -29,10 +29,11 @@ import importlib
 import os
 import pickle
 import tempfile
-import warnings
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Optional, Tuple
+
+from .. import config
 
 __all__ = ["CACHE_SCHEMA_VERSION", "EngineStore", "default_cache_dir",
            "env_flag", "env_int", "fingerprint_digest",
@@ -71,30 +72,22 @@ _constants_digest: Optional[str] = None
 
 
 def env_flag(name: str) -> bool:
-    """True when the environment variable holds a truthy value."""
-    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
+    """True when the environment variable holds a truthy value.
+
+    Thin wrapper over :func:`repro.config.env_flag`, kept exported here for
+    backward compatibility; new code should use :mod:`repro.config`.
+    """
+    return config.env_flag(name)
 
 
 def env_int(name: str, default: int) -> int:
-    """Integer environment knob; a malformed value warns and falls back
-    (naming the variable) instead of crashing every caller downstream."""
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return default
-    try:
-        return int(raw)
-    except ValueError:
-        warnings.warn(f"ignoring non-integer {name}={raw!r}; "
-                      f"falling back to {default}", stacklevel=2)
-        return default
+    """Integer environment knob (see :func:`repro.config.env_int`)."""
+    return config.env_int(name, default)
 
 
 def default_cache_dir() -> Path:
     """Cache root: ``$REPRO_ENGINE_CACHE_DIR`` or ``~/.cache/repro/engine``."""
-    override = os.environ.get(CACHE_DIR_ENV, "").strip()
-    if override:
-        return Path(override).expanduser()
-    return Path.home() / ".cache" / "repro" / "engine"
+    return config.engine_cache_dir()
 
 
 def model_constants_digest() -> str:

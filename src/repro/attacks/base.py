@@ -32,9 +32,9 @@ def batched_restarts_enabled() -> bool:
     per-restart loop (which early-exits once every example is fooled, at the
     cost of one forward/backward *per restart* per step).
     """
-    import os
+    from .. import config
 
-    return os.environ.get("REPRO_NN_BATCHED_RESTARTS", "1") != "0"
+    return config.nn_batched_restarts()
 
 
 def eps_from_255(eps: float) -> float:

@@ -1,0 +1,203 @@
+"""Central registry of every ``REPRO_*`` environment knob.
+
+Every runtime-tunable switch of the library is read through one of the typed
+accessors below instead of scattered ``os.environ`` lookups.  The accessors
+re-read the environment on every call (cheap — a dict lookup) so tests can
+flip a knob with ``monkeypatch.setenv`` and the very next call observes it;
+the two exceptions are documented on their accessors.
+
+Knob reference
+--------------
+
+NN compute core (:mod:`repro.nn`):
+
+``REPRO_NN_BACKEND``            ``fast`` (default) or ``reference``.  Selects
+                                the channels-last GEMM core or the original
+                                im2col/NCHW parity oracle.  Read once at
+                                import of :mod:`repro.nn.functional`; switch
+                                at runtime with ``F.use_backend()``.
+``REPRO_NN_WORKSPACE_MB``       Scratch-arena cap in MiB (default 256;
+                                ``0`` disables pooling).  Read when a
+                                :class:`repro.nn.workspace.Workspace` is
+                                constructed.
+``REPRO_NN_QUANT_CACHE``        ``1`` (default) caches quantised weights and
+                                their GEMM repacks per (precision, weight
+                                version); ``0`` re-quantises every forward.
+``REPRO_NN_BATCHED_RESTARTS``   ``1`` (default) folds multi-restart attacks
+                                into the batch dimension; ``0`` restores the
+                                sequential per-restart loop.
+
+Inference / serving (:mod:`repro.inference`, :mod:`repro.serving`):
+
+``REPRO_INFER_FOLD_BN``         ``1`` (default) lets compiled inference plans
+                                fold eval-mode batch norm into the preceding
+                                conv weights; ``0`` keeps BN as a separate
+                                (precomputed) affine, which is bit-identical
+                                to the live-module path.
+``REPRO_SERVING_MAX_BATCH``     Micro-batching window of the RPS server
+                                (default 64 requests per coalesced batch).
+``REPRO_SERVING_MAX_DELAY_MS``  How long a queued request may wait for its
+                                batch to fill (default 2.0 ms).
+
+Accelerator evaluation engine (:mod:`repro.accelerator`):
+
+``REPRO_ENGINE_WORKERS``        Default process count for sharded
+                                ``evaluate_grid`` (0/1 = synchronous).
+``REPRO_ENGINE_PERSIST``        Truthy value backs every engine memo with the
+                                on-disk store.
+``REPRO_ENGINE_CACHE_DIR``      Store root (default ``~/.cache/repro/engine``).
+
+Benchmarks:
+
+``REPRO_BENCH_JSON``            Override path for the wall-time trajectory
+                                files (``BENCH_nn.json`` / ``BENCH_serving``);
+                                ``0`` disables recording.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from pathlib import Path
+
+__all__ = [
+    "env_flag",
+    "env_int",
+    "env_float",
+    "nn_backend",
+    "nn_workspace_mb",
+    "nn_quant_cache_enabled",
+    "nn_batched_restarts",
+    "infer_fold_bn",
+    "serving_max_batch",
+    "serving_max_delay_ms",
+    "engine_workers",
+    "engine_persist",
+    "engine_cache_dir",
+]
+
+# ---------------------------------------------------------------------------
+# Generic typed readers
+# ---------------------------------------------------------------------------
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Boolean knob: unset -> ``default``; set -> conservative truthy test.
+
+    Only ``"1"``, ``"true"``, ``"yes"`` and ``"on"`` (case-insensitive)
+    enable the flag — the historical engine-store contract, preserved so a
+    typo or stray value never silently switches a feature on.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() in ("1", "true", "yes", "on")
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer knob; a malformed value warns (naming the variable) and falls
+    back instead of crashing every caller downstream."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        warnings.warn(f"ignoring non-integer {name}={raw!r}; "
+                      f"falling back to {default}", stacklevel=2)
+        return default
+
+
+def env_float(name: str, default: float) -> float:
+    """Float knob with the same warn-and-fall-back policy as :func:`env_int`."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        warnings.warn(f"ignoring non-numeric {name}={raw!r}; "
+                      f"falling back to {default}", stacklevel=2)
+        return default
+
+
+# ---------------------------------------------------------------------------
+# NN compute core
+# ---------------------------------------------------------------------------
+
+def nn_backend() -> str:
+    """Initial compute backend (``REPRO_NN_BACKEND``): ``fast`` | ``reference``.
+
+    Consulted once when :mod:`repro.nn.functional` is imported; after that the
+    active backend is process state switched via ``set_backend`` /
+    ``use_backend``.
+    """
+    backend = os.environ.get("REPRO_NN_BACKEND", "fast")
+    return backend if backend in ("fast", "reference") else "fast"
+
+
+def nn_workspace_mb() -> float:
+    """Workspace arena cap in MiB (``REPRO_NN_WORKSPACE_MB``, default 256).
+
+    Consulted when a :class:`~repro.nn.workspace.Workspace` is constructed
+    (the process-wide default arena is built on first use).
+    """
+    return env_float("REPRO_NN_WORKSPACE_MB", 256.0)
+
+
+def nn_quant_cache_enabled() -> bool:
+    """Whether quantised weights / GEMM repacks are cached per weight version
+    (``REPRO_NN_QUANT_CACHE``, default on)."""
+    return os.environ.get("REPRO_NN_QUANT_CACHE", "1") != "0"
+
+
+def nn_batched_restarts() -> bool:
+    """Whether multi-restart attacks fold restarts into the batch dimension
+    (``REPRO_NN_BATCHED_RESTARTS``, default on)."""
+    return os.environ.get("REPRO_NN_BATCHED_RESTARTS", "1") != "0"
+
+
+# ---------------------------------------------------------------------------
+# Inference sessions and serving
+# ---------------------------------------------------------------------------
+
+def infer_fold_bn() -> bool:
+    """Default BN-folding policy of compiled inference plans
+    (``REPRO_INFER_FOLD_BN``, default on)."""
+    return os.environ.get("REPRO_INFER_FOLD_BN", "1") != "0"
+
+
+def serving_max_batch() -> int:
+    """Default micro-batch window of the RPS server
+    (``REPRO_SERVING_MAX_BATCH``, default 64)."""
+    return max(1, env_int("REPRO_SERVING_MAX_BATCH", 64))
+
+
+def serving_max_delay_ms() -> float:
+    """Default micro-batch fill deadline in milliseconds
+    (``REPRO_SERVING_MAX_DELAY_MS``, default 2.0)."""
+    return max(0.0, env_float("REPRO_SERVING_MAX_DELAY_MS", 2.0))
+
+
+# ---------------------------------------------------------------------------
+# Accelerator evaluation engine
+# ---------------------------------------------------------------------------
+
+def engine_workers() -> int:
+    """Default worker-process count for sharded ``evaluate_grid``
+    (``REPRO_ENGINE_WORKERS``, default 0 = synchronous)."""
+    return env_int("REPRO_ENGINE_WORKERS", 0)
+
+
+def engine_persist() -> bool:
+    """Whether engine memo stores are backed by the on-disk cache by default
+    (``REPRO_ENGINE_PERSIST``, default off)."""
+    return env_flag("REPRO_ENGINE_PERSIST")
+
+
+def engine_cache_dir() -> Path:
+    """Engine store root: ``$REPRO_ENGINE_CACHE_DIR`` or
+    ``~/.cache/repro/engine``."""
+    override = os.environ.get("REPRO_ENGINE_CACHE_DIR", "").strip()
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro" / "engine"

@@ -18,6 +18,7 @@ from ..accelerator.accelerators.two_in_one import TwoInOneAccelerator
 from ..accelerator.workload import LayerShape, network_layers
 from ..attacks.base import Attack
 from ..data.datasets import SyntheticImageDataset
+from ..inference import InferenceSession
 from ..nn.module import Module
 from ..quantization import PrecisionSet
 from .evaluation import rps_robust_accuracy
@@ -60,7 +61,11 @@ class TwoInOneSystem:
         self.workload_layers: List[LayerShape] = network_layers(workload,
                                                                 workload_dataset)
         self.seed = seed
-        self.inference = RPSInference(model, precision_set, seed=seed)
+        #: One compiled-plan cache for the whole system: RPS inference, the
+        #: robustness report and the trade-off curve all execute through it.
+        self.session = InferenceSession(model)
+        self.inference = RPSInference(model, precision_set, seed=seed,
+                                      session=self.session)
 
     # ------------------------------------------------------------------
     def train(self, dataset: SyntheticImageDataset,
@@ -81,7 +86,8 @@ class TwoInOneSystem:
         robust = None
         if attack is not None:
             robust = rps_robust_accuracy(self.model, attack, x, y,
-                                         self.precision_set, seed=self.seed)
+                                         self.precision_set, seed=self.seed,
+                                         session=self.session)
         hardware = self.accelerator.rps_average_metrics(self.workload_layers,
                                                         self.precision_set)
         return CoDesignReport(
@@ -97,6 +103,7 @@ class TwoInOneSystem:
                        ) -> TradeoffCurve:
         """Regenerate the Fig. 11-style robustness/efficiency curve."""
         controller = TradeoffController(self.model, self.precision_set,
-                                        attack=attack, seed=self.seed)
+                                        attack=attack, seed=self.seed,
+                                        session=self.session)
         return controller.build_curve(x, y, accelerator=self.accelerator,
                                       layers=self.workload_layers, caps=caps)

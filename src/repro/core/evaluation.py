@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from ..attacks.base import Attack
-from ..defense.trainer import evaluate_accuracy
+from ..inference import InferenceSession
 from ..nn.module import Module
 from ..quantization import FULL_PRECISION, Precision, PrecisionSet, set_model_precision
 from .rps import RPSInference
@@ -43,16 +43,22 @@ def _as_precision(value: Union[int, Precision, None]) -> Precision:
 
 
 def natural_accuracy(model: Module, x: np.ndarray, y: np.ndarray,
-                     precision: Union[int, Precision, None] = None) -> float:
-    """Clean accuracy with the model quantised to ``precision``."""
-    set_model_precision(model, _as_precision(precision))
-    return evaluate_accuracy(model, x, y)
+                     precision: Union[int, Precision, None] = None,
+                     session: Optional[InferenceSession] = None) -> float:
+    """Clean accuracy with the model quantised to ``precision``.
+
+    Evaluation runs through a compiled :class:`InferenceSession` plan; pass
+    ``session`` to reuse plans across repeated calls (e.g. sweeping
+    precisions over a fixed model).
+    """
+    session = session or InferenceSession(model)
+    return session.accuracy(x, y, _as_precision(precision))
 
 
 def robust_accuracy(model: Module, attack: Attack, x: np.ndarray, y: np.ndarray,
                     attack_precision: Union[int, Precision, None] = None,
                     inference_precision: Union[int, Precision, None] = None,
-                    ) -> float:
+                    session: Optional[InferenceSession] = None) -> float:
     """Accuracy under attack with independent attack/inference precisions.
 
     The attack is generated against the model quantised to
@@ -60,25 +66,31 @@ def robust_accuracy(model: Module, attack: Attack, x: np.ndarray, y: np.ndarray,
     evaluated with the model quantised to ``inference_precision``.  Equal
     precisions give the white-box diagonal of Fig. 1; unequal precisions give
     the transfer entries.
+
+    Attack generation needs gradients and therefore still runs on the live
+    module path (``set_model_precision``); only the defender's evaluation
+    goes through the compiled session.
     """
+    session = session or InferenceSession(model)
     set_model_precision(model, _as_precision(attack_precision))
     result = attack.run(model, x, y)
-    set_model_precision(model, _as_precision(inference_precision))
-    return evaluate_accuracy(model, result.x_adv, y)
+    return session.accuracy(result.x_adv, y, _as_precision(inference_precision))
 
 
 def rps_robust_accuracy(model: Module, attack: Attack, x: np.ndarray,
                         y: np.ndarray, precision_set: PrecisionSet,
-                        seed: int = 0, attack_batch: int = 64) -> float:
+                        seed: int = 0, attack_batch: int = 64,
+                        session: Optional[InferenceSession] = None) -> float:
     """Robust accuracy under the paper's RPS threat model.
 
     The adversary draws a random attack precision per batch from the same
     candidate set as the defender (Sec. 4.1's simplifying assumption); the
     defender draws a random inference precision per input via
-    :class:`RPSInference`.
+    :class:`RPSInference` (compiled-session execution).
     """
     rng = np.random.default_rng(seed)
-    inference = RPSInference(model, precision_set, seed=seed + 1)
+    inference = RPSInference(model, precision_set, seed=seed + 1,
+                             session=session)
     correct = 0
     for start in range(0, len(x), attack_batch):
         x_batch = x[start:start + attack_batch]
@@ -118,13 +130,19 @@ def transferability_matrix(model: Module, attack: Attack, x: np.ndarray,
                            y: np.ndarray,
                            precisions: PrecisionSet) -> TransferabilityResult:
     """Reproduce the Fig. 1 protocol: cross every attack precision with every
-    inference precision and record the robust accuracy."""
+    inference precision and record the robust accuracy.
+
+    One :class:`InferenceSession` serves the whole inner loop: every
+    inference precision compiles once and the remaining (attack, inference)
+    cells are plan-cache hits.
+    """
+    session = InferenceSession(model)
     bits = precisions.bit_widths
     matrix = np.zeros((len(bits), len(bits)), dtype=np.float64)
     for i, attack_bits in enumerate(bits):
         set_model_precision(model, Precision(attack_bits))
         result = attack.run(model, x, y)
         for j, infer_bits in enumerate(bits):
-            set_model_precision(model, Precision(infer_bits))
-            matrix[i, j] = evaluate_accuracy(model, result.x_adv, y)
+            matrix[i, j] = session.accuracy(result.x_adv, y,
+                                            Precision(infer_bits))
     return TransferabilityResult(precisions=bits, matrix=matrix)

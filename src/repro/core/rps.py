@@ -25,11 +25,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..defense.adversarial import AdversarialConfig, AdversarialTrainer
-from ..defense.trainer import TrainingHistory
-from ..data.loaders import DataLoader
-from ..nn import workspace as nn_workspace
+from ..inference import InferenceSession
 from ..nn.module import Module
-from ..nn.tensor import Tensor, no_grad
 from ..quantization import (
     DEFAULT_RPS_SET,
     FULL_PRECISION,
@@ -97,24 +94,41 @@ class RPSTrainer(AdversarialTrainer):
 
 
 class RPSInference:
-    """RPS inference: per-input random precision selection (Alg. 1, lines 14-19)."""
+    """RPS inference: per-input random precision selection (Alg. 1, lines 14-19).
+
+    Execution runs through an :class:`~repro.inference.InferenceSession`:
+    every sampled precision resolves to a compiled plan (pre-quantised,
+    BN-folded weights) instead of re-configuring the live training module via
+    ``set_model_precision``.  Pass ``session`` to share one plan cache across
+    engines (e.g. the restricted engines of the trade-off controller sample
+    from subsets of the same plans).
+    """
 
     def __init__(self, model: Module,
                  precision_set: Optional[PrecisionSet] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, session: Optional[InferenceSession] = None,
+                 fold_bn: Optional[bool] = None) -> None:
         self.model = model
         self.precision_set = precision_set or DEFAULT_RPS_SET
         self.rng = np.random.default_rng(seed)
+        if (session is not None and fold_bn is not None
+                and session.fold_bn != bool(fold_bn)):
+            raise ValueError(
+                f"fold_bn={fold_bn} contradicts the supplied session's "
+                f"fold_bn={session.fold_bn}; pass one or the other")
+        self.session = session or InferenceSession(model, fold_bn=fold_bn)
 
     # ------------------------------------------------------------------
     def restrict(self, max_bits: int) -> "RPSInference":
         """Return a new engine whose inference set is capped at ``max_bits``.
 
         This is the instant robustness-efficiency trade-off knob of Sec. 2.5:
-        no retraining is involved, only the sampled set changes.
+        no retraining is involved, only the sampled set changes (the compiled
+        plans are shared through the common session).
         """
         return RPSInference(self.model, self.precision_set.restrict(max_bits),
-                            seed=int(self.rng.integers(0, 2 ** 31)))
+                            seed=int(self.rng.integers(0, 2 ** 31)),
+                            session=self.session)
 
     def sample_precision(self) -> Precision:
         return self.precision_set.sample(self.rng)
@@ -126,39 +140,21 @@ class RPSInference:
 
         Per-sample switching is the strongest (and default) configuration;
         per-batch switching models a deployment that amortises the switch
-        over a batch.
+        over a batch.  The random draws are identical to the historical
+        implementation (same generator, same call sequence), so seeded runs
+        reproduce the recorded evaluation trajectories.
         """
-        was_training = self.model.training
-        self.model.eval()
+        if per_sample:
+            assignments = [int(self.rng.integers(0, len(self.precision_set)))
+                           for _ in range(len(x))]
+            return self.session.predict_assigned(
+                x, [self.precision_set[i] for i in assignments],
+                batch_size=batch_size)
         predictions = np.empty(len(x), dtype=np.int64)
-        try:
-            if per_sample:
-                assignments = np.array([
-                    self.rng.integers(0, len(self.precision_set))
-                    for _ in range(len(x))])
-                for index, precision in enumerate(self.precision_set):
-                    selected = np.flatnonzero(assignments == index)
-                    if selected.size == 0:
-                        continue
-                    set_model_precision(self.model, precision)
-                    with no_grad():
-                        for start in range(0, selected.size, batch_size):
-                            chunk = selected[start:start + batch_size]
-                            logits = self.model(Tensor(x[chunk]))
-                            predictions[chunk] = logits.data.argmax(axis=1)
-                            del logits
-                            nn_workspace.end_step()
-            else:
-                for start in range(0, len(x), batch_size):
-                    precision = self.sample_precision()
-                    set_model_precision(self.model, precision)
-                    with no_grad():
-                        logits = self.model(Tensor(x[start:start + batch_size]))
-                    predictions[start:start + batch_size] = logits.data.argmax(axis=1)
-                    del logits
-                    nn_workspace.end_step()
-        finally:
-            self.model.train(was_training)
+        for start in range(0, len(x), batch_size):
+            precision = self.sample_precision()
+            predictions[start:start + batch_size] = self.session.predict(
+                x[start:start + batch_size], precision, batch_size=batch_size)
         return predictions
 
     def accuracy(self, x: np.ndarray, y: np.ndarray,

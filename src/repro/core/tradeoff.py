@@ -17,8 +17,9 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..attacks.base import Attack
+from ..inference import InferenceSession
 from ..nn.module import Module
-from ..quantization import Precision, PrecisionSet, set_model_precision
+from ..quantization import Precision, PrecisionSet
 from .evaluation import natural_accuracy, robust_accuracy, rps_robust_accuracy
 from .rps import RPSInference
 
@@ -80,11 +81,22 @@ class TradeoffController:
     """Enumerate and score the run-time operating points of an RPS system."""
 
     def __init__(self, model: Module, full_set: PrecisionSet,
-                 attack: Optional[Attack] = None, seed: int = 0) -> None:
+                 attack: Optional[Attack] = None, seed: int = 0,
+                 session: Optional[InferenceSession] = None) -> None:
         self.model = model
         self.full_set = full_set
         self.attack = attack
         self.seed = seed
+        # One compiled-plan cache serves every operating point: restricted
+        # RPS sets and static points reuse the same per-precision plans.
+        # Built lazily: efficiency-only controllers pass model=None.
+        self._session = session
+
+    @property
+    def session(self) -> InferenceSession:
+        if self._session is None:
+            self._session = InferenceSession(self.model)
+        return self._session
 
     # ------------------------------------------------------------------
     def operating_points(self, caps: Sequence[Optional[int]] = (None, 12, 8),
@@ -118,17 +130,19 @@ class TradeoffController:
         for point in points:
             if point.is_static:
                 precision = point.static_precision
-                point.natural_accuracy = natural_accuracy(self.model, x, y, precision)
+                point.natural_accuracy = natural_accuracy(
+                    self.model, x, y, precision, session=self.session)
                 point.robust_accuracy = robust_accuracy(
                     self.model, self.attack, x, y,
-                    attack_precision=precision, inference_precision=precision)
+                    attack_precision=precision, inference_precision=precision,
+                    session=self.session)
             else:
                 inference = RPSInference(self.model, point.precision_set,
-                                         seed=self.seed)
+                                         seed=self.seed, session=self.session)
                 point.natural_accuracy = inference.accuracy(x, y)
                 point.robust_accuracy = rps_robust_accuracy(
                     self.model, self.attack, x, y, point.precision_set,
-                    seed=self.seed)
+                    seed=self.seed, session=self.session)
 
     def score_efficiency(self, points: Sequence[OperatingPoint], accelerator,
                          layers) -> None:

@@ -46,10 +46,19 @@ class TrainingHistory:
 
 
 def evaluate_accuracy(model: Module, x: np.ndarray, y: np.ndarray,
-                      batch_size: int = 256) -> float:
-    """Top-1 accuracy of ``model`` on ``(x, y)`` without building a graph."""
+                      batch_size: int = 256, session=None) -> float:
+    """Top-1 accuracy of ``model`` on ``(x, y)`` without building a graph.
+
+    With ``session`` (a :class:`repro.inference.InferenceSession`) the
+    evaluation runs through the session's compiled plan at the model's
+    current execution precision — the path every repeated-evaluation caller
+    (``repro.core``, the experiment harnesses) uses.  Without one, this is
+    the plain live-module eval loop, kept as the parity reference.
+    """
     if len(x) == 0:
         return 0.0
+    if session is not None:
+        return session.accuracy(x, y, batch_size=batch_size)
     was_training = model.training
     model.eval()
     correct = 0

@@ -30,6 +30,7 @@ from ..core import (
     rps_robust_accuracy,
 )
 from ..defense import AdversarialConfig, AdversarialTrainer, evaluate_accuracy
+from ..inference import InferenceSession
 from ..quantization import PrecisionSet
 from .common import (
     DEFAULT_EPSILON,
@@ -129,14 +130,18 @@ def evaluate_robustness_table(dataset_name: str,
         for method in methods:
             # --- full-precision adversarial-training baseline -------------
             baseline = train_baseline(network, dataset, method, budget, epsilon)
+            baseline_session = InferenceSession(baseline)
             attacks = {}
             for steps in attack_steps:
                 attack = PGD(epsilon, steps=steps)
                 attacks[f"PGD-{steps}"] = robust_accuracy(
-                    baseline, attack, x_eval, y_eval)
+                    baseline, attack, x_eval, y_eval,
+                    session=baseline_session)
             rows.append(RobustnessRow(
                 network=network, method=method.upper().replace("_", "-"),
-                natural=evaluate_accuracy(baseline, dataset.x_test, dataset.y_test),
+                natural=evaluate_accuracy(baseline, dataset.x_test,
+                                          dataset.y_test,
+                                          session=baseline_session),
                 attacks=attacks))
 
             # --- same method + RPS ----------------------------------------
@@ -148,7 +153,7 @@ def evaluate_robustness_table(dataset_name: str,
                 attack = PGD(epsilon, steps=steps)
                 attacks_rps[f"PGD-{steps}"] = rps_robust_accuracy(
                     rps_model, attack, x_eval, y_eval, precision_set,
-                    seed=budget.seed)
+                    seed=budget.seed, session=inference.session)
             rows.append(RobustnessRow(
                 network=network,
                 method=f"{method.upper().replace('_', '-')}+RPS",
@@ -176,6 +181,8 @@ def evaluate_strong_attacks(dataset_name: str = "cifar10",
 
     baseline = train_baseline(network, dataset, method, budget)
     rps_model = train_rps(network, dataset, method, budget, precision_set)
+    baseline_session = InferenceSession(baseline)
+    rps_session = InferenceSession(rps_model)
 
     def make_attacks(eps_255: float) -> Dict[str, object]:
         eps = eps_from_255(eps_255)
@@ -189,9 +196,11 @@ def evaluate_strong_attacks(dataset_name: str = "cifar10",
     rows: List[Dict[str, object]] = []
     for eps_255 in epsilons:
         for label, attack in make_attacks(eps_255).items():
-            base_acc = robust_accuracy(baseline, attack, x_eval, y_eval)
+            base_acc = robust_accuracy(baseline, attack, x_eval, y_eval,
+                                       session=baseline_session)
             rps_acc = rps_robust_accuracy(rps_model, attack, x_eval, y_eval,
-                                          precision_set, seed=budget.seed)
+                                          precision_set, seed=budget.seed,
+                                          session=rps_session)
             rows.append({
                 "attack": label,
                 f"{method.upper()}-baseline (%)": 100.0 * base_acc,
@@ -225,12 +234,14 @@ def evaluate_adaptive_attack(dataset_name: str = "cifar10",
     baseline = train_baseline(network, dataset, "pgd", budget, epsilon)
     rps_model = train_rps(network, dataset, "pgd", budget, precision_set, epsilon)
     inference = RPSInference(rps_model, precision_set, seed=budget.seed)
+    baseline_session = InferenceSession(baseline)
 
     rows: List[Dict[str, object]] = []
     for steps in attack_steps:
         # Against the static baseline, E-PGD degenerates to standard PGD.
         plain = PGD(epsilon, steps=steps)
-        base_acc = robust_accuracy(baseline, plain, x_eval, y_eval)
+        base_acc = robust_accuracy(baseline, plain, x_eval, y_eval,
+                                   session=baseline_session)
 
         epgd = EnsemblePGD(epsilon, precision_set, steps=steps)
         result = epgd.run(rps_model, x_eval, y_eval)

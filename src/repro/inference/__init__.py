@@ -1,0 +1,23 @@
+"""Inference-side execution: compiled precision plans and sessions.
+
+The deployment half of the paper (RPS inference, Alg. 1 lines 14-19) runs a
+frozen model at randomly drawn precisions.  This package separates that from
+the training stack the way inference engines separate graph capture from
+execution: :class:`CompiledPrecisionPlan` freezes one (model, precision) pair
+— BN folded into conv weights, weights pre-quantised and GEMM-repacked,
+ReLU fused — and :class:`InferenceSession` owns the plan cache plus batched
+execution, replacing the old ``set_model_precision`` + forward loops.
+
+:mod:`repro.serving` builds the async micro-batching server on top.
+"""
+
+from .plan import CompiledPrecisionPlan, ModelTrace, model_fingerprint, trace_model
+from .session import InferenceSession
+
+__all__ = [
+    "CompiledPrecisionPlan",
+    "InferenceSession",
+    "ModelTrace",
+    "model_fingerprint",
+    "trace_model",
+]

@@ -1,0 +1,499 @@
+"""Compiled per-precision inference plans.
+
+The training stack executes a quantised model by *mutating* it:
+``set_model_precision`` walks the module tree, every ``QuantConv2d`` re-reads
+its precision attribute per forward, eval-mode batch norm re-derives its
+affine from the running statistics on every call, and each layer output takes
+one or more extra full-array passes (BN multiply/add, ReLU).  That is the
+right shape for training — weights change every step — but RPS *inference*
+(Alg. 1, lines 14-19) runs a frozen model at a handful of precisions over and
+over.
+
+A :class:`CompiledPrecisionPlan` freezes one (model, precision) pair into an
+allocation-free NHWC forward, mirroring the graph-capture/execution split of
+inference engines (cf. tinygrad's lazy-graph -> realized-buffer separation):
+
+* **Trace** (once per model): a single instrumented forward records every
+  conv / linear / batch-norm / ReLU call with its input and output tensors,
+  and the autograd graph of the traced output yields exact consumer counts
+  for every intermediate.
+* **Fold** (once per precision): eval-mode batch norm whose input is produced
+  by a convolution with no other consumer is folded into that convolution —
+  the quantised weights are scaled by ``gamma * inv_std`` per output channel
+  and the BN shift becomes the conv bias.  BN branches are resolved per
+  precision (switchable BN), quantised weights are computed once with the
+  same quantizer as the live path, and the GEMM repack is precomputed.
+  ReLUs that exclusively consume a compiled conv/BN output are fused into
+  that kernel's epilogue.
+* **Execute**: module forwards are swapped for the compiled kernels for the
+  duration of one batch; everything the plan did not compile (pooling,
+  residual adds, flatten) runs through the unmodified module path under
+  ``no_grad``.
+
+Numerics: with ``fold_bn=False`` a plan replays the exact op sequence of the
+live ``set_model_precision`` path (fast backend) and is **bit-identical** to
+it.  With ``fold_bn=True`` the BN multiply is reassociated into the weight
+tensor, which perturbs float32 results by reduction order (~1e-6 relative
+per layer); ``tests/test_inference_session.py`` bounds the end-to-end effect.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn import workspace as nn_workspace
+from ..nn.layers import BatchNorm2d, Conv2d, Linear, ReLU, SwitchableBatchNorm2d
+from ..nn.module import Module
+from ..nn.tensor import Tensor, no_grad
+from ..nn.workspace import default_workspace
+from ..quantization.linear_quantizer import (
+    QuantizerConfig,
+    compute_quant_scale,
+    quantize_data_into,
+)
+from ..quantization.precision import Precision
+from ..quantization.quantized_modules import QuantConv2d, QuantLinear
+
+__all__ = ["CompiledPrecisionPlan", "ModelTrace", "trace_model",
+           "model_fingerprint"]
+
+#: Module classes captured by the trace (everything else — pooling, dropout,
+#: flatten, residual arithmetic — stays on the live path).
+_TRACED_TYPES = (Conv2d, Linear, BatchNorm2d, SwitchableBatchNorm2d, ReLU)
+
+
+@dataclass
+class _CallRecord:
+    """One traced module invocation."""
+
+    module: Module
+    input_id: int          # id() of the input Tensor object
+    output_id: int         # id() of the output Tensor object
+    input_ndim: int
+
+
+@dataclass
+class ModelTrace:
+    """Topology snapshot of one model forward.
+
+    ``records`` is the ordered list of traced module calls; ``consumers``
+    maps ``id(tensor)`` to the number of autograd-graph consumers of that
+    tensor, which is what licenses conv<-BN folding and ReLU fusion (an
+    intermediate consumed anywhere else must be materialised).
+    """
+
+    records: List[_CallRecord]
+    consumers: Dict[int, int]
+    input_shape: Tuple[int, ...]
+
+    def producers(self) -> Dict[int, _CallRecord]:
+        """Map output-tensor id -> producing record (outermost call wins)."""
+        return {rec.output_id: rec for rec in self.records}
+
+    def calls_per_module(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for rec in self.records:
+            counts[id(rec.module)] = counts.get(id(rec.module), 0) + 1
+        return counts
+
+
+def trace_model(model: Module, input_shape: Tuple[int, ...],
+                rng_seed: int = 0) -> ModelTrace:
+    """Record one instrumented forward of ``model`` on a synthetic input.
+
+    Runs in eval mode with gradients *enabled* so the autograd graph of the
+    output provides exact consumer counts for every intermediate tensor.
+    The trace is topology-only: it is independent of the model's current
+    precision and of the batch size (a single sample is used).
+    """
+    records: List[_CallRecord] = []
+    keepalive: List[Tensor] = []          # ids must stay unique during trace
+
+    # Switchable-BN branches are executed *through* their parent; tracing
+    # them too would duplicate every BN record.
+    branch_ids = set()
+    for module in model.modules():
+        if isinstance(module, SwitchableBatchNorm2d):
+            branch_ids.update(id(b) for b in module.branch_modules())
+
+    wrapped: List[Module] = []
+    seen = set()
+    for module in model.modules():
+        if id(module) in seen or id(module) in branch_ids:
+            continue
+        seen.add(id(module))
+        if not isinstance(module, _TRACED_TYPES):
+            continue
+
+        def make_traced(m: Module = module):
+            original = m.forward
+
+            def traced(x: Tensor) -> Tensor:
+                out = original(x)
+                records.append(_CallRecord(m, id(x), id(out), x.ndim))
+                keepalive.append(x)
+                keepalive.append(out)
+                return out
+
+            return traced
+
+        module.forward = make_traced()
+        wrapped.append(module)
+
+    was_training = model.training
+    model.eval()
+    try:
+        shape = (1,) + tuple(input_shape[1:])
+        probe = np.random.default_rng(rng_seed).standard_normal(shape)
+        x = Tensor(probe.astype(np.float32), requires_grad=True)
+        out = model(x)
+    finally:
+        for module in wrapped:
+            module.__dict__.pop("forward", None)
+        model.train(was_training)
+        nn_workspace.end_step()
+
+    consumers: Dict[int, int] = {}
+    visited = set()
+    stack = [out]
+    while stack:
+        node = stack.pop()
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        for parent in node._prev:
+            consumers[id(parent)] = consumers.get(id(parent), 0) + 1
+            stack.append(parent)
+
+    return ModelTrace(records=records, consumers=consumers,
+                      input_shape=tuple(input_shape))
+
+
+def model_fingerprint(model: Module, params=None, buffers=None
+                      ) -> Tuple[tuple, str]:
+    """Cheap staleness token covering every parameter and buffer.
+
+    Parameters contribute ``(id(data), version)`` — both optimizer steps and
+    ``load_state_dict`` bump the version — and buffers (BN running
+    statistics, which carry no version counter) contribute a content digest.
+    A compiled plan is valid exactly while this fingerprint is unchanged.
+
+    ``params`` / ``buffers`` accept pre-collected ``(name, handle)`` lists
+    so repeat callers (:class:`~repro.inference.InferenceSession`) can skip
+    the module-tree walk; the module tree is static, so caching the handles
+    once is sound.
+    """
+    if params is None:
+        params = list(model.named_parameters())
+    if buffers is None:
+        buffers = list(model.named_buffers())
+    token = tuple((name, id(p.data), p.version) for name, p in params)
+    digest = hashlib.sha1()
+    for name, buf in buffers:
+        digest.update(name.encode())
+        digest.update(buf.tobytes())
+    return token, digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Per-precision compilation
+# ---------------------------------------------------------------------------
+
+def _bn_branch(bn: Module, precision: Precision) -> BatchNorm2d:
+    """Resolve the BN branch for ``precision`` (mirrors set_model_precision)."""
+    if isinstance(bn, SwitchableBatchNorm2d):
+        key = precision.key
+        if key not in bn.available_keys():
+            key = "fp"
+        return bn.branch(key)
+    return bn
+
+
+def _bn_affine(branch: BatchNorm2d) -> Tuple[np.ndarray, np.ndarray]:
+    """Eval-mode BN as a per-channel affine, identical to the fast kernel."""
+    inv_std = (1.0 / np.sqrt(branch.running_var + branch.eps)).astype(np.float32)
+    scale = branch.weight.data * inv_std
+    shift = branch.bias.data - branch.running_mean * scale
+    return scale, shift
+
+
+class CompiledPrecisionPlan:
+    """A frozen (model, precision) forward: pre-quantised, BN-folded, fused.
+
+    Built by :class:`repro.inference.InferenceSession`; use
+    :meth:`execute` to run one batch.  The plan holds *copies* of all derived
+    weights, so it stays valid (and the session's fingerprint check detects
+    staleness) even while the live model keeps training.
+    """
+
+    def __init__(self, model: Module, precision: Precision, trace: ModelTrace,
+                 fold_bn: bool = True) -> None:
+        self.model = model
+        self.precision = precision
+        self.fold_bn = bool(fold_bn)
+        self.folded_bn_count = 0
+        self.fused_relu_count = 0
+        self._swaps: List[Tuple[Module, Callable]] = []
+        self._relu_schedules: Dict[int, List[bool]] = {}
+        self._relu_counters: Dict[int, int] = {}
+        self._live_precision_modules: List[Module] = []
+        self._compile(trace)
+
+    # ------------------------------------------------------------------
+    def _compile(self, trace: ModelTrace) -> None:
+        precision = self.precision
+        producers = trace.producers()
+        calls = trace.calls_per_module()
+
+        # A module invoked more than once per forward (shared instance) has
+        # call-site-dependent fold decisions; leave it on the live path.
+        # ReLU is exempt: its kernel consults a per-call schedule.
+        def compilable(module: Module) -> bool:
+            return calls.get(id(module), 0) == 1
+
+        # --- pass 1: conv <- BN folding decisions -----------------------
+        conv_fold: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        bn_to_conv: Dict[int, Module] = {}
+        bn_affine: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        bn_records = [rec for rec in trace.records
+                      if isinstance(rec.module, (BatchNorm2d,
+                                                 SwitchableBatchNorm2d))]
+        for rec in bn_records:
+            if rec.input_ndim != 4 or not compilable(rec.module):
+                continue
+            branch = _bn_branch(rec.module, precision)
+            affine = _bn_affine(branch)
+            producer = producers.get(rec.input_id)
+            if (self.fold_bn and producer is not None
+                    and isinstance(producer.module, Conv2d)
+                    and compilable(producer.module)
+                    and trace.consumers.get(rec.input_id, 0) == 1):
+                conv_fold[id(producer.module)] = affine
+                bn_to_conv[id(rec.module)] = producer.module
+                self.folded_bn_count += 1
+            else:
+                bn_affine[id(rec.module)] = affine
+
+        # --- pass 2: ReLU fusion into the producing kernel's epilogue ---
+        conv_relu: set = set()
+        bn_relu: set = set()
+        for rec in trace.records:
+            if not isinstance(rec.module, ReLU):
+                continue
+            schedule = self._relu_schedules.setdefault(id(rec.module), [])
+            fused = False
+            producer = producers.get(rec.input_id)
+            if (producer is not None
+                    and trace.consumers.get(rec.input_id, 0) == 1):
+                pm = producer.module
+                if id(pm) in bn_to_conv:
+                    conv_relu.add(id(bn_to_conv[id(pm)]))
+                    fused = True
+                elif id(pm) in bn_affine:
+                    bn_relu.add(id(pm))
+                    fused = True
+                elif isinstance(pm, Conv2d) and compilable(pm):
+                    conv_relu.add(id(pm))
+                    fused = True
+            if fused:
+                self.fused_relu_count += 1
+            schedule.append(fused)
+
+        # --- pass 3: build kernels --------------------------------------
+        # Modules the plan cannot compile (shared instances, BN on non-4D
+        # input) stay on the live path; precision-sensitive ones among them
+        # are pinned to the plan's precision for the duration of execute()
+        # so a stale ``set_model_precision`` can never leak into a plan run.
+        compiled = set()
+        for rec in trace.records:
+            module = rec.module
+            if id(module) in compiled:
+                continue
+            compiled.add(id(module))
+            if isinstance(module, Conv2d):
+                if compilable(module):
+                    self._swaps.append((module, self._compile_conv(
+                        module, conv_fold.get(id(module)),
+                        id(module) in conv_relu)))
+                elif isinstance(module, QuantConv2d):
+                    self._live_precision_modules.append(module)
+            elif isinstance(module, Linear):
+                if compilable(module):
+                    self._swaps.append((module, self._compile_linear(module)))
+                elif isinstance(module, QuantLinear):
+                    self._live_precision_modules.append(module)
+            elif isinstance(module, (BatchNorm2d, SwitchableBatchNorm2d)):
+                if id(module) in bn_to_conv:
+                    self._swaps.append((module, lambda x: x))
+                elif id(module) in bn_affine:
+                    self._swaps.append((module, self._compile_bn(
+                        *bn_affine[id(module)], id(module) in bn_relu)))
+                elif isinstance(module, SwitchableBatchNorm2d):
+                    self._live_precision_modules.append(module)
+            elif isinstance(module, ReLU):
+                self._swaps.append((module, self._compile_relu(module)))
+
+    # ------------------------------------------------------------------
+    def _act_quantizer(self, module: Module) -> Optional[QuantizerConfig]:
+        """Activation quantizer config, or None when inputs stay unquantised."""
+        if self.precision.is_full_precision:
+            return None
+        if not isinstance(module, (QuantConv2d, QuantLinear)):
+            return None
+        return QuantizerConfig(bits=int(self.precision.act_bits),
+                               symmetric=True)
+
+    def _quant_entry(self, module: Module) -> Optional[list]:
+        """The module's PR 3 quantised-weight cache entry for this precision.
+
+        Shares the per-(precision, weight version) rounded weights — and for
+        convolutions the GEMM repack slot — with the live training/attack
+        path, so a plan build after any warm forward re-quantises nothing
+        (and a cold build warms the cache for the live path in turn).
+        """
+        if (self.precision.is_full_precision
+                or not isinstance(module, (QuantConv2d, QuantLinear))):
+            return None
+        return module._quantized_weight_entry(self.precision)
+
+    def _layer_weight(self, module: Module) -> np.ndarray:
+        """The layer's execution weight: quantised unless full precision."""
+        entry = self._quant_entry(module)
+        return module.weight.data if entry is None else entry[1]
+
+    def _compile_conv(self, conv: Conv2d,
+                      fold: Optional[Tuple[np.ndarray, np.ndarray]],
+                      fuse_relu: bool) -> Callable:
+        entry = self._quant_entry(conv)
+        w_use = conv.weight.data if entry is None else entry[1]
+        bias = conv.bias.data if conv.bias is not None else None
+        if fold is not None:
+            scale, shift = fold
+            w_use = (w_use * scale[:, None, None, None]).astype(np.float32)
+            bias = shift if bias is None else (bias * scale + shift)
+            gemm = F.pack_gemm_weights(w_use)[0]
+        elif entry is not None:
+            # Unfolded quantised conv: share the GEMM repack slot with the
+            # live QuantConv2d forward (filling it warms the live path too).
+            if entry[3] is None:
+                entry[3] = F.pack_gemm_weights(w_use)
+            gemm = entry[3][0]
+        else:
+            # Full precision: the conv layer's own (id, version)-keyed pack.
+            gemm = conv.gemm_weights()[0]
+        # In every branch the pack is exactly what the live layer would hand
+        # BLAS (for 1x1 kernels an F-order view of the weight): the memory
+        # order selects the BLAS code path, and matching it keeps the GEMM
+        # bit-identical to the set_model_precision reference.
+        act_cfg = self._act_quantizer(conv)
+        kh = kw = conv.kernel_size
+        stride, padding = conv.stride, conv.padding
+
+        def forward(x: Tensor) -> Tensor:
+            data = x.data
+            quantize = None
+            if act_cfg is not None:
+                scale, _ = compute_quant_scale(data, act_cfg)
+                qmin, qmax = act_cfg.qmin, act_cfg.qmax
+
+                def quantize(src, dst, scale=scale, qmin=qmin, qmax=qmax):
+                    quantize_data_into(src, dst, scale, qmin, qmax)
+
+            out = F.conv2d_infer(data, gemm, kh, kw, stride, padding,
+                                 workspace=default_workspace(), bias=bias,
+                                 quantize=quantize, relu=fuse_relu)
+            return Tensor(out)
+
+        return forward
+
+    def _compile_linear(self, linear: Linear) -> Callable:
+        # Kept as the transposed *view* (not a contiguous copy): the live
+        # path hands BLAS the same view, and an identical memory layout keeps
+        # the GEMM bit-identical to it.
+        w_t = self._layer_weight(linear).T
+        bias = linear.bias.data if linear.bias is not None else None
+        act_cfg = self._act_quantizer(linear)
+
+        def forward(x: Tensor) -> Tensor:
+            data = x.data
+            if act_cfg is not None:
+                scale, _ = compute_quant_scale(data, act_cfg)
+                staged = default_workspace().acquire(data.shape)
+                data = quantize_data_into(data, staged, scale,
+                                          act_cfg.qmin, act_cfg.qmax)
+            out = data @ w_t
+            if bias is not None:
+                out += bias
+            return Tensor(out)
+
+        return forward
+
+    def _compile_bn(self, scale: np.ndarray, shift: np.ndarray,
+                    fuse_relu: bool) -> Callable:
+        def forward(x: Tensor) -> Tensor:
+            out = F.channel_affine_infer(x.data, scale, shift,
+                                         workspace=default_workspace(),
+                                         relu=fuse_relu)
+            return Tensor(out)
+
+        return forward
+
+    def _compile_relu(self, module: ReLU) -> Callable:
+        schedule = self._relu_schedules.get(id(module), [])
+        counters = self._relu_counters
+        key = id(module)
+
+        def forward(x: Tensor) -> Tensor:
+            index = counters.get(key, 0)
+            counters[key] = index + 1
+            if index < len(schedule) and schedule[index]:
+                return x                      # fused into the producer
+            return F.relu(x, workspace=default_workspace())
+
+        return forward
+
+    # ------------------------------------------------------------------
+    def execute(self, x: np.ndarray) -> np.ndarray:
+        """Run one batch through the compiled forward; returns the logits."""
+        model = self.model
+        was_training = model.training
+        if was_training:              # skip the full module walk when already
+            model.eval()              # in eval mode (the steady serving state)
+        self._relu_counters.clear()
+        applied: List[Module] = []
+        pinned: List[Tuple[Module, object]] = []
+        try:
+            for module, forward in self._swaps:
+                module.forward = forward
+                applied.append(module)
+            # Pin uncompiled precision-sensitive modules (shared instances
+            # run on the live path) to this plan's precision, mirroring
+            # set_model_precision, and restore afterwards.
+            for module in self._live_precision_modules:
+                if isinstance(module, SwitchableBatchNorm2d):
+                    pinned.append((module, module.active_key))
+                    key = self.precision.key
+                    module.switch_to(key if key in module.available_keys()
+                                     else "fp")
+                else:
+                    pinned.append((module, module.precision))
+                    module.set_precision(self.precision)
+            with no_grad():
+                out = model(Tensor(x))
+            return out.data
+        finally:
+            for module, previous in pinned:
+                if isinstance(module, SwitchableBatchNorm2d):
+                    module.switch_to(previous)
+                else:
+                    module.set_precision(previous)
+            for module in applied:
+                module.__dict__.pop("forward", None)
+            if was_training:
+                model.train(True)
+            nn_workspace.end_step()

@@ -1,0 +1,235 @@
+"""Inference sessions: the plan cache and execution front-end.
+
+An :class:`InferenceSession` owns everything the deployment side of the paper
+needs to run a (possibly RPS-switched) model: one topology trace of the
+model, a cache of :class:`~repro.inference.plan.CompiledPrecisionPlan` per
+execution precision, and a staleness fingerprint that rebuilds plans whenever
+the model's parameters or BN statistics change (optimizer steps and
+``load_state_dict`` both bump parameter versions; buffer contents are
+digested directly).
+
+It replaces the ad-hoc ``set_model_precision`` + forward loops that used to
+live in ``core/evaluation.py``, ``core/rps.py``, ``core/tradeoff.py``,
+``defense/trainer.py`` and the experiment harnesses.  The live module path
+remains the parity oracle: a session built with ``fold_bn=False`` is
+bit-identical to it, the default BN-folding session is within reduction-order
+noise (see :mod:`repro.inference.plan`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .. import config
+from ..nn.module import Module
+from ..quantization.precision import FULL_PRECISION, Precision
+from ..quantization.quantized_modules import get_model_precision
+from .plan import CompiledPrecisionPlan, ModelTrace, model_fingerprint, trace_model
+
+__all__ = ["InferenceSession"]
+
+PrecisionLike = Union[int, Precision, None]
+
+
+def _as_precision(value: PrecisionLike) -> Precision:
+    if value is None:
+        return FULL_PRECISION
+    if isinstance(value, Precision):
+        return value
+    return Precision(int(value))
+
+
+class InferenceSession:
+    """Compiled-plan cache and batched executor for one model.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.nn.module.Module` classifier.  Quantisation-aware
+        layers are pre-quantised per plan; plain models simply get the
+        BN-folded eval forward.
+    fold_bn:
+        Fold eval-mode batch norm into preceding conv weights (default from
+        ``REPRO_INFER_FOLD_BN``).  ``False`` gives a bit-identical replay of
+        the live-module forward.
+    batch_size:
+        Default micro-batch size for :meth:`predict` / :meth:`accuracy`.
+    """
+
+    def __init__(self, model: Module, fold_bn: Optional[bool] = None,
+                 batch_size: int = 256) -> None:
+        self.model = model
+        self.fold_bn = config.infer_fold_bn() if fold_bn is None else bool(fold_bn)
+        self.batch_size = int(batch_size)
+        self._trace: Optional[ModelTrace] = None
+        self._plans: Dict[object, CompiledPrecisionPlan] = {}
+        self._fingerprint: Optional[Tuple[tuple, str]] = None
+        # Parameter / buffer handles cached once: the module tree is static,
+        # so the staleness check only reads versions and buffer bytes instead
+        # of re-walking hundreds of modules per call.  (state_dict loads
+        # mutate arrays in place; freshly *replacing* Parameter objects is
+        # not supported without calling invalidate().)
+        self._param_refs = [(name, p) for name, p in model.named_parameters()]
+        self._buffer_refs = [(name, buf) for name, buf in model.named_buffers()]
+
+    # ------------------------------------------------------------------
+    # Plan cache
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every compiled plan (and the topology trace)."""
+        self._plans.clear()
+        self._trace = None
+        self._fingerprint = None
+        self._param_refs = [(n, p) for n, p in self.model.named_parameters()]
+        self._buffer_refs = [(n, b) for n, b in self.model.named_buffers()]
+
+    def _fingerprint_now(self) -> Tuple[tuple, str]:
+        """Staleness token, computed over the cached parameter / buffer
+        handles (single implementation: :func:`plan.model_fingerprint`)."""
+        return model_fingerprint(self.model, self._param_refs,
+                                 self._buffer_refs)
+
+    def refresh(self) -> bool:
+        """Rebuild-check: drop stale plans; returns True when they were stale.
+
+        Called automatically by every public entry point; exposed for callers
+        that mutate the model out of band (e.g. writing directly into
+        parameter arrays without bumping versions is *not* detected — use
+        ``load_state_dict`` or call :meth:`invalidate`).
+        """
+        fingerprint = self._fingerprint_now()
+        if fingerprint != self._fingerprint:
+            self._plans.clear()
+            self._fingerprint = fingerprint
+            return True
+        return False
+
+    @contextmanager
+    def _eval_mode(self):
+        """Hold the model in eval mode for a batched entry point.
+
+        Hoisted out of the per-batch plan execution so a many-batch call does
+        the (module-tree-walking) train/eval flip at most once.
+        """
+        was_training = self.model.training
+        if was_training:
+            self.model.eval()
+        try:
+            yield
+        finally:
+            if was_training:
+                self.model.train(True)
+
+    def plan_for(self, precision: PrecisionLike,
+                 input_shape: Optional[Sequence[int]] = None
+                 ) -> CompiledPrecisionPlan:
+        """The compiled plan for ``precision`` (building it on first use).
+
+        ``input_shape`` seeds the topology trace on the very first call; it
+        is unnecessary once any forward has run.
+        """
+        self.refresh()
+        return self._plan(_as_precision(precision), input_shape)
+
+    def _plan(self, precision: Precision,
+              input_shape: Optional[Sequence[int]] = None
+              ) -> CompiledPrecisionPlan:
+        """Plan lookup without the staleness check (done once per entry point)."""
+        key = (precision.key, self.fold_bn)
+        plan = self._plans.get(key)
+        if plan is None:
+            if self._trace is None:
+                if input_shape is None:
+                    raise ValueError(
+                        "the session has no topology trace yet; pass "
+                        "input_shape (N, C, H, W) or run a forward first")
+                self._trace = trace_model(self.model, tuple(input_shape))
+            plan = CompiledPrecisionPlan(self.model, precision, self._trace,
+                                         fold_bn=self.fold_bn)
+            self._plans[key] = plan
+        return plan
+
+    @property
+    def cached_plan_keys(self) -> List[object]:
+        return sorted(self._plans.keys(), key=repr)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray,
+                precision: PrecisionLike = None) -> np.ndarray:
+        """Logits for one batch at ``precision``.
+
+        ``precision=None`` uses the model's current execution precision (the
+        one last assigned by ``set_model_precision``), falling back to full
+        precision for plain models — so a drop-in replacement for a bare
+        eval-mode forward.
+        """
+        if precision is None:
+            precision = get_model_precision(self.model) or FULL_PRECISION
+        plan = self.plan_for(precision, input_shape=x.shape)
+        with self._eval_mode():
+            return plan.execute(x)
+
+    def predict(self, x: np.ndarray, precision: PrecisionLike = None,
+                batch_size: Optional[int] = None) -> np.ndarray:
+        """Predicted labels at one precision, batched internally."""
+        if precision is None:
+            precision = get_model_precision(self.model) or FULL_PRECISION
+        self.refresh()
+        return self._predict_fresh(x, _as_precision(precision), batch_size)
+
+    def _predict_fresh(self, x: np.ndarray, precision: Precision,
+                       batch_size: Optional[int]) -> np.ndarray:
+        batch_size = batch_size or self.batch_size
+        out = np.empty(len(x), dtype=np.int64)
+        plan = None
+        with self._eval_mode():
+            for start in range(0, len(x), batch_size):
+                chunk = x[start:start + batch_size]
+                if plan is None:
+                    plan = self._plan(precision, input_shape=chunk.shape)
+                out[start:start + batch_size] = \
+                    plan.execute(chunk).argmax(axis=1)
+        return out
+
+    def predict_assigned(self, x: np.ndarray,
+                         assignments: Sequence[Precision],
+                         batch_size: Optional[int] = None) -> np.ndarray:
+        """Per-sample mixed-precision prediction.
+
+        ``assignments[i]`` is the execution precision of sample ``i`` (the
+        RPS per-input draw).  Samples are grouped per precision so each group
+        runs as full micro-batches through that precision's compiled plan.
+        """
+        if len(assignments) != len(x):
+            raise ValueError("one precision assignment per sample required")
+        out = np.empty(len(x), dtype=np.int64)
+        if len(x) == 0:
+            return out
+        groups: Dict[object, Tuple[Precision, List[int]]] = {}
+        for index, precision in enumerate(assignments):
+            precision = _as_precision(precision)
+            entry = groups.get(precision.key)
+            if entry is None:
+                entry = groups[precision.key] = (precision, [])
+            entry[1].append(index)
+        self.refresh()
+        with self._eval_mode():
+            for precision, indices in groups.values():
+                selected = np.asarray(indices, dtype=np.int64)
+                out[selected] = self._predict_fresh(x[selected], precision,
+                                                    batch_size=batch_size)
+        return out
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray,
+                 precision: PrecisionLike = None,
+                 batch_size: Optional[int] = None) -> float:
+        """Top-1 accuracy at one precision."""
+        if len(x) == 0:
+            return 0.0
+        predictions = self.predict(x, precision, batch_size=batch_size)
+        return float((predictions == np.asarray(y)).mean())

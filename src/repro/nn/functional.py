@@ -33,19 +33,21 @@ Two interchangeable compute backends are provided (``REPRO_NN_BACKEND`` or
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import Optional, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
+from .. import config
 from .tensor import Tensor
 from .workspace import Workspace, acquire_like
 
 __all__ = [
     "linear",
     "conv2d",
+    "conv2d_infer",
+    "channel_affine_infer",
     "conv2d_reference",
     "max_pool2d",
     "max_pool2d_reference",
@@ -71,9 +73,7 @@ __all__ = [
 ]
 
 _BACKENDS = ("fast", "reference")
-_BACKEND = os.environ.get("REPRO_NN_BACKEND", "fast")
-if _BACKEND not in _BACKENDS:
-    _BACKEND = "fast"
+_BACKEND = config.nn_backend()
 
 
 def get_backend() -> str:
@@ -354,6 +354,116 @@ def conv2d_reference(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
             x.accumulate_grad(grad_x)
 
     return Tensor.make_from_op(out_data, parents, backward)
+
+
+def conv2d_infer(x: np.ndarray, gemm_weight: np.ndarray, kh: int, kw: int,
+                 stride: int, padding: int,
+                 workspace: Optional[Workspace] = None,
+                 bias: Optional[np.ndarray] = None,
+                 quantize=None, relu: bool = False) -> np.ndarray:
+    """Inference-only convolution on raw arrays (no autograd graph).
+
+    The data-plane kernel behind :mod:`repro.inference` compiled plans: the
+    channels-last forward of :func:`conv2d` stripped of every backward
+    provision, with three inference-specific fusions:
+
+    * ``quantize(src, dst)`` — optional activation fake-quantisation written
+      *directly into the padded staging buffer* (or the column buffer for
+      1x1 kernels), eliminating the separate quantised-activation array and
+      the pad copy of the training path.  The callable must perform the
+      exact elementwise quantise-dequantise of the live path so values are
+      bit-identical (the zero padding border is unaffected: symmetric
+      quantisation maps 0 to 0).
+    * ``bias`` — per-output-channel vector added to the GEMM output.  A
+      compiled plan folds eval-mode batch-norm into ``gemm_weight`` and this
+      vector.
+    * ``relu`` — applies ``max(0, .)`` in place on the (cache-warm) GEMM
+      output, eliminating the downstream ReLU pass.
+
+    ``x`` is (N, C_in, H, W) logical; ``gemm_weight`` is the
+    (kh*kw*C_in, C_out) forward pack from :func:`pack_gemm_weights`.
+    Returns an (N, C_out, OH, OW)-logical, channels-last array.
+    """
+    ws = workspace
+    n, c_in, h, w = x.shape
+    c_out = gemm_weight.shape[1]
+    oh = _conv_output_size(h, kh, stride, padding)
+    ow = _conv_output_size(w, kw, stride, padding)
+    nl = n * oh * ow
+    k = kh * kw * c_in
+
+    x_cl = x.transpose(0, 2, 3, 1)                            # NHWC view
+    release_cols = True
+    if kh == 1 and kw == 1 and padding == 0:
+        src = x_cl if stride == 1 else x_cl[:, ::stride, ::stride, :]
+        if quantize is None and src.flags["C_CONTIGUOUS"]:
+            cols2d = src.reshape(nl, k)                       # pure view
+            release_cols = False
+        else:
+            cols2d = _acquire(ws, (nl, k))
+            target = cols2d.reshape(n, oh, ow, c_in)
+            if quantize is None:
+                np.copyto(target, src)
+            else:
+                quantize(src, target)
+    else:
+        if padding:
+            hp, wp = h + 2 * padding, w + 2 * padding
+            xp = _acquire(ws, (n, hp, wp, c_in))
+            xp[:, :padding] = 0.0
+            xp[:, hp - padding:] = 0.0
+            xp[:, padding:hp - padding, :padding] = 0.0
+            xp[:, padding:hp - padding, wp - padding:] = 0.0
+            interior = xp[:, padding:hp - padding, padding:wp - padding]
+            if quantize is None:
+                np.copyto(interior, x_cl)
+            else:
+                quantize(x_cl, interior)
+            staged = xp
+        elif quantize is not None:
+            staged = _acquire(ws, (n, h, w, c_in))
+            quantize(x_cl, staged)
+        else:
+            staged = x_cl
+        win = _window_view(staged, kh, kw, stride)
+        cols2d = _acquire(ws, (nl, k))
+        np.copyto(cols2d.reshape(n, oh, ow, kh, kw, c_in), win)
+        if staged is not x_cl:
+            _release(ws, staged)
+            del staged
+
+    out2d = _acquire(ws, (nl, c_out))
+    np.matmul(cols2d, gemm_weight, out=out2d)
+    if release_cols:
+        _release(ws, cols2d)
+    del cols2d
+    if bias is not None:
+        out2d += bias
+    if relu:
+        np.maximum(out2d, 0.0, out=out2d)
+    return out2d.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
+
+
+def channel_affine_infer(x: np.ndarray, scale: np.ndarray, shift: np.ndarray,
+                         workspace: Optional[Workspace] = None,
+                         relu: bool = False) -> np.ndarray:
+    """Per-channel affine ``x * scale + shift`` on an (N, C, H, W) array.
+
+    The inference kernel for eval-mode batch norm that a compiled plan could
+    not fold into a preceding convolution: ``scale`` / ``shift`` are the
+    precomputed ``gamma * inv_std`` and ``beta - mean * gamma * inv_std``
+    vectors, so the per-forward reduction of the live path disappears and the
+    elementwise math is bit-identical to it.  ``relu`` fuses ``max(0, .)``
+    into the same pass.
+    """
+    n, c, h, w = x.shape
+    x_cl = x.transpose(0, 2, 3, 1)
+    out_cl = _acquire(workspace, (n, h, w, c))
+    np.multiply(x_cl, scale, out=out_cl)
+    out_cl += shift
+    if relu:
+        np.maximum(out_cl, 0.0, out=out_cl)
+    return out_cl.transpose(0, 3, 1, 2)
 
 
 def _conv2d_fast(x: Tensor, weight: Tensor, bias: Optional[Tensor],

@@ -150,6 +150,21 @@ class SwitchableBatchNorm2d(Module):
     def available_keys(self) -> List[Hashable]:
         return list(self._branches.keys())
 
+    def branch(self, key: Hashable) -> BatchNorm2d:
+        """The BN branch for precision ``key`` without switching to it.
+
+        Used by compiled inference plans, which bind a branch's statistics
+        per precision instead of mutating :attr:`active_key`.
+        """
+        if key not in self._branches:
+            raise KeyError(f"no SBN branch for precision {key!r}; "
+                           f"available: {self.available_keys()}")
+        return self._branches[key]
+
+    def branch_modules(self) -> List[BatchNorm2d]:
+        """All branch modules (used to exclude them from model tracing)."""
+        return list(self._branches.values())
+
     def switch_to(self, key: Hashable) -> None:
         """Select the BN branch for precision ``key`` (``"fp"`` = unquantised)."""
         if key not in self._branches:

@@ -25,12 +25,13 @@ pooling entirely so every acquire falls back to ``np.empty``).
 
 from __future__ import annotations
 
-import os
 import sys
 from collections import OrderedDict
 from typing import Dict, List, Tuple
 
 import numpy as np
+
+from .. import config
 
 __all__ = ["Workspace", "default_workspace"]
 
@@ -41,11 +42,7 @@ _DTYPE_STR: dict = {}
 
 
 def _env_cap_bytes() -> int:
-    try:
-        mb = float(os.environ.get("REPRO_NN_WORKSPACE_MB", "256"))
-    except ValueError:
-        mb = 256.0
-    return int(mb * (1 << 20))
+    return int(config.nn_workspace_mb() * (1 << 20))
 
 
 class Workspace:

@@ -19,7 +19,8 @@ from ..nn.tensor import Tensor
 from ..nn.workspace import Workspace, acquire_like as _acquire_like
 
 __all__ = ["QuantizerConfig", "quantize_array", "quantize_with_mask",
-           "fake_quantize", "LinearQuantizer"]
+           "fake_quantize", "compute_quant_scale", "quantize_data_into",
+           "LinearQuantizer"]
 
 
 @dataclass
@@ -75,6 +76,34 @@ def _compute_scale(x: np.ndarray, config: QuantizerConfig) -> Tuple[np.ndarray, 
 
     scale = np.where(scale <= 1e-12, 1e-12, scale)
     return scale.astype(np.float32), zero_point.astype(np.float32)
+
+
+def compute_quant_scale(x: np.ndarray, config: QuantizerConfig
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+    """Public ``(scale, zero_point)`` of the linear quantizer for ``x``.
+
+    Exactly the range computation used by :func:`fake_quantize` /
+    :func:`quantize_with_mask`, exposed so inference plans can precompute the
+    scale once and stream the elementwise quantisation through
+    :func:`quantize_data_into` with bit-identical results.
+    """
+    return _compute_scale(x, config)
+
+
+def quantize_data_into(src: np.ndarray, dst: np.ndarray, scale: np.ndarray,
+                       qmin: int, qmax: int) -> np.ndarray:
+    """Symmetric quantise-dequantise ``src`` into ``dst`` (data only, no STE).
+
+    Performs the identical elementwise op sequence of the symmetric-scalar
+    :func:`fake_quantize` forward (divide, rint, clip, multiply), so results
+    are bitwise equal to the live training path; ``dst`` may be any
+    broadcast-compatible view (e.g. the interior of a padded staging buffer).
+    """
+    np.divide(src, scale, out=dst)
+    np.rint(dst, out=dst)
+    np.clip(dst, qmin, qmax, out=dst)
+    np.multiply(dst, scale, out=dst)
+    return dst
 
 
 def quantize_array(x: np.ndarray, config: QuantizerConfig,

@@ -23,11 +23,11 @@ execution precision to every quantisation-aware layer and flips every
 
 from __future__ import annotations
 
-import os
 from typing import List, Optional
 
 import numpy as np
 
+from .. import config
 from ..nn import functional as F
 from ..nn.layers import Conv2d, Linear, SwitchableBatchNorm2d
 from ..nn.module import Module
@@ -46,7 +46,7 @@ __all__ = [
 
 
 def _cache_enabled() -> bool:
-    return os.environ.get("REPRO_NN_QUANT_CACHE", "1") != "0"
+    return config.nn_quant_cache_enabled()
 
 
 class _QuantMixin:

@@ -1,0 +1,18 @@
+"""Async micro-batching serving layer for RPS inference.
+
+Builds the ROADMAP's "serve ``rps_average_metrics`` behind an async API"
+item on top of :mod:`repro.inference`: :class:`RPSServer` coalesces incoming
+single-input requests into per-precision micro-batches executed through
+compiled plans, and :func:`plan_precision_schedule` picks the serving
+precision set from the evaluation engine's cached accelerator metrics.
+"""
+
+from .scheduler import PrecisionSchedule, plan_precision_schedule
+from .server import RPSServer, ServingConfig
+
+__all__ = [
+    "PrecisionSchedule",
+    "RPSServer",
+    "ServingConfig",
+    "plan_precision_schedule",
+]

@@ -1,0 +1,86 @@
+"""Run-time RPS precision-set scheduling backed by accelerator metrics.
+
+The instant robustness-efficiency trade-off of Sec. 2.5 says a deployed RPS
+system can shrink its inference precision set at run time — no retraining —
+to trade robustness for throughput/energy.  This module turns that knob into
+a scheduling decision for the serving layer: candidate precision sets (the
+full set restricted to a list of bit-width caps) are scored with
+``Accelerator.rps_average_metrics``, which runs through the persistent,
+process-sharded evaluation engine, so under live traffic every re-schedule
+after the first is a cache hit (disk-warm across processes when
+``REPRO_ENGINE_PERSIST`` is on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..quantization.precision import PrecisionSet
+
+__all__ = ["PrecisionSchedule", "plan_precision_schedule"]
+
+
+@dataclass
+class PrecisionSchedule:
+    """One scored candidate inference precision set."""
+
+    cap: Optional[int]                # max bit-width (None = full set)
+    precision_set: PrecisionSet
+    average_fps: float
+    average_energy: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "cap": self.cap,
+            "precisions": list(self.precision_set.keys),
+            "average_fps": self.average_fps,
+            "average_energy": self.average_energy,
+        }
+
+
+def plan_precision_schedule(accelerator, layers, full_set: PrecisionSet,
+                            caps: Sequence[Optional[int]] = (None, 12, 8),
+                            min_fps: Optional[float] = None,
+                            objective: str = "energy",
+                            ) -> Tuple[PrecisionSchedule, List[PrecisionSchedule]]:
+    """Choose the inference precision set to serve with.
+
+    ``caps`` lists the candidate restrictions of ``full_set`` (``None`` keeps
+    the whole set).  Each candidate is scored with the accelerator's batched
+    ``rps_average_metrics`` (one engine pass, memoised).  Among the
+    candidates meeting ``min_fps`` — or, when none does, the fastest
+    candidate alone — the ``objective`` picks the winner:
+
+    * ``"energy"`` — lowest average energy per inference (the default;
+      restricting the set usually wins here),
+    * ``"fps"`` — highest average throughput,
+    * ``"robustness"`` — widest precision set (first feasible candidate with
+      the most precisions), the conservative choice under an FPS floor.
+
+    Returns ``(chosen, all_candidates)``.
+    """
+    if objective not in ("energy", "fps", "robustness"):
+        raise ValueError(f"unknown scheduling objective {objective!r}")
+    candidates: List[PrecisionSchedule] = []
+    for cap in caps:
+        subset = full_set if cap is None else full_set.restrict(cap)
+        metrics = accelerator.rps_average_metrics(layers, subset)
+        candidates.append(PrecisionSchedule(
+            cap=cap, precision_set=subset,
+            average_fps=float(metrics["average_fps"]),
+            average_energy=float(metrics["average_energy"])))
+
+    feasible = [c for c in candidates
+                if min_fps is None or c.average_fps >= min_fps]
+    if not feasible:
+        # Nothing meets the floor: serve the fastest configuration.
+        fastest = max(candidates, key=lambda c: c.average_fps)
+        return fastest, candidates
+    if objective == "energy":
+        chosen = min(feasible, key=lambda c: c.average_energy)
+    elif objective == "fps":
+        chosen = max(feasible, key=lambda c: c.average_fps)
+    else:
+        chosen = max(feasible, key=lambda c: len(c.precision_set))
+    return chosen, candidates

@@ -1,0 +1,276 @@
+"""Asyncio micro-batching server for RPS inference.
+
+The paper's deployment story is a stream of single-input requests, each
+executed at a randomly drawn precision (Alg. 1, lines 14-19).  Serving that
+stream naively — one forward per request, re-configuring the model each time
+— wastes almost all of the hardware's batch efficiency.  :class:`RPSServer`
+implements the standard micro-batching architecture on top of
+:class:`repro.inference.InferenceSession`:
+
+* every request draws its precision *at submission time* from a seeded
+  generator (deterministic in submission order, the property the tests pin),
+* a dispatcher coroutine coalesces queued requests into windows of up to
+  ``max_batch`` requests, waiting at most ``max_delay_ms`` for the window to
+  fill (the classic latency/throughput knob),
+* each window is grouped by drawn precision and every group executes as one
+  batched forward through the session's compiled plan for that precision,
+  on a single worker thread (numpy releases the GIL inside BLAS, so the
+  event loop stays responsive while a batch computes).
+
+The active precision set can be **hot-swapped** under live traffic — either
+directly (:meth:`swap_precision_set`) or from accelerator metrics via
+:meth:`apply_precision_schedule`, which scores candidate sets with the
+evaluation engine's cached ``rps_average_metrics`` (Sec. 2.5's instant
+trade-off, driven by measured hardware numbers).  In-flight requests keep the
+precision they drew; only later submissions see the new set.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import config
+from ..inference import InferenceSession
+from ..nn.module import Module
+from ..quantization.precision import Precision, PrecisionSet
+from .scheduler import PrecisionSchedule, plan_precision_schedule
+
+__all__ = ["ServingConfig", "RPSServer"]
+
+
+@dataclass
+class ServingConfig:
+    """Tuning knobs of the micro-batching dispatcher."""
+
+    #: Maximum requests coalesced into one dispatch window.
+    max_batch: int = field(default_factory=config.serving_max_batch)
+    #: Maximum time (ms) a queued request waits for its window to fill.
+    max_delay_ms: float = field(default_factory=config.serving_max_delay_ms)
+    #: Seed of the per-request precision draw.
+    seed: int = 0
+    #: How many recent request latencies the stats window keeps.
+    latency_window: int = 16384
+
+
+class _Request:
+    __slots__ = ("x", "precision", "future", "enqueued_at")
+
+    def __init__(self, x: np.ndarray, precision: Precision,
+                 future: "asyncio.Future", enqueued_at: float) -> None:
+        self.x = x
+        self.precision = precision
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+_STOP = object()
+
+
+class RPSServer:
+    """Micro-batching RPS inference server over one compiled session."""
+
+    def __init__(self, model: Module, precision_set: PrecisionSet,
+                 serving_config: Optional[ServingConfig] = None,
+                 session: Optional[InferenceSession] = None) -> None:
+        self.model = model
+        self.precision_set = precision_set
+        self.config = serving_config or ServingConfig()
+        self.session = session or InferenceSession(model)
+        self.rng = np.random.default_rng(self.config.seed)
+        self._queue: Optional[asyncio.Queue] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._running = False
+        # --- metrics ---
+        self._latencies: Deque[float] = deque(maxlen=self.config.latency_window)
+        self._batch_sizes: Deque[int] = deque(maxlen=self.config.latency_window)
+        self._precision_counts: Dict[object, int] = {}
+        self._completed = 0
+        self._started_at: Optional[float] = None
+        self._last_done_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the dispatcher; warm the plans for the current set."""
+        if self._running:
+            return
+        self._queue = asyncio.Queue()
+        # One worker thread serialises session access (plan execution swaps
+        # module forwards); BLAS releases the GIL so the loop stays live.
+        self._executor = ThreadPoolExecutor(max_workers=1,
+                                            thread_name_prefix="rps-serve")
+        self._running = True
+        self._started_at = time.perf_counter()
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Drain queued requests, then stop the dispatcher."""
+        if not self._running:
+            return
+        self._running = False
+        await self._queue.put(_STOP)
+        await self._dispatcher
+        self._dispatcher = None
+        self._executor.shutdown(wait=True)
+        self._executor = None
+
+    async def __aenter__(self) -> "RPSServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def draw_precision(self) -> Precision:
+        """Per-request RPS draw (deterministic in submission order)."""
+        return self.precision_set.sample(self.rng)
+
+    async def submit(self, x: np.ndarray) -> int:
+        """Serve one input of shape (C, H, W); returns the predicted label.
+
+        The request's precision is drawn here, at submission time, so a
+        seeded server assigns the same precision sequence to the same
+        submission order regardless of how batches later coalesce.
+        """
+        if not self._running:
+            raise RuntimeError("server is not running; call start() first")
+        loop = asyncio.get_running_loop()
+        request = _Request(np.asarray(x, dtype=np.float32),
+                           self.draw_precision(), loop.create_future(),
+                           time.perf_counter())
+        await self._queue.put(request)
+        return await request.future
+
+    async def submit_many(self, xs: Sequence[np.ndarray]) -> List[int]:
+        """Submit a burst of requests concurrently and await all results."""
+        return list(await asyncio.gather(*(self.submit(x) for x in xs)))
+
+    # ------------------------------------------------------------------
+    # Precision-set scheduling
+    # ------------------------------------------------------------------
+    def swap_precision_set(self, new_set: PrecisionSet) -> None:
+        """Hot-swap the RPS inference set under live traffic.
+
+        Requests already queued keep the precision they drew; subsequent
+        submissions draw from ``new_set``.  Compiled plans for overlapping
+        precisions stay cached in the session.
+        """
+        self.precision_set = new_set
+
+    def apply_precision_schedule(self, accelerator, layers,
+                                 caps: Sequence[Optional[int]] = (None, 12, 8),
+                                 min_fps: Optional[float] = None,
+                                 objective: str = "energy",
+                                 ) -> Tuple[PrecisionSchedule,
+                                            List[PrecisionSchedule]]:
+        """Re-schedule the serving precision set from accelerator metrics.
+
+        Scores ``caps`` with the evaluation engine's cached
+        ``rps_average_metrics`` (see :func:`plan_precision_schedule`) and
+        swaps to the winner.  Safe to call between requests on the event
+        loop: the swap is a single attribute assignment.
+        """
+        chosen, candidates = plan_precision_schedule(
+            accelerator, layers, self.precision_set, caps=caps,
+            min_fps=min_fps, objective=objective)
+        self.swap_precision_set(chosen.precision_set)
+        return chosen, candidates
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        cfg = self.config
+        stopping = False
+        while not stopping:
+            item = await self._queue.get()
+            if item is _STOP:
+                break
+            window: List[_Request] = [item]
+            deadline = loop.time() + cfg.max_delay_ms / 1000.0
+            while len(window) < cfg.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0 and self._queue.empty():
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(),
+                                                 max(remaining, 0.0))
+                except asyncio.TimeoutError:
+                    break
+                if nxt is _STOP:
+                    stopping = True
+                    break
+                window.append(nxt)
+            await self._run_window(window)
+
+    async def _run_window(self, window: List[_Request]) -> None:
+        loop = asyncio.get_running_loop()
+        groups: Dict[object, Tuple[Precision, List[_Request]]] = {}
+        for request in window:
+            entry = groups.get(request.precision.key)
+            if entry is None:
+                entry = groups[request.precision.key] = (request.precision, [])
+            entry[1].append(request)
+        self._batch_sizes.append(len(window))
+        for precision, requests in groups.values():
+            try:
+                # Everything request-shaped stays inside the try: a
+                # malformed input (e.g. mismatched (C, H, W) across a
+                # coalesced group) must fail that group's futures, never
+                # kill the dispatcher and strand every later waiter.
+                batch = np.stack([r.x for r in requests])
+                labels = await loop.run_in_executor(
+                    self._executor,
+                    lambda b=batch, p=precision: self.session.predict(b, p))
+            except Exception as error:  # surface to every waiter
+                for request in requests:
+                    if not request.future.done():
+                        request.future.set_exception(error)
+                continue
+            done = time.perf_counter()
+            self._last_done_at = done
+            key = precision.key
+            self._precision_counts[key] = (self._precision_counts.get(key, 0)
+                                           + len(requests))
+            for request, label in zip(requests, labels):
+                self._latencies.append(done - request.enqueued_at)
+                self._completed += 1
+                if not request.future.done():
+                    request.future.set_result(int(label))
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Latency percentiles, throughput and batching behaviour so far."""
+        latencies = np.asarray(self._latencies, dtype=np.float64)
+        elapsed = ((self._last_done_at or time.perf_counter())
+                   - (self._started_at or time.perf_counter()))
+        return {
+            "completed": self._completed,
+            "throughput_rps": (self._completed / elapsed if elapsed > 0
+                               else 0.0),
+            "latency_p50_ms": (float(np.percentile(latencies, 50)) * 1e3
+                               if latencies.size else None),
+            "latency_p99_ms": (float(np.percentile(latencies, 99)) * 1e3
+                               if latencies.size else None),
+            "mean_batch_size": (float(np.mean(self._batch_sizes))
+                                if self._batch_sizes else 0.0),
+            "precision_counts": dict(sorted(self._precision_counts.items(),
+                                            key=lambda kv: str(kv[0]))),
+            "active_precisions": list(self.precision_set.keys),
+        }

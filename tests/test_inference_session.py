@@ -1,0 +1,314 @@
+"""Parity and cache semantics of compiled inference plans / sessions.
+
+The contract under test (see ``repro/inference/plan.py``):
+
+* ``fold_bn=False`` sessions replay the exact op sequence of the live
+  ``set_model_precision`` + eval-forward path (fast backend) and must be
+  **bit-identical** to it, on every registered model at every precision.
+* ``fold_bn=True`` sessions reassociate the BN multiply into the conv
+  weights; float32 results then differ by reduction order only.  At very low
+  bit-widths (3-bit) a 1e-7 perturbation can flip a value across a
+  quantisation-bin boundary, so the folded parity check runs at >= 4 bits,
+  where the end-to-end delta stays small and decisions are stable.
+* Plans are cached per (precision, fold flag) and invalidated by
+  ``load_state_dict`` (parameter versions) and by BN-statistic changes
+  (buffer digest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.defense import evaluate_accuracy
+from repro.inference import InferenceSession
+from repro.models import available_models, build_model
+from repro.nn import workspace as nn_workspace
+from repro.nn.tensor import Tensor, no_grad
+from repro.quantization import (
+    DEFAULT_RPS_SET,
+    FULL_PRECISION,
+    Precision,
+    PrecisionSet,
+    get_model_precision,
+    set_model_precision,
+)
+
+MODELS = available_models()
+PS = PrecisionSet([3, 4, 6])
+IMAGE = 16
+BATCH = 6
+
+#: End-to-end bound for BN-folded forwards at >= 4 bits.  Per-layer the
+#: reassociation is ~1e-6 relative; the deepest model (ResNet-50, 53 folded
+#: layers) compounds to ~1e-4 absolute on logit scales of O(10).
+FOLD_ATOL = 5e-4
+
+
+def _randomise_bn(model, rng):
+    """Give running statistics non-trivial values so folding is exercised."""
+    for name, buf in model.named_buffers():
+        if "running_mean" in name:
+            buf[...] = rng.normal(0.0, 0.3, buf.shape).astype(np.float32)
+        elif "running_var" in name:
+            buf[...] = rng.uniform(0.5, 2.0, buf.shape).astype(np.float32)
+
+
+def _build(name, rng, precisions=PS):
+    model = build_model(name, num_classes=10, precisions=precisions, scale=8,
+                        seed=0)
+    _randomise_bn(model, rng)
+    return model
+
+
+def _reference_logits(model, x, precision):
+    """The pre-refactor path: mutate the live model, run an eval forward."""
+    set_model_precision(model, precision)
+    was_training = model.training
+    model.eval()
+    with no_grad():
+        logits = model(Tensor(x)).data.copy()
+    model.train(was_training)
+    nn_workspace.end_step()
+    return logits
+
+
+@pytest.fixture(scope="module")
+def probe():
+    rng = np.random.default_rng(0)
+    return rng.random((BATCH, 3, IMAGE, IMAGE)).astype(np.float32)
+
+
+class TestExactParity:
+    """fold_bn=False == live path, bitwise."""
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_bit_identical_across_precisions(self, name, probe):
+        rng = np.random.default_rng(1)
+        model = _build(name, rng)
+        session = InferenceSession(model, fold_bn=False)
+        for precision in list(PS) + [FULL_PRECISION]:
+            reference = _reference_logits(model, probe, precision)
+            compiled = session.forward(probe, precision)
+            assert np.array_equal(reference, compiled), (
+                f"{name} at {precision}: compiled no-fold plan diverged "
+                f"from the live path by "
+                f"{np.abs(reference - compiled).max():.3e}")
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_default_rps_set_bit_identical(self, name):
+        """Acceptance sweep: every precision in DEFAULT_RPS_SET (4-16 bit)."""
+        rng = np.random.default_rng(2)
+        model = _build(name, rng, precisions=DEFAULT_RPS_SET)
+        x = rng.random((2, 3, IMAGE, IMAGE)).astype(np.float32)
+        session = InferenceSession(model, fold_bn=False)
+        for precision in DEFAULT_RPS_SET:
+            reference = _reference_logits(model, x, precision)
+            compiled = session.forward(x, precision)
+            assert np.array_equal(reference, compiled), (
+                f"{name} at {precision} diverged")
+
+
+class TestFoldedParity:
+    """fold_bn=True == live path up to documented reduction-order noise."""
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_folded_close_and_decisions_stable(self, name, probe):
+        rng = np.random.default_rng(3)
+        model = _build(name, rng)
+        session = InferenceSession(model, fold_bn=True)
+        for precision in [Precision(4), Precision(6), FULL_PRECISION]:
+            reference = _reference_logits(model, probe, precision)
+            compiled = session.forward(probe, precision)
+            if precision.is_full_precision:
+                # No quantizer downstream of the fold: the delta is pure
+                # reduction-order noise and stays tiny end to end.
+                delta = np.abs(reference - compiled).max()
+                assert delta <= FOLD_ATOL, (
+                    f"{name} at {precision}: folded delta {delta:.2e} "
+                    f"exceeds {FOLD_ATOL:.0e}")
+            # At low bit-widths the ~1e-6 fold perturbation can move an
+            # activation across a quantisation-bin boundary, which shows up
+            # as an O(bin) logit delta — the stable contract (as in the PR 3
+            # chaos-bounded parity suite) is the decision.
+            assert (reference.argmax(1) == compiled.argmax(1)).all(), (
+                f"{name} at {precision}: folded plan flipped a decision")
+
+    def test_folding_actually_folds(self, probe):
+        """Post-activation models must fold every conv-fed BN."""
+        rng = np.random.default_rng(4)
+        model = _build("resnet18", rng)
+        session = InferenceSession(model, fold_bn=True)
+        plan = session.plan_for(Precision(4), input_shape=probe.shape)
+        assert plan.folded_bn_count == 20       # every BN in ResNet-18
+        assert plan.fused_relu_count > 0
+        # Pre-activation topology: bn1 precedes its conv (unfoldable), but
+        # bn2 directly consumes conv1's output — exactly one fold per block.
+        pre = _build("preact_resnet18", rng)
+        pre_plan = InferenceSession(pre, fold_bn=True).plan_for(
+            Precision(4), input_shape=probe.shape)
+        assert pre_plan.folded_bn_count == 8    # one bn2 per PreAct block
+        assert pre_plan.fused_relu_count > 0    # ReLU fuses into BN affines
+
+
+class TestPlanCache:
+    def test_plans_cached_per_precision(self, probe):
+        rng = np.random.default_rng(5)
+        model = _build("preact_resnet18", rng)
+        session = InferenceSession(model, fold_bn=True)
+        plan_a = session.plan_for(Precision(4), input_shape=probe.shape)
+        plan_b = session.plan_for(Precision(4))
+        assert plan_a is plan_b
+        plan_c = session.plan_for(Precision(6))
+        assert plan_c is not plan_a
+        assert len(session.cached_plan_keys) == 2
+
+    def test_trace_shared_across_precisions(self, probe):
+        rng = np.random.default_rng(6)
+        model = _build("preact_resnet18", rng)
+        session = InferenceSession(model)
+        session.plan_for(Precision(3), input_shape=probe.shape)
+        trace = session._trace
+        session.plan_for(Precision(6))
+        assert session._trace is trace
+
+    def test_load_state_dict_invalidates(self, probe):
+        rng = np.random.default_rng(7)
+        model = _build("preact_resnet18", rng)
+        session = InferenceSession(model, fold_bn=False)
+        before = session.forward(probe, Precision(4))
+        stale_plan = session.plan_for(Precision(4))
+
+        # Perturb the weights through the supported mutation path.
+        state = model.state_dict()
+        for key, value in state.items():
+            if not key.startswith("buffer:"):
+                state[key] = value + rng.normal(0, 0.05, value.shape).astype(
+                    np.float32)
+        model.load_state_dict(state)
+
+        after = session.forward(probe, Precision(4))
+        assert not np.array_equal(before, after)
+        assert session.plan_for(Precision(4)) is not stale_plan
+        # And the rebuilt plan matches a fresh reference of the new weights.
+        reference = _reference_logits(model, probe, Precision(4))
+        assert np.array_equal(reference, after)
+
+    def test_bn_statistics_change_invalidates(self, probe):
+        """Buffer contents are digested: BN drift alone rebuilds plans."""
+        rng = np.random.default_rng(8)
+        model = _build("resnet18", rng)
+        session = InferenceSession(model, fold_bn=True)
+        before = session.forward(probe, Precision(6))
+        stale_plan = session.plan_for(Precision(6))
+        _randomise_bn(model, np.random.default_rng(99))
+        after = session.forward(probe, Precision(6))
+        assert session.plan_for(Precision(6)) is not stale_plan
+        assert not np.array_equal(before, after)
+
+
+class TestSessionSemantics:
+    def test_model_state_untouched(self, probe):
+        rng = np.random.default_rng(9)
+        model = _build("preact_resnet18", rng)
+        set_model_precision(model, Precision(6))
+        model.train()
+        session = InferenceSession(model)
+        session.predict(probe, Precision(3))
+        assert model.training
+        assert get_model_precision(model) == Precision(6)
+        # No compiled kernel may leak into the live module path.
+        for module in model.modules():
+            assert "forward" not in module.__dict__
+
+    def test_predict_assigned_matches_grouped_predict(self, probe):
+        rng = np.random.default_rng(10)
+        model = _build("preact_resnet18", rng)
+        session = InferenceSession(model, fold_bn=False)
+        draws = rng.integers(0, len(PS), len(probe))
+        assignments = [PS[i] for i in draws]
+        mixed = session.predict_assigned(probe, assignments)
+        # Same per-precision grouping, one explicit predict per group
+        # (activation-quantisation ranges are batch-global, so the grouping
+        # itself is part of the semantics).
+        for index, precision in enumerate(PS):
+            selected = np.flatnonzero(draws == index)
+            if selected.size == 0:
+                continue
+            grouped = session.predict(probe[selected], precision)
+            assert np.array_equal(grouped, mixed[selected])
+
+    def test_rps_inference_matches_legacy_loop(self, probe):
+        """RPSInference draws + predictions reproduce the pre-session loop."""
+        from repro.core import RPSInference
+
+        rng = np.random.default_rng(11)
+        model = _build("preact_resnet18", rng)
+        x = rng.random((32, 3, IMAGE, IMAGE)).astype(np.float32)
+
+        engine = RPSInference(model, PS, seed=42,
+                              session=InferenceSession(model, fold_bn=False))
+        got = engine.predict(x, per_sample=True)
+
+        # The historical implementation, inline.
+        legacy_rng = np.random.default_rng(42)
+        assignments = np.array([legacy_rng.integers(0, len(PS))
+                                for _ in range(len(x))])
+        expected = np.empty(len(x), dtype=np.int64)
+        model.eval()
+        for index, precision in enumerate(PS):
+            selected = np.flatnonzero(assignments == index)
+            if selected.size == 0:
+                continue
+            set_model_precision(model, precision)
+            with no_grad():
+                logits = model(Tensor(x[selected]))
+            expected[selected] = logits.data.argmax(axis=1)
+            del logits
+            nn_workspace.end_step()
+        assert np.array_equal(expected, got)
+
+    def test_evaluate_accuracy_session_route(self, probe):
+        rng = np.random.default_rng(12)
+        model = _build("preact_resnet18", rng)
+        y = rng.integers(0, 10, len(probe))
+        set_model_precision(model, Precision(4))
+        session = InferenceSession(model, fold_bn=False)
+        assert (evaluate_accuracy(model, probe, y, session=session)
+                == evaluate_accuracy(model, probe, y))
+
+    def test_empty_input(self):
+        rng = np.random.default_rng(13)
+        model = _build("preact_resnet18", rng)
+        session = InferenceSession(model)
+        empty = np.empty((0, 3, IMAGE, IMAGE), dtype=np.float32)
+        assert session.predict_assigned(empty, []).shape == (0,)
+        assert session.accuracy(empty, np.empty(0, np.int64)) == 0.0
+
+    def test_shared_module_pinned_to_plan_precision(self, probe):
+        """A conv instance invoked twice per forward cannot be compiled —
+        the plan must still pin it to the plan's precision during execute
+        so a stale ``set_model_precision`` never leaks into the run."""
+        from repro.nn.module import Module
+        from repro.quantization import QuantConv2d, QuantLinear
+
+        class SharedConvNet(Module):
+            def __init__(self):
+                super().__init__()
+                rng = np.random.default_rng(0)
+                self.conv = QuantConv2d(3, 3, kernel_size=3, padding=1,
+                                        bias=False, rng=rng)
+                self.fc = QuantLinear(3 * IMAGE * IMAGE, 10, rng=rng)
+
+            def forward(self, x):
+                out = self.conv(self.conv(x))    # shared instance, called 2x
+                return self.fc(out.flatten(1))
+
+        model = SharedConvNet()
+        session = InferenceSession(model, fold_bn=False)
+        reference = _reference_logits(model, probe, Precision(4))
+        # Leave the live module at a *different* precision, then execute.
+        set_model_precision(model, Precision(8))
+        compiled = session.forward(probe, Precision(4))
+        assert np.array_equal(reference, compiled)
+        assert get_model_precision(model) == Precision(8)  # restored

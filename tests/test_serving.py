@@ -1,0 +1,229 @@
+"""Behavioural tests of the async micro-batching RPS server.
+
+Covered contracts:
+
+* **Coalescing correctness** — a concurrent burst of single-input requests
+  returns exactly the labels the underlying session produces for the same
+  (submission-order deterministic) precision assignment, while the
+  dispatcher actually forms multi-request windows.
+* **Precision-draw determinism** — a seeded server draws the same precision
+  sequence for the same submission order, matching the raw
+  ``PrecisionSet.sample`` stream.
+* **Hot swap** — swapping the precision set under live traffic affects only
+  subsequent submissions.
+* **Scheduling** — ``plan_precision_schedule`` picks the candidate the
+  accelerator metrics favour, honouring an FPS floor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.accelerator import TwoInOneAccelerator, network_layers
+from repro.inference import InferenceSession
+from repro.models import preact_resnet18
+from repro.quantization import PrecisionSet
+from repro.serving import RPSServer, ServingConfig, plan_precision_schedule
+
+PS = PrecisionSet([3, 4, 6])
+IMAGE = 16
+
+
+@pytest.fixture(scope="module")
+def model():
+    return preact_resnet18(num_classes=10, width=8, blocks_per_stage=(1, 1),
+                           precisions=PS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def requests_x():
+    rng = np.random.default_rng(0)
+    return [rng.random((3, IMAGE, IMAGE)).astype(np.float32)
+            for _ in range(48)]
+
+
+def drain(coro):
+    return asyncio.run(coro)
+
+
+class TestMicroBatching:
+    def test_coalesced_burst_matches_session(self, model, requests_x):
+        seed = 123
+        windows = []
+
+        async def serve():
+            server = RPSServer(model, PS,
+                               ServingConfig(max_batch=16, max_delay_ms=20,
+                                             seed=seed))
+            original = server._run_window
+
+            async def recording(window):
+                windows.append(list(window))
+                await original(window)
+
+            server._run_window = recording
+            async with server:
+                labels = await server.submit_many(requests_x)
+            return labels, server.stats()
+
+        labels, stats = drain(serve())
+        assert stats["completed"] == len(requests_x)
+        assert len(labels) == len(requests_x)
+        assert stats["mean_batch_size"] > 1.0, "dispatcher never coalesced"
+
+        # The draws are deterministic in submission order ...
+        draw_rng = np.random.default_rng(seed)
+        expected_draws = [PS.sample(draw_rng).key for _ in requests_x]
+        served_draws = [r.precision.key
+                        for w in windows for r in w]  # dispatch order
+        assert sorted(served_draws) == sorted(expected_draws)
+
+        # ... and every dispatched window, replayed through a fresh session
+        # with exactly the grouping the server formed, yields exactly the
+        # labels the futures resolved to.
+        session = InferenceSession(model)
+        for window in windows:
+            groups = {}
+            for request in window:
+                groups.setdefault(request.precision.key,
+                                  (request.precision, []))[1].append(request)
+            for precision, members in groups.values():
+                expected = session.predict(np.stack([r.x for r in members]),
+                                           precision)
+                got = [r.future.result() for r in members]
+                assert np.array_equal(expected, np.asarray(got))
+
+    def test_single_window_burst_is_exact(self, model, requests_x):
+        """One dispatch window == one predict_assigned call, exactly."""
+        seed = 7
+        burst = requests_x[:16]
+
+        async def serve():
+            server = RPSServer(model, PS,
+                               ServingConfig(max_batch=len(burst),
+                                             max_delay_ms=200, seed=seed))
+            async with server:
+                return await server.submit_many(burst)
+
+        labels = drain(serve())
+        draw_rng = np.random.default_rng(seed)
+        assignment = [PS.sample(draw_rng) for _ in burst]
+        session = InferenceSession(model)
+        expected = session.predict_assigned(np.stack(burst), assignment)
+        assert np.array_equal(np.asarray(labels), expected)
+
+    def test_stop_drains_queue(self, model, requests_x):
+        async def serve():
+            server = RPSServer(model, PS, ServingConfig(max_batch=8, seed=0))
+            await server.start()
+            futures = [asyncio.create_task(server.submit(x))
+                       for x in requests_x[:12]]
+            await asyncio.sleep(0)          # let submissions enqueue
+            await server.stop()
+            return await asyncio.gather(*futures)
+
+        labels = drain(serve())
+        assert len(labels) == 12
+
+    def test_malformed_request_fails_only_its_group(self, model, requests_x):
+        """A bad input shape must reject its own future(s), not kill the
+        dispatcher and strand every later request."""
+        async def serve():
+            server = RPSServer(model, PS,
+                               ServingConfig(max_batch=4, max_delay_ms=5,
+                                             seed=0))
+            async with server:
+                bad = asyncio.create_task(
+                    server.submit(np.zeros((1, 4, 4), np.float32)))
+                with pytest.raises(Exception):
+                    await bad
+                # The server must still serve well-formed traffic.
+                return await server.submit_many(requests_x[:6])
+
+        labels = drain(serve())
+        assert len(labels) == 6
+
+    def test_submit_when_stopped_raises(self, model, requests_x):
+        async def attempt():
+            server = RPSServer(model, PS)
+            await server.submit(requests_x[0])
+
+        with pytest.raises(RuntimeError):
+            drain(attempt())
+
+
+class TestPrecisionDraws:
+    def test_seeded_draw_sequence_is_deterministic(self, model):
+        server_a = RPSServer(model, PS, ServingConfig(seed=99))
+        server_b = RPSServer(model, PS, ServingConfig(seed=99))
+        draws_a = [server_a.draw_precision().key for _ in range(32)]
+        draws_b = [server_b.draw_precision().key for _ in range(32)]
+        assert draws_a == draws_b
+        reference_rng = np.random.default_rng(99)
+        expected = [PS.sample(reference_rng).key for _ in range(32)]
+        assert draws_a == expected
+
+    def test_hot_swap_affects_only_later_requests(self, model, requests_x):
+        async def serve():
+            server = RPSServer(model, PS,
+                               ServingConfig(max_batch=8, max_delay_ms=5,
+                                             seed=5))
+            async with server:
+                await server.submit_many(requests_x[:16])
+                counts_before = dict(server.stats()["precision_counts"])
+                server.swap_precision_set(PS.restrict(4))
+                await server.submit_many(requests_x[16:32])
+                counts_after = server.stats()["precision_counts"]
+            return counts_before, counts_after, server
+
+        before, after, server = drain(serve())
+        assert set(before) <= {3, 4, 6}
+        # Post-swap requests draw only 3/4-bit: the 6-bit counter froze.
+        assert after.get(6, 0) == before.get(6, 0)
+        assert sum(after.values()) == sum(before.values()) + 16
+        assert server.stats()["active_precisions"] == [3, 4]
+
+
+class TestScheduling:
+    @pytest.fixture(scope="class")
+    def accelerator_and_layers(self):
+        return TwoInOneAccelerator(), network_layers("resnet18", "cifar10")[:3]
+
+    def test_energy_objective_prefers_restricted_set(self,
+                                                     accelerator_and_layers):
+        accelerator, layers = accelerator_and_layers
+        chosen, candidates = plan_precision_schedule(
+            accelerator, layers, PS, caps=(None, 4), objective="energy")
+        assert chosen.cap == 4
+        assert chosen.precision_set.bit_widths == [3, 4]
+        by_cap = {c.cap: c for c in candidates}
+        assert by_cap[4].average_energy <= by_cap[None].average_energy
+        assert by_cap[4].average_fps >= by_cap[None].average_fps
+
+    def test_fps_floor_falls_back_to_fastest(self, accelerator_and_layers):
+        accelerator, layers = accelerator_and_layers
+        chosen, candidates = plan_precision_schedule(
+            accelerator, layers, PS, caps=(None, 4), objective="robustness",
+            min_fps=float("inf"))
+        fastest = max(candidates, key=lambda c: c.average_fps)
+        assert chosen.cap == fastest.cap
+
+    def test_robustness_objective_keeps_widest_feasible(self,
+                                                        accelerator_and_layers):
+        accelerator, layers = accelerator_and_layers
+        chosen, _ = plan_precision_schedule(
+            accelerator, layers, PS, caps=(None, 4), objective="robustness",
+            min_fps=0.0)
+        assert chosen.cap is None
+        assert len(chosen.precision_set) == len(PS)
+
+    def test_server_applies_schedule(self, model, accelerator_and_layers):
+        accelerator, layers = accelerator_and_layers
+        server = RPSServer(model, PS, ServingConfig(seed=0))
+        chosen, candidates = server.apply_precision_schedule(
+            accelerator, layers, caps=(None, 4), objective="energy")
+        assert server.precision_set is chosen.precision_set
+        assert len(candidates) == 2
