@@ -1,0 +1,131 @@
+"""Wall-time trajectory report across every benchmark history file.
+
+``BENCH_nn.json`` (NN / attack / figure benchmarks) and
+``BENCH_serving.json`` (serving throughput) each accumulate one history
+entry per slow-tier run.  This module merges them into a single trajectory
+table — one row per benchmark, one column per recorded run — so the perf
+history of the whole stack is readable in one place.  CI prints it after
+the slow tier; locally::
+
+    python benchmarks/report.py [BENCH_nn.json BENCH_serving.json ...]
+
+A missing, blank or corrupt history file degrades to an explicit
+``(no data yet)`` row — the report never silently renders nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["load_history", "merge_histories", "format_trajectory",
+           "print_trajectory"]
+
+#: Default history files, relative to the repository root.
+DEFAULT_FILES = ("BENCH_nn.json", "BENCH_serving.json")
+
+#: Show at most this many most-recent runs as columns.
+MAX_COLUMNS = 6
+
+
+def load_history(path: Path) -> Optional[List[dict]]:
+    """The ``history`` list of one trajectory file, or None when unusable.
+
+    Unusable covers: file missing, unreadable, empty/blank, malformed JSON,
+    wrong schema, or an empty history list — every case a fresh clone or a
+    half-written artifact can produce.
+    """
+    try:
+        text = path.read_text()
+    except OSError:
+        return None
+    if not text.strip():
+        return None
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        return None
+    if not isinstance(payload, dict) or payload.get("schema") != 1:
+        return None
+    history = payload.get("history")
+    if not isinstance(history, list) or not history:
+        return None
+    return history
+
+
+def merge_histories(paths: Sequence[Path]
+                    ) -> Tuple[List[str], Dict[str, List[Optional[float]]],
+                               List[str]]:
+    """Merge trajectory files into one (columns, rows, empty-sources) table.
+
+    Returns ``(run_labels, rows, missing)``: ``run_labels`` are the column
+    headers (timestamp of each recorded run, oldest first, capped at
+    MAX_COLUMNS per source file); ``rows`` maps benchmark name to one wall
+    time (or None) per column; ``missing`` lists sources that contributed
+    no data.  Runs of *different* files are distinct columns — nn and
+    serving benchmarks are recorded by different sessions, so aligning
+    them on timestamps would fabricate correlations.
+    """
+    run_labels: List[str] = []
+    rows: Dict[str, List[Optional[float]]] = {}
+    missing: List[str] = []
+
+    for path in paths:
+        history = load_history(path)
+        if history is None:
+            missing.append(path.name)
+            continue
+        for entry in history[-MAX_COLUMNS:]:
+            results = entry.get("results")
+            if not isinstance(results, dict) or not results:
+                continue
+            label = str(entry.get("timestamp", "?"))[:16]
+            column = len(run_labels)
+            run_labels.append(label)
+            for name, seconds in sorted(results.items()):
+                row = rows.setdefault(name, [])
+                row.extend([None] * (column - len(row)))
+                row.append(float(seconds))
+
+    width = len(run_labels)
+    for row in rows.values():
+        row.extend([None] * (width - len(row)))
+    return run_labels, rows, missing
+
+
+def format_trajectory(paths: Sequence[Path]) -> str:
+    """The merged trajectory as a printable table."""
+    run_labels, rows, missing = merge_histories(paths)
+    lines = ["benchmark wall-time trajectory (seconds; columns are recorded "
+             "runs, oldest first)", ""]
+
+    if rows:
+        name_width = max(len(name) for name in rows) + 2
+        header = "".ljust(name_width) + "".join(
+            label.rjust(18) for label in run_labels)
+        lines.append(header)
+        for name in sorted(rows):
+            cells = "".join(
+                (f"{value:.3f}".rjust(18) if value is not None
+                 else "-".rjust(18))
+                for value in rows[name])
+            lines.append(name.ljust(name_width) + cells)
+    for source in missing:
+        lines.append(f"{source}: no data yet")
+    if not rows and not missing:
+        lines.append("(no history files given)")
+    return "\n".join(lines)
+
+
+def print_trajectory(paths: Optional[Sequence[Path]] = None) -> None:
+    if not paths:
+        root = Path(__file__).resolve().parent.parent
+        paths = [root / name for name in DEFAULT_FILES]
+    print(format_trajectory(list(paths)))
+
+
+if __name__ == "__main__":
+    arguments = [Path(arg) for arg in sys.argv[1:]]
+    print_trajectory(arguments or None)

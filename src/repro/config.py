@@ -11,11 +11,21 @@ Knob reference
 
 NN compute core (:mod:`repro.nn`):
 
-``REPRO_NN_BACKEND``            ``fast`` (default) or ``reference``.  Selects
-                                the channels-last GEMM core or the original
-                                im2col/NCHW parity oracle.  Read once at
-                                import of :mod:`repro.nn.functional`; switch
-                                at runtime with ``F.use_backend()``.
+``REPRO_NN_BACKEND``            ``fast`` (default), ``native`` or
+                                ``reference``.  Selects the channels-last
+                                GEMM core, the compiled direct-convolution
+                                backend (degrades to ``fast`` with one
+                                warning when no C compiler is present), or
+                                the original im2col/NCHW parity oracle.
+                                Read once at import of
+                                :mod:`repro.nn.functional`; switch at
+                                runtime with ``F.use_backend()``.
+``REPRO_NN_THREADS``            Worker threads of the native direct-conv
+                                kernel (default: the machine's CPU count).
+                                ``1`` forces single-threaded kernels; other
+                                backends ignore it.
+``REPRO_NN_NATIVE_CACHE_DIR``   Where compiled native kernels are cached
+                                (default ``~/.cache/repro/native``).
 ``REPRO_NN_WORKSPACE_MB``       Scratch-arena cap in MiB (default 256;
                                 ``0`` disables pooling).  Read when a
                                 :class:`repro.nn.workspace.Workspace` is
@@ -64,7 +74,11 @@ __all__ = [
     "env_flag",
     "env_int",
     "env_float",
+    "env_str",
+    "env_choice",
     "nn_backend",
+    "nn_threads",
+    "nn_native_cache_dir",
     "nn_workspace_mb",
     "nn_quant_cache_enabled",
     "nn_batched_restarts",
@@ -120,19 +134,57 @@ def env_float(name: str, default: float) -> float:
         return default
 
 
+def env_str(name: str, default: str) -> str:
+    """String knob: unset or whitespace-only -> ``default``; set -> stripped."""
+    raw = os.environ.get(name, "").strip()
+    return raw if raw else default
+
+
+def env_choice(name: str, default: str, choices: tuple) -> str:
+    """Enumerated knob; a value outside ``choices`` warns (naming the variable
+    and the valid values) and falls back to ``default``."""
+    raw = env_str(name, default)
+    if raw not in choices:
+        warnings.warn(f"ignoring invalid {name}={raw!r}; choose from "
+                      f"{choices}; falling back to {default!r}", stacklevel=2)
+        return default
+    return raw
+
+
 # ---------------------------------------------------------------------------
 # NN compute core
 # ---------------------------------------------------------------------------
 
+#: Valid values of ``REPRO_NN_BACKEND`` (mirrored by ``F.set_backend``).
+NN_BACKENDS = ("fast", "native", "reference")
+
+
 def nn_backend() -> str:
-    """Initial compute backend (``REPRO_NN_BACKEND``): ``fast`` | ``reference``.
+    """Initial compute backend (``REPRO_NN_BACKEND``): ``fast`` | ``native`` |
+    ``reference``.
 
     Consulted once when :mod:`repro.nn.functional` is imported; after that the
     active backend is process state switched via ``set_backend`` /
-    ``use_backend``.
+    ``use_backend``.  An invalid value warns and falls back to ``fast``.
     """
-    backend = os.environ.get("REPRO_NN_BACKEND", "fast")
-    return backend if backend in ("fast", "reference") else "fast"
+    return env_choice("REPRO_NN_BACKEND", "fast", NN_BACKENDS)
+
+
+def nn_threads() -> int:
+    """Worker-thread count of the native direct-conv kernels
+    (``REPRO_NN_THREADS``; default: CPU count).  Clamped to >= 1; the fast
+    and reference backends ignore it."""
+    default = os.cpu_count() or 1
+    return max(1, env_int("REPRO_NN_THREADS", default))
+
+
+def nn_native_cache_dir() -> Path:
+    """Compiled-kernel cache root: ``$REPRO_NN_NATIVE_CACHE_DIR`` or
+    ``~/.cache/repro/native``."""
+    override = os.environ.get("REPRO_NN_NATIVE_CACHE_DIR", "").strip()
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro" / "native"
 
 
 def nn_workspace_mb() -> float:

@@ -396,17 +396,20 @@ class CompiledPrecisionPlan:
 
         def forward(x: Tensor) -> Tensor:
             data = x.data
-            quantize = None
+            quant_params = None
             if act_cfg is not None:
+                # Declarative (scale, qmin, qmax) instead of a callable:
+                # conv2d_infer expands it to the identical elementwise
+                # sequence on the fast backend and fuses it into the single
+                # C staging pass on the native backend, so the whole
+                # conv -> folded-BN -> ReLU -> activation-fake-quant chain
+                # runs without a Python round-trip per tile.
                 scale, _ = compute_quant_scale(data, act_cfg)
-                qmin, qmax = act_cfg.qmin, act_cfg.qmax
-
-                def quantize(src, dst, scale=scale, qmin=qmin, qmax=qmax):
-                    quantize_data_into(src, dst, scale, qmin, qmax)
+                quant_params = (float(scale), act_cfg.qmin, act_cfg.qmax)
 
             out = F.conv2d_infer(data, gemm, kh, kw, stride, padding,
                                  workspace=default_workspace(), bias=bias,
-                                 quantize=quantize, relu=fuse_relu)
+                                 relu=fuse_relu, quant_params=quant_params)
             return Tensor(out)
 
         return forward

@@ -137,8 +137,17 @@ class InferenceSession:
     def _plan(self, precision: Precision,
               input_shape: Optional[Sequence[int]] = None
               ) -> CompiledPrecisionPlan:
-        """Plan lookup without the staleness check (done once per entry point)."""
-        key = (precision.key, self.fold_bn)
+        """Plan lookup without the staleness check (done once per entry point).
+
+        Keyed by the active compute backend as well: plan execution
+        dispatches per call, but a plan's cached parity expectations (and
+        any backend-specific pack it warms) belong to the backend it was
+        built under, so switching ``fast`` <-> ``native`` mid-session gets
+        a fresh compile instead of a silently re-labelled one.
+        """
+        from ..nn import functional as F
+
+        key = (precision.key, self.fold_bn, F.get_backend())
         plan = self._plans.get(key)
         if plan is None:
             if self._trace is None:

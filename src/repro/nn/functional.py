@@ -29,6 +29,18 @@ Two interchangeable compute backends are provided (``REPRO_NN_BACKEND`` or
   different order (one big GEMM vs. N small ones; NHWC vs. NCHW axis
   order), which perturbs float32 results by a few ULPs.  Pooling forwards
   are bitwise identical (they only move or compare values).
+
+* ``"native"`` — the fast core with convolutions routed through the
+  compiled direct kernels of :mod:`repro.nn.native` whenever a layer sits
+  in the bandwidth-bound regime (k > 1 and narrow channels, see
+  ``_native_applicable``): the output is computed straight from the padded
+  NHWC input with a register-blocked C microkernel — no im2col column
+  buffer, so the kh*kw-fold gather bandwidth expansion disappears for
+  forward, input gradient (direct transposed convolution) and weight
+  gradient alike.  Wide layers already run near BLAS peak and keep the
+  GEMM path.  Requesting ``native`` without a working C compiler warns
+  once and degrades to ``fast``; numerics match ``fast`` to the same
+  ULP-level reduction-order noise as ``fast`` vs ``reference``.
 """
 
 from __future__ import annotations
@@ -39,7 +51,10 @@ from typing import Optional, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
+import warnings
+
 from .. import config
+from . import native
 from .tensor import Tensor
 from .workspace import Workspace, acquire_like
 
@@ -72,12 +87,38 @@ __all__ = [
     "use_backend",
 ]
 
-_BACKENDS = ("fast", "reference")
-_BACKEND = config.nn_backend()
+_BACKENDS = config.NN_BACKENDS          # ("fast", "native", "reference")
+
+
+_NATIVE_FALLBACK_WARNED = False
+
+
+def _resolve_backend(name: str) -> str:
+    """Degrade a ``native`` request to ``fast`` when the kernels can't load.
+
+    Emits exactly one warning per process (the failed load attempt itself
+    is memoised by :mod:`repro.nn.native`), so a no-compiler machine that
+    asks for ``REPRO_NN_BACKEND=native`` runs the fast backend with a
+    single notice instead of failing — or warning on every switch.
+    """
+    global _NATIVE_FALLBACK_WARNED
+    if name == "native" and not native.available():
+        if not _NATIVE_FALLBACK_WARNED:
+            _NATIVE_FALLBACK_WARNED = True
+            warnings.warn(
+                "REPRO_NN_BACKEND=native requested but the native kernels "
+                f"are unavailable ({native.load_error()}); falling back to "
+                "the 'fast' backend", RuntimeWarning, stacklevel=3)
+        return "fast"
+    return name
+
+
+_BACKEND = _resolve_backend(config.nn_backend())
 
 
 def get_backend() -> str:
-    """Name of the active compute backend (``"fast"`` or ``"reference"``)."""
+    """Name of the active compute backend: ``fast`` | ``native`` |
+    ``reference``."""
     return _BACKEND
 
 
@@ -85,7 +126,7 @@ def set_backend(name: str) -> None:
     global _BACKEND
     if name not in _BACKENDS:
         raise ValueError(f"unknown backend {name!r}; choose from {_BACKENDS}")
-    _BACKEND = name
+    _BACKEND = _resolve_backend(name)
 
 
 @contextmanager
@@ -318,6 +359,9 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     """
     if _BACKEND == "reference":
         return conv2d_reference(x, weight, bias, stride=stride, padding=padding)
+    if _BACKEND == "native" and _native_applicable(weight.shape, padding):
+        return _conv2d_native(x, weight, bias, stride, padding, workspace,
+                              gemm_weight, gemm_weight_bwd)
     return _conv2d_fast(x, weight, bias, stride, padding, workspace,
                         gemm_weight, gemm_weight_bwd)
 
@@ -360,7 +404,9 @@ def conv2d_infer(x: np.ndarray, gemm_weight: np.ndarray, kh: int, kw: int,
                  stride: int, padding: int,
                  workspace: Optional[Workspace] = None,
                  bias: Optional[np.ndarray] = None,
-                 quantize=None, relu: bool = False) -> np.ndarray:
+                 quantize=None, relu: bool = False,
+                 quant_params: Optional[Tuple[float, int, int]] = None
+                 ) -> np.ndarray:
     """Inference-only convolution on raw arrays (no autograd graph).
 
     The data-plane kernel behind :mod:`repro.inference` compiled plans: the
@@ -380,9 +426,21 @@ def conv2d_infer(x: np.ndarray, gemm_weight: np.ndarray, kh: int, kw: int,
     * ``relu`` — applies ``max(0, .)`` in place on the (cache-warm) GEMM
       output, eliminating the downstream ReLU pass.
 
+    ``quant_params`` is the declarative form of ``quantize``: a ``(scale,
+    qmin, qmax)`` triple of the symmetric linear quantizer.  Compiled plans
+    pass it instead of a callable so the native backend can fuse the
+    quantisation into its single C staging pass; on the fast backend it is
+    expanded to the equivalent ``quantize_data_into`` callable, with
+    bit-identical results either way.
+
     ``x`` is (N, C_in, H, W) logical; ``gemm_weight`` is the
     (kh*kw*C_in, C_out) forward pack from :func:`pack_gemm_weights`.
     Returns an (N, C_out, OH, OW)-logical, channels-last array.
+
+    Under the ``native`` backend, convolutions in the direct-kernel regime
+    (see ``_native_applicable``) run the whole epilogue — activation
+    fake-quantisation during staging, then conv -> (folded-BN) bias -> ReLU
+    over each output tile — inside the compiled kernels.
     """
     ws = workspace
     n, c_in, h, w = x.shape
@@ -393,6 +451,18 @@ def conv2d_infer(x: np.ndarray, gemm_weight: np.ndarray, kh: int, kw: int,
     k = kh * kw * c_in
 
     x_cl = x.transpose(0, 2, 3, 1)                            # NHWC view
+
+    if (_BACKEND == "native" and quantize is None
+            and _native_applicable((c_out, c_in, kh, kw), padding)):
+        return _conv2d_infer_native(x_cl, gemm_weight, kh, kw, stride,
+                                    padding, ws, bias, relu, quant_params)
+    if quantize is None and quant_params is not None:
+        from ..quantization.linear_quantizer import quantize_data_into
+        scale, qmin, qmax = quant_params
+
+        def quantize(src, dst, scale=scale, qmin=qmin, qmax=qmax):
+            quantize_data_into(src, dst, scale, qmin, qmax)
+
     release_cols = True
     if kh == 1 and kw == 1 and padding == 0:
         src = x_cl if stride == 1 else x_cl[:, ::stride, ::stride, :]
@@ -442,6 +512,46 @@ def conv2d_infer(x: np.ndarray, gemm_weight: np.ndarray, kh: int, kw: int,
     if relu:
         np.maximum(out2d, 0.0, out=out2d)
     return out2d.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
+
+
+def _conv2d_infer_native(x_cl: np.ndarray, gemm_weight: np.ndarray, kh: int,
+                         kw: int, stride: int, padding: int,
+                         ws: Optional[Workspace], bias: Optional[np.ndarray],
+                         relu: bool,
+                         quant_params: Optional[Tuple[float, int, int]]
+                         ) -> np.ndarray:
+    """Inference convolution through the native kernels (no autograd).
+
+    Two passes total: one C staging pass that zero-pads and (optionally)
+    fake-quantises the input, and one direct-convolution pass whose
+    epilogue applies the (possibly BN-folded) bias and the fused ReLU per
+    output tile.  No column buffer, no separate quantised-activation array,
+    no downstream BN/ReLU passes.
+    """
+    n, h, w, c_in = x_cl.shape
+    c_out = gemm_weight.shape[1]
+    oh = _conv_output_size(h, kh, stride, padding)
+    ow = _conv_output_size(w, kw, stride, padding)
+
+    if x_cl.flags["C_CONTIGUOUS"] and (padding or quant_params is not None):
+        xp = _acquire(ws, (n, h + 2 * padding, w + 2 * padding, c_in))
+        native.pad_quantize_stage(x_cl, xp, padding, quant_params)
+    else:
+        # Rare layouts (non-contiguous input, e.g. a strided stem view) use
+        # the numpy staging, quantising the padded interior in place.
+        xp = _native_stage_input(x_cl, padding, ws)
+        if quant_params is not None:
+            from ..quantization.linear_quantizer import quantize_data_into
+            scale, qmin, qmax = quant_params
+            interior = xp[:, padding:padding + h, padding:padding + w]
+            quantize_data_into(interior, interior, scale, qmin, qmax)
+
+    out_cl = _acquire(ws, (n, oh, ow, c_out))
+    native.conv2d_forward(xp, native.pad_pack(gemm_weight), bias, out_cl,
+                          (kh, kw), stride, relu=relu)
+    if xp is not x_cl:
+        _release(ws, xp)
+    return out_cl.transpose(0, 3, 1, 2)
 
 
 def channel_affine_infer(x: np.ndarray, scale: np.ndarray, shift: np.ndarray,
@@ -558,6 +668,43 @@ def _conv2d_fast(x: Tensor, weight: Tensor, bias: Optional[Tensor],
     return Tensor.make_from_op(out_data, parents, backward)
 
 
+def _stage_dilated_grad(g_cl: np.ndarray, x_shape: Tuple[int, ...],
+                        kh: int, kw: int, stride: int, padding: int,
+                        ws: Optional[Workspace]
+                        ) -> Tuple[np.ndarray, int, int]:
+    """Stage the stride-dilated, flip-padded gradient for a transposed conv.
+
+    Shared by the fast (gather+GEMM) and native (direct kernel) input-
+    gradient paths — the geometry is the subtlest code on the backward
+    side and must exist exactly once.  Left/top padding of the dilated
+    gradient is kh-1-p (position u=0 of x sees output taps starting at
+    kernel offset p).  Input rows past ``hu`` (stride remainder) never
+    reached an output window and stay zero; conv positions past h are
+    padding whose gradient is discarded.  Returns ``(g_dil, hu, wu)`` with
+    ``g_dil`` of shape (n, hu+kh-1, wu+kw-1, c_out).
+    """
+    n, oh, ow, c_out = g_cl.shape
+    h, w = x_shape[2], x_shape[3]
+    pbh, pbw = kh - 1 - padding, kw - 1 - padding
+    hu = min((oh - 1) * stride + kh - padding, h)
+    wu = min((ow - 1) * stride + kw - padding, w)
+
+    g_dil = _acquire(ws, (n, hu + kh - 1, wu + kw - 1, c_out))
+    if stride == 1:
+        # The scatter is a dense block copy; only the border needs zeroing.
+        hhi, whi = pbh + oh, pbw + ow
+        g_dil[:, :pbh] = 0.0
+        g_dil[:, hhi:] = 0.0
+        g_dil[:, pbh:hhi, :pbw] = 0.0
+        g_dil[:, pbh:hhi, whi:] = 0.0
+        g_dil[:, pbh:hhi, pbw:whi] = g_cl
+    else:
+        g_dil.fill(0.0)
+        g_dil[:, pbh:pbh + (oh - 1) * stride + 1:stride,
+              pbw:pbw + (ow - 1) * stride + 1:stride] = g_cl
+    return g_dil, hu, wu
+
+
 def _conv2d_input_grad(g_cl: np.ndarray, weight: np.ndarray, x: Tensor,
                        stride: int, padding: int, ws: Optional[Workspace],
                        w_flip: Optional[np.ndarray] = None) -> None:
@@ -573,29 +720,8 @@ def _conv2d_input_grad(g_cl: np.ndarray, weight: np.ndarray, x: Tensor,
     n, oh, ow, c_out = g_cl.shape
     _, c_in, h, w = x.data.shape
     kh, kw = weight.shape[2], weight.shape[3]
-    # Left/top padding of the dilated gradient is kh-1-p (position u=0 of x
-    # sees output taps starting at kernel offset p).  Input rows past hu
-    # (stride remainder) never reached an output window and stay zero; conv
-    # positions past h are padding whose gradient is discarded.
-    pbh, pbw = kh - 1 - padding, kw - 1 - padding
-    hu = min((oh - 1) * stride + kh - padding, h)
-    wu = min((ow - 1) * stride + kw - padding, w)
-    hd = hu + kh - 1
-    wd = wu + kw - 1
-
-    g_dil = _acquire(ws, (n, hd, wd, c_out))
-    if stride == 1:
-        # The scatter is a dense block copy; only the border needs zeroing.
-        hhi, whi = pbh + oh, pbw + ow
-        g_dil[:, :pbh] = 0.0
-        g_dil[:, hhi:] = 0.0
-        g_dil[:, pbh:hhi, :pbw] = 0.0
-        g_dil[:, pbh:hhi, whi:] = 0.0
-        g_dil[:, pbh:hhi, pbw:whi] = g_cl
-    else:
-        g_dil.fill(0.0)
-        g_dil[:, pbh:pbh + (oh - 1) * stride + 1:stride,
-              pbw:pbw + (ow - 1) * stride + 1:stride] = g_cl
+    g_dil, hu, wu = _stage_dilated_grad(g_cl, x.data.shape, kh, kw, stride,
+                                        padding, ws)
 
     win = _window_view(g_dil, kh, kw, 1)           # (n, hu, wu, kh, kw, c_out)
     cols = _acquire(ws, (n * hu * wu, kh * kw * c_out))
@@ -614,6 +740,140 @@ def _conv2d_input_grad(g_cl: np.ndarray, weight: np.ndarray, x: Tensor,
         xg_cl[:, :hu, :wu, :] += grad.reshape(n, hu, wu, c_in)
         _release(ws, grad)
     _release(ws, cols)
+
+
+# ---------------------------------------------------------------------------
+# Native direct-convolution backend
+# ---------------------------------------------------------------------------
+
+#: Channel ceiling of the native direct kernels.  Up to this width the
+#: gather+GEMM pair is memory-bandwidth-bound (the regime the ROADMAP
+#: measured at ~58% of a training pass) and the direct kernel wins by
+#: dropping the kh*kw-fold column expansion; beyond it the GEMM runs near
+#: BLAS peak and the fast path stays optimal, so the native backend
+#: deliberately falls through.
+_NATIVE_MAX_CH = 16
+
+
+def _native_applicable(weight_shape: Tuple[int, ...], padding: int) -> bool:
+    """Whether the native direct kernels should serve this convolution."""
+    c_out, c_in, kh, kw = weight_shape
+    if kh == 1 and kw == 1:
+        return False    # no column expansion to shed; the GEMM view is free
+    if padding > kh - 1 or padding > kw - 1:
+        return False    # exotic padding keeps the per-tap fallback path
+    return c_out <= _NATIVE_MAX_CH and c_in <= _NATIVE_MAX_CH
+
+
+def _native_stage_input(x_cl: np.ndarray, padding: int,
+                        ws: Optional[Workspace]) -> np.ndarray:
+    """Contiguous (optionally zero-padded) NHWC staging for the C kernels.
+
+    Steady-state activations are already channels-last, so the unpadded
+    no-copy case is the common one; the padded copy runs as a single C pass
+    (memset borders + memcpy rows) instead of five numpy slice writes.
+    """
+    n, h, w, c = x_cl.shape
+    if padding:
+        if not x_cl.flags["C_CONTIGUOUS"]:
+            return _pad_nhwc(x_cl, padding, ws)      # numpy slice staging
+        xp = _acquire(ws, (n, h + 2 * padding, w + 2 * padding, c))
+        native.pad_quantize_stage(x_cl, xp, padding)
+        return xp
+    if x_cl.flags["C_CONTIGUOUS"]:
+        return x_cl
+    xp = _acquire(ws, (n, h, w, c))
+    np.copyto(xp, x_cl)
+    return xp
+
+
+def _conv2d_native(x: Tensor, weight: Tensor, bias: Optional[Tensor],
+                   stride: int, padding: int, ws: Optional[Workspace],
+                   gemm_weight: Optional[np.ndarray],
+                   gemm_weight_bwd: Optional[np.ndarray] = None) -> Tensor:
+    """Direct-convolution forward/backward through the compiled kernels.
+
+    The padded input is staged once (1x bandwidth) and kept for backward;
+    forward output, weight gradient and input gradient are all computed
+    straight from it — no im2col columns on any path.
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input has {c_in}, weight expects {c_in_w}")
+    oh = _conv_output_size(h, kh, stride, padding)
+    ow = _conv_output_size(w, kw, stride, padding)
+
+    xp = _native_stage_input(x.data.transpose(0, 2, 3, 1), padding, ws)
+    if gemm_weight is None:
+        gemm_weight, gemm_weight_bwd = pack_gemm_weights(weight.data)
+    w_pack = native.pad_pack(gemm_weight)
+    out_cl = _acquire(ws, (n, oh, ow, c_out))
+    native.conv2d_forward(xp, w_pack,
+                          bias.data if bias is not None else None,
+                          out_cl, (kh, kw), stride)
+    out_data = out_cl.transpose(0, 3, 1, 2)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+    w_bwd = gemm_weight_bwd
+
+    def backward(grad_out: np.ndarray) -> None:
+        g_cl = grad_out.transpose(0, 2, 3, 1)
+        if not g_cl.flags["C_CONTIGUOUS"]:
+            staged = _acquire(ws, (n, oh, ow, c_out))
+            np.copyto(staged, g_cl)
+            g_cl = staged
+        if weight.requires_grad:
+            dw = _acquire(ws, (kh * kw * c_in, c_out))
+            native.conv2d_wgrad(xp, g_cl, dw, (kh, kw), stride)
+            weight.accumulate_grad(
+                dw.reshape(kh, kw, c_in, c_out).transpose(3, 2, 0, 1))
+            _release(ws, dw)
+        if bias is not None and bias.requires_grad:
+            bias.accumulate_grad(g_cl.reshape(n * oh * ow, c_out).sum(axis=0),
+                                 owned=True)
+        if x.requires_grad:
+            _conv2d_input_grad_native(g_cl, weight.data, x, stride, padding,
+                                      ws, w_bwd)
+
+    return Tensor.make_from_op(out_data, parents, backward)
+
+
+def _conv2d_input_grad_native(g_cl: np.ndarray, weight: np.ndarray, x: Tensor,
+                              stride: int, padding: int,
+                              ws: Optional[Workspace],
+                              w_flip: Optional[np.ndarray] = None) -> None:
+    """Direct transposed convolution into ``x.grad`` (channels-last).
+
+    Same dilate/flip staging as :func:`_conv2d_input_grad` (shared via
+    :func:`_stage_dilated_grad`), but the full convolution over the
+    stride-dilated gradient runs through the native kernel — the
+    kh*kw*c_out column gather of the fast path never happens.
+    """
+    n, oh, ow, c_out = g_cl.shape
+    _, c_in, h, w = x.data.shape
+    kh, kw = weight.shape[2], weight.shape[3]
+    g_dil, hu, wu = _stage_dilated_grad(g_cl, x.data.shape, kh, kw, stride,
+                                        padding, ws)
+
+    if w_flip is None:
+        w_flip = pack_gemm_weights(weight)[1]
+    w_pack = native.pad_pack(w_flip)
+    if x.grad is None and hu == h and wu == w:
+        buf = _acquire(ws, (n, h, w, c_in))
+        native.conv2d_forward(g_dil, w_pack, None, buf, (kh, kw), 1)
+        x.grad = buf.transpose(0, 3, 1, 2)
+    else:
+        xg_cl = _grad_target_cl(x, ws)
+        if hu == h and wu == w and xg_cl.flags["C_CONTIGUOUS"]:
+            native.conv2d_forward(g_dil, w_pack, None, xg_cl, (kh, kw), 1,
+                                  accumulate=True)
+        else:
+            scratch = _acquire(ws, (n, hu, wu, c_in))
+            native.conv2d_forward(g_dil, w_pack, None, scratch, (kh, kw), 1)
+            xg_cl[:, :hu, :wu, :] += scratch
+            _release(ws, scratch)
+    _release(ws, g_dil)
 
 
 # ---------------------------------------------------------------------------

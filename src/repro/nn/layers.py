@@ -91,7 +91,9 @@ class Conv2d(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         gemm_fwd = gemm_bwd = None
-        if F.get_backend() == "fast":
+        if F.get_backend() in ("fast", "native"):
+            # The native direct kernels consume the same forward/flipped
+            # packs (zero-padded to vector lanes inside the dispatch).
             gemm_fwd, gemm_bwd = self.gemm_weights()
         return F.conv2d(x, self.weight, self.bias, stride=self.stride,
                         padding=self.padding, workspace=default_workspace(),

@@ -1,0 +1,214 @@
+"""``repro.nn.native`` — compiled NHWC direct-convolution backend.
+
+Python-facing wrappers over the C kernels in ``conv.c`` (see
+:mod:`repro.nn.native.build` for the lazy compile-and-cache machinery).
+The wrappers validate dtype/contiguity, resolve the ``REPRO_NN_THREADS``
+knob and hand raw pointers to the library; all layout/shape policy stays in
+:mod:`repro.nn.functional`, which is the only intended caller.
+
+State model: :func:`ensure_loaded` attempts the build once per process and
+memoises the outcome.  On failure it records the error, and the functional
+dispatch layer degrades the ``native`` backend request to ``fast`` with a
+single warning — importing this package never raises and never compiles.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import weakref
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ... import config
+from .build import NativeBuildError, load
+
+__all__ = ["LANES", "available", "ensure_loaded", "load_error", "reset",
+           "pad_pack", "conv2d_forward", "conv2d_wgrad",
+           "pad_quantize_stage"]
+
+#: c_out vector-lane width of the microkernel (NR in conv.c); weight packs
+#: handed to :func:`conv2d_forward` must have a row stride that is a
+#: multiple of this (see :func:`pad_pack`).
+LANES = 8
+
+_LIB: Optional[ctypes.CDLL] = None
+_LOAD_ERROR: Optional[str] = None
+_ATTEMPTED = False
+
+_F32P = ctypes.POINTER(ctypes.c_float)
+
+
+def ensure_loaded() -> bool:
+    """Build/load the kernels once; returns True when they are callable."""
+    global _LIB, _LOAD_ERROR, _ATTEMPTED
+    if not _ATTEMPTED:
+        _ATTEMPTED = True
+        try:
+            _LIB = load()
+        except NativeBuildError as error:
+            _LOAD_ERROR = str(error)
+    return _LIB is not None
+
+
+def available() -> bool:
+    """Whether the native kernels are loaded (building them if needed)."""
+    return ensure_loaded()
+
+
+def load_error() -> Optional[str]:
+    """The recorded build/load failure, or None."""
+    return _LOAD_ERROR
+
+
+def reset() -> None:
+    """Forget the memoised load attempt (tests re-drive the failure path)."""
+    global _LIB, _LOAD_ERROR, _ATTEMPTED
+    _LIB = None
+    _LOAD_ERROR = None
+    _ATTEMPTED = False
+
+
+def _lib() -> ctypes.CDLL:
+    if not ensure_loaded():
+        raise NativeBuildError(_LOAD_ERROR or "native kernels unavailable")
+    return _LIB
+
+
+def _ptr(arr: np.ndarray):
+    return arr.ctypes.data_as(_F32P)
+
+
+def _check(arr: np.ndarray, name: str) -> np.ndarray:
+    if arr.dtype != np.float32:
+        raise TypeError(f"{name} must be float32, got {arr.dtype}")
+    if not arr.flags["C_CONTIGUOUS"]:
+        raise ValueError(f"{name} must be C-contiguous")
+    return arr
+
+
+#: Padded-pack memo for non-lane-aligned widths: id(source) -> (weakref to
+#: the source array, padded pack).  The weakref check makes id reuse safe
+#: (a dead referent can never be mistaken for the new array at the same
+#: address), and packs are invalidated naturally because the callers'
+#: per-(weight version) caches hand pad_pack a *new* source array whenever
+#: weights change.
+_PAD_PACK_CACHE: dict = {}
+
+
+def pad_pack(gemm_weight: np.ndarray) -> np.ndarray:
+    """Zero-pad a (K, C_out) GEMM pack's rows to a multiple of LANES.
+
+    Returns the input untouched when it is already lane-aligned and
+    C-contiguous (the common case: every production width is a multiple of
+    8), so the callers' per-(weight version) pack caches are shared with the
+    BLAS path at zero cost.  Odd widths are padded once per source array
+    (memoised), not once per conv call — this sits on every native forward
+    and backward.
+    """
+    k, c_out = gemm_weight.shape
+    if c_out % LANES == 0 and gemm_weight.flags["C_CONTIGUOUS"] \
+            and gemm_weight.dtype == np.float32:
+        return gemm_weight
+    key = id(gemm_weight)
+    cached = _PAD_PACK_CACHE.get(key)
+    if cached is not None and cached[0]() is gemm_weight:
+        return cached[1]
+    from ..workspace import aligned_empty
+    c_pad = -(-c_out // LANES) * LANES
+    padded = aligned_empty((k, c_pad))
+    padded[:, c_out:] = 0.0
+    padded[:, :c_out] = gemm_weight
+    if len(_PAD_PACK_CACHE) > 256:
+        _PAD_PACK_CACHE.clear()
+    try:
+        _PAD_PACK_CACHE[key] = (weakref.ref(gemm_weight), padded)
+    except TypeError:
+        pass        # non-weakref-able source (e.g. a view): skip the memo
+    return padded
+
+
+def conv2d_forward(xp: np.ndarray, packed_weight: np.ndarray,
+                   bias: Optional[np.ndarray], out: np.ndarray,
+                   kernel: Tuple[int, int], stride: int,
+                   relu: bool = False, accumulate: bool = False,
+                   threads: Optional[int] = None) -> np.ndarray:
+    """Direct convolution of a padded NHWC input into ``out``.
+
+    ``xp``: (N, HP, WP, C_in) already-padded input; ``packed_weight``: the
+    (kh*kw*C_in, C_out) forward pack of :func:`repro.nn.functional.
+    pack_gemm_weights` run through :func:`pad_pack`; ``out``: (N, OH, OW,
+    C_out).  The same entry point serves the transposed-convolution input
+    gradient (flipped pack, stride 1, ``accumulate=True`` to add into an
+    existing gradient).
+    """
+    kh, kw = kernel
+    n, hp, wp, c_in = xp.shape
+    n_o, oh, ow, c_out = out.shape
+    c_out_pad = packed_weight.shape[1]
+    if n_o != n:
+        raise ValueError(f"batch mismatch: input {n}, output {n_o}")
+    if (packed_weight.shape[0] != kh * kw * c_in or c_out_pad < c_out
+            or c_out_pad % LANES):
+        raise ValueError(
+            f"weight pack shape {packed_weight.shape} incompatible with "
+            f"K={kh * kw * c_in}, C_out={c_out} (pad_pack required)")
+    _check(xp, "xp"); _check(packed_weight, "packed_weight")
+    _check(out, "out")
+    bias_ptr = None
+    if bias is not None:
+        bias_ptr = _ptr(_check(np.ascontiguousarray(bias, dtype=np.float32),
+                               "bias"))
+    _lib().repro_conv2d_nhwc_f32(
+        _ptr(xp), _ptr(packed_weight), bias_ptr, _ptr(out), n,
+        hp, wp, c_in, kh, kw, stride, oh, ow, c_out, c_out_pad,
+        int(bool(relu)), int(bool(accumulate)),
+        config.nn_threads() if threads is None else int(threads))
+    return out
+
+
+def conv2d_wgrad(xp: np.ndarray, grad_out: np.ndarray, dw: np.ndarray,
+                 kernel: Tuple[int, int], stride: int) -> np.ndarray:
+    """Weight gradient in forward-pack layout (kh*kw*C_in, C_out).
+
+    ``grad_out``: (N, OH, OW, C_out) contiguous output gradient.  The caller
+    reshapes ``dw`` back to (C_out, C_in, kh, kw).
+    """
+    kh, kw = kernel
+    n, hp, wp, c_in = xp.shape
+    n_g, oh, ow, c_out = grad_out.shape
+    if n_g != n:
+        raise ValueError(f"batch mismatch: input {n}, grad {n_g}")
+    if dw.shape != (kh * kw * c_in, c_out):
+        raise ValueError(f"dw shape {dw.shape} != {(kh * kw * c_in, c_out)}")
+    _check(xp, "xp"); _check(grad_out, "grad_out"); _check(dw, "dw")
+    _lib().repro_conv2d_wgrad_nhwc_f32(
+        _ptr(xp), _ptr(grad_out), _ptr(dw), n,
+        hp, wp, c_in, kh, kw, stride, oh, ow, c_out)
+    return dw
+
+
+def pad_quantize_stage(src: np.ndarray, dst: np.ndarray, padding: int,
+                       quant: Optional[Tuple[float, int, int]] = None,
+                       threads: Optional[int] = None) -> np.ndarray:
+    """Zero-pad ``src`` into ``dst``, optionally fake-quantising in the same
+    pass (the compiled-plan epilogue's input-side leg).
+
+    ``src``: (N, H, W, C) contiguous; ``dst``: (N, H+2p, W+2p, C).
+    ``quant`` is ``(scale, qmin, qmax)`` of the symmetric linear quantizer;
+    the elementwise sequence is bit-identical to ``quantize_data_into``.
+    """
+    n, h, w, c = src.shape
+    if dst.shape != (n, h + 2 * padding, w + 2 * padding, c):
+        raise ValueError(f"dst shape {dst.shape} != "
+                         f"{(n, h + 2 * padding, w + 2 * padding, c)}")
+    _check(src, "src"); _check(dst, "dst")
+    if quant is None:
+        scale, qmin, qmax = 1.0, 0.0, 0.0
+    else:
+        scale, qmin, qmax = quant
+    _lib().repro_pad_quantize_nhwc_f32(
+        _ptr(src), _ptr(dst), n, h, w, c, padding,
+        int(quant is not None), float(scale), float(qmin), float(qmax),
+        config.nn_threads() if threads is None else int(threads))
+    return dst

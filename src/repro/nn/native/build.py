@@ -1,0 +1,215 @@
+"""Lazy compiler + loader for the native direct-convolution kernels.
+
+The kernels live in ``conv.c`` next to this module and are compiled into a
+shared library the first time the ``native`` backend is requested — there is
+no build step at install time and no dependency beyond a working C compiler
+(``cc``/``gcc``/``clang``, or ``$CC``).  Compiled libraries are cached under
+``~/.cache/repro/native`` (``REPRO_NN_NATIVE_CACHE_DIR``) keyed by a digest
+of the source, the compile flags and the interpreter ABI, so a source edit
+or flag change recompiles and an unchanged tree reuses the cached ``.so``
+across processes.  Writes are atomic (temp file + ``os.replace``), so
+concurrent first builds cannot observe a torn library.
+
+When no compiler is present (or the build fails) :func:`load` raises
+:class:`NativeBuildError`; the backend dispatch in
+:mod:`repro.nn.functional` catches it and degrades to the ``fast`` backend
+with a single warning.  ``python -m repro.nn.native.build`` pre-builds the
+library explicitly (used by CI and deployment images).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import sys
+import sysconfig
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from ... import config
+
+__all__ = ["NativeBuildError", "compiler_command", "library_path", "build",
+           "load"]
+
+#: Bumped together with REPRO_NATIVE_ABI in conv.c whenever an exported
+#: signature changes; part of the cache key and verified after load.
+ABI_VERSION = 2
+
+_SOURCE = Path(__file__).with_name("conv.c")
+
+#: Flag sets tried in order: -march=native gives the vectoriser the real
+#: ISA; some toolchains (cross compilers, old clang on arm) reject it, so a
+#: portable fallback follows.
+_FLAG_SETS = (
+    ["-O3", "-march=native", "-funroll-loops"],
+    ["-O3", "-funroll-loops"],
+)
+_COMMON_FLAGS = ["-std=c99", "-fPIC", "-shared", "-pthread"]
+
+
+class NativeBuildError(RuntimeError):
+    """Raised when the native kernels cannot be compiled or loaded."""
+
+
+def compiler_command() -> Optional[List[str]]:
+    """The C compiler invocation prefix, or ``None`` when there is none.
+
+    ``$CC`` (split on whitespace) wins when set — and is trusted as-is, so
+    pointing it at a non-existent binary is the supported way to mask the
+    compiler (the no-compiler CI leg does exactly that).  Otherwise the
+    first of ``cc``/``gcc``/``clang`` on ``PATH`` is used.
+    """
+    cc = os.environ.get("CC", "").strip()
+    if cc:
+        return cc.split()
+    for candidate in ("cc", "gcc", "clang"):
+        found = shutil.which(candidate)
+        if found:
+            return [found]
+    return None
+
+
+def _cpu_identity() -> str:
+    """A token identifying this CPU's ISA feature set (best effort).
+
+    Part of the cache key for ``-march=native`` builds: a library compiled
+    on an AVX-512 host and later found in a *shared* cache (NFS home,
+    container image) by an AVX2-only machine would otherwise load fine and
+    then die with SIGILL inside the first kernel call.
+    """
+    try:
+        for line in Path("/proc/cpuinfo").read_text().splitlines():
+            if line.startswith(("flags", "Features")):       # x86 / arm
+                return hashlib.sha256(line.encode()).hexdigest()[:12]
+    except OSError:
+        pass
+    return platform.processor() or "generic"
+
+
+def _cache_tag(flags: List[str]) -> str:
+    digest = hashlib.sha256()
+    digest.update(_SOURCE.read_bytes())
+    digest.update(" ".join(flags).encode())
+    digest.update(f"abi{ABI_VERSION}".encode())
+    digest.update(platform.machine().encode())
+    digest.update((sysconfig.get_config_var("SOABI") or "").encode())
+    if "-march=native" in flags:
+        # Host-tuned builds are only valid on CPUs with the same features;
+        # portable builds stay shareable across machines.
+        digest.update(_cpu_identity().encode())
+    return digest.hexdigest()[:16]
+
+
+def library_path(flags: Optional[List[str]] = None) -> Path:
+    """Cache location of the compiled library for ``flags`` (default set)."""
+    flags = list(_FLAG_SETS[0]) if flags is None else flags
+    suffix = ".dylib" if sys.platform == "darwin" else ".so"
+    return config.nn_native_cache_dir() / f"reproconv-{_cache_tag(flags)}{suffix}"
+
+
+def build(verbose: bool = False) -> Path:
+    """Compile ``conv.c`` (if not already cached) and return the library path.
+
+    Raises :class:`NativeBuildError` when no compiler is available or every
+    flag set fails.
+    """
+    # Probe every flag set's cache slot first: a toolchain that rejects
+    # -march=native would otherwise re-run that doomed compile in every new
+    # process before reaching its cached portable build.
+    for flags in _FLAG_SETS:
+        target = library_path(flags)
+        if target.exists():
+            return target
+
+    command = compiler_command()
+    if command is None:
+        raise NativeBuildError(
+            "no C compiler found (tried $CC, cc, gcc, clang); the native "
+            "backend needs one to build repro/nn/native/conv.c")
+
+    errors = []
+    for flags in _FLAG_SETS:
+        target = library_path(flags)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=target.suffix)
+        os.close(fd)
+        argv = (command + _COMMON_FLAGS + list(flags)
+                + [str(_SOURCE), "-o", tmp, "-lm"])
+        if verbose:
+            print("+", " ".join(argv))
+        try:
+            result = subprocess.run(argv, capture_output=True, text=True,
+                                    timeout=120)
+        except (OSError, subprocess.SubprocessError) as error:
+            os.unlink(tmp)
+            errors.append(f"{' '.join(command)}: {error}")
+            continue
+        if result.returncode != 0:
+            os.unlink(tmp)
+            errors.append(result.stderr.strip() or
+                          f"exit status {result.returncode}")
+            continue
+        os.replace(tmp, target)         # atomic: concurrent builders are safe
+        return target
+    raise NativeBuildError(
+        "compiling repro/nn/native/conv.c failed:\n" + "\n".join(errors))
+
+
+def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
+    f32p = ctypes.POINTER(ctypes.c_float)
+    c_int, c_long, c_float = ctypes.c_int, ctypes.c_long, ctypes.c_float
+
+    lib.repro_native_abi.restype = c_int
+    lib.repro_native_abi.argtypes = []
+
+    lib.repro_conv2d_nhwc_f32.restype = None
+    lib.repro_conv2d_nhwc_f32.argtypes = [
+        f32p, f32p, f32p, f32p, c_long,
+        c_int, c_int, c_int,            # hp, wp, c_in
+        c_int, c_int, c_int,            # kh, kw, stride
+        c_int, c_int, c_int, c_int,     # oh, ow, c_out, c_out_pad
+        c_int, c_int, c_int,            # relu, accumulate, threads
+    ]
+
+    lib.repro_conv2d_wgrad_nhwc_f32.restype = None
+    lib.repro_conv2d_wgrad_nhwc_f32.argtypes = [
+        f32p, f32p, f32p, c_long,
+        c_int, c_int, c_int,            # hp, wp, c_in
+        c_int, c_int, c_int,            # kh, kw, stride
+        c_int, c_int, c_int,            # oh, ow, c_out
+    ]
+
+    lib.repro_pad_quantize_nhwc_f32.restype = None
+    lib.repro_pad_quantize_nhwc_f32.argtypes = [
+        f32p, f32p, c_long,
+        c_int, c_int, c_int, c_int,     # h, w, c, padding
+        c_int, c_float, c_float, c_float,  # quantize, scale, qmin, qmax
+        c_int,                          # threads
+    ]
+    return lib
+
+
+def load() -> ctypes.CDLL:
+    """Build (when needed) and load the kernel library, with bound argtypes."""
+    path = build()
+    try:
+        lib = ctypes.CDLL(str(path))
+    except OSError as error:
+        raise NativeBuildError(f"loading {path} failed: {error}") from error
+    lib = _bind(lib)
+    abi = lib.repro_native_abi()
+    if abi != ABI_VERSION:
+        raise NativeBuildError(
+            f"{path} reports ABI {abi}, expected {ABI_VERSION}; remove the "
+            f"cache directory {path.parent} and rebuild")
+    return lib
+
+
+if __name__ == "__main__":
+    path = build(verbose=True)
+    print(f"native kernels ready: {path}")

@@ -1,0 +1,544 @@
+/* Native NHWC direct-convolution kernels for the repro.nn compute core.
+ *
+ * The fast (NumPy) backend computes every convolution as an as_strided
+ * window gather followed by one BLAS GEMM.  The gather materialises im2col
+ * columns — a kh*kw-fold bandwidth expansion (9x for 3x3 kernels) that is
+ * measured memory-bandwidth-bound at bench widths.  These kernels compute
+ * the output straight from the padded NHWC input, cache tile by cache tile,
+ * with a register-blocked microkernel over (output-pixel tile x c_out tile):
+ * the input is read once per kernel tap out of cache-resident rows and no
+ * column buffer ever exists.
+ *
+ * Weight layout: the (kh*kw*c_in, c_out) forward pack produced by
+ * repro.nn.functional.pack_gemm_weights, with rows zero-padded to a
+ * multiple of NR lanes (`c_out_pad` is the row stride) — so the microkernel
+ * always runs full constant-width vector lanes and the compiler keeps the
+ * whole MR x NR accumulator tile in registers.  Row (i*kw + j)*c_in + ci
+ * holds the filter values of input channel ci at kernel tap (i, j).  The
+ * transposed-convolution input gradient routes the spatially-flipped
+ * (kh*kw*c_out, c_in) pack through the same kernel.
+ *
+ * Every output pixel is accumulated in the same (i, j, ci) order as the
+ * GEMM's reduction axis, by exactly one thread, so results are independent
+ * of the thread count and differ from the BLAS path only by ULP-level
+ * reduction-order effects inside a dot product.
+ *
+ * Threading: forward and input-gradient calls split output rows over
+ * `threads` pthreads (REPRO_NN_THREADS).  The weight gradient accumulates
+ * into one shared (small, cache-resident) buffer and runs single-threaded
+ * to keep its reduction order fixed.
+ */
+
+#include <math.h>
+#include <pthread.h>
+#include <stddef.h>
+#include <string.h>
+
+/* Bumped whenever an exported signature changes; checked by the loader so a
+ * stale cached .so can never be called with mismatched arguments. */
+#define REPRO_NATIVE_ABI 2
+
+int repro_native_abi(void) { return REPRO_NATIVE_ABI; }
+
+/* Output-pixel tile (MR) x c_out lane tile (NR) of the microkernel: the
+ * MR * NR = 32-float accumulator block lives in 4 YMM (or 2 ZMM)
+ * registers, with one weight vector and four broadcasts in flight. */
+#define MR 4
+#define NR 8
+
+typedef struct {
+    const float *xp;      /* (N, HP, WP, C_in) padded input, C-contiguous  */
+    const float *w;       /* (KH*KW*C_in, c_out_pad) padded forward pack   */
+    const float *bias;    /* (C_out,) or NULL                              */
+    float *out;           /* (N, OH, OW, C_out)                            */
+    int hp, wp, c_in, kh, kw, stride, oh, ow, c_out, c_out_pad;
+    int relu, accumulate;
+    long row0, row1;      /* [row0, row1) over flattened (n, oh) rows      */
+} conv_job;
+
+/* Store one accumulator row into the (exact, unpadded) output. */
+static inline void store_lanes(const conv_job *job, float *o, const float *a,
+                               const float *bias, int nb)
+{
+    for (int r = 0; r < nb; ++r) {
+        float v = a[r];
+        if (bias != NULL)
+            v += bias[r];
+        if (job->relu && v < 0.0f)
+            v = 0.0f;
+        if (job->accumulate)
+            o[r] += v;
+        else
+            o[r] = v;
+    }
+}
+
+/* GCC/Clang vector extensions give the microkernel guaranteed NR-lane FMA
+ * code (auto-vectorisation of the same loops is unreliable: gcc 12 emits
+ * mostly scalar fmadd231ss for the multi-accumulator pattern).  The
+ * aligned(4) typedef makes every load/store an unaligned instruction, so
+ * the packed weight rows need no alignment guarantee. */
+#if defined(__GNUC__) || defined(__clang__)
+typedef float vnr __attribute__((vector_size(NR * 4), aligned(4),
+                                 may_alias));
+#define HAVE_VNR 1
+
+static inline vnr splat(float x)
+{
+    return (vnr){x, x, x, x, x, x, x, x};
+}
+
+/* Double-width (16-lane) tile for wider c_out: on AVX-512 hardware each
+ * accumulator row is a single zmm FMA, doubling the MAC rate per
+ * instruction; on AVX2 it lowers to two ymm ops, costing nothing.  Used
+ * whenever the padded width is a multiple of 2*NR. */
+typedef float vnr2 __attribute__((vector_size(2 * NR * 4), aligned(4),
+                                  may_alias));
+
+static inline vnr2 splat2(float x)
+{
+    return (vnr2){x, x, x, x, x, x, x, x, x, x, x, x, x, x, x, x};
+}
+#endif
+
+/* Full MR-pixel tile: fixed trip counts end to end so the NR-lane FMA loop
+ * vectorises and the accumulators stay in registers. */
+static void conv_tile_full(const conv_job *job, const float *xrow,
+                           float *orow, int ow0, int co0)
+{
+    const int c_in = job->c_in, cop = job->c_out_pad;
+    const int kw = job->kw;
+    const size_t xs = (size_t)job->stride * c_in;
+#ifdef HAVE_VNR
+    vnr acc0 = splat(0.0f), acc1 = acc0, acc2 = acc0, acc3 = acc0;
+#else
+    float acc0[NR], acc1[NR], acc2[NR], acc3[NR];
+    for (int r = 0; r < NR; ++r)
+        acc0[r] = acc1[r] = acc2[r] = acc3[r] = 0.0f;
+#endif
+
+    for (int i = 0; i < job->kh; ++i) {
+        const float *xr = xrow + (size_t)i * job->wp * c_in;
+        const float *wr = job->w + (size_t)i * kw * c_in * cop + co0;
+        for (int j = 0; j < kw; ++j) {
+            const float *x0 = xr + (size_t)ow0 * xs + (size_t)j * c_in;
+            const float *wt = wr + (size_t)j * c_in * cop;
+            for (int ci = 0; ci < c_in; ++ci) {
+#ifdef HAVE_VNR
+                const vnr wv = *(const vnr *)(wt + (size_t)ci * cop);
+                acc0 += splat(x0[ci]) * wv;
+                acc1 += splat(x0[xs + ci]) * wv;
+                acc2 += splat(x0[2 * xs + ci]) * wv;
+                acc3 += splat(x0[3 * xs + ci]) * wv;
+#else
+                const float *wv = wt + (size_t)ci * cop;
+                const float a0 = x0[ci];
+                const float a1 = x0[xs + ci];
+                const float a2 = x0[2 * xs + ci];
+                const float a3 = x0[3 * xs + ci];
+                for (int r = 0; r < NR; ++r) {
+                    acc0[r] += a0 * wv[r];
+                    acc1[r] += a1 * wv[r];
+                    acc2[r] += a2 * wv[r];
+                    acc3[r] += a3 * wv[r];
+                }
+#endif
+            }
+        }
+    }
+
+    const int nb = job->c_out - co0 < NR ? job->c_out - co0 : NR;
+    const float *bias = job->bias == NULL ? NULL : job->bias + co0;
+    float *o = orow + (size_t)ow0 * job->c_out + co0;
+    store_lanes(job, o, (const float *)&acc0, bias, nb);
+    store_lanes(job, o + job->c_out, (const float *)&acc1, bias, nb);
+    store_lanes(job, o + 2 * (size_t)job->c_out, (const float *)&acc2, bias, nb);
+    store_lanes(job, o + 3 * (size_t)job->c_out, (const float *)&acc3, bias, nb);
+}
+
+/* Row-edge tile: mb < MR output pixels (runtime bound on the pixel loop,
+ * still fixed NR lanes inside). */
+static void conv_tile_edge(const conv_job *job, const float *xrow,
+                           float *orow, int ow0, int mb, int co0)
+{
+    const int c_in = job->c_in, cop = job->c_out_pad;
+    const int kw = job->kw;
+    const size_t xs = (size_t)job->stride * c_in;
+#ifdef HAVE_VNR
+    vnr acc[MR];
+    for (int m = 0; m < mb; ++m)
+        acc[m] = splat(0.0f);
+#else
+    float acc[MR][NR];
+    for (int m = 0; m < mb; ++m)
+        for (int r = 0; r < NR; ++r)
+            acc[m][r] = 0.0f;
+#endif
+
+    for (int i = 0; i < job->kh; ++i) {
+        const float *xr = xrow + (size_t)i * job->wp * c_in;
+        const float *wr = job->w + (size_t)i * kw * c_in * cop + co0;
+        for (int j = 0; j < kw; ++j) {
+            const float *x0 = xr + (size_t)ow0 * xs + (size_t)j * c_in;
+            const float *wt = wr + (size_t)j * c_in * cop;
+            for (int ci = 0; ci < c_in; ++ci) {
+#ifdef HAVE_VNR
+                const vnr wv = *(const vnr *)(wt + (size_t)ci * cop);
+                for (int m = 0; m < mb; ++m)
+                    acc[m] += splat(x0[(size_t)m * xs + ci]) * wv;
+#else
+                const float *wv = wt + (size_t)ci * cop;
+                for (int m = 0; m < mb; ++m) {
+                    const float x = x0[(size_t)m * xs + ci];
+                    float *a = acc[m];
+                    for (int r = 0; r < NR; ++r)
+                        a[r] += x * wv[r];
+                }
+#endif
+            }
+        }
+    }
+
+    const int nb = job->c_out - co0 < NR ? job->c_out - co0 : NR;
+    const float *bias = job->bias == NULL ? NULL : job->bias + co0;
+    for (int m = 0; m < mb; ++m)
+        store_lanes(job, orow + (size_t)(ow0 + m) * job->c_out + co0,
+                    (const float *)&acc[m], bias, nb);
+}
+
+#ifdef HAVE_VNR
+/* 16-lane variant of the full tile (see conv_tile_full). */
+static void conv_tile_full2(const conv_job *job, const float *xrow,
+                            float *orow, int ow0, int co0)
+{
+    const int c_in = job->c_in, cop = job->c_out_pad;
+    const int kw = job->kw;
+    const size_t xs = (size_t)job->stride * c_in;
+    vnr2 acc0 = splat2(0.0f), acc1 = acc0, acc2 = acc0, acc3 = acc0;
+
+    for (int i = 0; i < job->kh; ++i) {
+        const float *xr = xrow + (size_t)i * job->wp * c_in;
+        const float *wr = job->w + (size_t)i * kw * c_in * cop + co0;
+        for (int j = 0; j < kw; ++j) {
+            const float *x0 = xr + (size_t)ow0 * xs + (size_t)j * c_in;
+            const float *wt = wr + (size_t)j * c_in * cop;
+            for (int ci = 0; ci < c_in; ++ci) {
+                const vnr2 wv = *(const vnr2 *)(wt + (size_t)ci * cop);
+                acc0 += splat2(x0[ci]) * wv;
+                acc1 += splat2(x0[xs + ci]) * wv;
+                acc2 += splat2(x0[2 * xs + ci]) * wv;
+                acc3 += splat2(x0[3 * xs + ci]) * wv;
+            }
+        }
+    }
+
+    const int nb = job->c_out - co0 < 2 * NR ? job->c_out - co0 : 2 * NR;
+    const float *bias = job->bias == NULL ? NULL : job->bias + co0;
+    float *o = orow + (size_t)ow0 * job->c_out + co0;
+    store_lanes(job, o, (const float *)&acc0, bias, nb);
+    store_lanes(job, o + job->c_out, (const float *)&acc1, bias, nb);
+    store_lanes(job, o + 2 * (size_t)job->c_out, (const float *)&acc2, bias, nb);
+    store_lanes(job, o + 3 * (size_t)job->c_out, (const float *)&acc3, bias, nb);
+}
+#endif
+
+static void *conv_worker(void *arg)
+{
+    const conv_job *job = (const conv_job *)arg;
+    const int oh = job->oh, ow = job->ow, c_out = job->c_out;
+    const int full = ow - ow % MR;
+#ifdef HAVE_VNR
+    const int wide = job->c_out_pad % (2 * NR) == 0;
+#else
+    const int wide = 0;
+#endif
+
+    for (long row = job->row0; row < job->row1; ++row) {
+        const long n = row / oh;
+        const long r = row % oh;
+        const float *xrow = job->xp
+            + ((size_t)n * job->hp + (size_t)r * job->stride)
+              * job->wp * job->c_in;
+        float *orow = job->out + ((size_t)n * oh + r) * ow * c_out;
+#ifdef HAVE_VNR
+        if (wide) {
+            for (int co0 = 0; co0 < c_out; co0 += 2 * NR) {
+                for (int ow0 = 0; ow0 < full; ow0 += MR)
+                    conv_tile_full2(job, xrow, orow, ow0, co0);
+                for (int ow0 = full; ow0 < ow; ow0 += MR) {
+                    /* Edge pixels reuse the 8-lane tile twice. */
+                    conv_tile_edge(job, xrow, orow, ow0, ow - ow0, co0);
+                    conv_tile_edge(job, xrow, orow, ow0, ow - ow0, co0 + NR);
+                }
+            }
+            continue;
+        }
+#endif
+        for (int co0 = 0; co0 < c_out; co0 += NR) {
+            for (int ow0 = 0; ow0 < full; ow0 += MR)
+                conv_tile_full(job, xrow, orow, ow0, co0);
+            if (full < ow)
+                conv_tile_edge(job, xrow, orow, full, ow - full, co0);
+        }
+    }
+    return NULL;
+}
+
+/* xp is the already-padded input; hp/wp are its padded spatial extents.
+ * w rows are padded to c_out_pad lanes (a multiple of NR, zero-filled).
+ * out must be distinct from xp.  accumulate=1 adds into out instead of
+ * overwriting it (used by the input-gradient path). */
+void repro_conv2d_nhwc_f32(const float *xp, const float *w, const float *bias,
+                           float *out, long n, int hp, int wp, int c_in,
+                           int kh, int kw, int stride, int oh, int ow,
+                           int c_out, int c_out_pad, int relu, int accumulate,
+                           int threads)
+{
+    const long rows = n * oh;
+    if (rows <= 0)
+        return;
+    if (threads > rows)
+        threads = (int)rows;
+    if (threads < 1)
+        threads = 1;
+
+    conv_job jobs[64];
+    pthread_t tids[64];
+    if (threads > 64)
+        threads = 64;
+
+    const long chunk = (rows + threads - 1) / threads;
+    int spawned = 0;
+    for (int t = 0; t < threads; ++t) {
+        conv_job *job = &jobs[t];
+        job->xp = xp; job->w = w; job->bias = bias; job->out = out;
+        job->hp = hp; job->wp = wp; job->c_in = c_in;
+        job->kh = kh; job->kw = kw; job->stride = stride;
+        job->oh = oh; job->ow = ow;
+        job->c_out = c_out; job->c_out_pad = c_out_pad;
+        job->relu = relu; job->accumulate = accumulate;
+        job->row0 = t * chunk;
+        job->row1 = (t + 1) * chunk < rows ? (t + 1) * chunk : rows;
+        if (job->row0 >= job->row1)
+            continue;
+        if (t == threads - 1) {
+            conv_worker(job);           /* last chunk on the calling thread */
+        } else if (pthread_create(&tids[spawned], NULL, conv_worker, job)) {
+            conv_worker(job);           /* spawn failed: run inline */
+        } else {
+            ++spawned;
+        }
+    }
+    for (int t = 0; t < spawned; ++t)
+        pthread_join(tids[t], NULL);
+}
+
+/* --------------------------------------------------------------------- */
+/* Weight gradient                                                       */
+/* --------------------------------------------------------------------- */
+
+/* dw has the same (kh*kw*c_in, c_out) layout as the (unpadded) forward
+ * pack; the caller transposes it back to (c_out, c_in, kh, kw).  Single-
+ * threaded so the accumulation order over output pixels is fixed (dw is
+ * kh*kw*c_in*c_out floats — cache-resident at any realistic width). */
+void repro_conv2d_wgrad_nhwc_f32(const float *xp, const float *g, float *dw,
+                                 long n, int hp, int wp, int c_in,
+                                 int kh, int kw, int stride, int oh, int ow,
+                                 int c_out)
+{
+    memset(dw, 0, sizeof(float) * (size_t)kh * kw * c_in * c_out);
+#ifdef HAVE_VNR
+    /* Lane-exact widths stream the (L1-resident) dw rows through vector
+     * FMAs — one rank-1 update of dw per output pixel.  Reading the
+     * gradient vector NR lanes at a time is only safe when c_out is a lane
+     * multiple (no spill into the next pixel / past the buffer). */
+    if (c_out % NR == 0) {
+        const int ng = c_out / NR;
+        const size_t xs = (size_t)stride * c_in;
+        for (long b = 0; b < n; ++b) {
+            const float *xb = xp + (size_t)b * hp * wp * c_in;
+            const float *gb = g + (size_t)b * oh * ow * c_out;
+            for (int r = 0; r < oh; ++r) {
+                const float *xrow = xb + (size_t)r * stride * wp * c_in;
+                const float *grow = gb + (size_t)r * ow * c_out;
+                /* MR output pixels per dw sweep: each dw row load/store
+                 * amortises MR FMAs, keeping the update compute-bound even
+                 * when dw outgrows L1. */
+                const int full = ow - ow % MR;
+                for (int q = 0; q < full; q += MR) {
+                    const float *xpix = xrow + (size_t)q * xs;
+                    const float *gv = grow + (size_t)q * c_out;
+                    for (int gbk = 0; gbk < ng; ++gbk) {
+                        const vnr vg0 = *(const vnr *)(gv + gbk * NR);
+                        const vnr vg1 = *(const vnr *)(gv + c_out + gbk * NR);
+                        const vnr vg2 = *(const vnr *)(gv + 2 * c_out + gbk * NR);
+                        const vnr vg3 = *(const vnr *)(gv + 3 * c_out + gbk * NR);
+                        float *dwg = dw + (size_t)gbk * NR;
+                        for (int i = 0; i < kh; ++i) {
+                            const float *xr = xpix + (size_t)i * wp * c_in;
+                            float *dwr = dwg + (size_t)i * kw * c_in * c_out;
+                            for (int j = 0; j < kw; ++j) {
+                                const float *xv = xr + (size_t)j * c_in;
+                                float *dwt = dwr + (size_t)j * c_in * c_out;
+                                for (int ci = 0; ci < c_in; ++ci) {
+                                    vnr *d = (vnr *)(dwt + (size_t)ci * c_out);
+                                    *d += splat(xv[ci]) * vg0
+                                        + splat(xv[xs + ci]) * vg1
+                                        + splat(xv[2 * xs + ci]) * vg2
+                                        + splat(xv[3 * xs + ci]) * vg3;
+                                }
+                            }
+                        }
+                    }
+                }
+                for (int q = full; q < ow; ++q) {
+                    const float *xpix = xrow + (size_t)q * xs;
+                    const float *gv = grow + (size_t)q * c_out;
+                    for (int gbk = 0; gbk < ng; ++gbk) {
+                        const vnr vg = *(const vnr *)(gv + gbk * NR);
+                        float *dwg = dw + (size_t)gbk * NR;
+                        for (int i = 0; i < kh; ++i) {
+                            const float *xr = xpix + (size_t)i * wp * c_in;
+                            float *dwr = dwg + (size_t)i * kw * c_in * c_out;
+                            for (int j = 0; j < kw; ++j) {
+                                const float *xv = xr + (size_t)j * c_in;
+                                float *dwt = dwr + (size_t)j * c_in * c_out;
+                                for (int ci = 0; ci < c_in; ++ci) {
+                                    vnr *d = (vnr *)(dwt + (size_t)ci * c_out);
+                                    *d += splat(xv[ci]) * vg;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        return;
+    }
+#endif
+    for (long b = 0; b < n; ++b) {
+        const float *xb = xp + (size_t)b * hp * wp * c_in;
+        const float *gb = g + (size_t)b * oh * ow * c_out;
+        for (int r = 0; r < oh; ++r) {
+            const float *xrow = xb + (size_t)r * stride * wp * c_in;
+            const float *grow = gb + (size_t)r * ow * c_out;
+            for (int q = 0; q < ow; ++q) {
+                const float *xpix = xrow + (size_t)q * stride * c_in;
+                const float *gv = grow + (size_t)q * c_out;
+                for (int i = 0; i < kh; ++i) {
+                    const float *xr = xpix + (size_t)i * wp * c_in;
+                    float *dwr = dw + (size_t)i * kw * c_in * c_out;
+                    for (int j = 0; j < kw; ++j) {
+                        const float *xv = xr + (size_t)j * c_in;
+                        float *dwt = dwr + (size_t)j * c_in * c_out;
+                        for (int ci = 0; ci < c_in; ++ci) {
+                            const float x = xv[ci];
+                            float *d = dwt + (size_t)ci * c_out;
+                            for (int co = 0; co < c_out; ++co)
+                                d[co] += x * gv[co];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/* --------------------------------------------------------------------- */
+/* Fused pad + activation-fake-quantise staging                          */
+/* --------------------------------------------------------------------- */
+
+typedef struct {
+    const float *src;     /* (N, H, W, C) C-contiguous                     */
+    float *dst;           /* (N, H+2p, W+2p, C)                            */
+    long n;
+    int h, w, c, padding;
+    int quantize;
+    float scale, qmin, qmax;
+    long b0, b1;
+} stage_job;
+
+static void *stage_worker(void *arg)
+{
+    const stage_job *job = (const stage_job *)arg;
+    const int h = job->h, w = job->w, c = job->c, p = job->padding;
+    const int hp = h + 2 * p, wp = w + 2 * p;
+    const size_t row = (size_t)w * c, prow = (size_t)wp * c;
+    const float scale = job->scale;
+    const float qmin = job->qmin, qmax = job->qmax;
+
+    for (long b = job->b0; b < job->b1; ++b) {
+        const float *s = job->src + (size_t)b * h * row;
+        float *d = job->dst + (size_t)b * hp * prow;
+        if (p) {
+            memset(d, 0, sizeof(float) * (size_t)p * prow);
+            memset(d + (size_t)(hp - p) * prow, 0,
+                   sizeof(float) * (size_t)p * prow);
+        }
+        for (int r = 0; r < h; ++r) {
+            float *dr = d + (size_t)(r + p) * prow;
+            const float *sr = s + (size_t)r * row;
+            if (p) {
+                memset(dr, 0, sizeof(float) * (size_t)p * c);
+                memset(dr + prow - (size_t)p * c, 0,
+                       sizeof(float) * (size_t)p * c);
+            }
+            float *di = dr + (size_t)p * c;
+            if (!job->quantize) {
+                memcpy(di, sr, sizeof(float) * row);
+            } else {
+                /* Identical op sequence to quantize_data_into (divide,
+                 * rint, clip, multiply — a true divide, not a reciprocal
+                 * multiply, so the rounding input is bit-identical);
+                 * rintf matches np.rint's round-half-to-even under the
+                 * default rounding mode. */
+                for (size_t k = 0; k < row; ++k) {
+                    float v = rintf(sr[k] / scale);
+                    v = v < qmin ? qmin : (v > qmax ? qmax : v);
+                    di[k] = v * scale;
+                }
+            }
+        }
+    }
+    return NULL;
+}
+
+void repro_pad_quantize_nhwc_f32(const float *src, float *dst, long n,
+                                 int h, int w, int c, int padding,
+                                 int quantize, float scale, float qmin,
+                                 float qmax, int threads)
+{
+    if (n <= 0)
+        return;
+    if (threads > n)
+        threads = (int)n;
+    if (threads < 1)
+        threads = 1;
+    stage_job jobs[64];
+    pthread_t tids[64];
+    if (threads > 64)
+        threads = 64;
+
+    const long chunk = (n + threads - 1) / threads;
+    int spawned = 0;
+    for (int t = 0; t < threads; ++t) {
+        stage_job *job = &jobs[t];
+        job->src = src; job->dst = dst; job->n = n;
+        job->h = h; job->w = w; job->c = c; job->padding = padding;
+        job->quantize = quantize; job->scale = scale;
+        job->qmin = qmin; job->qmax = qmax;
+        job->b0 = t * chunk;
+        job->b1 = (t + 1) * chunk < n ? (t + 1) * chunk : n;
+        if (job->b0 >= job->b1)
+            continue;
+        if (t == threads - 1) {
+            stage_worker(job);
+        } else if (pthread_create(&tids[spawned], NULL, stage_worker, job)) {
+            stage_worker(job);
+        } else {
+            ++spawned;
+        }
+    }
+    for (int t = 0; t < spawned; ++t)
+        pthread_join(tids[t], NULL);
+}

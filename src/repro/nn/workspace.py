@@ -33,12 +33,38 @@ import numpy as np
 
 from .. import config
 
-__all__ = ["Workspace", "default_workspace"]
+__all__ = ["Workspace", "default_workspace", "aligned_empty", "BUFFER_ALIGN"]
 
 _Key = Tuple[Tuple[int, ...], str]
 
 #: Memo of dtype -> dtype.str for the acquire fast path.
 _DTYPE_STR: dict = {}
+
+#: Alignment of buffers built for the native direct-conv kernels (their
+#: packed weights stream through vector loads; a cache-line start keeps
+#: those accesses split-free — numpy's own allocator only guarantees 16
+#: bytes).  Arena buffers deliberately keep numpy's default allocator:
+#: BLAS selects (ULP-different) kernels by pointer alignment, and the
+#: fast backend's blessed parity numbers were measured against numpy's
+#: defaults, so forcing arena alignment would shift them.
+BUFFER_ALIGN = 64
+
+
+def aligned_empty(shape: Tuple[int, ...], dtype=np.float32,
+                  align: int = BUFFER_ALIGN) -> np.ndarray:
+    """``np.empty`` with the first element on an ``align``-byte boundary.
+
+    Over-allocates a byte buffer and returns an offset view; the view keeps
+    the allocation alive and behaves like any ndarray (in particular the
+    workspace refcount guard counts references to the view object itself,
+    so these buffers may be released into an arena like any other).  Used
+    by :mod:`repro.nn.native` for buffers only the C kernels consume.
+    """
+    dtype = np.dtype(dtype)
+    nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    raw = np.empty(nbytes + align, dtype=np.uint8)
+    offset = (-raw.ctypes.data) % align
+    return raw[offset:offset + nbytes].view(dtype).reshape(shape)
 
 
 def _env_cap_bytes() -> int:

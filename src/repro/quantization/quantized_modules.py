@@ -110,7 +110,10 @@ class QuantConv2d(Conv2d, _QuantMixin):
         entry = self._quantized_weight_entry(precision)
         w_q = self._quantized_weight(precision, entry)
         gemm = gemm_bwd = None
-        if F.get_backend() == "fast":
+        if F.get_backend() in ("fast", "native"):
+            # One pre-quantised pack per (precision, weight version) serves
+            # both the BLAS GEMM and the native microkernel (which lane-pads
+            # it on the fly; a no-op at lane-aligned widths).
             if entry[3] is None:
                 entry[3] = F.pack_gemm_weights(w_q.data)
             gemm, gemm_bwd = entry[3]

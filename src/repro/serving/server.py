@@ -114,7 +114,14 @@ class RPSServer:
             self._dispatch_loop())
 
     async def stop(self) -> None:
-        """Drain queued requests, then stop the dispatcher."""
+        """Drain queued requests, then stop the dispatcher.
+
+        Drain guarantee: ``submit`` rejects once ``stop`` has begun, and
+        the stop sentinel is enqueued *behind* every already-accepted
+        request, so the FIFO dispatcher serves all of them (and their
+        futures resolve) before the loop exits — no queue entry is ever
+        dropped.  ``tests/test_serving.py`` pins this with a stress test.
+        """
         if not self._running:
             return
         self._running = False
@@ -123,6 +130,14 @@ class RPSServer:
         self._dispatcher = None
         self._executor.shutdown(wait=True)
         self._executor = None
+
+    async def close(self) -> None:
+        """Deployment-facing name for the drain-and-stop sequence.
+
+        Delegates (rather than aliasing) so a subclass overriding
+        :meth:`stop` keeps its teardown on both entry points.
+        """
+        await self.stop()
 
     async def __aenter__(self) -> "RPSServer":
         await self.start()

@@ -1,0 +1,91 @@
+"""Merge and degradation behaviour of the benchmark trajectory report."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import report  # noqa: E402  (benchmarks/ is not a package)
+
+
+def _write(path: Path, history):
+    path.write_text(json.dumps({"schema": 1, "history": history}))
+
+
+def test_merges_multiple_files_into_one_table(tmp_path):
+    nn = tmp_path / "BENCH_nn.json"
+    serving = tmp_path / "BENCH_serving.json"
+    _write(nn, [
+        {"timestamp": "2026-07-01T10:00:00", "results": {"fig11": 14.0}},
+        {"timestamp": "2026-07-02T10:00:00", "results": {"fig11": 11.5}},
+    ])
+    _write(serving, [
+        {"timestamp": "2026-07-02T11:00:00", "results": {"burst_rps": 930.0}},
+    ])
+    labels, rows, missing = report.merge_histories([nn, serving])
+    assert labels == ["2026-07-01T10:00", "2026-07-02T10:00",
+                      "2026-07-02T11:00"]
+    assert rows["fig11"] == [14.0, 11.5, None]
+    assert rows["burst_rps"] == [None, None, 930.0]
+    assert missing == []
+
+    table = report.format_trajectory([nn, serving])
+    assert "fig11" in table and "burst_rps" in table
+    assert "11.500" in table and "930.000" in table
+
+
+@pytest.mark.parametrize("content", [
+    None,                                   # missing file
+    "",                                     # blank file
+    "not json",                             # corrupt
+    json.dumps({"schema": 99, "history": [{}]}),   # wrong schema
+    '{"schema": 1, "history": [',                  # truncated write
+    json.dumps({"schema": 1, "history": []}),      # empty trajectory
+])
+def test_unusable_history_renders_no_data_yet_row(tmp_path, content):
+    path = tmp_path / "BENCH_nn.json"
+    if content is not None:
+        path.write_text(content)
+    assert report.load_history(path) is None
+    table = report.format_trajectory([path])
+    assert f"{path.name}: no data yet" in table
+
+
+def test_mixed_usable_and_empty_sources(tmp_path):
+    good = tmp_path / "BENCH_nn.json"
+    empty = tmp_path / "BENCH_serving.json"
+    _write(good, [{"timestamp": "2026-07-01T10:00:00",
+                   "results": {"tab1": 13.0}}])
+    empty.write_text("")
+    table = report.format_trajectory([good, empty])
+    assert "tab1" in table
+    assert "BENCH_serving.json: no data yet" in table
+
+
+def test_column_cap_keeps_most_recent_runs(tmp_path):
+    path = tmp_path / "BENCH_nn.json"
+    _write(path, [{"timestamp": f"2026-07-{day:02d}T00:00:00",
+                   "results": {"fig11": float(day)}}
+                  for day in range(1, 12)])
+    labels, rows, _ = report.merge_histories([path])
+    assert len(labels) == report.MAX_COLUMNS
+    assert rows["fig11"][-1] == 11.0           # newest run survives the cap
+    assert labels[0].startswith("2026-07-06")  # oldest five dropped
+
+
+def test_entry_without_results_is_skipped(tmp_path):
+    path = tmp_path / "BENCH_nn.json"
+    _write(path, [
+        {"timestamp": "2026-07-01T00:00:00"},               # no results key
+        {"timestamp": "2026-07-02T00:00:00", "results": {}},  # empty results
+        {"timestamp": "2026-07-03T00:00:00", "results": {"tab1": 9.0}},
+    ])
+    labels, rows, missing = report.merge_histories([path])
+    assert len(labels) == 1
+    assert rows["tab1"] == [9.0]
+    assert missing == []

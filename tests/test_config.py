@@ -1,0 +1,240 @@
+"""Typed-accessor contract of :mod:`repro.config`.
+
+Every ``REPRO_*`` knob is read through one of the generic readers
+(``env_flag`` / ``env_int`` / ``env_float`` / ``env_str`` / ``env_choice``),
+whose shared contract is: unset means the documented default, a valid value
+is parsed, and a malformed value *warns* (naming the variable) and falls
+back instead of crashing every caller downstream.  This suite pins that
+contract for each reader and for every named accessor.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro import config
+
+
+@pytest.fixture(autouse=True)
+def _clean_knobs(monkeypatch):
+    """Tests control the environment explicitly; start from unset."""
+    for name in list(os.environ):
+        if name.startswith("REPRO_"):
+            monkeypatch.delenv(name, raising=False)
+    yield
+
+
+def _no_warnings():
+    return warnings.catch_warnings()
+
+
+# ---------------------------------------------------------------------------
+# Generic readers
+# ---------------------------------------------------------------------------
+
+class TestEnvFlag:
+    def test_unset_returns_default(self, monkeypatch):
+        assert config.env_flag("REPRO_TEST_FLAG") is False
+        assert config.env_flag("REPRO_TEST_FLAG", default=True) is True
+
+    @pytest.mark.parametrize("value", ["1", "true", "True", "YES", " on "])
+    def test_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TEST_FLAG", value)
+        assert config.env_flag("REPRO_TEST_FLAG") is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", "junk", ""])
+    def test_conservative_falsy(self, monkeypatch, value):
+        """Anything outside the allow-list is False — a typo can never
+        silently switch a feature on."""
+        monkeypatch.setenv("REPRO_TEST_FLAG", value)
+        assert config.env_flag("REPRO_TEST_FLAG", default=False) is False
+
+
+class TestEnvInt:
+    def test_unset_and_blank_return_default(self, monkeypatch):
+        assert config.env_int("REPRO_TEST_INT", 7) == 7
+        monkeypatch.setenv("REPRO_TEST_INT", "   ")
+        assert config.env_int("REPRO_TEST_INT", 7) == 7
+
+    def test_valid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", " 42 ")
+        assert config.env_int("REPRO_TEST_INT", 7) == 42
+        monkeypatch.setenv("REPRO_TEST_INT", "-3")
+        assert config.env_int("REPRO_TEST_INT", 7) == -3
+
+    def test_malformed_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "three")
+        with pytest.warns(UserWarning, match="REPRO_TEST_INT"):
+            assert config.env_int("REPRO_TEST_INT", 7) == 7
+
+
+class TestEnvFloat:
+    def test_unset_returns_default(self):
+        assert config.env_float("REPRO_TEST_FLOAT", 1.5) == 1.5
+
+    def test_valid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "2.25")
+        assert config.env_float("REPRO_TEST_FLOAT", 1.5) == 2.25
+
+    def test_malformed_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "fast")
+        with pytest.warns(UserWarning, match="REPRO_TEST_FLOAT"):
+            assert config.env_float("REPRO_TEST_FLOAT", 1.5) == 1.5
+
+
+class TestEnvStr:
+    def test_unset_and_whitespace_return_default(self, monkeypatch):
+        assert config.env_str("REPRO_TEST_STR", "d") == "d"
+        monkeypatch.setenv("REPRO_TEST_STR", "  ")
+        assert config.env_str("REPRO_TEST_STR", "d") == "d"
+
+    def test_value_is_stripped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_STR", "  value ")
+        assert config.env_str("REPRO_TEST_STR", "d") == "value"
+
+
+class TestEnvChoice:
+    def test_valid_choice(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_CHOICE", "b")
+        assert config.env_choice("REPRO_TEST_CHOICE", "a", ("a", "b")) == "b"
+
+    def test_unset_returns_default_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert config.env_choice("REPRO_TEST_CHOICE", "a",
+                                     ("a", "b")) == "a"
+
+    def test_invalid_warns_with_variable_and_choices(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_CHOICE", "zzz")
+        with pytest.warns(UserWarning) as record:
+            assert config.env_choice("REPRO_TEST_CHOICE", "a",
+                                     ("a", "b")) == "a"
+        message = str(record[0].message)
+        assert "REPRO_TEST_CHOICE" in message
+        assert "'zzz'" in message
+        assert "('a', 'b')" in message
+        assert "falling back to 'a'" in message
+
+
+# ---------------------------------------------------------------------------
+# NN compute core knobs
+# ---------------------------------------------------------------------------
+
+class TestNNBackend:
+    @pytest.mark.parametrize("value", ["fast", "native", "reference"])
+    def test_valid_backends(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_NN_BACKEND", value)
+        assert config.nn_backend() == value
+
+    def test_unset_defaults_to_fast(self):
+        assert config.nn_backend() == "fast"
+
+    def test_invalid_backend_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_BACKEND", "cuda")
+        with pytest.warns(UserWarning) as record:
+            assert config.nn_backend() == "fast"
+        message = str(record[0].message)
+        assert "REPRO_NN_BACKEND" in message
+        assert "'cuda'" in message
+        assert str(config.NN_BACKENDS) in message
+
+
+class TestNNThreads:
+    def test_default_is_cpu_count(self):
+        assert config.nn_threads() == max(1, os.cpu_count() or 1)
+
+    def test_explicit_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_THREADS", "3")
+        assert config.nn_threads() == 3
+
+    def test_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_THREADS", "0")
+        assert config.nn_threads() == 1
+        monkeypatch.setenv("REPRO_NN_THREADS", "-4")
+        assert config.nn_threads() == 1
+
+    def test_malformed_warns_and_uses_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_THREADS", "many")
+        with pytest.warns(UserWarning, match="REPRO_NN_THREADS"):
+            assert config.nn_threads() == max(1, os.cpu_count() or 1)
+
+
+class TestNNMiscKnobs:
+    def test_workspace_mb(self, monkeypatch):
+        assert config.nn_workspace_mb() == 256.0
+        monkeypatch.setenv("REPRO_NN_WORKSPACE_MB", "64")
+        assert config.nn_workspace_mb() == 64.0
+
+    def test_quant_cache(self, monkeypatch):
+        assert config.nn_quant_cache_enabled() is True
+        monkeypatch.setenv("REPRO_NN_QUANT_CACHE", "0")
+        assert config.nn_quant_cache_enabled() is False
+
+    def test_batched_restarts(self, monkeypatch):
+        assert config.nn_batched_restarts() is True
+        monkeypatch.setenv("REPRO_NN_BATCHED_RESTARTS", "0")
+        assert config.nn_batched_restarts() is False
+
+    def test_native_cache_dir(self, monkeypatch):
+        assert config.nn_native_cache_dir() == \
+            Path.home() / ".cache" / "repro" / "native"
+        monkeypatch.setenv("REPRO_NN_NATIVE_CACHE_DIR", "/tmp/kernels")
+        assert config.nn_native_cache_dir() == Path("/tmp/kernels")
+
+
+# ---------------------------------------------------------------------------
+# Inference / serving knobs
+# ---------------------------------------------------------------------------
+
+class TestServingKnobs:
+    def test_fold_bn(self, monkeypatch):
+        assert config.infer_fold_bn() is True
+        monkeypatch.setenv("REPRO_INFER_FOLD_BN", "0")
+        assert config.infer_fold_bn() is False
+
+    def test_max_batch_clamped_to_one(self, monkeypatch):
+        assert config.serving_max_batch() == 64
+        monkeypatch.setenv("REPRO_SERVING_MAX_BATCH", "0")
+        assert config.serving_max_batch() == 1
+
+    def test_max_batch_malformed_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVING_MAX_BATCH", "lots")
+        with pytest.warns(UserWarning, match="REPRO_SERVING_MAX_BATCH"):
+            assert config.serving_max_batch() == 64
+
+    def test_max_delay_clamped_to_zero(self, monkeypatch):
+        assert config.serving_max_delay_ms() == 2.0
+        monkeypatch.setenv("REPRO_SERVING_MAX_DELAY_MS", "-5")
+        assert config.serving_max_delay_ms() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Engine knobs
+# ---------------------------------------------------------------------------
+
+class TestEngineKnobs:
+    def test_workers(self, monkeypatch):
+        assert config.engine_workers() == 0
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "4")
+        assert config.engine_workers() == 4
+
+    def test_persist(self, monkeypatch):
+        assert config.engine_persist() is False
+        monkeypatch.setenv("REPRO_ENGINE_PERSIST", "1")
+        assert config.engine_persist() is True
+        monkeypatch.setenv("REPRO_ENGINE_PERSIST", "maybe")
+        assert config.engine_persist() is False
+
+    def test_cache_dir_override_and_default(self, monkeypatch):
+        assert config.engine_cache_dir() == \
+            Path.home() / ".cache" / "repro" / "engine"
+        monkeypatch.setenv("REPRO_ENGINE_CACHE_DIR", "/tmp/engine-store")
+        assert config.engine_cache_dir() == Path("/tmp/engine-store")
+
+    def test_cache_dir_expands_user(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_CACHE_DIR", "~/engine-store")
+        assert config.engine_cache_dir() == Path.home() / "engine-store"

@@ -312,3 +312,54 @@ class TestSessionSemantics:
         compiled = session.forward(probe, Precision(4))
         assert np.array_equal(reference, compiled)
         assert get_model_precision(model) == Precision(8)  # restored
+
+
+class TestNativeBackendPlans:
+    """Compiled plans over the native direct-conv kernels.
+
+    ``fold_bn=False`` plans executed under the native backend must stay
+    decision-identical to the live ``set_model_precision`` eval path (which
+    runs on the fast backend) across the full 4-16-bit RPS set: the direct
+    kernels reorder float32 dot products at the ULP level, so bitwise
+    equality is not the contract — argmax agreement is.
+    """
+
+    native_only = pytest.mark.skipif(
+        not __import__("repro.nn.native", fromlist=["available"]).available(),
+        reason="native kernels unavailable (no C compiler)")
+
+    @native_only
+    @pytest.mark.parametrize("name", MODELS)
+    def test_native_plans_decision_identical_on_rps_set(self, name):
+        from repro.nn import functional as F
+
+        rng = np.random.default_rng(4)
+        model = _build(name, rng, precisions=DEFAULT_RPS_SET)
+        x = rng.random((4, 3, IMAGE, IMAGE)).astype(np.float32)
+        session = InferenceSession(model, fold_bn=False)
+        for precision in list(DEFAULT_RPS_SET) + [FULL_PRECISION]:
+            with F.use_backend("fast"):
+                reference = _reference_logits(model, x, precision)
+            with F.use_backend("native"):
+                compiled = session.forward(x, precision)
+            assert np.array_equal(reference.argmax(1), compiled.argmax(1)), (
+                f"{name} at {precision}: native no-fold plan flipped a "
+                f"decision vs the live path")
+            # No numeric bound: ULP reorder under quantisation can move an
+            # activation across a bin, which legitimately shifts logits by
+            # O(bin) on deep models — the decision is the contract (same
+            # rationale as the folded-parity suite above).
+
+    @native_only
+    def test_plans_keyed_per_backend(self):
+        from repro.nn import functional as F
+
+        rng = np.random.default_rng(5)
+        model = _build("preact_resnet18", rng)
+        x = rng.random((2, 3, IMAGE, IMAGE)).astype(np.float32)
+        session = InferenceSession(model, fold_bn=False)
+        with F.use_backend("fast"):
+            session.forward(x, 8)
+        with F.use_backend("native"):
+            session.forward(x, 8)
+        assert len(session.cached_plan_keys) == 2   # one plan per backend

@@ -1,0 +1,181 @@
+"""Build/load machinery and dispatch policy of the native backend.
+
+Covers the pieces that are independent of kernel numerics (those live in
+``test_nn_parity.py``): the lazy compile-and-cache loader, the clean
+single-warning degradation to ``fast`` when no compiler is present, the
+lane-padding weight repack, and the dispatch rules that keep 1x1 / wide /
+exotically-padded convolutions on the fast path.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn import native
+from repro.nn.functional import _native_applicable
+from repro.nn.native import build as native_build
+
+NATIVE_AVAILABLE = native.available()
+requires_native = pytest.mark.skipif(
+    not NATIVE_AVAILABLE, reason="native kernels unavailable (no C compiler)")
+
+
+@pytest.fixture
+def restored_native_state(monkeypatch):
+    """Reset the memoised load state after a test poked at it.
+
+    The reload must happen with the compiler mask lifted: this fixture
+    tears down *before* the test's own monkeypatch undo, so the masking
+    variables are cleared here explicitly first.
+    """
+    yield
+    monkeypatch.delenv("CC", raising=False)
+    monkeypatch.delenv("REPRO_NN_NATIVE_CACHE_DIR", raising=False)
+    native.reset()
+    native.ensure_loaded()
+
+
+# ---------------------------------------------------------------------------
+# Loader and cache
+# ---------------------------------------------------------------------------
+
+class TestLoader:
+    @requires_native
+    def test_build_is_cached_on_disk(self):
+        path = native_build.build()
+        assert path.exists()
+        assert path == native_build.build()      # second call: cache hit
+
+    @requires_native
+    def test_cache_key_tracks_flags(self):
+        default = native_build.library_path()
+        portable = native_build.library_path(["-O3", "-funroll-loops"])
+        assert default != portable
+
+    def test_compiler_command_prefers_cc_env(self, monkeypatch):
+        monkeypatch.setenv("CC", "/custom/compiler --sysroot=/x")
+        assert native_build.compiler_command() == ["/custom/compiler",
+                                                  "--sysroot=/x"]
+
+    def test_no_compiler_raises_build_error(self, monkeypatch, tmp_path):
+        # $CC is trusted as-is (no PATH fallback), and an empty cache dir
+        # prevents a previously-compiled library from short-circuiting the
+        # build — together they model a machine without a toolchain.
+        monkeypatch.setenv("CC", str(tmp_path / "missing-cc"))
+        monkeypatch.setenv("REPRO_NN_NATIVE_CACHE_DIR", str(tmp_path))
+        with pytest.raises(native_build.NativeBuildError):
+            native_build.build()
+
+
+# ---------------------------------------------------------------------------
+# Fallback behaviour
+# ---------------------------------------------------------------------------
+
+class TestFallback:
+    def test_native_request_degrades_to_fast_with_one_warning(
+            self, monkeypatch, tmp_path, restored_native_state):
+        monkeypatch.setenv("CC", str(tmp_path / "missing-cc"))
+        monkeypatch.setenv("REPRO_NN_NATIVE_CACHE_DIR", str(tmp_path))
+        native.reset()
+        # The process may already have consumed its one fallback warning
+        # (e.g. a whole-suite run under REPRO_NN_BACKEND=native on a
+        # no-compiler box); rearm it for this test.
+        monkeypatch.setattr(F, "_NATIVE_FALLBACK_WARNED", False)
+        previous = F.get_backend()
+        try:
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                F.set_backend("native")
+            assert F.get_backend() == "fast"
+            # The load failure is memoised: switching again warns no more
+            # (the single-warning contract for a whole no-compiler run).
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                F.set_backend("native")
+            assert F.get_backend() == "fast"
+        finally:
+            F.set_backend(previous)
+
+    def test_load_error_is_recorded(self, monkeypatch, tmp_path,
+                                    restored_native_state):
+        monkeypatch.setenv("CC", str(tmp_path / "missing-cc"))
+        monkeypatch.setenv("REPRO_NN_NATIVE_CACHE_DIR", str(tmp_path))
+        native.reset()
+        assert not native.available()
+        assert "missing-cc" in (native.load_error() or "")
+
+
+# ---------------------------------------------------------------------------
+# Dispatch policy
+# ---------------------------------------------------------------------------
+
+class TestDispatch:
+    def test_one_by_one_stays_on_gemm_path(self):
+        assert not _native_applicable((8, 8, 1, 1), 0)
+
+    def test_wide_layers_stay_on_gemm_path(self):
+        assert not _native_applicable((64, 64, 3, 3), 1)
+        assert not _native_applicable((8, 64, 3, 3), 1)
+
+    def test_exotic_padding_stays_on_gemm_path(self):
+        assert not _native_applicable((8, 8, 3, 3), 3)
+
+    def test_bandwidth_bound_regime_is_native(self):
+        assert _native_applicable((8, 8, 3, 3), 1)
+        assert _native_applicable((16, 3, 5, 5), 2)
+
+
+# ---------------------------------------------------------------------------
+# Weight pack padding
+# ---------------------------------------------------------------------------
+
+class TestPadPack:
+    def test_aligned_pack_is_returned_untouched(self):
+        pack = np.ascontiguousarray(
+            np.random.default_rng(0).normal(size=(72, 8)).astype(np.float32))
+        assert native.pad_pack(pack) is pack
+
+    def test_odd_width_is_zero_padded(self):
+        pack = np.random.default_rng(1).normal(size=(18, 3)).astype(np.float32)
+        padded = native.pad_pack(pack)
+        assert padded.shape == (18, native.LANES)
+        np.testing.assert_array_equal(padded[:, :3], pack)
+        assert not padded[:, 3:].any()
+
+    def test_fortran_order_pack_is_made_contiguous(self):
+        pack = np.asfortranarray(
+            np.random.default_rng(2).normal(size=(18, 8)).astype(np.float32))
+        padded = native.pad_pack(pack)
+        assert padded.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(padded[:, :8], pack)
+
+
+# ---------------------------------------------------------------------------
+# Wrapper validation
+# ---------------------------------------------------------------------------
+
+@requires_native
+class TestWrapperValidation:
+    def test_rejects_wrong_dtype(self):
+        xp = np.zeros((1, 4, 4, 8), np.float64)
+        pack = np.zeros((72, 8), np.float32)
+        out = np.zeros((1, 2, 2, 8), np.float32)
+        with pytest.raises(TypeError, match="float32"):
+            native.conv2d_forward(xp, pack, None, out, (3, 3), 1)
+
+    def test_rejects_non_contiguous(self):
+        xp = np.zeros((1, 4, 4, 16), np.float32)[:, :, :, ::2]
+        pack = np.zeros((72, 8), np.float32)
+        out = np.zeros((1, 2, 2, 8), np.float32)
+        with pytest.raises(ValueError, match="contiguous"):
+            native.conv2d_forward(xp, pack, None, out, (3, 3), 1)
+
+    def test_rejects_unpadded_pack(self):
+        xp = np.zeros((1, 4, 4, 8), np.float32)
+        pack = np.zeros((72, 3), np.float32)      # 3 lanes: not a multiple
+        out = np.zeros((1, 2, 2, 3), np.float32)
+        with pytest.raises(ValueError, match="pad_pack"):
+            native.conv2d_forward(xp, pack, None, out, (3, 3), 1)
