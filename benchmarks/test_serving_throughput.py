@@ -45,11 +45,17 @@ from repro.models import build_model
 from repro.nn import workspace as nn_workspace
 from repro.nn.tensor import Tensor, no_grad
 from repro.quantization import PrecisionSet, set_model_precision
-from repro.serving import RPSServer, ServingConfig
+from repro.serving import FleetConfig, FleetServer, RPSServer, ServingConfig
 
 pytestmark = pytest.mark.slow      # repeated full-model inference rounds
 
 MIN_SPEEDUP = 1.5
+#: 1 -> 2 workers must scale serving throughput by this much on a >=2-core
+#: box (gated only there; single-core machines record the numbers and skip).
+FLEET_MIN_SCALING = 1.7
+#: Four precisions so a 2-worker fleet shards traffic ~50/50 (with three,
+#: one worker owns two thirds of the draws and perfect scaling caps at 1.5x).
+FLEET_PRECISIONS = PrecisionSet([3, 4, 6, 8])
 
 MODEL = "resnet50"
 SCALE = 8
@@ -213,3 +219,56 @@ def test_async_server_traffic_burst(workload):
           f"p50 {stats['latency_p50_ms']:.1f} ms, "
           f"p99 {stats['latency_p99_ms']:.1f} ms, "
           f"mean batch {stats['mean_batch_size']:.1f}")
+
+
+def _fleet_throughput(model, requests, workers: int,
+                      measured_rounds: int = 3) -> float:
+    """Best-round steady-state requests/second of an N-worker fleet."""
+    fleet = FleetServer(model, FLEET_PRECISIONS,
+                        FleetConfig(workers=workers, max_batch=WINDOW,
+                                    max_delay_ms=0.0, seed=0,
+                                    input_shape=(3, IMAGE, IMAGE)))
+    fleet.start()
+
+    def round_trip():
+        futures = [fleet.submit(x) for x in requests]
+        fleet.flush()                   # count-cut mode: explicit barrier
+        for future in futures:
+            future.result(timeout=600)
+
+    try:
+        round_trip()    # warm: compiled plans + quant caches per worker
+        best = float("inf")
+        for _ in range(measured_rounds):
+            start = time.perf_counter()
+            round_trip()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        fleet.close()
+    assert fleet.stats()["failed"] == 0
+    return len(requests) / best
+
+
+def test_fleet_worker_scaling(workload):
+    """The workers axis of BENCH_serving.json: fleet throughput at 1 and 2
+    workers, gated on >= FLEET_MIN_SCALING on multi-core machines."""
+    model, x, _ = workload
+    requests = [x[i] for i in range(STREAM)]
+
+    rps = {workers: _fleet_throughput(model, requests, workers)
+           for workers in (1, 2)}
+    scaling = rps[2] / rps[1]
+    _record("fleet_throughput_rps_workers1", rps[1])
+    _record("fleet_throughput_rps_workers2", rps[2])
+    _record("fleet_scaling_workers_1_to_2", scaling)
+    _record("fleet_bench_cores", float(os.cpu_count() or 1))
+    print(f"\nfleet scaling: workers=1 {rps[1]:.0f} req/s, "
+          f"workers=2 {rps[2]:.0f} req/s -> {scaling:.2f}x "
+          f"({os.cpu_count()} core(s))")
+
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("single-core machine: scaling gate needs >= 2 cores "
+                    "(numbers recorded above)")
+    assert scaling >= FLEET_MIN_SCALING, (
+        f"fleet scaling regressed: 1 -> 2 workers only {scaling:.2f}x "
+        f"(floor {FLEET_MIN_SCALING}x)")

@@ -58,6 +58,7 @@ from .engine_store import (
     WORKERS_ENV,
     env_flag,
     env_int,
+    resolve_store,
 )
 from .mac.base import resolve_precision
 from .performance_model import (
@@ -384,7 +385,7 @@ def _flush_pending_stores() -> None:
         if not store.dirty:
             continue
         try:
-            EngineStore(cache_dir).save(
+            resolve_store(cache_dir).save(
                 fingerprint, dict(store.cells), dict(store.summaries))
             store.dirty = 0
         except OSError:        # pragma: no cover - exit-time best effort
@@ -549,8 +550,8 @@ class EvaluationEngine:
         return env_flag(PERSIST_ENV)
 
     def _disk_store(self, cache_dir: Optional[os.PathLike]) -> EngineStore:
-        return EngineStore(cache_dir if cache_dir is not None
-                           else self.cache_dir)
+        return resolve_store(cache_dir if cache_dir is not None
+                             else self.cache_dir)
 
     def _load_disk(self, disk: EngineStore) -> None:
         """Lazily merge the persisted cells for this fingerprint.

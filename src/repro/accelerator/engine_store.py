@@ -37,7 +37,7 @@ from .. import config
 
 __all__ = ["CACHE_SCHEMA_VERSION", "EngineStore", "default_cache_dir",
            "env_flag", "env_int", "fingerprint_digest",
-           "model_constants_digest"]
+           "model_constants_digest", "resolve_store"]
 
 #: Bump when the on-disk payload layout (or the meaning of its keys) changes.
 CACHE_SCHEMA_VERSION = 1
@@ -107,6 +107,27 @@ def model_constants_digest() -> str:
 def fingerprint_digest(fingerprint: Tuple) -> str:
     """Stable cross-process file-name digest of a configuration fingerprint."""
     return hashlib.sha256(repr(fingerprint).encode()).hexdigest()[:20]
+
+
+def resolve_store(cache_dir: Optional[os.PathLike] = None):
+    """The persistence backend for ``cache_dir`` under the current environment.
+
+    The single injection point between the evaluation engine and its
+    storage: plain directories get a local :class:`EngineStore`, while a
+    non-empty ``REPRO_ENGINE_STORE_SOCKET`` — or a ``cache_dir`` already
+    spelled ``socket://<path>`` (how a deferred flush re-resolves a remote
+    attachment) — yields a
+    :class:`~repro.accelerator.store_service.RemoteEngineStore` brokering
+    through the shared store service instead.
+    """
+    if cache_dir is not None and str(cache_dir).startswith("socket://"):
+        from .store_service import RemoteEngineStore
+        return RemoteEngineStore(str(cache_dir)[len("socket://"):])
+    socket_path = config.engine_store_socket()
+    if socket_path:
+        from .store_service import RemoteEngineStore
+        return RemoteEngineStore(socket_path)
+    return EngineStore(cache_dir)
 
 
 class EngineStore:

@@ -1,0 +1,278 @@
+"""Socket service fronting one shared :class:`EngineStore`.
+
+A fleet of serving workers (or several CI legs on one runner) each keep
+their own :class:`~repro.accelerator.engine.EvaluationEngine`; without
+coordination every process re-reads — and on flush re-merges — the same
+cache files.  This module puts one process in charge of the files and lets
+everyone else warm-start through it:
+
+* :class:`EngineStoreServer` binds a Unix socket next to the cache
+  directory it owns and answers ``load`` / ``save`` / ``ping`` requests,
+  serialising all file access through the one :class:`EngineStore` it
+  wraps (requests are handled on a thread per connection; the store's
+  atomic-rename writes make concurrent ``save`` safe anyway).
+* :class:`RemoteEngineStore` is a drop-in for :class:`EngineStore` on the
+  client side — same ``load`` / ``save`` signatures — speaking a
+  length-prefixed pickle protocol over the socket.  A dead or missing
+  service degrades to a cold start (``load`` returns ``None``, ``save``
+  is dropped) with a single warning, never an exception: persistence is
+  an accelerator, not a dependency.
+
+Activation is environment-driven: when ``REPRO_ENGINE_STORE_SOCKET`` names
+a socket path, :func:`repro.accelerator.engine_store.resolve_store` hands
+the engine a :class:`RemoteEngineStore` instead of direct file access.
+
+Run standalone with ``python -m repro.accelerator.store_service SOCKET
+[CACHE_DIR]``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import threading
+import warnings
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from .engine_store import EngineStore
+
+__all__ = ["EngineStoreServer", "RemoteEngineStore", "StoreProtocolError"]
+
+#: Frame = 4-byte little-endian payload length + pickled payload.
+_LENGTH = struct.Struct("<I")
+
+#: Refuse absurd frames instead of allocating unbounded buffers when a
+#: non-protocol peer connects to the socket.
+_MAX_FRAME = 1 << 30
+
+
+class StoreProtocolError(RuntimeError):
+    """The peer sent a frame the store protocol cannot interpret."""
+
+
+def _recv_exact(conn: socket.socket, nbytes: int) -> bytes:
+    chunks = []
+    remaining = nbytes
+    while remaining:
+        chunk = conn.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("engine-store peer closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _send_frame(conn: socket.socket, payload: object) -> None:
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    conn.sendall(_LENGTH.pack(len(blob)) + blob)
+
+
+def _recv_frame(conn: socket.socket) -> object:
+    header = _recv_exact(conn, _LENGTH.size)
+    (nbytes,) = _LENGTH.unpack(header)
+    if nbytes > _MAX_FRAME:
+        raise StoreProtocolError(f"frame of {nbytes} bytes exceeds limit")
+    return pickle.loads(_recv_exact(conn, nbytes))
+
+
+class EngineStoreServer:
+    """Serve one :class:`EngineStore` over a Unix socket.
+
+    The server owns the socket path: a stale file from a previous run is
+    unlinked on :meth:`start`, and the path is removed again on
+    :meth:`close`.  Each accepted connection gets a daemon thread that
+    answers request frames until the peer disconnects, so one client
+    holding a connection open does not block others.
+    """
+
+    def __init__(self, socket_path: os.PathLike,
+                 store: Optional[EngineStore] = None,
+                 cache_dir: Optional[os.PathLike] = None) -> None:
+        self.socket_path = Path(socket_path)
+        self.store = store if store is not None else EngineStore(cache_dir)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._closed = threading.Event()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "EngineStoreServer":
+        if self._listener is not None:
+            return self
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self.socket_path.unlink()
+        except FileNotFoundError:
+            pass
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(self.socket_path))
+        listener.listen(16)
+        self._listener = listener
+        self._closed.clear()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="engine-store-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def close(self) -> None:
+        self._closed.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "EngineStoreServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._closed.is_set() and listener is not None:
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(target=self._serve_connection, args=(conn,),
+                             name="engine-store-conn", daemon=True).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while not self._closed.is_set():
+                try:
+                    request = _recv_frame(conn)
+                except (ConnectionError, OSError):
+                    return
+                except Exception as error:
+                    try:
+                        _send_frame(conn, ("err", repr(error)))
+                    except OSError:
+                        pass
+                    return
+                try:
+                    reply = ("ok", self._dispatch(request))
+                except Exception as error:
+                    reply = ("err", repr(error))
+                try:
+                    _send_frame(conn, reply)
+                except OSError:
+                    return
+
+    def _dispatch(self, request: object) -> object:
+        if not isinstance(request, tuple) or not request:
+            raise StoreProtocolError(f"malformed request {request!r}")
+        op = request[0]
+        if op == "ping":
+            return "pong"
+        if op == "load":
+            (_, fingerprint) = request
+            return self.store.load(fingerprint)
+        if op == "save":
+            (_, fingerprint, cells, summaries, merge) = request
+            return str(self.store.save(fingerprint, cells, summaries,
+                                       merge=merge))
+        raise StoreProtocolError(f"unknown op {op!r}")
+
+
+class RemoteEngineStore:
+    """Client-side :class:`EngineStore` twin speaking to a store service.
+
+    One short-lived connection per call keeps the client state-free (no
+    reconnect logic, safe across forks).  When the service is unreachable
+    the store degrades to cold-start semantics and warns once per
+    instance; subsequent calls stay silent so a fleet without a service
+    does not spam every worker's log.
+    """
+
+    def __init__(self, socket_path: os.PathLike) -> None:
+        self.socket_path = Path(socket_path)
+        self._warned = False
+
+    @property
+    def cache_dir(self) -> str:
+        """Identity token mirroring ``EngineStore.cache_dir``.
+
+        The engine dedups persistence attachments by ``str(cache_dir)``,
+        so two engines pointed at the same service share one identity.
+        """
+        return f"socket://{self.socket_path}"
+
+    # ------------------------------------------------------------------
+    def _call(self, request: tuple) -> Optional[object]:
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
+                conn.settimeout(30.0)
+                conn.connect(str(self.socket_path))
+                _send_frame(conn, request)
+                reply = _recv_frame(conn)
+        except (OSError, ConnectionError, pickle.PickleError) as error:
+            if not self._warned:
+                self._warned = True
+                warnings.warn(
+                    f"engine-store service at {self.socket_path} is "
+                    f"unreachable ({error!r}); continuing with a cold "
+                    f"cache", stacklevel=3)
+            return None
+        if (not isinstance(reply, tuple) or len(reply) != 2
+                or reply[0] not in ("ok", "err")):
+            raise StoreProtocolError(f"malformed reply {reply!r}")
+        status, value = reply
+        if status == "err":
+            raise StoreProtocolError(f"engine-store service error: {value}")
+        return value
+
+    def ping(self) -> bool:
+        return self._call(("ping",)) == "pong"
+
+    def load(self, fingerprint: Tuple
+             ) -> Optional[Tuple["Dict", Dict]]:
+        result = self._call(("load", fingerprint))
+        if result is None:
+            return None
+        cells, summaries = result
+        return cells, summaries
+
+    def save(self, fingerprint: Tuple, cells: Dict, summaries: Dict,
+             merge: bool = True) -> Optional[str]:
+        return self._call(("save", fingerprint, dict(cells),
+                           dict(summaries), merge))
+
+
+def main(argv: Optional[list] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="serve an engine cache directory over a Unix socket")
+    parser.add_argument("socket", help="socket path to bind")
+    parser.add_argument("cache_dir", nargs="?", default=None,
+                        help="cache directory (default: REPRO_ENGINE_CACHE_DIR"
+                             " or ~/.cache/repro/engine)")
+    options = parser.parse_args(argv)
+    server = EngineStoreServer(options.socket, cache_dir=options.cache_dir)
+    server.start()
+    print(f"engine store service on {options.socket} "
+          f"(cache {server.store.cache_dir})", flush=True)
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

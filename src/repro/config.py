@@ -47,7 +47,19 @@ Inference / serving (:mod:`repro.inference`, :mod:`repro.serving`):
 ``REPRO_SERVING_MAX_BATCH``     Micro-batching window of the RPS server
                                 (default 64 requests per coalesced batch).
 ``REPRO_SERVING_MAX_DELAY_MS``  How long a queued request may wait for its
-                                batch to fill (default 2.0 ms).
+                                batch to fill (default 2.0 ms; ``0`` switches
+                                the fleet to deterministic count-only batch
+                                cuts).
+``REPRO_SERVING_WORKERS``       Worker *processes* of the serving fleet
+                                (default 1 = the in-process dispatcher;
+                                ``>1`` shards requests by drawn precision
+                                over ``repro.serving.fleet``).
+``REPRO_SERVING_RING_MB``       Per-direction shared-memory ring capacity in
+                                MiB for fleet tensor transport (default 8).
+``REPRO_SERVING_TRANSPORT``     ``shm`` (default) moves tensors through
+                                shared-memory rings; ``inline`` forces the
+                                pickled control-pipe path (the fallback that
+                                full/oversized rings degrade to anyway).
 
 Accelerator evaluation engine (:mod:`repro.accelerator`):
 
@@ -56,6 +68,12 @@ Accelerator evaluation engine (:mod:`repro.accelerator`):
 ``REPRO_ENGINE_PERSIST``        Truthy value backs every engine memo with the
                                 on-disk store.
 ``REPRO_ENGINE_CACHE_DIR``      Store root (default ``~/.cache/repro/engine``).
+``REPRO_ENGINE_STORE_SOCKET``   When set to a Unix-socket path, engine
+                                persistence goes through the shared
+                                :mod:`repro.accelerator.store_service`
+                                instead of this process's own files, so a
+                                fleet of workers (or CI legs) warm-start
+                                from one cache.
 
 Benchmarks:
 
@@ -85,9 +103,13 @@ __all__ = [
     "infer_fold_bn",
     "serving_max_batch",
     "serving_max_delay_ms",
+    "serving_workers",
+    "serving_ring_mb",
+    "serving_transport",
     "engine_workers",
     "engine_persist",
     "engine_cache_dir",
+    "engine_store_socket",
 ]
 
 # ---------------------------------------------------------------------------
@@ -230,6 +252,30 @@ def serving_max_delay_ms() -> float:
     return max(0.0, env_float("REPRO_SERVING_MAX_DELAY_MS", 2.0))
 
 
+#: Valid values of ``REPRO_SERVING_TRANSPORT``.
+SERVING_TRANSPORTS = ("shm", "inline")
+
+
+def serving_workers() -> int:
+    """Worker-process count of the serving fleet (``REPRO_SERVING_WORKERS``,
+    default 1 = the single-process asyncio dispatcher).  Clamped to >= 1."""
+    return max(1, env_int("REPRO_SERVING_WORKERS", 1))
+
+
+def serving_ring_mb() -> float:
+    """Per-direction shared-memory ring capacity in MiB for the fleet's
+    tensor transport (``REPRO_SERVING_RING_MB``, default 8; clamped to a
+    minimum large enough for one small frame)."""
+    return max(0.001, env_float("REPRO_SERVING_RING_MB", 8.0))
+
+
+def serving_transport() -> str:
+    """Fleet tensor transport (``REPRO_SERVING_TRANSPORT``): ``shm`` rings
+    (default) or the ``inline`` pickled control-pipe fallback.  An invalid
+    value warns and falls back to ``shm``."""
+    return env_choice("REPRO_SERVING_TRANSPORT", "shm", SERVING_TRANSPORTS)
+
+
 # ---------------------------------------------------------------------------
 # Accelerator evaluation engine
 # ---------------------------------------------------------------------------
@@ -253,3 +299,14 @@ def engine_cache_dir() -> Path:
     if override:
         return Path(override).expanduser()
     return Path.home() / ".cache" / "repro" / "engine"
+
+
+def engine_store_socket() -> str:
+    """Unix-socket path of a shared engine-store service
+    (``REPRO_ENGINE_STORE_SOCKET``; empty = use this process's own files).
+
+    When non-empty, every engine persistence load/flush is brokered through
+    :mod:`repro.accelerator.store_service` at this address, giving a worker
+    fleet (and CI legs on one runner) a single warm cache.
+    """
+    return env_str("REPRO_ENGINE_STORE_SOCKET", "")

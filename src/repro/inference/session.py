@@ -165,6 +165,22 @@ class InferenceSession:
     def cached_plan_keys(self) -> List[object]:
         return sorted(self._plans.keys(), key=repr)
 
+    def warm(self, precisions: Sequence[PrecisionLike],
+             input_shape: Sequence[int]) -> List[object]:
+        """Prebuild the compiled plans for ``precisions`` in one pass.
+
+        The warm-start hook of the serving fleet: a freshly spawned (or
+        respawned) worker compiles the plans for its affinity precisions
+        before traffic arrives, so its first batch pays no trace/quantise/
+        repack latency.  ``input_shape`` is the (N, C, H, W) the topology
+        trace is seeded with; the staleness check runs once for the whole
+        sweep.  Returns the cache keys now warm.
+        """
+        self.refresh()
+        for precision in precisions:
+            self._plan(_as_precision(precision), tuple(input_shape))
+        return self.cached_plan_keys
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------

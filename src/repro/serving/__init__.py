@@ -5,14 +5,31 @@ item on top of :mod:`repro.inference`: :class:`RPSServer` coalesces incoming
 single-input requests into per-precision micro-batches executed through
 compiled plans, and :func:`plan_precision_schedule` picks the serving
 precision set from the evaluation engine's cached accelerator metrics.
+
+:mod:`repro.serving.fleet` scales the same contract across worker
+*processes*: :class:`FleetServer` shards requests by drawn precision over N
+workers (each owning its own plan cache), moves tensors through
+:class:`~repro.serving.transport.TensorRing` shared-memory rings, and
+survives worker death by respawning and requeueing in-flight requests.
+``RPSServer(workers=N)`` delegates to it transparently.
 """
 
+from .fleet import (FleetConfig, FleetError, FleetServer,
+                    RemoteExecutionError, WorkerCrashError)
 from .scheduler import PrecisionSchedule, plan_precision_schedule
 from .server import RPSServer, ServingConfig
+from .transport import RingDataError, TensorRing
 
 __all__ = [
+    "FleetConfig",
+    "FleetError",
+    "FleetServer",
     "PrecisionSchedule",
     "RPSServer",
+    "RemoteExecutionError",
+    "RingDataError",
     "ServingConfig",
+    "TensorRing",
+    "WorkerCrashError",
     "plan_precision_schedule",
 ]

@@ -1,0 +1,741 @@
+"""Multi-process RPS serving fleet: precision-sharded worker pool.
+
+:class:`RPSServer` batches well, but executes every plan on one worker
+thread of one process — the wrong shape for the ROADMAP's heavy-traffic
+target.  :class:`FleetServer` is the process-pool tier above it:
+
+* **N worker processes**, each owning its own
+  :class:`~repro.inference.InferenceSession` (plans, quantised-weight caches
+  and workspace arenas are per-process, so workers never contend),
+* **precision-affinity sharding** — the supervisor draws each request's
+  precision from the seeded stream *at submission* (same stream as
+  ``RPSServer``) and routes it to the worker that owns that precision.
+  Plans are compiled per precision, so affinity maximises plan-cache and
+  micro-batch locality: a worker only ever executes the precisions it owns,
+* **shared-memory tensor transport** — input/output tensors move through
+  per-worker :class:`~repro.serving.transport.TensorRing` segments instead
+  of the pickling pipe; only tiny descriptors travel in control messages.
+  Full/oversized rings (and torn frames) degrade per-tensor to the inline
+  pickled path,
+* **a supervising respawn loop** — worker death (crash, OOM-kill, SIGKILL)
+  is detected as EOF on the worker's control pipe; the supervisor forks a
+  replacement and *requeues every in-flight request of the dead worker in
+  original submission order*, so every accepted future resolves (drop-free,
+  the ``RPSServer`` shutdown-drain guarantee held fleet-wide).
+
+Determinism contract (pinned by ``tests/test_fleet.py`` and the chaos
+suite): the precision-draw stream lives in the **supervisor**, so it is a
+pure function of (seed, submission order) — worker count, worker death and
+respawns never consume or reorder draws.  Label-level determinism
+additionally needs deterministic micro-batch *composition*, because
+activation-quantiser ranges are batch-global: with ``max_delay_ms=0``
+batches are cut purely by count (every ``max_batch`` requests of one
+precision, plus a final drain flush), which makes the full result stream a
+pure function of (seed, submission order, ``max_batch``) — identical across
+``workers=1/2/4`` and across a respawn.  With a non-zero delay, batch cuts
+become timing-dependent (the usual latency/throughput trade).
+
+The fleet uses the ``fork`` start method: workers inherit the live model
+(weights included) without pickling, and a respawned worker re-inherits the
+supervisor's current state.  This is a Linux-first design, like the rest of
+the native stack.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import config
+from ..inference import InferenceSession
+from ..nn.module import Module
+from ..quantization.precision import Precision, PrecisionSet
+from .scheduler import PrecisionSchedule, plan_precision_schedule
+from .transport import RingDataError, TensorRing
+
+__all__ = ["FleetConfig", "FleetServer", "FleetError", "WorkerCrashError",
+           "RemoteExecutionError"]
+
+
+class FleetError(RuntimeError):
+    """Supervisor-side fleet failure (drain timeout, bad lifecycle call)."""
+
+
+class WorkerCrashError(FleetError):
+    """A worker died more times than ``max_restarts`` allows; the in-flight
+    requests of its final incarnation fail with this."""
+
+
+class RemoteExecutionError(RuntimeError):
+    """A worker-side exception that could not be pickled back verbatim."""
+
+
+@dataclass
+class FleetConfig:
+    """Tuning knobs of the process-pool serving tier."""
+
+    #: Worker processes (``REPRO_SERVING_WORKERS``; 1 is a degenerate but
+    #: valid fleet — useful as the determinism baseline).
+    workers: int = field(default_factory=config.serving_workers)
+    #: Per-precision micro-batch cut (same knob as the asyncio server).
+    max_batch: int = field(default_factory=config.serving_max_batch)
+    #: Max time a buffered request waits for its batch to fill.  ``0``
+    #: switches to deterministic count-only batch cuts (see module docs).
+    max_delay_ms: float = field(default_factory=config.serving_max_delay_ms)
+    #: Seed of the supervisor-side precision draw stream.
+    seed: int = 0
+    #: Per-direction shared-memory ring capacity (MiB).
+    ring_mb: float = field(default_factory=config.serving_ring_mb)
+    #: ``shm`` rings or the ``inline`` pickled-pipe fallback.
+    transport: str = field(default_factory=config.serving_transport)
+    #: Respawn budget per worker slot before its in-flight requests fail.
+    max_restarts: int = 3
+    #: Optional (C, H, W) of incoming requests: lets workers warm their
+    #: affinity precisions' compiled plans at spawn instead of first use.
+    input_shape: Optional[Tuple[int, ...]] = None
+    #: How many recent request latencies the stats window keeps.
+    latency_window: int = 16384
+    #: How long ``close()`` waits for the fleet-wide drain before failing
+    #: the stragglers.
+    drain_timeout_s: float = 120.0
+
+
+class _PendingRequest:
+    __slots__ = ("seq", "x", "precision", "future", "enqueued_at")
+
+    def __init__(self, seq: int, x: np.ndarray, precision: Precision,
+                 future: Future, enqueued_at: float) -> None:
+        self.seq = seq
+        self.x = x
+        self.precision = precision
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+_STOP = object()
+
+
+class _WorkerHandle:
+    """Supervisor-side state of one worker slot incarnation."""
+
+    __slots__ = ("slot", "generation", "process", "conn", "req_ring",
+                 "resp_ring", "resp_consumed", "pending", "outbox",
+                 "sender", "listener", "restarts", "drain_requested",
+                 "flush_requested", "drained", "exited")
+
+    def __init__(self, slot: int, generation: int, restarts: int) -> None:
+        self.slot = slot
+        self.generation = generation
+        self.restarts = restarts
+        self.process = None
+        self.conn = None
+        self.req_ring: Optional[TensorRing] = None
+        self.resp_ring: Optional[TensorRing] = None
+        self.resp_consumed = 0           # bytes we read from resp_ring
+        self.pending: "OrderedDict[int, _PendingRequest]" = OrderedDict()
+        self.outbox: "queue.Queue" = queue.Queue()
+        self.sender: Optional[threading.Thread] = None
+        self.listener: Optional[threading.Thread] = None
+        self.drain_requested = False
+        self.flush_requested = False
+        self.drained = False
+        self.exited = False
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+def _pack_exception(error: BaseException) -> Tuple[Optional[bytes], str]:
+    try:
+        return pickle.dumps(error), repr(error)
+    except Exception:
+        return None, repr(error)
+
+
+def _unpack_exception(payload: Optional[bytes], text: str) -> BaseException:
+    if payload is not None:
+        try:
+            error = pickle.loads(payload)
+            if isinstance(error, BaseException):
+                return error
+        except Exception:
+            pass
+    return RemoteExecutionError(text)
+
+
+def _worker_main(slot: int, model: Module, cfg: FleetConfig, conn,
+                 req_ring: Optional[TensorRing],
+                 resp_ring: Optional[TensorRing],
+                 warm_precisions: Sequence[Precision]) -> None:
+    """Worker loop: buffer per precision, flush by count/delay/drain.
+
+    Runs in a forked child; exits via ``os._exit`` so no inherited atexit
+    hooks (engine flushes, benchmark recorders) fire from worker processes.
+    """
+    exit_code = 0
+    try:
+        session = InferenceSession(model)
+        if cfg.input_shape is not None and warm_precisions:
+            session.warm(warm_precisions, (1, *cfg.input_shape))
+        max_delay = max(0.0, float(cfg.max_delay_ms)) / 1000.0
+        # precision.key -> [precision, [(seq, x), ...], deadline]
+        buffers: "OrderedDict[object, list]" = OrderedDict()
+        req_consumed = 0                 # bytes consumed from req_ring
+
+        def flush(buf) -> None:
+            precision, items, _ = buf
+            buf[1] = []
+            buf[2] = None
+            seqs = [seq for seq, _ in items]
+            try:
+                batch = np.stack([x for _, x in items])
+                labels = session.predict(batch, precision).astype(np.int64)
+            except Exception as error:
+                payload, text = _pack_exception(error)
+                conn.send(("err", seqs, payload, text, req_consumed))
+                return
+            descriptor = None
+            if resp_ring is not None:
+                descriptor = resp_ring.write(seqs[0], labels)
+            out = ("ring", descriptor) if descriptor is not None \
+                else ("inline", labels)
+            conn.send(("done", seqs, out, len(seqs), req_consumed))
+
+        while True:
+            timeout = None
+            if max_delay > 0.0:
+                deadlines = [buf[2] for buf in buffers.values() if buf[1]]
+                if deadlines:
+                    timeout = max(0.0, min(deadlines) - time.monotonic())
+            if conn.poll(timeout):
+                message = conn.recv()
+                kind = message[0]
+                if kind == "req":
+                    _, seq, precision, payload, resp_free = message
+                    if resp_ring is not None:
+                        resp_ring.free_to(resp_free)
+                    try:
+                        if payload[0] == "ring":
+                            descriptor = payload[1]
+                            x = req_ring.read(descriptor, seq)
+                            req_consumed = max(req_consumed,
+                                               descriptor[0] + descriptor[1])
+                        else:
+                            x = payload[1]
+                    except RingDataError as error:
+                        data, text = _pack_exception(error)
+                        conn.send(("err", [seq], data, text, req_consumed))
+                        continue
+                    buf = buffers.get(precision.key)
+                    if buf is None:
+                        buf = buffers[precision.key] = [precision, [], None]
+                    buf[1].append((seq, x))
+                    if buf[2] is None and max_delay > 0.0:
+                        buf[2] = time.monotonic() + max_delay
+                    if len(buf[1]) >= cfg.max_batch:
+                        flush(buf)
+                elif kind == "flush":
+                    _, resp_free = message
+                    if resp_ring is not None:
+                        resp_ring.free_to(resp_free)
+                    for buf in buffers.values():
+                        if buf[1]:
+                            flush(buf)
+                elif kind == "drain":
+                    _, _final, resp_free = message
+                    if resp_ring is not None:
+                        resp_ring.free_to(resp_free)
+                    for buf in buffers.values():
+                        if buf[1]:
+                            flush(buf)
+                    conn.send(("drained", req_consumed))
+                    break
+            else:
+                now = time.monotonic()
+                for buf in buffers.values():
+                    if buf[1] and buf[2] is not None and buf[2] <= now:
+                        flush(buf)
+    except (EOFError, OSError, KeyboardInterrupt):
+        exit_code = 1                    # supervisor vanished mid-recv/send
+    except BaseException:
+        exit_code = 2                    # startup/systematic failure
+        import traceback
+        traceback.print_exc()
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+        os._exit(exit_code)
+
+
+# ---------------------------------------------------------------------------
+# Supervisor
+# ---------------------------------------------------------------------------
+
+class FleetServer:
+    """Precision-sharded multi-process serving fleet (see module docs).
+
+    Synchronous API: :meth:`submit` returns a
+    :class:`concurrent.futures.Future` resolving to the predicted label.
+    ``RPSServer(workers=N)`` wraps this class behind the existing asyncio
+    interface.
+    """
+
+    def __init__(self, model: Module, precision_set: PrecisionSet,
+                 fleet_config: Optional[FleetConfig] = None) -> None:
+        self.model = model
+        self.precision_set = precision_set
+        self.config = fleet_config or FleetConfig()
+        if self.config.workers < 1:
+            raise ValueError("a fleet needs at least one worker")
+        if self.config.transport not in config.SERVING_TRANSPORTS:
+            raise ValueError(f"unknown transport {self.config.transport!r}")
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError as error:        # pragma: no cover - non-Linux
+            raise FleetError(
+                "the serving fleet requires the fork start method "
+                "(Linux); use RPSServer(workers=1) here") from error
+        self.rng = np.random.default_rng(self.config.seed)
+        self._cond = threading.Condition()
+        self._slots: List[Optional[_WorkerHandle]] = []
+        self._affinity: Dict[object, int] = {}
+        self._started = False
+        self._closing = False
+        self._next_seq = 0
+        # --- metrics (all guarded by _cond's lock) ---
+        self._latencies: Deque[float] = deque(maxlen=self.config.latency_window)
+        self._batch_sizes: Deque[int] = deque(maxlen=self.config.latency_window)
+        self._precision_counts: Dict[object, int] = {}
+        self._completed = 0
+        self._failed = 0
+        self._respawns = 0
+        self._ring_frames = 0
+        self._inline_fallbacks = 0
+        self._started_at: Optional[float] = None
+        self._last_done_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "FleetServer":
+        with self._cond:
+            if self._started:
+                return self
+            if self._closing:
+                raise FleetError("fleet already closed; build a new one")
+            self._rebuild_affinity()
+            self._slots = [None] * self.config.workers
+            for slot in range(self.config.workers):
+                self._spawn_locked(slot, restarts=0)
+            self._started = True
+            self._started_at = time.perf_counter()
+        return self
+
+    def close(self) -> None:
+        """Drain every accepted request fleet-wide, then stop all workers.
+
+        Drop-free drain guarantee: ``submit`` rejects once ``close`` has
+        begun; each worker receives its drain sentinel *behind* every
+        already-routed request, flushes its partial batches and exits; a
+        worker that dies mid-drain is respawned, its in-flight requests
+        requeued, and the drain re-sent — so every accepted future resolves
+        before ``close`` returns (with its label, or exceptionally after
+        ``max_restarts`` crashes).
+        """
+        with self._cond:
+            if not self._started:
+                return
+            self._closing = True
+            for handle in self._slots:
+                if handle is not None and not handle.exited:
+                    handle.drain_requested = True
+                    handle.outbox.put(("drain",))
+            deadline = time.monotonic() + self.config.drain_timeout_s
+            while not all(h is None or h.exited for h in self._slots):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._force_stop_locked()
+                    raise FleetError(
+                        f"fleet drain timed out after "
+                        f"{self.config.drain_timeout_s:.0f}s")
+                self._cond.wait(timeout=min(remaining, 0.5))
+            self._started = False
+
+    def _force_stop_locked(self) -> None:
+        for handle in self._slots:
+            if handle is None:
+                continue
+            for request in handle.pending.values():
+                if not request.future.done():
+                    request.future.set_exception(
+                        FleetError("fleet drain timed out"))
+            handle.pending.clear()
+            handle.outbox.put(_STOP)
+            if handle.process is not None and handle.process.is_alive():
+                handle.process.terminate()
+            try:
+                handle.conn.close()
+            except Exception:
+                pass
+            for ring in (handle.req_ring, handle.resp_ring):
+                if ring is not None:
+                    ring.close()
+            handle.exited = True
+        self._started = False
+
+    def __enter__(self) -> "FleetServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Spawning / respawning
+    # ------------------------------------------------------------------
+    def _rebuild_affinity(self) -> None:
+        """Precision -> worker slot, round-robin over the set's order.
+
+        One precision never spans two workers (plan-cache locality and the
+        determinism contract both depend on it); a worker may own several
+        precisions when the set is larger than the fleet.
+        """
+        self._affinity = {p.key: i % self.config.workers
+                          for i, p in enumerate(self.precision_set)}
+
+    def _warm_precisions_for(self, slot: int) -> List[Precision]:
+        return [p for p in self.precision_set
+                if self._affinity.get(p.key) == slot]
+
+    def _spawn_locked(self, slot: int, restarts: int) -> _WorkerHandle:
+        old = self._slots[slot] if self._slots[slot] is not None else None
+        generation = 0 if old is None else old.generation + 1
+        handle = _WorkerHandle(slot, generation, restarts)
+        sup_conn, wrk_conn = self._ctx.Pipe(duplex=True)
+        handle.conn = sup_conn
+        if self.config.transport == "shm":
+            capacity = max(4096, int(self.config.ring_mb * (1 << 20)))
+            handle.req_ring = TensorRing.create(capacity)
+            handle.resp_ring = TensorRing.create(capacity)
+        handle.process = self._ctx.Process(
+            target=_worker_main,
+            args=(slot, self.model, self.config, wrk_conn, handle.req_ring,
+                  handle.resp_ring, self._warm_precisions_for(slot)),
+            daemon=True, name=f"rps-fleet-{slot}-g{generation}")
+        handle.process.start()
+        # Close the supervisor's copy of the worker end right away: EOF on
+        # sup_conn is the death signal, and it only fires once every copy
+        # of wrk_conn is gone.
+        wrk_conn.close()
+        handle.sender = threading.Thread(target=self._sender_loop,
+                                         args=(handle,), daemon=True,
+                                         name=f"fleet-send-{slot}")
+        handle.listener = threading.Thread(target=self._listener_loop,
+                                           args=(handle,), daemon=True,
+                                           name=f"fleet-recv-{slot}")
+        self._slots[slot] = handle
+        handle.sender.start()
+        handle.listener.start()
+        return handle
+
+    def _respawn_locked(self, dead: _WorkerHandle) -> None:
+        """Replace a dead worker and requeue its in-flight requests.
+
+        Requeueing preserves original submission order, and results only
+        ever resolve from a ``done`` message, so re-executing a batch the
+        dead worker had finished-but-not-reported is invisible to callers.
+        """
+        pending = dead.pending
+        dead.pending = OrderedDict()
+        self._respawns += 1
+        handle = self._spawn_locked(dead.slot, restarts=dead.restarts + 1)
+        handle.pending = pending
+        handle.drain_requested = dead.drain_requested
+        handle.flush_requested = dead.flush_requested
+        for request in pending.values():
+            handle.outbox.put(("req", request))
+        if handle.flush_requested:
+            # A flush issued before the crash may have died with the worker;
+            # conservatively re-flush behind the requeued requests so no
+            # flush-waiter hangs (see the flush() determinism caveat).
+            handle.outbox.put(("flush",))
+        if handle.drain_requested:
+            handle.outbox.put(("drain",))
+
+    def _on_worker_exit(self, handle: _WorkerHandle) -> None:
+        if handle.process is not None:
+            handle.process.join(timeout=10.0)
+        handle.outbox.put(_STOP)
+        with self._cond:
+            if handle.exited:
+                return
+            try:
+                handle.conn.close()
+            except Exception:
+                pass
+            for ring in (handle.req_ring, handle.resp_ring):
+                if ring is not None:
+                    ring.close()
+            if handle.drained and not handle.pending:
+                handle.exited = True            # clean post-drain exit
+            elif handle.restarts >= self.config.max_restarts:
+                error = WorkerCrashError(
+                    f"fleet worker {handle.slot} died "
+                    f"{handle.restarts + 1} times (max_restarts="
+                    f"{self.config.max_restarts}); failing its "
+                    f"{len(handle.pending)} in-flight request(s)")
+                for request in handle.pending.values():
+                    self._failed += 1
+                    if not request.future.done():
+                        request.future.set_exception(error)
+                handle.pending.clear()
+                handle.exited = True
+            else:
+                handle.exited = True
+                self._respawn_locked(handle)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Sender / listener threads
+    # ------------------------------------------------------------------
+    def _sender_loop(self, handle: _WorkerHandle) -> None:
+        while True:
+            item = handle.outbox.get()
+            if item is _STOP:
+                return
+            try:
+                if item[0] == "req":
+                    request: _PendingRequest = item[1]
+                    descriptor = None
+                    if handle.req_ring is not None:
+                        descriptor = handle.req_ring.write(request.seq,
+                                                           request.x)
+                    if descriptor is not None:
+                        payload = ("ring", descriptor)
+                    else:
+                        payload = ("inline", request.x)
+                    with self._cond:
+                        if descriptor is not None:
+                            self._ring_frames += 1
+                        else:
+                            self._inline_fallbacks += 1
+                    handle.conn.send(("req", request.seq, request.precision,
+                                      payload, handle.resp_consumed))
+                elif item[0] == "flush":
+                    handle.conn.send(("flush", handle.resp_consumed))
+                else:                        # drain
+                    handle.conn.send(("drain", True, handle.resp_consumed))
+            except (OSError, ValueError, BrokenPipeError):
+                # Worker died (or conn closed): everything unsent stays in
+                # `pending`, the respawn path re-primes a fresh outbox.
+                return
+
+    def _listener_loop(self, handle: _WorkerHandle) -> None:
+        while True:
+            try:
+                message = handle.conn.recv()
+            except (EOFError, OSError, ValueError):
+                break
+            kind = message[0]
+            if kind == "done":
+                self._on_done(handle, message)
+            elif kind == "err":
+                self._on_error(handle, message)
+            elif kind == "drained":
+                with self._cond:
+                    if handle.req_ring is not None:
+                        handle.req_ring.free_to(message[1])
+                    handle.drained = True
+                    self._cond.notify_all()
+        self._on_worker_exit(handle)
+
+    def _on_done(self, handle: _WorkerHandle, message) -> None:
+        _, seqs, out, batch_size, req_consumed = message
+        try:
+            if out[0] == "ring":
+                labels = handle.resp_ring.read(out[1], seqs[0])
+                handle.resp_consumed = max(handle.resp_consumed,
+                                           out[1][0] + out[1][1])
+            else:
+                labels = out[1]
+        except RingDataError as error:
+            # Response payload corrupt: the worker has already dropped the
+            # batch from its buffers, so the honest outcome is failure.
+            self._resolve_error(handle, seqs, error)
+            return
+        done_at = time.perf_counter()
+        with self._cond:
+            if handle.req_ring is not None:
+                handle.req_ring.free_to(req_consumed)
+            self._last_done_at = done_at
+            self._batch_sizes.append(int(batch_size))
+            for seq, label in zip(seqs, labels):
+                request = handle.pending.pop(seq, None)
+                if request is None or request.future.done():
+                    continue
+                self._latencies.append(done_at - request.enqueued_at)
+                self._completed += 1
+                key = request.precision.key
+                self._precision_counts[key] = \
+                    self._precision_counts.get(key, 0) + 1
+                request.future.set_result(int(label))
+            self._cond.notify_all()
+
+    def _on_error(self, handle: _WorkerHandle, message) -> None:
+        _, seqs, payload, text, req_consumed = message
+        error = _unpack_exception(payload, text)
+        with self._cond:
+            if handle.req_ring is not None:
+                handle.req_ring.free_to(req_consumed)
+        self._resolve_error(handle, seqs, error)
+
+    def _resolve_error(self, handle: _WorkerHandle, seqs,
+                       error: BaseException) -> None:
+        with self._cond:
+            for seq in seqs:
+                request = handle.pending.pop(seq, None)
+                if request is None or request.future.done():
+                    continue
+                self._failed += 1
+                request.future.set_exception(error)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def draw_precision(self) -> Precision:
+        """Supervisor-side RPS draw (deterministic in submission order)."""
+        return self.precision_set.sample(self.rng)
+
+    def submit(self, x: np.ndarray) -> Future:
+        """Route one (C, H, W) input; resolves to the predicted label."""
+        with self._cond:
+            if not self._started or self._closing:
+                raise RuntimeError("fleet is not accepting requests; "
+                                   "call start() / build a new fleet")
+            precision = self.draw_precision()
+            seq = self._next_seq
+            self._next_seq += 1
+            handle = self._slots[self._affinity[precision.key]]
+            if handle.exited:
+                raise WorkerCrashError(
+                    f"worker {handle.slot} (owning precision "
+                    f"{precision.key!r}) exhausted its restart budget")
+            request = _PendingRequest(seq, np.asarray(x, dtype=np.float32),
+                                      precision, Future(),
+                                      time.perf_counter())
+            handle.pending[seq] = request
+            handle.outbox.put(("req", request))
+            return request.future
+
+    def submit_many(self, xs: Sequence[np.ndarray]) -> List[Future]:
+        return [self.submit(x) for x in xs]
+
+    def flush(self) -> None:
+        """Flush every partial micro-batch fleet-wide without draining.
+
+        Queued behind all already-routed requests per worker, so every
+        request submitted before ``flush()`` resolves without waiting for
+        ``close()`` — the round barrier of count-cut (``max_delay_ms=0``)
+        serving and the fleet benchmark.  Flush points chosen at
+        deterministic submission-order positions keep batch composition
+        (and therefore labels) deterministic; after a worker crash the
+        flush is conservatively re-sent behind the requeued requests, so
+        composition identity across a crash is only guaranteed for the
+        drain-aligned case.
+        """
+        with self._cond:
+            if not self._started:
+                return
+            for handle in self._slots:
+                if handle is not None and not handle.exited:
+                    handle.flush_requested = True
+                    handle.outbox.put(("flush",))
+
+    def inflight(self) -> int:
+        """Requests accepted but not yet resolved (chaos-test hook)."""
+        with self._cond:
+            return sum(len(h.pending) for h in self._slots if h is not None)
+
+    def worker_pids(self) -> List[Optional[int]]:
+        with self._cond:
+            return [h.process.pid if h is not None and h.process is not None
+                    else None for h in self._slots]
+
+    # ------------------------------------------------------------------
+    # Precision-set scheduling
+    # ------------------------------------------------------------------
+    def swap_precision_set(self, new_set: PrecisionSet) -> None:
+        """Hot-swap the RPS draw set fleet-wide.
+
+        In-flight requests keep the precision (and worker) they were routed
+        with; subsequent submissions draw from ``new_set`` and route through
+        the rebuilt affinity map.  Workers compile plans for genuinely new
+        precisions lazily on first batch.
+        """
+        with self._cond:
+            self.precision_set = new_set
+            self._rebuild_affinity()
+
+    def apply_precision_schedule(self, accelerator, layers,
+                                 caps: Sequence[Optional[int]] = (None, 12, 8),
+                                 min_fps: Optional[float] = None,
+                                 objective: str = "energy",
+                                 ) -> Tuple[PrecisionSchedule,
+                                            List[PrecisionSchedule]]:
+        """Re-plan the live precision set fleet-wide from engine metrics.
+
+        Identical semantics to ``RPSServer.apply_precision_schedule``; with
+        ``REPRO_ENGINE_STORE_SOCKET`` pointing at a shared store service the
+        scoring pass warm-starts from the fleet-wide cache.
+        """
+        chosen, candidates = plan_precision_schedule(
+            accelerator, layers, self.precision_set, caps=caps,
+            min_fps=min_fps, objective=objective)
+        self.swap_precision_set(chosen.precision_set)
+        return chosen, candidates
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Fleet-wide latency/throughput/batching/fault counters."""
+        with self._cond:
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            elapsed = ((self._last_done_at or time.perf_counter())
+                       - (self._started_at or time.perf_counter()))
+            return {
+                "workers": self.config.workers,
+                "completed": self._completed,
+                "failed": self._failed,
+                "respawns": self._respawns,
+                "throughput_rps": (self._completed / elapsed if elapsed > 0
+                                   else 0.0),
+                "latency_p50_ms": (float(np.percentile(latencies, 50)) * 1e3
+                                   if latencies.size else None),
+                "latency_p99_ms": (float(np.percentile(latencies, 99)) * 1e3
+                                   if latencies.size else None),
+                "mean_batch_size": (float(np.mean(self._batch_sizes))
+                                    if self._batch_sizes else 0.0),
+                "precision_counts": dict(sorted(
+                    self._precision_counts.items(),
+                    key=lambda kv: str(kv[0]))),
+                "active_precisions": list(self.precision_set.keys),
+                "transport": {
+                    "kind": self.config.transport,
+                    "ring_frames": self._ring_frames,
+                    "inline_fallbacks": self._inline_fallbacks,
+                },
+            }

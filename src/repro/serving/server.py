@@ -23,6 +23,13 @@ directly (:meth:`swap_precision_set`) or from accelerator metrics via
 evaluation engine's cached ``rps_average_metrics`` (Sec. 2.5's instant
 trade-off, driven by measured hardware numbers).  In-flight requests keep the
 precision they drew; only later submissions see the new set.
+
+With ``workers > 1`` (or ``REPRO_SERVING_WORKERS``) the server stops
+dispatching locally altogether and fronts a
+:class:`repro.serving.fleet.FleetServer`: submissions route to precision-
+sharded worker *processes* over shared-memory rings, while this class keeps
+its asyncio surface (``submit`` awaits the fleet future) and its drain and
+seeded-draw-determinism contracts — the fleet enforces both supervisor-side.
 """
 
 from __future__ import annotations
@@ -78,21 +85,27 @@ class RPSServer:
 
     def __init__(self, model: Module, precision_set: PrecisionSet,
                  serving_config: Optional[ServingConfig] = None,
-                 session: Optional[InferenceSession] = None) -> None:
+                 session: Optional[InferenceSession] = None,
+                 workers: Optional[int] = None) -> None:
         self.model = model
         self.precision_set = precision_set
         self.config = serving_config or ServingConfig()
+        self.workers = config.serving_workers() if workers is None \
+            else max(1, int(workers))
         self.session = session or InferenceSession(model)
         self.rng = np.random.default_rng(self.config.seed)
         self._queue: Optional[asyncio.Queue] = None
         self._dispatcher: Optional[asyncio.Task] = None
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._fleet = None               # FleetServer when workers > 1
+        self._drained_fleet_stats: Optional[Dict[str, object]] = None
         self._running = False
         # --- metrics ---
         self._latencies: Deque[float] = deque(maxlen=self.config.latency_window)
         self._batch_sizes: Deque[int] = deque(maxlen=self.config.latency_window)
         self._precision_counts: Dict[object, int] = {}
         self._completed = 0
+        self._failed = 0
         self._started_at: Optional[float] = None
         self._last_done_at: Optional[float] = None
 
@@ -102,6 +115,23 @@ class RPSServer:
     async def start(self) -> None:
         """Start the dispatcher; warm the plans for the current set."""
         if self._running:
+            return
+        if self.workers > 1:
+            # Process-pool mode: the fleet owns dispatching, sharding and
+            # the precision-draw stream (same seed, same sample sequence).
+            from .fleet import FleetConfig, FleetServer
+
+            self._fleet = FleetServer(
+                self.model, self.precision_set,
+                FleetConfig(workers=self.workers,
+                            max_batch=self.config.max_batch,
+                            max_delay_ms=self.config.max_delay_ms,
+                            seed=self.config.seed,
+                            latency_window=self.config.latency_window))
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._fleet.start)
+            self._running = True
+            self._started_at = time.perf_counter()
             return
         self._queue = asyncio.Queue()
         # One worker thread serialises session access (plan execution swaps
@@ -125,6 +155,14 @@ class RPSServer:
         if not self._running:
             return
         self._running = False
+        if self._fleet is not None:
+            # The fleet's close() blocks on the fleet-wide drain; run it off
+            # the event loop so in-flight futures can resolve meanwhile.
+            fleet, self._fleet = self._fleet, None
+            await asyncio.get_running_loop().run_in_executor(None,
+                                                             fleet.close)
+            self._drained_fleet_stats = fleet.stats()
+            return
         await self._queue.put(_STOP)
         await self._dispatcher
         self._dispatcher = None
@@ -162,6 +200,8 @@ class RPSServer:
         """
         if not self._running:
             raise RuntimeError("server is not running; call start() first")
+        if self._fleet is not None:
+            return await asyncio.wrap_future(self._fleet.submit(x))
         loop = asyncio.get_running_loop()
         request = _Request(np.asarray(x, dtype=np.float32),
                            self.draw_precision(), loop.create_future(),
@@ -181,9 +221,11 @@ class RPSServer:
 
         Requests already queued keep the precision they drew; subsequent
         submissions draw from ``new_set``.  Compiled plans for overlapping
-        precisions stay cached in the session.
+        precisions stay cached in the session (per worker in fleet mode).
         """
         self.precision_set = new_set
+        if self._fleet is not None:
+            self._fleet.swap_precision_set(new_set)
 
     def apply_precision_schedule(self, accelerator, layers,
                                  caps: Sequence[Optional[int]] = (None, 12, 8),
@@ -253,6 +295,10 @@ class RPSServer:
                     lambda b=batch, p=precision: self.session.predict(b, p))
             except Exception as error:  # surface to every waiter
                 for request in requests:
+                    # Failed requests are counted separately and excluded
+                    # from the latency window, so p50/p99/throughput always
+                    # describe successfully served traffic only.
+                    self._failed += 1
                     if not request.future.done():
                         request.future.set_exception(error)
                 continue
@@ -271,12 +317,24 @@ class RPSServer:
     # Metrics
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
-        """Latency percentiles, throughput and batching behaviour so far."""
+        """Latency percentiles, throughput and batching behaviour so far.
+
+        ``failed`` counts requests whose future resolved exceptionally;
+        they are excluded from ``completed`` and from every latency /
+        throughput figure.  In fleet mode this is the fleet's own stats
+        dict (which additionally reports respawns and transport counters),
+        kept available after ``stop()`` drained the fleet.
+        """
+        if self._fleet is not None:
+            return self._fleet.stats()
+        if self._drained_fleet_stats is not None:
+            return dict(self._drained_fleet_stats)
         latencies = np.asarray(self._latencies, dtype=np.float64)
         elapsed = ((self._last_done_at or time.perf_counter())
                    - (self._started_at or time.perf_counter()))
         return {
             "completed": self._completed,
+            "failed": self._failed,
             "throughput_rps": (self._completed / elapsed if elapsed > 0
                                else 0.0),
             "latency_p50_ms": (float(np.percentile(latencies, 50)) * 1e3

@@ -211,6 +211,40 @@ class TestServingKnobs:
         monkeypatch.setenv("REPRO_SERVING_MAX_DELAY_MS", "-5")
         assert config.serving_max_delay_ms() == 0.0
 
+    def test_workers_default_and_clamp(self, monkeypatch):
+        assert config.serving_workers() == 1
+        monkeypatch.setenv("REPRO_SERVING_WORKERS", "4")
+        assert config.serving_workers() == 4
+        monkeypatch.setenv("REPRO_SERVING_WORKERS", "0")
+        assert config.serving_workers() == 1
+        monkeypatch.setenv("REPRO_SERVING_WORKERS", "-2")
+        assert config.serving_workers() == 1
+
+    def test_workers_malformed_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVING_WORKERS", "fleet")
+        with pytest.warns(UserWarning, match="REPRO_SERVING_WORKERS"):
+            assert config.serving_workers() == 1
+
+    def test_ring_mb_default_and_floor(self, monkeypatch):
+        assert config.serving_ring_mb() == 8.0
+        monkeypatch.setenv("REPRO_SERVING_RING_MB", "0.5")
+        assert config.serving_ring_mb() == 0.5
+        monkeypatch.setenv("REPRO_SERVING_RING_MB", "0")
+        assert config.serving_ring_mb() == 0.001
+
+    def test_transport_choices(self, monkeypatch):
+        assert config.serving_transport() == "shm"
+        monkeypatch.setenv("REPRO_SERVING_TRANSPORT", "inline")
+        assert config.serving_transport() == "inline"
+
+    def test_transport_invalid_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVING_TRANSPORT", "rdma")
+        with pytest.warns(UserWarning) as record:
+            assert config.serving_transport() == "shm"
+        message = str(record[0].message)
+        assert "REPRO_SERVING_TRANSPORT" in message
+        assert str(config.SERVING_TRANSPORTS) in message
+
 
 # ---------------------------------------------------------------------------
 # Engine knobs
@@ -238,3 +272,8 @@ class TestEngineKnobs:
     def test_cache_dir_expands_user(self, monkeypatch):
         monkeypatch.setenv("REPRO_ENGINE_CACHE_DIR", "~/engine-store")
         assert config.engine_cache_dir() == Path.home() / "engine-store"
+
+    def test_store_socket_default_empty(self, monkeypatch):
+        assert config.engine_store_socket() == ""
+        monkeypatch.setenv("REPRO_ENGINE_STORE_SOCKET", " /tmp/store.sock ")
+        assert config.engine_store_socket() == "/tmp/store.sock"

@@ -1,0 +1,283 @@
+"""Behavioural tests of the multi-process serving fleet.
+
+Covered contracts (`repro.serving.fleet`):
+
+* **Oracle correctness** — a drained burst resolves to exactly the labels a
+  fresh :class:`InferenceSession` produces for the same seeded precision
+  assignment and the same (count-cut) micro-batch composition.
+* **Worker-count determinism** — with ``max_delay_ms=0`` the full result
+  stream is a pure function of (seed, submission order, ``max_batch``):
+  identical across ``workers=1/2/4``.
+* **Transport equivalence** — shm-ring and inline-pipe transports produce
+  identical labels; an undersized ring degrades per-tensor to inline.
+* **Error propagation** — a worker-side exception reaches the caller's
+  future; failures are counted apart from completions.
+* **Resource hygiene** — every shared-memory segment the fleet created is
+  unlinked by ``close()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.inference import InferenceSession
+from repro.models import preact_resnet18
+from repro.quantization import PrecisionSet
+from repro.serving import (FleetConfig, FleetServer, RPSServer,
+                           ServingConfig, TensorRing)
+
+PS = PrecisionSet([3, 4, 6])
+IMAGE = 16
+MAX_BATCH = 4
+
+
+@pytest.fixture(scope="module")
+def model():
+    return preact_resnet18(num_classes=10, width=8, blocks_per_stage=(1, 1),
+                           precisions=PS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def requests_x():
+    rng = np.random.default_rng(0)
+    return [rng.random((3, IMAGE, IMAGE)).astype(np.float32)
+            for _ in range(36)]
+
+
+def fleet_config(**overrides) -> FleetConfig:
+    defaults = dict(workers=2, max_batch=MAX_BATCH, max_delay_ms=0.0,
+                    seed=11, input_shape=(3, IMAGE, IMAGE),
+                    drain_timeout_s=60.0)
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+def run_burst(model, xs, **overrides):
+    """Submit a burst, drain, and return (labels, stats)."""
+    fleet = FleetServer(model, PS, fleet_config(**overrides))
+    fleet.start()
+    try:
+        futures = [fleet.submit(x) for x in xs]
+    finally:
+        fleet.close()
+    return [f.result(timeout=10) for f in futures], fleet.stats()
+
+
+def oracle_labels(model, xs, seed, max_batch=MAX_BATCH):
+    """Replay the fleet's deterministic batch composition through a session.
+
+    Supervisor-side draws assign each request a precision in submission
+    order; per precision, batches are cut every ``max_batch`` requests plus
+    a final drain flush.  (Batch composition matters: activation-quantiser
+    ranges are batch-global.)
+    """
+    draw_rng = np.random.default_rng(seed)
+    draws = [PS.sample(draw_rng) for _ in xs]
+    groups: dict = {}
+    for index, precision in enumerate(draws):
+        groups.setdefault(precision.key, (precision, []))[1].append(index)
+    session = InferenceSession(model)
+    expected = np.empty(len(xs), dtype=np.int64)
+    for precision, indices in groups.values():
+        for start in range(0, len(indices), max_batch):
+            chunk = indices[start:start + max_batch]
+            expected[chunk] = session.predict(
+                np.stack([xs[i] for i in chunk]), precision)
+    return expected
+
+
+# ---------------------------------------------------------------------------
+# Correctness and determinism
+# ---------------------------------------------------------------------------
+
+class TestFleetCorrectness:
+    def test_burst_matches_session_oracle(self, model, requests_x):
+        labels, stats = run_burst(model, requests_x)
+        np.testing.assert_array_equal(
+            np.asarray(labels), oracle_labels(model, requests_x, seed=11))
+        assert stats["completed"] == len(requests_x)
+        assert stats["failed"] == 0
+        assert stats["respawns"] == 0
+
+    def test_deterministic_across_worker_counts(self, model, requests_x):
+        runs = {w: run_burst(model, requests_x, workers=w)[0]
+                for w in (1, 2, 4)}
+        assert runs[1] == runs[2] == runs[4]
+
+    def test_draw_histogram_matches_stats(self, model, requests_x):
+        _, stats = run_burst(model, requests_x)
+        draw_rng = np.random.default_rng(11)
+        expected: dict = {}
+        for _ in requests_x:
+            key = PS.sample(draw_rng).key
+            expected[key] = expected.get(key, 0) + 1
+        assert stats["precision_counts"] == dict(
+            sorted(expected.items(), key=lambda kv: str(kv[0])))
+
+    def test_flush_resolves_partial_batches_without_drain(self, model,
+                                                          requests_x):
+        """flush() is the round barrier of count-cut mode: every request
+        submitted before it resolves while the fleet keeps serving."""
+        fleet = FleetServer(model, PS, fleet_config())
+        with fleet:
+            first = [fleet.submit(x) for x in requests_x[:5]]
+            fleet.flush()
+            labels = [f.result(timeout=60) for f in first]
+            assert all(isinstance(label, int) for label in labels)
+            second = [fleet.submit(x) for x in requests_x[5:10]]
+            fleet.flush()
+            [f.result(timeout=60) for f in second]
+        assert fleet.stats()["completed"] == 10
+
+    def test_delay_mode_serves_before_drain(self, model, requests_x):
+        """With a deadline, partial batches flush without waiting for
+        close() — labels resolve while the fleet is still accepting."""
+        fleet = FleetServer(model, PS, fleet_config(max_delay_ms=5.0))
+        with fleet:
+            futures = [fleet.submit(x) for x in requests_x[:6]]
+            labels = [f.result(timeout=60) for f in futures]
+        assert len(labels) == 6
+        assert all(isinstance(label, int) for label in labels)
+
+
+class TestTransport:
+    def test_inline_transport_matches_shm(self, model, requests_x):
+        shm_labels, shm_stats = run_burst(model, requests_x, transport="shm")
+        inline_labels, inline_stats = run_burst(model, requests_x,
+                                                transport="inline")
+        assert shm_labels == inline_labels
+        assert shm_stats["transport"]["kind"] == "shm"
+        assert shm_stats["transport"]["ring_frames"] == len(requests_x)
+        assert inline_stats["transport"]["kind"] == "inline"
+        assert inline_stats["transport"]["ring_frames"] == 0
+
+    def test_undersized_ring_falls_back_inline(self, model):
+        """Inputs bigger than the whole ring go inline, with right answers."""
+        rng = np.random.default_rng(4)
+        big = [rng.random((3, 24, 24)).astype(np.float32) for _ in range(8)]
+        # floor capacity is 4096 bytes; a (3, 24, 24) f32 frame is ~6.9 KiB
+        labels, stats = run_burst(model, big, ring_mb=0.001,
+                                  input_shape=(3, 24, 24))
+        assert stats["transport"]["inline_fallbacks"] == len(big)
+        assert stats["transport"]["ring_frames"] == 0
+        assert stats["completed"] == len(big)
+        np.testing.assert_array_equal(
+            np.asarray(labels), oracle_labels(model, big, seed=11))
+
+    def test_rings_unlinked_after_close(self, model, requests_x):
+        fleet = FleetServer(model, PS, fleet_config())
+        fleet.start()
+        names = []
+        for handle in fleet._slots:
+            names.extend(ring.name for ring in (handle.req_ring,
+                                                handle.resp_ring))
+        futures = [fleet.submit(x) for x in requests_x[:8]]
+        fleet.close()
+        [f.result(timeout=10) for f in futures]
+        assert names, "shm transport created no rings?"
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                TensorRing.attach(name, 4096)
+
+
+# ---------------------------------------------------------------------------
+# Errors and lifecycle
+# ---------------------------------------------------------------------------
+
+class TestFleetErrors:
+    def test_worker_exception_reaches_future(self, model):
+        bad = [np.zeros((1, 4, 4), np.float32) for _ in range(9)]
+        fleet = FleetServer(model, PS, fleet_config(input_shape=None))
+        fleet.start()
+        futures = [fleet.submit(x) for x in bad]
+        fleet.close()
+        for future in futures:
+            with pytest.raises(Exception):
+                future.result(timeout=10)
+        stats = fleet.stats()
+        assert stats["failed"] == len(bad)
+        assert stats["completed"] == 0
+        # An execution error is not a crash: nobody was respawned.
+        assert stats["respawns"] == 0
+
+    def test_failed_requests_excluded_from_latency(self, model, requests_x):
+        bad = [np.zeros((1, 4, 4), np.float32) for _ in range(6)]
+        fleet = FleetServer(model, PS, fleet_config(input_shape=None,
+                                                    max_delay_ms=5.0))
+        fleet.start()
+        bad_futures = [fleet.submit(x) for x in bad]
+        # Let the deadline flush resolve the bad batches before submitting
+        # good traffic, so no micro-batch ever mixes the two shapes.
+        for future in bad_futures:
+            with pytest.raises(Exception):
+                future.result(timeout=60)
+        good_futures = [fleet.submit(x) for x in requests_x[:6]]
+        fleet.close()
+        good = [f.result(timeout=10) for f in good_futures]
+        stats = fleet.stats()
+        assert stats["completed"] == len(good)
+        assert stats["failed"] == len(bad)
+        # Latency window and precision counts describe successes only.
+        assert sum(stats["precision_counts"].values()) == len(good)
+        assert len(fleet._latencies) == len(good)
+
+    def test_submit_after_close_raises(self, model, requests_x):
+        fleet = FleetServer(model, PS, fleet_config())
+        fleet.start()
+        fleet.close()
+        with pytest.raises(RuntimeError):
+            fleet.submit(requests_x[0])
+        fleet.close()                     # idempotent
+
+    def test_hot_swap_routes_new_draws(self, model, requests_x):
+        fleet = FleetServer(model, PS, fleet_config(max_delay_ms=5.0))
+        with fleet:
+            first = [fleet.submit(x) for x in requests_x[:12]]
+            [f.result(timeout=60) for f in first]
+            before = dict(fleet.stats()["precision_counts"])
+            fleet.swap_precision_set(PS.restrict(4))
+            second = [fleet.submit(x) for x in requests_x[12:24]]
+            [f.result(timeout=60) for f in second]
+            after = dict(fleet.stats()["precision_counts"])
+        assert after.get(6, 0) == before.get(6, 0)
+        assert sum(after.values()) == sum(before.values()) + 12
+        assert fleet.stats()["active_precisions"] == [3, 4]
+
+
+# ---------------------------------------------------------------------------
+# RPSServer delegation
+# ---------------------------------------------------------------------------
+
+class TestServerDelegation:
+    def test_rps_server_workers_2_serves_and_reports_fleet_stats(
+            self, model, requests_x):
+        async def serve():
+            server = RPSServer(model, PS,
+                               ServingConfig(max_batch=MAX_BATCH,
+                                             max_delay_ms=5.0, seed=11),
+                               workers=2)
+            async with server:
+                labels = await asyncio.gather(
+                    *[server.submit(x) for x in requests_x[:12]])
+                live = server.stats()
+            return labels, live, server.stats()
+
+        labels, live, drained = asyncio.run(serve())
+        assert len(labels) == 12
+        assert live["workers"] == 2
+        assert "respawns" in live and "transport" in live
+        # Stats survive the stop(): the drained snapshot stays queryable.
+        assert drained["workers"] == 2
+        assert drained["completed"] >= 12
+
+    def test_workers_1_stays_in_process(self, model, requests_x):
+        async def serve():
+            server = RPSServer(model, PS, ServingConfig(seed=0), workers=1)
+            async with server:
+                assert server._fleet is None
+                return await server.submit(requests_x[0])
+
+        assert isinstance(asyncio.run(serve()), int)

@@ -1,0 +1,206 @@
+"""Chaos / fault-injection harness for the serving fleet.
+
+Every scenario SIGKILLs worker processes at a nasty moment and then holds
+the fleet to its normal contracts: **every accepted future resolves** (no
+drops, no hangs), the drain completes, stats stay consistent with the
+seeded draw histogram, and — because the precision-draw stream lives in
+the supervisor and batches are cut by count — the label stream is
+*identical* to an undisturbed run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.models import preact_resnet18
+from repro.quantization import PrecisionSet
+from repro.serving import FleetConfig, FleetServer, WorkerCrashError
+
+PS = PrecisionSet([3, 4, 6])
+IMAGE = 16
+MAX_BATCH = 4
+SEED = 23
+
+
+@pytest.fixture(scope="module")
+def model():
+    return preact_resnet18(num_classes=10, width=8, blocks_per_stage=(1, 1),
+                           precisions=PS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def requests_x():
+    rng = np.random.default_rng(1)
+    return [rng.random((3, IMAGE, IMAGE)).astype(np.float32)
+            for _ in range(48)]
+
+
+def chaos_config(**overrides) -> FleetConfig:
+    defaults = dict(workers=2, max_batch=MAX_BATCH, max_delay_ms=0.0,
+                    seed=SEED, input_shape=(3, IMAGE, IMAGE),
+                    drain_timeout_s=60.0)
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+def sigkill(pid) -> None:
+    if pid is None:
+        return
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass                              # already gone: chaos is best-effort
+
+
+def expected_histogram(n: int) -> dict:
+    draw_rng = np.random.default_rng(SEED)
+    counts: dict = {}
+    for _ in range(n):
+        key = PS.sample(draw_rng).key
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items(), key=lambda kv: str(kv[0])))
+
+
+def assert_drop_free(futures, stats, n):
+    labels = [f.result(timeout=10) for f in futures]  # resolved, or the bug
+    assert len(labels) == n
+    assert all(isinstance(label, int) for label in labels)
+    assert stats["completed"] == n
+    assert stats["failed"] == 0
+    assert stats["precision_counts"] == expected_histogram(n)
+    return labels
+
+
+# ---------------------------------------------------------------------------
+# Kill scenarios
+# ---------------------------------------------------------------------------
+
+class TestKillAWorker:
+    def test_kill_mid_burst_drains_drop_free(self, model, requests_x):
+        fleet = FleetServer(model, PS, chaos_config())
+        fleet.start()
+        futures = [fleet.submit(x) for x in requests_x]
+        assert fleet.inflight() > 0
+        sigkill(fleet.worker_pids()[0])
+        fleet.close()
+        stats = fleet.stats()
+        assert_drop_free(futures, stats, len(requests_x))
+        assert stats["respawns"] >= 1
+
+    def test_kill_during_drain(self, model, requests_x):
+        fleet = FleetServer(model, PS, chaos_config())
+        fleet.start()
+        futures = [fleet.submit(x) for x in requests_x]
+        victim = fleet.worker_pids()[0]
+        closer = threading.Thread(target=fleet.close)
+        closer.start()
+        sigkill(victim)                   # lands while the drain is running
+        closer.join(timeout=90)
+        assert not closer.is_alive(), "drain hung after mid-drain kill"
+        assert_drop_free(futures, fleet.stats(), len(requests_x))
+
+    def test_kill_before_first_batch(self, model, requests_x):
+        fleet = FleetServer(model, PS, chaos_config())
+        fleet.start()
+        victims = fleet.worker_pids()
+        sigkill(victims[0])               # dies before any traffic arrives
+        deadline = time.monotonic() + 30.0
+        while victims[0] in fleet.worker_pids():
+            assert time.monotonic() < deadline, "respawn never happened"
+            time.sleep(0.01)
+        futures = [fleet.submit(x) for x in requests_x]
+        fleet.close()
+        stats = fleet.stats()
+        assert_drop_free(futures, stats, len(requests_x))
+        assert stats["respawns"] == 1
+
+    def test_kill_every_worker_once(self, model, requests_x):
+        fleet = FleetServer(model, PS, chaos_config())
+        fleet.start()
+        futures = [fleet.submit(x) for x in requests_x]
+        for pid in fleet.worker_pids():
+            sigkill(pid)
+        fleet.close()
+        stats = fleet.stats()
+        assert_drop_free(futures, stats, len(requests_x))
+        assert stats["respawns"] >= 2
+
+
+class TestDeterminismUnderChaos:
+    def test_labels_identical_with_and_without_kill(self, model, requests_x):
+        """The respawn requeues in submission order and batches resolve
+        atomically, so a killed-and-respawned run re-forms exactly the
+        micro-batches of an undisturbed one — label-identical output."""
+        def run(kill: bool):
+            fleet = FleetServer(model, PS, chaos_config())
+            fleet.start()
+            futures = [fleet.submit(x) for x in requests_x]
+            if kill:
+                sigkill(fleet.worker_pids()[0])
+            fleet.close()
+            return ([f.result(timeout=10) for f in futures],
+                    fleet.stats())
+
+        calm_labels, _ = run(kill=False)
+        chaos_labels, chaos_stats = run(kill=True)
+        assert chaos_stats["respawns"] >= 1
+        assert calm_labels == chaos_labels
+
+    def test_draw_stream_survives_respawn(self, model, requests_x):
+        """Respawning consumes no precision draws: submissions after a kill
+        continue the seeded stream exactly where it left off."""
+        fleet = FleetServer(model, PS, chaos_config())
+        fleet.start()
+        first = [fleet.submit(x) for x in requests_x[:20]]
+        sigkill(fleet.worker_pids()[0])
+        deadline = time.monotonic() + 30.0
+        while fleet.stats()["respawns"] == 0:
+            assert time.monotonic() < deadline, "respawn never happened"
+            time.sleep(0.01)
+        second = [fleet.submit(x) for x in requests_x[20:]]
+        fleet.close()
+        stats = fleet.stats()
+        assert_drop_free(first + second, stats, len(requests_x))
+
+
+class TestRestartBudget:
+    def test_exhausted_budget_fails_inflight_futures(self, model, requests_x):
+        fleet = FleetServer(model, PS, chaos_config(max_restarts=0))
+        fleet.start()
+        futures = [fleet.submit(x) for x in requests_x[:24]]
+        # Slot 0 owns precisions 3 and 6; with seed 23 the first 24 draws
+        # hit both workers, so each side has in-flight requests.
+        by_slot = {0: [], 1: []}
+        draw_rng = np.random.default_rng(SEED)
+        for future in futures:
+            key = PS.sample(draw_rng).key
+            by_slot[{3: 0, 4: 1, 6: 0}[key]].append(future)
+        assert by_slot[0] and by_slot[1]
+        sigkill(fleet.worker_pids()[0])
+        # Batches the worker finished before the kill resolve normally;
+        # everything in flight at death fails with WorkerCrashError — and
+        # nothing may hang.
+        crashed = 0
+        for future in by_slot[0]:
+            try:
+                assert isinstance(future.result(timeout=30), int)
+            except WorkerCrashError:
+                crashed += 1
+        assert crashed > 0, "kill landed after every slot-0 batch finished"
+        # Submissions routed to the dead slot are rejected loudly ...
+        with pytest.raises(WorkerCrashError):
+            for _ in range(64):
+                fleet.submit(requests_x[0])
+        fleet.close()
+        # ... while the surviving worker still drains its side drop-free.
+        for future in by_slot[1]:
+            assert isinstance(future.result(timeout=10), int)
+        stats = fleet.stats()
+        assert stats["respawns"] == 0
+        assert stats["failed"] >= crashed

@@ -1,0 +1,258 @@
+"""Shared-memory tensor-ring transport contracts (`repro.serving.transport`).
+
+The fleet's correctness rests on the ring never lying: every tensor read
+back is bit-identical to what was written (or the reader gets
+``RingDataError``), a full/oversized ring refuses rather than blocks, and
+no shared-memory segment outlives ``close()``.
+"""
+
+import multiprocessing
+import os
+import pickle
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serving.transport import (RingDataError, TensorRing, _HEADER,
+                                     _TRAILER, roundtrip_equals_pickle)
+
+
+def _overhead() -> int:
+    return _HEADER.size + _TRAILER.size
+
+
+# ---------------------------------------------------------------------------
+# Round-trip identity
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("array", [
+    np.arange(24, dtype=np.float32).reshape(2, 3, 4),
+    np.array([np.nan, np.inf, -np.inf, -0.0, 5e-324, 1.0], dtype=np.float64),
+    np.arange(-4, 4, dtype=np.int64),
+    np.zeros((0,), dtype=np.float32),
+    np.random.default_rng(0).standard_normal((3, 16, 16)).astype(np.float32),
+], ids=["f32-3d", "f64-specials", "int64", "empty", "image"])
+def test_roundtrip_bit_identical_to_pickle(array):
+    assert roundtrip_equals_pickle(array)
+
+
+def test_roundtrip_non_contiguous_input():
+    base = np.arange(64, dtype=np.float32).reshape(8, 8)
+    sliced = base[::2, ::2]
+    assert not sliced.flags["C_CONTIGUOUS"]
+    ring = TensorRing.create(4096)
+    try:
+        descriptor = ring.write(7, sliced)
+        assert descriptor is not None
+        out = ring.read(descriptor, 7)
+        np.testing.assert_array_equal(out, np.ascontiguousarray(sliced))
+    finally:
+        ring.close()
+
+
+def test_read_returns_owning_copy():
+    ring = TensorRing.create(4096)
+    try:
+        array = np.arange(8, dtype=np.float32)
+        descriptor = ring.write(1, array)
+        out = ring.read(descriptor, 1)
+        out[0] = -1.0                     # writable, not a read-only view
+        again = ring.read(descriptor, 1)
+        assert again[0] == 0.0            # and detached from the segment
+    finally:
+        ring.close()
+
+
+# ---------------------------------------------------------------------------
+# Wraparound and capacity behaviour
+# ---------------------------------------------------------------------------
+
+def test_wraparound_many_cycles():
+    """Frames crossing the physical end are split + reassembled losslessly."""
+    frame_payload = 96
+    capacity = (_overhead() + frame_payload) * 3 + 17  # deliberately ragged
+    ring = TensorRing.create(capacity)
+    try:
+        for seq in range(200):
+            array = np.full(frame_payload // 4, seq, dtype=np.int32)
+            descriptor = ring.write(seq, array)
+            assert descriptor is not None, f"unexpected full ring at {seq}"
+            out = ring.read(descriptor, seq)
+            np.testing.assert_array_equal(out, array)
+            ring.free_to(descriptor[0] + descriptor[1])
+        assert ring.head > capacity       # wrapped several times
+        assert ring.used_bytes == 0
+    finally:
+        ring.close()
+
+
+def test_full_ring_returns_none_then_recovers():
+    payload = np.zeros(32, dtype=np.uint8)
+    total = _overhead() + payload.nbytes
+    ring = TensorRing.create(total * 2)
+    try:
+        d1 = ring.write(0, payload)
+        d2 = ring.write(1, payload)
+        assert d1 is not None and d2 is not None
+        assert ring.write(2, payload) is None          # full, not blocking
+        ring.free_to(d1[0] + d1[1])                    # reader consumed #0
+        d3 = ring.write(2, payload)
+        assert d3 is not None
+        np.testing.assert_array_equal(ring.read(d3, 2), payload)
+        np.testing.assert_array_equal(ring.read(d2, 1), payload)
+    finally:
+        ring.close()
+
+
+def test_oversized_tensor_returns_none():
+    ring = TensorRing.create(1024)
+    try:
+        big = np.zeros(2048, dtype=np.uint8)
+        assert ring.write(0, big) is None
+        # The refusal leaves the ring untouched and usable.
+        small = np.arange(4, dtype=np.int32)
+        descriptor = ring.write(1, small)
+        np.testing.assert_array_equal(ring.read(descriptor, 1), small)
+    finally:
+        ring.close()
+
+
+def test_tiny_capacity_rejected():
+    with pytest.raises(ValueError):
+        TensorRing.create(_overhead() - 1)
+
+
+# ---------------------------------------------------------------------------
+# Torn-write / corruption detection
+# ---------------------------------------------------------------------------
+
+def _corrupt_byte(ring, absolute_counter):
+    offset = absolute_counter % ring.capacity
+    ring._shm.buf[offset] ^= 0xFF
+
+
+def test_corrupt_payload_raises():
+    ring = TensorRing.create(4096)
+    try:
+        descriptor = ring.write(3, np.arange(16, dtype=np.float64))
+        _corrupt_byte(ring, descriptor[0] + _HEADER.size)
+        with pytest.raises(RingDataError, match="checksum"):
+            ring.read(descriptor, 3)
+    finally:
+        ring.close()
+
+
+def test_corrupt_magic_raises():
+    ring = TensorRing.create(4096)
+    try:
+        descriptor = ring.write(3, np.arange(16, dtype=np.float64))
+        _corrupt_byte(ring, descriptor[0])
+        with pytest.raises(RingDataError, match="magic"):
+            ring.read(descriptor, 3)
+    finally:
+        ring.close()
+
+
+def test_torn_trailer_raises():
+    ring = TensorRing.create(4096)
+    try:
+        array = np.arange(16, dtype=np.float64)
+        descriptor = ring.write(3, array)
+        _corrupt_byte(ring, descriptor[0] + descriptor[1] - _TRAILER.size)
+        with pytest.raises(RingDataError, match="torn|trailer"):
+            ring.read(descriptor, 3)
+    finally:
+        ring.close()
+
+
+def test_wrong_seq_raises():
+    """A stale descriptor (reused slot) is caught by the seq check."""
+    ring = TensorRing.create(4096)
+    try:
+        descriptor = ring.write(3, np.arange(16, dtype=np.float64))
+        with pytest.raises(RingDataError, match="seq"):
+            ring.read(descriptor, 4)
+    finally:
+        ring.close()
+
+
+def test_descriptor_length_mismatch_raises():
+    ring = TensorRing.create(4096)
+    try:
+        start, total, dtype_str, shape = ring.write(
+            3, np.arange(16, dtype=np.float64))
+        with pytest.raises(RingDataError, match="length"):
+            ring.read((start, total + 8, dtype_str, shape), 3)
+    finally:
+        ring.close()
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle / leaks
+# ---------------------------------------------------------------------------
+
+def test_owner_close_unlinks_segment():
+    ring = TensorRing.create(4096)
+    name = ring.name
+    ring.close()
+    with pytest.raises(FileNotFoundError):
+        TensorRing.attach(name, 4096)
+    ring.close()                          # idempotent
+
+
+def test_attached_close_keeps_segment():
+    owner = TensorRing.create(4096)
+    try:
+        reader = TensorRing.attach(owner.name, 4096)
+        reader.close()                    # non-owner: mapping only
+        descriptor = owner.write(0, np.arange(4, dtype=np.int32))
+        assert owner.read(descriptor, 0)[0] == 0
+    finally:
+        owner.close()
+    with pytest.raises(FileNotFoundError):
+        TensorRing.attach(owner.name, 4096)
+
+
+def test_context_manager_closes():
+    with TensorRing.create(4096) as ring:
+        name = ring.name
+    with pytest.raises(FileNotFoundError):
+        TensorRing.attach(name, 4096)
+
+
+# ---------------------------------------------------------------------------
+# Cross-process (the fleet's actual topology: fork-inherited ring)
+# ---------------------------------------------------------------------------
+
+def _child_read(name, capacity, descriptor, seq, conn):
+    ring = TensorRing.attach(name, capacity)
+    try:
+        out = ring.read(descriptor, seq)
+        conn.send((out.dtype.str, out.shape, out.tobytes()))
+    finally:
+        ring.close()
+        conn.close()
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="fork-only transport")
+def test_cross_process_read_bit_identical():
+    ctx = multiprocessing.get_context("fork")
+    array = np.random.default_rng(1).standard_normal((5, 7)).astype(np.float32)
+    ring = TensorRing.create(4096)
+    try:
+        descriptor = ring.write(11, array)
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(target=_child_read,
+                              args=(ring.name, ring.capacity, descriptor, 11,
+                                    child_conn))
+        process.start()
+        child_conn.close()
+        dtype_str, shape, raw = parent_conn.recv()
+        process.join(timeout=30)
+        assert raw == array.tobytes()
+        assert (np.dtype(dtype_str), shape) == (array.dtype, array.shape)
+        # pickle oracle: the bytes a pickle round-trip would produce
+        assert raw == pickle.loads(pickle.dumps(array, protocol=5)).tobytes()
+    finally:
+        ring.close()

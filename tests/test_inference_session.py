@@ -163,6 +163,24 @@ class TestPlanCache:
         assert plan_c is not plan_a
         assert len(session.cached_plan_keys) == 2
 
+    def test_warm_prebuilds_plans(self, probe):
+        """The fleet's spawn-time warm-up: plans exist before any traffic."""
+        rng = np.random.default_rng(50)
+        model = _build("preact_resnet18", rng)
+        session = InferenceSession(model)
+        assert session.cached_plan_keys == []
+        keys = session.warm([Precision(3), Precision(6)],
+                            (1, 3, IMAGE, IMAGE))
+        assert len(keys) == 2
+        assert session.cached_plan_keys == keys
+        # A warmed precision is a pure cache hit afterwards.
+        plan = session.plan_for(Precision(3))
+        assert plan is session.plan_for(Precision(3),
+                                        input_shape=probe.shape)
+        # ... and the warm trace serves other precisions too.
+        session.plan_for(Precision(4))
+        assert len(session.cached_plan_keys) == 3
+
     def test_trace_shared_across_precisions(self, probe):
         rng = np.random.default_rng(6)
         model = _build("preact_resnet18", rng)

@@ -214,6 +214,73 @@ class TestMicroBatching:
             drain(attempt())
 
 
+class TestErrorStats:
+    """Failure accounting: a session exception reaches the caller's future,
+    is counted under ``failed``, and never pollutes the success metrics."""
+
+    def test_session_exception_reaches_future_and_failed_counter(
+            self, model, requests_x):
+        bad = np.zeros((1, 4, 4), np.float32)    # wrong channel count
+
+        async def serve():
+            server = RPSServer(model, PS,
+                               ServingConfig(max_batch=4, max_delay_ms=5,
+                                             seed=0))
+            async with server:
+                failures = [asyncio.create_task(server.submit(bad))
+                            for _ in range(3)]
+                for future in failures:
+                    with pytest.raises(Exception):
+                        await future
+                labels = await server.submit_many(requests_x[:6])
+            return labels, server.stats()
+
+        labels, stats = drain(serve())
+        assert len(labels) == 6
+        assert stats["failed"] == 3
+        assert stats["completed"] == 6
+
+    def test_latency_and_counts_exclude_failures(self, model, requests_x):
+        bad = np.zeros((1, 4, 4), np.float32)
+
+        async def serve():
+            server = RPSServer(model, PS,
+                               ServingConfig(max_batch=4, max_delay_ms=5,
+                                             seed=1))
+            async with server:
+                with pytest.raises(Exception):
+                    await server.submit(bad)
+                only_failures = server.stats()
+                await server.submit_many(requests_x[:4])
+            return only_failures, server.stats()
+
+        only_failures, final = drain(serve())
+        # With zero successes the latency percentiles stay undefined
+        # instead of reporting the failed request's timing.
+        assert only_failures["failed"] == 1
+        assert only_failures["completed"] == 0
+        assert only_failures["latency_p50_ms"] is None
+        assert only_failures["latency_p99_ms"] is None
+        assert only_failures["throughput_rps"] == 0.0
+        assert sum(only_failures["precision_counts"].values()) == 0
+        # Successes then populate the window; the failure stays excluded.
+        assert final["completed"] == 4
+        assert final["failed"] == 1
+        assert sum(final["precision_counts"].values()) == 4
+        assert final["latency_p50_ms"] is not None
+
+    def test_healthy_server_reports_zero_failed(self, model, requests_x):
+        async def serve():
+            server = RPSServer(model, PS, ServingConfig(seed=0))
+            async with server:
+                await server.submit_many(requests_x[:4])
+            return server.stats()
+
+        stats = drain(serve())
+        assert stats["failed"] == 0
+        assert stats["completed"] == 4
+
+
 class TestPrecisionDraws:
     def test_seeded_draw_sequence_is_deterministic(self, model):
         server_a = RPSServer(model, PS, ServingConfig(seed=99))

@@ -1,0 +1,158 @@
+"""Tests for the shared engine-store socket service.
+
+The service fronts one :class:`EngineStore` over a Unix socket so a fleet
+of workers (or several CI legs) warm-start from a single cache.  Pinned
+contracts: the remote store is a behavioural twin of the local one
+(load/save round trip, merge-on-save), the engine transparently persists
+through it when ``REPRO_ENGINE_STORE_SOCKET`` is set, and a dead service
+degrades to a cold start with exactly one warning — never an exception.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (EvaluationEngine, TwoInOneAccelerator,
+                               network_layers)
+from repro.accelerator.engine_store import EngineStore, resolve_store
+from repro.accelerator.optimizer import OptimizerConfig
+from repro.accelerator.store_service import (EngineStoreServer,
+                                             RemoteEngineStore)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    server = EngineStoreServer(tmp_path / "store.sock",
+                               cache_dir=tmp_path / "cache")
+    with server:
+        yield server
+
+
+def _accelerator(seed: int) -> TwoInOneAccelerator:
+    return TwoInOneAccelerator(optimizer_config=OptimizerConfig(
+        population_size=6, total_cycles=1, seed=seed))
+
+
+class TestProtocol:
+    FINGERPRINT = ("service", "test", 1)
+
+    def test_ping(self, service):
+        assert RemoteEngineStore(service.socket_path).ping()
+
+    def test_round_trip_matches_local_store(self, service):
+        client = RemoteEngineStore(service.socket_path)
+        assert client.load(self.FINGERPRINT) is None
+        client.save(self.FINGERPRINT, {("layer", 4): "cell"}, {"s": 1})
+        cells, summaries = client.load(self.FINGERPRINT)
+        assert dict(cells) == {("layer", 4): "cell"}
+        assert summaries == {"s": 1}
+        # The service wrote through its local store: same file, same bytes.
+        local = service.store.load(self.FINGERPRINT)
+        assert local is not None
+        assert dict(local[0]) == dict(cells)
+
+    def test_merge_on_save(self, service):
+        client = RemoteEngineStore(service.socket_path)
+        client.save(self.FINGERPRINT, {"a": 1}, {})
+        client.save(self.FINGERPRINT, {"b": 2}, {})
+        cells, _ = client.load(self.FINGERPRINT)
+        assert dict(cells) == {"a": 1, "b": 2}
+
+    def test_concurrent_clients(self, service):
+        errors = []
+
+        def hammer(worker: int) -> None:
+            try:
+                client = RemoteEngineStore(service.socket_path)
+                for round_index in range(5):
+                    client.save(self.FINGERPRINT,
+                                {(worker, round_index): worker}, {})
+                    assert client.load(self.FINGERPRINT) is not None
+            except Exception as exc:    # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_cache_dir_identity_token(self, service):
+        client = RemoteEngineStore(service.socket_path)
+        assert str(client.cache_dir).startswith("socket://")
+
+
+class TestDegradation:
+    def test_dead_socket_loads_cold_with_one_warning(self, tmp_path):
+        client = RemoteEngineStore(tmp_path / "nobody-home.sock")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert client.load(("x",)) is None
+            assert client.save(("x",), {"a": 1}, {}) is None
+            assert client.load(("x",)) is None
+        service_warnings = [w for w in caught
+                            if "unreachable" in str(w.message)]
+        assert len(service_warnings) == 1
+
+
+class TestResolveStore:
+    def test_default_is_local(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_STORE_SOCKET", raising=False)
+        store = resolve_store(tmp_path)
+        assert isinstance(store, EngineStore)
+        assert store.cache_dir == tmp_path
+
+    def test_env_socket_gives_remote(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_STORE_SOCKET",
+                           str(tmp_path / "s.sock"))
+        store = resolve_store(tmp_path)
+        assert isinstance(store, RemoteEngineStore)
+
+    def test_socket_url_cache_dir_reresolves_remote(self, tmp_path,
+                                                    monkeypatch):
+        """A deferred flush re-resolves the ``socket://`` identity token it
+        recorded, even after the env knob was cleared."""
+        monkeypatch.delenv("REPRO_ENGINE_STORE_SOCKET", raising=False)
+        store = resolve_store(f"socket://{tmp_path / 's.sock'}")
+        assert isinstance(store, RemoteEngineStore)
+        assert store.socket_path == tmp_path / "s.sock"
+
+
+class TestEngineIntegration:
+    def test_engine_warm_starts_through_service(self, tmp_path, monkeypatch,
+                                                service):
+        monkeypatch.setenv("REPRO_ENGINE_STORE_SOCKET",
+                           str(service.socket_path))
+        layers = network_layers("resnet18", "cifar10")[:2]
+
+        first = _accelerator(seed=301)
+        reference = first.evaluate_grid(layers, [4, 8], persist=True,
+                                        cache_dir=tmp_path / "ignored")
+        assert first.engine.cache_info()["misses"] > 0
+
+        EvaluationEngine.reset_shared_stores()
+        rerun = _accelerator(seed=301)
+        warm = rerun.evaluate_grid(layers, [4, 8], persist=True,
+                                   cache_dir=tmp_path / "ignored")
+        info = rerun.engine.cache_info()
+        assert info["misses"] == 0, "service-backed warm start re-simulated"
+        assert info["disk_cells_loaded"] > 0
+        assert np.array_equal(warm.total_cycles, reference.total_cycles)
+        assert np.array_equal(warm.total_energy, reference.total_energy)
+
+    def test_engine_survives_dead_service(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_STORE_SOCKET",
+                           str(tmp_path / "gone.sock"))
+        layers = network_layers("resnet18", "cifar10")[:1]
+        accelerator = _accelerator(seed=302)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            grid = accelerator.evaluate_grid(layers, [4], persist=True,
+                                             cache_dir=tmp_path / "ignored")
+        assert np.all(grid.total_cycles > 0)
