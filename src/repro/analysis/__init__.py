@@ -1,0 +1,55 @@
+"""``repro.analysis`` — repo-invariant static analysis.
+
+Three layers (see ISSUE/README for the workflow):
+
+* :mod:`repro.analysis.lint` — a visitor-based AST lint engine running the
+  repo-specific rules in :mod:`repro.analysis.rules` (config discipline,
+  RNG discipline, workspace pairing, fork safety, naked time seeds), with
+  ``# repro: noqa[rule]`` waivers and a committed fingerprint baseline.
+* :mod:`repro.analysis.abi` — the ctypes ↔ C cross-checker that keeps
+  ``conv.c``'s exported prototypes and ``build.py``'s ``argtypes`` /
+  ``restype`` declarations in lockstep (arity, widths, const-ness digest,
+  ABI-version handshake).
+* The sanitizer build mode lives with the build machinery itself
+  (``REPRO_NN_NATIVE_SANITIZE`` in :mod:`repro.nn.native.build`); CI's
+  ``sanitize`` leg runs the native parity suites under it.
+
+``python -m repro.analysis`` runs the whole pass (text or ``--json``,
+exit code 1 on findings); ``tests/test_static_analysis.py`` enforces a
+clean tree in the fast tier.  This package imports only the standard
+library — linting must work on boxes without NumPy.
+"""
+
+from .lint import (Finding, FileContext, FileRule, LintEngine, ProjectRule,
+                   Rule, apply_baseline, load_baseline, write_baseline)
+from .abi import check_abi, signature_digest
+from .rules import ALL_RULES, rule_table
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "FileRule",
+    "ProjectRule",
+    "Rule",
+    "LintEngine",
+    "ALL_RULES",
+    "rule_table",
+    "check_abi",
+    "signature_digest",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+    "DEFAULT_BASELINE",
+    "default_root",
+]
+
+from pathlib import Path
+
+#: The committed baseline ships inside the package so the CLI and the
+#: tier-1 test agree on it regardless of the working directory.
+DEFAULT_BASELINE = Path(__file__).with_name("baseline.json")
+
+
+def default_root() -> Path:
+    """The tree the pass scans by default: the installed ``repro`` package."""
+    return Path(__file__).resolve().parent.parent

@@ -1,0 +1,104 @@
+"""``python -m repro.analysis`` — run the full static-analysis pass.
+
+Exit codes: 0 clean (baselined findings don't fail), 1 fresh lint/ABI
+findings, 2 usage or internal error.  ``--json`` emits one machine-readable
+object (CI archives it); the default text output is one
+``path:line:col: [rule] message`` line per finding plus a summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from . import DEFAULT_BASELINE, default_root
+from .abi import check_abi, signature_digest
+from .lint import (Finding, LintEngine, apply_baseline, load_baseline,
+                   write_baseline)
+from .rules import rule_table
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-invariant static analysis: AST lints + "
+                    "ctypes/C ABI cross-check.")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files/directories to lint (default: the "
+                             "installed repro package)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable output")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline file (default: the committed one)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept every current lint finding into the "
+                             "baseline and exit 0 (ABI findings are never "
+                             "baselinable)")
+    parser.add_argument("--no-abi", action="store_true",
+                        help="skip the ctypes/C ABI cross-check")
+    parser.add_argument("--abi-digest", action="store_true",
+                        help="print conv.c's current signature digest "
+                             "(for refreshing ABI_SIGNATURE_DIGEST)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(rule_table())
+        return 0
+    if args.abi_digest:
+        print(signature_digest())
+        return 0
+
+    roots = args.paths or [default_root()]
+    engine = LintEngine()
+    findings: List[Finding] = []
+    for root in roots:
+        if not Path(root).exists():
+            print(f"error: no such path: {root}", file=sys.stderr)
+            return 2
+        findings.extend(engine.run(Path(root)))
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except (ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(findings, args.baseline)
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    fresh, suppressed, stale = apply_baseline(findings, baseline)
+    abi_findings = [] if args.no_abi else check_abi()
+
+    if args.as_json:
+        print(json.dumps({
+            "findings": [f.as_dict() for f in fresh],
+            "abi": [f.as_dict() for f in abi_findings],
+            "baselined": len(suppressed),
+            "stale_baseline_entries": [e.get("fingerprint") for e in stale],
+            "clean": not fresh and not abi_findings,
+        }, indent=2))
+    else:
+        for finding in fresh + abi_findings:
+            print(finding.format())
+        bits = [f"{len(fresh)} lint finding(s)"]
+        if not args.no_abi:
+            bits.append(f"{len(abi_findings)} ABI finding(s)")
+        if suppressed:
+            bits.append(f"{len(suppressed)} baselined")
+        if stale:
+            bits.append(f"{len(stale)} stale baseline entr"
+                        f"{'y' if len(stale) == 1 else 'ies'} (delete them)")
+        print(", ".join(bits))
+
+    return 1 if fresh or abi_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,408 @@
+"""ctypes ↔ C ABI cross-checker for the native kernel library.
+
+The single most dangerous edit in this repo is changing an exported
+prototype in ``conv.c`` without touching ``build.py``: ctypes will happily
+marshal the old ``argtypes`` into the new symbol and the kernels read
+garbage (or scribble) with no error at the boundary.  PR 5's runtime
+``ABI_VERSION`` handshake catches a *stale compiled library*; nothing
+catches the two *sources* drifting apart — and the ROADMAP's kernel-codegen
+item is about to make C sources machine-generated, multiplying the ways
+they can drift.
+
+Three checks, all static (no compiler, no dlopen):
+
+1. **Prototype diff** — every exported (non-``static``) ``repro_*``
+   function defined in ``conv.c`` must have a ctypes binding in
+   ``build.py`` with *explicit* ``argtypes`` and ``restype`` (ctypes'
+   implicit-int defaults are exactly the silent-garbage failure mode),
+   matching in arity and in every parameter's width/kind — ``long`` vs
+   ``int`` drift on one count argument is a truncation on LP64 and a stack
+   smash on LLP64.  Stale bindings (no such export) fail too.
+2. **ABI version handshake** — ``#define REPRO_NATIVE_ABI`` in ``conv.c``
+   and ``ABI_VERSION`` in ``build.py`` must agree (the runtime check only
+   works if the two sides of it were updated together).
+3. **Signature digest** — ctypes cannot express ``const``, so const-ness
+   drift (a kernel that starts writing through a pointer callers believe
+   is read-only) is invisible to check 1.  The canonical signatures —
+   const qualifiers included — are hashed and compared against
+   ``ABI_SIGNATURE_DIGEST`` in ``build.py``; any prototype change
+   therefore forces a reviewed digest refresh (``python -m repro.analysis
+   --abi-digest`` prints the new value) alongside the ``ABI_VERSION``
+   bump.
+
+The parsers accept source *strings* so tests can mutate a prototype and
+assert the diff is caught; the default paths point at the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .lint import Finding
+
+__all__ = ["CParam", "CSignature", "parse_c_exports", "parse_py_bindings",
+           "signature_digest", "check_abi", "C_SOURCE", "PY_SOURCE"]
+
+_NATIVE_DIR = Path(__file__).resolve().parent.parent / "nn" / "native"
+C_SOURCE = _NATIVE_DIR / "conv.c"
+PY_SOURCE = _NATIVE_DIR / "build.py"
+C_REL = "repro/nn/native/conv.c"
+PY_REL = "repro/nn/native/build.py"
+
+#: C scalar types the kernels may use, mapped to the ctypes token the
+#: binding must declare.  Anything outside this table is itself a finding —
+#: a new type must be added here (and thought about) before it can ship.
+_SCALAR_TOKENS = {
+    "int": "c_int",
+    "long": "c_long",
+    "long long": "c_longlong",
+    "float": "c_float",
+    "double": "c_double",
+    "size_t": "c_size_t",
+    "unsigned char": "c_ubyte",
+    "char": "c_char",
+}
+_POINTER_TOKENS = {base: f"POINTER({token})"
+                   for base, token in _SCALAR_TOKENS.items()}
+_RETURN_TOKENS = dict(_SCALAR_TOKENS, void="None")
+
+
+# ---------------------------------------------------------------------------
+# C side
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CParam:
+    base: str           #: e.g. ``float``
+    pointer: int        #: levels of indirection
+    const: bool
+    name: str
+
+    def canonical(self) -> str:
+        qual = "const " if self.const else ""
+        return f"{qual}{self.base}{'*' * self.pointer}"
+
+    def ctypes_token(self) -> Optional[str]:
+        if self.pointer == 1:
+            return _POINTER_TOKENS.get(self.base)
+        if self.pointer == 0:
+            return _SCALAR_TOKENS.get(self.base)
+        return None
+
+
+@dataclass(frozen=True)
+class CSignature:
+    name: str
+    restype: str        #: e.g. ``void`` / ``int``
+    params: Tuple[CParam, ...]
+    line: int
+
+    def canonical(self) -> str:
+        args = ", ".join(p.canonical() for p in self.params)
+        return f"{self.restype} {self.name}({args})"
+
+    def restype_token(self) -> Optional[str]:
+        return _RETURN_TOKENS.get(self.restype)
+
+
+_COMMENT_RE = re.compile(r"/\*.*?\*/|//[^\n]*", re.DOTALL)
+_EXPORT_RE = re.compile(
+    r"^[ \t]*(?P<head>[A-Za-z_][A-Za-z0-9_ \t]*?)[ \t]+"
+    r"(?P<name>repro_\w+)[ \t]*\((?P<args>[^)]*)\)[ \t]*(?:\n[ \t]*)?\{",
+    re.MULTILINE | re.DOTALL)
+_PARAM_RE = re.compile(
+    r"^(?P<quals>(?:(?:const|volatile|restrict)\s+)*)"
+    r"(?P<base>[A-Za-z_][A-Za-z0-9_]*(?:\s+[A-Za-z_][A-Za-z0-9_]*)*?)"
+    r"\s*(?P<stars>\*+)?\s*(?P<name>[A-Za-z_]\w*)?$")
+
+
+def _strip_comments(source: str) -> str:
+    # Preserve line numbers: replace comments with equivalent newlines.
+    def blank(match: re.Match) -> str:
+        return "\n" * match.group(0).count("\n")
+    return _COMMENT_RE.sub(blank, source)
+
+
+def _parse_param(text: str) -> Optional[CParam]:
+    text = " ".join(text.split())
+    if not text or text == "void":
+        return None
+    match = _PARAM_RE.match(text)
+    if match is None:
+        raise ValueError(f"unparseable C parameter: {text!r}")
+    base = " ".join(match.group("base").split())
+    # `unsigned` alone means `unsigned int`.
+    if base == "unsigned":
+        base = "int"
+    return CParam(base=base,
+                  pointer=len(match.group("stars") or ""),
+                  const="const" in (match.group("quals") or ""),
+                  name=match.group("name") or "")
+
+
+def parse_c_exports(source: Optional[str] = None) -> Dict[str, CSignature]:
+    """Exported (non-static) ``repro_*`` function definitions in conv.c."""
+    if source is None:
+        source = C_SOURCE.read_text()
+    text = _strip_comments(source)
+    exports: Dict[str, CSignature] = {}
+    for match in _EXPORT_RE.finditer(text):
+        head = " ".join(match.group("head").split())
+        if "static" in head.split():
+            continue
+        restype = head.removeprefix("extern").strip() or "int"
+        params = []
+        args = " ".join(match.group("args").split())
+        if args:
+            for piece in args.split(","):
+                param = _parse_param(piece)
+                if param is not None:
+                    params.append(param)
+        line = text.count("\n", 0, match.start()) + 1
+        exports[match.group("name")] = CSignature(
+            match.group("name"), restype, tuple(params), line)
+    return exports
+
+
+def parse_c_abi_version(source: Optional[str] = None) -> Optional[int]:
+    if source is None:
+        source = C_SOURCE.read_text()
+    match = re.search(r"#define\s+REPRO_NATIVE_ABI\s+(\d+)", source)
+    return int(match.group(1)) if match else None
+
+
+def signature_digest(source: Optional[str] = None) -> str:
+    """Order-independent digest of the canonical exported signatures.
+
+    Const qualifiers are part of the canonical form; parameter *names* are
+    not (renaming an argument is not an ABI change).
+    """
+    exports = parse_c_exports(source)
+    lines = sorted(sig.canonical() for sig in exports.values())
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Python side
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PyBinding:
+    name: str
+    restype: Optional[str] = None       #: token, or None when never set
+    argtypes: Optional[List[str]] = None
+    line: int = 0
+
+
+_CTYPES_NAMES = {"c_int", "c_long", "c_longlong", "c_float", "c_double",
+                 "c_size_t", "c_ubyte", "c_char", "c_void_p"}
+
+
+def _token(node: ast.AST, env: Dict[str, str]) -> Optional[str]:
+    """Canonical token for a ctypes type expression (or None)."""
+    if isinstance(node, ast.Constant) and node.value is None:
+        return "None"
+    if isinstance(node, ast.Name):
+        if node.id in env:
+            return env[node.id]
+        if node.id in _CTYPES_NAMES:
+            return node.id
+        return None
+    if isinstance(node, ast.Attribute):
+        if node.attr in _CTYPES_NAMES:
+            return node.attr
+        return None
+    if isinstance(node, ast.Call):
+        func = node.func
+        fname = func.attr if isinstance(func, ast.Attribute) else \
+            func.id if isinstance(func, ast.Name) else ""
+        if fname == "POINTER" and len(node.args) == 1:
+            inner = _token(node.args[0], env)
+            return f"POINTER({inner})" if inner else None
+        return None
+    return None
+
+
+def parse_py_bindings(source: Optional[str] = None) -> Dict[str, PyBinding]:
+    """``lib.<sym>.argtypes/restype`` assignments in build.py, resolved
+    through simple local aliases (``f32p = ctypes.POINTER(...)``)."""
+    if source is None:
+        source = PY_SOURCE.read_text()
+    tree = ast.parse(source)
+
+    env: Dict[str, str] = {}
+    bindings: Dict[str, PyBinding] = {}
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        # Alias collection: `f32p = ...`, including tuple unpacking.
+        targets = node.targets
+        if len(targets) == 1 and isinstance(targets[0], ast.Name):
+            token = _token(node.value, env)
+            if token is not None:
+                env[targets[0].id] = token
+        elif len(targets) == 1 and isinstance(targets[0], ast.Tuple) \
+                and isinstance(node.value, ast.Tuple) \
+                and len(targets[0].elts) == len(node.value.elts):
+            for t, v in zip(targets[0].elts, node.value.elts):
+                if isinstance(t, ast.Name):
+                    token = _token(v, env)
+                    if token is not None:
+                        env[t.id] = token
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Attribute)
+                and target.attr in ("restype", "argtypes")
+                and isinstance(target.value, ast.Attribute)):
+            continue
+        symbol = target.value.attr
+        binding = bindings.setdefault(symbol, PyBinding(symbol))
+        binding.line = binding.line or node.lineno
+        if target.attr == "restype":
+            binding.restype = _token(node.value, env) or "<unresolved>"
+        else:
+            if isinstance(node.value, (ast.List, ast.Tuple)):
+                binding.argtypes = [
+                    _token(elt, env) or "<unresolved>"
+                    for elt in node.value.elts]
+            else:
+                binding.argtypes = None if isinstance(node.value, ast.Constant) \
+                    and node.value.value is None else ["<unresolved>"]
+    return bindings
+
+
+def parse_py_abi_constants(source: Optional[str] = None
+                           ) -> Tuple[Optional[int], Optional[str]]:
+    """(ABI_VERSION, ABI_SIGNATURE_DIGEST) assignments in build.py."""
+    if source is None:
+        source = PY_SOURCE.read_text()
+    version: Optional[int] = None
+    digest: Optional[str] = None
+    for node in ast.walk(ast.parse(source)):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Constant):
+            if node.targets[0].id == "ABI_VERSION":
+                version = node.value.value
+            elif node.targets[0].id == "ABI_SIGNATURE_DIGEST":
+                digest = node.value.value
+    return version, digest
+
+
+# ---------------------------------------------------------------------------
+# The cross-check
+# ---------------------------------------------------------------------------
+
+RULE = "abi-check"
+
+
+def check_abi(c_source: Optional[str] = None,
+              py_source: Optional[str] = None) -> List[Finding]:
+    """Diff conv.c's exported prototypes against build.py's ctypes layer."""
+    if c_source is None:
+        c_source = C_SOURCE.read_text()
+    if py_source is None:
+        py_source = PY_SOURCE.read_text()
+
+    findings: List[Finding] = []
+
+    def c_finding(line: int, message: str) -> None:
+        findings.append(Finding(C_REL, line, 0, RULE, message))
+
+    def py_finding(line: int, message: str) -> None:
+        findings.append(Finding(PY_REL, line, 0, RULE, message))
+
+    try:
+        exports = parse_c_exports(c_source)
+    except ValueError as error:
+        c_finding(1, f"could not parse exported prototypes: {error}")
+        return findings
+    bindings = parse_py_bindings(py_source)
+
+    if not exports:
+        c_finding(1, "no exported repro_* prototypes found — the parser "
+                     "and the source have drifted apart")
+        return findings
+
+    for name, sig in sorted(exports.items()):
+        binding = bindings.get(name)
+        if binding is None:
+            c_finding(sig.line,
+                      f"exported `{name}` has no ctypes binding in "
+                      f"build.py's _bind(); calls would use implicit-int "
+                      f"marshalling")
+            continue
+        if binding.restype is None:
+            py_finding(binding.line,
+                       f"`{name}` never sets restype; ctypes defaults to "
+                       f"int — declare it explicitly "
+                       f"({sig.restype_token() or sig.restype})")
+        else:
+            expected = sig.restype_token()
+            if expected is None:
+                c_finding(sig.line,
+                          f"`{name}` returns `{sig.restype}`, which the "
+                          f"ABI checker has no ctypes mapping for")
+            elif binding.restype != expected:
+                py_finding(binding.line,
+                           f"`{name}` restype is {binding.restype}, but "
+                           f"conv.c returns `{sig.restype}` ({expected})")
+        if binding.argtypes is None:
+            py_finding(binding.line,
+                       f"`{name}` never sets argtypes; every argument "
+                       f"would marshal as implicit int — declare all "
+                       f"{len(sig.params)} explicitly")
+            continue
+        if len(binding.argtypes) != len(sig.params):
+            py_finding(binding.line,
+                       f"`{name}` declares {len(binding.argtypes)} "
+                       f"argtypes but conv.c takes {len(sig.params)} "
+                       f"parameters")
+            continue
+        for index, (param, token) in enumerate(zip(sig.params,
+                                                   binding.argtypes)):
+            expected = param.ctypes_token()
+            if expected is None:
+                c_finding(sig.line,
+                          f"`{name}` parameter {index} "
+                          f"(`{param.canonical()} {param.name}`) has no "
+                          f"ctypes mapping known to the ABI checker")
+            elif token != expected:
+                py_finding(binding.line,
+                           f"`{name}` argtypes[{index}] is {token}, but "
+                           f"conv.c declares `{param.canonical()} "
+                           f"{param.name}` ({expected})")
+
+    for name, binding in sorted(bindings.items()):
+        if name not in exports:
+            py_finding(binding.line,
+                       f"binding for `{name}` has no exported definition "
+                       f"in conv.c (stale or misspelled)")
+
+    c_version = parse_c_abi_version(c_source)
+    py_version, py_digest = parse_py_abi_constants(py_source)
+    if c_version is None:
+        c_finding(1, "missing `#define REPRO_NATIVE_ABI` — the runtime "
+                     "stale-library handshake is gone")
+    elif c_version != py_version:
+        py_finding(1, f"ABI_VERSION={py_version} but conv.c defines "
+                      f"REPRO_NATIVE_ABI={c_version}; bump them together")
+
+    digest = signature_digest(c_source)
+    if py_digest != digest:
+        py_finding(1,
+                   f"exported prototypes (const-ness included) hash to "
+                   f"{digest} but ABI_SIGNATURE_DIGEST is {py_digest!r}; "
+                   f"an exported signature changed — bump ABI_VERSION and "
+                   f"refresh the digest (python -m repro.analysis "
+                   f"--abi-digest)")
+    return findings

@@ -1,0 +1,340 @@
+"""Visitor-based AST lint engine for the repo's cross-cutting invariants.
+
+Six PRs of CHANGES.md prose promise invariants that no tool checks: every
+environment read goes through :mod:`repro.config`, library code never
+touches NumPy's global RNG stream, workspace buffers are released or reach
+a step boundary, nothing constructs threads/sockets at import time in
+modules the fork-start serving fleet inherits, and RNG seeds never come
+from wall-clock or OS entropy.  This module is the engine that turns those
+sentences into machine-checked rules; the rules themselves live in
+:mod:`repro.analysis.rules`.
+
+Engine model
+------------
+
+* Every ``*.py`` file under the scanned root is parsed once into a
+  :class:`FileContext` (AST + source lines + a resolved import map).
+* :class:`FileRule` subclasses are called once per file;
+  :class:`ProjectRule` subclasses see the whole file set at once (the
+  fork-safety rule needs the import *graph*, not one module).
+* Findings on a line carrying ``# repro: noqa[rule-name]`` (or a bare
+  ``# repro: noqa``) are waived at the engine level, so individual rules
+  never reimplement suppression.
+* A committed *baseline* (JSON list of finding fingerprints) suppresses
+  accepted pre-existing findings without touching the source.  Fingerprints
+  hash the (path, rule, offending source text) triple — not line numbers —
+  so unrelated edits above a baselined finding don't invalidate it.
+
+The engine deliberately has no dependencies beyond the standard library:
+it must be importable (and fast) in CI legs that never import NumPy.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "FileRule",
+    "ProjectRule",
+    "LintEngine",
+    "collect_imports",
+    "resolve_name",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[^\]]*)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str           #: POSIX path relative to the scan root's parent
+    line: int           #: 1-based line of the offending node
+    col: int            #: 0-based column of the offending node
+    rule: str           #: rule slug, e.g. ``config-discipline``
+    message: str
+    fingerprint: str = ""   #: stable identity for baselines (engine-filled)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need about one parsed source file."""
+
+    path: Path                      #: absolute filesystem path
+    rel: str                        #: POSIX path used in findings
+    module: str                     #: dotted module name (best effort)
+    source: str
+    lines: List[str]
+    tree: ast.Module
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        return Finding(self.rel, getattr(node, "lineno", 1),
+                       getattr(node, "col_offset", 0), rule, message)
+
+
+class Rule:
+    """Base class carrying the slug + one-line description (for ``--list-rules``)."""
+
+    name: str = ""
+    description: str = ""
+
+
+class FileRule(Rule):
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    def check_project(self, files: Dict[str, FileContext]) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Shared import-resolution helpers
+# ---------------------------------------------------------------------------
+
+def collect_imports(tree: ast.Module) -> Dict[str, str]:
+    """Map every locally bound import name to its dotted source.
+
+    ``import numpy as np``              -> ``{"np": "numpy"}``
+    ``import numpy.random``             -> ``{"numpy": "numpy"}``
+    ``from numpy import random as r``   -> ``{"r": "numpy.random"}``
+    ``from numpy.random import rand``   -> ``{"rand": "numpy.random.rand"}``
+
+    Relative imports resolve to their tail (``from ..nn import functional``
+    -> ``{"functional": "functional"}``); the rules only match absolute
+    stdlib/numpy names, so that lossiness is harmless.
+    """
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    # `import numpy.random` binds the *root* name.
+                    root = alias.name.split(".")[0]
+                    imports[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                dotted = f"{base}.{alias.name}" if base else alias.name
+                imports[bound] = dotted
+    return imports
+
+
+def resolve_name(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Resolve ``np.random.rand`` -> ``"numpy.random.rand"`` (or ``None``).
+
+    Follows Name/Attribute chains only — anything hanging off a call result
+    or subscript is dynamic and resolves to ``None`` (never a false match).
+    """
+    if isinstance(node, ast.Name):
+        return imports.get(node.id)
+    if isinstance(node, ast.Attribute):
+        base = resolve_name(node.value, imports)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def walk_import_time(tree: ast.Module) -> Iterable[ast.AST]:
+    """Yield every node executed at *import* time (skips function bodies).
+
+    Module-level statements, class bodies, and anything nested in
+    module-level ``if``/``try``/``with``/``for`` run when the module is
+    imported; ``def``/``lambda`` bodies do not.
+    """
+    def visit(node: ast.AST) -> Iterable[ast.AST]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                # The decorator list and defaults DO run at import time.
+                if not isinstance(child, ast.Lambda):
+                    for dec in child.decorator_list:
+                        yield dec
+                        yield from visit(dec)
+                    for default in (child.args.defaults
+                                    + [d for d in child.args.kw_defaults if d]):
+                        yield default
+                        yield from visit(default)
+                continue
+            yield child
+            yield from visit(child)
+    return visit(tree)
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> List[dict]:
+    """Load baseline entries; a missing file is an empty baseline."""
+    if not Path(path).exists():
+        return []
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline format in {path}")
+    return list(data.get("findings", []))
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> None:
+    entries = [{"fingerprint": f.fingerprint, "path": f.path, "rule": f.rule,
+                "message": f.message} for f in findings]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def apply_baseline(findings: Sequence[Finding], baseline: Sequence[dict]
+                   ) -> Tuple[List[Finding], List[Finding], List[dict]]:
+    """Split ``findings`` into (fresh, suppressed) and report stale entries.
+
+    A baseline entry is *stale* when no current finding matches it — the
+    violation was fixed, so the entry should be deleted (CI prints these
+    but does not fail on them).
+    """
+    known = {entry.get("fingerprint") for entry in baseline}
+    fresh = [f for f in findings if f.fingerprint not in known]
+    suppressed = [f for f in findings if f.fingerprint in known]
+    live = {f.fingerprint for f in suppressed}
+    stale = [entry for entry in baseline
+             if entry.get("fingerprint") not in live]
+    return fresh, suppressed, stale
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+class LintEngine:
+    """Parse a tree of Python files once and run every rule over it."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        if rules is None:
+            from .rules import ALL_RULES
+            rules = ALL_RULES
+        self.rules = list(rules)
+
+    # -- collection --------------------------------------------------------
+
+    def _contexts(self, root: Path) -> Dict[str, FileContext]:
+        root = Path(root).resolve()
+        if root.is_file():
+            paths = [root]
+            base = root.parent
+        else:
+            paths = sorted(p for p in root.rglob("*.py"))
+            base = root.parent
+        contexts: Dict[str, FileContext] = {}
+        for path in paths:
+            rel = path.relative_to(base).as_posix()
+            module = rel[:-3].replace("/", ".")
+            if module.endswith(".__init__"):
+                module = module[: -len(".__init__")]
+            source = path.read_text()
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as error:
+                # Surfaced as a finding rather than crashing the whole run:
+                # one broken file should not hide every other violation.
+                ctx = FileContext(path, rel, module, source,
+                                  source.splitlines(), ast.Module(body=[],
+                                                                  type_ignores=[]))
+                ctx.parse_error = error        # type: ignore[attr-defined]
+                contexts[module] = ctx
+                continue
+            ctx = FileContext(path, rel, module, source, source.splitlines(),
+                              tree, collect_imports(tree))
+            contexts[module] = ctx
+        return contexts
+
+    # -- waivers + fingerprints -------------------------------------------
+
+    @staticmethod
+    def _waived(finding: Finding, ctx: FileContext) -> bool:
+        if not (1 <= finding.line <= len(ctx.lines)):
+            return False
+        match = _NOQA_RE.search(ctx.lines[finding.line - 1])
+        if not match:
+            return False
+        rules = match.group("rules")
+        if rules is None:
+            return True                       # bare `# repro: noqa`
+        waived = {r.strip() for r in rules.split(",") if r.strip()}
+        return finding.rule in waived
+
+    @staticmethod
+    def _fingerprint(finding: Finding, ctx: Optional[FileContext],
+                     seen: Dict[Tuple[str, str, str], int]) -> str:
+        if ctx is not None and 1 <= finding.line <= len(ctx.lines):
+            text = ctx.lines[finding.line - 1].strip()
+        else:
+            text = finding.message
+        key = (finding.path, finding.rule, text)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        raw = f"{finding.path}::{finding.rule}::{text}::{index}"
+        return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+    # -- run ---------------------------------------------------------------
+
+    def run(self, root: Path) -> List[Finding]:
+        """Lint every ``*.py`` under ``root``; returns waiver-filtered,
+        fingerprinted findings sorted by location."""
+        contexts = self._contexts(Path(root))
+        by_rel = {ctx.rel: ctx for ctx in contexts.values()}
+        findings: List[Finding] = []
+
+        for ctx in contexts.values():
+            error = getattr(ctx, "parse_error", None)
+            if error is not None:
+                findings.append(Finding(ctx.rel, error.lineno or 1, 0,
+                                        "parse-error", str(error.msg)))
+                continue
+            for rule in self.rules:
+                if isinstance(rule, FileRule):
+                    findings.extend(rule.check_file(ctx))
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                findings.extend(rule.check_project(contexts))
+
+        findings = [f for f in findings
+                    if f.path not in by_rel or not self._waived(f, by_rel[f.path])]
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        seen: Dict[Tuple[str, str, str], int] = {}
+        return [replace(f, fingerprint=self._fingerprint(f, by_rel.get(f.path),
+                                                         seen))
+                for f in findings]

@@ -1,0 +1,30 @@
+"""Repo-specific lint rules (one module per rule).
+
+Each module exposes one :class:`~repro.analysis.lint.Rule` subclass;
+``ALL_RULES`` is the engine's default rule set, in the order findings are
+documented in the README rule table.
+"""
+
+from .config_discipline import ConfigDiscipline
+from .rng_discipline import RngDiscipline
+from .workspace_pairing import WorkspacePairing
+from .fork_safety import ForkSafety
+from .time_seed import TimeSeed
+
+__all__ = ["ALL_RULES", "rule_table", "ConfigDiscipline", "RngDiscipline",
+           "WorkspacePairing", "ForkSafety", "TimeSeed"]
+
+ALL_RULES = (
+    ConfigDiscipline(),
+    RngDiscipline(),
+    WorkspacePairing(),
+    ForkSafety(),
+    TimeSeed(),
+)
+
+
+def rule_table() -> str:
+    """``--list-rules`` output: one ``name: description`` line per rule."""
+    width = max(len(rule.name) for rule in ALL_RULES)
+    return "\n".join(f"{rule.name:<{width}}  {rule.description}"
+                     for rule in ALL_RULES)

@@ -1,0 +1,58 @@
+"""``config-discipline`` — every environment read goes through repro.config.
+
+:mod:`repro.config` is the registry of every runtime knob: typed accessors,
+documented defaults, and warn-and-fall-back handling of malformed values.
+An ``os.environ``/``os.getenv`` call anywhere else bypasses all of that —
+the knob becomes invisible to the README table, silently diverges in
+malformed-value behaviour, and (the PR 5 incident) ships with semantics
+nobody reviews.  This rule flags any reference to the environment outside
+``repro/config.py``, whether reached as an attribute chain or bound via
+``from os import environ``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..lint import FileContext, FileRule, Finding, resolve_name
+
+#: Fully-resolved names whose mere *reference* constitutes an env access.
+BANNED = {
+    "os.environ",
+    "os.environb",
+    "os.getenv",
+    "os.getenvb",
+    "os.putenv",
+    "os.unsetenv",
+}
+
+#: The one module allowed to touch the environment (path suffix match so
+#: fixture trees in tests can provide their own ``config.py``).
+ALLOWED_SUFFIX = "config.py"
+
+
+class ConfigDiscipline(FileRule):
+    name = "config-discipline"
+    description = ("environment access (os.environ / os.getenv) outside "
+                   "repro/config.py; add a typed accessor there instead")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.rel.endswith(ALLOWED_SUFFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                resolved = resolve_name(node, ctx.imports)
+                if resolved in BANNED:
+                    yield ctx.finding(
+                        node, self.name,
+                        f"`{resolved}` outside repro/config.py: route this "
+                        f"knob through a typed repro.config accessor")
+            elif isinstance(node, ast.ImportFrom) and node.module == "os":
+                for alias in node.names:
+                    if f"os.{alias.name}" in BANNED:
+                        yield ctx.finding(
+                            node, self.name,
+                            f"`from os import {alias.name}` outside "
+                            f"repro/config.py: route this knob through a "
+                            f"typed repro.config accessor")

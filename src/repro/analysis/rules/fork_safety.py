@@ -1,0 +1,151 @@
+"""``fork-safety`` — no import-time threads/sockets in fleet-worker modules.
+
+:mod:`repro.serving.fleet` forks its workers (the model is inherited, never
+pickled), so a child begins life with a copy of *every module the parent
+imported*.  A thread started at import time exists only in the parent
+after fork — the child inherits a lock that may be held forever, a
+"running" thread object that isn't, or a socket FD shared byte-stream and
+all.  These bugs surface as rare worker hangs during chaos respawns, the
+least debuggable failure mode the fleet has.
+
+This rule computes the transitive *module-level* import closure of the
+fleet module (function-local imports don't execute at import time) and
+flags any statement in that closure that constructs a thread, lock,
+socket, pool or executor at import time.  Class bodies count (they execute
+at import); ``def`` bodies don't.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+from ..lint import (FileContext, Finding, ProjectRule, collect_imports,
+                    resolve_name, walk_import_time)
+
+#: Fully-resolved callables that must not run at import time in worker
+#: modules.  (`multiprocessing.*` constructors are included: building a
+#: Pool at import time in a module the fleet imports would fork from a
+#: fork.)
+BANNED_CALLS = {
+    "threading.Thread",
+    "threading.Timer",
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Event",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "threading.Barrier",
+    "threading.local",
+    "socket.socket",
+    "socket.create_connection",
+    "socket.create_server",
+    "socket.socketpair",
+    "multiprocessing.Pool",
+    "multiprocessing.Process",
+    "multiprocessing.Queue",
+    "multiprocessing.SimpleQueue",
+    "multiprocessing.JoinableQueue",
+    "multiprocessing.Manager",
+    "multiprocessing.Lock",
+    "multiprocessing.Event",
+    "multiprocessing.Pipe",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+}
+
+#: The fleet module is identified by suffix so test fixture trees
+#: (``pkg/serving/fleet.py``) exercise the rule without a full repro tree.
+ROOT_SUFFIX = ".serving.fleet"
+
+
+class ForkSafety(ProjectRule):
+    name = "fork-safety"
+    description = ("import-time thread/lock/socket/pool construction in a "
+                   "module the fork-start fleet workers inherit")
+
+    # -- import closure ----------------------------------------------------
+
+    @staticmethod
+    def _module_level_imports(ctx: FileContext) -> List[ast.AST]:
+        return [node for node in walk_import_time(ctx.tree)
+                if isinstance(node, (ast.Import, ast.ImportFrom))]
+
+    @staticmethod
+    def _resolve_targets(node: ast.AST, ctx: FileContext,
+                         modules: Set[str]) -> Set[str]:
+        """Project-internal modules this import statement loads."""
+        found: Set[str] = set()
+
+        def note(dotted: str) -> None:
+            if dotted in modules:
+                found.add(dotted)
+
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                for i in range(1, len(parts) + 1):
+                    note(".".join(parts[:i]))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Relative: resolve against this module's package.
+                package = ctx.module.split(".")
+                if not ctx.path.name == "__init__.py":
+                    package = package[:-1]
+                if node.level > 1:
+                    package = package[: -(node.level - 1)] or []
+                base = ".".join(package)
+            else:
+                base = node.module or ""
+            if node.level and node.module:
+                base = f"{base}.{node.module}" if base else node.module
+            if base:
+                parts = base.split(".")
+                for i in range(1, len(parts) + 1):
+                    note(".".join(parts[:i]))
+            for alias in node.names:
+                if alias.name != "*" and base:
+                    note(f"{base}.{alias.name}")
+        return found
+
+    def _closure(self, files: Dict[str, FileContext]) -> Set[str]:
+        modules = set(files)
+        roots = [m for m in modules if m.endswith(ROOT_SUFFIX)]
+        closure: Set[str] = set()
+        frontier = list(roots)
+        while frontier:
+            module = frontier.pop()
+            if module in closure or module not in files:
+                continue
+            closure.add(module)
+            # Importing pkg.sub executes pkg/__init__.py too.
+            parts = module.split(".")
+            for i in range(1, len(parts)):
+                parent = ".".join(parts[:i])
+                if parent in modules and parent not in closure:
+                    frontier.append(parent)
+            ctx = files[module]
+            for node in self._module_level_imports(ctx):
+                for target in self._resolve_targets(node, ctx, modules):
+                    if target not in closure:
+                        frontier.append(target)
+        return closure
+
+    # -- check -------------------------------------------------------------
+
+    def check_project(self, files: Dict[str, FileContext]
+                      ) -> Iterable[Finding]:
+        closure = self._closure(files)
+        for module in sorted(closure):
+            ctx = files[module]
+            for node in walk_import_time(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = resolve_name(node.func, ctx.imports)
+                if resolved in BANNED_CALLS:
+                    yield ctx.finding(
+                        node, self.name,
+                        f"`{resolved}(...)` runs at import time in a module "
+                        f"the fork-start fleet workers inherit; construct "
+                        f"it lazily (inside a function) instead")

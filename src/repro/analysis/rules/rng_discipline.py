@@ -1,0 +1,61 @@
+"""``rng-discipline`` — no NumPy global-stream RNG calls in library code.
+
+The serving fleet's determinism contract (the full precision-label stream
+is a function of ``(seed, submission order, max_batch)``, asserted across
+worker counts and respawns) holds only because every draw comes from an
+explicitly seeded ``numpy.random.Generator`` plumbed to where it is used.
+One ``np.random.shuffle`` in library code couples results to global
+interpreter state — whichever module seeded (or forgot to seed) the legacy
+stream last — and breaks replay silently.  This rule flags any reference
+to ``numpy.random.<fn>`` that is not explicit-generator plumbing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..lint import FileContext, FileRule, Finding, resolve_name
+
+#: numpy.random attributes that ARE the explicit-generator discipline.
+ALLOWED = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "RandomState",      # a seeded instance, not the global stream
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+}
+
+
+class RngDiscipline(FileRule):
+    name = "rng-discipline"
+    description = ("numpy global-stream RNG use (np.random.<fn>); plumb a "
+                   "seeded np.random.default_rng Generator instead")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                resolved = resolve_name(node, ctx.imports)
+                if (resolved and resolved.startswith("numpy.random.")
+                        and resolved.count(".") == 2):
+                    attr = resolved.rsplit(".", 1)[1]
+                    if attr not in ALLOWED:
+                        yield ctx.finding(
+                            node, self.name,
+                            f"`{resolved}` draws from the global NumPy "
+                            f"stream; use a seeded default_rng Generator "
+                            f"(fleet determinism depends on it)")
+            elif isinstance(node, ast.ImportFrom) \
+                    and node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name != "*" and alias.name not in ALLOWED:
+                        yield ctx.finding(
+                            node, self.name,
+                            f"`from numpy.random import {alias.name}` binds "
+                            f"a global-stream function; use a seeded "
+                            f"default_rng Generator")

@@ -1,0 +1,92 @@
+"""``no-naked-time-seed`` — RNG seeds never come from wall-clock/OS entropy.
+
+Every determinism contract in this repo — bit-identical sharded grids, the
+fleet's seeded precision-draw stream, replayable chaos tests — reduces to
+one discipline: seeds are explicit values from config, never ambient
+entropy.  ``default_rng(time.time())`` *looks* seeded (it passes every
+"did you seed it" review) while being exactly as irreproducible as no
+seed at all, which is why it gets its own rule instead of relying on
+``rng-discipline``.
+
+Flags ``time.time``/``time.time_ns``/``os.urandom``-style entropy anywhere
+inside the arguments of a seed sink: ``default_rng(...)``,
+``RandomState(...)``, ``SeedSequence(...)``, bit-generator constructors,
+``<x>.seed(...)`` calls, and any ``seed=``/``rng_seed=`` keyword.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..lint import FileContext, FileRule, Finding, resolve_name
+
+#: Entropy sources that must not feed a seed.
+ENTROPY = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "random.random",
+    "secrets.token_bytes",
+    "secrets.randbits",
+}
+
+#: Callable names whose arguments are seeds.
+SINK_NAMES = {
+    "default_rng",
+    "RandomState",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+    "seed",
+}
+
+#: Keyword arguments that are seeds regardless of what is being called.
+SEED_KEYWORDS = {"seed", "rng_seed", "random_state"}
+
+
+def _sink_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in SINK_NAMES:
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr in SINK_NAMES:
+        return func.attr
+    return None
+
+
+class TimeSeed(FileRule):
+    name = "no-naked-time-seed"
+    description = ("RNG seeded from wall-clock or OS entropy "
+                   "(time.time()/os.urandom into default_rng/seed)")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            seed_exprs = []
+            if _sink_name(node) is not None:
+                seed_exprs.extend(node.args)
+                seed_exprs.extend(kw.value for kw in node.keywords)
+            else:
+                seed_exprs.extend(kw.value for kw in node.keywords
+                                  if kw.arg in SEED_KEYWORDS)
+            for expr in seed_exprs:
+                for inner in ast.walk(expr):
+                    if isinstance(inner, ast.Call):
+                        resolved = resolve_name(inner.func, ctx.imports)
+                        if resolved in ENTROPY:
+                            yield ctx.finding(
+                                inner, self.name,
+                                f"`{resolved}()` feeds an RNG seed; seeds "
+                                f"must be explicit values (config/seeded "
+                                f"streams) or reproducibility is gone")

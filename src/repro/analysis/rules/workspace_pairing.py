@@ -1,0 +1,250 @@
+"""``workspace-pairing`` — acquired scratch buffers must be discharged.
+
+The :class:`repro.nn.workspace.Workspace` arena is "leak, never corrupt":
+a buffer that is acquired and then simply dropped is never *wrong*, it
+just silently stops being reused — the allocation-free steady state PR 3
+measured decays back to malloc traffic one forgotten ``release`` at a
+time (exactly the class of gap the PR 6 stats audit found by hand).
+
+Within one function scope, a name bound from an ``acquire``-like call must
+be *discharged*: passed to a ``release`` call, covered by an ``end_step``
+boundary in the same function, or it must escape — returned/yielded
+(ownership transfers to the caller, guarded by the arena's refcount check),
+stored into an object/container, handed to an ``adopt``-style call
+(``Tensor.make_from_op`` / ``accumulate_grad`` take ownership), or
+captured by a nested function (autograd ``backward`` closures keep their
+buffers alive for the graph's lifetime — pairing is then the closure's
+contract, not this scope's).  A buffer that does none of these is a drop,
+and an ``acquire`` whose result is never even bound cannot be discharged
+at all.
+
+The analysis is name-based with alias tracking through plain rebinds
+(``staged = xp``) and *view-producing* expressions only
+(``out = buf.reshape(...)``, ``col = buf[...]`` — views share the
+allocation, so the view escaping keeps the buffer alive; a BinOp/matmul
+result is a fresh array and deliberately does NOT alias, which is exactly
+how `plan.py`'s dropped staging buffer stays visible).  Scoped per
+function; nested functions are their own scopes.  It is deliberately a
+*heuristic*: conditional paths are not enumerated (a release on any path
+counts), trading soundness for a near-zero false-positive rate on the
+real compute core.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+from ..lint import FileContext, FileRule, Finding
+
+#: Call names (attribute or bare) that hand out an arena buffer.
+ACQUIRE_NAMES = {"acquire", "acquire_like", "_acquire", "_acquire_like"}
+#: Call names that give one back.
+RELEASE_NAMES = {"release", "_release"}
+#: Call names that transfer ownership of a passed buffer.
+ADOPT_NAMES = {"adopt", "append", "add", "put", "extend", "appendleft",
+               "accumulate_grad", "make_from_op"}
+#: A step boundary discharges every outstanding buffer in the function.
+BOUNDARY_NAMES = {"end_step"}
+#: ndarray methods whose result is a *view* of the receiver (escape of the
+#: view is escape of the buffer).
+VIEW_METHODS = {"reshape", "transpose", "view", "ravel", "swapaxes",
+                "squeeze"}
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _workspaceish(node: ast.AST) -> bool:
+    """Does this receiver look like a workspace (not a threading lock)?"""
+    if isinstance(node, ast.Name):
+        ident = node.id
+    elif isinstance(node, ast.Attribute):
+        ident = node.attr
+    elif isinstance(node, ast.Call):
+        return _call_name(node) in {"default_workspace"}
+    else:
+        return False
+    lowered = ident.lower()
+    return lowered == "ws" or "workspace" in lowered or "arena" in lowered
+
+
+def _is_acquire(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in ACQUIRE_NAMES
+    if isinstance(func, ast.Attribute):
+        if func.attr in ("acquire_like", "_acquire_like"):
+            return True
+        # Bare `.acquire(...)` is also how threading locks spell it; only
+        # workspace-looking receivers are in scope for this rule.
+        return func.attr == "acquire" and _workspaceish(func.value)
+    return False
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _view_root(node: ast.AST) -> str:
+    """Peel view-producing wrappers down to the viewed name (or '')."""
+    while True:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Attribute) and node.attr == "T":
+            node = node.value
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in VIEW_METHODS:
+            node = node.func.value
+        else:
+            return ""
+
+
+def _acquires_in(node: ast.AST) -> List[ast.Call]:
+    return [call for call in ast.walk(node)
+            if isinstance(call, ast.Call) and _is_acquire(call)]
+
+
+class _FunctionScope:
+    """One function body, nested function definitions excluded."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.nodes: List[ast.AST] = []
+        self.captured: Set[str] = set()     # names referenced by nested defs
+        for stmt in func.body:
+            self._collect(stmt)
+
+    def _collect(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            self.captured |= _names_in(node)
+            return
+        self.nodes.append(node)
+        for child in ast.iter_child_nodes(node):
+            self._collect(child)
+
+
+class WorkspacePairing(FileRule):
+    name = "workspace-pairing"
+    description = ("workspace buffer acquired but neither released, "
+                   "escaping, nor covered by end_step in the function")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    # -- per-function analysis --------------------------------------------
+
+    def _check_function(self, ctx: FileContext,
+                        func: ast.AST) -> Iterable[Finding]:
+        scope = _FunctionScope(func)
+        acquired: Dict[str, ast.AST] = {}       # name -> acquire call node
+        aliases: Dict[str, Set[str]] = {}       # name -> alias group (shared set)
+        discharged: Set[str] = set()
+        boundary = False
+        unbound: List[ast.AST] = []
+
+        def group(name: str) -> Set[str]:
+            if name not in aliases:
+                aliases[name] = {name}
+            return aliases[name]
+
+        def union(a: str, b: str) -> None:
+            merged = group(a) | group(b)
+            for name in merged:
+                aliases[name] = merged
+
+        # Pass 1: bindings, aliases and unbound acquires.  A name is an
+        # acquire binding when its assigned value *contains* an acquire
+        # call (covers `buf = ws.acquire(s) if ws else np.empty(s)`).
+        bound_calls: Set[int] = set()
+        for node in scope.nodes:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                target = node.targets[0].id
+                value = node.value
+                contained = _acquires_in(value)
+                if contained:
+                    acquired[target] = contained[0]
+                    group(target)
+                    bound_calls |= {id(c) for c in contained}
+                elif isinstance(value, ast.Name):
+                    union(target, value.id)
+                else:
+                    # View of an acquired buffer: the alias keeps the
+                    # allocation alive, so its escape is the buffer's.
+                    root = _view_root(value)
+                    if root:
+                        union(target, root)
+        for node in scope.nodes:
+            if isinstance(node, ast.Call) and _is_acquire(node) \
+                    and id(node) not in bound_calls:
+                unbound.append(node)
+
+        if not acquired and not unbound:
+            return
+
+        # Pass 2: discharges and escapes.
+        escaped_unbound: Set[int] = set()
+        for node in scope.nodes:
+            if isinstance(node, ast.Call):
+                cname = _call_name(node)
+                if cname in BOUNDARY_NAMES:
+                    boundary = True
+                elif cname in RELEASE_NAMES:
+                    for arg in node.args:
+                        discharged |= _names_in(arg) & set(aliases)
+                elif cname in ADOPT_NAMES:
+                    for arg in node.args:
+                        discharged |= _names_in(arg) & set(aliases)
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = getattr(node, "value", None)
+                if value is not None:
+                    discharged |= _names_in(value) & set(aliases)
+                    escaped_unbound |= {id(c) for c in _acquires_in(value)}
+            elif isinstance(node, ast.Assign):
+                # Storing into an attribute/subscript/tuple target escapes
+                # the buffer into an object or container the caller owns.
+                if any(not isinstance(t, ast.Name) for t in node.targets):
+                    discharged |= _names_in(node.value) & set(aliases)
+                    escaped_unbound |= {id(c)
+                                        for c in _acquires_in(node.value)}
+
+        if boundary:
+            return
+
+        # Capture by a nested function (an autograd backward closure) keeps
+        # the buffer alive past this scope; pairing becomes its contract.
+        discharged |= scope.captured & set(aliases)
+
+        # Propagate discharge across alias groups.
+        fully_discharged: Set[str] = set()
+        for name in acquired:
+            if group(name) & discharged:
+                fully_discharged.add(name)
+
+        for name, site in acquired.items():
+            if name not in fully_discharged:
+                yield ctx.finding(
+                    site, self.name,
+                    f"workspace buffer `{name}` is acquired but neither "
+                    f"released, escaping, nor covered by end_step; pair "
+                    f"every acquire with release/end_step on all paths")
+        for site in unbound:
+            if id(site) not in escaped_unbound:
+                yield ctx.finding(
+                    site, self.name,
+                    "acquire result is not bound to a name, so it can "
+                    "never be released; bind it (and release it) or use "
+                    "a plain np.empty")

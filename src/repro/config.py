@@ -26,6 +26,24 @@ NN compute core (:mod:`repro.nn`):
                                 backends ignore it.
 ``REPRO_NN_NATIVE_CACHE_DIR``   Where compiled native kernels are cached
                                 (default ``~/.cache/repro/native``).
+``REPRO_NN_NATIVE_SANITIZE``    Comma-separated sanitizers to compile the
+                                native kernels with (``address``,
+                                ``undefined``; default none).  Sanitized
+                                builds are cache-keyed separately from
+                                production builds; an ``address`` build
+                                additionally needs the ASan runtime
+                                preloaded (``LD_PRELOAD=libasan.so``) or
+                                loading degrades to ``fast`` with one
+                                warning instead of aborting the process.
+``CC``                          Standard toolchain variable, honoured (and
+                                trusted as-is) as the native-kernel
+                                compiler override; empty or unset falls
+                                back to ``cc``/``gcc``/``clang`` on
+                                ``PATH``.  Read through
+                                :func:`cc_override` — the one non-
+                                ``REPRO_*`` knob registered here so the
+                                ``config-discipline`` lint can keep every
+                                environment read in this module.
 ``REPRO_NN_WORKSPACE_MB``       Scratch-arena cap in MiB (default 256;
                                 ``0`` disables pooling).  Read when a
                                 :class:`repro.nn.workspace.Workspace` is
@@ -97,6 +115,9 @@ __all__ = [
     "nn_backend",
     "nn_threads",
     "nn_native_cache_dir",
+    "nn_native_sanitize",
+    "cc_override",
+    "ld_preload",
     "nn_workspace_mb",
     "nn_quant_cache_enabled",
     "nn_batched_restarts",
@@ -207,6 +228,59 @@ def nn_native_cache_dir() -> Path:
     if override:
         return Path(override).expanduser()
     return Path.home() / ".cache" / "repro" / "native"
+
+
+#: Sanitizers the native build knows how to enable.
+NN_SANITIZERS = ("address", "undefined")
+
+
+def nn_native_sanitize() -> tuple:
+    """Sanitizers to compile the native kernels with
+    (``REPRO_NN_NATIVE_SANITIZE``): a comma-separated subset of
+    ``address``/``undefined``; default empty = a production build.
+
+    Unknown names warn (naming the variable and the valid values) and are
+    dropped rather than silently ignored or fatal, so a typo degrades to a
+    *less* instrumented build instead of breaking the backend.  The result
+    is ordered canonically (``NN_SANITIZERS`` order) so equivalent spellings
+    share one compile-cache slot.
+    """
+    raw = env_str("REPRO_NN_NATIVE_SANITIZE", "")
+    if not raw:
+        return ()
+    requested = {item.strip().lower() for item in raw.split(",") if item.strip()}
+    unknown = requested - set(NN_SANITIZERS)
+    if unknown:
+        warnings.warn(
+            f"ignoring unknown REPRO_NN_NATIVE_SANITIZE entries "
+            f"{sorted(unknown)}; choose from {NN_SANITIZERS}", stacklevel=2)
+    return tuple(s for s in NN_SANITIZERS if s in requested)
+
+
+def cc_override() -> "str | None":
+    """The ``$CC`` toolchain override for the native-kernel build, or
+    ``None`` when unset/empty (fall back to ``cc``/``gcc``/``clang`` on
+    ``PATH``).
+
+    The value is trusted as-is — pointing it at a non-existent binary is
+    the supported way to mask the compiler (the no-compiler CI leg does
+    exactly that).  Empty and whitespace-only values mean "unset", matching
+    the historical ``compiler_command`` semantics.
+    """
+    raw = os.environ.get("CC", "").strip()
+    return raw or None
+
+
+def ld_preload() -> str:
+    """The raw ``LD_PRELOAD`` value (empty when unset).
+
+    Consulted by the native loader before ``dlopen``-ing an
+    address-sanitized library: without the ASan runtime preloaded the
+    runtime aborts the whole interpreter, so the loader turns that state
+    into an ordinary build error (and the usual fast-backend degrade)
+    instead.
+    """
+    return env_str("LD_PRELOAD", "")
 
 
 def nn_workspace_mb() -> float:

@@ -424,12 +424,18 @@ class CompiledPrecisionPlan:
 
         def forward(x: Tensor) -> Tensor:
             data = x.data
+            staged = None
             if act_cfg is not None:
                 scale, _ = compute_quant_scale(data, act_cfg)
-                staged = default_workspace().acquire(data.shape)
+                ws = default_workspace()
+                staged = ws.acquire(data.shape)
                 data = quantize_data_into(data, staged, scale,
                                           act_cfg.qmin, act_cfg.qmax)
             out = data @ w_t
+            if staged is not None:
+                # The GEMM output is a fresh array; the quantization
+                # staging buffer is dead and goes back to the arena.
+                ws.release(staged)
             if bias is not None:
                 out += bias
             return Tensor(out)

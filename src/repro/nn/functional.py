@@ -1201,6 +1201,7 @@ def relu(x: Tensor, workspace: Optional[Workspace] = None) -> Tensor:
             # grad_out is dead after this backward; mask it in place.
             np.multiply(grad_out, mask, out=grad_out)
             x.grad += grad_out
+        workspace.release(mask)
 
     return Tensor.make_from_op(out_data, (x,), backward)
 

@@ -15,6 +15,13 @@ When no compiler is present (or the build fails) :func:`load` raises
 :mod:`repro.nn.functional` catches it and degrades to the ``fast`` backend
 with a single warning.  ``python -m repro.nn.native.build`` pre-builds the
 library explicitly (used by CI and deployment images).
+
+``REPRO_NN_NATIVE_SANITIZE=address,undefined`` compiles the kernels under
+ASan/UBSan (cache-keyed separately, UBSan findings fatal); the CI
+``sanitize`` leg runs the native parity suites that way.  Address-sanitized
+libraries additionally need the ASan runtime preloaded into the
+interpreter — :func:`load` checks and degrades cleanly instead of letting
+the runtime abort the process.
 """
 
 from __future__ import annotations
@@ -40,6 +47,15 @@ __all__ = ["NativeBuildError", "compiler_command", "library_path", "build",
 #: signature changes; part of the cache key and verified after load.
 ABI_VERSION = 2
 
+#: Digest of the canonical exported-prototype signatures in conv.c
+#: (including const-ness, which the ctypes layer cannot express), as
+#: computed by :func:`repro.analysis.abi.signature_digest`.  The ABI
+#: cross-checker fails when conv.c's prototypes drift away from this
+#: value: changing an exported signature requires bumping
+#: :data:`ABI_VERSION` and refreshing this digest
+#: (``python -m repro.analysis --abi-digest`` prints the current one).
+ABI_SIGNATURE_DIGEST = "fbaeba012c787823"
+
 _SOURCE = Path(__file__).with_name("conv.c")
 
 #: Flag sets tried in order: -march=native gives the vectoriser the real
@@ -50,6 +66,37 @@ _FLAG_SETS = (
     ["-O3", "-funroll-loops"],
 )
 _COMMON_FLAGS = ["-std=c99", "-fPIC", "-shared", "-pthread"]
+
+#: Extra flags per sanitizer (REPRO_NN_NATIVE_SANITIZE).  UBSan findings
+#: are made fatal — a CI leg that merely *prints* "runtime error:" while
+#: every test passes gates nothing.
+_SANITIZER_FLAGS = {
+    "address": ["-fsanitize=address"],
+    "undefined": ["-fsanitize=undefined", "-fno-sanitize-recover=undefined"],
+}
+_SANITIZER_COMMON = ["-g", "-fno-omit-frame-pointer"]
+
+
+def sanitize_flags() -> List[str]:
+    """Compile flags implied by ``REPRO_NN_NATIVE_SANITIZE`` (may be empty)."""
+    sanitizers = config.nn_native_sanitize()
+    if not sanitizers:
+        return []
+    flags: List[str] = []
+    for name in sanitizers:
+        flags.extend(_SANITIZER_FLAGS[name])
+    return flags + _SANITIZER_COMMON
+
+
+def flag_sets() -> List[List[str]]:
+    """The candidate flag sets for this process, sanitizers included.
+
+    Sanitizer flags participate in :func:`_cache_tag` exactly like any
+    other flag, so instrumented and production builds occupy disjoint
+    cache slots and flipping the knob can never serve a stale library.
+    """
+    extra = sanitize_flags()
+    return [list(flags) + extra for flags in _FLAG_SETS]
 
 
 class NativeBuildError(RuntimeError):
@@ -64,7 +111,7 @@ def compiler_command() -> Optional[List[str]]:
     compiler (the no-compiler CI leg does exactly that).  Otherwise the
     first of ``cc``/``gcc``/``clang`` on ``PATH`` is used.
     """
-    cc = os.environ.get("CC", "").strip()
+    cc = config.cc_override()
     if cc:
         return cc.split()
     for candidate in ("cc", "gcc", "clang"):
@@ -107,7 +154,7 @@ def _cache_tag(flags: List[str]) -> str:
 
 def library_path(flags: Optional[List[str]] = None) -> Path:
     """Cache location of the compiled library for ``flags`` (default set)."""
-    flags = list(_FLAG_SETS[0]) if flags is None else flags
+    flags = flag_sets()[0] if flags is None else flags
     suffix = ".dylib" if sys.platform == "darwin" else ".so"
     return config.nn_native_cache_dir() / f"reproconv-{_cache_tag(flags)}{suffix}"
 
@@ -118,10 +165,11 @@ def build(verbose: bool = False) -> Path:
     Raises :class:`NativeBuildError` when no compiler is available or every
     flag set fails.
     """
+    candidates = flag_sets()
     # Probe every flag set's cache slot first: a toolchain that rejects
     # -march=native would otherwise re-run that doomed compile in every new
     # process before reaching its cached portable build.
-    for flags in _FLAG_SETS:
+    for flags in candidates:
         target = library_path(flags)
         if target.exists():
             return target
@@ -133,7 +181,7 @@ def build(verbose: bool = False) -> Path:
             "backend needs one to build repro/nn/native/conv.c")
 
     errors = []
-    for flags in _FLAG_SETS:
+    for flags in candidates:
         target = library_path(flags)
         target.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=target.suffix)
@@ -196,6 +244,17 @@ def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
 
 def load() -> ctypes.CDLL:
     """Build (when needed) and load the kernel library, with bound argtypes."""
+    if "address" in config.nn_native_sanitize() \
+            and "asan" not in config.ld_preload():
+        # dlopen-ing an ASan-instrumented library into an uninstrumented
+        # interpreter makes the runtime abort() the whole process ("runtime
+        # does not come first in initial library list").  Turn that state
+        # into an ordinary build error so the backend degrades to `fast`
+        # with the usual single warning instead of killing the caller.
+        raise NativeBuildError(
+            "REPRO_NN_NATIVE_SANITIZE includes 'address' but LD_PRELOAD "
+            "does not name an ASan runtime; run under LD_PRELOAD=\"$(cc "
+            "-print-file-name=libasan.so)\" ASAN_OPTIONS=detect_leaks=0")
     path = build()
     try:
         lib = ctypes.CDLL(str(path))

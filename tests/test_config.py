@@ -187,6 +187,50 @@ class TestNNMiscKnobs:
 
 
 # ---------------------------------------------------------------------------
+# Native toolchain knobs
+# ---------------------------------------------------------------------------
+
+class TestNativeToolchainKnobs:
+    def test_cc_override_unset_and_blank_mean_none(self, monkeypatch):
+        monkeypatch.delenv("CC", raising=False)
+        assert config.cc_override() is None
+        monkeypatch.setenv("CC", "   ")
+        assert config.cc_override() is None
+
+    def test_cc_override_value_is_stripped_and_trusted(self, monkeypatch):
+        monkeypatch.setenv("CC", "  /no/such/compiler -flag  ")
+        assert config.cc_override() == "/no/such/compiler -flag"
+
+    def test_sanitize_unset_is_a_production_build(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NN_NATIVE_SANITIZE", raising=False)
+        assert config.nn_native_sanitize() == ()
+
+    def test_sanitize_single_and_combined(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_NATIVE_SANITIZE", "address")
+        assert config.nn_native_sanitize() == ("address",)
+        monkeypatch.setenv("REPRO_NN_NATIVE_SANITIZE", "address,undefined")
+        assert config.nn_native_sanitize() == ("address", "undefined")
+
+    def test_sanitize_order_and_case_are_canonicalised(self, monkeypatch):
+        # Equivalent spellings must share one compile-cache slot.
+        monkeypatch.setenv("REPRO_NN_NATIVE_SANITIZE", " Undefined , ADDRESS ")
+        assert config.nn_native_sanitize() == ("address", "undefined")
+
+    def test_sanitize_unknown_warns_and_is_dropped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_NATIVE_SANITIZE", "address,thread")
+        with pytest.warns(UserWarning) as record:
+            assert config.nn_native_sanitize() == ("address",)
+        message = str(record[0].message)
+        assert "REPRO_NN_NATIVE_SANITIZE" in message and "thread" in message
+
+    def test_ld_preload_reflects_environment(self, monkeypatch):
+        monkeypatch.delenv("LD_PRELOAD", raising=False)
+        assert config.ld_preload() == ""
+        monkeypatch.setenv("LD_PRELOAD", "/usr/lib/libasan.so")
+        assert config.ld_preload() == "/usr/lib/libasan.so"
+
+
+# ---------------------------------------------------------------------------
 # Inference / serving knobs
 # ---------------------------------------------------------------------------
 

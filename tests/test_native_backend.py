@@ -72,6 +72,50 @@ class TestLoader:
 
 
 # ---------------------------------------------------------------------------
+# Sanitizer build mode
+# ---------------------------------------------------------------------------
+
+class TestSanitizerMode:
+    def test_production_build_has_no_sanitizer_flags(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NN_NATIVE_SANITIZE", raising=False)
+        assert native_build.sanitize_flags() == []
+        assert native_build.flag_sets() == [list(f)
+                                            for f in native_build._FLAG_SETS]
+
+    def test_sanitize_flags_cover_each_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_NATIVE_SANITIZE", "address,undefined")
+        flags = native_build.sanitize_flags()
+        assert "-fsanitize=address" in flags
+        assert "-fsanitize=undefined" in flags
+        # UBSan findings must be fatal, and stacks must be symbolisable.
+        assert "-fno-sanitize-recover=undefined" in flags
+        assert "-g" in flags and "-fno-omit-frame-pointer" in flags
+
+    def test_sanitized_builds_get_their_own_cache_slot(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NN_NATIVE_SANITIZE", raising=False)
+        production = native_build.library_path()
+        monkeypatch.setenv("REPRO_NN_NATIVE_SANITIZE", "undefined")
+        sanitized = native_build.library_path()
+        assert production != sanitized
+
+    def test_every_flag_set_carries_the_sanitizers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_NATIVE_SANITIZE", "undefined")
+        for flags in native_build.flag_sets():
+            assert "-fsanitize=undefined" in flags
+
+    def test_asan_without_preloaded_runtime_is_a_build_error(
+            self, monkeypatch):
+        # dlopen-ing an ASan library into an uninstrumented interpreter
+        # aborts the process; load() must turn that into the ordinary
+        # degrade path before any dlopen happens.
+        monkeypatch.setenv("REPRO_NN_NATIVE_SANITIZE", "address")
+        monkeypatch.delenv("LD_PRELOAD", raising=False)
+        with pytest.raises(native_build.NativeBuildError,
+                           match="LD_PRELOAD"):
+            native_build.load()
+
+
+# ---------------------------------------------------------------------------
 # Fallback behaviour
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,523 @@
+"""Tier-1 gate + engine coverage for :mod:`repro.analysis`.
+
+Three layers under test:
+
+* the tree itself — the whole ``repro`` package must lint clean against the
+  *committed* baseline (which is empty: genuine findings get fixed, not
+  baselined), and the ctypes ↔ C ABI cross-check must pass;
+* the lint engine — waivers, fingerprint stability, baseline application
+  and parse-error containment, each pinned on tiny fixture trees;
+* every rule — one positive hit, one clean idiom, plus the specific
+  near-misses each rule promises not to flag (``lock.acquire()``,
+  ``default_rng(0)``, view aliases, closures, …);
+* the ABI checker — a synthetic prototype pair mutated one axis at a time
+  (arity, width, const-ness, restype, staleness, version skew), and the
+  real conv.c/build.py pair held to explicit-everything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import (DEFAULT_BASELINE, LintEngine, apply_baseline,
+                            check_abi, load_baseline, write_baseline)
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.abi import (parse_c_exports, parse_py_bindings,
+                                signature_digest)
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.rules.config_discipline import ConfigDiscipline
+from repro.analysis.rules.fork_safety import ForkSafety
+from repro.analysis.rules.rng_discipline import RngDiscipline
+from repro.analysis.rules.time_seed import TimeSeed
+from repro.analysis.rules.workspace_pairing import WorkspacePairing
+from repro.nn.native import build as native_build
+
+REPRO_ROOT = Path(repro.__file__).resolve().parent
+
+
+def lint_tree(tmp_path: Path, files: dict, rules=None):
+    """Write ``files`` (relpath -> source) under tmp_path/pkg and lint it."""
+    root = tmp_path / "pkg"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    engine = LintEngine(rules=rules)
+    return engine.run(root)
+
+
+def rules_hit(findings):
+    return {f.rule for f in findings}
+
+
+# ---------------------------------------------------------------------------
+# The gate: the real tree is clean
+# ---------------------------------------------------------------------------
+
+class TestTreeIsClean:
+    def test_lint_clean_against_committed_baseline(self):
+        findings = LintEngine().run(REPRO_ROOT)
+        baseline = load_baseline(DEFAULT_BASELINE)
+        fresh, _suppressed, _stale = apply_baseline(findings, baseline)
+        assert fresh == [], "\n".join(f.format() for f in fresh)
+
+    def test_committed_baseline_is_empty(self):
+        # The PR contract: genuine findings are *fixed*, not baselined.
+        assert load_baseline(DEFAULT_BASELINE) == []
+
+    def test_abi_cross_check_clean(self):
+        findings = check_abi()
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_digest_constant_matches_sources(self):
+        assert native_build.ABI_SIGNATURE_DIGEST == signature_digest()
+
+
+# ---------------------------------------------------------------------------
+# Engine mechanics: waivers, fingerprints, baselines, parse errors
+# ---------------------------------------------------------------------------
+
+VIOLATION = "import os\nTOKEN = os.environ['REPRO_TOKEN']\n"
+
+
+class TestWaivers:
+    def test_named_noqa_waives_the_finding(self, tmp_path):
+        src = "import os\nTOKEN = os.environ['T']  # repro: noqa[config-discipline]\n"
+        assert lint_tree(tmp_path, {"mod.py": src},
+                         rules=[ConfigDiscipline()]) == []
+
+    def test_bare_noqa_waives_everything_on_the_line(self, tmp_path):
+        src = "import os\nTOKEN = os.environ['T']  # repro: noqa\n"
+        assert lint_tree(tmp_path, {"mod.py": src},
+                         rules=[ConfigDiscipline()]) == []
+
+    def test_noqa_for_a_different_rule_does_not_waive(self, tmp_path):
+        src = "import os\nTOKEN = os.environ['T']  # repro: noqa[rng-discipline]\n"
+        findings = lint_tree(tmp_path, {"mod.py": src},
+                             rules=[ConfigDiscipline()])
+        assert rules_hit(findings) == {"config-discipline"}
+
+
+class TestFingerprintsAndBaseline:
+    def test_fingerprint_survives_line_number_drift(self, tmp_path):
+        before = lint_tree(tmp_path, {"mod.py": VIOLATION},
+                           rules=[ConfigDiscipline()])
+        shifted = "import os\n\n# a new comment pushes the line down\n" \
+                  "TOKEN = os.environ['REPRO_TOKEN']\n"
+        after = lint_tree(tmp_path, {"mod.py": shifted},
+                          rules=[ConfigDiscipline()])
+        assert before[0].line != after[0].line
+        assert before[0].fingerprint == after[0].fingerprint
+
+    def test_duplicate_lines_get_distinct_fingerprints(self, tmp_path):
+        src = ("import os\n"
+               "A = os.environ['X']\n"
+               "A = os.environ['X']\n")
+        findings = lint_tree(tmp_path, {"mod.py": src},
+                             rules=[ConfigDiscipline()])
+        assert len(findings) == 2
+        assert findings[0].fingerprint != findings[1].fingerprint
+
+    def test_baseline_suppresses_then_goes_stale(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": VIOLATION},
+                             rules=[ConfigDiscipline()])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_path)
+        baseline = load_baseline(baseline_path)
+
+        fresh, suppressed, stale = apply_baseline(findings, baseline)
+        assert fresh == [] and len(suppressed) == 1 and stale == []
+
+        # Fix the violation: the entry is now stale, nothing is suppressed.
+        fresh, suppressed, stale = apply_baseline([], baseline)
+        assert fresh == [] and suppressed == [] and len(stale) == 1
+
+    def test_unsupported_baseline_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestParseErrors:
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        files = {"broken.py": "def f(:\n", "mod.py": VIOLATION}
+        findings = lint_tree(tmp_path, files, rules=[ConfigDiscipline()])
+        assert rules_hit(findings) == {"parse-error", "config-discipline"}
+
+
+# ---------------------------------------------------------------------------
+# config-discipline
+# ---------------------------------------------------------------------------
+
+class TestConfigDiscipline:
+    RULES = [ConfigDiscipline()]
+
+    def test_environ_read_is_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": VIOLATION}, self.RULES)
+        assert rules_hit(findings) == {"config-discipline"}
+
+    def test_getenv_through_from_import_is_flagged(self, tmp_path):
+        src = "from os import getenv\nTOKEN = getenv('T')\n"
+        findings = lint_tree(tmp_path, {"mod.py": src}, self.RULES)
+        assert rules_hit(findings) == {"config-discipline"}
+
+    def test_config_module_itself_is_allowed(self, tmp_path):
+        assert lint_tree(tmp_path, {"config.py": VIOLATION}, self.RULES) == []
+
+    def test_os_path_is_not_flagged(self, tmp_path):
+        src = "import os\nHERE = os.path.dirname(__file__)\n"
+        assert lint_tree(tmp_path, {"mod.py": src}, self.RULES) == []
+
+
+# ---------------------------------------------------------------------------
+# rng-discipline
+# ---------------------------------------------------------------------------
+
+class TestRngDiscipline:
+    RULES = [RngDiscipline()]
+
+    def test_global_stream_call_is_flagged(self, tmp_path):
+        src = "import numpy as np\nX = np.random.rand(3)\n"
+        findings = lint_tree(tmp_path, {"mod.py": src}, self.RULES)
+        assert rules_hit(findings) == {"rng-discipline"}
+
+    def test_global_seed_is_flagged(self, tmp_path):
+        src = "import numpy as np\nnp.random.seed(0)\n"
+        findings = lint_tree(tmp_path, {"mod.py": src}, self.RULES)
+        assert rules_hit(findings) == {"rng-discipline"}
+
+    def test_from_import_of_global_function_is_flagged(self, tmp_path):
+        src = "from numpy.random import rand\nX = rand(3)\n"
+        findings = lint_tree(tmp_path, {"mod.py": src}, self.RULES)
+        assert rules_hit(findings) == {"rng-discipline"}
+
+    def test_default_rng_is_clean(self, tmp_path):
+        src = ("import numpy as np\n"
+               "from numpy.random import default_rng\n"
+               "A = np.random.default_rng(0)\n"
+               "B = default_rng(1)\n")
+        assert lint_tree(tmp_path, {"mod.py": src}, self.RULES) == []
+
+    def test_unrelated_random_attribute_is_clean(self, tmp_path):
+        src = "import mylib\nX = mylib.random.rand(3)\n"
+        assert lint_tree(tmp_path, {"mod.py": src}, self.RULES) == []
+
+
+# ---------------------------------------------------------------------------
+# workspace-pairing
+# ---------------------------------------------------------------------------
+
+class TestWorkspacePairing:
+    RULES = [WorkspacePairing()]
+
+    def _lint(self, tmp_path, body):
+        return lint_tree(tmp_path, {"mod.py": body}, self.RULES)
+
+    def test_dropped_buffer_is_flagged(self, tmp_path):
+        src = ("def f(ws, x):\n"
+               "    buf = ws.acquire(x.shape)\n"
+               "    buf[:] = x\n")
+        assert rules_hit(self._lint(tmp_path, src)) == {"workspace-pairing"}
+
+    def test_release_pairs_the_acquire(self, tmp_path):
+        src = ("def f(ws, x):\n"
+               "    buf = ws.acquire(x.shape)\n"
+               "    buf[:] = x\n"
+               "    ws.release(buf)\n")
+        assert self._lint(tmp_path, src) == []
+
+    def test_return_escape_is_a_discharge(self, tmp_path):
+        src = ("def f(ws, x):\n"
+               "    buf = ws.acquire(x.shape)\n"
+               "    return buf\n")
+        assert self._lint(tmp_path, src) == []
+
+    def test_view_alias_escape_discharges_the_buffer(self, tmp_path):
+        # out is a *view* of buf; returning it keeps the allocation alive.
+        src = ("def f(ws, n):\n"
+               "    buf = ws.acquire((n, n))\n"
+               "    out = buf.reshape(n * n).transpose()\n"
+               "    return out\n")
+        assert self._lint(tmp_path, src) == []
+
+    def test_fresh_array_result_does_not_alias(self, tmp_path):
+        # The plan.py regression shape: a matmul result is a *new* array,
+        # so returning it must NOT discharge the staging buffer.
+        src = ("def f(ws, x, w):\n"
+               "    staged = ws.acquire(x.shape)\n"
+               "    staged[:] = x\n"
+               "    out = staged @ w\n"
+               "    return out\n")
+        assert rules_hit(self._lint(tmp_path, src)) == {"workspace-pairing"}
+
+    def test_end_step_boundary_covers_everything(self, tmp_path):
+        src = ("def f(ws, x):\n"
+               "    buf = ws.acquire(x.shape)\n"
+               "    buf[:] = x\n"
+               "    ws.end_step()\n")
+        assert self._lint(tmp_path, src) == []
+
+    def test_closure_capture_is_a_discharge(self, tmp_path):
+        src = ("def f(ws, x):\n"
+               "    buf = ws.acquire(x.shape)\n"
+               "    def backward(g):\n"
+               "        g += buf\n"
+               "    return backward\n")
+        assert self._lint(tmp_path, src) == []
+
+    def test_adopt_call_is_a_discharge(self, tmp_path):
+        src = ("def f(ws, x, pool):\n"
+               "    buf = ws.acquire(x.shape)\n"
+               "    pool.append(buf)\n")
+        assert self._lint(tmp_path, src) == []
+
+    def test_unbound_acquire_is_flagged(self, tmp_path):
+        src = ("def f(ws, x):\n"
+               "    ws.acquire(x.shape)\n")
+        findings = self._lint(tmp_path, src)
+        assert len(findings) == 1
+        assert "never be released" in findings[0].message
+
+    def test_threading_lock_acquire_is_not_flagged(self, tmp_path):
+        src = ("def f(lock):\n"
+               "    lock.acquire()\n"
+               "    lock.release()\n")
+        assert self._lint(tmp_path, src) == []
+
+
+# ---------------------------------------------------------------------------
+# fork-safety
+# ---------------------------------------------------------------------------
+
+FLEET_TREE = {
+    "__init__.py": "",
+    "serving/__init__.py": "",
+    "serving/fleet.py": "from pkg import util\n",
+    "util.py": "import threading\n_LOCK = threading.Lock()\n",
+}
+
+
+class TestForkSafety:
+    RULES = [ForkSafety()]
+
+    def test_import_time_lock_in_worker_closure_is_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, FLEET_TREE, self.RULES)
+        assert rules_hit(findings) == {"fork-safety"}
+        assert findings[0].path.endswith("util.py")
+
+    def test_lazy_construction_is_clean(self, tmp_path):
+        files = dict(FLEET_TREE)
+        files["util.py"] = ("import threading\n"
+                            "def make_lock():\n"
+                            "    return threading.Lock()\n")
+        assert lint_tree(tmp_path, files, self.RULES) == []
+
+    def test_module_outside_the_closure_is_not_flagged(self, tmp_path):
+        files = dict(FLEET_TREE)
+        files["serving/fleet.py"] = "VALUE = 1\n"     # no import of util
+        assert lint_tree(tmp_path, files, self.RULES) == []
+
+    def test_class_body_counts_as_import_time(self, tmp_path):
+        files = dict(FLEET_TREE)
+        files["util.py"] = ("import threading\n"
+                            "class Registry:\n"
+                            "    lock = threading.Lock()\n")
+        findings = lint_tree(tmp_path, files, self.RULES)
+        assert rules_hit(findings) == {"fork-safety"}
+
+
+# ---------------------------------------------------------------------------
+# no-naked-time-seed
+# ---------------------------------------------------------------------------
+
+class TestTimeSeed:
+    RULES = [TimeSeed()]
+
+    def test_time_seeded_generator_is_flagged(self, tmp_path):
+        src = ("import time\nimport numpy as np\n"
+               "rng = np.random.default_rng(int(time.time()))\n")
+        findings = lint_tree(tmp_path, {"mod.py": src}, self.RULES)
+        assert rules_hit(findings) == {"no-naked-time-seed"}
+
+    def test_seed_keyword_fed_from_urandom_is_flagged(self, tmp_path):
+        src = ("import os\n"
+               "def run(make):\n"
+               "    return make(seed=int.from_bytes(os.urandom(4), 'little'))\n")
+        findings = lint_tree(tmp_path, {"mod.py": src}, self.RULES)
+        assert rules_hit(findings) == {"no-naked-time-seed"}
+
+    def test_explicit_seed_is_clean(self, tmp_path):
+        src = "import numpy as np\nrng = np.random.default_rng(1234)\n"
+        assert lint_tree(tmp_path, {"mod.py": src}, self.RULES) == []
+
+    def test_time_outside_a_seed_sink_is_clean(self, tmp_path):
+        src = "import time\nSTART = time.time()\n"
+        assert lint_tree(tmp_path, {"mod.py": src}, self.RULES) == []
+
+
+# ---------------------------------------------------------------------------
+# ABI checker: synthetic pair, one mutation per axis
+# ---------------------------------------------------------------------------
+
+C_DEMO = """
+#define REPRO_NATIVE_ABI 2
+
+static void helper(float *x) { (void)x; }
+
+void repro_demo(const float *x, float *y, long n, int k) {
+    (void)x; (void)y; (void)n; (void)k;
+}
+"""
+
+PY_DEMO_TEMPLATE = """
+import ctypes
+
+ABI_VERSION = 2
+ABI_SIGNATURE_DIGEST = "{digest}"
+
+
+def _bind(lib):
+    f32p = ctypes.POINTER(ctypes.c_float)
+    lib.repro_demo.restype = None
+    lib.repro_demo.argtypes = [f32p, f32p, ctypes.c_long, ctypes.c_int]
+    return lib
+"""
+
+
+def py_demo() -> str:
+    return PY_DEMO_TEMPLATE.format(digest=signature_digest(C_DEMO))
+
+
+def messages(findings):
+    return "\n".join(f.format() for f in findings)
+
+
+class TestAbiChecker:
+    def test_matched_pair_is_clean(self):
+        assert check_abi(C_DEMO, py_demo()) == []
+
+    def test_static_functions_are_ignored(self):
+        exports = parse_c_exports(C_DEMO)
+        assert set(exports) == {"repro_demo"}
+
+    def test_dropped_parameter_is_an_arity_finding(self):
+        mutated = C_DEMO.replace(", int k", "")
+        found = messages(check_abi(mutated, py_demo()))
+        assert "4 argtypes" in found and "3 parameters" in found
+
+    def test_width_drift_is_flagged(self):
+        mutated = py_demo().replace("ctypes.c_long", "ctypes.c_int")
+        found = messages(check_abi(C_DEMO, mutated))
+        assert "argtypes[2] is c_int" in found and "`long n` (c_long)" in found
+
+    def test_const_drift_is_caught_by_the_digest_alone(self):
+        # ctypes can't express const, so the prototype diff stays clean —
+        # the digest is the only tripwire, and it must fire.
+        mutated = C_DEMO.replace("const float *x", "float *x")
+        findings = check_abi(mutated, py_demo())
+        assert len(findings) == 1
+        assert "ABI_SIGNATURE_DIGEST" in findings[0].message
+
+    def test_restype_drift_is_flagged(self):
+        mutated = C_DEMO.replace("void repro_demo", "int repro_demo")
+        found = messages(check_abi(mutated, py_demo()))
+        assert "restype is None" in found and "`int`" in found
+
+    def test_renamed_export_yields_missing_and_stale(self):
+        mutated = C_DEMO.replace("repro_demo", "repro_demo2")
+        found = messages(check_abi(mutated, py_demo()))
+        assert "no ctypes binding" in found       # new export unbound
+        assert "stale or misspelled" in found     # old binding dangling
+
+    def test_abi_version_skew_is_flagged(self):
+        mutated = C_DEMO.replace("#define REPRO_NATIVE_ABI 2",
+                                 "#define REPRO_NATIVE_ABI 3")
+        found = messages(check_abi(mutated, py_demo()))
+        assert "REPRO_NATIVE_ABI=3" in found
+
+    def test_missing_argtypes_is_flagged(self):
+        mutated = "\n".join(line for line in py_demo().splitlines()
+                            if "argtypes" not in line)
+        found = messages(check_abi(C_DEMO, mutated))
+        assert "never sets argtypes" in found
+
+    def test_every_real_export_is_explicitly_bound(self):
+        # The satellite contract: every exported conv.c symbol declares
+        # explicit argtypes and restype — no implicit-int marshalling.
+        exports = parse_c_exports()
+        bindings = parse_py_bindings()
+        assert set(exports) <= set(bindings)
+        for name in exports:
+            binding = bindings[name]
+            assert binding.restype is not None, name
+            assert binding.argtypes is not None, name
+            assert "<unresolved>" not in [binding.restype] + binding.argtypes
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def _fixture(self, tmp_path):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "mod.py").write_text(VIOLATION)
+        return root
+
+    def test_findings_exit_1_and_print_location(self, tmp_path, capsys):
+        root = self._fixture(tmp_path)
+        code = analysis_main([str(root), "--no-abi",
+                              "--baseline", str(tmp_path / "none.json")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "mod.py:2" in out and "[config-discipline]" in out
+
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "mod.py").write_text("X = 1\n")
+        assert analysis_main([str(root), "--no-abi"]) == 0
+
+    def test_json_output_shape(self, tmp_path, capsys):
+        root = self._fixture(tmp_path)
+        code = analysis_main([str(root), "--no-abi", "--json",
+                              "--baseline", str(tmp_path / "none.json")])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["clean"] is False
+        assert payload["baselined"] == 0
+        [finding] = payload["findings"]
+        assert finding["rule"] == "config-discipline"
+        assert finding["fingerprint"]
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        root = self._fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert analysis_main([str(root), "--no-abi", "--write-baseline",
+                              "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        code = analysis_main([str(root), "--no-abi",
+                              "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 baselined" in out
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        assert analysis_main([str(tmp_path / "nope"), "--no-abi"]) == 2
+
+    def test_list_rules_names_every_rule(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.name in out
+
+    def test_abi_digest_matches_the_committed_constant(self, capsys):
+        assert analysis_main(["--abi-digest"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == native_build.ABI_SIGNATURE_DIGEST
