@@ -30,13 +30,17 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
 import socket
 import struct
 import threading
+import time
 import warnings
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from .. import config
+from ..faults import FaultError, fault_point
 from .engine_store import EngineStore
 
 __all__ = ["EngineStoreServer", "RemoteEngineStore", "StoreProtocolError"]
@@ -65,17 +69,29 @@ def _recv_exact(conn: socket.socket, nbytes: int) -> bytes:
     return b"".join(chunks)
 
 
-def _send_frame(conn: socket.socket, payload: object) -> None:
+def _send_frame(conn: socket.socket, payload: object,
+                site: str = "store.frame.send") -> None:
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    blob = fault_point(site, blob)
     conn.sendall(_LENGTH.pack(len(blob)) + blob)
 
 
-def _recv_frame(conn: socket.socket) -> object:
+def _recv_frame(conn: socket.socket,
+                site: str = "store.frame.recv") -> object:
     header = _recv_exact(conn, _LENGTH.size)
     (nbytes,) = _LENGTH.unpack(header)
     if nbytes > _MAX_FRAME:
         raise StoreProtocolError(f"frame of {nbytes} bytes exceeds limit")
-    return pickle.loads(_recv_exact(conn, nbytes))
+    blob = fault_point(site, _recv_exact(conn, nbytes))
+    try:
+        return pickle.loads(blob)
+    except pickle.PickleError:
+        raise
+    except Exception as error:
+        # A bit-flipped frame typically dies inside pickle with an arbitrary
+        # exception type; normalise so callers can treat it as transient.
+        raise pickle.UnpicklingError(
+            f"corrupt engine-store frame: {error!r}") from error
 
 
 class EngineStoreServer:
@@ -153,22 +169,39 @@ class EngineStoreServer:
         with conn:
             while not self._closed.is_set():
                 try:
-                    request = _recv_frame(conn)
+                    request = _recv_frame(conn, site="store.server.recv")
                 except (ConnectionError, OSError):
+                    return
+                except pickle.PickleError:
+                    # Undecodable frame: drop the connection so the client
+                    # treats it as a transport failure (retryable), not a
+                    # definitive protocol verdict.
+                    return
+                except FaultError:
+                    # Injected server-side fault: model a crashed/flaky
+                    # service by dropping the connection, not by answering
+                    # with a well-formed ("err", ...) — the client must see
+                    # a *transport* failure it can retry, not a protocol
+                    # error.
                     return
                 except Exception as error:
                     try:
-                        _send_frame(conn, ("err", repr(error)))
-                    except OSError:
+                        _send_frame(conn, ("err", repr(error)),
+                                    site="store.server.send")
+                    except (OSError, FaultError):
                         pass
                     return
                 try:
                     reply = ("ok", self._dispatch(request))
+                except FaultError:
+                    return
                 except Exception as error:
                     reply = ("err", repr(error))
                 try:
-                    _send_frame(conn, reply)
+                    _send_frame(conn, reply, site="store.server.send")
                 except OSError:
+                    return
+                except FaultError:
                     return
 
     def _dispatch(self, request: object) -> object:
@@ -187,19 +220,43 @@ class EngineStoreServer:
         raise StoreProtocolError(f"unknown op {op!r}")
 
 
+#: Exceptions one store call may transiently hit (flaky service, mid-frame
+#: disconnect, bit-flipped frame, injected fault) — retried with backoff.
+_TRANSIENT = (OSError, ConnectionError, pickle.PickleError, FaultError)
+
+
 class RemoteEngineStore:
     """Client-side :class:`EngineStore` twin speaking to a store service.
 
     One short-lived connection per call keeps the client state-free (no
-    reconnect logic, safe across forks).  When the service is unreachable
-    the store degrades to cold-start semantics and warns once per
-    instance; subsequent calls stay silent so a fleet without a service
-    does not spam every worker's log.
+    reconnect logic, safe across forks).  Transient failures (connect
+    refused, mid-frame disconnect, undecodable frame, socket timeout) are
+    retried with capped exponential backoff — jitter drawn from a seeded
+    stream so a fleet of clients neither thunders in lockstep nor behaves
+    differently between runs.  ``REPRO_STORE_BREAKER_FAILURES`` consecutive
+    exhausted calls open a circuit breaker: further calls fast-fail to
+    cold-start semantics (no connect, no sleeps) until
+    ``REPRO_STORE_BREAKER_RESET_S`` passes and one half-open probe is let
+    through.  Degradation stays cold-start shaped either way — ``load``
+    returns ``None``, ``save`` is dropped, one warning per instance —
+    persistence is an accelerator, not a dependency.
     """
 
-    def __init__(self, socket_path: os.PathLike) -> None:
+    def __init__(self, socket_path: os.PathLike, seed: int = 0) -> None:
         self.socket_path = Path(socket_path)
         self._warned = False
+        self._jitter = random.Random(seed)
+        self._consecutive_failures = 0
+        self._breaker_open_until: Optional[float] = None
+        # --- counters (sequencing tests and operator introspection) ---
+        self.attempt_count = 0           # individual connect attempts
+        self.retry_count = 0             # backoff sleeps taken
+        self.fastfail_count = 0          # calls answered by an open breaker
+        self.breaker_opens = 0           # closed -> open transitions
+
+    # Seam for tests: patch to observe/skip real sleeping and time.
+    _sleep = staticmethod(time.sleep)
+    _now = staticmethod(time.monotonic)
 
     @property
     def cache_dir(self) -> str:
@@ -210,22 +267,29 @@ class RemoteEngineStore:
         """
         return f"socket://{self.socket_path}"
 
+    @property
+    def breaker_state(self) -> str:
+        """``closed`` (normal), ``open`` (fast-failing) or ``half-open``
+        (the reset period elapsed; the next call probes the service)."""
+        if self._breaker_open_until is None:
+            return "closed"
+        return "open" if self._now() < self._breaker_open_until \
+            else "half-open"
+
     # ------------------------------------------------------------------
-    def _call(self, request: tuple) -> Optional[object]:
-        try:
-            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
-                conn.settimeout(30.0)
-                conn.connect(str(self.socket_path))
-                _send_frame(conn, request)
-                reply = _recv_frame(conn)
-        except (OSError, ConnectionError, pickle.PickleError) as error:
-            if not self._warned:
-                self._warned = True
-                warnings.warn(
-                    f"engine-store service at {self.socket_path} is "
-                    f"unreachable ({error!r}); continuing with a cold "
-                    f"cache", stacklevel=3)
-            return None
+    def _backoff_s(self, attempt: int) -> float:
+        """Capped exponential backoff with jitter in [0.5, 1.5) of nominal."""
+        base = config.store_backoff_ms()
+        cap = config.store_backoff_cap_ms()
+        nominal = min(cap, base * (2.0 ** attempt))
+        return nominal * (0.5 + self._jitter.random()) / 1000.0
+
+    def _attempt(self, request: tuple) -> Optional[object]:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
+            conn.settimeout(config.store_timeout_s())
+            conn.connect(str(self.socket_path))
+            _send_frame(conn, request, site="store.client.send")
+            reply = _recv_frame(conn, site="store.client.recv")
         if (not isinstance(reply, tuple) or len(reply) != 2
                 or reply[0] not in ("ok", "err")):
             raise StoreProtocolError(f"malformed reply {reply!r}")
@@ -233,6 +297,41 @@ class RemoteEngineStore:
         if status == "err":
             raise StoreProtocolError(f"engine-store service error: {value}")
         return value
+
+    def _call(self, request: tuple) -> Optional[object]:
+        if self.breaker_state == "open":
+            self.fastfail_count += 1
+            return None
+        retries = config.store_retries()
+        last_error: Optional[BaseException] = None
+        for attempt in range(retries + 1):
+            self.attempt_count += 1
+            try:
+                value = self._attempt(request)
+            except _TRANSIENT as error:
+                last_error = error
+                if attempt < retries:
+                    self.retry_count += 1
+                    self._sleep(self._backoff_s(attempt))
+                continue
+            # Success closes a half-open breaker and resets the count.
+            self._consecutive_failures = 0
+            self._breaker_open_until = None
+            return value
+        self._consecutive_failures += 1
+        threshold = config.store_breaker_failures()
+        if threshold > 0 and self._consecutive_failures >= threshold:
+            if self.breaker_state != "open":
+                self.breaker_opens += 1
+            self._breaker_open_until = (self._now()
+                                        + config.store_breaker_reset_s())
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"engine-store service at {self.socket_path} is "
+                f"unreachable ({last_error!r}); continuing with a cold "
+                f"cache", stacklevel=3)
+        return None
 
     def ping(self) -> bool:
         return self._call(("ping",)) == "pong"
@@ -265,8 +364,12 @@ def main(argv: Optional[list] = None) -> int:
     server.start()
     print(f"engine store service on {options.socket} "
           f"(cache {server.store.cache_dir})", flush=True)
+    stop = threading.Event()
     try:
-        threading.Event().wait()
+        # Periodic finite waits instead of one unbounded sleep: the process
+        # stays signal-responsive and the no-unbounded-wait lint holds.
+        while not stop.wait(1.0):
+            pass
     except KeyboardInterrupt:
         pass
     finally:

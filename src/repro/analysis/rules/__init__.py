@@ -10,9 +10,10 @@ from .rng_discipline import RngDiscipline
 from .workspace_pairing import WorkspacePairing
 from .fork_safety import ForkSafety
 from .time_seed import TimeSeed
+from .no_unbounded_wait import NoUnboundedWait
 
 __all__ = ["ALL_RULES", "rule_table", "ConfigDiscipline", "RngDiscipline",
-           "WorkspacePairing", "ForkSafety", "TimeSeed"]
+           "WorkspacePairing", "ForkSafety", "TimeSeed", "NoUnboundedWait"]
 
 ALL_RULES = (
     ConfigDiscipline(),
@@ -20,6 +21,7 @@ ALL_RULES = (
     WorkspacePairing(),
     ForkSafety(),
     TimeSeed(),
+    NoUnboundedWait(),
 )
 
 

@@ -1,0 +1,86 @@
+"""``no-unbounded-wait`` — serving/store blocking calls carry finite timeouts.
+
+PR 8's lifecycle-robustness contract is that no request, supervisor thread
+or store client ever stalls forever: deadlines bound requests, heartbeats
+bound workers, and socket timeouts bound the store protocol.  One naked
+``.wait()`` / ``.poll()`` / ``.recv()`` / ``.join()`` (or an explicit
+``settimeout(None)``) quietly re-introduces the unbounded stall all of that
+machinery exists to kill — and it reads exactly like the bounded version,
+so review misses it.  This rule flags every such call in the serving stack
+(``src/repro/serving/``) and the store service, the two places where a
+stall strands callers.
+
+What counts as unbounded:
+
+* ``x.wait()`` / ``x.poll()`` / ``x.join()`` with no positional argument
+  and no ``timeout=`` keyword — or with a literal ``None`` in either spot;
+* ``x.recv()`` with no arguments (``multiprocessing.Connection.recv`` has
+  no timeout parameter at all — guard it with a bounded ``poll`` and waive
+  the recv with ``# repro: noqa[no-unbounded-wait]``; ``socket.recv``
+  takes a buffer size and is bounded by the socket timeout);
+* ``x.settimeout(None)`` — switching a socket back to blocking mode.
+
+A dynamic timeout expression is trusted (the rule cannot prove it finite);
+the point is to catch the *syntactically* unbounded calls that dominate
+real stall bugs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..lint import FileContext, FileRule, Finding
+
+#: Methods whose no-timeout form blocks forever.
+BLOCKING_METHODS = ("wait", "poll", "join", "recv")
+
+#: Path scope: the serving stack and the store service (suffix/substring
+#: match so fixture trees in tests can mirror the layout).
+def _in_scope(rel: str) -> bool:
+    return "repro/serving/" in rel or rel.endswith("store_service.py")
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+class NoUnboundedWait(FileRule):
+    name = "no-unbounded-wait"
+    description = ("blocking .wait()/.poll()/.recv()/.join()/"
+                   "settimeout(None) without a finite timeout in "
+                   "repro/serving/ or store_service.py")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_scope(ctx.rel):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            method = node.func.attr
+            timeout_kw = next((kw.value for kw in node.keywords
+                               if kw.arg == "timeout"), None)
+            if method == "settimeout":
+                if node.args and _is_none(node.args[0]):
+                    yield ctx.finding(
+                        node, self.name,
+                        "`settimeout(None)` makes the socket block forever;"
+                        " use a finite timeout from repro.config")
+            elif method == "recv":
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        node, self.name,
+                        "`.recv()` with no timeout can stall forever; guard"
+                        " it with a bounded `.poll(t)` and waive with"
+                        " `# repro: noqa[no-unbounded-wait]`")
+            elif method in BLOCKING_METHODS:
+                unbounded = (not node.args and timeout_kw is None) or \
+                    (node.args and _is_none(node.args[0])) or \
+                    _is_none(timeout_kw)
+                if unbounded:
+                    yield ctx.finding(
+                        node, self.name,
+                        f"`.{method}()` without a finite timeout can stall "
+                        f"forever; pass a bounded timeout (see the "
+                        f"repro.config serving/store knobs)")

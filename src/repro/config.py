@@ -78,6 +78,53 @@ Inference / serving (:mod:`repro.inference`, :mod:`repro.serving`):
                                 shared-memory rings; ``inline`` forces the
                                 pickled control-pipe path (the fallback that
                                 full/oversized rings degrade to anyway).
+``REPRO_SERVING_QUEUE_LIMIT``   Maximum in-flight requests per server before
+                                :func:`submit` sheds load with
+                                ``RejectedError`` (default 0 = unbounded).
+``REPRO_SERVING_DEADLINE_MS``   Default per-request deadline in milliseconds;
+                                expired requests resolve to
+                                ``DeadlineExceeded`` instead of executing
+                                (default 0 = no deadline).
+``REPRO_SERVING_HEARTBEAT_S``   Supervisor hang-monitor poll interval in
+                                seconds (default 1.0).
+``REPRO_SERVING_HANG_TIMEOUT_S``  How long a fleet worker may hold pending
+                                requests without any message before the
+                                supervisor declares it hung and escalates
+                                through the respawn path (default 30).
+``REPRO_SERVING_DRAIN_TIMEOUT_S``  Fleet shutdown drain budget in seconds
+                                (default 120).
+``REPRO_SERVING_JOIN_TIMEOUT_S``  How long the supervisor waits for an
+                                exited worker process to join before
+                                killing it (default 10).
+
+Fault injection (:mod:`repro.faults`):
+
+``REPRO_FAULTS``                Fault-injection plan: ``;``-separated
+                                ``site=kind[:p=..][:ms=..][:s=..][:n=..]``
+                                entries (kinds ``latency``/``error``/
+                                ``corrupt``/``hang``; sites support
+                                ``fnmatch`` globs).  Empty (default) =
+                                no faults.
+``REPRO_FAULTS_SEED``           Seed of the deterministic per-site fault
+                                streams (default 0).
+
+Engine-store client (:mod:`repro.accelerator.store_service`):
+
+``REPRO_STORE_TIMEOUT_S``       Socket timeout per store-service frame
+                                exchange (default 30).
+``REPRO_STORE_RETRIES``         Transient-failure retries per store call on
+                                top of the first attempt (default 2).
+``REPRO_STORE_BACKOFF_MS``      Base retry backoff in milliseconds; attempt
+                                ``k`` sleeps ``base * 2**k`` scaled by
+                                seeded jitter (default 50).
+``REPRO_STORE_BACKOFF_CAP_MS``  Upper bound of one backoff sleep (default
+                                2000).
+``REPRO_STORE_BREAKER_FAILURES``  Consecutive failed calls that open the
+                                store circuit breaker (default 3; 0
+                                disables the breaker).
+``REPRO_STORE_BREAKER_RESET_S``   How long an open breaker fast-fails
+                                before allowing a half-open probe
+                                (default 30).
 
 Accelerator evaluation engine (:mod:`repro.accelerator`):
 
@@ -127,6 +174,20 @@ __all__ = [
     "serving_workers",
     "serving_ring_mb",
     "serving_transport",
+    "serving_queue_limit",
+    "serving_deadline_ms",
+    "serving_heartbeat_s",
+    "serving_hang_timeout_s",
+    "serving_drain_timeout_s",
+    "serving_join_timeout_s",
+    "faults_spec",
+    "faults_seed",
+    "store_timeout_s",
+    "store_retries",
+    "store_backoff_ms",
+    "store_backoff_cap_ms",
+    "store_breaker_failures",
+    "store_breaker_reset_s",
     "engine_workers",
     "engine_persist",
     "engine_cache_dir",
@@ -348,6 +409,112 @@ def serving_transport() -> str:
     (default) or the ``inline`` pickled control-pipe fallback.  An invalid
     value warns and falls back to ``shm``."""
     return env_choice("REPRO_SERVING_TRANSPORT", "shm", SERVING_TRANSPORTS)
+
+
+def serving_queue_limit() -> int:
+    """Maximum in-flight requests per server before ``submit`` sheds load
+    with ``RejectedError`` (``REPRO_SERVING_QUEUE_LIMIT``, default 0 =
+    unbounded).  Clamped to >= 0."""
+    return max(0, env_int("REPRO_SERVING_QUEUE_LIMIT", 0))
+
+
+def serving_deadline_ms() -> float:
+    """Default per-request deadline in milliseconds
+    (``REPRO_SERVING_DEADLINE_MS``, default 0 = no deadline).  Clamped to
+    >= 0; an explicit ``deadline_ms=`` on ``submit`` always wins."""
+    return max(0.0, env_float("REPRO_SERVING_DEADLINE_MS", 0.0))
+
+
+def serving_heartbeat_s() -> float:
+    """Supervisor hang-monitor poll interval in seconds
+    (``REPRO_SERVING_HEARTBEAT_S``, default 1.0).  Clamped to a 10 ms floor
+    so a zero/negative value cannot spin the monitor thread."""
+    return max(0.01, env_float("REPRO_SERVING_HEARTBEAT_S", 1.0))
+
+
+def serving_hang_timeout_s() -> float:
+    """How long a fleet worker may hold pending requests without sending any
+    message before the supervisor declares it hung and escalates through the
+    respawn path (``REPRO_SERVING_HANG_TIMEOUT_S``, default 30).  Must
+    exceed the worst-case micro-batch execution time; clamped to >= 0.1."""
+    return max(0.1, env_float("REPRO_SERVING_HANG_TIMEOUT_S", 30.0))
+
+
+def serving_drain_timeout_s() -> float:
+    """Fleet shutdown drain budget in seconds
+    (``REPRO_SERVING_DRAIN_TIMEOUT_S``, default 120).  Clamped to >= 1."""
+    return max(1.0, env_float("REPRO_SERVING_DRAIN_TIMEOUT_S", 120.0))
+
+
+def serving_join_timeout_s() -> float:
+    """How long the supervisor waits for an exited worker process to join
+    before resorting to ``kill()`` (``REPRO_SERVING_JOIN_TIMEOUT_S``,
+    default 10).  Clamped to >= 0.1."""
+    return max(0.1, env_float("REPRO_SERVING_JOIN_TIMEOUT_S", 10.0))
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+def faults_spec() -> str:
+    """The raw ``REPRO_FAULTS`` fault-plan spec (empty = no faults).
+
+    Parsed lazily by :func:`repro.faults.active_plan`; the grammar lives on
+    :meth:`repro.faults.FaultPlan.parse`.
+    """
+    return env_str("REPRO_FAULTS", "")
+
+
+def faults_seed() -> int:
+    """Seed of the deterministic per-site fault streams
+    (``REPRO_FAULTS_SEED``, default 0)."""
+    return env_int("REPRO_FAULTS_SEED", 0)
+
+
+# ---------------------------------------------------------------------------
+# Engine-store client
+# ---------------------------------------------------------------------------
+
+def store_timeout_s() -> float:
+    """Socket timeout per store-service frame exchange
+    (``REPRO_STORE_TIMEOUT_S``, default 30).  Clamped to >= 0.1 — the store
+    protocol never waits unboundedly."""
+    return max(0.1, env_float("REPRO_STORE_TIMEOUT_S", 30.0))
+
+
+def store_retries() -> int:
+    """Transient-failure retries per store call on top of the first attempt
+    (``REPRO_STORE_RETRIES``, default 2; 0 = single attempt).  Clamped to
+    >= 0."""
+    return max(0, env_int("REPRO_STORE_RETRIES", 2))
+
+
+def store_backoff_ms() -> float:
+    """Base store-retry backoff in milliseconds (``REPRO_STORE_BACKOFF_MS``,
+    default 50); attempt ``k`` sleeps ``base * 2**k`` scaled by seeded
+    jitter in ``[0.5, 1.5)``.  Clamped to >= 0."""
+    return max(0.0, env_float("REPRO_STORE_BACKOFF_MS", 50.0))
+
+
+def store_backoff_cap_ms() -> float:
+    """Upper bound of one store-retry backoff sleep in milliseconds
+    (``REPRO_STORE_BACKOFF_CAP_MS``, default 2000).  Clamped to >= 0."""
+    return max(0.0, env_float("REPRO_STORE_BACKOFF_CAP_MS", 2000.0))
+
+
+def store_breaker_failures() -> int:
+    """Consecutive failed store calls that open the circuit breaker
+    (``REPRO_STORE_BREAKER_FAILURES``, default 3; 0 disables the breaker).
+    Clamped to >= 0."""
+    return max(0, env_int("REPRO_STORE_BREAKER_FAILURES", 3))
+
+
+def store_breaker_reset_s() -> float:
+    """How long an open store breaker fast-fails before allowing one
+    half-open probe (``REPRO_STORE_BREAKER_RESET_S``, default 30).  Clamped
+    to >= 0."""
+    return max(0.0, env_float("REPRO_STORE_BREAKER_RESET_S", 30.0))
 
 
 # ---------------------------------------------------------------------------

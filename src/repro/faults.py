@@ -1,0 +1,253 @@
+"""Seeded, deterministic fault injection for the serving stack.
+
+The chaos suite used to be ad-hoc ``kill()`` calls scattered through tests;
+this module gives every failure mode a *named site* and a reproducible plan.
+Production code calls :func:`fault_point` at the seams where real deployments
+fail (pipe reads, ring copies, socket frames, plan builds).  When no plan is
+active — the default — a fault point is a handful of dict lookups; when a
+plan matches the site it injects one of four fault kinds:
+
+``latency``   sleep a fixed number of milliseconds before proceeding
+``error``     raise :class:`FaultError`
+``corrupt``   flip one seeded byte in the payload passed through the point
+``hang``      sleep long enough that hang detection must fire (default 300 s)
+
+Plans activate two ways:
+
+* programmatically — ``with faults.installed(FaultPlan.parse(...)): ...``
+  (or ``install()``/``uninstall()`` for non-scoped use); an installed plan
+  always wins over the environment, and ``installed(None)`` masks the
+  environment entirely;
+* via the ``REPRO_FAULTS`` environment knob (read through
+  :func:`repro.config.faults_spec`), which fleet workers inherit across
+  ``fork`` — the CI fault matrix drives everything through this path.
+
+The spec grammar is ``;``-separated entries of
+
+    site=kind[:p=<prob>][:ms=<latency_ms>][:s=<hang_s>][:n=<max_fires>]
+
+where ``site`` may be an ``fnmatch`` glob (``fleet.worker.*``).  Every
+probabilistic decision and corrupted byte comes from a per-site
+``np.random.default_rng`` stream seeded by ``(seed, crc32(site))``, so a
+given (spec, seed) pair injects the same faults at the same fire ordinals on
+every run — chaos tests replay exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+
+import numpy as np
+
+from repro import config
+
+__all__ = [
+    "FaultError",
+    "FaultSpec",
+    "FaultPlan",
+    "fault_point",
+    "install",
+    "uninstall",
+    "installed",
+    "active_plan",
+]
+
+#: Fault kinds a spec may name.
+FAULT_KINDS = ("latency", "error", "corrupt", "hang")
+
+
+class FaultError(RuntimeError):
+    """Raised by an ``error``-kind fault point (never by real code paths)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed ``site=kind[:opt=...]`` entry of a fault plan."""
+
+    site: str
+    kind: str
+    prob: float = 1.0
+    latency_ms: float = 20.0
+    hang_s: float = 300.0
+    max_fires: "int | None" = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} for site {self.site!r}; "
+                f"choose from {FAULT_KINDS}")
+        if not self.site:
+            raise ValueError("fault spec needs a non-empty site pattern")
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"fault probability must be in [0, 1], "
+                             f"got {self.prob} for site {self.site!r}")
+
+    @classmethod
+    def parse(cls, entry: str) -> "FaultSpec":
+        site, sep, rest = entry.partition("=")
+        site = site.strip()
+        if not sep or not rest.strip():
+            raise ValueError(f"malformed fault entry {entry!r}; expected "
+                             f"site=kind[:p=..][:ms=..][:s=..][:n=..]")
+        parts = rest.split(":")
+        kwargs: dict = {"site": site, "kind": parts[0].strip()}
+        keys = {"p": ("prob", float), "ms": ("latency_ms", float),
+                "s": ("hang_s", float), "n": ("max_fires", int)}
+        for opt in parts[1:]:
+            key, sep, value = opt.partition("=")
+            key = key.strip()
+            if not sep or key not in keys:
+                raise ValueError(f"malformed fault option {opt!r} in "
+                                 f"{entry!r}; expected one of "
+                                 f"{sorted(keys)}=<value>")
+            name, cast = keys[key]
+            try:
+                kwargs[name] = cast(value.strip())
+            except ValueError:
+                raise ValueError(f"non-numeric fault option {opt!r} "
+                                 f"in {entry!r}") from None
+        return cls(**kwargs)
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec` with seeded per-site streams.
+
+    Thread-safe: fleet supervisor sender/listener threads hit the same plan
+    concurrently.  The lock is created per instance (never at import time —
+    this module sits in the fork-safety closure of ``repro.serving.fleet``).
+    """
+
+    def __init__(self, specs, seed: int = 0):
+        self.specs = tuple(specs)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._rngs = {
+            spec.site: np.random.default_rng(
+                (self.seed, zlib.crc32(spec.site.encode("utf-8"))))
+            for spec in self.specs
+        }
+        self.fired: dict = {spec.site: 0 for spec in self.specs}
+
+    @classmethod
+    def parse(cls, raw: str, seed: int = 0) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` grammar (see the module docstring)."""
+        specs = [FaultSpec.parse(entry)
+                 for entry in raw.split(";") if entry.strip()]
+        return cls(specs, seed=seed)
+
+    def matching(self, site: str):
+        return [s for s in self.specs if fnmatchcase(site, s.site)]
+
+    def _should_fire(self, spec: FaultSpec) -> bool:
+        with self._lock:
+            if spec.max_fires is not None and \
+                    self.fired[spec.site] >= spec.max_fires:
+                return False
+            fire = spec.prob >= 1.0 or \
+                float(self._rngs[spec.site].random()) < spec.prob
+            if fire:
+                self.fired[spec.site] += 1
+            return fire
+
+    def _corrupt(self, spec: FaultSpec, data) -> bytes:
+        # Copy through the buffer protocol first: ``data`` may be bytes or a
+        # C-contiguous ndarray (the ring transport passes tensors through
+        # uncopied), and the flip position must span the full byte extent.
+        out = bytearray(data)
+        if not out:
+            return data
+        with self._lock:
+            rng = self._rngs[spec.site]
+            pos = int(rng.integers(len(out)))
+            flip = int(rng.integers(1, 256))
+        out[pos] ^= flip
+        return bytes(out)
+
+    def apply(self, site: str, data=None):
+        """Run every matching spec against ``site``; returns ``data``
+        (a corrupted copy under a firing ``corrupt`` spec)."""
+        for spec in self.matching(site):
+            if not self._should_fire(spec):
+                continue
+            if spec.kind == "latency":
+                time.sleep(spec.latency_ms / 1000.0)
+            elif spec.kind == "error":
+                raise FaultError(f"injected fault at {site!r}")
+            elif spec.kind == "hang":
+                time.sleep(spec.hang_s)
+            elif spec.kind == "corrupt" and data is not None:
+                data = self._corrupt(spec, data)
+        return data
+
+
+# An explicitly installed plan (or the _MASK sentinel) wins over the
+# environment; None means "fall through to REPRO_FAULTS".
+_installed = None
+_MASK = object()
+
+# Parsed-environment cache keyed on the raw (spec, seed) pair so the hot-path
+# fault_point never re-parses; a malformed spec is cached as None after one
+# warning so it cannot crash serving on every request.
+_env_cache: dict = {}
+
+
+def install(plan: "FaultPlan | None") -> None:
+    """Install ``plan`` process-wide; ``install(None)`` masks ``REPRO_FAULTS``
+    without injecting anything."""
+    global _installed
+    _installed = _MASK if plan is None else plan
+
+
+def uninstall() -> None:
+    """Remove any installed plan, re-enabling environment activation."""
+    global _installed
+    _installed = None
+
+
+@contextmanager
+def installed(plan: "FaultPlan | None"):
+    """Scope an installed plan to a ``with`` block."""
+    global _installed
+    prev = _installed
+    install(plan)
+    try:
+        yield plan
+    finally:
+        _installed = prev
+
+
+def active_plan() -> "FaultPlan | None":
+    """The plan :func:`fault_point` consults right now, if any."""
+    if _installed is not None:
+        return None if _installed is _MASK else _installed
+    raw = config.faults_spec()
+    if not raw:
+        return None
+    key = (raw, config.faults_seed())
+    if key not in _env_cache:
+        try:
+            _env_cache[key] = FaultPlan.parse(raw, seed=key[1])
+        except ValueError as exc:
+            warnings.warn(f"ignoring malformed REPRO_FAULTS: {exc}",
+                          stacklevel=2)
+            _env_cache[key] = None
+    return _env_cache[key]
+
+
+def fault_point(site: str, data=None):
+    """Declare a named fault-injection site.
+
+    Returns ``data`` unchanged when no active plan matches; under a matching
+    plan may sleep, raise :class:`FaultError`, or return a corrupted copy of
+    ``data`` (which must then be bytes-like).
+    """
+    plan = active_plan()
+    if plan is None:
+        return data
+    return plan.apply(site, data)

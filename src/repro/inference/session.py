@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from .. import config
+from ..faults import fault_point
 from ..nn.module import Module
 from ..quantization.precision import FULL_PRECISION, Precision
 from ..quantization.quantized_modules import get_model_precision
@@ -150,6 +151,7 @@ class InferenceSession:
         key = (precision.key, self.fold_bn, F.get_backend())
         plan = self._plans.get(key)
         if plan is None:
+            fault_point("session.plan.build")
             if self._trace is None:
                 if input_shape is None:
                     raise ValueError(

@@ -14,6 +14,7 @@ survives worker death by respawning and requeueing in-flight requests.
 ``RPSServer(workers=N)`` delegates to it transparently.
 """
 
+from .errors import DeadlineExceeded, RejectedError
 from .fleet import (FleetConfig, FleetError, FleetServer,
                     RemoteExecutionError, WorkerCrashError)
 from .scheduler import PrecisionSchedule, plan_precision_schedule
@@ -21,11 +22,13 @@ from .server import RPSServer, ServingConfig
 from .transport import RingDataError, TensorRing
 
 __all__ = [
+    "DeadlineExceeded",
     "FleetConfig",
     "FleetError",
     "FleetServer",
     "PrecisionSchedule",
     "RPSServer",
+    "RejectedError",
     "RemoteExecutionError",
     "RingDataError",
     "ServingConfig",

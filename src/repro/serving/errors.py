@@ -1,0 +1,20 @@
+"""Caller-visible request-lifecycle errors shared by both serving layers.
+
+These resolve *futures* (or raise synchronously from ``submit``) — they are
+part of the serving API contract, not internal plumbing, so they live in
+their own module importable without pulling in the fleet.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DeadlineExceeded", "RejectedError"]
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline expired before execution; it was dropped from
+    its micro-batch and never ran."""
+
+
+class RejectedError(RuntimeError):
+    """The server shed this request at submission: in-flight requests were
+    at ``REPRO_SERVING_QUEUE_LIMIT`` (see ``serving_queue_limit``)."""

@@ -35,6 +35,20 @@ pure function of (seed, submission order, ``max_batch``) — identical across
 ``workers=1/2/4`` and across a respawn.  With a non-zero delay, batch cuts
 become timing-dependent (the usual latency/throughput trade).
 
+Request-lifecycle robustness (pinned by ``tests/test_lifecycle.py`` and the
+CI fault matrix): every accepted request carries an optional **deadline** —
+expired requests are dropped from their micro-batch before execution and
+resolve with :class:`~repro.serving.errors.DeadlineExceeded`; ``submit``
+**sheds load** with :class:`~repro.serving.errors.RejectedError` once
+in-flight requests hit ``queue_limit``; a supervisor **hang monitor**
+escalates workers that hold pending requests without sending anything for
+``hang_timeout_s`` (SIGSTOP, a wedged syscall, an injected hang) through the
+same respawn/requeue path as death; and a torn/corrupt ring frame in either
+direction is **retried once inline** (the pickled-pipe path has no ring CRC
+to fail) instead of failing the batch.  All of it is exercised through the
+named :func:`repro.faults.fault_point` sites ``fleet.worker.recv`` /
+``fleet.worker.exec`` / ``fleet.worker.send``.
+
 The fleet uses the ``fork`` start method: workers inherit the live model
 (weights included) without pickling, and a respawned worker re-inherits the
 supervisor's current state.  This is a Linux-first design, like the rest of
@@ -56,15 +70,16 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import config
+from .. import config, faults
 from ..inference import InferenceSession
 from ..nn.module import Module
 from ..quantization.precision import Precision, PrecisionSet
+from .errors import DeadlineExceeded, RejectedError
 from .scheduler import PrecisionSchedule, plan_precision_schedule
 from .transport import RingDataError, TensorRing
 
 __all__ = ["FleetConfig", "FleetServer", "FleetError", "WorkerCrashError",
-           "RemoteExecutionError"]
+           "RemoteExecutionError", "DeadlineExceeded", "RejectedError"]
 
 
 class FleetError(RuntimeError):
@@ -106,20 +121,46 @@ class FleetConfig:
     #: How many recent request latencies the stats window keeps.
     latency_window: int = 16384
     #: How long ``close()`` waits for the fleet-wide drain before failing
-    #: the stragglers.
-    drain_timeout_s: float = 120.0
+    #: the stragglers (``REPRO_SERVING_DRAIN_TIMEOUT_S``).
+    drain_timeout_s: float = field(
+        default_factory=config.serving_drain_timeout_s)
+    #: In-flight request cap before ``submit`` sheds with ``RejectedError``
+    #: (``REPRO_SERVING_QUEUE_LIMIT``; 0 = unbounded).
+    queue_limit: int = field(default_factory=config.serving_queue_limit)
+    #: Default per-request deadline in ms (``REPRO_SERVING_DEADLINE_MS``;
+    #: 0 = none).  ``submit(..., deadline_ms=)`` overrides per request.
+    deadline_ms: float = field(default_factory=config.serving_deadline_ms)
+    #: Hang-monitor poll interval / worker idle-heartbeat period
+    #: (``REPRO_SERVING_HEARTBEAT_S``).
+    heartbeat_s: float = field(default_factory=config.serving_heartbeat_s)
+    #: Silence budget before a worker holding pending requests is declared
+    #: hung and escalated (``REPRO_SERVING_HANG_TIMEOUT_S``).  Must exceed
+    #: the worst-case micro-batch execution time.
+    hang_timeout_s: float = field(
+        default_factory=config.serving_hang_timeout_s)
+    #: How long an exited worker process may take to ``join`` before the
+    #: supervisor gives up waiting (``REPRO_SERVING_JOIN_TIMEOUT_S``).
+    join_timeout_s: float = field(
+        default_factory=config.serving_join_timeout_s)
 
 
 class _PendingRequest:
-    __slots__ = ("seq", "x", "precision", "future", "enqueued_at")
+    __slots__ = ("seq", "x", "precision", "future", "enqueued_at",
+                 "deadline", "inline_retry")
 
     def __init__(self, seq: int, x: np.ndarray, precision: Precision,
-                 future: Future, enqueued_at: float) -> None:
+                 future: Future, enqueued_at: float,
+                 deadline: Optional[float] = None) -> None:
         self.seq = seq
         self.x = x
         self.precision = precision
         self.future = future
         self.enqueued_at = enqueued_at
+        #: Absolute ``time.monotonic()`` expiry, or None (no deadline).
+        self.deadline = deadline
+        #: Set after a torn/corrupt ring frame: the re-send bypasses the
+        #: rings in both directions (the inline path has no CRC to fail).
+        self.inline_retry = False
 
 
 _STOP = object()
@@ -131,7 +172,8 @@ class _WorkerHandle:
     __slots__ = ("slot", "generation", "process", "conn", "req_ring",
                  "resp_ring", "resp_consumed", "pending", "outbox",
                  "sender", "listener", "restarts", "drain_requested",
-                 "flush_requested", "drained", "exited")
+                 "flush_requested", "drained", "exited", "last_seen",
+                 "plan_keys")
 
     def __init__(self, slot: int, generation: int, restarts: int) -> None:
         self.slot = slot
@@ -150,6 +192,11 @@ class _WorkerHandle:
         self.flush_requested = False
         self.drained = False
         self.exited = False
+        #: ``time.monotonic()`` of the last message (any kind) from this
+        #: worker; the hang monitor compares it against ``hang_timeout_s``.
+        self.last_seen = time.monotonic()
+        #: Plan-cache keys the worker last reported after a ``warm``.
+        self.plan_keys: Optional[List[object]] = None
 
 
 # ---------------------------------------------------------------------------
@@ -182,6 +229,10 @@ def _worker_main(slot: int, model: Module, cfg: FleetConfig, conn,
 
     Runs in a forked child; exits via ``os._exit`` so no inherited atexit
     hooks (engine flushes, benchmark recorders) fire from worker processes.
+    Sends ``("hb",)`` heartbeats while idle so the supervisor's hang monitor
+    can tell "waiting for traffic" from "wedged"; an injected
+    :class:`~repro.faults.FaultError` exits with its own code so the
+    supervisor's ordinary respawn path absorbs it like any crash.
     """
     exit_code = 0
     try:
@@ -189,7 +240,10 @@ def _worker_main(slot: int, model: Module, cfg: FleetConfig, conn,
         if cfg.input_shape is not None and warm_precisions:
             session.warm(warm_precisions, (1, *cfg.input_shape))
         max_delay = max(0.0, float(cfg.max_delay_ms)) / 1000.0
-        # precision.key -> [precision, [(seq, x), ...], deadline]
+        hb_interval = max(0.01, float(cfg.heartbeat_s))
+        last_hb = time.monotonic()
+        # precision.key -> [precision, [(seq, x, deadline, inline), ...],
+        #                   batch_cut_at]
         buffers: "OrderedDict[object, list]" = OrderedDict()
         req_consumed = 0                 # bytes consumed from req_ring
 
@@ -197,32 +251,51 @@ def _worker_main(slot: int, model: Module, cfg: FleetConfig, conn,
             precision, items, _ = buf
             buf[1] = []
             buf[2] = None
-            seqs = [seq for seq, _ in items]
+            now = time.monotonic()
+            expired_seqs: List[int] = []
+            live = []
+            for item in items:
+                if item[2] is not None and item[2] <= now:
+                    expired_seqs.append(item[0])
+                else:
+                    live.append(item)
+            items = live
+            if expired_seqs:
+                conn.send(("expired", expired_seqs, req_consumed))
+            if not items:
+                return
+            seqs = [item[0] for item in items]
+            inline_reply = any(item[3] for item in items)
             try:
-                batch = np.stack([x for _, x in items])
+                faults.fault_point("fleet.worker.exec")
+                batch = np.stack([item[1] for item in items])
                 labels = session.predict(batch, precision).astype(np.int64)
             except Exception as error:
                 payload, text = _pack_exception(error)
                 conn.send(("err", seqs, payload, text, req_consumed))
                 return
+            faults.fault_point("fleet.worker.send")
             descriptor = None
-            if resp_ring is not None:
+            if resp_ring is not None and not inline_reply:
                 descriptor = resp_ring.write(seqs[0], labels)
             out = ("ring", descriptor) if descriptor is not None \
                 else ("inline", labels)
             conn.send(("done", seqs, out, len(seqs), req_consumed))
 
         while True:
-            timeout = None
+            timeout = hb_interval
             if max_delay > 0.0:
                 deadlines = [buf[2] for buf in buffers.values() if buf[1]]
                 if deadlines:
-                    timeout = max(0.0, min(deadlines) - time.monotonic())
+                    timeout = min(timeout, max(
+                        0.0, min(deadlines) - time.monotonic()))
             if conn.poll(timeout):
-                message = conn.recv()
+                message = conn.recv()  # repro: noqa[no-unbounded-wait] — poll-guarded
+                faults.fault_point("fleet.worker.recv")
                 kind = message[0]
                 if kind == "req":
-                    _, seq, precision, payload, resp_free = message
+                    (_, seq, precision, payload, resp_free, deadline,
+                     resp_inline) = message
                     if resp_ring is not None:
                         resp_ring.free_to(resp_free)
                     try:
@@ -233,14 +306,20 @@ def _worker_main(slot: int, model: Module, cfg: FleetConfig, conn,
                                                descriptor[0] + descriptor[1])
                         else:
                             x = payload[1]
-                    except RingDataError as error:
-                        data, text = _pack_exception(error)
-                        conn.send(("err", [seq], data, text, req_consumed))
+                    except RingDataError:
+                        # Torn/corrupt request frame.  The frame's extent is
+                        # known from the (pipe-delivered) descriptor, so
+                        # consume it and ask the supervisor to re-send this
+                        # request inline — the pickled path has no ring CRC
+                        # to fail a second time.
+                        req_consumed = max(req_consumed,
+                                           descriptor[0] + descriptor[1])
+                        conn.send(("retry", [seq], req_consumed))
                         continue
                     buf = buffers.get(precision.key)
                     if buf is None:
                         buf = buffers[precision.key] = [precision, [], None]
-                    buf[1].append((seq, x))
+                    buf[1].append((seq, x, deadline, resp_inline))
                     if buf[2] is None and max_delay > 0.0:
                         buf[2] = time.monotonic() + max_delay
                     if len(buf[1]) >= cfg.max_batch:
@@ -252,6 +331,11 @@ def _worker_main(slot: int, model: Module, cfg: FleetConfig, conn,
                     for buf in buffers.values():
                         if buf[1]:
                             flush(buf)
+                elif kind == "warm":
+                    _, precisions = message
+                    if cfg.input_shape is not None and precisions:
+                        session.warm(precisions, (1, *cfg.input_shape))
+                    conn.send(("plans", session.cached_plan_keys))
                 elif kind == "drain":
                     _, _final, resp_free = message
                     if resp_ring is not None:
@@ -266,8 +350,13 @@ def _worker_main(slot: int, model: Module, cfg: FleetConfig, conn,
                 for buf in buffers.values():
                     if buf[1] and buf[2] is not None and buf[2] <= now:
                         flush(buf)
+                if now - last_hb >= hb_interval:
+                    conn.send(("hb",))
+                    last_hb = now
     except (EOFError, OSError, KeyboardInterrupt):
         exit_code = 1                    # supervisor vanished mid-recv/send
+    except faults.FaultError:
+        exit_code = 3                    # injected crash: respawn absorbs it
     except BaseException:
         exit_code = 2                    # startup/systematic failure
         import traceback
@@ -322,10 +411,16 @@ class FleetServer:
         self._completed = 0
         self._failed = 0
         self._respawns = 0
+        self._shed = 0
+        self._deadline_expired = 0
+        self._hangs = 0
+        self._ring_retries = 0
         self._ring_frames = 0
         self._inline_fallbacks = 0
         self._started_at: Optional[float] = None
         self._last_done_at: Optional[float] = None
+        self._monitor: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -342,6 +437,10 @@ class FleetServer:
                 self._spawn_locked(slot, restarts=0)
             self._started = True
             self._started_at = time.perf_counter()
+            self._monitor = threading.Thread(target=self._monitor_loop,
+                                             daemon=True,
+                                             name="fleet-hang-monitor")
+            self._monitor.start()
         return self
 
     def close(self) -> None:
@@ -373,6 +472,7 @@ class FleetServer:
                         f"{self.config.drain_timeout_s:.0f}s")
                 self._cond.wait(timeout=min(remaining, 0.5))
             self._started = False
+            self._monitor_stop.set()
 
     def _force_stop_locked(self) -> None:
         for handle in self._slots:
@@ -395,6 +495,7 @@ class FleetServer:
                     ring.close()
             handle.exited = True
         self._started = False
+        self._monitor_stop.set()
 
     def __enter__(self) -> "FleetServer":
         return self.start()
@@ -464,7 +565,18 @@ class FleetServer:
         handle.pending = pending
         handle.drain_requested = dead.drain_requested
         handle.flush_requested = dead.flush_requested
-        for request in pending.values():
+        now = time.monotonic()
+        for seq, request in list(pending.items()):
+            if request.deadline is not None and request.deadline <= now:
+                # Already expired while its worker was dying: resolving it
+                # here beats re-executing a batch nobody is waiting for.
+                pending.pop(seq)
+                self._deadline_expired += 1
+                if not request.future.done():
+                    request.future.set_exception(DeadlineExceeded(
+                        f"request {seq} missed its deadline during a "
+                        f"worker respawn"))
+                continue
             handle.outbox.put(("req", request))
         if handle.flush_requested:
             # A flush issued before the crash may have died with the worker;
@@ -476,7 +588,7 @@ class FleetServer:
 
     def _on_worker_exit(self, handle: _WorkerHandle) -> None:
         if handle.process is not None:
-            handle.process.join(timeout=10.0)
+            handle.process.join(timeout=self.config.join_timeout_s)
         handle.outbox.put(_STOP)
         with self._cond:
             if handle.exited:
@@ -508,6 +620,34 @@ class FleetServer:
             self._cond.notify_all()
 
     # ------------------------------------------------------------------
+    # Hang monitor
+    # ------------------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        """Escalate workers that hold pending requests in silence.
+
+        A dead worker announces itself as EOF on its pipe; a *hung* one
+        (SIGSTOP, wedged syscall, injected hang) just goes quiet.  Idle
+        workers heartbeat, so "pending requests + nothing heard for
+        ``hang_timeout_s``" means stuck — kill the process and let the
+        ordinary exit path respawn it and requeue its in-flight requests.
+        """
+        while not self._monitor_stop.wait(self.config.heartbeat_s):
+            now = time.monotonic()
+            victims: List[_WorkerHandle] = []
+            with self._cond:
+                for handle in self._slots:
+                    if handle is None or handle.exited:
+                        continue
+                    if handle.pending and \
+                            now - handle.last_seen > self.config.hang_timeout_s:
+                        self._hangs += 1
+                        handle.last_seen = now   # one escalation per hang
+                        victims.append(handle)
+            for handle in victims:
+                if handle.process is not None and handle.process.is_alive():
+                    handle.process.kill()
+
+    # ------------------------------------------------------------------
     # Sender / listener threads
     # ------------------------------------------------------------------
     def _sender_loop(self, handle: _WorkerHandle) -> None:
@@ -519,7 +659,8 @@ class FleetServer:
                 if item[0] == "req":
                     request: _PendingRequest = item[1]
                     descriptor = None
-                    if handle.req_ring is not None:
+                    if handle.req_ring is not None and \
+                            not request.inline_retry:
                         descriptor = handle.req_ring.write(request.seq,
                                                            request.x)
                     if descriptor is not None:
@@ -532,7 +673,10 @@ class FleetServer:
                         else:
                             self._inline_fallbacks += 1
                     handle.conn.send(("req", request.seq, request.precision,
-                                      payload, handle.resp_consumed))
+                                      payload, handle.resp_consumed,
+                                      request.deadline, request.inline_retry))
+                elif item[0] == "warm":
+                    handle.conn.send(("warm", item[1]))
                 elif item[0] == "flush":
                     handle.conn.send(("flush", handle.resp_consumed))
                 else:                        # drain
@@ -545,14 +689,27 @@ class FleetServer:
     def _listener_loop(self, handle: _WorkerHandle) -> None:
         while True:
             try:
-                message = handle.conn.recv()
+                if not handle.conn.poll(0.5):
+                    continue
+                message = handle.conn.recv()  # repro: noqa[no-unbounded-wait] — poll-guarded
             except (EOFError, OSError, ValueError):
                 break
+            handle.last_seen = time.monotonic()
             kind = message[0]
+            if kind == "hb":
+                continue
             if kind == "done":
                 self._on_done(handle, message)
             elif kind == "err":
                 self._on_error(handle, message)
+            elif kind == "expired":
+                self._on_expired(handle, message)
+            elif kind == "retry":
+                self._on_retry(handle, message)
+            elif kind == "plans":
+                with self._cond:
+                    handle.plan_keys = message[1]
+                    self._cond.notify_all()
             elif kind == "drained":
                 with self._cond:
                     if handle.req_ring is not None:
@@ -570,10 +727,15 @@ class FleetServer:
                                            out[1][0] + out[1][1])
             else:
                 labels = out[1]
-        except RingDataError as error:
-            # Response payload corrupt: the worker has already dropped the
-            # batch from its buffers, so the honest outcome is failure.
-            self._resolve_error(handle, seqs, error)
+        except RingDataError:
+            # Response frame torn/corrupt.  The worker already dropped the
+            # batch from its buffers, but the requests are still pending
+            # here — re-send them forced inline (no ring CRC on that path);
+            # the worker re-executes and replies inline, and results still
+            # only ever resolve from a clean ``done``.
+            handle.resp_consumed = max(handle.resp_consumed,
+                                       out[1][0] + out[1][1])
+            self._retry_inline(handle, seqs)
             return
         done_at = time.perf_counter()
         with self._cond:
@@ -601,6 +763,40 @@ class FleetServer:
                 handle.req_ring.free_to(req_consumed)
         self._resolve_error(handle, seqs, error)
 
+    def _on_expired(self, handle: _WorkerHandle, message) -> None:
+        """Worker dropped these requests from a micro-batch: deadline hit."""
+        _, seqs, req_consumed = message
+        with self._cond:
+            if handle.req_ring is not None:
+                handle.req_ring.free_to(req_consumed)
+            for seq in seqs:
+                request = handle.pending.pop(seq, None)
+                if request is None or request.future.done():
+                    continue
+                self._deadline_expired += 1
+                request.future.set_exception(DeadlineExceeded(
+                    f"request {seq} missed its deadline before execution"))
+            self._cond.notify_all()
+
+    def _on_retry(self, handle: _WorkerHandle, message) -> None:
+        """Worker could not read a request frame: re-send it inline."""
+        _, seqs, req_consumed = message
+        with self._cond:
+            if handle.req_ring is not None:
+                handle.req_ring.free_to(req_consumed)
+        self._retry_inline(handle, seqs)
+
+    def _retry_inline(self, handle: _WorkerHandle, seqs) -> None:
+        with self._cond:
+            for seq in seqs:
+                request = handle.pending.get(seq)
+                if request is None or request.future.done():
+                    continue
+                self._ring_retries += 1
+                request.inline_retry = True
+                handle.outbox.put(("req", request))
+            self._cond.notify_all()
+
     def _resolve_error(self, handle: _WorkerHandle, seqs,
                        error: BaseException) -> None:
         with self._cond:
@@ -619,12 +815,38 @@ class FleetServer:
         """Supervisor-side RPS draw (deterministic in submission order)."""
         return self.precision_set.sample(self.rng)
 
-    def submit(self, x: np.ndarray) -> Future:
-        """Route one (C, H, W) input; resolves to the predicted label."""
+    def submit(self, x: np.ndarray,
+               deadline_ms: Optional[float] = None) -> Future:
+        """Route one (C, H, W) input; resolves to the predicted label.
+
+        ``deadline_ms`` (default: the ``deadline_ms`` config knob; 0/None =
+        no deadline) bounds how stale the request may be when its
+        micro-batch executes — expired requests are dropped pre-execution
+        and resolve with :class:`DeadlineExceeded`.  When in-flight
+        requests are at ``queue_limit`` the request is shed instead of
+        queued: the returned future fails with :class:`RejectedError`
+        without consuming a precision draw, so the label stream of the
+        *accepted* requests stays deterministic.
+        """
         with self._cond:
             if not self._started or self._closing:
                 raise RuntimeError("fleet is not accepting requests; "
                                    "call start() / build a new fleet")
+            limit = self.config.queue_limit
+            if limit > 0:
+                inflight = sum(len(h.pending) for h in self._slots
+                               if h is not None)
+                if inflight >= limit:
+                    self._shed += 1
+                    future: Future = Future()
+                    future.set_exception(RejectedError(
+                        f"request shed: {inflight} in-flight requests at "
+                        f"queue_limit={limit}"))
+                    return future
+            if deadline_ms is None:
+                deadline_ms = self.config.deadline_ms
+            deadline = (time.monotonic() + deadline_ms / 1000.0
+                        if deadline_ms else None)
             precision = self.draw_precision()
             seq = self._next_seq
             self._next_seq += 1
@@ -635,13 +857,14 @@ class FleetServer:
                     f"{precision.key!r}) exhausted its restart budget")
             request = _PendingRequest(seq, np.asarray(x, dtype=np.float32),
                                       precision, Future(),
-                                      time.perf_counter())
+                                      time.perf_counter(), deadline=deadline)
             handle.pending[seq] = request
             handle.outbox.put(("req", request))
             return request.future
 
-    def submit_many(self, xs: Sequence[np.ndarray]) -> List[Future]:
-        return [self.submit(x) for x in xs]
+    def submit_many(self, xs: Sequence[np.ndarray],
+                    deadline_ms: Optional[float] = None) -> List[Future]:
+        return [self.submit(x, deadline_ms=deadline_ms) for x in xs]
 
     def flush(self) -> None:
         """Flush every partial micro-batch fleet-wide without draining.
@@ -682,12 +905,34 @@ class FleetServer:
 
         In-flight requests keep the precision (and worker) they were routed
         with; subsequent submissions draw from ``new_set`` and route through
-        the rebuilt affinity map.  Workers compile plans for genuinely new
-        precisions lazily on first batch.
+        the rebuilt affinity map.  When the fleet knows its ``input_shape``,
+        each worker is sent a ``warm`` message for its newly-owned
+        precisions — queued FIFO behind already-routed requests, ahead of
+        later ones — so the first request per new precision no longer pays
+        the plan build (the PR 6 follow-on; the build latency would
+        otherwise trip tight deadlines).  Workers without a known shape
+        still compile lazily on first batch.
         """
         with self._cond:
             self.precision_set = new_set
             self._rebuild_affinity()
+            if self.config.input_shape is None or not self._started:
+                return
+            for slot, handle in enumerate(self._slots):
+                if handle is None or handle.exited:
+                    continue
+                owned = self._warm_precisions_for(slot)
+                if owned:
+                    handle.outbox.put(("warm", owned))
+
+    def plan_keys(self) -> Dict[int, Optional[List[object]]]:
+        """Per-slot plan-cache keys last reported by a ``warm`` ack
+        (``None`` until a worker has acked one) — pre-warm introspection
+        for tests and operators."""
+        with self._cond:
+            return {h.slot: (list(h.plan_keys)
+                             if h.plan_keys is not None else None)
+                    for h in self._slots if h is not None}
 
     def apply_precision_schedule(self, accelerator, layers,
                                  caps: Sequence[Optional[int]] = (None, 12, 8),
@@ -721,6 +966,9 @@ class FleetServer:
                 "completed": self._completed,
                 "failed": self._failed,
                 "respawns": self._respawns,
+                "shed": self._shed,
+                "deadline_expired": self._deadline_expired,
+                "hangs": self._hangs,
                 "throughput_rps": (self._completed / elapsed if elapsed > 0
                                    else 0.0),
                 "latency_p50_ms": (float(np.percentile(latencies, 50)) * 1e3
@@ -737,5 +985,6 @@ class FleetServer:
                     "kind": self.config.transport,
                     "ring_frames": self._ring_frames,
                     "inline_fallbacks": self._inline_fallbacks,
+                    "ring_retries": self._ring_retries,
                 },
             }

@@ -44,9 +44,11 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import config
+from ..faults import fault_point
 from ..inference import InferenceSession
 from ..nn.module import Module
 from ..quantization.precision import Precision, PrecisionSet
+from .errors import DeadlineExceeded, RejectedError
 from .scheduler import PrecisionSchedule, plan_precision_schedule
 
 __all__ = ["ServingConfig", "RPSServer"]
@@ -64,17 +66,30 @@ class ServingConfig:
     seed: int = 0
     #: How many recent request latencies the stats window keeps.
     latency_window: int = 16384
+    #: In-flight request cap before ``submit`` sheds with ``RejectedError``
+    #: (``REPRO_SERVING_QUEUE_LIMIT``; 0 = unbounded).
+    queue_limit: int = field(default_factory=config.serving_queue_limit)
+    #: Default per-request deadline in ms (``REPRO_SERVING_DEADLINE_MS``;
+    #: 0 = none).  ``submit(..., deadline_ms=)`` overrides per request.
+    deadline_ms: float = field(default_factory=config.serving_deadline_ms)
+    #: Optional (C, H, W) of incoming requests: enables eager plan
+    #: pre-warming (at fleet spawn and on precision-set swaps).  When None
+    #: the shape is learned from the first submitted request.
+    input_shape: Optional[Tuple[int, ...]] = None
 
 
 class _Request:
-    __slots__ = ("x", "precision", "future", "enqueued_at")
+    __slots__ = ("x", "precision", "future", "enqueued_at", "deadline")
 
     def __init__(self, x: np.ndarray, precision: Precision,
-                 future: "asyncio.Future", enqueued_at: float) -> None:
+                 future: "asyncio.Future", enqueued_at: float,
+                 deadline: Optional[float] = None) -> None:
         self.x = x
         self.precision = precision
         self.future = future
         self.enqueued_at = enqueued_at
+        #: Absolute ``time.monotonic()`` expiry, or None (no deadline).
+        self.deadline = deadline
 
 
 _STOP = object()
@@ -106,6 +121,10 @@ class RPSServer:
         self._precision_counts: Dict[object, int] = {}
         self._completed = 0
         self._failed = 0
+        self._shed = 0
+        self._deadline_expired = 0
+        self._inflight = 0
+        self._input_shape: Optional[Tuple[int, ...]] = self.config.input_shape
         self._started_at: Optional[float] = None
         self._last_done_at: Optional[float] = None
 
@@ -127,7 +146,10 @@ class RPSServer:
                             max_batch=self.config.max_batch,
                             max_delay_ms=self.config.max_delay_ms,
                             seed=self.config.seed,
-                            latency_window=self.config.latency_window))
+                            latency_window=self.config.latency_window,
+                            queue_limit=self.config.queue_limit,
+                            deadline_ms=self.config.deadline_ms,
+                            input_shape=self.config.input_shape))
             await asyncio.get_running_loop().run_in_executor(
                 None, self._fleet.start)
             self._running = True
@@ -191,27 +213,50 @@ class RPSServer:
         """Per-request RPS draw (deterministic in submission order)."""
         return self.precision_set.sample(self.rng)
 
-    async def submit(self, x: np.ndarray) -> int:
+    async def submit(self, x: np.ndarray,
+                     deadline_ms: Optional[float] = None) -> int:
         """Serve one input of shape (C, H, W); returns the predicted label.
 
         The request's precision is drawn here, at submission time, so a
         seeded server assigns the same precision sequence to the same
         submission order regardless of how batches later coalesce.
+
+        ``deadline_ms`` (default: the ``deadline_ms`` config knob; 0/None =
+        none) bounds request staleness: a request whose deadline passes
+        before its micro-batch executes is dropped pre-execution and raises
+        :class:`DeadlineExceeded` here.  With in-flight requests at
+        ``queue_limit`` the request is shed — :class:`RejectedError`,
+        without consuming a precision draw.
         """
         if not self._running:
             raise RuntimeError("server is not running; call start() first")
         if self._fleet is not None:
-            return await asyncio.wrap_future(self._fleet.submit(x))
+            return await asyncio.wrap_future(
+                self._fleet.submit(x, deadline_ms=deadline_ms))
+        limit = self.config.queue_limit
+        if limit > 0 and self._inflight >= limit:
+            self._shed += 1
+            raise RejectedError(f"request shed: {self._inflight} in-flight "
+                                f"requests at queue_limit={limit}")
+        if deadline_ms is None:
+            deadline_ms = self.config.deadline_ms
+        deadline = (time.monotonic() + deadline_ms / 1000.0
+                    if deadline_ms else None)
         loop = asyncio.get_running_loop()
         request = _Request(np.asarray(x, dtype=np.float32),
                            self.draw_precision(), loop.create_future(),
-                           time.perf_counter())
+                           time.perf_counter(), deadline=deadline)
+        if self._input_shape is None:
+            self._input_shape = tuple(request.x.shape)
+        self._inflight += 1
         await self._queue.put(request)
         return await request.future
 
-    async def submit_many(self, xs: Sequence[np.ndarray]) -> List[int]:
+    async def submit_many(self, xs: Sequence[np.ndarray],
+                          deadline_ms: Optional[float] = None) -> List[int]:
         """Submit a burst of requests concurrently and await all results."""
-        return list(await asyncio.gather(*(self.submit(x) for x in xs)))
+        return list(await asyncio.gather(
+            *(self.submit(x, deadline_ms=deadline_ms) for x in xs)))
 
     # ------------------------------------------------------------------
     # Precision-set scheduling
@@ -221,11 +266,20 @@ class RPSServer:
 
         Requests already queued keep the precision they drew; subsequent
         submissions draw from ``new_set``.  Compiled plans for overlapping
-        precisions stay cached in the session (per worker in fleet mode).
+        precisions stay cached in the session (per worker in fleet mode);
+        plans for genuinely new precisions are **pre-warmed eagerly** when
+        the input shape is known (configured or learned from traffic) —
+        queued FIFO on the single worker thread behind in-flight batches —
+        so the first request per new precision skips the plan-build latency
+        spike (which would otherwise trip tight deadlines).
         """
         self.precision_set = new_set
         if self._fleet is not None:
             self._fleet.swap_precision_set(new_set)
+            return
+        if self._executor is not None and self._input_shape is not None:
+            self._executor.submit(self.session.warm, list(new_set),
+                                  (1, *self._input_shape))
 
     def apply_precision_schedule(self, accelerator, layers,
                                  caps: Sequence[Optional[int]] = (None, 12, 8),
@@ -276,19 +330,37 @@ class RPSServer:
 
     async def _run_window(self, window: List[_Request]) -> None:
         loop = asyncio.get_running_loop()
-        groups: Dict[object, Tuple[Precision, List[_Request]]] = {}
+        now = time.monotonic()
+        live: List[_Request] = []
         for request in window:
+            # Deadline check happens at the last moment before execution:
+            # expired requests are dropped from the micro-batch (their slot
+            # is not worth the batch-global quantiser work) and resolve
+            # exceptionally instead of silently.
+            if request.deadline is not None and request.deadline <= now:
+                self._deadline_expired += 1
+                self._inflight -= 1
+                if not request.future.done():
+                    request.future.set_exception(DeadlineExceeded(
+                        "request missed its deadline before execution"))
+                continue
+            live.append(request)
+        if not live:
+            return
+        groups: Dict[object, Tuple[Precision, List[_Request]]] = {}
+        for request in live:
             entry = groups.get(request.precision.key)
             if entry is None:
                 entry = groups[request.precision.key] = (request.precision, [])
             entry[1].append(request)
-        self._batch_sizes.append(len(window))
+        self._batch_sizes.append(len(live))
         for precision, requests in groups.values():
             try:
                 # Everything request-shaped stays inside the try: a
                 # malformed input (e.g. mismatched (C, H, W) across a
                 # coalesced group) must fail that group's futures, never
                 # kill the dispatcher and strand every later waiter.
+                fault_point("server.dispatch")
                 batch = np.stack([r.x for r in requests])
                 labels = await loop.run_in_executor(
                     self._executor,
@@ -299,6 +371,7 @@ class RPSServer:
                     # from the latency window, so p50/p99/throughput always
                     # describe successfully served traffic only.
                     self._failed += 1
+                    self._inflight -= 1
                     if not request.future.done():
                         request.future.set_exception(error)
                 continue
@@ -310,6 +383,7 @@ class RPSServer:
             for request, label in zip(requests, labels):
                 self._latencies.append(done - request.enqueued_at)
                 self._completed += 1
+                self._inflight -= 1
                 if not request.future.done():
                     request.future.set_result(int(label))
 
@@ -335,6 +409,8 @@ class RPSServer:
         return {
             "completed": self._completed,
             "failed": self._failed,
+            "shed": self._shed,
+            "deadline_expired": self._deadline_expired,
             "throughput_rps": (self._completed / elapsed if elapsed > 0
                                else 0.0),
             "latency_p50_ms": (float(np.percentile(latencies, 50)) * 1e3

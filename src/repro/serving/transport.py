@@ -42,6 +42,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..faults import fault_point
+
 __all__ = ["RingDataError", "TensorRing", "FrameDescriptor"]
 
 #: ``(start_counter, frame_bytes, dtype_str, shape)`` — everything a reader
@@ -136,6 +138,12 @@ class TensorRing:
         if self.head + total - self.tail > self.capacity:
             return None                  # full: caller goes inline
         crc = zlib.crc32(payload)
+        # Fault seam: a firing ``corrupt`` spec flips a byte *after* the CRC
+        # was computed, modelling a torn/bit-flipped write the reader must
+        # catch — exactly what the checksum exists for.  (No-op — and no
+        # copy — without an active plan.)
+        if nbytes:
+            payload = fault_point("transport.ring.write", payload)
         start = self.head
         self._copy_in(start, _HEADER.pack(_MAGIC, crc, seq, nbytes))
         if nbytes:
@@ -173,6 +181,10 @@ class TensorRing:
             raise RingDataError(f"frame length {nbytes} disagrees with "
                                 f"descriptor total {total}")
         payload = self._copy_out(start + _HEADER.size, nbytes)
+        # Fault seam: corrupt the copied-out bytes *before* verification —
+        # models reading a frame the producer is concurrently overwriting.
+        if nbytes:
+            payload = fault_point("transport.ring.read", payload)
         (trailer_seq,) = _TRAILER.unpack(
             self._copy_out(start + _HEADER.size + nbytes, _TRAILER.size))
         if trailer_seq != seq:

@@ -291,6 +291,104 @@ class TestServingKnobs:
 
 
 # ---------------------------------------------------------------------------
+# Request-lifecycle knobs
+# ---------------------------------------------------------------------------
+
+class TestLifecycleKnobs:
+    def test_queue_limit_default_and_clamp(self, monkeypatch):
+        assert config.serving_queue_limit() == 0
+        monkeypatch.setenv("REPRO_SERVING_QUEUE_LIMIT", "128")
+        assert config.serving_queue_limit() == 128
+        monkeypatch.setenv("REPRO_SERVING_QUEUE_LIMIT", "-4")
+        assert config.serving_queue_limit() == 0
+
+    def test_deadline_default_and_clamp(self, monkeypatch):
+        assert config.serving_deadline_ms() == 0.0
+        monkeypatch.setenv("REPRO_SERVING_DEADLINE_MS", "250")
+        assert config.serving_deadline_ms() == 250.0
+        monkeypatch.setenv("REPRO_SERVING_DEADLINE_MS", "-1")
+        assert config.serving_deadline_ms() == 0.0
+
+    def test_heartbeat_floor_prevents_spinning(self, monkeypatch):
+        assert config.serving_heartbeat_s() == 1.0
+        monkeypatch.setenv("REPRO_SERVING_HEARTBEAT_S", "0")
+        assert config.serving_heartbeat_s() == 0.01
+
+    def test_hang_timeout_default_and_floor(self, monkeypatch):
+        assert config.serving_hang_timeout_s() == 30.0
+        monkeypatch.setenv("REPRO_SERVING_HANG_TIMEOUT_S", "0.5")
+        assert config.serving_hang_timeout_s() == 0.5
+        monkeypatch.setenv("REPRO_SERVING_HANG_TIMEOUT_S", "0")
+        assert config.serving_hang_timeout_s() == 0.1
+
+    def test_drain_and_join_timeouts(self, monkeypatch):
+        assert config.serving_drain_timeout_s() == 120.0
+        assert config.serving_join_timeout_s() == 10.0
+        monkeypatch.setenv("REPRO_SERVING_DRAIN_TIMEOUT_S", "0.25")
+        monkeypatch.setenv("REPRO_SERVING_JOIN_TIMEOUT_S", "0.01")
+        assert config.serving_drain_timeout_s() == 1.0
+        assert config.serving_join_timeout_s() == 0.1
+
+    def test_malformed_lifecycle_knob_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVING_QUEUE_LIMIT", "plenty")
+        with pytest.warns(UserWarning, match="REPRO_SERVING_QUEUE_LIMIT"):
+            assert config.serving_queue_limit() == 0
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection knobs
+# ---------------------------------------------------------------------------
+
+class TestFaultKnobs:
+    def test_spec_default_empty_and_stripped(self, monkeypatch):
+        assert config.faults_spec() == ""
+        monkeypatch.setenv("REPRO_FAULTS", "  a.b=error  ")
+        assert config.faults_spec() == "a.b=error"
+
+    def test_seed_default_and_override(self, monkeypatch):
+        assert config.faults_seed() == 0
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "11")
+        assert config.faults_seed() == 11
+
+
+# ---------------------------------------------------------------------------
+# Store retry / breaker knobs
+# ---------------------------------------------------------------------------
+
+class TestStoreRetryKnobs:
+    def test_timeout_default_and_floor(self, monkeypatch):
+        assert config.store_timeout_s() == 30.0
+        monkeypatch.setenv("REPRO_STORE_TIMEOUT_S", "0")
+        assert config.store_timeout_s() == 0.1
+
+    def test_retries_default_and_clamp(self, monkeypatch):
+        assert config.store_retries() == 2
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "-1")
+        assert config.store_retries() == 0
+
+    def test_backoff_base_and_cap(self, monkeypatch):
+        assert config.store_backoff_ms() == 50.0
+        assert config.store_backoff_cap_ms() == 2000.0
+        monkeypatch.setenv("REPRO_STORE_BACKOFF_MS", "-10")
+        monkeypatch.setenv("REPRO_STORE_BACKOFF_CAP_MS", "100")
+        assert config.store_backoff_ms() == 0.0
+        assert config.store_backoff_cap_ms() == 100.0
+
+    def test_breaker_thresholds(self, monkeypatch):
+        assert config.store_breaker_failures() == 3
+        assert config.store_breaker_reset_s() == 30.0
+        monkeypatch.setenv("REPRO_STORE_BREAKER_FAILURES", "0")
+        monkeypatch.setenv("REPRO_STORE_BREAKER_RESET_S", "5")
+        assert config.store_breaker_failures() == 0   # 0 disables the breaker
+        assert config.store_breaker_reset_s() == 5.0
+
+    def test_malformed_store_knob_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "many")
+        with pytest.warns(UserWarning, match="REPRO_STORE_RETRIES"):
+            assert config.store_retries() == 2
+
+
+# ---------------------------------------------------------------------------
 # Engine knobs
 # ---------------------------------------------------------------------------
 

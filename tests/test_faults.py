@@ -1,0 +1,222 @@
+"""Unit contracts of :mod:`repro.faults` — the seeded fault-injection layer.
+
+Pinned behaviours: the ``site=kind[:opt=..]`` spec grammar (including every
+malformed-entry rejection), determinism of the per-site seeded streams (a
+given (spec, seed) pair fires the same faults at the same ordinals on every
+run), each fault kind's effect at a :func:`~repro.faults.fault_point`, and
+the activation precedence (installed plan > ``REPRO_FAULTS`` environment,
+with ``install(None)`` masking the environment and a malformed environment
+spec warning exactly once).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.faults import FaultError, FaultPlan, FaultSpec, fault_point
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_plan(monkeypatch):
+    """Each test controls the plan explicitly; start uninstalled + env-free."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS_SEED", raising=False)
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+# ---------------------------------------------------------------------------
+# Spec grammar
+# ---------------------------------------------------------------------------
+
+class TestSpecParse:
+    def test_minimal_entry(self):
+        spec = FaultSpec.parse("fleet.worker.exec=error")
+        assert spec.site == "fleet.worker.exec"
+        assert spec.kind == "error"
+        assert spec.prob == 1.0
+        assert spec.max_fires is None
+
+    def test_every_option(self):
+        spec = FaultSpec.parse("a.b=latency:p=0.25:ms=7.5:s=12:n=3")
+        assert (spec.prob, spec.latency_ms, spec.hang_s, spec.max_fires) == \
+            (0.25, 7.5, 12.0, 3)
+
+    def test_plan_splits_entries_and_skips_blanks(self):
+        plan = FaultPlan.parse("a=error; ;b=latency:ms=1;", seed=5)
+        assert [s.site for s in plan.specs] == ["a", "b"]
+        assert plan.seed == 5
+
+    def test_glob_sites_match(self):
+        plan = FaultPlan.parse("fleet.worker.*=error")
+        assert plan.matching("fleet.worker.recv")
+        assert plan.matching("fleet.worker.send")
+        assert not plan.matching("transport.ring.write")
+
+    @pytest.mark.parametrize("entry", [
+        "no-kind-here",                    # missing '='
+        "site=",                           # empty kind
+        "=error",                          # empty site
+        "site=explode",                    # unknown kind
+        "site=error:p=1.5",                # prob out of range
+        "site=error:bogus=1",              # unknown option key
+        "site=latency:ms=fast",            # non-numeric option
+    ])
+    def test_malformed_entries_raise(self, entry):
+        with pytest.raises(ValueError):
+            FaultSpec.parse(entry)
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+class TestDeterminism:
+    SPEC = "a=error:p=0.5"
+
+    def _fire_pattern(self, seed, n=64):
+        plan = FaultPlan.parse(self.SPEC, seed=seed)
+        pattern = []
+        for _ in range(n):
+            try:
+                plan.apply("a")
+                pattern.append(False)
+            except FaultError:
+                pattern.append(True)
+        return pattern
+
+    def test_same_seed_replays_exactly(self):
+        assert self._fire_pattern(7) == self._fire_pattern(7)
+
+    def test_seed_changes_the_stream(self):
+        assert self._fire_pattern(7) != self._fire_pattern(8)
+
+    def test_sites_have_independent_streams(self):
+        plan = FaultPlan.parse("a=error:p=0.5;b=error:p=0.5", seed=0)
+        a_fires, b_fires = [], []
+        for _ in range(64):
+            for site, fires in (("a", a_fires), ("b", b_fires)):
+                try:
+                    plan.apply(site)
+                    fires.append(False)
+                except FaultError:
+                    fires.append(True)
+        assert a_fires != b_fires
+
+    def test_corruption_is_seeded(self):
+        blob = bytes(range(64))
+        one = FaultPlan.parse("a=corrupt", seed=3).apply("a", blob)
+        two = FaultPlan.parse("a=corrupt", seed=3).apply("a", blob)
+        assert one == two
+        assert one != blob
+
+
+# ---------------------------------------------------------------------------
+# Fault kinds
+# ---------------------------------------------------------------------------
+
+class TestKinds:
+    def test_error_raises_fault_error(self):
+        plan = FaultPlan.parse("a=error")
+        with pytest.raises(FaultError, match="'a'"):
+            plan.apply("a")
+
+    def test_latency_sleeps_the_configured_ms(self, monkeypatch):
+        naps = []
+        monkeypatch.setattr(faults.time, "sleep", naps.append)
+        FaultPlan.parse("a=latency:ms=40").apply("a")
+        assert naps == [0.04]
+
+    def test_hang_sleeps_the_configured_s(self, monkeypatch):
+        naps = []
+        monkeypatch.setattr(faults.time, "sleep", naps.append)
+        FaultPlan.parse("a=hang:s=17").apply("a")
+        assert naps == [17.0]
+
+    def test_corrupt_flips_exactly_one_byte(self):
+        blob = bytes(64)
+        out = FaultPlan.parse("a=corrupt").apply("a", blob)
+        assert isinstance(out, bytes) and len(out) == len(blob)
+        assert sum(x != y for x, y in zip(out, blob)) == 1
+        assert blob == bytes(64), "input mutated in place"
+
+    def test_corrupt_accepts_ndarray_payloads(self):
+        payload = np.arange(16, dtype=np.float32)
+        out = FaultPlan.parse("a=corrupt").apply("a", payload)
+        assert isinstance(out, bytes)
+        assert out != payload.tobytes()
+        assert np.array_equal(payload, np.arange(16, dtype=np.float32))
+
+    def test_corrupt_without_payload_is_a_no_op(self):
+        assert FaultPlan.parse("a=corrupt").apply("a") is None
+
+    def test_prob_zero_never_fires(self):
+        plan = FaultPlan.parse("a=error:p=0")
+        for _ in range(32):
+            plan.apply("a")
+        assert plan.fired["a"] == 0
+
+    def test_max_fires_caps_the_site(self):
+        plan = FaultPlan.parse("a=error:n=2")
+        for _ in range(2):
+            with pytest.raises(FaultError):
+                plan.apply("a")
+        plan.apply("a")                   # third hit: spent, passes through
+        assert plan.fired["a"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Activation: fault_point, install, environment
+# ---------------------------------------------------------------------------
+
+class TestActivation:
+    def test_fault_point_is_a_no_op_without_a_plan(self):
+        payload = b"untouched"
+        assert fault_point("anything", payload) is payload
+        assert fault_point("anything") is None
+
+    def test_installed_plan_scopes_to_the_with_block(self):
+        with faults.installed(FaultPlan.parse("x=error")):
+            with pytest.raises(FaultError):
+                fault_point("x")
+        fault_point("x")                  # uninstalled again
+
+    def test_env_activates_and_is_cached(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "env.site=error")
+        assert faults.active_plan() is faults.active_plan()
+        with pytest.raises(FaultError):
+            fault_point("env.site")
+
+    def test_env_seed_feeds_the_plan(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seeded.site=error:p=0.5")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "11")
+        assert faults.active_plan().seed == 11
+
+    def test_installed_plan_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "env.only=error")
+        with faults.installed(FaultPlan.parse("prog.only=error")):
+            fault_point("env.only")       # env masked by the installed plan
+            with pytest.raises(FaultError):
+                fault_point("prog.only")
+
+    def test_install_none_masks_env_entirely(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "env.only=error")
+        with faults.installed(None):
+            assert faults.active_plan() is None
+            fault_point("env.only")
+
+    def test_malformed_env_warns_once_and_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "this is ; not a spec")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert faults.active_plan() is None
+            fault_point("anywhere")       # must not warn again or crash
+            assert faults.active_plan() is None
+        spec_warnings = [w for w in caught
+                         if "REPRO_FAULTS" in str(w.message)]
+        assert len(spec_warnings) == 1

@@ -18,6 +18,8 @@ import time
 import numpy as np
 import pytest
 
+from repro import faults
+from repro.faults import FaultPlan
 from repro.models import preact_resnet18
 from repro.quantization import PrecisionSet
 from repro.serving import FleetConfig, FleetServer, WorkerCrashError
@@ -204,3 +206,65 @@ class TestRestartBudget:
         stats = fleet.stats()
         assert stats["respawns"] == 0
         assert stats["failed"] >= crashed
+
+
+# ---------------------------------------------------------------------------
+# Injected-fault scenarios (the repro.faults migration of this suite)
+# ---------------------------------------------------------------------------
+
+class TestInjectedFaults:
+    """Same contracts as the kill scenarios, driven through seeded
+    :mod:`repro.faults` plans instead of ad-hoc signals — the replayable
+    half of the chaos harness."""
+
+    @pytest.fixture(autouse=True)
+    def _no_ambient_faults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        faults.uninstall()
+        yield
+        faults.uninstall()
+
+    def test_latency_faults_drain_drop_free_and_label_identical(
+            self, model, requests_x):
+        def run(plan):
+            with faults.installed(plan):
+                fleet = FleetServer(model, PS, chaos_config())
+                fleet.start()
+                futures = [fleet.submit(x) for x in requests_x]
+                fleet.close()
+            labels = assert_drop_free(futures, fleet.stats(),
+                                      len(requests_x))
+            return labels
+
+        calm = run(None)
+        slowed = run(FaultPlan.parse(
+            "fleet.worker.*=latency:ms=10:p=0.5", seed=3))
+        assert calm == slowed, "latency reordered the label stream"
+
+    def test_deterministic_error_faults_exhaust_budget_loudly(
+            self, model, requests_x):
+        """A worker that crashes on *every* incoming message (p=1 on the
+        recv site) can never be saved by respawning — the contract is that
+        the failure is loud and bounded: every accepted future resolves
+        with WorkerCrashError, later submissions are rejected, and close()
+        returns instead of deadlocking."""
+        plan = FaultPlan.parse("fleet.worker.recv=error", seed=0)
+        with faults.installed(plan):
+            fleet = FleetServer(model, PS, chaos_config(max_restarts=1))
+            fleet.start()
+            futures = []
+            rejected = 0
+            for x in requests_x:
+                try:
+                    futures.append(fleet.submit(x))
+                except WorkerCrashError:
+                    rejected += 1
+            fleet.close()
+        for future in futures:
+            with pytest.raises(WorkerCrashError):
+                future.result(timeout=30)
+        stats = fleet.stats()
+        assert stats["failed"] == len(futures)
+        assert stats["completed"] == 0
+        assert stats["respawns"] >= 1
+        assert len(futures) + rejected == len(requests_x)

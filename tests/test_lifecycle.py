@@ -1,0 +1,375 @@
+"""Request-lifecycle robustness contracts (PR 8 tentpole).
+
+Four escalation layers under test, all driven through the seeded
+:mod:`repro.faults` layer rather than ad-hoc monkeypatching:
+
+* **Deadlines** — a request whose deadline passes while it waits inside a
+  formed micro-batch is dropped *pre-execution* and resolves with
+  :class:`DeadlineExceeded`; expiries are counted separately from failures.
+* **Load shedding** — past ``queue_limit`` in-flight requests, ``submit``
+  sheds with :class:`RejectedError` *without consuming a precision draw*,
+  so the accepted requests' label stream stays the seeded stream.
+* **Hang detection** — a worker that goes silent while holding pending
+  requests (SIGSTOP, or an injected ``hang`` fault) is killed by the
+  supervisor's heartbeat monitor and escalates through the ordinary
+  respawn/requeue path; budget exhaustion fails loudly, never silently.
+* **Store retry/breaker** — the engine-store client retries transient
+  failures with seeded exponential backoff and opens a circuit breaker
+  after consecutive exhausted calls, half-open-probing its way back.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.accelerator.store_service import (EngineStoreServer,
+                                             RemoteEngineStore,
+                                             StoreProtocolError)
+from repro.faults import FaultPlan
+from repro.models import preact_resnet18
+from repro.quantization import PrecisionSet
+from repro.serving import (DeadlineExceeded, FleetConfig, FleetServer,
+                           RejectedError, WorkerCrashError)
+
+PS = PrecisionSet([3, 4, 6])
+IMAGE = 16
+SEED = 23
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS_SEED", raising=False)
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return preact_resnet18(num_classes=10, width=8, blocks_per_stage=(1, 1),
+                           precisions=PS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def requests_x():
+    rng = np.random.default_rng(1)
+    return [rng.random((3, IMAGE, IMAGE)).astype(np.float32)
+            for _ in range(48)]
+
+
+def lifecycle_config(**overrides) -> FleetConfig:
+    defaults = dict(workers=1, max_batch=4, max_delay_ms=0.0, seed=SEED,
+                    input_shape=(3, IMAGE, IMAGE), drain_timeout_s=60.0)
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+def resolve_all(futures, timeout=30):
+    """Outcome per future: an int label or the raised exception (never a
+    timeout — a future that cannot resolve IS the bug)."""
+    outcomes = []
+    for future in futures:
+        error = future.exception(timeout=timeout)
+        outcomes.append(error if error is not None else future.result())
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Deadlines
+# ---------------------------------------------------------------------------
+
+class TestDeadlines:
+    def test_expiry_inside_a_formed_micro_batch(self, model, requests_x):
+        """A slow batch ahead in the queue makes later requests expire while
+        they sit fully formed in the worker's buffers; the worker drops them
+        at flush, pre-execution, and each resolves with DeadlineExceeded."""
+        plan = FaultPlan.parse("fleet.worker.exec=latency:ms=300", seed=0)
+        with faults.installed(plan):
+            fleet = FleetServer(model, PS, lifecycle_config())
+            fleet.start()
+            futures = fleet.submit_many(requests_x[:12], deadline_ms=120.0)
+            fleet.close()
+        outcomes = resolve_all(futures)
+        labels = [o for o in outcomes if isinstance(o, int)]
+        expired = [o for o in outcomes if isinstance(o, DeadlineExceeded)]
+        assert len(labels) + len(expired) == 12, outcomes
+        assert labels, "every batch expired; the latency fault overshot"
+        assert expired, "nothing expired behind a 300ms batch"
+        stats = fleet.stats()
+        assert stats["completed"] == len(labels)
+        assert stats["deadline_expired"] == len(expired)
+        assert stats["failed"] == 0, "expiries must not count as failures"
+
+    def test_already_expired_requests_never_execute(self, model, requests_x):
+        fleet = FleetServer(model, PS, lifecycle_config())
+        fleet.start()
+        futures = fleet.submit_many(requests_x[:8], deadline_ms=0.001)
+        fleet.close()
+        outcomes = resolve_all(futures)
+        assert all(isinstance(o, DeadlineExceeded) for o in outcomes)
+        stats = fleet.stats()
+        assert stats["deadline_expired"] == 8
+        assert stats["completed"] == 0
+
+    def test_no_deadline_by_default(self, model, requests_x):
+        fleet = FleetServer(model, PS, lifecycle_config())
+        fleet.start()
+        futures = fleet.submit_many(requests_x[:8])
+        fleet.close()
+        assert all(isinstance(o, int) for o in resolve_all(futures))
+        assert fleet.stats()["deadline_expired"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Load shedding
+# ---------------------------------------------------------------------------
+
+class TestLoadShedding:
+    def test_burst_sheds_and_accepted_stream_stays_seeded(self, model,
+                                                          requests_x):
+        plan = FaultPlan.parse("fleet.worker.exec=latency:ms=100", seed=0)
+        with faults.installed(plan):
+            fleet = FleetServer(model, PS, lifecycle_config(queue_limit=4))
+            fleet.start()
+            futures = fleet.submit_many(requests_x)
+            fleet.close()
+        outcomes = resolve_all(futures)
+        labels = [o for o in outcomes if isinstance(o, int)]
+        shed = [o for o in outcomes if isinstance(o, RejectedError)]
+        assert len(labels) + len(shed) == len(requests_x), outcomes
+        assert shed, "48-deep burst against queue_limit=4 never shed"
+        assert labels, "everything shed; nothing was served"
+        stats = fleet.stats()
+        assert stats["shed"] == len(shed)
+        assert stats["completed"] == len(labels)
+        # Shed requests consume no precision draw: the accepted requests'
+        # histogram is exactly the first len(labels) draws of the stream.
+        draw_rng = np.random.default_rng(SEED)
+        expected: dict = {}
+        for _ in labels:
+            key = PS.sample(draw_rng).key
+            expected[key] = expected.get(key, 0) + 1
+        assert stats["precision_counts"] == \
+            dict(sorted(expected.items(), key=lambda kv: str(kv[0])))
+
+    def test_unlimited_queue_never_sheds(self, model, requests_x):
+        fleet = FleetServer(model, PS, lifecycle_config(queue_limit=0))
+        fleet.start()
+        futures = fleet.submit_many(requests_x)
+        fleet.close()
+        assert all(isinstance(o, int) for o in resolve_all(futures))
+        assert fleet.stats()["shed"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Hang detection
+# ---------------------------------------------------------------------------
+
+class TestHangDetection:
+    def test_sigstopped_worker_is_escalated_drop_free(self, model,
+                                                      requests_x):
+        """SIGSTOP freezes a worker without closing its pipe — invisible to
+        EOF-based death detection.  The heartbeat monitor must notice the
+        silence, kill the process, and let respawn/requeue resolve every
+        accepted future."""
+        plan = FaultPlan.parse("fleet.worker.exec=latency:ms=50", seed=0)
+        with faults.installed(plan):
+            fleet = FleetServer(model, PS, lifecycle_config(
+                workers=2, heartbeat_s=0.2, hang_timeout_s=1.0))
+            fleet.start()
+            futures = fleet.submit_many(requests_x)
+            os.kill(fleet.worker_pids()[0], signal.SIGSTOP)
+            fleet.close()
+        outcomes = resolve_all(futures)
+        assert all(isinstance(o, int) for o in outcomes), outcomes
+        stats = fleet.stats()
+        assert stats["hangs"] >= 1, "monitor never detected the SIGSTOP"
+        assert stats["respawns"] >= 1
+        assert stats["completed"] == len(requests_x)
+        assert stats["failed"] == 0
+
+    def test_injected_hang_exhausts_budget_loudly(self, model, requests_x):
+        """A worker that hangs on every incarnation burns its restart budget
+        through repeated monitor escalations; the in-flight requests then
+        fail with WorkerCrashError — loudly, with zero drops and no
+        supervisor deadlock."""
+        plan = FaultPlan.parse("fleet.worker.exec=hang:s=30", seed=0)
+        with faults.installed(plan):
+            fleet = FleetServer(model, PS, lifecycle_config(
+                max_restarts=1, heartbeat_s=0.1, hang_timeout_s=0.5))
+            fleet.start()
+            futures = fleet.submit_many(requests_x[:8])
+            fleet.close()
+        outcomes = resolve_all(futures)
+        assert all(isinstance(o, WorkerCrashError) for o in outcomes), outcomes
+        stats = fleet.stats()
+        assert stats["hangs"] >= 2          # both incarnations escalated
+        assert stats["respawns"] == 1
+        assert stats["failed"] == 8
+
+    def test_idle_fleet_never_trips_the_monitor(self, model, requests_x):
+        """Heartbeats separate 'idle' from 'hung': a fleet sitting without
+        traffic for several hang timeouts must not burn its workers."""
+        fleet = FleetServer(model, PS, lifecycle_config(
+            heartbeat_s=0.1, hang_timeout_s=0.3))
+        fleet.start()
+        time.sleep(1.0)
+        futures = fleet.submit_many(requests_x[:8])
+        fleet.close()
+        assert all(isinstance(o, int) for o in resolve_all(futures))
+        stats = fleet.stats()
+        assert stats["hangs"] == 0
+        assert stats["respawns"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Store client retry / circuit breaker
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def service(tmp_path):
+    server = EngineStoreServer(tmp_path / "store.sock",
+                               cache_dir=tmp_path / "cache")
+    with server:
+        yield server
+
+
+class TestStoreRetry:
+    def test_transient_faults_retried_with_exponential_backoff(
+            self, service, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "2")
+        monkeypatch.setenv("REPRO_STORE_BACKOFF_MS", "50")
+        monkeypatch.setenv("REPRO_STORE_BACKOFF_CAP_MS", "2000")
+        client = RemoteEngineStore(service.socket_path, seed=0)
+        sleeps: list = []
+        client._sleep = sleeps.append
+        with faults.installed(FaultPlan.parse("store.client.send=error:n=2")):
+            assert client.ping()
+        assert client.attempt_count == 3
+        assert client.retry_count == 2
+        # Jittered exponential: attempt k nominally 50 * 2**k ms, scaled by
+        # a seeded factor in [0.5, 1.5).
+        assert 0.025 <= sleeps[0] < 0.075
+        assert 0.050 <= sleeps[1] < 0.150
+        assert client.breaker_state == "closed"
+
+    def test_server_side_fault_is_a_retryable_transport_failure(
+            self, service, monkeypatch):
+        """An injected server-side fault drops the connection instead of
+        answering; the client sees a transport failure and retries into a
+        healthy exchange — no warning, no protocol error."""
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "2")
+        client = RemoteEngineStore(service.socket_path, seed=0)
+        client._sleep = lambda _s: None
+        with faults.installed(FaultPlan.parse("store.server.recv=error:n=1")):
+            assert client.ping()
+        assert client.attempt_count == 2
+        assert client.retry_count == 1
+
+    def test_backoff_is_seeded_and_capped(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_BACKOFF_MS", "50")
+        monkeypatch.setenv("REPRO_STORE_BACKOFF_CAP_MS", "200")
+        one = RemoteEngineStore(tmp_path / "a.sock", seed=9)
+        two = RemoteEngineStore(tmp_path / "b.sock", seed=9)
+        series = [one._backoff_s(k) for k in range(6)]
+        assert series == [two._backoff_s(k) for k in range(6)]
+        assert all(s < 0.200 * 1.5 for s in series), "cap ignored"
+
+    def test_protocol_errors_are_not_retried(self, service, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "3")
+        client = RemoteEngineStore(service.socket_path, seed=0)
+        with pytest.raises(StoreProtocolError):
+            client._call(("no-such-op",))
+        assert client.attempt_count == 1, "definitive verdicts must not retry"
+        assert client.retry_count == 0
+
+
+class TestCircuitBreaker:
+    def _dead_client(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "0")
+        monkeypatch.setenv("REPRO_STORE_BREAKER_FAILURES", "2")
+        monkeypatch.setenv("REPRO_STORE_BREAKER_RESET_S", "30")
+        client = RemoteEngineStore(tmp_path / "flaky.sock", seed=0)
+        client._sleep = lambda _s: None
+        clock = [0.0]
+        client._now = lambda: clock[0]
+        return client, clock
+
+    def test_full_breaker_sequence(self, tmp_path, monkeypatch, recwarn):
+        client, clock = self._dead_client(tmp_path, monkeypatch)
+        # Two consecutive exhausted calls open the breaker ...
+        assert not client.ping()
+        assert client.breaker_state == "closed"
+        assert not client.ping()
+        assert client.breaker_state == "open"
+        assert client.breaker_opens == 1
+        assert client.attempt_count == 2
+        # ... which fast-fails without touching the socket ...
+        assert not client.ping()
+        assert client.attempt_count == 2
+        assert client.fastfail_count == 1
+        # ... until the reset period elapses and one probe goes through.
+        clock[0] = 31.0
+        assert client.breaker_state == "half-open"
+        assert not client.ping()            # probe fails, breaker reopens
+        assert client.attempt_count == 3
+        assert client.breaker_opens == 2
+        assert client.breaker_state == "open"
+        # The service comes back: the next half-open probe closes it.
+        server = EngineStoreServer(tmp_path / "flaky.sock",
+                                   cache_dir=tmp_path / "cache")
+        with server:
+            clock[0] = 62.0
+            assert client.breaker_state == "half-open"
+            assert client.ping()
+            assert client.breaker_state == "closed"
+        # Degradation stayed warn-once through the whole ordeal.
+        unreachable = [w for w in recwarn.list
+                       if "unreachable" in str(w.message)]
+        assert len(unreachable) == 1
+
+    def test_breaker_disabled_by_zero_threshold(self, tmp_path, monkeypatch,
+                                                recwarn):
+        client, _clock = self._dead_client(tmp_path, monkeypatch)
+        monkeypatch.setenv("REPRO_STORE_BREAKER_FAILURES", "0")
+        for _ in range(5):
+            assert not client.ping()
+        assert client.breaker_state == "closed"
+        assert client.attempt_count == 5, "calls must keep probing"
+
+
+# ---------------------------------------------------------------------------
+# Eager pre-warm on precision-set swap (PR 6 follow-on)
+# ---------------------------------------------------------------------------
+
+class TestWarmOnSwap:
+    def test_fleet_swap_prewarms_newly_owned_plans(self, model, requests_x):
+        """Growing the live set must eagerly compile the new precision's
+        plan on its owning worker — observable through the warm-ack
+        ``plan_keys()`` introspection before any 6-bit request arrives."""
+        fleet = FleetServer(model, PS.restrict(4),
+                            lifecycle_config(workers=2))
+        fleet.start()
+        assert all(keys is None for keys in fleet.plan_keys().values()), \
+            "no warm was requested yet; acks should be empty"
+        fleet.swap_precision_set(PS)      # slot 0 newly owns 6-bit
+        deadline = time.monotonic() + 30.0
+        while True:
+            reported = [keys for keys in fleet.plan_keys().values()
+                        if keys is not None]
+            if any(key[0] == 6 for keys in reported for key in keys):
+                break
+            assert time.monotonic() < deadline, \
+                "swap never pre-warmed the 6-bit plan on its owner"
+            time.sleep(0.02)
+        # Traffic drawn from the grown set still drains drop-free.
+        futures = [fleet.submit(x) for x in requests_x[:8]]
+        fleet.close()
+        assert all(isinstance(o, int) for o in resolve_all(futures))

@@ -26,7 +26,8 @@ from repro.accelerator import TwoInOneAccelerator, network_layers
 from repro.inference import InferenceSession
 from repro.models import preact_resnet18
 from repro.quantization import PrecisionSet
-from repro.serving import RPSServer, ServingConfig, plan_precision_schedule
+from repro.serving import (DeadlineExceeded, RejectedError, RPSServer,
+                           ServingConfig, plan_precision_schedule)
 
 PS = PrecisionSet([3, 4, 6])
 IMAGE = 16
@@ -353,3 +354,80 @@ class TestScheduling:
             accelerator, layers, caps=(None, 4), objective="energy")
         assert server.precision_set is chosen.precision_set
         assert len(candidates) == 2
+
+
+class TestLifecycleInProcess:
+    """Deadline, shedding and eager-warm semantics of the single-process
+    dispatcher (the fleet-mode versions live in tests/test_lifecycle.py)."""
+
+    def test_expired_requests_raise_deadline_exceeded(self, model,
+                                                      requests_x):
+        async def serve():
+            server = RPSServer(model, PS,
+                               ServingConfig(max_batch=8, max_delay_ms=20,
+                                             seed=7))
+            async with server:
+                results = await asyncio.gather(
+                    *(server.submit(x, deadline_ms=0.001)
+                      for x in requests_x[:8]),
+                    return_exceptions=True)
+            return results, server.stats()
+
+        results, stats = drain(serve())
+        assert all(isinstance(r, DeadlineExceeded) for r in results)
+        assert stats["deadline_expired"] == 8
+        assert stats["completed"] == 0
+        assert stats["failed"] == 0, "expiries must not count as failures"
+
+    def test_burst_past_queue_limit_sheds(self, model, requests_x):
+        async def serve():
+            server = RPSServer(model, PS,
+                               ServingConfig(max_batch=4, max_delay_ms=0,
+                                             seed=7, queue_limit=2))
+            async with server:
+                results = await asyncio.gather(
+                    *(server.submit(x) for x in requests_x[:16]),
+                    return_exceptions=True)
+            return results, server.stats()
+
+        results, stats = drain(serve())
+        labels = [r for r in results if isinstance(r, int)]
+        shed = [r for r in results if isinstance(r, RejectedError)]
+        assert len(labels) + len(shed) == 16, results
+        assert shed, "16-deep burst against queue_limit=2 never shed"
+        assert stats["shed"] == len(shed)
+        assert stats["completed"] == len(labels)
+        # Shed requests consume no draw: the accepted histogram is the
+        # seeded stream's first len(labels) draws.
+        draw_rng = np.random.default_rng(7)
+        expected: dict = {}
+        for _ in labels:
+            key = PS.sample(draw_rng).key
+            expected[key] = expected.get(key, 0) + 1
+        assert stats["precision_counts"] == \
+            dict(sorted(expected.items(), key=lambda kv: str(kv[0])))
+
+    def test_swap_eagerly_warms_new_precision_plans(self, model, requests_x):
+        """After traffic teaches the server its input shape, a precision-set
+        swap pre-compiles the genuinely new plans on the worker thread — the
+        first post-swap request must not pay the plan build."""
+        async def serve():
+            server = RPSServer(model, PS.restrict(4),
+                               ServingConfig(max_batch=4, max_delay_ms=0,
+                                             seed=7))
+            async with server:
+                await server.submit_many(requests_x[:4])
+                warm_before = list(server.session.cached_plan_keys)
+                server.swap_precision_set(PS)
+                deadline = asyncio.get_running_loop().time() + 30.0
+                while not any(key[0] == 6
+                              for key in server.session.cached_plan_keys):
+                    assert asyncio.get_running_loop().time() < deadline, \
+                        "swap never pre-warmed the 6-bit plan"
+                    await asyncio.sleep(0.02)
+                warm_after = list(server.session.cached_plan_keys)
+            return warm_before, warm_after
+
+        warm_before, warm_after = drain(serve())
+        assert not any(key[0] == 6 for key in warm_before)
+        assert any(key[0] == 6 for key in warm_after)

@@ -31,6 +31,7 @@ from repro.analysis.abi import (parse_c_exports, parse_py_bindings,
 from repro.analysis.rules import ALL_RULES
 from repro.analysis.rules.config_discipline import ConfigDiscipline
 from repro.analysis.rules.fork_safety import ForkSafety
+from repro.analysis.rules.no_unbounded_wait import NoUnboundedWait
 from repro.analysis.rules.rng_discipline import RngDiscipline
 from repro.analysis.rules.time_seed import TimeSeed
 from repro.analysis.rules.workspace_pairing import WorkspacePairing
@@ -358,6 +359,58 @@ class TestTimeSeed:
     def test_time_outside_a_seed_sink_is_clean(self, tmp_path):
         src = "import time\nSTART = time.time()\n"
         assert lint_tree(tmp_path, {"mod.py": src}, self.RULES) == []
+
+
+# ---------------------------------------------------------------------------
+# no-unbounded-wait
+# ---------------------------------------------------------------------------
+
+SERVING = "repro/serving/loop.py"         # inside the rule's scope
+
+
+class TestNoUnboundedWait:
+    RULES = [NoUnboundedWait()]
+
+    def _lint(self, tmp_path, body, rel=SERVING):
+        return lint_tree(tmp_path, {rel: body}, self.RULES)
+
+    @pytest.mark.parametrize("call", [
+        "event.wait()",
+        "thread.join(timeout=None)",
+        "conn.poll(None)",
+        "conn.recv()",
+        "sock.settimeout(None)",
+    ])
+    def test_unbounded_blocking_call_is_flagged(self, tmp_path, call):
+        src = f"def f(event, thread, conn, sock):\n    {call}\n"
+        findings = self._lint(tmp_path, src)
+        assert rules_hit(findings) == {"no-unbounded-wait"}
+
+    @pytest.mark.parametrize("call", [
+        "event.wait(0.5)",
+        "thread.join(timeout=5.0)",
+        "conn.poll(timeout)",               # dynamic bound: trusted
+        "conn.recv(4096)",                  # socket recv with a size arg
+        "sock.settimeout(3.0)",
+    ])
+    def test_bounded_call_is_clean(self, tmp_path, call):
+        src = f"def f(event, thread, conn, sock, timeout):\n    {call}\n"
+        assert self._lint(tmp_path, src) == []
+
+    def test_outside_the_serving_scope_is_not_flagged(self, tmp_path):
+        src = "def f(event):\n    event.wait()\n"
+        assert self._lint(tmp_path, src, rel="repro/training/loop.py") == []
+
+    def test_store_service_is_in_scope_by_suffix(self, tmp_path):
+        src = "def f(event):\n    event.wait()\n"
+        findings = self._lint(tmp_path, src,
+                              rel="repro/accelerator/store_service.py")
+        assert rules_hit(findings) == {"no-unbounded-wait"}
+
+    def test_noqa_waives_a_poll_guarded_recv(self, tmp_path):
+        src = ("def f(conn):\n"
+               "    conn.recv()  # repro: noqa[no-unbounded-wait]\n")
+        assert self._lint(tmp_path, src) == []
 
 
 # ---------------------------------------------------------------------------
