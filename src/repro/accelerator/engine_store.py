@@ -28,12 +28,11 @@ import hashlib
 import importlib
 import os
 import pickle
-import tempfile
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
-from .. import config
+from .. import config, io_atomic
 
 __all__ = ["CACHE_SCHEMA_VERSION", "EngineStore", "default_cache_dir",
            "env_flag", "env_int", "fingerprint_digest",
@@ -205,21 +204,9 @@ class EngineStore:
             "cells": dict(merged_cells),
             "summaries": dict(merged_summaries),
         }
-        path = self.path_for(fingerprint)
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            mode="wb", dir=str(self.cache_dir), prefix=path.name + ".",
-            suffix=".tmp", delete=False)
-        try:
-            with handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(handle.name, path)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
-        return path
+        # Torn-write-proofing is shared with the training checkpoints: one
+        # write-temp + fsync + rename code path in repro.io_atomic (the file
+        # format is unchanged — a bare pickle, no checksum envelope, so
+        # pre-existing caches stay readable).
+        return io_atomic.atomic_write_pickle(self.path_for(fingerprint),
+                                             payload)

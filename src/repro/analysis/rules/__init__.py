@@ -11,9 +11,11 @@ from .workspace_pairing import WorkspacePairing
 from .fork_safety import ForkSafety
 from .time_seed import TimeSeed
 from .no_unbounded_wait import NoUnboundedWait
+from .atomic_write_discipline import AtomicWriteDiscipline
 
 __all__ = ["ALL_RULES", "rule_table", "ConfigDiscipline", "RngDiscipline",
-           "WorkspacePairing", "ForkSafety", "TimeSeed", "NoUnboundedWait"]
+           "WorkspacePairing", "ForkSafety", "TimeSeed", "NoUnboundedWait",
+           "AtomicWriteDiscipline"]
 
 ALL_RULES = (
     ConfigDiscipline(),
@@ -22,6 +24,7 @@ ALL_RULES = (
     ForkSafety(),
     TimeSeed(),
     NoUnboundedWait(),
+    AtomicWriteDiscipline(),
 )
 
 

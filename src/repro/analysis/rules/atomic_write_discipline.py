@@ -1,0 +1,72 @@
+"""``atomic-write-discipline`` — persistence modules write through io_atomic.
+
+The durability PR consolidated every torn-write defence (write-temp in the
+destination directory, flush + fsync, atomic rename, optional checksum
+envelope) into :mod:`repro.io_atomic`.  A bare ``open(path, "wb")`` followed
+by a ``pickle.dump``/``.write`` in one of the persistence modules silently
+forfeits all of it: a crash mid-write leaves a torn file that the engine
+store would unpickle garbage from, or that a checkpoint resume would trust.
+The bare form reads exactly like the safe one, so review misses it — hence a
+rule.
+
+Scope: the modules whose whole job is persisting binary state —
+``engine_store.py``, ``checkpoint.py``, ``store_service.py``, and
+``io_atomic.py`` itself is exempt (it *is* the implementation, and its
+``NamedTemporaryFile`` path never calls bare ``open``).
+
+What counts as a finding: any ``open(...)`` call whose mode argument is a
+literal string containing ``w``, ``x`` or ``a`` (write/create/append modes;
+reads are fine), whether positional or ``mode=``.  Write your bytes with
+:func:`repro.io_atomic.atomic_write_bytes` (or the pickle/checksummed
+wrappers) instead, or waive a deliberate exception with
+``# repro: noqa[atomic-write-discipline]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..lint import FileContext, FileRule, Finding
+
+#: Files whose writes must go through repro.io_atomic (suffix match so
+#: fixture trees in tests can mirror the layout).
+PERSISTENCE_MODULES = ("engine_store.py", "checkpoint.py", "store_service.py")
+
+
+def _in_scope(rel: str) -> bool:
+    return rel.endswith(PERSISTENCE_MODULES)
+
+
+def _write_mode(node: ast.Call) -> str:
+    """The literal write mode of an ``open()`` call, or ``""``."""
+    mode = node.args[1] if len(node.args) > 1 else next(
+        (kw.value for kw in node.keywords if kw.arg == "mode"), None)
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str) \
+            and any(ch in mode.value for ch in "wxa"):
+        return mode.value
+    return ""
+
+
+class AtomicWriteDiscipline(FileRule):
+    name = "atomic-write-discipline"
+    description = ("bare write-mode open() in a persistence module "
+                   "(engine_store/checkpoint/store_service) instead of "
+                   "repro.io_atomic")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_scope(ctx.rel):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "open"):
+                continue
+            mode = _write_mode(node)
+            if mode:
+                yield ctx.finding(
+                    node, self.name,
+                    f"bare `open(..., {mode!r})` bypasses the torn-write "
+                    f"defences; write through repro.io_atomic "
+                    f"(atomic_write_bytes / atomic_write_pickle / "
+                    f"atomic_write_checksummed)")

@@ -1,0 +1,281 @@
+"""Durable training: atomic, checksummed, resumable checkpoints + sentinels.
+
+Every robust-accuracy table in this reproduction comes out of a long
+adversarial-training run, and until this module a SIGKILL, OOM kill or NaN
+blowup at epoch 40 of 50 threw the whole run away.  :class:`CheckpointManager`
+makes training crash-durable the way the engine store made evaluation
+cache-durable:
+
+* **Atomic + checksummed files.**  Each checkpoint is one pickle inside a
+  SHA-256 envelope (:mod:`repro.io_atomic`), written write-temp + fsync +
+  atomic rename.  A torn, truncated, corrupted or schema-stale file is
+  *detected* and degrades to the previous checkpoint in the ring with
+  exactly one warning — never a crash, never silently trusted bytes.
+* **Complete state.**  A checkpoint carries the model ``state_dict``, the
+  optimizer's scratch state (SGD momentum / Adam moments, exported by
+  parameter index), the LR-schedule position, the trainer RNG's
+  bit-generator state (which also drives the data-loader shuffle and the
+  attack's start noise — one stream), the :class:`TrainingHistory`, the
+  mid-epoch position (current permutation + batch offset) and trainer
+  extras (Free training's persistent delta, the RPS precision schedule
+  position).  Restoring all of it makes a resumed run **bit-identical** to
+  the uninterrupted run; restored weights bump parameter versions so the
+  quantized-weight and inference-plan caches invalidate correctly.
+* **Keep-last-K ring.**  ``REPRO_CKPT_KEEP`` bounds the directory; pruning
+  happens after each successful save, oldest first.
+* **Divergence sentinels.**  :class:`DivergenceSentinel` watches each batch
+  for a non-finite loss or a gradient-norm explosion past a configurable
+  multiple of the running median, and the trainer rolls back to the last
+  checkpoint inside a bounded budget (``REPRO_TRAIN_ROLLBACK_BUDGET``)
+  before aborting with :class:`DivergenceError`.
+
+Fault injection: the manager declares ``train.ckpt.save`` and
+``train.ckpt.load`` :func:`repro.faults.fault_point` sites (the blob passes
+through them, so ``corrupt`` faults produce genuinely corrupt files/reads
+and ``error``/``kill`` faults model crashes mid-persistence); the training
+loops add ``train.batch`` and ``train.data.next``.  The kill–resume chaos
+harness drives all of them through ``REPRO_FAULTS``.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+import warnings
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from . import config, faults, io_atomic
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointManager",
+    "DivergenceError",
+    "DivergenceSentinel",
+    "capture_training_state",
+    "restore_training_state",
+    "resolve_manager",
+]
+
+#: Bump when the checkpoint payload layout (or the meaning of its keys)
+#: changes; files with any other schema are *stale* and degrade like corrupt
+#: ones.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+_PREFIX = "ckpt-"
+_SUFFIX = ".pkl"
+
+
+class DivergenceError(RuntimeError):
+    """Training diverged and the rollback budget is exhausted."""
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint files
+# ---------------------------------------------------------------------------
+
+class CheckpointManager:
+    """A keep-last-K ring of atomic, checksummed training checkpoints.
+
+    Files are named ``ckpt-<global step>.pkl``; the newest readable one wins
+    on :meth:`load_latest`.  All integrity failures — truncation, corruption,
+    a foreign or stale schema — degrade to the next-older file with exactly
+    one warning per bad file.
+    """
+
+    def __init__(self, directory, keep: Optional[int] = None) -> None:
+        self.directory = Path(directory)
+        self.keep = max(1, keep if keep is not None else config.ckpt_keep())
+
+    # ------------------------------------------------------------------
+    def path_for(self, step: int) -> Path:
+        return self.directory / f"{_PREFIX}{step:010d}{_SUFFIX}"
+
+    def steps(self) -> List[int]:
+        """Global steps with a checkpoint file on disk, oldest first."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for path in self.directory.glob(f"{_PREFIX}*{_SUFFIX}"):
+            stem = path.name[len(_PREFIX):-len(_SUFFIX)]
+            if stem.isdigit():
+                found.append(int(stem))
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    def save(self, step: int, payload: Dict) -> Path:
+        """Atomically persist ``payload`` as the checkpoint for ``step``.
+
+        The serialized blob passes through the ``train.ckpt.save`` fault
+        point, so an injected ``error``/``kill`` models a crash mid-save
+        (the atomic rename guarantees older checkpoints survive it) and an
+        injected ``corrupt`` writes a genuinely bad file for the load path
+        to detect.
+        """
+        payload = dict(payload)
+        payload["schema"] = CHECKPOINT_SCHEMA_VERSION
+        payload["step"] = int(step)
+        blob = io_atomic.wrap_checksummed(
+            io_atomic.pickle.dumps(payload,
+                                   protocol=io_atomic.pickle.HIGHEST_PROTOCOL))
+        blob = faults.fault_point("train.ckpt.save", blob)
+        path = io_atomic.atomic_write_bytes(self.path_for(step), blob)
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        steps = self.steps()
+        for step in steps[:-self.keep]:
+            try:
+                self.path_for(step).unlink()
+            except OSError:
+                pass    # a concurrent pruner got there first
+
+    # ------------------------------------------------------------------
+    def load_latest(self) -> Optional[Dict]:
+        """The newest readable checkpoint payload, or ``None``.
+
+        Unreadable files (torn, corrupt, stale schema) each warn once and
+        fall through to the previous checkpoint in the ring.
+        """
+        for step in reversed(self.steps()):
+            payload = self._load_one(self.path_for(step))
+            if payload is not None:
+                return payload
+        return None
+
+    def _load_one(self, path: Path) -> Optional[Dict]:
+        try:
+            blob = path.read_bytes()
+            blob = faults.fault_point("train.ckpt.load", blob)
+            payload = io_atomic.pickle.loads(io_atomic.unwrap_checksummed(blob))
+        except faults.FaultError:
+            raise               # an injected crash is a crash, not corruption
+        except Exception as exc:
+            warnings.warn(
+                f"ignoring unreadable checkpoint {path.name} ({exc}); "
+                f"falling back to the previous checkpoint", stacklevel=3)
+            return None
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+            warnings.warn(
+                f"ignoring stale checkpoint {path.name} (schema "
+                f"{payload.get('schema') if isinstance(payload, dict) else '?'}"
+                f" != {CHECKPOINT_SCHEMA_VERSION}); falling back to the "
+                f"previous checkpoint", stacklevel=3)
+            return None
+        return payload
+
+
+def resolve_manager(checkpoint) -> Optional[CheckpointManager]:
+    """Resolve ``fit``'s ``checkpoint=`` argument to a manager (or ``None``).
+
+    An explicit :class:`CheckpointManager` or directory path wins; otherwise
+    a non-empty ``REPRO_CKPT_DIR`` turns checkpointing on for every training
+    run in the process; otherwise durability is off.
+    """
+    if isinstance(checkpoint, CheckpointManager):
+        return checkpoint
+    if checkpoint is not None:
+        return CheckpointManager(checkpoint)
+    env_dir = config.ckpt_dir()
+    if env_dir:
+        return CheckpointManager(env_dir)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Trainer state capture / restore
+# ---------------------------------------------------------------------------
+
+def capture_training_state(trainer) -> Dict:
+    """Snapshot everything a bit-identical resume needs from ``trainer``.
+
+    Works on the shared trainer protocol (``model``, ``optimizer``,
+    ``scheduler``, ``rng``, ``history``, plus the ``extra_state()`` hook
+    that subclasses extend — Free training's delta, the RPS precision
+    schedule position).
+    """
+    history = trainer.history
+    return {
+        "model": trainer.model.state_dict(),
+        "optimizer": trainer.optimizer.state_dict(),
+        "scheduler": (trainer.scheduler.state_dict()
+                      if trainer.scheduler is not None else None),
+        "rng": copy.deepcopy(trainer.rng.bit_generator.state),
+        "history": {
+            "train_loss": list(history.train_loss),
+            "train_accuracy": list(history.train_accuracy),
+            "epochs_completed": history.epochs_completed,
+        },
+        "extra": trainer.extra_state(),
+    }
+
+
+def restore_training_state(trainer, payload: Dict) -> None:
+    """Restore a :func:`capture_training_state` snapshot onto ``trainer``.
+
+    ``model.load_state_dict(strict=True)`` bumps every parameter version,
+    which is what invalidates the quantized-weight and inference-plan
+    caches derived from the pre-restore weights.
+    """
+    trainer.model.load_state_dict(payload["model"], strict=True)
+    trainer.optimizer.load_state_dict(payload["optimizer"])
+    if trainer.scheduler is not None and payload.get("scheduler") is not None:
+        trainer.scheduler.load_state_dict(payload["scheduler"])
+    trainer.rng.bit_generator.state = copy.deepcopy(payload["rng"])
+    history = payload["history"]
+    trainer.history.train_loss = list(history["train_loss"])
+    trainer.history.train_accuracy = list(history["train_accuracy"])
+    trainer.history.epochs_completed = history["epochs_completed"]
+    trainer.load_extra_state(payload.get("extra", {}))
+
+
+# ---------------------------------------------------------------------------
+# Divergence sentinels
+# ---------------------------------------------------------------------------
+
+class DivergenceSentinel:
+    """Per-batch divergence detection: non-finite loss or a gradient-norm
+    explosion past ``grad_mult`` times the running median norm.
+
+    The window is a bounded deque of recent *accepted* norms; a tripping
+    batch's norm is never admitted (one explosion must not drag the median
+    up toward the next one).  The sentinel needs ``min_history`` accepted
+    batches before the ratio test arms, so noisy early steps cannot trip it.
+    """
+
+    def __init__(self, grad_mult: Optional[float] = None, window: int = 64,
+                 min_history: int = 8) -> None:
+        self.grad_mult = (grad_mult if grad_mult is not None
+                          else config.train_sentinel_grad_mult())
+        self.min_history = min_history
+        self.norms: deque = deque(maxlen=window)
+
+    def observe(self, loss: float, grad_norm: float) -> Optional[str]:
+        """Admit one batch; returns a trip reason, or ``None`` if healthy."""
+        if not math.isfinite(loss):
+            return f"non-finite loss {loss!r}"
+        if not math.isfinite(grad_norm):
+            return f"non-finite gradient norm {grad_norm!r}"
+        if len(self.norms) >= self.min_history:
+            median = float(np.median(self.norms))
+            if median > 0.0 and grad_norm > self.grad_mult * median:
+                return (f"gradient norm {grad_norm:.4g} exceeds "
+                        f"{self.grad_mult:g}x the running median "
+                        f"{median:.4g}")
+        self.norms.append(float(grad_norm))
+        return None
+
+    # -- checkpointable ----------------------------------------------------
+    def state_dict(self) -> Dict:
+        return {"norms": list(self.norms), "grad_mult": self.grad_mult,
+                "min_history": self.min_history}
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.grad_mult = float(state["grad_mult"])
+        self.min_history = int(state["min_history"])
+        self.norms = deque(state["norms"], maxlen=self.norms.maxlen)

@@ -108,6 +108,31 @@ Fault injection (:mod:`repro.faults`):
 ``REPRO_FAULTS_SEED``           Seed of the deterministic per-site fault
                                 streams (default 0).
 
+Durable training (:mod:`repro.checkpoint`):
+
+``REPRO_CKPT_DIR``              Checkpoint directory for training runs.
+                                Empty (default) = no environment-driven
+                                checkpointing; ``Trainer.fit`` also accepts
+                                an explicit ``checkpoint=`` argument, which
+                                wins.
+``REPRO_CKPT_EVERY_STEPS``      Mid-epoch checkpoint interval in optimiser
+                                steps (default 0 = checkpoint at epoch
+                                boundaries only).  Clamped to >= 0.
+``REPRO_CKPT_KEEP``             Keep-last-K ring size of the checkpoint
+                                directory (default 3).  Clamped to >= 1 —
+                                pruning to zero would make resume
+                                impossible.
+``REPRO_TRAIN_SENTINEL_GRAD_MULT``  Divergence sentinel: a batch whose
+                                global gradient norm exceeds this multiple
+                                of the running median trips a rollback
+                                (default 25).  Clamped to >= 1 so the
+                                sentinel can never fire on a norm below
+                                the median.
+``REPRO_TRAIN_ROLLBACK_BUDGET``   How many sentinel rollbacks a single
+                                ``fit`` may spend before aborting with
+                                ``DivergenceError`` (default 3; 0 = abort
+                                on the first trip).  Clamped to >= 0.
+
 Engine-store client (:mod:`repro.accelerator.store_service`):
 
 ``REPRO_STORE_TIMEOUT_S``       Socket timeout per store-service frame
@@ -182,6 +207,11 @@ __all__ = [
     "serving_join_timeout_s",
     "faults_spec",
     "faults_seed",
+    "ckpt_dir",
+    "ckpt_every_steps",
+    "ckpt_keep",
+    "train_sentinel_grad_mult",
+    "train_rollback_budget",
     "store_timeout_s",
     "store_retries",
     "store_backoff_ms",
@@ -470,6 +500,46 @@ def faults_seed() -> int:
     """Seed of the deterministic per-site fault streams
     (``REPRO_FAULTS_SEED``, default 0)."""
     return env_int("REPRO_FAULTS_SEED", 0)
+
+
+# ---------------------------------------------------------------------------
+# Durable training
+# ---------------------------------------------------------------------------
+
+def ckpt_dir() -> str:
+    """Default checkpoint directory of training runs (``REPRO_CKPT_DIR``;
+    empty = checkpointing only when ``fit`` receives an explicit
+    ``checkpoint=``)."""
+    return env_str("REPRO_CKPT_DIR", "")
+
+
+def ckpt_every_steps() -> int:
+    """Mid-epoch checkpoint interval in optimiser steps
+    (``REPRO_CKPT_EVERY_STEPS``, default 0 = epoch boundaries only).
+    Clamped to >= 0."""
+    return max(0, env_int("REPRO_CKPT_EVERY_STEPS", 0))
+
+
+def ckpt_keep() -> int:
+    """Keep-last-K ring size of a checkpoint directory (``REPRO_CKPT_KEEP``,
+    default 3).  Clamped to >= 1 — pruning every checkpoint would make
+    resume impossible."""
+    return max(1, env_int("REPRO_CKPT_KEEP", 3))
+
+
+def train_sentinel_grad_mult() -> float:
+    """Gradient-norm explosion threshold of the divergence sentinel, as a
+    multiple of the running median norm (``REPRO_TRAIN_SENTINEL_GRAD_MULT``,
+    default 25).  Clamped to >= 1 so the sentinel can never trip on a norm
+    at or below the median."""
+    return max(1.0, env_float("REPRO_TRAIN_SENTINEL_GRAD_MULT", 25.0))
+
+
+def train_rollback_budget() -> int:
+    """Sentinel rollbacks one ``fit`` may spend before aborting with
+    ``DivergenceError`` (``REPRO_TRAIN_ROLLBACK_BUDGET``, default 3;
+    0 = abort on the first trip).  Clamped to >= 0."""
+    return max(0, env_int("REPRO_TRAIN_ROLLBACK_BUDGET", 3))
 
 
 # ---------------------------------------------------------------------------

@@ -92,6 +92,21 @@ class RPSTrainer(AdversarialTrainer):
         set_model_precision(self.model, precision)
         return super().train_batch(x, y)
 
+    # ------------------------------------------------------------------
+    # Durable-training hooks (see repro.checkpoint)
+    # ------------------------------------------------------------------
+    def extra_state(self) -> Dict:
+        """The recorded precision schedule joins the checkpoint so a resumed
+        RPS run keeps the full per-iteration precision trace (the draws
+        themselves replay from the shared rng stream)."""
+        extra = super().extra_state()
+        extra["precision_history"] = list(self.precision_history)
+        return extra
+
+    def load_extra_state(self, extra: Dict) -> None:
+        super().load_extra_state(extra)
+        self.precision_history = list(extra.get("precision_history", []))
+
 
 class RPSInference:
     """RPS inference: per-input random precision selection (Alg. 1, lines 14-19).

@@ -6,6 +6,8 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
+from .. import faults
+
 __all__ = ["DataLoader"]
 
 
@@ -47,4 +49,7 @@ class DataLoader:
             batch = indices[start:start + self.batch_size]
             if self.drop_last and len(batch) < self.batch_size:
                 break
+            # Chaos seam: a crashed/hung data pipeline surfaces here, at the
+            # same per-batch boundary the durable fit loop declares.
+            faults.fault_point("train.data.next")
             yield self.x[batch], self.y[batch]

@@ -1,13 +1,16 @@
 """Training loops: natural training and the paper's adversarial-training baselines."""
 
 from .adversarial import ADVERSARIAL_METHODS, AdversarialConfig, AdversarialTrainer
-from .trainer import Trainer, TrainingConfig, TrainingHistory, evaluate_accuracy
+from .trainer import (DivergenceError, Trainer, TrainingConfig,
+                      TrainingHistory, evaluate_accuracy, fit_loop)
 
 __all__ = [
     "Trainer",
     "TrainingConfig",
     "TrainingHistory",
     "evaluate_accuracy",
+    "fit_loop",
+    "DivergenceError",
     "AdversarialConfig",
     "AdversarialTrainer",
     "ADVERSARIAL_METHODS",

@@ -21,6 +21,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from .. import checkpoint as ckpt
+from .. import faults
 from ..attacks.base import input_gradient
 from ..data.loaders import DataLoader
 from ..nn import functional as F
@@ -28,7 +30,7 @@ from ..nn import workspace as nn_workspace
 from ..nn.module import Module
 from ..nn.optim import SGD, MultiStepLR
 from ..nn.tensor import Tensor
-from .trainer import TrainingConfig, TrainingHistory
+from .trainer import TrainingConfig, TrainingHistory, fit_loop
 
 __all__ = ["AdversarialConfig", "AdversarialTrainer", "ADVERSARIAL_METHODS"]
 
@@ -166,6 +168,7 @@ class AdversarialTrainer:
         return metrics
 
     def train_batch(self, x: np.ndarray, y: np.ndarray) -> Dict[str, float]:
+        faults.fault_point("train.batch")
         self.model.train()
         try:
             if self.config.method == "free":
@@ -190,11 +193,34 @@ class AdversarialTrainer:
             self.scheduler.step()
         return {"loss": epoch_loss, "accuracy": epoch_accuracy}
 
+    # ------------------------------------------------------------------
+    # Durable-training hooks (see repro.checkpoint)
+    # ------------------------------------------------------------------
+    def extra_state(self) -> Dict:
+        """Free training's persistent perturbation rides in checkpoints so a
+        resumed Free run replays the exact same ascent trajectory."""
+        return {"free_delta": (None if self._free_delta is None
+                               else self._free_delta.copy())}
+
+    def load_extra_state(self, extra: Dict) -> None:
+        delta = extra.get("free_delta")
+        self._free_delta = None if delta is None else np.array(delta, copy=True)
+
     def fit(self, x: np.ndarray, y: np.ndarray,
-            epochs: Optional[int] = None) -> TrainingHistory:
+            epochs: Optional[int] = None, resume: bool = False,
+            checkpoint=None) -> TrainingHistory:
+        """Adversarially train; durable when a checkpoint manager resolves
+        (same semantics as :meth:`repro.defense.trainer.Trainer.fit`)."""
         epochs = epochs if epochs is not None else self.config.epochs
-        loader = DataLoader(x, y, batch_size=self.config.batch_size,
-                            shuffle=True, rng=self.rng)
-        for _ in range(epochs):
-            self.train_epoch(loader)
-        return self.history
+        manager = ckpt.resolve_manager(checkpoint)
+        if manager is None:
+            if resume:
+                raise ValueError(
+                    "resume=True needs a checkpoint directory: pass "
+                    "checkpoint=... or set REPRO_CKPT_DIR")
+            loader = DataLoader(x, y, batch_size=self.config.batch_size,
+                                shuffle=True, rng=self.rng)
+            for _ in range(epochs):
+                self.train_epoch(loader)
+            return self.history
+        return fit_loop(self, x, y, epochs, manager, resume=resume)

@@ -1,12 +1,26 @@
-"""Plain (natural) training loop and accuracy evaluation utilities."""
+"""Plain (natural) training loop and accuracy evaluation utilities.
+
+Both trainers (this one and :class:`repro.defense.adversarial.
+AdversarialTrainer`) share the durable fit loop in :func:`fit_loop`: when a
+checkpoint manager resolves (``fit(checkpoint=...)`` or ``REPRO_CKPT_DIR``),
+training becomes crash-durable — atomic checkpoints, bit-identical resume,
+divergence sentinels with bounded rollback (see :mod:`repro.checkpoint`).
+Without one, ``fit`` runs the historical loader loop untouched.
+"""
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import checkpoint as ckpt
+from .. import config as repro_config
+from .. import faults
+from ..checkpoint import DivergenceError
 from ..nn import functional as F
 from ..nn import workspace as nn_workspace
 from ..nn.module import Module
@@ -14,7 +28,8 @@ from ..nn.optim import SGD, MultiStepLR
 from ..nn.tensor import Tensor, no_grad
 from ..data.loaders import DataLoader
 
-__all__ = ["TrainingConfig", "TrainingHistory", "Trainer", "evaluate_accuracy"]
+__all__ = ["TrainingConfig", "TrainingHistory", "Trainer", "DivergenceError",
+           "evaluate_accuracy", "fit_loop", "global_grad_norm"]
 
 
 @dataclass
@@ -91,6 +106,7 @@ class Trainer:
     # ------------------------------------------------------------------
     def train_batch(self, x: np.ndarray, y: np.ndarray) -> Dict[str, float]:
         """One optimisation step on a raw mini-batch."""
+        faults.fault_point("train.batch")
         self.model.train()
         self.optimizer.zero_grad()
         logits = self.model(Tensor(x))
@@ -116,11 +132,199 @@ class Trainer:
             self.scheduler.step()
         return {"loss": epoch_loss, "accuracy": epoch_accuracy}
 
+    # ------------------------------------------------------------------
+    # Durable-training hooks (see repro.checkpoint)
+    # ------------------------------------------------------------------
+    def extra_state(self) -> Dict:
+        """Subclass-extensible state carried inside training checkpoints."""
+        return {}
+
+    def load_extra_state(self, extra: Dict) -> None:
+        pass
+
     def fit(self, x: np.ndarray, y: np.ndarray,
-            epochs: Optional[int] = None) -> TrainingHistory:
+            epochs: Optional[int] = None, resume: bool = False,
+            checkpoint=None) -> TrainingHistory:
+        """Train for ``epochs`` epochs (durably, if checkpointing resolves).
+
+        ``checkpoint`` may be a :class:`repro.checkpoint.CheckpointManager`
+        or a directory path; with neither, ``REPRO_CKPT_DIR`` decides.  When
+        no manager resolves, this is the historical in-memory loop,
+        byte-identical to pre-durability behavior.  ``resume=True`` restores
+        the newest readable checkpoint and continues bit-identically.
+        """
         epochs = epochs if epochs is not None else self.config.epochs
-        loader = DataLoader(x, y, batch_size=self.config.batch_size,
-                            shuffle=True, rng=self.rng)
-        for _ in range(epochs):
-            self.train_epoch(loader)
-        return self.history
+        manager = ckpt.resolve_manager(checkpoint)
+        if manager is None:
+            if resume:
+                raise ValueError(
+                    "resume=True needs a checkpoint directory: pass "
+                    "checkpoint=... or set REPRO_CKPT_DIR")
+            loader = DataLoader(x, y, batch_size=self.config.batch_size,
+                                shuffle=True, rng=self.rng)
+            for _ in range(epochs):
+                self.train_epoch(loader)
+            return self.history
+        return fit_loop(self, x, y, epochs, manager, resume=resume)
+
+
+# ---------------------------------------------------------------------------
+# Shared durable fit loop
+# ---------------------------------------------------------------------------
+
+def global_grad_norm(params) -> float:
+    """L2 norm over the concatenation of every parameter gradient."""
+    total = 0.0
+    for param in params:
+        if param.grad is not None:
+            flat = param.grad.ravel()
+            total += float(np.dot(flat, flat))
+    return math.sqrt(total)
+
+
+def fit_loop(trainer, x: np.ndarray, y: np.ndarray, epochs: int,
+             manager: "ckpt.CheckpointManager",
+             resume: bool = False) -> TrainingHistory:
+    """The durable training loop shared by both trainer hierarchies.
+
+    Replays the exact rng call sequence of the legacy ``DataLoader`` path
+    (one ``arange`` + ``shuffle`` per epoch on the trainer rng, batches
+    sliced in order, no drop-last), so a durable uninterrupted run is
+    bit-identical to the historical loop.  On top of that it adds:
+
+    * a checkpoint every ``REPRO_CKPT_EVERY_STEPS`` optimiser steps (0 =
+      epoch boundaries only) and at every epoch boundary;
+    * resume from the newest readable checkpoint (``resume=True``), which
+      restores weights, optimizer scratch state, schedule position, rng
+      stream, history, and the mid-epoch permutation + offset;
+    * divergence sentinels: a tripping batch rolls the trainer back to the
+      last snapshot; a batch that trips twice is skipped deterministically;
+      more than ``REPRO_TRAIN_ROLLBACK_BUDGET`` rollbacks raise
+      :class:`DivergenceError`.
+    """
+    cfg = trainer.config
+    every = repro_config.ckpt_every_steps()
+    budget = repro_config.train_rollback_budget()
+    sentinel = ckpt.DivergenceSentinel()
+    n = len(x)
+
+    step = 0
+    epoch = 0
+    perm: Optional[np.ndarray] = None
+    start_index = 0
+    epoch_losses: List[float] = []
+    epoch_accs: List[float] = []
+    # Rollback bookkeeping survives rollbacks by design: restoring a
+    # snapshot must not forget that the rollback happened.
+    rollbacks = 0
+    skip: set = set()          # (epoch, start) ordinals skipped for good
+    tripped: set = set()       # ordinals that caused one rollback already
+
+    def snapshot() -> Dict:
+        payload = ckpt.capture_training_state(trainer)
+        payload.update({
+            "step": step,
+            "epoch": epoch,
+            "perm": None if perm is None else perm.copy(),
+            "next_start": start_index,
+            "epoch_losses": list(epoch_losses),
+            "epoch_accs": list(epoch_accs),
+            "rollbacks": rollbacks,
+            "skip": sorted(skip),
+            "tripped": sorted(tripped),
+            "sentinel": sentinel.state_dict(),
+            "num_examples": n,
+        })
+        return payload
+
+    def restore(snap: Dict) -> None:
+        nonlocal step, epoch, perm, start_index, epoch_losses, epoch_accs
+        ckpt.restore_training_state(trainer, snap)
+        step = int(snap["step"])
+        epoch = int(snap["epoch"])
+        perm = None if snap["perm"] is None else np.array(snap["perm"])
+        start_index = int(snap["next_start"])
+        epoch_losses = list(snap["epoch_losses"])
+        epoch_accs = list(snap["epoch_accs"])
+        sentinel.load_state_dict(snap["sentinel"])
+
+    if resume:
+        payload = manager.load_latest()
+        if payload is not None:
+            if payload.get("num_examples") != n:
+                raise ValueError(
+                    f"checkpoint in {manager.directory} was taken from a "
+                    f"dataset of {payload.get('num_examples')} examples, "
+                    f"not {n}; refusing to resume across datasets")
+            restore(payload)
+            rollbacks = int(payload["rollbacks"])
+            skip = set(tuple(o) for o in payload["skip"])
+            tripped = set(tuple(o) for o in payload.get("tripped", []))
+
+    last_snapshot = snapshot()
+
+    while epoch < epochs:
+        if perm is None:
+            # Same rng call sequence as DataLoader.__iter__ with shuffle=True.
+            perm = np.arange(n)
+            trainer.rng.shuffle(perm)
+            start_index = 0
+            epoch_losses = []
+            epoch_accs = []
+        rolled_back = False
+        while start_index < n:
+            ordinal = (epoch, start_index)
+            if ordinal in skip:
+                start_index += cfg.batch_size
+                continue
+            faults.fault_point("train.data.next")
+            batch = perm[start_index:start_index + cfg.batch_size]
+            metrics = trainer.train_batch(x[batch], y[batch])
+            step += 1
+            reason = sentinel.observe(
+                metrics["loss"], global_grad_norm(trainer.optimizer.params))
+            if reason is not None:
+                rollbacks += 1
+                if rollbacks > budget:
+                    raise DivergenceError(
+                        f"training diverged at epoch {epoch} step {step} "
+                        f"({reason}) and the rollback budget of {budget} "
+                        f"is exhausted")
+                warnings.warn(
+                    f"divergence sentinel tripped at epoch {epoch} step "
+                    f"{step} ({reason}); rolling back to the last "
+                    f"checkpoint (rollback {rollbacks}/{budget})",
+                    stacklevel=2)
+                if ordinal in tripped:
+                    # Deterministic recurrence: the replay hit the same wall,
+                    # so skip this batch for the rest of the run.
+                    skip.add(ordinal)
+                else:
+                    tripped.add(ordinal)
+                restore(last_snapshot)
+                rolled_back = True
+                break
+            epoch_losses.append(metrics["loss"])
+            epoch_accs.append(metrics["accuracy"])
+            start_index += cfg.batch_size
+            if every and step % every == 0:
+                last_snapshot = snapshot()
+                manager.save(step, last_snapshot)
+        if rolled_back:
+            continue
+        # Epoch boundary: record history exactly like train_epoch does, then
+        # persist (the pre-shuffle rng state makes the replayed shuffle of
+        # the next epoch identical).
+        epoch_loss = float(np.mean(epoch_losses)) if epoch_losses else 0.0
+        epoch_acc = float(np.mean(epoch_accs)) if epoch_accs else 0.0
+        trainer.history.record(epoch_loss, epoch_acc)
+        if trainer.scheduler is not None:
+            trainer.scheduler.step()
+        epoch += 1
+        perm = None
+        start_index = 0
+        epoch_losses = []
+        epoch_accs = []
+        last_snapshot = snapshot()
+        manager.save(step, last_snapshot)
+    return trainer.history

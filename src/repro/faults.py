@@ -11,6 +11,10 @@ plan matches the site it injects one of four fault kinds:
 ``error``     raise :class:`FaultError`
 ``corrupt``   flip one seeded byte in the payload passed through the point
 ``hang``      sleep long enough that hang detection must fire (default 300 s)
+``kill``      SIGKILL the calling process — no cleanup, no atexit, exactly
+              what the kill–resume chaos harness needs to model a crashed
+              training run or worker (use ``p=`` to let the seeded stream
+              pick the firing ordinal)
 
 Plans activate two ways:
 
@@ -35,6 +39,8 @@ every run — chaos tests replay exactly.
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
 import time
 import warnings
@@ -59,7 +65,7 @@ __all__ = [
 ]
 
 #: Fault kinds a spec may name.
-FAULT_KINDS = ("latency", "error", "corrupt", "hang")
+FAULT_KINDS = ("latency", "error", "corrupt", "hang", "kill")
 
 
 class FaultError(RuntimeError):
@@ -181,6 +187,11 @@ class FaultPlan:
                 raise FaultError(f"injected fault at {site!r}")
             elif spec.kind == "hang":
                 time.sleep(spec.hang_s)
+            elif spec.kind == "kill":
+                # A real SIGKILL of our own process: no Python-level unwind,
+                # no atexit handlers, no flushes — the same crash a kernel
+                # OOM kill or an operator's `kill -9` delivers.
+                os.kill(os.getpid(), signal.SIGKILL)
             elif spec.kind == "corrupt" and data is not None:
                 data = self._corrupt(spec, data)
         return data

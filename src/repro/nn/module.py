@@ -105,9 +105,28 @@ class Module:
             state[f"buffer:{name}"] = buf.copy()
         return state
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: Dict[str, np.ndarray],
+                        strict: bool = False) -> None:
+        """Copy ``state`` into this module's parameters and buffers in place.
+
+        With ``strict`` (the checkpoint-restore path) any key mismatch —
+        a snapshot entry this model has no slot for, or a parameter/buffer
+        the snapshot is missing — raises instead of being skipped silently:
+        a checkpoint taken from a different architecture must fail loudly,
+        not half-load.  The default stays lenient for the historical
+        partial-load callers.
+        """
         params = dict(self.named_parameters())
         buffers = dict(self.named_buffers())
+        if strict:
+            expected = set(params) | {f"buffer:{n}" for n in buffers}
+            missing = sorted(expected - set(state))
+            unexpected = sorted(set(state) - expected)
+            if missing or unexpected:
+                raise ValueError(
+                    f"state dict does not match this module: "
+                    f"missing keys {missing[:5]}, unexpected keys "
+                    f"{unexpected[:5]}")
         for key, value in state.items():
             if key.startswith("buffer:"):
                 name = key[len("buffer:"):]

@@ -29,6 +29,48 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Scratch-state serialization (training checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Snapshot of everything a resumed run needs to continue with
+        bit-identical updates: the (scheduler-mutated) learning rate plus the
+        subclass's per-parameter scratch state, keyed by *parameter index*
+        (positions in the construction-order parameter list — stable across
+        processes, unlike ``id()``)."""
+        return {"lr": self.lr, "state": self._export_state()}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this optimizer.
+
+        The parameter list must match the one the snapshot was taken from
+        (same model architecture, same ordering); indices outside it raise.
+        """
+        self.lr = float(state["lr"])
+        self._import_state(state.get("state", {}))
+
+    def _export_state(self) -> Dict:
+        return {}
+
+    def _import_state(self, state: Dict) -> None:
+        if state:
+            raise ValueError(f"{type(self).__name__} has no scratch state "
+                             f"but the snapshot carries keys {sorted(state)}")
+
+    def _indexed(self, per_param: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        """Re-key an ``id(param) -> array`` dict by parameter index."""
+        by_id = {id(p): i for i, p in enumerate(self.params)}
+        return {by_id[pid]: array.copy()
+                for pid, array in per_param.items() if pid in by_id}
+
+    def _param_at(self, index: int) -> Parameter:
+        try:
+            return self.params[index]
+        except IndexError:
+            raise ValueError(
+                f"optimizer snapshot refers to parameter index {index} but "
+                f"this optimizer holds only {len(self.params)}") from None
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with momentum and weight decay.
@@ -82,6 +124,17 @@ class SGD(Optimizer):
             param.data -= scratch
             param.bump_version()
 
+    def _export_state(self) -> Dict:
+        # Only the velocity is state: the scratch buffer is fully rewritten
+        # every step before it is read, so it never crosses a step boundary.
+        return {"velocity": self._indexed(self._velocity)}
+
+    def _import_state(self, state: Dict) -> None:
+        self._velocity = {
+            id(self._param_at(index)): np.array(vel, copy=True)
+            for index, vel in state.get("velocity", {}).items()
+        }
+
 
 class Adam(Optimizer):
     """Adam optimizer (used for the Bandits attack prior updates and ablations)."""
@@ -120,6 +173,17 @@ class Adam(Optimizer):
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
             param.bump_version()
 
+    def _export_state(self) -> Dict:
+        return {"m": self._indexed(self._m), "v": self._indexed(self._v),
+                "t": self._t}
+
+    def _import_state(self, state: Dict) -> None:
+        self._m = {id(self._param_at(i)): np.array(m, copy=True)
+                   for i, m in state.get("m", {}).items()}
+        self._v = {id(self._param_at(i)): np.array(v, copy=True)
+                   for i, v in state.get("v", {}).items()}
+        self._t = int(state.get("t", 0))
+
 
 class LRScheduler:
     """Base learning-rate schedule attached to an optimizer."""
@@ -137,6 +201,15 @@ class LRScheduler:
         lr = self.get_lr()
         self.optimizer.lr = lr
         return lr
+
+    def state_dict(self) -> Dict:
+        """Schedule position (the optimizer's mutated ``lr`` is snapshotted
+        separately by :meth:`Optimizer.state_dict`)."""
+        return {"epoch": self.epoch, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
 
 
 class StepLR(LRScheduler):

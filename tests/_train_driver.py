@@ -1,0 +1,54 @@
+"""Subprocess driver for the kill–resume chaos harness.
+
+Runs one durable training session end-to-end and writes its observable
+outcome — final weights, training history, held-out accuracy — next to the
+checkpoint ring.  The chaos test launches this script three ways:
+
+* golden: no faults, fresh directory — the uninterrupted reference run;
+* killed: ``REPRO_FAULTS=train.batch=kill:...`` SIGKILLs the process at a
+  fault-chosen batch (a real ``kill -9``: no unwind, no flushes);
+* resumed: same directory, faults cleared — must reproduce the golden
+  outcome bit-for-bit from whatever checkpoints survived the kill.
+
+Everything is seeded and argument-free beyond the output directory, so two
+driver invocations differ only in environment-injected faults.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import numpy as np
+
+from repro.data import make_dataset
+from repro.defense import Trainer, TrainingConfig, evaluate_accuracy
+from repro.models import preact_resnet18
+
+
+def main() -> None:
+    out_dir = sys.argv[1]
+    dataset = make_dataset("cifar10", train_size=128, test_size=48)
+    model = preact_resnet18(num_classes=dataset.num_classes, width=8,
+                            blocks_per_stage=(1, 1), seed=0)
+    config = TrainingConfig(epochs=2, batch_size=32, lr=0.05, seed=17,
+                            lr_milestones=(1,))
+    trainer = Trainer(model, config)
+    # resume=True is a no-op on an empty ring, so the same invocation serves
+    # both the fresh golden run and the post-kill resume.
+    history = trainer.fit(dataset.x_train, dataset.y_train, resume=True,
+                          checkpoint=os.path.join(out_dir, "ckpt"))
+    accuracy = evaluate_accuracy(model, dataset.x_test, dataset.y_test)
+    np.savez(os.path.join(out_dir, "weights.npz"), **model.state_dict())
+    with open(os.path.join(out_dir, "result.json"), "w") as fh:
+        json.dump({
+            "train_loss": history.train_loss,
+            "train_accuracy": history.train_accuracy,
+            "epochs_completed": history.epochs_completed,
+            "eval_accuracy": accuracy,
+        }, fh)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,250 @@
+"""Unit contract of :mod:`repro.checkpoint`.
+
+Three layers: the manager's keep-last-K ring of atomic checksummed files and
+its degrade-never-crash load path; bit-exact capture/restore of the full
+trainer state (weights, optimizer scratch, schedule, rng stream, history,
+extras); and the divergence sentinel's trip conditions.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import checkpoint as ckpt
+from repro import io_atomic
+from repro.defense import Trainer, TrainingConfig
+
+
+def _payload(tag: int) -> dict:
+    return {"tag": tag, "num_examples": 4}
+
+
+class TestManagerRing:
+    def test_save_stamps_schema_and_step(self, tmp_path):
+        manager = ckpt.CheckpointManager(tmp_path, keep=3)
+        manager.save(7, _payload(0))
+        loaded = manager.load_latest()
+        assert loaded["schema"] == ckpt.CHECKPOINT_SCHEMA_VERSION
+        assert loaded["step"] == 7
+
+    def test_newest_step_wins(self, tmp_path):
+        manager = ckpt.CheckpointManager(tmp_path, keep=5)
+        for step in (3, 12, 8):
+            manager.save(step, _payload(step))
+        assert manager.load_latest()["tag"] == 12
+
+    def test_keep_last_k_prunes_oldest(self, tmp_path):
+        manager = ckpt.CheckpointManager(tmp_path, keep=2)
+        for step in (1, 2, 3, 4):
+            manager.save(step, _payload(step))
+        assert manager.steps() == [3, 4]
+
+    def test_keep_floor_is_one(self, tmp_path):
+        manager = ckpt.CheckpointManager(tmp_path, keep=0)
+        manager.save(1, _payload(1))
+        manager.save(2, _payload(2))
+        assert manager.steps() == [2]
+
+    def test_empty_or_missing_directory_loads_none(self, tmp_path):
+        assert ckpt.CheckpointManager(tmp_path / "nope").load_latest() is None
+        assert ckpt.CheckpointManager(tmp_path).load_latest() is None
+
+    def test_files_are_checksummed_envelopes(self, tmp_path):
+        manager = ckpt.CheckpointManager(tmp_path, keep=2)
+        path = manager.save(5, _payload(5))
+        assert path.read_bytes().startswith(io_atomic.ENVELOPE_MAGIC)
+
+
+class TestDegrade:
+    """A bad newest file never crashes a resume: exactly one warning per bad
+    file, then the previous checkpoint in the ring wins."""
+
+    def _ring(self, tmp_path, steps=(1, 2, 3)):
+        manager = ckpt.CheckpointManager(tmp_path, keep=len(steps))
+        for step in steps:
+            manager.save(step, _payload(step))
+        return manager
+
+    def _assert_degrades(self, manager, expected_tag, bad_files=1):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            loaded = manager.load_latest()
+        messages = [str(w.message) for w in caught]
+        assert len(messages) == bad_files, messages
+        assert all("checkpoint" in m for m in messages)
+        if expected_tag is None:
+            assert loaded is None
+        else:
+            assert loaded["tag"] == expected_tag
+
+    def test_truncated_newest_degrades_with_one_warning(self, tmp_path):
+        manager = self._ring(tmp_path)
+        newest = manager.path_for(3)
+        newest.write_bytes(newest.read_bytes()[:20])
+        self._assert_degrades(manager, expected_tag=2)
+
+    def test_corrupt_newest_degrades_with_one_warning(self, tmp_path):
+        manager = self._ring(tmp_path)
+        newest = manager.path_for(3)
+        blob = bytearray(newest.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        newest.write_bytes(bytes(blob))
+        self._assert_degrades(manager, expected_tag=2)
+
+    def test_stale_schema_degrades_with_one_warning(self, tmp_path):
+        manager = self._ring(tmp_path)
+        body = io_atomic.pickle.dumps({"schema": -1, "tag": 99})
+        manager.path_for(3).write_bytes(io_atomic.wrap_checksummed(body))
+        self._assert_degrades(manager, expected_tag=2)
+
+    def test_empty_file_degrades_with_one_warning(self, tmp_path):
+        manager = self._ring(tmp_path)
+        manager.path_for(3).write_bytes(b"")
+        self._assert_degrades(manager, expected_tag=2)
+
+    def test_every_file_bad_returns_none_with_one_warning_each(self, tmp_path):
+        manager = self._ring(tmp_path)
+        for step in (1, 2, 3):
+            manager.path_for(step).write_bytes(b"garbage")
+        self._assert_degrades(manager, expected_tag=None, bad_files=3)
+
+    def test_healthy_ring_warns_never(self, tmp_path):
+        manager = self._ring(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert manager.load_latest()["tag"] == 3
+
+
+def _tiny_trainer(tiny_dataset, seed=5):
+    from repro.models import preact_resnet18
+
+    model = preact_resnet18(num_classes=tiny_dataset.num_classes, width=8,
+                            blocks_per_stage=(1, 1), seed=0)
+    cfg = TrainingConfig(epochs=1, batch_size=32, lr=0.05, seed=seed,
+                         lr_milestones=(2,))
+    return Trainer(model, cfg)
+
+
+class TestCaptureRestore:
+    def test_round_trip_is_bit_exact(self, tiny_dataset):
+        x, y = tiny_dataset.x_train[:64], tiny_dataset.y_train[:64]
+        trainer = _tiny_trainer(tiny_dataset)
+        trainer.train_batch(x[:32], y[:32])
+        snap = ckpt.capture_training_state(trainer)
+
+        # Diverge: more training mutates weights, momentum and the rng.
+        trainer.train_batch(x[32:], y[32:])
+        trainer.rng.random(17)
+        trainer.history.record(1.0, 0.5)
+
+        ckpt.restore_training_state(trainer, snap)
+        snap2 = ckpt.capture_training_state(trainer)
+        for key in snap["model"]:
+            assert np.array_equal(snap["model"][key], snap2["model"][key])
+        vel1 = snap["optimizer"]["state"]["velocity"]
+        vel2 = snap2["optimizer"]["state"]["velocity"]
+        assert sorted(vel1) == sorted(vel2)
+        assert all(np.array_equal(vel1[i], vel2[i]) for i in vel1)
+        assert snap["optimizer"]["lr"] == snap2["optimizer"]["lr"]
+        assert snap["scheduler"] == snap2["scheduler"]
+        assert snap["rng"] == snap2["rng"]
+        assert snap["history"] == snap2["history"]
+
+    def test_snapshot_is_isolated_from_later_training(self, tiny_dataset):
+        x, y = tiny_dataset.x_train[:32], tiny_dataset.y_train[:32]
+        trainer = _tiny_trainer(tiny_dataset)
+        snap = ckpt.capture_training_state(trainer)
+        before = {k: v.copy() for k, v in snap["model"].items()}
+        trainer.train_batch(x, y)
+        assert all(np.array_equal(before[k], snap["model"][k]) for k in before)
+
+    def test_restore_bumps_parameter_versions(self, tiny_dataset):
+        trainer = _tiny_trainer(tiny_dataset)
+        snap = ckpt.capture_training_state(trainer)
+        versions = [p.version for p in trainer.model.parameters()]
+        ckpt.restore_training_state(trainer, snap)
+        after = [p.version for p in trainer.model.parameters()]
+        assert all(a > b for a, b in zip(after, versions))
+
+    def test_restore_rejects_foreign_architecture(self, tiny_dataset):
+        trainer = _tiny_trainer(tiny_dataset)
+        snap = ckpt.capture_training_state(trainer)
+        snap = dict(snap, model={"not.a.param": np.zeros(3, np.float32)})
+        with pytest.raises(ValueError, match="does not match"):
+            ckpt.restore_training_state(trainer, snap)
+
+    def test_rng_stream_resumes_identically(self, tiny_dataset):
+        trainer = _tiny_trainer(tiny_dataset)
+        trainer.rng.random(5)
+        snap = ckpt.capture_training_state(trainer)
+        expected = trainer.rng.random(8)
+        ckpt.restore_training_state(trainer, snap)
+        assert np.array_equal(trainer.rng.random(8), expected)
+
+
+class TestDivergenceSentinel:
+    def _warmed(self, mult=10.0, norms=16):
+        sentinel = ckpt.DivergenceSentinel(grad_mult=mult, min_history=8)
+        for _ in range(norms):
+            assert sentinel.observe(1.0, 2.0) is None
+        return sentinel
+
+    def test_healthy_batches_pass(self):
+        self._warmed()
+
+    def test_non_finite_loss_trips(self):
+        sentinel = self._warmed()
+        assert "loss" in sentinel.observe(float("nan"), 2.0)
+        assert "loss" in sentinel.observe(float("inf"), 2.0)
+
+    def test_non_finite_norm_trips(self):
+        sentinel = self._warmed()
+        assert "gradient" in sentinel.observe(1.0, float("nan"))
+
+    def test_explosion_past_multiple_of_median_trips(self):
+        sentinel = self._warmed(mult=10.0)
+        assert sentinel.observe(1.0, 19.9) is None      # below 10 x median 2
+        assert "median" in sentinel.observe(1.0, 25.0)
+
+    def test_no_ratio_trip_before_min_history(self):
+        sentinel = ckpt.DivergenceSentinel(grad_mult=2.0, min_history=8)
+        for norm in (1.0, 500.0, 3.0):                  # noisy early steps
+            assert sentinel.observe(1.0, norm) is None
+
+    def test_tripping_norm_is_not_admitted_to_the_window(self):
+        sentinel = self._warmed(mult=10.0)
+        before = list(sentinel.norms)
+        sentinel.observe(1.0, 1e9)
+        assert list(sentinel.norms) == before
+
+    def test_state_dict_round_trip(self):
+        sentinel = self._warmed(mult=7.0)
+        clone = ckpt.DivergenceSentinel()
+        clone.load_state_dict(sentinel.state_dict())
+        assert list(clone.norms) == list(sentinel.norms)
+        assert clone.grad_mult == 7.0
+        assert clone.min_history == sentinel.min_history
+
+
+class TestResolveManager:
+    def test_explicit_manager_wins(self, tmp_path):
+        manager = ckpt.CheckpointManager(tmp_path)
+        assert ckpt.resolve_manager(manager) is manager
+
+    def test_path_becomes_manager(self, tmp_path):
+        manager = ckpt.resolve_manager(tmp_path / "ring")
+        assert isinstance(manager, ckpt.CheckpointManager)
+        assert manager.directory == tmp_path / "ring"
+
+    def test_env_dir_activates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CKPT_DIR", str(tmp_path / "env-ring"))
+        manager = ckpt.resolve_manager(None)
+        assert manager is not None
+        assert manager.directory == tmp_path / "env-ring"
+
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CKPT_DIR", raising=False)
+        assert ckpt.resolve_manager(None) is None

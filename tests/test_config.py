@@ -419,3 +419,50 @@ class TestEngineKnobs:
         assert config.engine_store_socket() == ""
         monkeypatch.setenv("REPRO_ENGINE_STORE_SOCKET", " /tmp/store.sock ")
         assert config.engine_store_socket() == "/tmp/store.sock"
+
+
+# ---------------------------------------------------------------------------
+# Durable-training knobs
+# ---------------------------------------------------------------------------
+
+class TestDurabilityKnobs:
+    def test_ckpt_dir_default_off_and_stripped(self, monkeypatch):
+        assert config.ckpt_dir() == ""
+        monkeypatch.setenv("REPRO_CKPT_DIR", "  /tmp/ring  ")
+        assert config.ckpt_dir() == "/tmp/ring"
+
+    def test_ckpt_every_steps_default_and_clamp(self, monkeypatch):
+        assert config.ckpt_every_steps() == 0
+        monkeypatch.setenv("REPRO_CKPT_EVERY_STEPS", "25")
+        assert config.ckpt_every_steps() == 25
+        monkeypatch.setenv("REPRO_CKPT_EVERY_STEPS", "-5")
+        assert config.ckpt_every_steps() == 0
+
+    def test_ckpt_keep_default_and_floor(self, monkeypatch):
+        assert config.ckpt_keep() == 3
+        monkeypatch.setenv("REPRO_CKPT_KEEP", "7")
+        assert config.ckpt_keep() == 7
+        monkeypatch.setenv("REPRO_CKPT_KEEP", "0")
+        assert config.ckpt_keep() == 1
+
+    def test_sentinel_grad_mult_default_and_floor(self, monkeypatch):
+        assert config.train_sentinel_grad_mult() == 25.0
+        monkeypatch.setenv("REPRO_TRAIN_SENTINEL_GRAD_MULT", "8.5")
+        assert config.train_sentinel_grad_mult() == 8.5
+        monkeypatch.setenv("REPRO_TRAIN_SENTINEL_GRAD_MULT", "0.2")
+        assert config.train_sentinel_grad_mult() == 1.0
+
+    def test_rollback_budget_default_and_clamp(self, monkeypatch):
+        assert config.train_rollback_budget() == 3
+        monkeypatch.setenv("REPRO_TRAIN_ROLLBACK_BUDGET", "9")
+        assert config.train_rollback_budget() == 9
+        monkeypatch.setenv("REPRO_TRAIN_ROLLBACK_BUDGET", "-1")
+        assert config.train_rollback_budget() == 0
+
+    def test_malformed_durability_knob_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CKPT_EVERY_STEPS", "often")
+        with pytest.warns(UserWarning, match="REPRO_CKPT_EVERY_STEPS"):
+            assert config.ckpt_every_steps() == 0
+        monkeypatch.setenv("REPRO_TRAIN_SENTINEL_GRAD_MULT", "huge")
+        with pytest.warns(UserWarning, match="REPRO_TRAIN_SENTINEL_GRAD_MULT"):
+            assert config.train_sentinel_grad_mult() == 25.0

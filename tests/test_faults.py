@@ -169,6 +169,24 @@ class TestKinds:
         plan.apply("a")                   # third hit: spent, passes through
         assert plan.fired["a"] == 2
 
+    def test_kill_delivers_sigkill_to_self(self, monkeypatch):
+        import signal
+
+        kills = []
+        monkeypatch.setattr(faults.os, "kill",
+                            lambda pid, sig: kills.append((pid, sig)))
+        FaultPlan.parse("a=kill").apply("a")
+        assert kills == [(faults.os.getpid(), signal.SIGKILL)]
+
+    def test_kill_respects_max_fires_and_prob(self, monkeypatch):
+        kills = []
+        monkeypatch.setattr(faults.os, "kill",
+                            lambda pid, sig: kills.append(pid))
+        plan = FaultPlan.parse("a=kill:n=1")
+        for _ in range(3):
+            plan.apply("a")
+        assert len(kills) == 1
+
 
 # ---------------------------------------------------------------------------
 # Activation: fault_point, install, environment

@@ -212,6 +212,32 @@ class TestPlanCache:
         reference = _reference_logits(model, probe, Precision(4))
         assert np.array_equal(reference, after)
 
+    def test_checkpoint_restore_invalidates(self, probe):
+        """Restoring a training checkpoint bumps parameter versions, so a
+        session rebuilds its plans — even though the restored weights equal
+        bytes the session has compiled before."""
+        from repro import checkpoint as ckpt
+        from repro.defense import Trainer, TrainingConfig
+
+        rng = np.random.default_rng(9)
+        model = _build("preact_resnet18", rng)
+        trainer = Trainer(model, TrainingConfig(batch_size=8, lr=0.1, seed=0))
+        session = InferenceSession(model, fold_bn=False)
+        before = session.forward(probe, Precision(4))
+        original_plan = session.plan_for(Precision(4))
+        snap = ckpt.capture_training_state(trainer)
+
+        x = rng.random((8, 3, IMAGE, IMAGE)).astype(np.float32)
+        y = rng.integers(0, 10, size=8)
+        trainer.train_batch(x, y)
+        moved = session.forward(probe, Precision(4))
+        assert not np.array_equal(before, moved)
+
+        ckpt.restore_training_state(trainer, snap)
+        restored = session.forward(probe, Precision(4))
+        assert np.array_equal(restored, before)
+        assert session.plan_for(Precision(4)) is not original_plan
+
     def test_bn_statistics_change_invalidates(self, probe):
         """Buffer contents are digested: BN drift alone rebuilds plans."""
         rng = np.random.default_rng(8)

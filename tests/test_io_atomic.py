@@ -1,0 +1,95 @@
+"""Contract of :mod:`repro.io_atomic`: atomic renames + checksummed envelopes.
+
+The durability guarantees every persistence module leans on: a write either
+lands whole or not at all (old contents survive a failed write, no temp
+litter), and a checksummed envelope detects truncation/corruption instead of
+handing back garbage bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro import io_atomic
+
+
+class TestAtomicWriteBytes:
+    def test_writes_and_returns_path(self, tmp_path):
+        path = tmp_path / "sub" / "blob.bin"
+        out = io_atomic.atomic_write_bytes(path, b"payload")
+        assert out == path
+        assert path.read_bytes() == b"payload"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "c.bin"
+        io_atomic.atomic_write_bytes(path, b"x")
+        assert path.read_bytes() == b"x"
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        io_atomic.atomic_write_bytes(path, b"old")
+        io_atomic.atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_no_temp_litter_after_success(self, tmp_path):
+        io_atomic.atomic_write_bytes(tmp_path / "blob.bin", b"x")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["blob.bin"]
+
+    def test_failed_write_preserves_old_contents(self, tmp_path, monkeypatch):
+        path = tmp_path / "blob.bin"
+        io_atomic.atomic_write_bytes(path, b"old")
+
+        def boom(fd):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(io_atomic.os, "fsync", boom)
+        with pytest.raises(OSError):
+            io_atomic.atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"old"
+        # ... and the temp file was cleaned up.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["blob.bin"]
+
+    def test_atomic_write_pickle_is_a_bare_pickle(self, tmp_path):
+        # Byte-compatible with the historical engine-store format: readers
+        # that pre-date the helper keep working.
+        path = io_atomic.atomic_write_pickle(tmp_path / "p.pkl", {"a": 1})
+        assert pickle.loads(path.read_bytes()) == {"a": 1}
+
+
+class TestChecksummedEnvelope:
+    def test_round_trip(self):
+        blob = io_atomic.wrap_checksummed(b"body-bytes")
+        assert io_atomic.unwrap_checksummed(blob) == b"body-bytes"
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "c.pkl"
+        io_atomic.atomic_write_checksummed(path, {"k": [1, 2]})
+        assert io_atomic.read_checksummed(path) == {"k": [1, 2]}
+
+    def test_not_an_envelope(self):
+        with pytest.raises(io_atomic.ChecksumError):
+            io_atomic.unwrap_checksummed(b"just some bytes")
+
+    def test_truncated_header(self):
+        blob = io_atomic.wrap_checksummed(b"body")
+        with pytest.raises(io_atomic.ChecksumError):
+            io_atomic.unwrap_checksummed(blob[:10])
+
+    def test_truncated_body(self):
+        blob = io_atomic.wrap_checksummed(b"a longer body that gets cut")
+        with pytest.raises(io_atomic.ChecksumError):
+            io_atomic.unwrap_checksummed(blob[:-3])
+
+    def test_single_flipped_byte_is_detected(self):
+        blob = bytearray(io_atomic.wrap_checksummed(b"sensitive state"))
+        blob[len(blob) // 2] ^= 0x40
+        with pytest.raises(io_atomic.ChecksumError):
+            io_atomic.unwrap_checksummed(bytes(blob))
+
+    def test_checksum_error_is_a_value_error(self):
+        # Callers that catch ValueError (the historical engine-store reader
+        # idiom) keep catching envelope failures.
+        assert issubclass(io_atomic.ChecksumError, ValueError)

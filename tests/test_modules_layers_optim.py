@@ -68,6 +68,32 @@ class TestModuleSystem:
         with pytest.raises(RuntimeError):
             nn.ModuleList([])(Tensor(np.zeros(1)))
 
+    def test_strict_load_rejects_missing_keys(self):
+        layer = nn.Linear(4, 4)
+        state = layer.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(ValueError, match="missing"):
+            layer.load_state_dict(state, strict=True)
+
+    def test_strict_load_rejects_unexpected_keys(self):
+        layer = nn.Linear(4, 4)
+        state = layer.state_dict()
+        state["ghost"] = np.zeros(2, dtype=np.float32)
+        with pytest.raises(ValueError, match="unexpected"):
+            layer.load_state_dict(state, strict=True)
+
+    def test_lenient_load_skips_mismatches(self):
+        # The historical partial-load contract must survive the strict mode.
+        layer = nn.Linear(4, 4)
+        layer.load_state_dict({"ghost": np.zeros(2, dtype=np.float32)})
+
+    def test_strict_load_bumps_every_parameter_version(self):
+        layer = nn.Linear(4, 4)
+        versions = [p.version for p in layer.parameters()]
+        layer.load_state_dict(layer.state_dict(), strict=True)
+        assert all(p.version == v + 1
+                   for p, v in zip(layer.parameters(), versions))
+
 
 class TestLayers:
     def test_conv_layer_output_shape(self):
@@ -179,6 +205,96 @@ class TestOptimizers:
         opt = nn.SGD([param], lr=0.1)
         opt.step()                     # no grad -> no change, no crash
         assert param.data[0] == pytest.approx(1.0)
+
+
+class TestOptimizerStateRoundTrip:
+    """Checkpoint contract: export scratch state, import it into a fresh
+    optimizer (a resumed process), and subsequent updates are bit-identical
+    to the uninterrupted optimizer's."""
+
+    GRADS = [np.array([1.0, -2.0], dtype=np.float32),
+             np.array([0.5, 0.25], dtype=np.float32),
+             np.array([-1.5, 3.0], dtype=np.float32)]
+
+    def _run(self, opt, param, grads):
+        for grad in grads:
+            param.grad = grad.copy()
+            opt.step()
+
+    def _round_trip(self, make_opt):
+        # Uninterrupted: 2 warm-up steps + 3 more.
+        p_gold = nn.Parameter(np.array([4.0, -3.0], dtype=np.float32))
+        gold = make_opt(p_gold)
+        self._run(gold, p_gold, self.GRADS[:2])
+        state = gold.state_dict()
+        weights = p_gold.data.copy()
+        self._run(gold, p_gold, self.GRADS)
+
+        # Resumed: fresh parameter + optimizer, snapshot imported.
+        p_res = nn.Parameter(weights.copy())
+        res = make_opt(p_res)
+        res.load_state_dict(state)
+        self._run(res, p_res, self.GRADS)
+        assert np.array_equal(p_gold.data, p_res.data)
+
+    def test_sgd_momentum_round_trip_is_bit_identical(self):
+        self._round_trip(lambda p: nn.SGD([p], lr=0.1, momentum=0.9,
+                                          weight_decay=5e-4))
+
+    def test_sgd_nesterov_round_trip_is_bit_identical(self):
+        self._round_trip(lambda p: nn.SGD([p], lr=0.1, momentum=0.9,
+                                          nesterov=True))
+
+    def test_adam_round_trip_is_bit_identical(self):
+        # The step counter t rides along, so bias correction resumes exactly.
+        self._round_trip(lambda p: nn.Adam([p], lr=0.05))
+
+    def test_state_is_keyed_by_parameter_index(self):
+        param = nn.Parameter(np.array([1.0], dtype=np.float32))
+        opt = nn.SGD([param], lr=0.1, momentum=0.9)
+        param.grad = np.array([2.0], dtype=np.float32)
+        opt.step()
+        state = opt.state_dict()["state"]["velocity"]
+        assert list(state) == [0]          # index, not id()
+
+    def test_snapshot_arrays_are_copies(self):
+        param = nn.Parameter(np.array([1.0], dtype=np.float32))
+        opt = nn.SGD([param], lr=0.1, momentum=0.9)
+        param.grad = np.array([2.0], dtype=np.float32)
+        opt.step()
+        state = opt.state_dict()
+        before = state["state"]["velocity"][0].copy()
+        param.grad = np.array([9.0], dtype=np.float32)
+        opt.step()
+        assert np.array_equal(state["state"]["velocity"][0], before)
+
+    def test_import_rejects_out_of_range_index(self):
+        param = nn.Parameter(np.array([1.0], dtype=np.float32))
+        opt = nn.SGD([param], lr=0.1, momentum=0.9)
+        with pytest.raises(ValueError, match="parameter index"):
+            opt.load_state_dict({"lr": 0.1, "state": {
+                "velocity": {5: np.zeros(1, dtype=np.float32)}}})
+
+    def test_load_restores_scheduler_mutated_lr(self):
+        param = nn.Parameter(np.array([1.0], dtype=np.float32))
+        opt = nn.SGD([param], lr=0.1)
+        opt.lr = 0.001                     # a scheduler decayed it
+        state = opt.state_dict()
+        fresh = nn.SGD([nn.Parameter(np.array([1.0], dtype=np.float32))],
+                       lr=0.1)
+        fresh.load_state_dict(state)
+        assert fresh.lr == 0.001
+
+    def test_scheduler_state_round_trip(self):
+        opt = nn.SGD([nn.Parameter(np.zeros(1, dtype=np.float32))], lr=1.0)
+        sched = nn.MultiStepLR(opt, milestones=[2, 4], gamma=0.5)
+        for _ in range(3):
+            sched.step()
+        state = sched.state_dict()
+        opt2 = nn.SGD([nn.Parameter(np.zeros(1, dtype=np.float32))], lr=1.0)
+        sched2 = nn.MultiStepLR(opt2, milestones=[2, 4], gamma=0.5)
+        sched2.load_state_dict(state)
+        assert sched2.step() == sched.step()
 
 
 class TestSchedulers:

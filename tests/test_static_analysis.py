@@ -29,6 +29,7 @@ from repro.analysis.__main__ import main as analysis_main
 from repro.analysis.abi import (parse_c_exports, parse_py_bindings,
                                 signature_digest)
 from repro.analysis.rules import ALL_RULES
+from repro.analysis.rules.atomic_write_discipline import AtomicWriteDiscipline
 from repro.analysis.rules.config_discipline import ConfigDiscipline
 from repro.analysis.rules.fork_safety import ForkSafety
 from repro.analysis.rules.no_unbounded_wait import NoUnboundedWait
@@ -410,6 +411,55 @@ class TestNoUnboundedWait:
     def test_noqa_waives_a_poll_guarded_recv(self, tmp_path):
         src = ("def f(conn):\n"
                "    conn.recv()  # repro: noqa[no-unbounded-wait]\n")
+        assert self._lint(tmp_path, src) == []
+
+
+class TestAtomicWriteDiscipline:
+    RULES = [AtomicWriteDiscipline()]
+    STORE = "repro/accelerator/engine_store.py"
+
+    def _lint(self, tmp_path, body, rel=STORE):
+        return lint_tree(tmp_path, {rel: body}, self.RULES)
+
+    @pytest.mark.parametrize("call", [
+        'open(path, "wb")',
+        'open(path, "w")',
+        'open(path, mode="wb")',
+        'open(path, "xb")',
+        'open(path, "ab")',
+    ])
+    def test_write_mode_open_is_flagged(self, tmp_path, call):
+        src = f"def save(path, blob):\n    with {call} as fh:\n        fh.write(blob)\n"
+        findings = self._lint(tmp_path, src)
+        assert rules_hit(findings) == {"atomic-write-discipline"}
+
+    @pytest.mark.parametrize("call", [
+        'open(path, "rb")',
+        'open(path)',
+        'open(path, mode)',                   # dynamic mode: trusted
+        'io_atomic.atomic_write_bytes(path, blob)',
+        'path.open("wb")',                    # method call, not the builtin
+    ])
+    def test_reads_and_shared_helper_are_clean(self, tmp_path, call):
+        src = f"def save(path, blob, mode, io_atomic):\n    {call}\n"
+        assert self._lint(tmp_path, src) == []
+
+    @pytest.mark.parametrize("rel", [
+        "repro/checkpoint.py",
+        "repro/accelerator/store_service.py",
+    ])
+    def test_every_persistence_module_is_in_scope(self, tmp_path, rel):
+        src = 'def f(path):\n    open(path, "wb")\n'
+        findings = self._lint(tmp_path, src, rel=rel)
+        assert rules_hit(findings) == {"atomic-write-discipline"}
+
+    def test_outside_persistence_modules_is_not_flagged(self, tmp_path):
+        src = 'def f(path):\n    open(path, "wb")\n'
+        assert self._lint(tmp_path, src, rel="repro/experiments/report.py") == []
+
+    def test_noqa_waives_a_deliberate_bare_write(self, tmp_path):
+        src = ('def f(path):\n'
+               '    open(path, "wb")  # repro: noqa[atomic-write-discipline]\n')
         assert self._lint(tmp_path, src) == []
 
 

@@ -1,0 +1,127 @@
+"""Kill–resume chaos harness: a real SIGKILL mid-training, then resume.
+
+The in-process fault matrix (``test_train_durability.py``) proves resume
+logic against *simulated* crashes; this harness proves it against the real
+thing.  A training subprocess (``tests/_train_driver.py``) is SIGKILLed by
+the seeded ``kill`` fault kind at a fault-chosen batch — no Python unwind,
+no atexit, no flushes — and a second invocation resumes from whatever the
+atomic checkpoint ring retained.  The resumed run's weights, history and
+held-out accuracy must equal the golden uninterrupted run **bit for bit**,
+both when the kill lands mid-epoch (checkpoints exist) and when it lands on
+the very first batch (nothing on disk yet, resume degenerates to a fresh
+start).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+
+DRIVER = Path(__file__).with_name("_train_driver.py")
+SRC_ROOT = Path(repro.__file__).resolve().parents[1]
+
+#: The driver trains 128 examples x batch 32 x 2 epochs = 8 batches.
+TOTAL_BATCHES = 8
+CKPT_EVERY = 2
+
+
+def _first_fire(seed: int, prob: float, site: str = "train.batch") -> int:
+    """Fire ordinal of the seeded fault stream (mirrors FaultPlan seeding)."""
+    rng = np.random.default_rng((seed, zlib.crc32(site.encode("utf-8"))))
+    for ordinal in range(1, 200):
+        if float(rng.random()) < prob:
+            return ordinal
+    return -1
+
+
+def _mid_run_kill_seed(prob: float = 0.35) -> int:
+    """A fault seed whose first kill lands past the first checkpoint but
+    before the end of the run (computed, not guessed, so the test cannot
+    silently turn into the kill-never-fires case)."""
+    for seed in range(100):
+        if CKPT_EVERY < _first_fire(seed, prob) <= TOTAL_BATCHES:
+            return seed
+    raise AssertionError("no seed places the kill mid-run")
+
+
+def _run_driver(out_dir: Path, fault_env=None, expect_kill=False):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_ROOT)] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p])
+    env["REPRO_CKPT_EVERY_STEPS"] = str(CKPT_EVERY)
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_FAULTS_SEED", None)
+    env.update(fault_env or {})
+    out_dir.mkdir(parents=True, exist_ok=True)
+    proc = subprocess.run([sys.executable, str(DRIVER), str(out_dir)],
+                          env=env, capture_output=True, text=True,
+                          timeout=600)
+    if expect_kill:
+        assert proc.returncode == -signal.SIGKILL, (
+            f"driver should have been SIGKILLed, got rc={proc.returncode}\n"
+            f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+        assert not (out_dir / "result.json").exists()
+    else:
+        assert proc.returncode == 0, (
+            f"driver failed rc={proc.returncode}\n"
+            f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+    return proc
+
+
+def _outcome(out_dir: Path):
+    with np.load(out_dir / "weights.npz") as npz:
+        weights = {key: npz[key].copy() for key in npz.files}
+    result = json.loads((out_dir / "result.json").read_text())
+    return weights, result
+
+
+def _assert_bit_identical(golden_dir: Path, resumed_dir: Path):
+    g_weights, g_result = _outcome(golden_dir)
+    r_weights, r_result = _outcome(resumed_dir)
+    assert g_weights.keys() == r_weights.keys()
+    for key in g_weights:
+        assert np.array_equal(g_weights[key], r_weights[key]), key
+    assert g_result == r_result
+
+
+@pytest.fixture(scope="module")
+def golden(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("golden")
+    _run_driver(out_dir)
+    return out_dir
+
+
+class TestKillResume:
+    def test_sigkill_mid_epoch_resumes_bit_identical(self, golden, tmp_path):
+        seed = _mid_run_kill_seed()
+        _run_driver(tmp_path, expect_kill=True, fault_env={
+            "REPRO_FAULTS": "train.batch=kill:p=0.35:n=1",
+            "REPRO_FAULTS_SEED": str(seed),
+        })
+        # The atomic ring survived the SIGKILL: progress up to the last
+        # checkpoint interval is on disk before the resume starts.
+        surviving = sorted((tmp_path / "ckpt").glob("ckpt-*.pkl"))
+        assert surviving, "kill landed after a checkpoint, ring must exist"
+        _run_driver(tmp_path)             # resume, faults cleared
+        _assert_bit_identical(golden, tmp_path)
+
+    def test_sigkill_before_first_checkpoint_resumes_bit_identical(
+            self, golden, tmp_path):
+        # p=1 fires on the very first batch: nothing is on disk yet, so the
+        # resume must degenerate to a bit-identical fresh start.
+        _run_driver(tmp_path, expect_kill=True, fault_env={
+            "REPRO_FAULTS": "train.batch=kill:n=1",
+        })
+        assert not list((tmp_path / "ckpt").glob("ckpt-*.pkl"))
+        _run_driver(tmp_path)
+        _assert_bit_identical(golden, tmp_path)

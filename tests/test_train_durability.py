@@ -1,0 +1,221 @@
+"""Durable-training contract: bit-identical resume under injected faults.
+
+The acceptance bar of the durability PR, exercised in-process:
+
+* a durable (checkpointed) uninterrupted run is **bit-identical** to the
+  historical non-durable loop — same weights, history and rng stream;
+* a run crashed by an injected fault (crash mid-batch, crash mid-save,
+  corrupted read at resume) and then resumed lands on exactly the golden
+  uninterrupted run's final state — zero lost work beyond the checkpoint
+  interval, and a corrupted file costs exactly one warning, never a crash;
+* divergence sentinels roll back to the last snapshot, skip a
+  deterministically-diverging batch, and abort with
+  :class:`DivergenceError` once the rollback budget is spent.
+
+CI runs this file once per ``REPRO_FAULTS`` preset (the environment spec
+replaces the built-in table, like the serving fault matrix); locally the
+whole table runs parametrized.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import checkpoint as ckpt
+from repro import faults
+from repro.defense import DivergenceError, Trainer, TrainingConfig
+from repro.defense.adversarial import AdversarialConfig, AdversarialTrainer
+from repro.models import preact_resnet18
+
+#: name -> fault spec driven through the durable loop's sites.  ``n=1`` keeps
+#: every preset a single injected failure so the resumed run must land on the
+#: golden state exactly.
+PRESETS = {
+    "crash-on-save": "train.ckpt.save=error:n=1",
+    "corrupt-on-load": "train.ckpt.load=corrupt:n=1",
+    "crash-mid-epoch": "train.batch=error:p=0.25:n=1",
+    "crash-on-data": "train.data.next=error:p=0.25:n=1",
+}
+
+_ENV_SPEC = os.environ.get("REPRO_FAULTS", "").strip()
+if _ENV_SPEC:                             # CI leg: one preset via the env
+    PRESETS = {"env": _ENV_SPEC}
+
+
+@pytest.fixture(autouse=True)
+def _mask_env_faults():
+    """Faults activate only where a test installs a plan explicitly."""
+    faults.install(None)
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def _checkpoint_every_two_steps(monkeypatch):
+    monkeypatch.setenv("REPRO_CKPT_EVERY_STEPS", "2")
+    monkeypatch.delenv("REPRO_CKPT_DIR", raising=False)
+
+
+def _data(tiny_dataset, n=160):
+    return tiny_dataset.x_train[:n], tiny_dataset.y_train[:n]
+
+
+def _trainer(tiny_dataset):
+    model = preact_resnet18(num_classes=tiny_dataset.num_classes, width=8,
+                            blocks_per_stage=(1, 1), seed=0)
+    cfg = TrainingConfig(epochs=2, batch_size=32, lr=0.05, seed=11,
+                         lr_milestones=(1,))
+    return Trainer(model, cfg)
+
+
+def _assert_same_final_state(a, b):
+    sa, sb = a.model.state_dict(), b.model.state_dict()
+    assert sa.keys() == sb.keys()
+    for key in sa:
+        assert np.array_equal(sa[key], sb[key]), key
+    assert a.history.train_loss == b.history.train_loss
+    assert a.history.train_accuracy == b.history.train_accuracy
+    assert a.history.epochs_completed == b.history.epochs_completed
+    assert a.rng.bit_generator.state == b.rng.bit_generator.state
+
+
+class TestDurableEqualsLegacy:
+    def test_natural_training_is_bit_identical(self, tiny_dataset, tmp_path):
+        x, y = _data(tiny_dataset)
+        legacy = _trainer(tiny_dataset)
+        legacy.fit(x, y)
+        durable = _trainer(tiny_dataset)
+        durable.fit(x, y, checkpoint=tmp_path)
+        _assert_same_final_state(legacy, durable)
+        assert ckpt.CheckpointManager(tmp_path).steps() != []
+
+    def test_adversarial_training_is_bit_identical(self, tiny_dataset,
+                                                   tmp_path):
+        x, y = _data(tiny_dataset, n=96)
+        cfg = AdversarialConfig(epochs=1, batch_size=32, lr=0.05, seed=7,
+                                method="pgd", attack_steps=2)
+
+        def make():
+            model = preact_resnet18(num_classes=tiny_dataset.num_classes,
+                                    width=8, blocks_per_stage=(1, 1), seed=0)
+            return AdversarialTrainer(model, cfg)
+
+        legacy, durable = make(), make()
+        legacy.fit(x, y)
+        durable.fit(x, y, checkpoint=tmp_path)
+        _assert_same_final_state(legacy, durable)
+
+    def test_resume_without_a_manager_raises(self, tiny_dataset):
+        x, y = _data(tiny_dataset, n=32)
+        with pytest.raises(ValueError, match="resume"):
+            _trainer(tiny_dataset).fit(x, y, resume=True)
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_crashed_run_resumes_onto_the_golden_state(self, preset,
+                                                       tiny_dataset,
+                                                       tmp_path):
+        x, y = _data(tiny_dataset)
+        golden = _trainer(tiny_dataset)
+        golden.fit(x, y)                  # faults masked by the fixture
+
+        plan = faults.FaultPlan.parse(PRESETS[preset], seed=3)
+        crashed = _trainer(tiny_dataset)
+        with faults.installed(plan), warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            try:
+                crashed.fit(x, y, checkpoint=tmp_path)
+            except faults.FaultError:
+                pass                      # the simulated crash
+
+        # Resume in a fresh trainer (a new process, in effect), still under
+        # the same plan: load-side faults fire here and must degrade, not
+        # crash; crash-side faults are already spent (n=1).
+        resumed = _trainer(tiny_dataset)
+        with faults.installed(plan), warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            resumed.fit(x, y, resume=True, checkpoint=tmp_path)
+        _assert_same_final_state(golden, resumed)
+
+    def test_corrupt_newest_checkpoint_costs_exactly_one_warning(
+            self, tiny_dataset, tmp_path):
+        x, y = _data(tiny_dataset)
+        golden = _trainer(tiny_dataset)
+        golden.fit(x, y)
+
+        first = _trainer(tiny_dataset)
+        first.fit(x, y, checkpoint=tmp_path)
+        manager = ckpt.CheckpointManager(tmp_path)
+        newest = manager.path_for(manager.steps()[-1])
+        blob = bytearray(newest.read_bytes())
+        blob[len(blob) // 3] ^= 0x10
+        newest.write_bytes(bytes(blob))
+
+        resumed = _trainer(tiny_dataset)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resumed.fit(x, y, resume=True, checkpoint=tmp_path)
+        messages = [str(w.message) for w in caught]
+        assert len(messages) == 1, messages
+        assert "falling back" in messages[0]
+        _assert_same_final_state(golden, resumed)
+
+
+def _poison_fifth_batch(trainer):
+    """Make the 5th distinct training batch report a NaN loss *by content*,
+    so the post-rollback replay (and any resumed process) trips on exactly
+    the same batch — the deterministic-divergence scenario."""
+    original = trainer.train_batch
+    state = {"count": 0, "poison": None}
+
+    def wrapped(xb, yb):
+        metrics = original(xb, yb)
+        state["count"] += 1
+        if state["count"] == 5 and state["poison"] is None:
+            state["poison"] = xb.tobytes()
+        if state["poison"] == xb.tobytes():
+            return dict(metrics, loss=float("nan"))
+        return metrics
+
+    trainer.train_batch = wrapped
+    return state
+
+
+class TestDivergenceHandling:
+    def test_rollback_then_skip_completes_the_run(self, tiny_dataset,
+                                                  tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_ROLLBACK_BUDGET", "3")
+        x, y = _data(tiny_dataset)
+        trainer = _trainer(tiny_dataset)
+        _poison_fifth_batch(trainer)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            history = trainer.fit(x, y, checkpoint=tmp_path)
+        trips = [w for w in caught if "divergence" in str(w.message)]
+        # Trip -> rollback -> deterministic replay trips again -> the batch
+        # is skipped for good: exactly two rollbacks, then a full run.
+        assert len(trips) == 2, [str(w.message) for w in caught]
+        assert history.epochs_completed == 2
+        assert all(np.isfinite(loss) for loss in history.train_loss)
+
+    def test_exhausted_budget_aborts_loudly(self, tiny_dataset, tmp_path,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_ROLLBACK_BUDGET", "0")
+        x, y = _data(tiny_dataset)
+        trainer = _trainer(tiny_dataset)
+        _poison_fifth_batch(trainer)
+        with pytest.raises(DivergenceError, match="rollback budget"):
+            trainer.fit(x, y, checkpoint=tmp_path)
+
+    def test_sentinels_never_fire_on_healthy_training(self, tiny_dataset,
+                                                      tmp_path):
+        x, y = _data(tiny_dataset, n=96)
+        trainer = _trainer(tiny_dataset)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            trainer.fit(x, y, epochs=1, checkpoint=tmp_path)
